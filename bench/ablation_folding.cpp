@@ -1,0 +1,60 @@
+// Ablation for §3.3's folding: why temporal/spatial folding is required
+// at realistic budgets, and how runtime scales as the datapath unfolds.
+//
+// Reports (a) the fully-expanded lane demand of each model vs the lanes
+// a Z-7045 design can realise, and (b) a lane-budget sweep for Alexnet
+// showing runtime vs resources — the trade the DB/DB-L/DB-S schemes
+// sample.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/folding.h"
+
+int main() {
+  using namespace db;
+  using namespace db::bench;
+
+  std::printf("=== Ablation: temporal/spatial folding ===\n\n");
+  std::printf("-- fully-expanded mapping (Fig. 2 style) vs folded "
+              "design --\n");
+  std::printf("%-10s %16s %14s %12s %14s\n", "model", "expanded_macs",
+              "folded_lanes", "fold_steps", "est_dsp_equiv");
+  PrintRule(72);
+  for (ZooModel model : AllZooModels()) {
+    const Network net = BuildZooModel(model);
+    const ExpandedDemand demand = FullyExpandedDemand(net);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    std::printf("%-10s %16lld %14d %12lld %14lld\n",
+                ZooModelName(model).c_str(),
+                static_cast<long long>(demand.mac_lanes),
+                design.config.TotalLanes(),
+                static_cast<long long>(design.fold_plan.TotalSegments()),
+                static_cast<long long>(demand.mac_lanes));
+  }
+  std::printf("(a Zynq-7045 offers 900 DSP slices: every CNN-class model "
+              "exceeds the device by orders of magnitude when fully "
+              "expanded — folding is mandatory, as the paper argues)\n");
+
+  std::printf("\n-- Alexnet budget sweep (explicit LUT budgets at the "
+              "HIGH level, Z-7045) --\n");
+  std::printf("%10s %8s %12s %10s %10s\n", "lut_budget", "lanes",
+              "steps", "ms", "lut_used");
+  PrintRule(56);
+  const Network alexnet = BuildZooModel(ZooModel::kAlexnet);
+  for (std::int64_t lut : {6000, 12000, 24000, 48000, 96000, 174000}) {
+    DesignConstraint c = DbLConstraint();  // HIGH level unfolds freely
+    c.explicit_budget.lut = lut;
+    const AcceleratorDesign design = GenerateAccelerator(alexnet, c);
+    const PerfResult perf = SimulatePerformance(alexnet, design);
+    std::printf("%10lld %8d %12lld %10.2f %10lld\n",
+                static_cast<long long>(lut), design.config.TotalLanes(),
+                static_cast<long long>(design.fold_plan.TotalSegments()),
+                perf.TotalMs(),
+                static_cast<long long>(design.resources.total.lut));
+  }
+  std::printf("\nshape: runtime falls as the budget unfolds the datapath "
+              "until DRAM bandwidth flattens the curve — the crossover "
+              "the DB vs DB-L comparison in Fig. 8 samples.\n");
+  return 0;
+}

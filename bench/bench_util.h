@@ -1,0 +1,62 @@
+// Shared helpers for the paper-reproduction benches: the evaluation
+// scheme list (Custom / DB / DB-L / DB-S / CPU) and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_model.h"
+#include "baseline/custom_design.h"
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+
+namespace db::bench {
+
+/// Runtime and energy of every scheme for one model.
+struct SchemeResults {
+  ZooModel model;
+  double custom_s = 0.0, custom_j = 0.0;
+  double db_s = 0.0, db_j = 0.0;
+  double dbl_s = 0.0, dbl_j = 0.0;
+  double dbs_s = 0.0, dbs_j = 0.0;
+  double cpu_s = 0.0, cpu_j = 0.0;
+};
+
+/// Generate + simulate all schemes for one model (the Fig. 8/9 core).
+inline SchemeResults EvaluateSchemes(ZooModel model) {
+  SchemeResults r;
+  r.model = model;
+  const Network net = BuildZooModel(model);
+
+  const CustomDesignResult custom = BuildCustomDesign(net);
+  r.custom_s = custom.perf.TotalSeconds();
+  r.custom_j = custom.energy.total_joules;
+
+  auto run = [&](const DesignConstraint& constraint, double& seconds,
+                 double& joules) {
+    const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+    const PerfResult perf = SimulatePerformance(net, design);
+    const EnergyResult energy = EstimateEnergy(
+        design.resources.total, perf, DeviceCatalog(constraint.device));
+    seconds = perf.TotalSeconds();
+    joules = energy.total_joules;
+  };
+  run(DbConstraint(), r.db_s, r.db_j);
+  run(DbLConstraint(), r.dbl_s, r.dbl_j);
+  run(DbSConstraint(), r.dbs_s, r.dbs_j);
+
+  const CpuRunEstimate cpu = EstimateCpuRun(net);
+  r.cpu_s = cpu.seconds;
+  r.cpu_j = cpu.joules;
+  return r;
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace db::bench

@@ -1,0 +1,87 @@
+// Fig. 10 reproduction: output accuracy of the DeepBurning accelerator
+// (fixed-point datapath + Approx LUT, via the bit-accurate functional
+// simulator) against the software NN on CPU (float reference executor).
+//
+// Scoring follows the paper: classification accuracy for the classifier
+// models, Eq. (1) relative accuracy against the golden application for
+// the approximators, tour quality for Hopfield, and output fidelity for
+// the random-weight ImageNet models (see DESIGN.md substitutions).
+#include <cstdio>
+
+#include "baseline/accuracy.h"
+#include "bench_util.h"
+#include "models/trained.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+
+int main() {
+  using namespace db;
+  using namespace db::bench;
+
+  std::printf("=== Fig. 10: accuracy comparison (%%), CPU float NN vs "
+              "DeepBurning accelerator ===\n");
+  std::printf("%-10s %14s %10s %10s %10s\n", "model", "metric", "CPU",
+              "DeepBurn", "delta");
+  PrintRule(64);
+
+  const std::vector<TrainedModel> models = BuildAllTrainedModels(42);
+  double max_abs_delta = 0.0, sum_abs_delta = 0.0;
+  for (const TrainedModel& model : models) {
+    const AcceleratorDesign design =
+        GenerateAccelerator(model.net, DbConstraint());
+    Executor exec(model.net, model.weights);
+    FunctionalSimulator sim(model.net, design, model.weights);
+
+    const auto cpu_fn = [&](const Tensor& t) {
+      return exec.ForwardOutput(t);
+    };
+    const auto accel_fn = [&](const Tensor& t) { return sim.Run(t); };
+
+    double cpu_acc = 0.0, accel_acc = 0.0;
+    const char* metric = "";
+    switch (model.accuracy_kind) {
+      case AccuracyKind::kClassification:
+        metric = "classification";
+        cpu_acc = ScoreModelPct(model, cpu_fn);
+        accel_acc = ScoreModelPct(model, accel_fn);
+        break;
+      case AccuracyKind::kRelativeError:
+        metric = "Eq.(1)";
+        cpu_acc = ScoreModelPct(model, cpu_fn);
+        accel_acc = ScoreModelPct(model, accel_fn);
+        break;
+      case AccuracyKind::kTourQuality:
+        metric = "tour Eq.(1)";
+        cpu_acc = ScoreModelPct(model, cpu_fn);
+        accel_acc = ScoreModelPct(model, accel_fn);
+        break;
+      case AccuracyKind::kFidelity: {
+        // Probe the pre-softmax logits (see FidelityProbeLayer): a
+        // 1000-way softmax's outputs are below the Q7.8 LSB.
+        metric = "fidelity";
+        const std::string probe = FidelityProbeLayer(model.net);
+        cpu_acc = 100.0;  // the float run is its own reference
+        accel_acc = FidelityPct(
+            model.test_set,
+            [&](const Tensor& t) { return sim.RunAll(t).at(probe); },
+            [&](const Tensor& t) {
+              return exec.Forward({{"data", t}}).at(probe);
+            });
+        break;
+      }
+    }
+    const double delta = accel_acc - cpu_acc;
+    max_abs_delta = std::max(max_abs_delta, std::fabs(delta));
+    sum_abs_delta += std::fabs(delta);
+    std::printf("%-10s %14s %9.2f%% %9.2f%% %+9.2f%%\n",
+                ZooModelName(model.id).c_str(), metric, cpu_acc,
+                accel_acc, delta);
+  }
+  PrintRule(64);
+  std::printf("\nheadline shape (paper: DeepBurning accuracy within "
+              "~1.5%% of CPU NN on average):\n");
+  std::printf("  mean |delta| : %.2f%%\n",
+              sum_abs_delta / static_cast<double>(models.size()));
+  std::printf("  max  |delta| : %.2f%%\n", max_abs_delta);
+  return 0;
+}

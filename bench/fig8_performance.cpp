@@ -1,0 +1,49 @@
+// Fig. 8 reproduction: forward-propagation time of Custom, DB, DB-L,
+// DB-S and CPU across the eight benchmark models, plus the Zhang FPGA'15
+// Alexnet reference.  Prints the runtime series and the headline ratios
+// the paper reports (DB vs CPU speedup; DB-L vs DB).
+#include <cstdio>
+#include <vector>
+
+#include "baseline/zhang_fpga15.h"
+#include "bench_util.h"
+#include "common/strings.h"
+
+int main() {
+  using namespace db;
+  using namespace db::bench;
+
+  std::printf("=== Fig. 8: performance comparison "
+              "(forward-propagation time, ms) ===\n");
+  std::printf("%-10s %12s %12s %12s %12s %12s %10s\n", "model", "Custom",
+              "DB", "DB-L", "DB-S", "CPU", "DBspeedup");
+  PrintRule();
+
+  double speedup_sum = 0.0, speedup_max = 0.0;
+  double dbl_ratio_sum = 0.0;
+  int n = 0;
+  for (ZooModel model : AllZooModels()) {
+    const SchemeResults r = EvaluateSchemes(model);
+    const double speedup = r.cpu_s / r.db_s;
+    const double dbl_ratio = r.db_s / r.dbl_s;
+    speedup_sum += speedup;
+    speedup_max = std::max(speedup_max, speedup);
+    dbl_ratio_sum += dbl_ratio;
+    ++n;
+    std::printf("%-10s %12.4f %12.4f %12.4f %12.4f %12.4f %9.2fx\n",
+                ZooModelName(model).c_str(), r.custom_s * 1e3,
+                r.db_s * 1e3, r.dbl_s * 1e3, r.dbs_s * 1e3, r.cpu_s * 1e3,
+                speedup);
+  }
+  PrintRule();
+  std::printf("[7] Zhang FPGA'15 Alexnet reference: %.2f ms\n",
+              ZhangFpga15::kAlexnetSeconds * 1e3);
+  std::printf("\nheadline shapes (paper: DB up to 4.7x vs CPU; DB-L "
+              "~3.5x faster than DB on average):\n");
+  std::printf("  max DB speedup vs CPU : %.2fx\n", speedup_max);
+  std::printf("  avg DB speedup vs CPU : %.2fx\n",
+              speedup_sum / static_cast<double>(n));
+  std::printf("  avg DB-L gain over DB : %.2fx\n",
+              dbl_ratio_sum / static_cast<double>(n));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 9 reproduction: energy per forward propagation for Custom, DB,
+// DB-L, DB-S and CPU across the benchmarks, plus the Zhang FPGA'15
+// Alexnet energy reference (~0.5 J in the paper's discussion).
+#include <cstdio>
+
+#include "baseline/zhang_fpga15.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace db;
+  using namespace db::bench;
+
+  std::printf("=== Fig. 9: energy comparison (J per forward "
+              "propagation) ===\n");
+  std::printf("%-10s %12s %12s %12s %12s %12s %10s\n", "model", "Custom",
+              "DB", "DB-L", "DB-S", "CPU", "CPU/DB");
+  PrintRule();
+
+  double ratio_sum = 0.0, db_over_custom_sum = 0.0;
+  int n = 0;
+  for (ZooModel model : AllZooModels()) {
+    const SchemeResults r = EvaluateSchemes(model);
+    const double cpu_ratio = r.cpu_j / r.db_j;
+    ratio_sum += cpu_ratio;
+    db_over_custom_sum += r.db_j / r.custom_j;
+    ++n;
+    std::printf("%-10s %12.6f %12.6f %12.6f %12.6f %12.4f %9.1fx\n",
+                ZooModelName(model).c_str(), r.custom_j, r.db_j, r.dbl_j,
+                r.dbs_j, r.cpu_j, cpu_ratio);
+  }
+  PrintRule();
+  std::printf("[7] Zhang FPGA'15 Alexnet reference: %.3f J\n",
+              ZhangFpga15::kAlexnetJoules);
+  std::printf("\nheadline shapes (paper: CPU ~58x DB energy; DB ~1.8x "
+              "Custom; DB-L/DB-S close to Custom; [7] above DB-L/DB-S):\n");
+  std::printf("  avg CPU/DB energy ratio   : %.1fx\n",
+              ratio_sum / static_cast<double>(n));
+  std::printf("  avg DB/Custom energy ratio: %.2fx\n",
+              db_over_custom_sum / static_cast<double>(n));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the DeepBurning toolchain
+// itself: the paper's "one-click" claim rests on NN-Gen being fast, so
+// we measure script parsing, datapath sizing, full generation, RTL
+// emission, and the simulators' throughput.
+#include <benchmark/benchmark.h>
+
+#include "baseline/custom_design.h"
+#include "common/fixed_point.h"
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+#include "sim/perf_model.h"
+
+namespace db {
+namespace {
+
+void BM_ParsePrototxt(benchmark::State& state) {
+  const std::string script = ZooModelPrototxt(ZooModel::kAlexnet);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ParseNetworkDef(script));
+}
+BENCHMARK(BM_ParsePrototxt);
+
+void BM_BuildNetworkIr(benchmark::State& state) {
+  const NetworkDef def =
+      ParseNetworkDef(ZooModelPrototxt(ZooModel::kAlexnet));
+  for (auto _ : state) benchmark::DoNotOptimize(Network::Build(def));
+}
+BENCHMARK(BM_BuildNetworkIr);
+
+void BM_GenerateAcceleratorMnist(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(GenerateAccelerator(net, DbConstraint()));
+}
+BENCHMARK(BM_GenerateAcceleratorMnist);
+
+void BM_GenerateAcceleratorAlexnet(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(GenerateAccelerator(net, DbConstraint()));
+}
+BENCHMARK(BM_GenerateAcceleratorAlexnet);
+
+void BM_EmitVerilog(benchmark::State& state) {
+  const AcceleratorDesign design =
+      GenerateAccelerator(BuildZooModel(ZooModel::kAlexnet),
+                          DbConstraint());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(EmitVerilog(design.rtl));
+}
+BENCHMARK(BM_EmitVerilog);
+
+void BM_PerfSimAlexnet(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(SimulatePerformance(net, design));
+}
+BENCHMARK(BM_PerfSimAlexnet);
+
+void BM_FunctionalSimMnist(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  Rng rng(1);
+  const WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const FunctionalSimulator sim(net, design, weights);
+  Tensor input(Shape{1, 12, 12});
+  input.FillUniform(rng, 0.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.Run(input));
+}
+BENCHMARK(BM_FunctionalSimMnist);
+
+void BM_FloatExecutorMnist(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  Rng rng(1);
+  const WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const Executor exec(net, weights);
+  Tensor input(Shape{1, 12, 12});
+  input.FillUniform(rng, 0.0f, 1.0f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exec.ForwardOutput(input));
+}
+BENCHMARK(BM_FloatExecutorMnist);
+
+void BM_FixedPointMac(benchmark::State& state) {
+  const FixedFormat fmt(16, 8);
+  const std::int64_t a = fmt.Quantize(1.37);
+  const std::int64_t b = fmt.Quantize(-0.82);
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    acc = fmt.Add(acc, fmt.Mul(a, b));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FixedPointMac);
+
+void BM_CustomDesignCifar(benchmark::State& state) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(BuildCustomDesign(net));
+}
+BENCHMARK(BM_CustomDesignCifar);
+
+}  // namespace
+}  // namespace db
+
+BENCHMARK_MAIN();

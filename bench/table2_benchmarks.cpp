@@ -1,0 +1,31 @@
+// Table 2 reproduction: benchmark inventory — conv / FC / recurrent
+// structure flags and the target application of every zoo model.
+#include <cstdio>
+
+#include "graph/layer_stats.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace db;
+
+  std::printf("=== Table 2: benchmarks ===\n");
+  std::printf("%-12s %6s %6s %6s  %-24s %12s %12s\n", "model", "Conv",
+              "FC", "Rec.", "application", "MACs", "weights");
+  for (ZooModel model : AllZooModels()) {
+    const Network net = BuildZooModel(model);
+    const auto hist = net.KindHistogram();
+    const LayerStats stats = ComputeNetworkStats(net);
+    std::printf("%-12s %6s %6s %6s  %-24s %12lld %12lld\n",
+                ZooModelName(model).c_str(),
+                hist.count(LayerKind::kConvolution) ? "yes" : "-",
+                (hist.count(LayerKind::kInnerProduct) ||
+                 hist.count(LayerKind::kRecurrent))
+                    ? "yes"
+                    : "-",
+                net.HasRecurrence() ? "yes" : "-",
+                ZooModelApplication(model).c_str(),
+                static_cast<long long>(stats.macs),
+                static_cast<long long>(stats.weight_count));
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Alexnet through DeepBurning: the paper's flagship workload.
+//
+// Generates accelerators for Alexnet under the three evaluation schemes
+// (DB / DB-L / DB-S), prints each design's folding and resource story,
+// and compares simulated runtime/energy against the CPU baseline and the
+// hand-tuned Custom design — a per-model slice of Fig. 8/9 and Table 3.
+#include <cstdio>
+
+#include "baseline/cpu_model.h"
+#include "baseline/custom_design.h"
+#include "baseline/zhang_fpga15.h"
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+
+int main() {
+  using namespace db;
+
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  std::printf("%s\n", net.Summary().c_str());
+
+  struct Scheme {
+    const char* name;
+    DesignConstraint constraint;
+  };
+  const Scheme schemes[] = {
+      {"DB   (medium, Z-7045)", DbConstraint()},
+      {"DB-L (high,   Z-7045)", DbLConstraint()},
+      {"DB-S (low,    Z-7020)", DbSConstraint()},
+  };
+
+  std::printf("%-24s %7s %9s %10s %9s %9s %9s\n", "scheme", "lanes",
+              "foldsteps", "ms", "J", "DSP", "LUT");
+  for (const Scheme& s : schemes) {
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, s.constraint);
+    const PerfResult perf = SimulatePerformance(net, design);
+    const EnergyResult energy =
+        EstimateEnergy(design.resources.total, perf,
+                       DeviceCatalog(s.constraint.device));
+    std::printf("%-24s %7d %9lld %10.2f %9.3f %9lld %9lld\n", s.name,
+                design.config.TotalLanes(),
+                static_cast<long long>(design.fold_plan.TotalSegments()),
+                perf.TotalMs(), energy.total_joules,
+                static_cast<long long>(design.resources.total.dsp),
+                static_cast<long long>(design.resources.total.lut));
+  }
+
+  const CustomDesignResult custom = BuildCustomDesign(net);
+  std::printf("%-24s %7s %9s %10.2f %9.3f %9lld %9lld\n",
+              "Custom (hand design)", "-", "-", custom.perf.TotalMs(),
+              custom.energy.total_joules,
+              static_cast<long long>(custom.resources.dsp),
+              static_cast<long long>(custom.resources.lut));
+
+  const CpuRunEstimate cpu = EstimateCpuRun(net);
+  std::printf("%-24s %7s %9s %10.2f %9.3f %9s %9s\n",
+              "CPU (Xeon 2.4GHz model)", "-", "-", cpu.seconds * 1e3,
+              cpu.joules, "-", "-");
+  std::printf("%-24s %7s %9s %10.2f %9.3f %9s %9s\n",
+              "[7] Zhang FPGA'15", "-", "-",
+              ZhangFpga15::kAlexnetSeconds * 1e3,
+              ZhangFpga15::kAlexnetJoules, "-", "-");
+
+  // Show where the time goes for the medium design.
+  const AcceleratorDesign db = GenerateAccelerator(net, DbConstraint());
+  const PerfResult perf = SimulatePerformance(net, db);
+  std::printf("\nper-layer timing of the DB design:\n%s\n",
+              perf.ToString().c_str());
+  return 0;
+}

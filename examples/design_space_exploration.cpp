@@ -1,0 +1,99 @@
+// Design-space exploration with NN-Gen: the reconfigurability argument
+// of the paper's introduction ("FPGAs ... possess the reconfigurability
+// to enable the designers to explore the space of NN models").
+//
+// Sweeps the constraint knobs (budget level, fixed-point width, Approx
+// LUT entries) for the MNIST model and prints runtime / resources /
+// accuracy at each point — the table a designer would study before
+// picking a configuration to burn.
+#include <cstdio>
+
+#include "baseline/accuracy.h"
+#include "core/generator.h"
+#include "core/range_profiler.h"
+#include "models/trained.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+#include "sim/perf_model.h"
+
+int main() {
+  using namespace db;
+
+  std::printf("training the MNIST model once...\n\n");
+  const TrainedModel model = TrainZooMnist(7);
+  Executor exec(model.net, model.weights);
+  const double cpu_acc = ScoreModelPct(
+      model, [&](const Tensor& t) { return exec.ForwardOutput(t); });
+  std::printf("float reference accuracy: %.1f%%\n\n", cpu_acc);
+
+  std::printf("-- budget level sweep (16-bit, 256-entry LUT) --\n");
+  std::printf("%-8s %7s %9s %10s %9s %9s\n", "budget", "lanes", "steps",
+              "us", "LUTs", "acc");
+  struct Level {
+    const char* name;
+    DesignConstraint c;
+  };
+  for (const Level& level :
+       {Level{"LOW", DbSConstraint()}, Level{"MEDIUM", DbConstraint()},
+        Level{"HIGH", DbLConstraint()}}) {
+    const AcceleratorDesign design =
+        GenerateAccelerator(model.net, level.c);
+    const PerfResult perf = SimulatePerformance(model.net, design);
+    FunctionalSimulator sim(model.net, design, model.weights);
+    const double acc = ScoreModelPct(
+        model, [&](const Tensor& t) { return sim.Run(t); });
+    std::printf("%-8s %7d %9lld %10.2f %9lld %8.1f%%\n", level.name,
+                design.config.TotalLanes(),
+                static_cast<long long>(design.fold_plan.TotalSegments()),
+                perf.TotalSeconds() * 1e6,
+                static_cast<long long>(design.resources.total.lut), acc);
+  }
+
+  std::printf("\n-- fixed-point width sweep (MEDIUM budget) --\n");
+  std::printf("%-8s %10s %9s %8s\n", "format", "us", "LUTs", "acc");
+  for (const auto& [bits, frac] :
+       {std::pair{8, 4}, {10, 5}, {12, 6}, {16, 8}, {24, 12}}) {
+    DesignConstraint c = DbConstraint();
+    c.bit_width = bits;
+    c.frac_bits = frac;
+    const AcceleratorDesign design = GenerateAccelerator(model.net, c);
+    const PerfResult perf = SimulatePerformance(model.net, design);
+    FunctionalSimulator sim(model.net, design, model.weights);
+    const double acc = ScoreModelPct(
+        model, [&](const Tensor& t) { return sim.Run(t); });
+    std::printf("Q%d.%-5d %10.2f %9lld %7.1f%%\n", bits - frac - 1, frac,
+                perf.TotalSeconds() * 1e6,
+                static_cast<long long>(design.resources.total.lut), acc);
+  }
+
+  std::printf("\n-- automatic quantisation (range profiler) --\n");
+  {
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 8 && i < static_cast<int>(model.test_set.size());
+         ++i)
+      calib.push_back(model.test_set[static_cast<std::size_t>(i)].input);
+    const RangeProfile profile =
+        ProfileRanges(model.net, model.weights, calib);
+    const FixedFormat suggested = ChooseFormat(profile, 16);
+    std::printf("profiled peaks: activation %.3f, weight %.3f -> "
+                "suggested format %s\n",
+                profile.max_abs_activation, profile.max_abs_weight,
+                suggested.ToString().c_str());
+  }
+
+  std::printf("\n-- Approx LUT entries sweep (MEDIUM budget, Q7.8) --\n");
+  std::printf("%-8s %10s %8s\n", "entries", "bram_B", "acc");
+  for (std::int64_t entries : {16, 64, 256, 1024}) {
+    DesignConstraint c = DbConstraint();
+    c.approx_lut_entries = entries;
+    const AcceleratorDesign design = GenerateAccelerator(model.net, c);
+    FunctionalSimulator sim(model.net, design, model.weights);
+    const double acc = ScoreModelPct(
+        model, [&](const Tensor& t) { return sim.Run(t); });
+    std::printf("%-8lld %10lld %7.1f%%\n",
+                static_cast<long long>(entries),
+                static_cast<long long>(design.resources.total.bram_bytes),
+                acc);
+  }
+  return 0;
+}

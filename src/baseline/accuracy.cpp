@@ -1,0 +1,106 @@
+#include "baseline/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "models/golden.h"
+
+namespace db {
+
+double Eq1Accuracy(double a, double b) {
+  const double denom = b * b;
+  if (denom < 1e-30) return a == b ? 100.0 : 0.0;
+  const double acc = (1.0 - (a - b) * (a - b) / denom) * 100.0;
+  return std::clamp(acc, 0.0, 100.0);
+}
+
+double Eq1AccuracyTensors(const Tensor& a, const Tensor& b) {
+  DB_CHECK_MSG(a.shape() == b.shape(), "Eq1 shape mismatch");
+  double diff_sq = 0.0;
+  double ref_sq = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    diff_sq += d * d;
+    ref_sq += static_cast<double>(b[i]) * b[i];
+  }
+  if (ref_sq < 1e-30) return diff_sq < 1e-30 ? 100.0 : 0.0;
+  return std::clamp((1.0 - diff_sq / ref_sq) * 100.0, 0.0, 100.0);
+}
+
+double ClassificationAccuracyPct(
+    std::span<const TrainSample> samples,
+    const std::function<Tensor(const Tensor&)>& infer) {
+  if (samples.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (const TrainSample& s : samples)
+    if (infer(s.input).ArgMax() == s.target.ArgMax()) ++correct;
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(samples.size());
+}
+
+double RegressionAccuracyPct(
+    std::span<const TrainSample> samples,
+    const std::function<Tensor(const Tensor&)>& infer) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const TrainSample& s : samples)
+    total += Eq1AccuracyTensors(infer(s.input), s.target);
+  return total / static_cast<double>(samples.size());
+}
+
+double FidelityPct(std::span<const TrainSample> samples,
+                   const std::function<Tensor(const Tensor&)>& infer,
+                   const std::function<Tensor(const Tensor&)>& reference) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const TrainSample& s : samples)
+    total += Eq1AccuracyTensors(infer(s.input), reference(s.input));
+  return total / static_cast<double>(samples.size());
+}
+
+std::string FidelityProbeLayer(const Network& net) {
+  const IrLayer& out = net.OutputLayer();
+  if (out.kind() == LayerKind::kSoftmax && !out.input_ids.empty())
+    return net.layer(out.input_ids.front()).name();
+  return out.name();
+}
+
+double ScoreModelPct(const TrainedModel& model,
+                     const std::function<Tensor(const Tensor&)>& infer,
+                     const std::function<Tensor(const Tensor&)>& reference) {
+  switch (model.accuracy_kind) {
+    case AccuracyKind::kClassification:
+      return ClassificationAccuracyPct(model.test_set, infer);
+    case AccuracyKind::kRelativeError:
+      return RegressionAccuracyPct(model.test_set, infer);
+    case AccuracyKind::kTourQuality: {
+      // Decode the settled activations into a tour; accuracy is Eq. (1)
+      // on tour length vs the brute-force optimum.
+      double total = 0.0;
+      for (const TrainSample& s : model.test_set) {
+        const Tensor acts = infer(s.input);
+        const std::vector<int> tour =
+            DecodeTourFromActivations(acts, kHopfieldCities);
+        double len = 0.0;
+        for (std::size_t i = 0; i < tour.size(); ++i) {
+          const int a = tour[i];
+          const int b = tour[(i + 1) % tour.size()];
+          len += model.tsp_distances[static_cast<std::size_t>(a)]
+                                    [static_cast<std::size_t>(b)];
+        }
+        total += Eq1Accuracy(len, model.tsp_optimal_length);
+      }
+      return model.test_set.empty()
+                 ? 0.0
+                 : total / static_cast<double>(model.test_set.size());
+    }
+    case AccuracyKind::kFidelity:
+      DB_CHECK_MSG(static_cast<bool>(reference),
+                   "fidelity scoring needs a reference function");
+      return FidelityPct(model.test_set, infer, reference);
+  }
+  DB_THROW("unhandled accuracy kind");
+}
+
+}  // namespace db

@@ -1,0 +1,58 @@
+// Accuracy metrics for Fig. 10.
+//
+// Classification models report the fraction of correctly-classified
+// inputs; non-classification models use the paper's Eq. (1):
+//     accuracy = (1 - (A - B)^2 / B^2) * 100%
+// with B the golden-reference result and A the NN (or accelerator)
+// result.  For vector outputs the squared terms aggregate over elements.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "models/trained.h"
+#include "tensor/tensor.h"
+
+namespace db {
+
+/// Eq. (1) on scalars, in percent, clamped to [0, 100].
+double Eq1Accuracy(double a, double b);
+
+/// Eq. (1) with vector aggregation: 1 - ||A-B||^2 / ||B||^2, in percent.
+double Eq1AccuracyTensors(const Tensor& a, const Tensor& b);
+
+/// Fraction of samples where `infer(input)`'s argmax matches the target
+/// argmax, in percent.
+double ClassificationAccuracyPct(
+    std::span<const TrainSample> samples,
+    const std::function<Tensor(const Tensor&)>& infer);
+
+/// Mean Eq. (1) accuracy of `infer` against the sample targets.
+double RegressionAccuracyPct(
+    std::span<const TrainSample> samples,
+    const std::function<Tensor(const Tensor&)>& infer);
+
+/// Mean Eq. (1) accuracy of `infer` against a reference inference
+/// function evaluated on the same inputs (fidelity for the random-weight
+/// ImageNet models).
+double FidelityPct(std::span<const TrainSample> samples,
+                   const std::function<Tensor(const Tensor&)>& infer,
+                   const std::function<Tensor(const Tensor&)>& reference);
+
+/// Layer whose activation fidelity comparisons should probe: the
+/// pre-softmax logits when the network ends in softmax (a 1000-way
+/// softmax's ~1e-3 outputs sit below the fixed-point LSB, so comparing
+/// there measures quantisation floor, not datapath fidelity), otherwise
+/// the output layer itself.
+std::string FidelityProbeLayer(const Network& net);
+
+/// Score one trained model with the scoring rule its AccuracyKind
+/// demands.  `infer` runs the implementation under test (CPU executor or
+/// accelerator functional simulation); `reference` is only consulted for
+/// kFidelity.
+double ScoreModelPct(
+    const TrainedModel& model,
+    const std::function<Tensor(const Tensor&)>& infer,
+    const std::function<Tensor(const Tensor&)>& reference = {});
+
+}  // namespace db

@@ -1,0 +1,35 @@
+#include "baseline/cpu_model.h"
+
+#include <chrono>
+
+#include "graph/layer_stats.h"
+#include "nn/executor.h"
+
+namespace db {
+
+CpuRunEstimate EstimateCpuRun(const Network& net,
+                              const CpuModelParams& params) {
+  const LayerStats stats = ComputeNetworkStats(net);
+  CpuRunEstimate est;
+  est.seconds = params.invocation_overhead_s +
+                static_cast<double>(stats.Flops()) /
+                    (params.effective_gflops * 1e9);
+  est.joules = est.seconds * params.package_watts;
+  return est;
+}
+
+double MeasureCpuSeconds(const Network& net, const WeightStore& weights) {
+  Executor exec(net, weights);
+  const IrLayer& in_layer = net.layer(net.input_ids().front());
+  const BlobShape& shape = in_layer.output_shape;
+  Tensor input(Shape{shape.channels, shape.height, shape.width});
+  Rng rng(1);
+  input.FillUniform(rng, 0.0f, 1.0f);
+
+  const auto start = std::chrono::steady_clock::now();
+  (void)exec.ForwardOutput(input);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace db

@@ -1,0 +1,40 @@
+// CPU baseline timing/energy model (the paper's Xeon 2.4 GHz software
+// runs).
+//
+// Fig. 8/9 compare forward-propagation time and energy against software
+// NN inference on a Xeon.  On this substrate the CPU time is modelled
+// from the network's FLOP count and a calibrated effective-throughput
+// figure (Caffe-era single-socket CPU inference sustains a few GFLOP/s),
+// plus a fixed per-invocation overhead that dominates for the tiny ANN
+// models.  An optional measured mode times the in-repo float executor on
+// the host for sanity checking.
+#pragma once
+
+#include <string>
+
+#include "graph/network.h"
+#include "nn/weights.h"
+
+namespace db {
+
+struct CpuModelParams {
+  double effective_gflops = 5.5;  // sustained NN throughput of the Xeon
+  double invocation_overhead_s = 30e-6;  // Caffe dispatch + cache warmup
+  double package_watts = 95.0;          // Xeon TDP-class draw under load
+};
+
+struct CpuRunEstimate {
+  double seconds = 0.0;
+  double joules = 0.0;
+};
+
+/// Model-based CPU estimate for one forward propagation of `net`.
+CpuRunEstimate EstimateCpuRun(const Network& net,
+                              const CpuModelParams& params = {});
+
+/// Measured mode: wall-clock one forward propagation of the float
+/// executor on this host (non-deterministic across hosts; for sanity
+/// checks only, never used in the reproduced figures).
+double MeasureCpuSeconds(const Network& net, const WeightStore& weights);
+
+}  // namespace db

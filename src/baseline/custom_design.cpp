@@ -1,0 +1,46 @@
+#include "baseline/custom_design.h"
+
+#include <cmath>
+
+#include "models/zoo.h"
+
+namespace db {
+
+CustomDesignResult BuildCustomDesign(const Network& net,
+                                     const CustomFactors& factors) {
+  CustomDesignResult result;
+  result.design = GenerateAccelerator(net, DbConstraint());
+
+  result.resources = result.design.resources.total;
+  result.resources.lut = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(result.resources.lut) *
+                   factors.lut_factor));
+  result.resources.ff = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(result.resources.ff) *
+                   factors.ff_factor));
+  result.resources.bram_bytes = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(result.resources.bram_bytes) *
+                   factors.bram_factor));
+
+  PerfOptions opts;
+  opts.segment_overhead_cycles = factors.segment_overhead_cycles;
+  opts.layer_overhead_cycles = factors.layer_overhead_cycles;
+  result.perf = SimulatePerformance(net, result.design, opts);
+  // Apply the hand-tuned dataflow efficiency uniformly.
+  auto scale = [&](std::int64_t cycles) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(cycles) *
+                     factors.datapath_efficiency));
+  };
+  result.perf.total_cycles = scale(result.perf.total_cycles);
+  for (LayerTiming& lt : result.perf.layers) {
+    lt.total_cycles = scale(lt.total_cycles);
+    lt.compute_cycles = scale(lt.compute_cycles);
+    lt.memory_cycles = scale(lt.memory_cycles);
+  }
+  result.energy = EstimateEnergy(result.resources, result.perf,
+                                 DeviceCatalog("zynq-7045"));
+  return result;
+}
+
+}  // namespace db

@@ -1,0 +1,46 @@
+// "Custom" baseline: the manually-designed accelerators of the paper's
+// evaluation (a graduate student hand-wrote one per application).
+//
+// A hand design differs from the NN-Gen output in two systematic ways the
+// evaluation exposes: (1) hand-written RTL carries none of the generator's
+// generality overhead, so it spends slightly fewer LUTs/FFs (Table 3's CU
+// columns sit a few percent below DB); (2) a hand-tuned schedule shaves
+// the coordinator/AGU conservatism, running moderately faster (Fig. 8:
+// "Custom mostly beats DB").  We model the custom design as the same
+// datapath with those two documented adjustments applied.
+#pragma once
+
+#include "core/generator.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+
+namespace db {
+
+/// Documented hand-tuning factors.
+struct CustomFactors {
+  double lut_factor = 0.92;   // generator's reconfigurability overhead
+  double ff_factor = 0.96;
+  double bram_factor = 1.0;
+  /// Hand schedules cut the per-segment retrigger and per-layer drain.
+  std::int64_t segment_overhead_cycles = 3;
+  std::int64_t layer_overhead_cycles = 10;
+  /// A hand-crafted dataflow (layer fusion, tuned unrolling, exact
+  /// double-buffer depths) retires the same work in fewer cycles than the
+  /// generated general-purpose schedule; Fig. 8 shows Custom roughly 2x
+  /// ahead of DB on the large CNNs.
+  double datapath_efficiency = 0.5;
+};
+
+struct CustomDesignResult {
+  AcceleratorDesign design;     // underlying datapath (shared generator IP)
+  ResourceBudget resources;     // adjusted hand-design resources
+  PerfResult perf;
+  EnergyResult energy;
+};
+
+/// Build the per-application custom accelerator at the paper's "Custom"
+/// scale (the medium Z-7045 budget the DB scheme also uses).
+CustomDesignResult BuildCustomDesign(const Network& net,
+                                     const CustomFactors& factors = {});
+
+}  // namespace db

@@ -1,0 +1,62 @@
+#include "baseline/training_model.h"
+
+#include "graph/layer_stats.h"
+#include "sim/power_model.h"
+
+namespace db {
+
+TrainingEstimate EstimateAcceleratorTraining(
+    const Network& net, const AcceleratorDesign& design,
+    std::int64_t samples_per_epoch, std::int64_t epochs,
+    const std::string& device_name, const TrainingModelParams& params) {
+  const PerfResult forward = SimulatePerformance(net, design);
+  const LayerStats stats = ComputeNetworkStats(net);
+
+  // Backward pass reuses the forward schedule's datapath utilisation.
+  const double compute_s =
+      forward.TotalSeconds() * (1.0 + params.backward_compute_factor);
+  // Weight update traffic streams every parameter several times.
+  const double update_bytes =
+      static_cast<double>(stats.weight_count) *
+      static_cast<double>(design.config.ElementBytes()) *
+      params.weight_update_passes;
+  const double update_s =
+      update_bytes / (design.config.dram_bandwidth_gbs * 1e9);
+
+  TrainingEstimate est;
+  est.seconds_per_sample = compute_s + update_s;
+  est.seconds_per_epoch =
+      est.seconds_per_sample * static_cast<double>(samples_per_epoch);
+  est.total_seconds =
+      est.seconds_per_epoch * static_cast<double>(epochs);
+
+  // Energy: scale the single-inference energy by the same work ratio.
+  const EnergyResult inference_energy = EstimateEnergy(
+      design.resources.total, forward, DeviceCatalog(device_name));
+  const double per_sample_j =
+      inference_energy.total_joules * est.seconds_per_sample /
+      std::max(forward.TotalSeconds(), 1e-12);
+  est.joules = per_sample_j * static_cast<double>(samples_per_epoch) *
+               static_cast<double>(epochs);
+  return est;
+}
+
+TrainingEstimate EstimateCpuTraining(const Network& net,
+                                     std::int64_t samples_per_epoch,
+                                     std::int64_t epochs,
+                                     const CpuModelParams& cpu,
+                                     const TrainingModelParams& params) {
+  const CpuRunEstimate forward = EstimateCpuRun(net, cpu);
+  TrainingEstimate est;
+  est.seconds_per_sample =
+      forward.seconds * (1.0 + params.backward_compute_factor +
+                         /*update pass on cached weights*/ 0.1);
+  est.seconds_per_epoch =
+      est.seconds_per_sample * static_cast<double>(samples_per_epoch);
+  est.total_seconds =
+      est.seconds_per_epoch * static_cast<double>(epochs);
+  est.joules = est.total_seconds * cpu.package_watts;
+  return est;
+}
+
+}  // namespace db

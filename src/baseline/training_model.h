@@ -1,0 +1,50 @@
+// Accelerator-assisted training time estimation.
+//
+// The paper motivates DeepBurning with model search: "FPGAs are fast and
+// power-efficient enough to accelerate the time-consuming NN training, at
+// the same time [they] possess the reconfigurability to enable the
+// designers to explore the space of NN models".  Training runs the same
+// datapath as inference with "repetitive network inference in training"
+// (§4.2): each sample costs one forward pass plus a backward pass of
+// roughly twice the forward MACs, plus a weight-update sweep through DRAM.
+#pragma once
+
+#include <string>
+
+#include "baseline/cpu_model.h"
+#include "core/generator.h"
+#include "sim/perf_model.h"
+
+namespace db {
+
+struct TrainingModelParams {
+  /// Backward-pass arithmetic relative to forward (dX and dW each cost
+  /// about one forward's MACs on the same lanes).
+  double backward_compute_factor = 2.0;
+  /// Weight update: every parameter is read, updated and written back
+  /// once per sample (momentum buffer included).
+  double weight_update_passes = 3.0;
+};
+
+struct TrainingEstimate {
+  double seconds_per_sample = 0.0;
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  double joules = 0.0;
+};
+
+/// Training-time estimate on a generated accelerator.
+TrainingEstimate EstimateAcceleratorTraining(
+    const Network& net, const AcceleratorDesign& design,
+    std::int64_t samples_per_epoch, std::int64_t epochs,
+    const std::string& device_name = "zynq-7045",
+    const TrainingModelParams& params = {});
+
+/// Training-time estimate on the CPU baseline.
+TrainingEstimate EstimateCpuTraining(const Network& net,
+                                     std::int64_t samples_per_epoch,
+                                     std::int64_t epochs,
+                                     const CpuModelParams& cpu = {},
+                                     const TrainingModelParams& params = {});
+
+}  // namespace db

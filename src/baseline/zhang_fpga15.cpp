@@ -1,0 +1,10 @@
+#include "baseline/zhang_fpga15.h"
+
+namespace db {
+
+// Constants are defined inline in the header; this translation unit
+// anchors the library target.
+constexpr double ZhangFpga15::kAlexnetSeconds;
+constexpr double ZhangFpga15::kBoardWatts;
+
+}  // namespace db

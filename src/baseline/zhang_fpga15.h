@@ -1,0 +1,19 @@
+// Reference numbers from Zhang et al., "Optimizing FPGA-based Accelerator
+// Design for Deep Convolutional Neural Networks", FPGA 2015 [7] — the
+// customized Alexnet accelerator the paper compares against in Fig. 8/9
+// (Virtex-7 VC707, 100 MHz).
+#pragma once
+
+namespace db {
+
+struct ZhangFpga15 {
+  /// Alexnet forward propagation (convolutional layers dominated), as
+  /// reported by the FPGA'15 paper.
+  static constexpr double kAlexnetSeconds = 0.02161;  // 21.61 ms
+  /// Reported board power on the VC707.
+  static constexpr double kBoardWatts = 18.61;
+  /// Energy per inference (the DeepBurning paper quotes ~0.5 J).
+  static constexpr double kAlexnetJoules = kAlexnetSeconds * kBoardWatts;
+};
+
+}  // namespace db

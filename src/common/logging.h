@@ -1,0 +1,46 @@
+// Minimal leveled logger used across the DeepBurning toolchain.
+//
+// Usage: DB_LOG(kInfo) << "mapped " << n << " layers";
+// The global level defaults to kWarn so tests and benches stay quiet;
+// examples raise it to kInfo to narrate the flow.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace db {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace db
+
+#define DB_LOG(severity)                                              \
+  if (::db::LogLevel::severity < ::db::GetLogLevel()) {               \
+  } else                                                              \
+    ::db::internal::LogMessage(::db::LogLevel::severity, __FILE__,    \
+                               __LINE__)                              \
+        .stream()

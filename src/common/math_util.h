@@ -1,0 +1,55 @@
+// Integer and scalar math helpers used throughout the generator, compiler
+// and simulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace db {
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of `align` that is >= value.
+constexpr std::int64_t RoundUp(std::int64_t value, std::int64_t align) {
+  return CeilDiv(value, align) * align;
+}
+
+/// Largest power of two <= value (value must be >= 1).
+inline std::int64_t FloorPow2(std::int64_t value) {
+  DB_CHECK(value >= 1);
+  std::int64_t p = 1;
+  while (p * 2 <= value) p *= 2;
+  return p;
+}
+
+/// True if value is a power of two.
+constexpr bool IsPow2(std::int64_t value) {
+  return value > 0 && (value & (value - 1)) == 0;
+}
+
+/// Greatest common divisor of three values (Method-1 tiling needs the
+/// common divisor of kernel, port width and stride).
+inline std::int64_t Gcd3(std::int64_t a, std::int64_t b, std::int64_t c) {
+  return std::gcd(std::gcd(a, b), c);
+}
+
+/// Scalar activation functions used by both the float reference executor
+/// and the Approx LUT content generator.
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+inline double TanhFn(double x) { return std::tanh(x); }
+inline double Relu(double x) { return x > 0.0 ? x : 0.0; }
+
+/// Number of output positions of a sliding window: size N, kernel k,
+/// stride s, symmetric padding p.
+constexpr std::int64_t ConvOutDim(std::int64_t n, std::int64_t k,
+                                  std::int64_t s, std::int64_t p) {
+  return (n + 2 * p - k) / s + 1;
+}
+
+}  // namespace db

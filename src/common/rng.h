@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// Every stochastic step in the library (weight init, synthetic datasets,
+// drop-out masks) draws from an explicitly-seeded Rng so that experiments
+// reproduce bit-identically across runs and hosts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace db {
+
+/// SplitMix64-seeded xoshiro256** generator with convenience distributions.
+/// Not cryptographic; chosen for speed and cross-platform determinism.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit draw (xoshiro256**).
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n) { return Next() % n; }
+
+  /// Standard normal via Box-Muller (one draw per call; spare discarded
+  /// for simplicity — this is init/dataset code, not a hot loop).
+  double Gaussian() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace db

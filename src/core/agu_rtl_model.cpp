@@ -1,0 +1,87 @@
+#include "core/agu_rtl_model.h"
+
+#include "common/error.h"
+
+namespace db {
+
+AguModelOutputs AguRtlModel::Step(const AguModelInputs& in) {
+  // Nonblocking semantics: compute all next-state values from the
+  // current registers, then commit — exactly the emitted always block.
+  std::int64_t next_x = x_cnt_;
+  std::int64_t next_y = y_cnt_;
+  std::int64_t next_row_base = row_base_;
+  bool next_running = running_;
+  AguModelOutputs next_out = out_;
+
+  if (!in.rst_n) {
+    next_x = 0;
+    next_y = 0;
+    next_row_base = 0;
+    next_running = false;
+    next_out = {};
+  } else if (in.start_event) {
+    next_x = 0;
+    next_y = 0;
+    next_row_base = in.cfg_start;
+    next_out.addr = in.cfg_start;
+    next_out.addr_valid = true;
+    next_running = true;
+    next_out.pattern_done = false;
+  } else if (running_) {
+    if (x_cnt_ + 1 < in.cfg_x_len) {
+      next_x = x_cnt_ + 1;
+      next_out.addr = out_.addr + in.cfg_stride;
+    } else if (y_cnt_ + 1 < in.cfg_y_len) {
+      next_x = 0;
+      next_y = y_cnt_ + 1;
+      next_row_base = row_base_ + in.cfg_offset;
+      next_out.addr = row_base_ + in.cfg_offset;
+    } else {
+      next_running = false;
+      next_out.addr_valid = false;
+      next_out.pattern_done = true;
+    }
+  } else {
+    next_out.pattern_done = false;
+  }
+
+  x_cnt_ = next_x;
+  y_cnt_ = next_y;
+  row_base_ = next_row_base;
+  running_ = next_running;
+  out_ = next_out;
+  return out_;
+}
+
+std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
+                                        std::int64_t max_cycles) {
+  AguRtlModel model;
+  AguModelInputs in;
+  in.cfg_start = pattern.start_addr;
+  in.cfg_x_len = pattern.x_length;
+  in.cfg_y_len = pattern.y_length;
+  in.cfg_stride = pattern.stride;
+  in.cfg_offset = pattern.offset;
+
+  // Reset pulse.
+  in.rst_n = false;
+  model.Step(in);
+  in.rst_n = true;
+
+  // Trigger the pattern for one cycle.
+  in.start_event = true;
+  std::vector<std::int64_t> addrs;
+  AguModelOutputs out = model.Step(in);
+  in.start_event = false;
+  if (out.addr_valid) addrs.push_back(out.addr);
+
+  for (std::int64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    out = model.Step(in);
+    if (out.addr_valid) addrs.push_back(out.addr);
+    if (out.pattern_done) return addrs;
+  }
+  DB_THROW("AGU pattern did not complete within " << max_cycles
+           << " cycles");
+}
+
+}  // namespace db

@@ -1,0 +1,57 @@
+// Cycle-accurate C++ model of the emitted AGU Verilog (rtl/block_emitters
+// EmitAgu).  The model mirrors the RTL's registers and nonblocking-update
+// semantics one-to-one, so equivalence tests between this model and the
+// compiler's ExpandPattern validate the generated hardware's address
+// logic without an HDL simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agu_program.h"
+
+namespace db {
+
+/// Inputs sampled by the AGU at each rising clock edge.
+struct AguModelInputs {
+  bool rst_n = true;
+  bool start_event = false;
+  std::int64_t cfg_start = 0;
+  std::int64_t cfg_x_len = 1;
+  std::int64_t cfg_y_len = 1;
+  std::int64_t cfg_stride = 1;
+  std::int64_t cfg_offset = 0;
+};
+
+/// Registered outputs (visible after the clock edge).
+struct AguModelOutputs {
+  std::int64_t addr = 0;
+  bool addr_valid = false;
+  bool pattern_done = false;
+};
+
+/// The template AGU's sequential logic, register for register.
+class AguRtlModel {
+ public:
+  /// One rising clock edge; returns the new registered outputs.
+  AguModelOutputs Step(const AguModelInputs& in);
+
+  const AguModelOutputs& outputs() const { return out_; }
+  bool running() const { return running_; }
+
+ private:
+  // Mirrors of the RTL registers.
+  std::int64_t x_cnt_ = 0;
+  std::int64_t y_cnt_ = 0;
+  std::int64_t row_base_ = 0;
+  bool running_ = false;
+  AguModelOutputs out_;
+};
+
+/// Drive the model through one full pattern and collect the address
+/// stream exactly as a bus monitor would (addresses seen while
+/// addr_valid).  `max_cycles` bounds runaway patterns.
+std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
+                                        std::int64_t max_cycles = 1 << 22);
+
+}  // namespace db

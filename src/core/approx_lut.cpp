@@ -1,0 +1,133 @@
+#include "core/approx_lut.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace db {
+
+std::string LutFunctionName(LutFunction fn) {
+  switch (fn) {
+    case LutFunction::kSigmoid: return "sigmoid";
+    case LutFunction::kTanh: return "tanh";
+    case LutFunction::kExp: return "exp";
+    case LutFunction::kRecip: return "recip";
+    case LutFunction::kLrnPow: return "lrn_pow";
+  }
+  return "?";
+}
+
+LutFunction ParseLutFunction(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "sigmoid") return LutFunction::kSigmoid;
+  if (n == "tanh") return LutFunction::kTanh;
+  if (n == "exp") return LutFunction::kExp;
+  if (n == "recip" || n == "reciprocal") return LutFunction::kRecip;
+  if (n == "lrn_pow" || n == "lrnpow") return LutFunction::kLrnPow;
+  DB_THROW("unknown LUT function '" << name << "'");
+}
+
+std::function<double(double)> LutFunctionImpl(LutFunction fn, double beta) {
+  switch (fn) {
+    case LutFunction::kSigmoid:
+      return [](double x) { return Sigmoid(x); };
+    case LutFunction::kTanh:
+      return [](double x) { return TanhFn(x); };
+    case LutFunction::kExp:
+      return [](double x) { return std::exp(x); };
+    case LutFunction::kRecip:
+      return [](double x) {
+        return std::fabs(x) < 1e-6 ? (x < 0 ? -1e6 : 1e6) : 1.0 / x;
+      };
+    case LutFunction::kLrnPow:
+      return [beta](double x) {
+        return x <= 0.0 ? 1.0 : std::pow(x, -beta);
+      };
+  }
+  DB_THROW("unhandled LUT function");
+}
+
+ApproxLut ApproxLut::Generate(const ApproxLutSpec& spec) {
+  if (!IsPow2(spec.entries) || spec.entries < 2)
+    DB_THROW("approx LUT entries must be a power of two >= 2, got "
+             << spec.entries);
+  if (!(spec.in_min < spec.in_max))
+    DB_THROW("approx LUT domain is empty: [" << spec.in_min << ", "
+             << spec.in_max << "]");
+  const auto fn = LutFunctionImpl(spec.function, spec.beta);
+  std::vector<std::int64_t> values;
+  values.reserve(static_cast<std::size_t>(spec.entries));
+  // Sample at the left edge of each key bucket; the last bucket's sample
+  // pairs with the domain end for interpolation.
+  const double step = (spec.in_max - spec.in_min) /
+                      static_cast<double>(spec.entries);
+  for (std::int64_t i = 0; i < spec.entries; ++i) {
+    const double x = spec.in_min + static_cast<double>(i) * step;
+    values.push_back(spec.format.Quantize(fn(x)));
+  }
+  return ApproxLut(spec, std::move(values));
+}
+
+std::int64_t ApproxLut::EvalRaw(std::int64_t raw_key) const {
+  // Map the raw fixed-point key onto the table domain.
+  const double x = spec_.format.Dequantize(raw_key);
+  const double span = spec_.in_max - spec_.in_min;
+  double pos = (x - spec_.in_min) / span *
+               static_cast<double>(spec_.entries);
+  if (pos < 0.0) pos = 0.0;
+  const double max_pos = static_cast<double>(spec_.entries) - 1e-9;
+  if (pos > max_pos) pos = max_pos;
+
+  const std::int64_t index = static_cast<std::int64_t>(pos);
+  const std::int64_t lo = values_[static_cast<std::size_t>(index)];
+  if (!spec_.interpolate) return lo;
+
+  // Super-linear interpolation between the adjacent sampled keys; the
+  // hardware multiplies the value delta by the fractional key bits.
+  const std::int64_t hi = index + 1 < spec_.entries
+                              ? values_[static_cast<std::size_t>(index + 1)]
+                              : lo;
+  const double frac = pos - static_cast<double>(index);
+  // Quantise the fraction to the hardware's fractional-bit resolution so
+  // simulation matches the RTL datapath.
+  const int frac_bits = spec_.format.frac_bits();
+  const std::int64_t frac_raw = static_cast<std::int64_t>(
+      frac * std::ldexp(1.0, frac_bits));
+  const std::int64_t delta = hi - lo;
+  return spec_.format.Saturate(
+      lo + ((delta * frac_raw) >> frac_bits));
+}
+
+double ApproxLut::Eval(double x) const {
+  return spec_.format.Dequantize(EvalRaw(spec_.format.Quantize(x)));
+}
+
+double ApproxLut::MaxAbsError(int samples) const {
+  const auto fn = LutFunctionImpl(spec_.function, spec_.beta);
+  double max_err = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = spec_.in_min + (spec_.in_max - spec_.in_min) *
+                                        static_cast<double>(i) /
+                                        static_cast<double>(samples - 1);
+    const double ref = spec_.format.RoundTrip(fn(x));
+    max_err = std::max(max_err, std::fabs(Eval(x) - ref));
+  }
+  return max_err;
+}
+
+double ApproxLut::MeanAbsError(int samples) const {
+  const auto fn = LutFunctionImpl(spec_.function, spec_.beta);
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = spec_.in_min + (spec_.in_max - spec_.in_min) *
+                                        static_cast<double>(i) /
+                                        static_cast<double>(samples - 1);
+    const double ref = spec_.format.RoundTrip(fn(x));
+    sum += std::fabs(Eval(x) - ref);
+  }
+  return sum / static_cast<double>(samples);
+}
+
+}  // namespace db

@@ -1,0 +1,91 @@
+#include "core/buffer_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "graph/layer_stats.h"
+
+namespace db {
+
+const BufferPlanEntry& BufferPlan::ForLayer(int layer_id) const {
+  for (const BufferPlanEntry& e : entries)
+    if (e.layer_id == layer_id) return e;
+  DB_THROW("no buffer plan entry for layer id " << layer_id);
+}
+
+std::string BufferPlan::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-16s %10s %22s %22s %22s %9s\n", "layer", "tile_B",
+                  "ping", "pong", "out_stage", "resident");
+  for (const BufferPlanEntry& e : entries)
+    os << StrFormat("  %-16s %10lld [%8lld,%8lld) [%8lld,%8lld) "
+                    "[%8lld,%8lld) %9s\n",
+                    e.layer_name.c_str(),
+                    static_cast<long long>(e.tile_bytes),
+                    static_cast<long long>(e.ping.base),
+                    static_cast<long long>(e.ping.end()),
+                    static_cast<long long>(e.pong.base),
+                    static_cast<long long>(e.pong.end()),
+                    static_cast<long long>(e.out_stage.base),
+                    static_cast<long long>(e.out_stage.end()),
+                    e.input_resident ? "yes" : "no");
+  return os.str();
+}
+
+BufferPlan PlanBuffers(const Network& net, const AcceleratorConfig& config,
+                       const FoldPlan& folds,
+                       const DataLayoutPlan& layout) {
+  BufferPlan plan;
+  plan.data_buffer_bytes = config.data_buffer_bytes;
+  const std::int64_t elem = config.ElementBytes();
+  const std::int64_t beat = config.memory_port_elems * elem;
+  // Reserve a quarter of the buffer for output staging; the rest splits
+  // into the two input tile slots.
+  const std::int64_t stage_bytes =
+      std::max(RoundUp(plan.data_buffer_bytes / 4, beat), beat);
+  const std::int64_t slot_capacity =
+      (plan.data_buffer_bytes - stage_bytes) / 2;
+  if (slot_capacity < beat)
+    DB_THROW("data buffer of " << plan.data_buffer_bytes
+             << " bytes cannot hold two port beats plus staging");
+
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const LayerFold& fold = folds.ForLayer(layer->id);
+    const TileSpec& spec = layout.ForLayer(layer->id).input_layout;
+
+    BufferPlanEntry entry;
+    entry.layer_id = layer->id;
+    entry.layer_name = layer->name();
+
+    const LayerStats stats = ComputeLayerStats(*layer);
+    const std::int64_t input_bytes = stats.input_elems * elem;
+    // A segment's working set: the operands one fold step consumes,
+    // rounded up to whole tiles and port beats.
+    const std::int64_t tile_unit =
+        std::max<std::int64_t>(spec.tile_h * spec.tile_w * elem, 1);
+    std::int64_t seg_bytes =
+        RoundUp(RoundUp(fold.unit_work * fold.lanes_used * elem,
+                        tile_unit),
+                beat);
+    seg_bytes = std::min(seg_bytes, slot_capacity);
+    seg_bytes = std::max(seg_bytes, beat);
+    entry.tile_bytes = seg_bytes;
+    entry.input_resident = input_bytes <= slot_capacity;
+
+    entry.ping = {"ping", 0, seg_bytes};
+    entry.pong = {"pong", seg_bytes, seg_bytes};
+    entry.out_stage = {"out", 2 * slot_capacity, stage_bytes};
+
+    DB_CHECK_MSG(entry.pong.end() <= 2 * slot_capacity,
+                 "tile slots overflow their halves");
+    DB_CHECK_MSG(entry.out_stage.end() <= plan.data_buffer_bytes,
+                 "staging slot overflows the buffer");
+    plan.entries.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+}  // namespace db

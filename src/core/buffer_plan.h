@@ -1,0 +1,60 @@
+// On-chip buffer allocation: ping/pong tile slots per layer.
+//
+// The data-driven execution of §3.3 overlaps segment i+1's fetch with
+// segment i's compute, which requires two live tile slots in the data
+// buffer plus an output staging slot for the write-back drain.  This pass
+// assigns concrete buffer addresses per layer and proves the capacity
+// claim the performance simulator's double-buffering model relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accel_config.h"
+#include "core/data_layout.h"
+#include "core/folding.h"
+#include "graph/network.h"
+
+namespace db {
+
+/// One contiguous slot inside the on-chip data buffer.
+struct BufferSlot {
+  std::string name;
+  std::int64_t base = 0;
+  std::int64_t bytes = 0;
+
+  std::int64_t end() const { return base + bytes; }
+};
+
+/// Slot assignment for one layer's fold execution.
+struct BufferPlanEntry {
+  int layer_id = 0;
+  std::string layer_name;
+  /// Bytes of one buffered input chunk (a segment's working set, capped
+  /// by the buffer's ping/pong half).
+  std::int64_t tile_bytes = 0;
+  BufferSlot ping;
+  BufferSlot pong;
+  BufferSlot out_stage;
+  /// True when the layer's whole input fits one slot (no DRAM re-streaming).
+  bool input_resident = false;
+};
+
+/// The whole allocation.
+struct BufferPlan {
+  std::int64_t data_buffer_bytes = 0;
+  std::vector<BufferPlanEntry> entries;
+
+  const BufferPlanEntry& ForLayer(int layer_id) const;
+  std::string ToString() const;
+};
+
+/// Allocate slots for every compute layer.  Throws db::Error when even a
+/// single port beat cannot fit the configured buffer (the generator's
+/// minimum-buffer invariant).
+BufferPlan PlanBuffers(const Network& net, const AcceleratorConfig& config,
+                       const FoldPlan& folds,
+                       const DataLayoutPlan& layout);
+
+}  // namespace db

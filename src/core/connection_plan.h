@@ -1,0 +1,64 @@
+// Producer→consumer reconnection plan (paper §3.3, "Dynamic Control
+// flow"): the per-step crossbar configuration the FSM-based coordinator
+// applies when the folded network advances from one layer to the next
+// ("the synergy neuron set used by one layer ... need to be reconnected
+// to accumulators afterwards").
+//
+// Datapath endpoints get fixed port indices; each schedule step names the
+// input port its consumer listens to and the shift the connection box's
+// shifting latch applies (the approximate-division path used by average
+// pooling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace db {
+
+/// Fixed datapath port indices (stable across designs so the coordinator
+/// microcode is position-independent).
+enum class DatapathPort : int {
+  kDataBuffer = 0,
+  kSynergyArray = 1,
+  kAccumulator = 2,
+  kPoolingUnit = 3,
+  kActivationUnit = 4,
+  kClassifier = 5,
+  kConnectionBox = 6,
+};
+
+std::string DatapathPortName(DatapathPort port);
+
+/// Resolve a schedule block name ("synergy_array", "pooling_unit0", ...)
+/// to its port.  Throws db::Error for unknown blocks.
+DatapathPort PortForBlock(const std::string& block_name);
+
+/// One step's crossbar configuration.
+struct CrossbarSetting {
+  int step_index = 0;
+  std::string event;
+  DatapathPort producer = DatapathPort::kDataBuffer;
+  DatapathPort consumer = DatapathPort::kSynergyArray;
+  /// Arithmetic right shift applied by the shifting latch (average
+  /// pooling's power-of-two division); 0 = pass-through.
+  int shift = 0;
+};
+
+/// The coordinator's full reconnection microcode.
+struct ConnectionPlan {
+  std::vector<CrossbarSetting> settings;
+
+  /// Number of distinct ports the plan actually uses (the reduced
+  /// crossbar radix the hardware generator may instantiate).
+  int DistinctPorts() const;
+  std::string ToString() const;
+};
+
+/// Derive the plan from the schedule; shifts come from the layer kinds.
+ConnectionPlan PlanConnections(const Network& net,
+                               const Schedule& schedule);
+
+}  // namespace db

@@ -1,0 +1,215 @@
+#include "core/data_layout.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace db {
+
+std::string TileRuleName(TileRule rule) {
+  switch (rule) {
+    case TileRule::kKernelTiles: return "kernel_tiles";
+    case TileRule::kStridePartition: return "stride_partition";
+    case TileRule::kCommonDivisor: return "common_divisor";
+    case TileRule::kLinear: return "linear";
+  }
+  return "?";
+}
+
+std::string TileSpec::ToString() const {
+  std::ostringstream os;
+  os << TileRuleName(rule) << " " << tile_h << "x" << tile_w
+     << (interleave_maps ? " interleaved" : "")
+     << StrFormat(" util=%.2f refetch=%.2f d=%lld", utilization, refetch,
+                  static_cast<long long>(port_elems));
+  return os.str();
+}
+
+TileSpec NaiveRowMajorLayout(const BlobShape& blob, std::int64_t kernel,
+                             std::int64_t stride,
+                             std::int64_t port_elems) {
+  TileSpec spec;
+  spec.rule = TileRule::kLinear;
+  spec.tile_h = 1;
+  spec.tile_w = blob.width;
+  spec.port_elems = port_elems;
+  // A kernel column sweep uses `kernel` pixels of each fetched row-chunk;
+  // rows are fetched in port-width chunks, of which only the kernel's
+  // columns are useful (Fig. 7: "only the first 12 pixels are used if the
+  // whole first row is fetched").
+  const std::int64_t fetched = RoundUp(blob.width, port_elems);
+  spec.utilization =
+      std::min(1.0, static_cast<double>(kernel) /
+                        static_cast<double>(fetched));
+  // Overlapping windows re-fetch rows (k/s passes vertically).
+  spec.refetch = std::max(1.0, static_cast<double>(kernel) /
+                                   static_cast<double>(stride));
+  return spec;
+}
+
+TileSpec Method1Layout(const BlobShape& /*blob*/, std::int64_t kernel,
+                       std::int64_t stride, std::int64_t port_elems,
+                       std::int64_t map_count) {
+  DB_CHECK_MSG(kernel >= 1 && stride >= 1 && port_elems >= 1,
+               "invalid layout geometry");
+  TileSpec spec;
+  spec.port_elems = port_elems;
+
+  const std::int64_t k2 = kernel * kernel;
+  const std::int64_t d2 = port_elems * port_elems;
+
+  if (k2 == d2) {
+    if (stride < kernel && kernel % stride == 0 &&
+        port_elems % stride == 0) {
+      // Rule 2: stride divides both k and d — partition into s x s tiles
+      // so the non-re-accessed sub-regions retire exactly once.
+      spec.rule = TileRule::kStridePartition;
+      spec.tile_h = spec.tile_w = stride;
+      spec.utilization = 1.0;
+      spec.refetch = 1.0;
+    } else {
+      // Rule 1: tile at kernel granularity; window-overlap at stride < k
+      // still re-reads tile fractions.
+      spec.rule = TileRule::kKernelTiles;
+      spec.tile_h = spec.tile_w = kernel;
+      spec.utilization = 1.0;
+      spec.refetch = stride >= kernel
+                         ? 1.0
+                         : static_cast<double>(kernel) /
+                               static_cast<double>(stride);
+    }
+  } else {
+    // Rule 3: f = common divisor of k, d and s; interleave the tiles of
+    // `map_count` maps so multi-map fetches stay port-aligned.
+    const std::int64_t f = Gcd3(kernel, port_elems, stride);
+    spec.rule = TileRule::kCommonDivisor;
+    spec.tile_h = spec.tile_w = f;
+    spec.interleave_maps = map_count > 1;
+    // f divides k, so tiles cover windows exactly, and consecutive tiles
+    // (interleaved across the t maps) pack the memory port full — every
+    // fetched beat carries useful pixels.
+    spec.utilization = 1.0;
+    spec.refetch = 1.0;
+  }
+  return spec;
+}
+
+TileSpec LinearLayout(const BlobShape& blob, std::int64_t port_elems) {
+  TileSpec spec;
+  spec.rule = TileRule::kLinear;
+  spec.tile_h = 1;
+  spec.tile_w = port_elems;
+  spec.port_elems = port_elems;
+  const std::int64_t n = blob.NumElements();
+  // Only the tail fetch can be partially used.
+  spec.utilization = n == 0 ? 1.0
+                            : static_cast<double>(n) /
+                                  static_cast<double>(RoundUp(n,
+                                                              port_elems));
+  spec.refetch = 1.0;
+  return spec;
+}
+
+const DataLayoutPlan::Entry& DataLayoutPlan::ForLayer(int layer_id) const {
+  for (const Entry& e : entries)
+    if (e.layer_id == layer_id) return e;
+  DB_THROW("no layout entry for layer id " << layer_id);
+}
+
+std::string DataLayoutPlan::ToString() const {
+  std::ostringstream os;
+  for (const Entry& e : entries)
+    os << StrFormat("  %-16s in: %-46s w: %s\n", e.layer_name.c_str(),
+                    e.input_layout.ToString().c_str(),
+                    e.weight_layout.ToString().c_str());
+  return os.str();
+}
+
+DataLayoutPlan PlanDataLayout(const Network& net,
+                              std::int64_t port_elems) {
+  DataLayoutPlan plan;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    DataLayoutPlan::Entry entry;
+    entry.layer_id = layer->id;
+    entry.layer_name = layer->name();
+    const BlobShape& in = layer->input_shapes.front();
+    switch (layer->kind()) {
+      case LayerKind::kConvolution: {
+        const ConvolutionParams& p = *layer->def.conv;
+        entry.input_layout = Method1Layout(in, p.kernel_size, p.stride,
+                                           port_elems, in.channels);
+        // Weights follow the feature tiling (paper: "the layout of
+        // network weight is partitioned accordingly").
+        entry.weight_layout = entry.input_layout;
+        entry.weight_layout.refetch = 1.0;  // weights stream exactly once
+        break;
+      }
+      case LayerKind::kPooling: {
+        const PoolingParams& p = *layer->def.pool;
+        entry.input_layout = Method1Layout(in, p.kernel_size, p.stride,
+                                           port_elems, in.channels);
+        entry.weight_layout = LinearLayout({0, 0, 0}, port_elems);
+        break;
+      }
+      default:
+        entry.input_layout = LinearLayout(in, port_elems);
+        entry.weight_layout = LinearLayout(in, port_elems);
+        break;
+    }
+    plan.entries.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+std::vector<std::int64_t> TilePermutation(const BlobShape& blob,
+                                          const TileSpec& spec) {
+  const std::int64_t c = std::max<std::int64_t>(blob.channels, 1);
+  const std::int64_t h = std::max<std::int64_t>(blob.height, 1);
+  const std::int64_t w = std::max<std::int64_t>(blob.width, 1);
+  std::vector<std::int64_t> perm;
+  perm.reserve(static_cast<std::size_t>(c * h * w));
+  auto flat = [&](std::int64_t ch, std::int64_t y, std::int64_t x) {
+    return (ch * h + y) * w + x;
+  };
+
+  if (spec.rule == TileRule::kLinear) {
+    for (std::int64_t i = 0; i < c * h * w; ++i) perm.push_back(i);
+    return perm;
+  }
+
+  const std::int64_t th = spec.tile_h;
+  const std::int64_t tw = spec.tile_w;
+  const std::int64_t tiles_y = CeilDiv(h, th);
+  const std::int64_t tiles_x = CeilDiv(w, tw);
+
+  auto emit_tile = [&](std::int64_t ch, std::int64_t ty, std::int64_t tx) {
+    for (std::int64_t dy = 0; dy < th; ++dy) {
+      for (std::int64_t dx = 0; dx < tw; ++dx) {
+        const std::int64_t y = ty * th + dy;
+        const std::int64_t x = tx * tw + dx;
+        if (y < h && x < w) perm.push_back(flat(ch, y, x));
+      }
+    }
+  };
+
+  if (spec.interleave_maps) {
+    // Rule 3: the tiles of all maps at one (ty, tx) position sit
+    // consecutively — "interleaves the tiles of t maps one by one".
+    for (std::int64_t ty = 0; ty < tiles_y; ++ty)
+      for (std::int64_t tx = 0; tx < tiles_x; ++tx)
+        for (std::int64_t ch = 0; ch < c; ++ch) emit_tile(ch, ty, tx);
+  } else {
+    // Rules 1/2: tiles of one map are contiguous, then the next map.
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t ty = 0; ty < tiles_y; ++ty)
+        for (std::int64_t tx = 0; tx < tiles_x; ++tx) emit_tile(ch, ty, tx);
+  }
+  DB_CHECK_MSG(static_cast<std::int64_t>(perm.size()) == c * h * w,
+               "tile permutation lost elements");
+  return perm;
+}
+
+}  // namespace db

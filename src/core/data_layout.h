@@ -1,0 +1,89 @@
+// Hardware-aware data layouting: Method-1 tiling and partitioning
+// (paper §3.4, Fig. 7).
+//
+// Feature maps are reorganised from row-major order into kernel-aligned
+// tiles, then partitioned into port-width-aligned sub-blocks so each
+// buffer row activation delivers fully-used data to the datapath.  The
+// compiler derives one TileSpec per blob; the simulator turns the spec
+// into bandwidth utilisation and re-fetch factors, and the RTL AGUs are
+// reduced to the access patterns the spec implies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace db {
+
+/// Which Method-1 rule produced the layout.
+enum class TileRule {
+  kKernelTiles,       // rule 1: k == d -> k x k tiles, maps consecutive
+  kStridePartition,   // rule 2: s | gcd(k, d) -> s x s partitions
+  kCommonDivisor,     // rule 3: f = gcd(k, d, s) tiles, maps interleaved
+  kLinear,            // FC / flat blobs: contiguous rows of port width
+};
+
+std::string TileRuleName(TileRule rule);
+
+/// Layout of one feature-map blob in accelerator memory.
+struct TileSpec {
+  TileRule rule = TileRule::kLinear;
+  std::int64_t tile_h = 1;
+  std::int64_t tile_w = 1;
+  bool interleave_maps = false;  // rule 3: tiles of t maps interleaved
+  /// Elements delivered per buffer row activation (the port width d the
+  /// spec was built for).
+  std::int64_t port_elems = 1;
+  /// Fraction of each fetched row that the consumer actually uses.
+  double utilization = 1.0;
+  /// Average number of times each input element is fetched from the
+  /// buffer across the kernel sweep (1.0 = perfect reuse).
+  double refetch = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Layout decision for the naive baseline (ablation): row-major rows of
+/// the full map width fetched through a d-wide port.
+TileSpec NaiveRowMajorLayout(const BlobShape& blob, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t port_elems);
+
+/// Method-1: choose the tile layout for a blob consumed by a windowed
+/// operator (convolution/pooling) of the given kernel and stride through
+/// a d-element memory port, with `map_count` maps sharing the buffer.
+TileSpec Method1Layout(const BlobShape& blob, std::int64_t kernel,
+                       std::int64_t stride, std::int64_t port_elems,
+                       std::int64_t map_count);
+
+/// Layout for blobs consumed linearly (FC layers, activations).
+TileSpec LinearLayout(const BlobShape& blob, std::int64_t port_elems);
+
+/// The layout plan of a whole network: one TileSpec per layer describing
+/// how that layer's *input* blob is organised for its consumer.
+struct DataLayoutPlan {
+  struct Entry {
+    int layer_id = 0;
+    std::string layer_name;
+    TileSpec input_layout;
+    TileSpec weight_layout;  // weights partitioned to accompany features
+  };
+  std::vector<Entry> entries;
+
+  const Entry& ForLayer(int layer_id) const;
+  std::string ToString() const;
+};
+
+/// Build the plan for every compute layer of a network given the
+/// accelerator's memory port width.
+DataLayoutPlan PlanDataLayout(const Network& net, std::int64_t port_elems);
+
+/// Reorder a row-major (C,H,W) tensor's elements into the tile order the
+/// spec describes; returns the permutation `perm` such that
+/// tiled[i] = flat[perm[i]].  Exposed for tests and the memory-image
+/// writer; the AGU patterns are validated against this permutation.
+std::vector<std::int64_t> TilePermutation(const BlobShape& blob,
+                                          const TileSpec& spec);
+
+}  // namespace db

@@ -1,0 +1,20 @@
+// Machine-readable export of a generated design.
+//
+// Downstream tooling (host runtimes, dashboards, regression diffing)
+// wants the whole hardware/software bundle in one structured document:
+// datapath configuration, fold plan, memory map, AGU patterns, schedule
+// and resource totals.  The writer emits plain JSON with no external
+// dependencies.
+#pragma once
+
+#include <string>
+
+#include "core/generator.h"
+
+namespace db {
+
+/// Serialise the design to a JSON document (stable key order, 2-space
+/// indentation) — suitable for golden-file diffs.
+std::string DesignToJson(const AcceleratorDesign& design);
+
+}  // namespace db

@@ -1,0 +1,207 @@
+#include "core/folding.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "graph/layer_stats.h"
+
+namespace db {
+
+std::string LanePoolName(LanePool pool) {
+  switch (pool) {
+    case LanePool::kMac: return "mac";
+    case LanePool::kPooling: return "pool";
+    case LanePool::kActivation: return "act";
+    case LanePool::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Derive the fold shape of one layer: which pool it runs on, how many
+/// independent units it exposes and the per-unit sequential work.
+LayerFold ShapeFold(const IrLayer& layer) {
+  LayerFold fold;
+  fold.layer_id = layer.id;
+  fold.layer_name = layer.name();
+  fold.kind = layer.kind();
+  const std::int64_t out_n = layer.output_shape.NumElements();
+
+  switch (layer.kind()) {
+    case LayerKind::kConvolution: {
+      const ConvolutionParams& p = *layer.def.conv;
+      const BlobShape& in = layer.input_shapes.front();
+      fold.pool = LanePool::kMac;
+      fold.parallel_units = out_n;  // each output pixel is a dot product
+      fold.unit_work =
+          p.kernel_size * p.kernel_size * (in.channels / p.group);
+      break;
+    }
+    case LayerKind::kInnerProduct:
+      fold.pool = LanePool::kMac;
+      fold.parallel_units = layer.def.fc->num_output;
+      fold.unit_work = layer.input_shapes.front().NumElements();
+      break;
+    case LayerKind::kRecurrent: {
+      const RecurrentParams& p = *layer.def.recurrent;
+      fold.pool = LanePool::kMac;
+      // Steps serialise; each step exposes num_output units.
+      fold.parallel_units = p.num_output * p.time_steps;
+      fold.unit_work =
+          layer.input_shapes.front().NumElements() + p.num_output;
+      break;
+    }
+    case LayerKind::kLstm: {
+      const LstmParams& p = *layer.def.lstm;
+      fold.pool = LanePool::kMac;
+      // Four gate rows per hidden unit, re-evaluated each unrolled step.
+      fold.parallel_units = 4 * p.num_output * p.time_steps;
+      fold.unit_work =
+          layer.input_shapes.front().NumElements() + p.num_output;
+      break;
+    }
+    case LayerKind::kPooling: {
+      const PoolingParams& p = *layer.def.pool;
+      fold.pool = LanePool::kPooling;
+      fold.parallel_units = out_n;
+      fold.unit_work = p.kernel_size * p.kernel_size;
+      break;
+    }
+    case LayerKind::kLrn:
+      fold.pool = LanePool::kMac;  // squaring runs on the MAC lanes
+      fold.parallel_units = out_n;
+      fold.unit_work = layer.def.lrn->local_size + 2;
+      break;
+    case LayerKind::kRelu:
+    case LayerKind::kSigmoid:
+    case LayerKind::kTanh:
+      fold.pool = LanePool::kActivation;
+      fold.parallel_units = out_n;
+      fold.unit_work = 1;
+      break;
+    case LayerKind::kSoftmax:
+      fold.pool = LanePool::kActivation;
+      fold.parallel_units = out_n;
+      fold.unit_work = 3;  // exp, accumulate, divide
+      break;
+    case LayerKind::kDropout:
+      fold.pool = LanePool::kActivation;
+      fold.parallel_units = out_n;
+      fold.unit_work = 1;
+      break;
+    case LayerKind::kAssociative:
+      fold.pool = LanePool::kMac;
+      fold.parallel_units = layer.def.associative->num_output;
+      fold.unit_work = layer.def.associative->generalization;
+      break;
+    case LayerKind::kClassifier:
+      fold.pool = LanePool::kNone;  // streams through the k-sorter
+      fold.parallel_units = 1;
+      fold.unit_work = layer.input_shapes.front().NumElements();
+      break;
+    case LayerKind::kConcat:
+      fold.pool = LanePool::kNone;  // connection-box wiring only
+      fold.parallel_units = 1;
+      fold.unit_work = 0;
+      break;
+    case LayerKind::kInput:
+      DB_THROW("input layers are not folded");
+  }
+  fold.total_ops = fold.parallel_units * fold.unit_work;
+  return fold;
+}
+
+std::int64_t PoolLanes(const AcceleratorConfig& config, LanePool pool) {
+  switch (pool) {
+    case LanePool::kMac: return config.TotalLanes();
+    case LanePool::kPooling: return config.pooling_lanes;
+    case LanePool::kActivation: return config.activation_lanes;
+    case LanePool::kNone: return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::int64_t FoldPlan::TotalSegments() const {
+  std::int64_t total = 0;
+  for (const LayerFold& f : folds) total += f.segments;
+  return total;
+}
+
+const LayerFold& FoldPlan::ForLayer(int layer_id) const {
+  for (const LayerFold& f : folds)
+    if (f.layer_id == layer_id) return f;
+  DB_THROW("no fold entry for layer id " << layer_id);
+}
+
+std::string FoldPlan::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-16s %-14s %5s %10s %7s %9s %9s\n", "layer", "kind",
+                  "pool", "units", "lanes", "segments", "unit_work");
+  for (const LayerFold& f : folds)
+    os << StrFormat("  %-16s %-14s %5s %10lld %7lld %9lld %9lld\n",
+                    f.layer_name.c_str(), LayerKindName(f.kind).c_str(),
+                    LanePoolName(f.pool).c_str(),
+                    static_cast<long long>(f.parallel_units),
+                    static_cast<long long>(f.lanes_used),
+                    static_cast<long long>(f.segments),
+                    static_cast<long long>(f.unit_work));
+  return os.str();
+}
+
+FoldPlan PlanFolding(const Network& net, const AcceleratorConfig& config) {
+  FoldPlan plan;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    LayerFold fold = ShapeFold(*layer);
+    const std::int64_t lanes = PoolLanes(config, fold.pool);
+    if (lanes <= 0)
+      DB_THROW("network '" << net.name() << "' layer '" << fold.layer_name
+               << "' needs " << LanePoolName(fold.pool)
+               << " lanes but the configuration provides none");
+    fold.lanes_used = std::min<std::int64_t>(lanes, fold.parallel_units);
+    fold.lanes_used = std::max<std::int64_t>(fold.lanes_used, 1);
+    if (fold.pool == LanePool::kMac) {
+      // MAC layers genuinely reconfigure per segment (new weights and
+      // producer/consumer wiring), so each segment is a coordinator step.
+      fold.segments = CeilDiv(fold.parallel_units, fold.lanes_used);
+    } else {
+      // Pooling/activation/wiring layers stream through their unit in a
+      // single data-driven pass — one fold step, with the serialisation
+      // folded into the per-step work.
+      fold.unit_work *= CeilDiv(fold.parallel_units, fold.lanes_used);
+      fold.segments = 1;
+    }
+    plan.folds.push_back(std::move(fold));
+  }
+  if (plan.folds.empty())
+    DB_THROW("network '" << net.name() << "' has no compute layers");
+  return plan;
+}
+
+ExpandedDemand FullyExpandedDemand(const Network& net) {
+  ExpandedDemand demand;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const LayerFold fold = ShapeFold(*layer);
+    switch (fold.pool) {
+      case LanePool::kMac:
+        demand.mac_lanes += fold.parallel_units;
+        break;
+      case LanePool::kPooling:
+        demand.pooling_lanes += fold.parallel_units;
+        break;
+      case LanePool::kActivation:
+        demand.activation_lanes += fold.parallel_units;
+        break;
+      case LanePool::kNone:
+        break;
+    }
+  }
+  return demand;
+}
+
+}  // namespace db

@@ -1,0 +1,85 @@
+// NN-Gen: the DeepBurning accelerator generator (paper §3, Fig. 3).
+//
+// GenerateAccelerator is the "one-click" entry point: it takes the parsed
+// network and the designer's constraint, sizes the datapath, plans
+// folding, data layout, AGU programs and the coordinator schedule, picks
+// the building-block instances, tallies resources, and emits the RTL.
+// The returned AcceleratorDesign carries both the hardware part (RTL,
+// block list) and the software part (control flow, data layout, memory
+// image) — generated together, as the paper's co-design flow requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/accel_config.h"
+#include "core/agu_program.h"
+#include "core/approx_lut.h"
+#include "core/buffer_plan.h"
+#include "core/connection_plan.h"
+#include "core/data_layout.h"
+#include "core/folding.h"
+#include "core/memory_map.h"
+#include "core/schedule.h"
+#include "graph/network.h"
+#include "hwlib/resource_model.h"
+#include "rtl/verilog.h"
+
+namespace db {
+
+/// Everything NN-Gen produces for one (network, constraint) pair.
+struct AcceleratorDesign {
+  AcceleratorConfig config;
+  FoldPlan fold_plan;
+  DataLayoutPlan layout;
+  MemoryMap memory_map;
+  AguProgram agu_program;
+  Schedule schedule;
+  BufferPlan buffer_plan;
+  ConnectionPlan connection_plan;
+  std::vector<ApproxLutSpec> lut_specs;  // one per approximated function
+  std::vector<BlockInstance> blocks;
+  ResourceReport resources;
+  VDesign rtl;
+
+  /// Multi-section human-readable design report.
+  std::string Report() const;
+};
+
+/// Generate an accelerator for `net` under `constraint`.
+/// Throws db::Error when the constraint cannot accommodate the network
+/// (e.g. no lanes fit the budget).
+AcceleratorDesign GenerateAccelerator(const Network& net,
+                                      const DesignConstraint& constraint);
+
+/// Convenience wrapper: parse both scripts and generate.
+AcceleratorDesign GenerateFromScripts(
+    const std::string& model_prototxt,
+    const std::string& constraint_prototxt);
+
+/// The datapath-sizing step alone (exposed for tests and DSE sweeps):
+/// decides lanes, buffers and port width under the budget.
+AcceleratorConfig SizeDatapath(const Network& net,
+                               const DesignConstraint& constraint);
+
+/// Approx-LUT functions the network's layers require (sigmoid/tanh for
+/// activations, exp+recip for softmax, lrn_pow for LRN).
+std::vector<LutFunction> RequiredLutFunctions(const Network& net);
+
+/// One accelerator shared by several network models — the versatility
+/// argument of the paper's introduction (an ASIP's fixed ISA cannot; the
+/// generated fabric reconfigures per model).  The datapath is sized to
+/// the union of the models' needs; each model gets its own compiled
+/// software bundle (folding, layout, AGU program, schedule) against the
+/// shared configuration.  Every per-model AcceleratorDesign carries the
+/// identical config/blocks/resources/RTL.
+struct SharedAccelerator {
+  AcceleratorConfig config;
+  std::vector<AcceleratorDesign> designs;  // one per input network
+};
+
+SharedAccelerator GenerateSharedAccelerator(
+    const std::vector<const Network*>& nets,
+    const DesignConstraint& constraint);
+
+}  // namespace db

@@ -1,0 +1,148 @@
+#include "core/memory_image.h"
+
+#include "common/error.h"
+#include "core/data_layout.h"
+
+namespace db {
+
+MemoryImage::MemoryImage(std::int64_t bytes) {
+  DB_CHECK_MSG(bytes >= 0, "negative image size");
+  bytes_.assign(static_cast<std::size_t>(bytes), 0);
+}
+
+void MemoryImage::WriteElem(std::int64_t addr, std::int64_t raw,
+                            int elem_bytes) {
+  DB_CHECK_MSG(addr >= 0 && addr + elem_bytes <= size(),
+               "image write out of bounds");
+  for (int b = 0; b < elem_bytes; ++b)
+    bytes_[static_cast<std::size_t>(addr + b)] =
+        static_cast<std::uint8_t>((raw >> (8 * b)) & 0xFF);
+}
+
+std::int64_t MemoryImage::ReadElem(std::int64_t addr,
+                                   int elem_bytes) const {
+  DB_CHECK_MSG(addr >= 0 && addr + elem_bytes <= size(),
+               "image read out of bounds");
+  std::uint64_t value = 0;
+  for (int b = 0; b < elem_bytes; ++b)
+    value |= static_cast<std::uint64_t>(
+                 bytes_[static_cast<std::size_t>(addr + b)])
+             << (8 * b);
+  // Sign-extend from the element's top bit.
+  const int bits = 8 * elem_bytes;
+  const std::uint64_t sign_bit = std::uint64_t{1} << (bits - 1);
+  if (value & sign_bit) value |= ~((sign_bit << 1) - 1);
+  return static_cast<std::int64_t>(value);
+}
+
+std::vector<std::int64_t> BlobTileOrder(const Network& net,
+                                        const AcceleratorDesign& design,
+                                        int producer_layer_id) {
+  const IrLayer& producer = net.layer(producer_layer_id);
+  // Find the first consumer; its input layout dictates the blob order.
+  for (const IrLayer& layer : net.layers()) {
+    for (std::size_t i = 0; i < layer.input_ids.size(); ++i) {
+      if (layer.input_ids[i] != producer_layer_id) continue;
+      const TileSpec& spec =
+          design.layout.ForLayer(layer.id).input_layout;
+      return TilePermutation(producer.output_shape, spec);
+    }
+  }
+  // Network output: stored linearly.
+  std::vector<std::int64_t> identity(
+      static_cast<std::size_t>(producer.output_shape.NumElements()));
+  for (std::size_t i = 0; i < identity.size(); ++i)
+    identity[i] = static_cast<std::int64_t>(i);
+  return identity;
+}
+
+MemoryImage BuildMemoryImage(const Network& net,
+                             const AcceleratorDesign& design,
+                             const WeightStore& weights,
+                             const std::map<std::string, Tensor>& inputs) {
+  const FixedFormat& fmt = design.config.format;
+  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+  MemoryImage image(design.memory_map.total_bytes());
+
+  // Weights: natural order — weight matrix, then bias, then recurrent.
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    if (!design.memory_map.HasWeights(layer->name())) continue;
+    const MemoryRegion& region =
+        design.memory_map.Weights(layer->name());
+    const LayerParams& params = weights.at(layer->name());
+    std::int64_t addr = region.base;
+    auto emit = [&](const Tensor& t) {
+      for (std::int64_t i = 0; i < t.size(); ++i) {
+        DB_CHECK_MSG(addr + elem_bytes <= region.end(),
+                     "weights overflow their region");
+        image.WriteElem(addr, fmt.Quantize(t[i]), elem_bytes);
+        addr += elem_bytes;
+      }
+    };
+    emit(params.weights);
+    emit(params.bias);
+    emit(params.recurrent);
+  }
+
+  // Input blobs, permuted into the consumer's tile order.
+  for (int id : net.input_ids()) {
+    const IrLayer& in_layer = net.layer(id);
+    const auto it = inputs.find(in_layer.name());
+    if (it == inputs.end())
+      DB_THROW("BuildMemoryImage: missing input '" << in_layer.name()
+               << "'");
+    StoreBlob(image, net, design, in_layer.name(), it->second);
+  }
+  return image;
+}
+
+void StoreBlob(MemoryImage& image, const Network& net,
+               const AcceleratorDesign& design,
+               const std::string& layer_name, const Tensor& value) {
+  const FixedFormat& fmt = design.config.format;
+  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+  const MemoryRegion& region = design.memory_map.Blob(layer_name);
+  int layer_id = -1;
+  for (const IrLayer& layer : net.layers())
+    if (layer.name() == layer_name) layer_id = layer.id;
+  DB_CHECK_MSG(layer_id >= 0, "unknown blob layer");
+  const std::vector<std::int64_t> order =
+      BlobTileOrder(net, design, layer_id);
+  DB_CHECK_MSG(static_cast<std::int64_t>(order.size()) == value.size(),
+               "blob size mismatch");
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::int64_t addr =
+        region.base + static_cast<std::int64_t>(pos) * elem_bytes;
+    DB_CHECK_MSG(addr + elem_bytes <= region.end(),
+                 "blob overflows its region");
+    image.WriteElem(addr, fmt.Quantize(value[order[pos]]), elem_bytes);
+  }
+}
+
+Tensor ExtractBlob(const MemoryImage& image, const Network& net,
+                   const AcceleratorDesign& design,
+                   const std::string& layer_name) {
+  const FixedFormat& fmt = design.config.format;
+  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+  const MemoryRegion& region = design.memory_map.Blob(layer_name);
+  int layer_id = -1;
+  for (const IrLayer& layer : net.layers())
+    if (layer.name() == layer_name) layer_id = layer.id;
+  DB_CHECK_MSG(layer_id >= 0, "unknown blob layer");
+  const IrLayer& producer = net.layer(layer_id);
+  const std::vector<std::int64_t> order =
+      BlobTileOrder(net, design, layer_id);
+
+  Tensor out(Shape{producer.output_shape.channels,
+                   producer.output_shape.height,
+                   producer.output_shape.width});
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::int64_t addr =
+        region.base + static_cast<std::int64_t>(pos) * elem_bytes;
+    out[order[pos]] = static_cast<float>(
+        fmt.Dequantize(image.ReadElem(addr, elem_bytes)));
+  }
+  return out;
+}
+
+}  // namespace db

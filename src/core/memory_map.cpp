@@ -1,0 +1,87 @@
+#include "core/memory_map.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "graph/layer_stats.h"
+
+namespace db {
+
+const MemoryRegion* MemoryMap::Find(const std::string& name) const {
+  for (const MemoryRegion& r : regions_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+const MemoryRegion& MemoryMap::Blob(const std::string& layer_name) const {
+  const MemoryRegion* r = Find("blob:" + layer_name);
+  if (r == nullptr)
+    DB_THROW("memory map has no blob region for layer '" << layer_name
+             << "'");
+  return *r;
+}
+
+const MemoryRegion& MemoryMap::Weights(
+    const std::string& layer_name) const {
+  const MemoryRegion* r = Find("weights:" + layer_name);
+  if (r == nullptr)
+    DB_THROW("memory map has no weight region for layer '" << layer_name
+             << "'");
+  return *r;
+}
+
+bool MemoryMap::HasWeights(const std::string& layer_name) const {
+  return Find("weights:" + layer_name) != nullptr;
+}
+
+std::string MemoryMap::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-28s %12s %12s\n", "region", "base", "bytes");
+  for (const MemoryRegion& r : regions_)
+    os << StrFormat("  %-28s %12lld %12lld\n", r.name.c_str(),
+                    static_cast<long long>(r.base),
+                    static_cast<long long>(r.bytes));
+  os << StrFormat("  total: %lld bytes\n",
+                  static_cast<long long>(total_bytes_));
+  return os.str();
+}
+
+MemoryMap MemoryMap::Build(const Network& net,
+                           const AcceleratorConfig& config) {
+  MemoryMap map;
+  const std::int64_t elem_bytes = config.ElementBytes();
+  const std::int64_t align =
+      std::max<std::int64_t>(config.memory_port_elems * elem_bytes, 1);
+  std::int64_t cursor = 0;
+
+  auto add = [&](const std::string& name, std::int64_t bytes) {
+    MemoryRegion r;
+    r.name = name;
+    r.base = cursor;
+    r.bytes = RoundUp(bytes, align);
+    cursor += r.bytes;
+    map.regions_.push_back(std::move(r));
+  };
+
+  // Input blobs first (the host writes them each invocation), then each
+  // layer's output blob and weights in propagation order — matching the
+  // streaming order of the main AGU.
+  for (int id : net.input_ids()) {
+    const IrLayer& in = net.layer(id);
+    add("blob:" + in.name(),
+        in.output_shape.NumElements() * elem_bytes);
+  }
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    add("blob:" + layer->name(),
+        layer->output_shape.NumElements() * elem_bytes);
+    const LayerStats stats = ComputeLayerStats(*layer);
+    if (stats.weight_count > 0)
+      add("weights:" + layer->name(), stats.weight_count * elem_bytes);
+  }
+  map.total_bytes_ = cursor;
+  return map;
+}
+
+}  // namespace db

@@ -1,0 +1,56 @@
+// Off-chip memory map of a generated accelerator.
+//
+// The compiler assigns every network blob (input, per-layer output) and
+// every layer's weight array a region of the board DRAM.  The ARM host
+// writes inputs and weights into these regions in the compiler-directed
+// tile order; the main AGU's patterns address them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accel_config.h"
+#include "graph/network.h"
+
+namespace db {
+
+/// One contiguous DRAM region.
+struct MemoryRegion {
+  std::string name;   // "blob:<layer>" or "weights:<layer>"
+  std::int64_t base = 0;
+  std::int64_t bytes = 0;
+
+  std::int64_t end() const { return base + bytes; }
+};
+
+/// The full map.  Regions are non-overlapping and aligned to the memory
+/// port width.
+class MemoryMap {
+ public:
+  /// Region holding the output blob of `layer_name` (for input layers,
+  /// the network input data).
+  const MemoryRegion& Blob(const std::string& layer_name) const;
+  /// Region holding the weights (incl. bias, recurrent matrix, LUT
+  /// tables) of `layer_name`.
+  const MemoryRegion& Weights(const std::string& layer_name) const;
+
+  bool HasWeights(const std::string& layer_name) const;
+
+  const std::vector<MemoryRegion>& regions() const { return regions_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+  std::string ToString() const;
+
+  /// Lay out every blob and weight array of the network.
+  static MemoryMap Build(const Network& net,
+                         const AcceleratorConfig& config);
+
+ private:
+  const MemoryRegion* Find(const std::string& name) const;
+
+  std::vector<MemoryRegion> regions_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace db

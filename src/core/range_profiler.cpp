@@ -1,0 +1,95 @@
+#include "core/range_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "nn/executor.h"
+
+namespace db {
+
+std::string RangeProfile::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-16s %14s %14s\n", "layer", "max|act|", "max|w|");
+  for (const LayerRange& r : layers)
+    os << StrFormat("  %-16s %14.4f %14.4f\n", r.layer.c_str(),
+                    r.max_abs_activation, r.max_abs_weight);
+  os << StrFormat("  peak activation %.4f, peak weight %.4f\n",
+                  max_abs_activation, max_abs_weight);
+  return os.str();
+}
+
+RangeProfile ProfileRanges(const Network& net, const WeightStore& weights,
+                           std::span<const Tensor> calibration_inputs) {
+  if (calibration_inputs.empty())
+    DB_THROW("range profiling needs at least one calibration input");
+  DB_CHECK_MSG(net.input_ids().size() == 1,
+               "range profiling supports single-input networks");
+  const std::string input_name =
+      net.layer(net.input_ids().front()).name();
+
+  RangeProfile profile;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    LayerRange r;
+    r.layer = layer->name();
+    if (weights.Has(layer->name())) {
+      const LayerParams& p = weights.at(layer->name());
+      r.max_abs_weight =
+          std::max({p.weights.MaxAbs(),
+                    p.bias.size() > 0 ? p.bias.MaxAbs() : 0.0f,
+                    p.recurrent.size() > 0 ? p.recurrent.MaxAbs() : 0.0f});
+    }
+    profile.layers.push_back(std::move(r));
+  }
+
+  Executor exec(net, weights);
+  for (const Tensor& input : calibration_inputs) {
+    const auto acts = exec.Forward({{input_name, input}});
+    for (LayerRange& r : profile.layers) {
+      const auto it = acts.find(r.layer);
+      if (it != acts.end())
+        r.max_abs_activation =
+            std::max(r.max_abs_activation, it->second.MaxAbs());
+    }
+    // The input itself also flows through the datapath.
+    profile.max_abs_activation =
+        std::max(profile.max_abs_activation, input.MaxAbs());
+  }
+  for (const LayerRange& r : profile.layers) {
+    profile.max_abs_activation =
+        std::max(profile.max_abs_activation, r.max_abs_activation);
+    profile.max_abs_weight =
+        std::max(profile.max_abs_weight, r.max_abs_weight);
+  }
+  return profile;
+}
+
+FixedFormat ChooseFormat(const RangeProfile& profile, int total_bits,
+                         double headroom) {
+  DB_CHECK_MSG(headroom >= 1.0, "headroom must be >= 1");
+  const double peak =
+      std::max({static_cast<double>(profile.max_abs_activation),
+                static_cast<double>(profile.max_abs_weight), 1e-6}) *
+      headroom;
+  // Integer bits needed so value_max >= peak.
+  int int_bits = 0;
+  while (std::ldexp(1.0, int_bits) < peak) ++int_bits;
+  const int frac_bits = total_bits - 1 - int_bits;
+  if (frac_bits < 1)
+    DB_THROW("profiled magnitude " << peak << " does not fit a "
+             << total_bits << "-bit fixed-point format (needs " << int_bits
+             << " integer bits)");
+  return FixedFormat(total_bits, frac_bits);
+}
+
+DesignConstraint AutoQuantize(const DesignConstraint& base,
+                              const RangeProfile& profile) {
+  DesignConstraint out = base;
+  const FixedFormat fmt = ChooseFormat(profile, base.bit_width);
+  out.frac_bits = fmt.frac_bits();
+  return out;
+}
+
+}  // namespace db

@@ -1,0 +1,54 @@
+// Dynamic-range profiling for automatic fixed-point format selection.
+//
+// The paper leaves the datapath bit-width as a designer knob; picking the
+// fractional split by hand is error-prone.  This pass runs the float
+// reference executor over calibration inputs, records every layer's
+// activation range and the weight ranges, and chooses the narrowest
+// Q-format (at a given total width) that covers the observed magnitudes
+// with headroom — the standard post-training quantisation calibration
+// step, expressed as a compiler pass feeding the NN-Gen constraint.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "frontend/constraint.h"
+#include "nn/weights.h"
+
+namespace db {
+
+/// Observed magnitudes for one layer.
+struct LayerRange {
+  std::string layer;
+  float max_abs_activation = 0.0f;
+  float max_abs_weight = 0.0f;
+};
+
+/// Whole-network profile.
+struct RangeProfile {
+  std::vector<LayerRange> layers;
+  float max_abs_activation = 0.0f;
+  float max_abs_weight = 0.0f;
+
+  std::string ToString() const;
+};
+
+/// Run the float executor over the calibration inputs and collect ranges.
+RangeProfile ProfileRanges(const Network& net, const WeightStore& weights,
+                           std::span<const Tensor> calibration_inputs);
+
+/// Choose the Q-format: enough integer bits to hold the profile's peak
+/// magnitude times `headroom` (accumulator safety margin), all remaining
+/// bits fractional.  Throws db::Error if the magnitude cannot fit the
+/// requested total width at all.
+FixedFormat ChooseFormat(const RangeProfile& profile, int total_bits,
+                         double headroom = 2.0);
+
+/// Convenience: copy `base` with bit_width/frac_bits replaced by the
+/// profiled choice.
+DesignConstraint AutoQuantize(const DesignConstraint& base,
+                              const RangeProfile& profile);
+
+}  // namespace db

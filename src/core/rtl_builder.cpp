@@ -1,0 +1,152 @@
+#include "core/rtl_builder.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "rtl/block_emitters.h"
+
+namespace db {
+namespace {
+
+/// Wires every port of `inst` to nets named "<instance>_<port>" in the
+/// top module, declaring the nets as it goes.  Returns the instantiation.
+VInstance WireInstance(VModule& top, const VModule& def,
+                       const BlockInstance& inst) {
+  VInstance vi;
+  vi.module_name = def.name;
+  vi.instance_name = ToIdentifier(inst.name);
+  for (const VPort& port : def.ports) {
+    if (port.name == "clk" || port.name == "rst_n") {
+      vi.ports.push_back({port.name, port.name});
+      continue;
+    }
+    const std::string net = vi.instance_name + "_" + port.name;
+    top.nets.push_back({net, port.width, false, 0});
+    vi.ports.push_back({port.name, net});
+  }
+  return vi;
+}
+
+}  // namespace
+
+VDesign BuildRtl(const AcceleratorConfig& config,
+                 const std::vector<BlockInstance>& blocks) {
+  VDesign design;
+
+  // One module definition per unique configuration.
+  std::map<std::string, const BlockConfig*> unique;
+  for (const BlockInstance& inst : blocks)
+    unique.emplace(BlockModuleName(inst.config), &inst.config);
+  for (const auto& [name, cfg] : unique)
+    design.modules.push_back(EmitBlockModule(*cfg));
+
+  // Top module.
+  VModule top;
+  top.name = ToIdentifier("db_accel_" + config.network_name);
+  top.comment =
+      "DeepBurning generated accelerator top for network '" +
+      config.network_name + "'\n" +
+      StrFormat("format=%s lanes=%d(dsp)+%d(lut) port=%lld elems "
+                "buffers=%lld/%lld bytes",
+                config.format.ToString().c_str(), config.dsp_lanes,
+                config.lut_lanes,
+                static_cast<long long>(config.memory_port_elems),
+                static_cast<long long>(config.data_buffer_bytes),
+                static_cast<long long>(config.weight_buffer_bytes));
+  top.ports.push_back({"clk", PortDir::kInput, 1, false});
+  top.ports.push_back({"rst_n", PortDir::kInput, 1, false});
+  top.ports.push_back({"go", PortDir::kInput, 1, false});
+  top.ports.push_back({"axi_rdata", PortDir::kInput,
+                       static_cast<int>(config.memory_port_elems) *
+                           config.format.total_bits(),
+                       false});
+  top.ports.push_back({"axi_araddr", PortDir::kOutput, 32, false});
+  top.ports.push_back({"axi_awaddr", PortDir::kOutput, 32, false});
+  top.ports.push_back({"axi_wdata", PortDir::kOutput,
+                       static_cast<int>(config.memory_port_elems) *
+                           config.format.total_bits(),
+                       false});
+  top.ports.push_back({"done", PortDir::kOutput, 1, false});
+
+  std::map<std::string, std::string> instance_module;
+  for (const BlockInstance& inst : blocks) {
+    const std::string mod_name = BlockModuleName(inst.config);
+    const VModule* def = nullptr;
+    for (const VModule& m : design.modules)
+      if (m.name == mod_name) def = &m;
+    DB_CHECK_MSG(def != nullptr, "module definition missing");
+    top.instances.push_back(WireInstance(top, *def, inst));
+    instance_module[ToIdentifier(inst.name)] = mod_name;
+  }
+
+  // Dataflow wiring between the canonical instances.  Every generated
+  // design has a main AGU, a coordinator and the two buffers; datapath
+  // blocks are conditional.
+  auto has_inst = [&](const std::string& name) {
+    return instance_module.count(ToIdentifier(name)) > 0;
+  };
+  auto wire = [&](const std::string& dst, const std::string& src) {
+    top.assigns.push_back({dst, src});
+  };
+
+  // AXI address/data plumbing from the main AGU and the data buffer.
+  wire("axi_araddr", "agu_main_addr");
+  wire("axi_awaddr", "agu_main_addr");
+  wire("axi_wdata", "buffer_data_rd_data");
+  wire("done", "coordinator0_all_done");
+  wire("coordinator0_go", "go");
+  wire("coordinator0_step_done", "agu_main_pattern_done");
+  wire("agu_main_start_event", "coordinator0_trigger[0]");
+  wire("buffer_data_wr_data", "axi_rdata");
+
+  if (has_inst("synergy_array")) {
+    // Feature and weight operands stream from the on-chip buffers.
+    const int primary_lanes =
+        config.dsp_lanes > 0 ? config.dsp_lanes : config.lut_lanes;
+    const int lane_bits = primary_lanes * config.format.total_bits();
+    const int port_bits = static_cast<int>(config.memory_port_elems) *
+                          config.format.total_bits();
+    if (lane_bits <= port_bits) {
+      wire("synergy_array_feature",
+           StrFormat("buffer_data_rd_data[%d:0]", lane_bits - 1));
+      wire("synergy_array_weight",
+           StrFormat("buffer_weight_rd_data[%d:0]", lane_bits - 1));
+    } else {
+      // Wide datapaths replicate the port across lane groups via
+      // intermediate replication nets (a concatenation cannot be sliced
+      // directly in Verilog-2001).
+      const int repeat = (lane_bits + port_bits - 1) / port_bits;
+      top.nets.push_back({"feature_rep", repeat * port_bits, false, 0});
+      top.nets.push_back({"weight_rep", repeat * port_bits, false, 0});
+      wire("feature_rep",
+           StrFormat("{%d{buffer_data_rd_data}}", repeat));
+      wire("weight_rep",
+           StrFormat("{%d{buffer_weight_rd_data}}", repeat));
+      wire("synergy_array_feature",
+           StrFormat("feature_rep[%d:0]", lane_bits - 1));
+      wire("synergy_array_weight",
+           StrFormat("weight_rep[%d:0]", lane_bits - 1));
+    }
+    wire("synergy_array_valid_in", "agu_data_addr_valid");
+    wire("synergy_array_clear", "agu_data_pattern_done");
+  }
+  if (has_inst("accumulator0") && has_inst("synergy_array")) {
+    // The primary array's partial sums feed the accumulator tree; its
+    // width follows the primary bank (the secondary fabric bank, when
+    // present, chains through the connection box at runtime).
+    const int first_lanes =
+        config.dsp_lanes > 0 ? config.dsp_lanes : config.lut_lanes;
+    const int acc_in_bits = 2 * config.format.total_bits() * first_lanes;
+    wire("accumulator0_partials",
+         StrFormat("synergy_array_acc_out[%d:0]", acc_in_bits - 1));
+    wire("accumulator0_valid_in", "synergy_array_valid_out");
+  }
+
+  design.modules.push_back(std::move(top));
+  design.top = design.modules.back().name;
+  return design;
+}
+
+}  // namespace db

@@ -1,0 +1,75 @@
+#include "core/schedule.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace db {
+
+std::string ConsumerBlockFor(const LayerFold& fold) {
+  switch (fold.pool) {
+    case LanePool::kMac:
+      return "synergy_array";
+    case LanePool::kPooling:
+      return "pooling_unit0";
+    case LanePool::kActivation:
+      return "activation_unit0";
+    case LanePool::kNone:
+      return fold.kind == LayerKind::kClassifier ? "classifier0"
+                                                 : "connection_box0";
+  }
+  return "synergy_array";
+}
+
+std::string Schedule::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-5s %-18s %-20s -> %-20s %s\n", "step", "event",
+                  "producer", "consumer", "patterns");
+  for (const ScheduleStep& s : steps) {
+    std::string pats;
+    for (std::size_t i = 0; i < s.pattern_ids.size(); ++i) {
+      if (i > 0) pats += ",";
+      pats += std::to_string(s.pattern_ids[i]);
+    }
+    os << StrFormat("  %-5d %-18s %-20s -> %-20s [%s]\n", s.index,
+                    s.event.c_str(), s.producer_block.c_str(),
+                    s.consumer_block.c_str(), pats.c_str());
+  }
+  return os.str();
+}
+
+Schedule BuildSchedule(const Network& net, const FoldPlan& folds,
+                       const AguProgram& agu) {
+  Schedule schedule;
+  std::string previous_consumer = "data_buffer";
+  int index = 0;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const LayerFold& fold = folds.ForLayer(layer->id);
+    const std::string consumer = ConsumerBlockFor(fold);
+    const std::vector<const AguPattern*> patterns =
+        agu.ForLayer(layer->id);
+    for (std::int64_t seg = 0; seg < fold.segments; ++seg) {
+      ScheduleStep step;
+      step.index = index++;
+      step.layer_id = layer->id;
+      step.segment = seg;
+      step.event = "layer" + std::to_string(layer->id) + "_fold" +
+                   std::to_string(seg);
+      step.producer_block = previous_consumer;
+      step.consumer_block = consumer;
+      // All of the layer's patterns arm on its first segment; later
+      // segments run off the already-armed streaming patterns (their
+      // y-loop advances per segment).
+      if (seg == 0)
+        for (const AguPattern* p : patterns)
+          step.pattern_ids.push_back(p->id);
+      schedule.steps.push_back(std::move(step));
+    }
+    previous_consumer = consumer;
+  }
+  DB_CHECK_MSG(!schedule.steps.empty(), "empty schedule");
+  return schedule;
+}
+
+}  // namespace db

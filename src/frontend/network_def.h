@@ -1,0 +1,161 @@
+// Typed network definition built from the prototxt message tree.
+//
+// This mirrors the descriptive script of Fig. 4: a list of layers with
+// Caffe-style parameter blocks plus DeepBurning `connect` blocks that
+// describe forward / recurrent inter-layer wiring.  The graph module turns
+// a NetworkDef into a shape-inferred Network IR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/prototxt.h"
+
+namespace db {
+
+/// Layer kinds DeepBurning supports (paper §3.1: convolutional, pooling,
+/// full-connection, recurrent, associative layers and common CNN/ANN ops).
+enum class LayerKind {
+  kInput,
+  kConvolution,
+  kPooling,
+  kInnerProduct,  // full-connection
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kLrn,
+  kDropout,
+  kSoftmax,
+  kRecurrent,
+  kLstm,         // long short-term memory cell, unrolled
+  kAssociative,  // CMAC-style association layer
+  kConcat,       // inception-style channel concatenation
+  kClassifier,   // k-sorter based top-k classifier
+};
+
+/// Human-readable (prototxt) name of a layer kind, e.g. "CONVOLUTION".
+std::string LayerKindName(LayerKind kind);
+
+/// Parse a prototxt type word (case-insensitive) into a LayerKind.
+LayerKind ParseLayerKind(const std::string& word, int line);
+
+enum class PoolMethod { kMax, kAverage };
+
+struct ConvolutionParams {
+  std::int64_t num_output = 0;  // output feature maps (D_out)
+  std::int64_t kernel_size = 1;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  /// Channel groups (AlexNet-style): inputs and outputs split into
+  /// `group` independent convolutions.
+  std::int64_t group = 1;
+  bool bias = true;
+};
+
+struct PoolingParams {
+  PoolMethod method = PoolMethod::kMax;
+  std::int64_t kernel_size = 2;
+  std::int64_t stride = 2;
+  std::int64_t pad = 0;
+};
+
+struct InnerProductParams {
+  std::int64_t num_output = 0;
+  bool bias = true;
+};
+
+struct LrnParams {
+  std::int64_t local_size = 5;
+  double alpha = 1e-4;
+  double beta = 0.75;
+};
+
+struct DropoutParams {
+  double ratio = 0.5;
+};
+
+/// Activation applied inside a recurrent layer's state update.
+enum class RecurrentActivation { kTanh, kSigmoid, kNone };
+
+struct RecurrentParams {
+  std::int64_t num_output = 0;
+  std::int64_t time_steps = 1;  // unrolled steps for forward propagation
+  RecurrentActivation activation = RecurrentActivation::kTanh;
+};
+
+struct LstmParams {
+  std::int64_t num_output = 0;   // hidden/cell width H
+  std::int64_t time_steps = 1;   // unrolled steps
+};
+
+struct AssociativeParams {
+  // CMAC association: each input activates `generalization` adjacent cells
+  // out of a conceptual table of `num_cells` per dimension.
+  std::int64_t num_cells = 32;
+  std::int64_t generalization = 4;
+  std::int64_t num_output = 1;
+};
+
+struct ClassifierParams {
+  std::int64_t top_k = 1;  // k-sorter width
+};
+
+/// DeepBurning `connect` block (Fig. 4 right): explicit inter-layer wiring.
+struct ConnectDef {
+  std::string name;
+  enum class Direction { kForward, kRecurrent } direction =
+      Direction::kForward;
+  enum class Pattern { kFull, kFullPerChannel, kFileSpecified } pattern =
+      Pattern::kFull;
+  std::string file;  // for kFileSpecified
+};
+
+/// One layer of the descriptive script.
+struct LayerDef {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  std::vector<std::string> bottoms;
+  std::vector<std::string> tops;
+  int line = 0;
+
+  // Exactly the sub-struct matching `kind` is populated.
+  std::optional<ConvolutionParams> conv;
+  std::optional<PoolingParams> pool;
+  std::optional<InnerProductParams> fc;
+  std::optional<LrnParams> lrn;
+  std::optional<DropoutParams> dropout;
+  std::optional<RecurrentParams> recurrent;
+  std::optional<LstmParams> lstm;
+  std::optional<AssociativeParams> associative;
+  std::optional<ClassifierParams> classifier;
+
+  std::vector<ConnectDef> connects;
+};
+
+/// Network input blob: named tensor with (channels, height, width) shape.
+struct InputDef {
+  std::string name = "data";
+  std::int64_t channels = 1;
+  std::int64_t height = 1;
+  std::int64_t width = 1;
+};
+
+/// A complete parsed network description.
+struct NetworkDef {
+  std::string name;
+  std::vector<InputDef> inputs;
+  std::vector<LayerDef> layers;
+};
+
+/// Build a NetworkDef from prototxt text.  Performs syntactic and local
+/// semantic validation (unknown fields tolerated, bad values rejected);
+/// graph construction performs the global checks.
+NetworkDef ParseNetworkDef(const std::string& prototxt_text);
+
+/// Re-serialise a NetworkDef to canonical prototxt (round-trip support and
+/// golden-file tests).
+std::string NetworkDefToPrototxt(const NetworkDef& net);
+
+}  // namespace db

@@ -1,0 +1,136 @@
+#include "graph/layer_stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace db {
+
+LayerStats& LayerStats::operator+=(const LayerStats& other) {
+  macs += other.macs;
+  adds += other.adds;
+  compares += other.compares;
+  lut_ops += other.lut_ops;
+  weight_count += other.weight_count;
+  input_elems += other.input_elems;
+  output_elems += other.output_elems;
+  return *this;
+}
+
+std::string LayerStats::ToString() const {
+  std::ostringstream os;
+  os << "{macs=" << macs << ", adds=" << adds << ", cmp=" << compares
+     << ", lut=" << lut_ops << ", weights=" << weight_count << ", in="
+     << input_elems << ", out=" << output_elems << "}";
+  return os.str();
+}
+
+LayerStats ComputeLayerStats(const IrLayer& layer) {
+  LayerStats s;
+  for (const BlobShape& in : layer.input_shapes)
+    s.input_elems += in.NumElements();
+  s.output_elems = layer.output_shape.NumElements();
+
+  switch (layer.kind()) {
+    case LayerKind::kInput:
+      s.input_elems = 0;
+      break;
+    case LayerKind::kConvolution: {
+      const ConvolutionParams& p = *layer.def.conv;
+      const BlobShape& in = layer.input_shapes.front();
+      // Grouped convolution: each output map sees in.channels/group maps.
+      const std::int64_t window =
+          p.kernel_size * p.kernel_size * (in.channels / p.group);
+      s.macs = s.output_elems * window;
+      s.weight_count = p.num_output * window + (p.bias ? p.num_output : 0);
+      break;
+    }
+    case LayerKind::kInnerProduct: {
+      const InnerProductParams& p = *layer.def.fc;
+      const std::int64_t in_n = layer.input_shapes.front().NumElements();
+      s.macs = p.num_output * in_n;
+      s.weight_count = p.num_output * in_n + (p.bias ? p.num_output : 0);
+      break;
+    }
+    case LayerKind::kPooling: {
+      const PoolingParams& p = *layer.def.pool;
+      const std::int64_t window = p.kernel_size * p.kernel_size;
+      if (p.method == PoolMethod::kMax)
+        s.compares = s.output_elems * (window - 1);
+      else
+        s.adds = s.output_elems * window;  // sum + shift-divide
+      break;
+    }
+    case LayerKind::kRelu:
+      s.compares = s.output_elems;  // max(x, 0)
+      break;
+    case LayerKind::kSigmoid:
+    case LayerKind::kTanh:
+      s.lut_ops = s.output_elems;
+      break;
+    case LayerKind::kLrn: {
+      const LrnParams& p = *layer.def.lrn;
+      // Square + windowed sum per element, then the pow/divide via LUT.
+      s.macs = s.output_elems * (p.local_size + 1);
+      s.lut_ops = s.output_elems;
+      break;
+    }
+    case LayerKind::kDropout:
+      // Inference-time dropout scales by (1 - ratio): one multiply/elem.
+      s.macs = s.output_elems;
+      break;
+    case LayerKind::kSoftmax:
+      s.lut_ops = 2 * s.output_elems;  // exp and divide via LUT
+      s.adds = s.output_elems;
+      break;
+    case LayerKind::kRecurrent: {
+      const RecurrentParams& p = *layer.def.recurrent;
+      const std::int64_t in_n = layer.input_shapes.front().NumElements();
+      const std::int64_t per_step = p.num_output * (in_n + p.num_output);
+      s.macs = p.time_steps * per_step;
+      s.lut_ops = p.time_steps * p.num_output;  // state activation
+      s.weight_count = per_step + p.num_output;
+      break;
+    }
+    case LayerKind::kLstm: {
+      const LstmParams& p = *layer.def.lstm;
+      const std::int64_t in_n = layer.input_shapes.front().NumElements();
+      const std::int64_t h = p.num_output;
+      // Four gates per step: 4H x (in + H) MACs; per-element gate
+      // activations (3 sigmoid + 2 tanh) and cell update multiplies.
+      const std::int64_t per_step = 4 * h * (in_n + h);
+      s.macs = p.time_steps * (per_step + 2 * h);
+      s.lut_ops = p.time_steps * 5 * h;
+      s.weight_count = per_step + 4 * h;
+      break;
+    }
+    case LayerKind::kAssociative: {
+      const AssociativeParams& p = *layer.def.associative;
+      // CMAC: each lookup activates `generalization` cells per output.
+      s.adds = p.generalization * p.num_output;
+      s.weight_count = p.num_cells * p.num_output;
+      break;
+    }
+    case LayerKind::kConcat:
+      break;  // wiring only
+    case LayerKind::kClassifier: {
+      const std::int64_t n = layer.input_shapes.front().NumElements();
+      // k-sorter comparison network (Beigel & Gill): O(n log n) compares.
+      const double logn = n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+      s.compares = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(n) * logn));
+      break;
+    }
+  }
+  return s;
+}
+
+LayerStats ComputeNetworkStats(const Network& net) {
+  LayerStats total;
+  for (const IrLayer* layer : net.ComputeLayers())
+    total += ComputeLayerStats(*layer);
+  return total;
+}
+
+}  // namespace db

@@ -1,0 +1,42 @@
+// Per-layer operation and storage statistics.
+//
+// The generator uses these to size the datapath and pick fold factors; the
+// compiler uses them to derive buffer tiles; the CPU baseline model turns
+// them into FLOP counts; the power model turns them into switching
+// activity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/network.h"
+
+namespace db {
+
+/// Operation counts for one forward propagation of a layer.
+struct LayerStats {
+  std::int64_t macs = 0;       // multiply-accumulate operations
+  std::int64_t adds = 0;       // standalone additions (pooling-avg, etc.)
+  std::int64_t compares = 0;   // max-pool / k-sorter comparisons
+  std::int64_t lut_ops = 0;    // Approx-LUT evaluations (activations, exp)
+  std::int64_t weight_count = 0;  // trained weights incl. biases
+  std::int64_t input_elems = 0;
+  std::int64_t output_elems = 0;
+
+  /// Total arithmetic work expressed as FLOPs (MAC = 2 FLOPs), used by the
+  /// CPU baseline timing model.
+  std::int64_t Flops() const {
+    return 2 * macs + adds + compares + lut_ops;
+  }
+
+  LayerStats& operator+=(const LayerStats& other);
+  std::string ToString() const;
+};
+
+/// Compute the statistics of one IR layer.
+LayerStats ComputeLayerStats(const IrLayer& layer);
+
+/// Aggregate statistics over all compute layers of a network.
+LayerStats ComputeNetworkStats(const Network& net);
+
+}  // namespace db

@@ -1,0 +1,104 @@
+#include "hwlib/blocks.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace db {
+
+std::string BlockTypeName(BlockType type) {
+  switch (type) {
+    case BlockType::kSynergyNeuron: return "synergy_neuron";
+    case BlockType::kAccumulator: return "accumulator";
+    case BlockType::kPoolingUnit: return "pooling_unit";
+    case BlockType::kLrnUnit: return "lrn_unit";
+    case BlockType::kDropoutUnit: return "dropout_unit";
+    case BlockType::kClassifier: return "classifier";
+    case BlockType::kActivationUnit: return "activation_unit";
+    case BlockType::kApproxLut: return "approx_lut";
+    case BlockType::kConnectionBox: return "connection_box";
+    case BlockType::kAgu: return "agu";
+    case BlockType::kCoordinator: return "coordinator";
+    case BlockType::kBufferBank: return "buffer_bank";
+  }
+  return "?";
+}
+
+std::string AguRoleName(AguRole role) {
+  switch (role) {
+    case AguRole::kMain: return "main";
+    case AguRole::kData: return "data";
+    case AguRole::kWeight: return "weight";
+  }
+  return "?";
+}
+
+void ValidateBlockConfig(const BlockConfig& config) {
+  if (config.bit_width < 4 || config.bit_width > 32)
+    DB_THROW("block " << BlockTypeName(config.type)
+             << ": bit_width must be in [4,32]");
+  if (config.lanes < 1)
+    DB_THROW("block " << BlockTypeName(config.type)
+             << ": lanes must be >= 1");
+  switch (config.type) {
+    case BlockType::kApproxLut:
+      if (config.depth < 2)
+        DB_THROW("approx_lut depth must be >= 2 entries");
+      if (!IsPow2(config.depth))
+        DB_THROW("approx_lut depth must be a power of two (index by the "
+                 "top bits of the key), got " << config.depth);
+      break;
+    case BlockType::kBufferBank:
+      if (config.depth < 1) DB_THROW("buffer_bank depth must be >= 1 byte");
+      break;
+    case BlockType::kConnectionBox:
+      if (config.ports < 2)
+        DB_THROW("connection_box needs at least 2 ports");
+      break;
+    case BlockType::kAgu:
+      if (config.patterns < 1)
+        DB_THROW("agu must support at least one access pattern");
+      break;
+    case BlockType::kCoordinator:
+      if (config.fold_events < 1)
+        DB_THROW("coordinator must sequence at least one fold event");
+      break;
+    default:
+      break;
+  }
+}
+
+std::string DescribeBlock(const BlockConfig& config) {
+  std::ostringstream os;
+  os << BlockTypeName(config.type) << "[" << config.bit_width << "b x"
+     << config.lanes;
+  switch (config.type) {
+    case BlockType::kSynergyNeuron:
+      os << (config.use_dsp ? " dsp" : " lut");
+      break;
+    case BlockType::kApproxLut:
+      os << " d" << config.depth
+         << (config.interpolate ? " interp" : " nearest");
+      break;
+    case BlockType::kBufferBank:
+      os << " " << config.depth << "B";
+      break;
+    case BlockType::kConnectionBox:
+      os << " p" << config.ports;
+      break;
+    case BlockType::kAgu:
+      os << " " << AguRoleName(config.agu_role) << " pat"
+         << config.patterns;
+      break;
+    case BlockType::kCoordinator:
+      os << " ev" << config.fold_events;
+      break;
+    default:
+      break;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace db

@@ -1,0 +1,168 @@
+#include "hwlib/resource_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace db {
+namespace {
+
+/// LUT cost of one w-bit array multiplier built in fabric (no DSP):
+/// roughly w*w/2 6-input LUTs on 7-series.
+std::int64_t LutMultiplierCost(int w) {
+  return static_cast<std::int64_t>(w) * w / 2;
+}
+
+/// Width scale relative to the 16-bit calibration point.
+double WidthScale(int bit_width) {
+  return static_cast<double>(bit_width) / 16.0;
+}
+
+std::int64_t ScaleW(std::int64_t base, int bit_width) {
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(base) * WidthScale(bit_width)));
+}
+
+}  // namespace
+
+ResourceBudget BlockCost(const BlockConfig& c) {
+  ValidateBlockConfig(c);
+  ResourceBudget r;
+  const std::int64_t lanes = c.lanes;
+  switch (c.type) {
+    case BlockType::kSynergyNeuron:
+      // One MAC lane: multiplier + operand registers + partial-sum reg.
+      if (c.use_dsp) {
+        r.dsp = lanes;
+        r.lut = lanes * ScaleW(12, c.bit_width);   // routing + control
+        r.ff = lanes * ScaleW(24, c.bit_width);    // pipeline registers
+      } else {
+        r.lut = lanes * (LutMultiplierCost(c.bit_width) +
+                         ScaleW(12, c.bit_width));
+        r.ff = lanes * ScaleW(40, c.bit_width);
+      }
+      break;
+    case BlockType::kAccumulator:
+      r.lut = lanes * ScaleW(10, c.bit_width);
+      r.ff = lanes * ScaleW(18, c.bit_width);
+      break;
+    case BlockType::kPoolingUnit:
+      // Comparator / adder tree + window registers per lane.
+      r.lut = lanes * ScaleW(22, c.bit_width);
+      r.ff = lanes * ScaleW(20, c.bit_width);
+      break;
+    case BlockType::kLrnUnit:
+      // Square-accumulate window + LUT-assisted power stage.
+      r.lut = lanes * ScaleW(160, c.bit_width);
+      r.ff = lanes * ScaleW(120, c.bit_width);
+      r.dsp = lanes;  // the squaring multiplier
+      break;
+    case BlockType::kDropoutUnit:
+      // LFSR + mask multiplexers.
+      r.lut = ScaleW(24, c.bit_width) + 8 * lanes;
+      r.ff = ScaleW(20, c.bit_width);
+      break;
+    case BlockType::kClassifier: {
+      // k-sorter comparison network: lanes = k, cost ~ k log2 k stages of
+      // compare-exchange on full-width values.
+      const double stages =
+          lanes > 1 ? std::ceil(std::log2(static_cast<double>(lanes))) : 1.0;
+      const std::int64_t ce = static_cast<std::int64_t>(
+          static_cast<double>(lanes) * stages);
+      r.lut = ce * ScaleW(18, c.bit_width) + 16;
+      r.ff = ce * ScaleW(16, c.bit_width);
+      break;
+    }
+    case BlockType::kActivationUnit:
+      // Pipeline wrapper around an Approx LUT (costed separately).
+      r.lut = lanes * ScaleW(8, c.bit_width);
+      r.ff = lanes * ScaleW(12, c.bit_width);
+      break;
+    case BlockType::kApproxLut: {
+      // Sample store in BRAM; interpolation needs a slope multiplier and
+      // the adjacent-key fetch/compare logic.
+      r.bram_bytes = c.depth * CeilDiv(c.bit_width, 8) * 2;  // key+value
+      r.lut = ScaleW(14, c.bit_width);
+      r.ff = ScaleW(12, c.bit_width);
+      if (c.interpolate) {
+        r.lut += LutMultiplierCost(c.bit_width) / 2 +
+                 ScaleW(18, c.bit_width);
+        r.ff += ScaleW(16, c.bit_width);
+      }
+      break;
+    }
+    case BlockType::kConnectionBox: {
+      // ports x ports crossbar of bit_width buses + shifting latch.
+      const std::int64_t cross =
+          static_cast<std::int64_t>(c.ports) * c.ports;
+      r.lut = cross * ScaleW(4, c.bit_width) + ScaleW(10, c.bit_width);
+      r.ff = c.ports * ScaleW(8, c.bit_width);
+      break;
+    }
+    case BlockType::kAgu: {
+      // Pattern registers (start, footprint, x/y length, stride, offset)
+      // plus the stepping adders; main AGUs carry wider addresses.
+      const std::int64_t addr_bits = c.agu_role == AguRole::kMain ? 32 : 18;
+      r.lut = addr_bits + 6 * c.patterns + 12;
+      r.ff = addr_bits + 8 * c.patterns;
+      break;
+    }
+    case BlockType::kCoordinator: {
+      // FSM logic is bounded (the step sequencing datapath); the fold
+      // schedule itself lives in a BRAM context buffer, 4 bytes per
+      // event, so logic cost does not scale with network depth.
+      const std::int64_t logic_events =
+          std::min<std::int64_t>(c.fold_events, 64);
+      r.lut = 18 + 3 * logic_events;
+      r.ff = 12 + 2 * logic_events;
+      r.bram_bytes = 4 * c.fold_events;
+      break;
+    }
+    case BlockType::kBufferBank:
+      r.bram_bytes = c.depth;
+      r.lut = 10;  // port muxing
+      r.ff = 8;
+      break;
+  }
+  return r;
+}
+
+std::string ResourceReport::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("%-28s %-34s %6s %8s %8s %9s\n", "instance", "block",
+                  "DSP", "LUT", "FF", "BRAM(B)");
+  for (const Entry& e : entries)
+    os << StrFormat("%-28s %-34s %6lld %8lld %8lld %9lld\n",
+                    e.instance.c_str(), e.description.c_str(),
+                    static_cast<long long>(e.cost.dsp),
+                    static_cast<long long>(e.cost.lut),
+                    static_cast<long long>(e.cost.ff),
+                    static_cast<long long>(e.cost.bram_bytes));
+  os << StrFormat("%-28s %-34s %6lld %8lld %8lld %9lld\n", "TOTAL", "",
+                  static_cast<long long>(total.dsp),
+                  static_cast<long long>(total.lut),
+                  static_cast<long long>(total.ff),
+                  static_cast<long long>(total.bram_bytes));
+  return os.str();
+}
+
+ResourceReport TallyResources(const std::vector<BlockInstance>& blocks) {
+  ResourceReport report;
+  for (const BlockInstance& inst : blocks) {
+    ResourceReport::Entry entry;
+    entry.instance = inst.name;
+    entry.description = DescribeBlock(inst.config);
+    entry.cost = BlockCost(inst.config);
+    report.total.dsp += entry.cost.dsp;
+    report.total.lut += entry.cost.lut;
+    report.total.ff += entry.cost.ff;
+    report.total.bram_bytes += entry.cost.bram_bytes;
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace db

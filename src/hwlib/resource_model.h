@@ -1,0 +1,38 @@
+// Analytic resource cost model (substitute for Vivado's synthesis report).
+//
+// Each building block's DSP/LUT/FF/BRAM cost is a deterministic function
+// of its configuration, calibrated so the totals land on the scale of
+// Table 3 of the paper (tiny MLP designs: a few DSPs and tens-to-hundreds
+// of LUTs; Alexnet-class designs: tens of thousands of LUTs).  Relative
+// ordering between designs is what the model must preserve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/constraint.h"
+#include "hwlib/blocks.h"
+
+namespace db {
+
+/// Resources of a single configured block.
+ResourceBudget BlockCost(const BlockConfig& config);
+
+/// Per-instance cost breakdown plus totals for a whole design.
+struct ResourceReport {
+  struct Entry {
+    std::string instance;
+    std::string description;
+    ResourceBudget cost;
+  };
+  std::vector<Entry> entries;
+  ResourceBudget total;
+
+  /// Formatted table for logs and the Table-3 bench.
+  std::string ToString() const;
+};
+
+/// Sum the costs of every instance in a design.
+ResourceReport TallyResources(const std::vector<BlockInstance>& blocks);
+
+}  // namespace db

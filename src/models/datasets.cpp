@@ -1,0 +1,238 @@
+#include "models/datasets.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "models/golden.h"
+
+namespace db {
+namespace {
+
+/// Seven-segment layout per digit: segments a,b,c,d,e,f,g.
+///      aaa
+///     f   b
+///      ggg
+///     e   c
+///      ddd
+constexpr std::array<std::array<bool, 7>, 10> kSegments = {{
+    {true, true, true, true, true, true, false},     // 0
+    {false, true, true, false, false, false, false}, // 1
+    {true, true, false, true, true, false, true},    // 2
+    {true, true, true, true, false, false, true},    // 3
+    {false, true, true, false, false, true, true},   // 4
+    {true, false, true, true, false, true, true},    // 5
+    {true, false, true, true, true, true, true},     // 6
+    {true, true, true, false, false, false, false},  // 7
+    {true, true, true, true, true, true, true},      // 8
+    {true, true, true, true, false, true, true},     // 9
+}};
+
+void DrawSegment(Tensor& img, int segment, int ox, int oy) {
+  // Glyph occupies a 8x6 box at (oy, ox) inside the 12x12 canvas.
+  auto hline = [&](int y, int x0, int x1) {
+    for (int x = x0; x <= x1; ++x)
+      img.at3(0, oy + y, ox + x) = 1.0f;
+  };
+  auto vline = [&](int x, int y0, int y1) {
+    for (int y = y0; y <= y1; ++y)
+      img.at3(0, oy + y, ox + x) = 1.0f;
+  };
+  switch (segment) {
+    case 0: hline(0, 1, 4); break;  // a
+    case 1: vline(5, 1, 3); break;  // b
+    case 2: vline(5, 5, 7); break;  // c
+    case 3: hline(8, 1, 4); break;  // d
+    case 4: vline(0, 5, 7); break;  // e
+    case 5: vline(0, 1, 3); break;  // f
+    case 6: hline(4, 1, 4); break;  // g
+  }
+}
+
+Tensor RenderDigit(int digit, int dx, int dy, Rng& rng, double noise) {
+  Tensor img(Shape{1, 12, 12});
+  const int ox = 2 + dx;
+  const int oy = 1 + dy;
+  for (int seg = 0; seg < 7; ++seg)
+    if (kSegments[static_cast<std::size_t>(digit)]
+                 [static_cast<std::size_t>(seg)])
+      DrawSegment(img, seg, ox, oy);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    img[i] += static_cast<float>(rng.Gaussian(0.0, noise));
+    img[i] = std::clamp(img[i], 0.0f, 1.0f);
+  }
+  return img;
+}
+
+Tensor OneHot(std::int64_t classes, std::int64_t index) {
+  Tensor t(Shape{classes, 1, 1});
+  t[index] = 1.0f;
+  return t;
+}
+
+}  // namespace
+
+std::vector<TrainSample> MakeDigitDataset(int samples_per_class,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> samples;
+  samples.reserve(static_cast<std::size_t>(samples_per_class) * 10);
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int s = 0; s < samples_per_class; ++s) {
+      const int dx = static_cast<int>(rng.UniformInt(3)) - 1;
+      const int dy = static_cast<int>(rng.UniformInt(3)) - 1;
+      TrainSample sample;
+      sample.input = RenderDigit(digit, dx, dy, rng, 0.15);
+      sample.target = OneHot(10, digit);
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+std::vector<TrainSample> MakeTextureDataset(int samples_per_class,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> samples;
+  samples.reserve(static_cast<std::size_t>(samples_per_class) * 8);
+  for (int cls = 0; cls < 8; ++cls) {
+    // Class-specific grating: orientation from the low 2 bits, frequency
+    // from the next bit, dominant colour channel from the top bits.
+    const double angle = (cls % 4) * 3.14159265358979 / 4.0;
+    const double freq = cls < 4 ? 0.8 : 1.6;
+    const int dom_channel = cls % 3;
+    // Phase is class-anchored with small jitter: fully random phase makes
+    // the 128-sample task unlearnable for a CNN this small, and the
+    // bench needs a *trained* reference model, not a hard vision task.
+    const double base_phase = 0.7 * cls;
+    for (int s = 0; s < samples_per_class; ++s) {
+      Tensor img(Shape{3, 16, 16});
+      const double phase = base_phase + rng.Uniform(-0.3, 0.3);
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const double amp = c == dom_channel ? 0.35 : 0.15;
+        // Class-coded per-channel brightness: the class index's bits set
+        // each channel's DC level, a signal that survives the pooling
+        // stages (pure phase coding is erased by max pooling, making the
+        // task unlearnable for a pooled CNN).
+        const double mean = 0.35 + 0.25 * ((cls >> c) & 1);
+        for (std::int64_t y = 0; y < 16; ++y) {
+          for (std::int64_t x = 0; x < 16; ++x) {
+            const double u = std::cos(angle) * static_cast<double>(x) +
+                             std::sin(angle) * static_cast<double>(y);
+            double v = mean + amp * std::sin(freq * u + phase) +
+                       rng.Gaussian(0.0, 0.06);
+            img.at3(c, y, x) =
+                static_cast<float>(std::clamp(v, 0.0, 1.0));
+          }
+        }
+      }
+      TrainSample sample;
+      sample.input = std::move(img);
+      sample.target = OneHot(8, cls);
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+std::vector<TrainSample> MakeFftDataset(int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.Uniform();
+    const auto g = GoldenFftTwiddle(x);
+    TrainSample s;
+    s.input = Tensor(Shape{1, 1, 1}, {static_cast<float>(x)});
+    s.target = Tensor(Shape{2, 1, 1},
+                      {static_cast<float>(g[0]), static_cast<float>(g[1])});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<TrainSample> MakeJpegDataset(int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    std::array<double, 8> block;
+    // Smooth random signal: random low-order cosine mixture, the kind of
+    // content JPEG compresses well.
+    const double a = rng.Uniform(0.2, 0.8);
+    const double b = rng.Uniform(-0.3, 0.3);
+    const double c = rng.Uniform(-0.15, 0.15);
+    const double phase = rng.Uniform(0.0, 3.14);
+    for (int n = 0; n < 8; ++n) {
+      const double t = static_cast<double>(n) / 8.0;
+      block[static_cast<std::size_t>(n)] = std::clamp(
+          a + b * std::cos(3.14159 * t + phase) +
+              c * std::cos(2 * 3.14159 * t),
+          0.0, 1.0);
+    }
+    const auto g = GoldenJpegBlock(block);
+    TrainSample s;
+    std::vector<float> in(8), tg(8);
+    for (int n = 0; n < 8; ++n) {
+      in[static_cast<std::size_t>(n)] =
+          static_cast<float>(block[static_cast<std::size_t>(n)]);
+      tg[static_cast<std::size_t>(n)] =
+          static_cast<float>(g[static_cast<std::size_t>(n)]);
+    }
+    s.input = Tensor(Shape{8, 1, 1}, std::move(in));
+    s.target = Tensor(Shape{8, 1, 1}, std::move(tg));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<TrainSample> MakeKmeansDataset(int samples,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    // Sample near the centroids so classes are learnable (pure uniform
+    // sampling puts most mass on decision boundaries).
+    const auto& centroids = KmeansCentroids();
+    const auto& c = centroids[rng.UniformInt(centroids.size())];
+    const double x = std::clamp(c[0] + rng.Gaussian(0.0, 0.12), 0.0, 1.0);
+    const double y = std::clamp(c[1] + rng.Gaussian(0.0, 0.12), 0.0, 1.0);
+    const auto g = GoldenKmeansAssign(x, y);
+    TrainSample s;
+    s.input = Tensor(Shape{2, 1, 1},
+                     {static_cast<float>(x), static_cast<float>(y)});
+    s.target = Tensor(Shape{2, 1, 1},
+                      {static_cast<float>(g[0]), static_cast<float>(g[1])});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<TrainSample> MakeArmDataset(int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainSample> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  while (static_cast<int>(out.size()) < samples) {
+    const double r = rng.Uniform(0.25, 0.95);  // inside the annulus
+    // Workspace restricted to the upper half-plane away from the atan2
+    // branch cut at +-pi: the IK target t1 stays continuous, which a
+    // table-based CMAC needs (a wrap-around discontinuity in the target
+    // is unlearnable for local receptive fields).
+    const double phi = rng.Uniform(0.35, 2.8);
+    const double x = r * std::cos(phi);
+    const double y = r * std::sin(phi);
+    const auto angles = GoldenArmInverseKinematics(x, y);
+    TrainSample s;
+    // CMAC input space is [0,1]^2.
+    s.input = Tensor(Shape{2, 1, 1}, {static_cast<float>((x + 1.0) / 2.0),
+                                      static_cast<float>((y + 1.0) / 2.0)});
+    s.target = Tensor(Shape{2, 1, 1}, {static_cast<float>(angles[0]),
+                                       static_cast<float>(angles[1])});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace db

@@ -1,0 +1,41 @@
+// Synthetic datasets substituting the paper's training corpora
+// (MNIST / Cifar / ImageNet — see DESIGN.md substitutions).
+//
+// All generators are deterministic given the seed; the digit glyphs and
+// texture classes are designed so a small CNN can reach high accuracy in
+// a few epochs, which is what Fig. 10 needs: a trained float network to
+// compare the fixed-point accelerator against.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/trainer.h"
+
+namespace db {
+
+/// 12x12 single-channel digit-glyph classification set (10 classes).
+/// Each sample renders the class's seven-segment-style glyph with
+/// per-pixel Gaussian noise and a random +-1 pixel translation.
+/// Targets are one-hot over 10 classes (shape {10,1,1}).
+std::vector<TrainSample> MakeDigitDataset(int samples_per_class,
+                                          std::uint64_t seed);
+
+/// 3x16x16 texture classification set (8 classes): oriented sinusoidal
+/// gratings with class-specific frequency/orientation/colour plus noise.
+/// Targets are one-hot over 8 classes.
+std::vector<TrainSample> MakeTextureDataset(int samples_per_class,
+                                            std::uint64_t seed);
+
+/// AxBench-style function-approximation sets built from the golden
+/// kernels (models/golden.h).
+std::vector<TrainSample> MakeFftDataset(int samples, std::uint64_t seed);
+std::vector<TrainSample> MakeJpegDataset(int samples, std::uint64_t seed);
+std::vector<TrainSample> MakeKmeansDataset(int samples,
+                                           std::uint64_t seed);
+
+/// Robot-arm inverse-kinematics samples: reachable (x, y) -> normalised
+/// joint angles.  Input shape {2,1,1}, target shape {2,1,1}.
+std::vector<TrainSample> MakeArmDataset(int samples, std::uint64_t seed);
+
+}  // namespace db

@@ -1,0 +1,139 @@
+#include "models/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace db {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// First row of the standard JPEG luminance quantisation table.
+constexpr std::array<double, 8> kJpegQuant = {16, 11, 10, 16, 24, 40, 51,
+                                              61};
+
+constexpr double kArmL1 = 0.5;
+constexpr double kArmL2 = 0.5;
+
+}  // namespace
+
+std::array<double, 2> GoldenFftTwiddle(double x) {
+  return {std::cos(2.0 * kPi * x), std::sin(2.0 * kPi * x)};
+}
+
+std::array<double, 8> GoldenJpegBlock(const std::array<double, 8>& block) {
+  // DCT-II.
+  std::array<double, 8> coeff{};
+  for (int k = 0; k < 8; ++k) {
+    double sum = 0.0;
+    for (int n = 0; n < 8; ++n)
+      sum += block[static_cast<std::size_t>(n)] *
+             std::cos(kPi / 8.0 * (static_cast<double>(n) + 0.5) *
+                      static_cast<double>(k));
+    const double scale = k == 0 ? std::sqrt(1.0 / 8.0)
+                                : std::sqrt(2.0 / 8.0);
+    coeff[static_cast<std::size_t>(k)] = scale * sum;
+  }
+  // Quantise / dequantise (values scaled to the 0..255 pixel range the
+  // table was designed for, then back).
+  for (int k = 0; k < 8; ++k) {
+    const double q = kJpegQuant[static_cast<std::size_t>(k)] / 255.0;
+    coeff[static_cast<std::size_t>(k)] =
+        std::round(coeff[static_cast<std::size_t>(k)] / q) * q;
+  }
+  // Inverse DCT.
+  std::array<double, 8> out{};
+  for (int n = 0; n < 8; ++n) {
+    double sum = std::sqrt(1.0 / 8.0) * coeff[0];
+    for (int k = 1; k < 8; ++k)
+      sum += std::sqrt(2.0 / 8.0) * coeff[static_cast<std::size_t>(k)] *
+             std::cos(kPi / 8.0 * (static_cast<double>(n) + 0.5) *
+                      static_cast<double>(k));
+    out[static_cast<std::size_t>(n)] = sum;
+  }
+  return out;
+}
+
+const std::vector<std::array<double, 2>>& KmeansCentroids() {
+  static const std::vector<std::array<double, 2>> kCentroids = {
+      {0.2, 0.25}, {0.75, 0.2}, {0.3, 0.8}, {0.8, 0.75}};
+  return kCentroids;
+}
+
+std::array<double, 2> GoldenKmeansAssign(double x, double y) {
+  const auto& centroids = KmeansCentroids();
+  double best = std::numeric_limits<double>::infinity();
+  std::array<double, 2> winner = centroids.front();
+  for (const auto& c : centroids) {
+    const double d = (c[0] - x) * (c[0] - x) + (c[1] - y) * (c[1] - y);
+    if (d < best) {
+      best = d;
+      winner = c;
+    }
+  }
+  return winner;
+}
+
+std::array<double, 2> GoldenArmInverseKinematics(double x, double y) {
+  const double r2 = x * x + y * y;
+  const double c2 =
+      (r2 - kArmL1 * kArmL1 - kArmL2 * kArmL2) / (2.0 * kArmL1 * kArmL2);
+  if (c2 < -1.0 || c2 > 1.0)
+    DB_THROW("arm target (" << x << ", " << y << ") unreachable");
+  const double t2 = std::acos(c2);  // elbow-down
+  const double t1 = std::atan2(y, x) -
+                    std::atan2(kArmL2 * std::sin(t2),
+                               kArmL1 + kArmL2 * std::cos(t2));
+  // Normalise: t1 in [-pi, pi] -> [0,1]; t2 in [0, pi] -> [0,1].
+  return {(t1 + kPi) / (2.0 * kPi), t2 / kPi};
+}
+
+std::array<double, 2> GoldenArmForwardKinematics(double t1n, double t2n) {
+  const double t1 = t1n * 2.0 * kPi - kPi;
+  const double t2 = t2n * kPi;
+  return {kArmL1 * std::cos(t1) + kArmL2 * std::cos(t1 + t2),
+          kArmL1 * std::sin(t1) + kArmL2 * std::sin(t1 + t2)};
+}
+
+std::vector<std::vector<double>> RandomTspInstance(int n, Rng& rng) {
+  DB_CHECK_MSG(n >= 2, "TSP instance needs >= 2 cities");
+  std::vector<std::array<double, 2>> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.Uniform(), rng.Uniform()});
+  std::vector<std::vector<double>> dist(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const double dx = pts[static_cast<std::size_t>(i)][0] -
+                        pts[static_cast<std::size_t>(j)][0];
+      const double dy = pts[static_cast<std::size_t>(i)][1] -
+                        pts[static_cast<std::size_t>(j)][1];
+      dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::sqrt(dx * dx + dy * dy);
+    }
+  return dist;
+}
+
+double BruteForceTspLength(const std::vector<std::vector<double>>& dist) {
+  const int n = static_cast<int>(dist.size());
+  DB_CHECK_MSG(n >= 2 && n <= 10, "brute force TSP limited to n <= 10");
+  std::vector<int> perm(static_cast<std::size_t>(n - 1));
+  std::iota(perm.begin(), perm.end(), 1);  // city 0 fixed as start
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double len = dist[0][static_cast<std::size_t>(perm.front())];
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i)
+      len += dist[static_cast<std::size_t>(perm[i])]
+                 [static_cast<std::size_t>(perm[i + 1])];
+    len += dist[static_cast<std::size_t>(perm.back())][0];
+    best = std::min(best, len);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace db

@@ -1,0 +1,48 @@
+// Golden reference applications for the AxBench-style approximators and
+// the combinatorial benchmarks (paper §4: Eq. (1) compares the NN
+// approximation A against the golden reference B implemented "with
+// orthodox program of accurate modeling").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace db {
+
+/// fft benchmark: value of the DFT twiddle basis at normalised position
+/// x in [0, 1]: returns (cos(2*pi*x), sin(2*pi*x)).  This is the inner
+/// kernel AxBench's fft approximator replaces.
+std::array<double, 2> GoldenFftTwiddle(double x);
+
+/// jpeg benchmark: 8-sample 1-D DCT-II, quantisation by the luminance
+/// table's first row, dequantisation and inverse DCT — the lossy
+/// round-trip a JPEG codec applies per block row.  Input/output values in
+/// [0, 1].
+std::array<double, 8> GoldenJpegBlock(const std::array<double, 8>& block);
+
+/// kmeans benchmark: nearest-centroid step against the fixed 4-centroid
+/// codebook; returns the coordinates of the winning centroid.
+std::array<double, 2> GoldenKmeansAssign(double x, double y);
+const std::vector<std::array<double, 2>>& KmeansCentroids();
+
+/// 2-link planar robot arm (unit link lengths L1=0.5, L2=0.5): inverse
+/// kinematics mapping an end-effector target inside the reachable annulus
+/// to joint angles (elbow-down solution), both normalised to [0, 1].
+/// Inputs x, y in [-1, 1]; throws db::Error for unreachable targets.
+std::array<double, 2> GoldenArmInverseKinematics(double x, double y);
+
+/// Forward kinematics (for validation): joint angles normalised in
+/// [0, 1] -> end-effector position.
+std::array<double, 2> GoldenArmForwardKinematics(double t1, double t2);
+
+/// Random symmetric TSP instance: n points uniform in the unit square,
+/// returns the distance matrix.
+std::vector<std::vector<double>> RandomTspInstance(int n, Rng& rng);
+
+/// Exact brute-force TSP tour length (n <= 10).
+double BruteForceTspLength(const std::vector<std::vector<double>>& dist);
+
+}  // namespace db

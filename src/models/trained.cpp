@@ -1,0 +1,250 @@
+#include "models/trained.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "models/datasets.h"
+#include "models/golden.h"
+#include "nn/cmac.h"
+#include "nn/hopfield.h"
+
+namespace db {
+namespace {
+
+std::vector<TrainSample> MakeAnnDataset(ZooModel which, int samples,
+                                        std::uint64_t seed) {
+  switch (which) {
+    case ZooModel::kAnn0Fft: return MakeFftDataset(samples, seed);
+    case ZooModel::kAnn1Jpeg: return MakeJpegDataset(samples, seed);
+    case ZooModel::kAnn2Kmeans: return MakeKmeansDataset(samples, seed);
+    default:
+      DB_THROW("not an ANN approximator model");
+  }
+}
+
+}  // namespace
+
+TrainedModel TrainZooAnn(ZooModel which, std::uint64_t seed,
+                         int train_samples, int epochs) {
+  TrainedModel model;
+  model.id = which;
+  model.net = BuildZooModel(which);
+  model.accuracy_kind = AccuracyKind::kRelativeError;
+  Rng rng(seed);
+  model.weights = WeightStore::CreateRandom(model.net, rng);
+
+  const auto train = MakeAnnDataset(which, train_samples, seed + 1);
+  model.test_set = MakeAnnDataset(which, train_samples / 4, seed + 2);
+
+  TrainerOptions opts;
+  opts.learning_rate = 0.02;
+  opts.momentum = 0.9;
+  opts.loss = LossKind::kMse;
+  opts.seed = seed + 3;
+  Trainer trainer(model.net, model.weights, opts);
+  double loss = 0.0;
+  for (int e = 0; e < epochs; ++e) loss = trainer.TrainEpoch(train);
+  DB_LOG(kInfo) << ZooModelName(which) << " trained: final epoch loss "
+                << loss;
+  return model;
+}
+
+TrainedModel TrainZooMnist(std::uint64_t seed, int samples_per_class,
+                           int epochs) {
+  TrainedModel model;
+  model.id = ZooModel::kMnist;
+  model.net = BuildZooModel(ZooModel::kMnist);
+  model.accuracy_kind = AccuracyKind::kClassification;
+  Rng rng(seed);
+  model.weights = WeightStore::CreateRandom(model.net, rng);
+
+  const auto train = MakeDigitDataset(samples_per_class, seed + 1);
+  model.test_set = MakeDigitDataset(samples_per_class / 3 + 2, seed + 2);
+
+  TrainerOptions opts;
+  opts.learning_rate = 0.03;
+  opts.momentum = 0.9;
+  opts.max_grad_norm = 0.5;  // per-sample SGD on ReLU nets needs clipping
+  opts.loss = LossKind::kSoftmaxCrossEntropy;
+  opts.seed = seed + 3;
+  Trainer trainer(model.net, model.weights, opts);
+  for (int e = 0; e < epochs; ++e) trainer.TrainEpoch(train);
+  DB_LOG(kInfo) << "MNIST trained: test accuracy "
+                << Trainer(model.net, model.weights, opts)
+                       .ClassificationAccuracy(model.test_set);
+  return model;
+}
+
+TrainedModel TrainZooCifar(std::uint64_t seed, int samples_per_class,
+                           int epochs) {
+  TrainedModel model;
+  model.id = ZooModel::kCifar;
+  model.net = BuildZooModel(ZooModel::kCifar);
+  model.accuracy_kind = AccuracyKind::kClassification;
+  Rng rng(seed);
+  model.weights = WeightStore::CreateRandom(model.net, rng);
+
+  const auto train = MakeTextureDataset(samples_per_class, seed + 1);
+  model.test_set = MakeTextureDataset(samples_per_class / 2 + 2, seed + 2);
+
+  TrainerOptions opts;
+  opts.learning_rate = 0.1;
+  opts.momentum = 0.9;
+  opts.max_grad_norm = 1.0;
+  opts.batch_size = 16;  // pure SGD oscillates on the 8-class task
+  opts.loss = LossKind::kSoftmaxCrossEntropy;
+  opts.seed = seed + 3;
+  Trainer trainer(model.net, model.weights, opts);
+  for (int e = 0; e < epochs; ++e) trainer.TrainEpoch(train);
+  return model;
+}
+
+TrainedModel BuildZooHopfield(std::uint64_t seed) {
+  TrainedModel model;
+  model.id = ZooModel::kHopfield;
+  model.net = BuildZooModel(ZooModel::kHopfield);
+  model.accuracy_kind = AccuracyKind::kTourQuality;
+  model.weights = WeightStore::CreateFor(model.net);
+
+  Rng rng(seed);
+  model.tsp_distances = RandomTspInstance(kHopfieldCities, rng);
+  model.tsp_optimal_length = BruteForceTspLength(model.tsp_distances);
+
+  HopfieldTspParams hp;
+  HopfieldTsp hopfield(model.tsp_distances, hp);
+  const int n = kHopfieldCities;
+  const int n2 = n * n;
+  // Install the Hopfield-Tank couplings into the recurrent layer:
+  //   v_{t+1} = sigmoid( (2/gain) * (W v_t + bias) + (2/gain) * x )
+  // with x the initial symmetry-breaking perturbation fed as input.
+  LayerParams& params = model.weights.at("settle");
+  const double scale = 2.0 / hp.gain;
+  for (int x = 0; x < n; ++x)
+    for (int i = 0; i < n; ++i)
+      for (int y = 0; y < n; ++y)
+        for (int j = 0; j < n; ++j)
+          params.recurrent.at({x * n + i, y * n + j}) =
+              static_cast<float>(scale * hopfield.Weight(x, i, y, j));
+  for (int k = 0; k < n2; ++k) {
+    params.bias[k] = static_cast<float>(scale * hopfield.Bias());
+    params.weights.at({k, k}) = static_cast<float>(scale);
+  }
+
+  // Test inputs: random small perturbations around zero.
+  for (int s = 0; s < 4; ++s) {
+    TrainSample sample;
+    Tensor in(Shape{n2, 1, 1});
+    in.FillUniform(rng, -0.5f, 0.5f);
+    sample.input = std::move(in);
+    sample.target = Tensor(Shape{1, 1, 1},
+                           {static_cast<float>(model.tsp_optimal_length)});
+    model.test_set.push_back(std::move(sample));
+  }
+  return model;
+}
+
+TrainedModel BuildZooCmac(std::uint64_t seed, int train_samples) {
+  TrainedModel model;
+  model.id = ZooModel::kCmac;
+  model.net = BuildZooModel(ZooModel::kCmac);
+  model.accuracy_kind = AccuracyKind::kRelativeError;
+  model.weights = WeightStore::CreateFor(model.net);
+
+  // LMS-train the stand-alone CMAC on inverse kinematics.
+  AssociativeParams ap;
+  ap.num_cells = 512;
+  ap.generalization = 8;
+  ap.num_output = 2;
+  CmacModel cmac(ap, 2);
+  const auto train = MakeArmDataset(train_samples, seed + 1);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (const TrainSample& s : train) {
+      std::vector<float> x = {s.input[0], s.input[1]};
+      std::vector<double> t = {s.target[0], s.target[1]};
+      cmac.TrainStep(x, t, 0.3);
+    }
+  }
+
+  // Install the learned table; the FC output stage is identity.
+  model.weights.at("assoc").weights = cmac.table();
+  LayerParams& fc = model.weights.at("out");
+  fc.weights.Fill(0.0f);
+  fc.weights.at({0, 0}) = 1.0f;
+  fc.weights.at({1, 1}) = 1.0f;
+
+  model.test_set = MakeArmDataset(train_samples / 8, seed + 2);
+  return model;
+}
+
+TrainedModel RandomWeightModel(ZooModel which, std::uint64_t seed,
+                               int eval_inputs) {
+  TrainedModel model;
+  model.id = which;
+  model.net = BuildZooModel(which);
+  model.accuracy_kind = AccuracyKind::kFidelity;
+  Rng rng(seed);
+  // He init keeps the random model's activations at fixed-point-
+  // representable magnitudes through the deep ReLU stack.
+  model.weights = WeightStore::CreateRandomHe(model.net, rng);
+  const BlobShape in_shape =
+      model.net.layer(model.net.input_ids().front()).output_shape;
+  for (int i = 0; i < eval_inputs; ++i) {
+    TrainSample s;
+    Tensor in(Shape{in_shape.channels, in_shape.height, in_shape.width});
+    in.FillUniform(rng, 0.0f, 1.0f);
+    s.input = std::move(in);
+    s.target = Tensor(Shape{1, 1, 1});  // unused for fidelity
+    model.test_set.push_back(std::move(s));
+  }
+  return model;
+}
+
+std::vector<TrainedModel> BuildAllTrainedModels(std::uint64_t seed) {
+  std::vector<TrainedModel> models;
+  models.push_back(TrainZooAnn(ZooModel::kAnn0Fft, seed));
+  models.push_back(TrainZooAnn(ZooModel::kAnn1Jpeg, seed + 10));
+  models.push_back(TrainZooAnn(ZooModel::kAnn2Kmeans, seed + 20));
+  models.push_back(BuildZooHopfield(seed + 30));
+  models.push_back(BuildZooCmac(seed + 40));
+  models.push_back(TrainZooMnist(seed + 50));
+  // One probe input each: a fixed-point Alexnet/NiN forward pass costs
+  // ~1 GMAC of scalar simulation, and fidelity is input-insensitive.
+  models.push_back(RandomWeightModel(ZooModel::kAlexnet, seed + 60, 1));
+  models.push_back(RandomWeightModel(ZooModel::kNin, seed + 70, 1));
+  models.push_back(TrainZooCifar(seed + 80));
+  return models;
+}
+
+std::vector<int> DecodeTourFromActivations(const Tensor& activations,
+                                           int cities) {
+  DB_CHECK_MSG(activations.size() == cities * cities,
+               "activation vector size mismatch");
+  const int n = cities;
+  std::vector<int> tour(static_cast<std::size_t>(n), -1);
+  std::vector<bool> city_used(static_cast<std::size_t>(n), false);
+  std::vector<bool> pos_used(static_cast<std::size_t>(n), false);
+  for (int a = 0; a < n; ++a) {
+    float best = -1e30f;
+    int bc = -1, bp = -1;
+    for (int c = 0; c < n; ++c) {
+      if (city_used[static_cast<std::size_t>(c)]) continue;
+      for (int p = 0; p < n; ++p) {
+        if (pos_used[static_cast<std::size_t>(p)]) continue;
+        const float v = activations[c * n + p];
+        if (v > best) {
+          best = v;
+          bc = c;
+          bp = p;
+        }
+      }
+    }
+    tour[static_cast<std::size_t>(bp)] = bc;
+    city_used[static_cast<std::size_t>(bc)] = true;
+    pos_used[static_cast<std::size_t>(bp)] = true;
+  }
+  return tour;
+}
+
+}  // namespace db

@@ -1,0 +1,69 @@
+// Trained model bundles: network + weights + held-out evaluation data.
+//
+// These substitute the paper's Caffe/Matlab-trained weights (see
+// DESIGN.md).  Every builder is deterministic in its seed.  The big
+// ImageNet models (Alexnet, NiN) use Xavier-random weights and are
+// evaluated by output *fidelity* (float CPU reference vs fixed-point
+// accelerator on identical inputs) rather than task accuracy.
+#pragma once
+
+#include <vector>
+
+#include "models/zoo.h"
+#include "nn/trainer.h"
+#include "nn/weights.h"
+
+namespace db {
+
+/// How a model's accuracy is scored in Fig. 10.
+enum class AccuracyKind {
+  kClassification,  // fraction of correct argmax labels
+  kRelativeError,   // paper Eq. (1) on regression outputs
+  kTourQuality,     // Hopfield: Eq. (1) on tour length vs brute force
+  kFidelity,        // agreement between float reference and accelerator
+};
+
+struct TrainedModel {
+  ZooModel id = ZooModel::kAnn0Fft;
+  Network net;
+  WeightStore weights;
+  std::vector<TrainSample> test_set;
+  AccuracyKind accuracy_kind = AccuracyKind::kRelativeError;
+  /// For kTourQuality: the TSP instance and its optimal length.
+  std::vector<std::vector<double>> tsp_distances;
+  double tsp_optimal_length = 0.0;
+};
+
+/// Train one of the three AxBench approximators (ANN-0/1/2).
+TrainedModel TrainZooAnn(ZooModel which, std::uint64_t seed,
+                         int train_samples = 600, int epochs = 60);
+
+/// Train the 5-layer MNIST CNN on the synthetic digit set.
+TrainedModel TrainZooMnist(std::uint64_t seed, int samples_per_class = 24,
+                           int epochs = 12);
+
+/// Train the Cifar CNN on the synthetic texture set.
+TrainedModel TrainZooCifar(std::uint64_t seed, int samples_per_class = 16,
+                           int epochs = 30);
+
+/// Build the Hopfield TSP model: analytic Hopfield-Tank weights installed
+/// into the recurrent layer.
+TrainedModel BuildZooHopfield(std::uint64_t seed);
+
+/// LMS-train the CMAC on robot-arm inverse kinematics and install the
+/// learned cell table.
+TrainedModel BuildZooCmac(std::uint64_t seed, int train_samples = 4000);
+
+/// Alexnet / NiN with Xavier-random weights (fidelity evaluation).
+TrainedModel RandomWeightModel(ZooModel which, std::uint64_t seed,
+                               int eval_inputs = 2);
+
+/// Build every zoo model's bundle (used by the Fig. 10 bench).
+std::vector<TrainedModel> BuildAllTrainedModels(std::uint64_t seed);
+
+/// Decode a Hopfield activation vector (n*n values, city-major) into a
+/// permutation tour by greedy unique argmax.
+std::vector<int> DecodeTourFromActivations(const Tensor& activations,
+                                           int cities);
+
+}  // namespace db

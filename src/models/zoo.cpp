@@ -1,0 +1,297 @@
+#include "models/zoo.h"
+
+#include "common/error.h"
+#include "frontend/network_def.h"
+
+namespace db {
+
+std::vector<ZooModel> AllZooModels() {
+  return {ZooModel::kAnn0Fft, ZooModel::kAnn1Jpeg, ZooModel::kAnn2Kmeans,
+          ZooModel::kHopfield, ZooModel::kCmac, ZooModel::kMnist,
+          ZooModel::kAlexnet, ZooModel::kNin, ZooModel::kCifar};
+}
+
+std::string ZooModelName(ZooModel model) {
+  switch (model) {
+    case ZooModel::kAnn0Fft: return "ANN-0";
+    case ZooModel::kAnn1Jpeg: return "ANN-1";
+    case ZooModel::kAnn2Kmeans: return "ANN-2";
+    case ZooModel::kHopfield: return "Hopfield";
+    case ZooModel::kCmac: return "CMAC";
+    case ZooModel::kMnist: return "MNIST";
+    case ZooModel::kAlexnet: return "Alexnet";
+    case ZooModel::kNin: return "NiN";
+    case ZooModel::kCifar: return "Cifar";
+  }
+  return "?";
+}
+
+std::string ZooModelApplication(ZooModel model) {
+  switch (model) {
+    case ZooModel::kAnn0Fft: return "fft approximation";
+    case ZooModel::kAnn1Jpeg: return "jpeg approximation";
+    case ZooModel::kAnn2Kmeans: return "kmeans approximation";
+    case ZooModel::kHopfield: return "TSP solver";
+    case ZooModel::kCmac: return "Robot arm control";
+    case ZooModel::kMnist: return "Number recognition";
+    case ZooModel::kAlexnet: return "Image recognition";
+    case ZooModel::kNin: return "Image recognition";
+    case ZooModel::kCifar: return "Image classification";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string FcLayer(const std::string& name, const std::string& bottom,
+                    int num_output) {
+  return "layers {\n  name: \"" + name + "\"\n  type: INNER_PRODUCT\n"
+         "  bottom: \"" + bottom + "\"\n  top: \"" + name + "\"\n"
+         "  inner_product_param { num_output: " +
+         std::to_string(num_output) + " }\n}\n";
+}
+
+std::string ActLayer(const std::string& name, const std::string& bottom,
+                     const std::string& type) {
+  return "layers {\n  name: \"" + name + "\"\n  type: " + type + "\n"
+         "  bottom: \"" + bottom + "\"\n  top: \"" + name + "\"\n}\n";
+}
+
+std::string ConvLayer(const std::string& name, const std::string& bottom,
+                      int num_output, int kernel, int stride, int pad,
+                      int group = 1) {
+  std::string s = "layers {\n  name: \"" + name +
+                  "\"\n  type: CONVOLUTION\n  bottom: \"" + bottom +
+                  "\"\n  top: \"" + name + "\"\n  convolution_param {\n"
+                  "    num_output: " + std::to_string(num_output) +
+                  "\n    kernel_size: " + std::to_string(kernel) +
+                  "\n    stride: " + std::to_string(stride) + "\n";
+  if (pad != 0) s += "    pad: " + std::to_string(pad) + "\n";
+  if (group != 1) s += "    group: " + std::to_string(group) + "\n";
+  s += "  }\n}\n";
+  return s;
+}
+
+std::string PoolLayer(const std::string& name, const std::string& bottom,
+                      const std::string& method, int kernel, int stride) {
+  return "layers {\n  name: \"" + name + "\"\n  type: POOLING\n"
+         "  bottom: \"" + bottom + "\"\n  top: \"" + name + "\"\n"
+         "  pooling_param { pool: " + method +
+         "  kernel_size: " + std::to_string(kernel) +
+         "  stride: " + std::to_string(stride) + " }\n}\n";
+}
+
+std::string LrnLayer(const std::string& name, const std::string& bottom) {
+  return "layers {\n  name: \"" + name + "\"\n  type: LRN\n  bottom: \"" +
+         bottom + "\"\n  top: \"" + name +
+         "\"\n  lrn_param { local_size: 5  alpha: 0.0001  beta: 0.75 }\n"
+         "}\n";
+}
+
+std::string DropLayer(const std::string& name, const std::string& bottom) {
+  return "layers {\n  name: \"" + name + "\"\n  type: DROPOUT\n"
+         "  bottom: \"" + bottom + "\"\n  top: \"" + name + "\"\n"
+         "  dropout_param { dropout_ratio: 0.5 }\n}\n";
+}
+
+std::string Header(const std::string& name, int c, int h, int w) {
+  return "name: \"" + name + "\"\ninput: \"data\"\ninput_dim: 1\n"
+         "input_dim: " + std::to_string(c) + "\ninput_dim: " +
+         std::to_string(h) + "\ninput_dim: " + std::to_string(w) + "\n";
+}
+
+/// A 4-layer MLP (input, two hidden layers, output) used by the AxBench
+/// approximators; activation is TANH for regression-friendly range.
+std::string AnnPrototxt(const std::string& name, int in, int h1, int h2,
+                        int out, const std::string& act) {
+  std::string s = Header(name, in, 1, 1);
+  s += FcLayer("fc1", "data", h1);
+  s += ActLayer("act1", "fc1", act);
+  s += FcLayer("fc2", "act1", h2);
+  s += ActLayer("act2", "fc2", act);
+  s += FcLayer("fc3", "act2", out);
+  return s;
+}
+
+std::string HopfieldPrototxt() {
+  const int n2 = kHopfieldCities * kHopfieldCities;
+  std::string s = Header("hopfield", n2, 1, 1);
+  s += "layers {\n  name: \"settle\"\n  type: RECURRENT\n"
+       "  bottom: \"data\"\n  top: \"settle\"\n"
+       "  recurrent_param { num_output: " + std::to_string(n2) +
+       "  time_steps: 60  activation: SIGMOID }\n"
+       "  connect { name: \"r0\"  direction: recurrent  type: full }\n"
+       "}\n";
+  return s;
+}
+
+std::string CmacPrototxt() {
+  std::string s = Header("cmac", 2, 1, 1);
+  s += "layers {\n  name: \"assoc\"\n  type: ASSOCIATIVE\n"
+       "  bottom: \"data\"\n  top: \"assoc\"\n"
+       "  associative_param { num_cells: 512  generalization: 8  "
+       "num_output: 2 }\n"
+       "  connect { name: \"c0\"  direction: recurrent  "
+       "type: file_specified }\n"
+       "}\n";
+  // Output scaling stage: the "2-layer" CMAC's linear output layer.
+  s += FcLayer("out", "assoc", 2);
+  return s;
+}
+
+std::string MnistPrototxt() {
+  std::string s = Header("mnist", 1, 12, 12);
+  s += ConvLayer("conv1", "data", 8, 3, 1, 0);    // 8 x 10 x 10
+  s += ActLayer("relu1", "conv1", "RELU");
+  s += PoolLayer("pool1", "relu1", "MAX", 2, 2);  // 8 x 5 x 5
+  s += ConvLayer("conv2", "pool1", 16, 3, 1, 0);  // 16 x 3 x 3
+  s += ActLayer("relu2", "conv2", "RELU");
+  s += FcLayer("ip1", "relu2", 10);
+  s += ActLayer("prob", "ip1", "SOFTMAX");
+  return s;
+}
+
+std::string CifarPrototxt() {
+  std::string s = Header("cifar", 3, 16, 16);
+  s += ConvLayer("conv1", "data", 16, 3, 1, 1);   // 16 x 16 x 16
+  s += ActLayer("relu1", "conv1", "RELU");
+  s += PoolLayer("pool1", "relu1", "MAX", 2, 2);  // 16 x 8 x 8
+  s += ConvLayer("conv2", "pool1", 16, 3, 1, 1);  // 16 x 8 x 8
+  s += ActLayer("relu2", "conv2", "RELU");
+  s += PoolLayer("pool2", "relu2", "AVE", 2, 2);  // 16 x 4 x 4
+  s += FcLayer("ip1", "pool2", 32);
+  // Like caffe's cifar10_quick, there is no activation between the two
+  // FC stages (a mid-FC ReLU dies wholesale on the small synthetic task
+  // and freezes every upstream layer).
+  s += FcLayer("ip2", "ip1", 8);
+  s += ActLayer("prob", "ip2", "SOFTMAX");
+  return s;
+}
+
+std::string AlexnetPrototxt() {
+  std::string s = Header("alexnet", 3, 227, 227);
+  s += ConvLayer("conv1", "data", 96, 11, 4, 0);   // 96 x 55 x 55
+  s += ActLayer("relu1", "conv1", "RELU");
+  s += LrnLayer("norm1", "relu1");
+  s += PoolLayer("pool1", "norm1", "MAX", 3, 2);   // 96 x 27 x 27
+  s += ConvLayer("conv2", "pool1", 256, 5, 1, 2, 2);  // 256x27x27, groups
+  s += ActLayer("relu2", "conv2", "RELU");
+  s += LrnLayer("norm2", "relu2");
+  s += PoolLayer("pool2", "norm2", "MAX", 3, 2);   // 256 x 13 x 13
+  s += ConvLayer("conv3", "pool2", 384, 3, 1, 1);
+  s += ActLayer("relu3", "conv3", "RELU");
+  s += ConvLayer("conv4", "relu3", 384, 3, 1, 1, 2);
+  s += ActLayer("relu4", "conv4", "RELU");
+  s += ConvLayer("conv5", "relu4", 256, 3, 1, 1, 2);
+  s += ActLayer("relu5", "conv5", "RELU");
+  s += PoolLayer("pool5", "relu5", "MAX", 3, 2);   // 256 x 6 x 6
+  s += FcLayer("fc6", "pool5", 4096);
+  s += ActLayer("relu6", "fc6", "RELU");
+  s += DropLayer("drop6", "relu6");
+  s += FcLayer("fc7", "drop6", 4096);
+  s += ActLayer("relu7", "fc7", "RELU");
+  s += DropLayer("drop7", "relu7");
+  s += FcLayer("fc8", "drop7", 1000);
+  s += ActLayer("prob", "fc8", "SOFTMAX");
+  return s;
+}
+
+std::string NinPrototxt() {
+  std::string s = Header("nin", 3, 224, 224);
+  s += ConvLayer("conv1", "data", 96, 11, 4, 0);   // 96 x 54 x 54
+  s += ActLayer("relu0", "conv1", "RELU");
+  s += ConvLayer("cccp1", "relu0", 96, 1, 1, 0);
+  s += ActLayer("relu1", "cccp1", "RELU");
+  s += ConvLayer("cccp2", "relu1", 96, 1, 1, 0);
+  s += ActLayer("relu2", "cccp2", "RELU");
+  s += PoolLayer("pool1", "relu2", "MAX", 3, 2);   // 96 x 27 x 27
+  s += ConvLayer("conv2", "pool1", 256, 5, 1, 2);
+  s += ActLayer("relu3", "conv2", "RELU");
+  s += ConvLayer("cccp3", "relu3", 256, 1, 1, 0);
+  s += ActLayer("relu4", "cccp3", "RELU");
+  s += ConvLayer("cccp4", "relu4", 256, 1, 1, 0);
+  s += ActLayer("relu5", "cccp4", "RELU");
+  s += PoolLayer("pool2", "relu5", "MAX", 3, 2);   // 256 x 13 x 13
+  s += ConvLayer("conv3", "pool2", 384, 3, 1, 1);
+  s += ActLayer("relu6", "conv3", "RELU");
+  s += ConvLayer("cccp5", "relu6", 384, 1, 1, 0);
+  s += ActLayer("relu7", "cccp5", "RELU");
+  s += ConvLayer("cccp6", "relu7", 384, 1, 1, 0);
+  s += ActLayer("relu8", "cccp6", "RELU");
+  s += PoolLayer("pool3", "relu8", "MAX", 3, 2);   // 384 x 6 x 6
+  s += DropLayer("drop", "pool3");
+  s += ConvLayer("conv4", "drop", 1024, 3, 1, 1);
+  s += ActLayer("relu9", "conv4", "RELU");
+  s += ConvLayer("cccp7", "relu9", 1024, 1, 1, 0);
+  s += ActLayer("relu10", "cccp7", "RELU");
+  s += ConvLayer("cccp8", "relu10", 1000, 1, 1, 0);
+  s += ActLayer("relu11", "cccp8", "RELU");
+  s += PoolLayer("pool4", "relu11", "AVE", 6, 1);  // 1000 x 1 x 1
+  s += ActLayer("prob", "pool4", "SOFTMAX");
+  return s;
+}
+
+}  // namespace
+
+std::string ZooModelPrototxt(ZooModel model) {
+  switch (model) {
+    case ZooModel::kAnn0Fft:
+      return AnnPrototxt("ann0_fft", 1, 8, 8, 2, "TANH");
+    case ZooModel::kAnn1Jpeg:
+      return AnnPrototxt("ann1_jpeg", 8, 32, 16, 8, "TANH");
+    case ZooModel::kAnn2Kmeans:
+      return AnnPrototxt("ann2_kmeans", 2, 16, 8, 2, "SIGMOID");
+    case ZooModel::kHopfield: return HopfieldPrototxt();
+    case ZooModel::kCmac: return CmacPrototxt();
+    case ZooModel::kMnist: return MnistPrototxt();
+    case ZooModel::kAlexnet: return AlexnetPrototxt();
+    case ZooModel::kNin: return NinPrototxt();
+    case ZooModel::kCifar: return CifarPrototxt();
+  }
+  DB_THROW("unknown zoo model");
+}
+
+Network BuildZooModel(ZooModel model) {
+  return Network::Build(ParseNetworkDef(ZooModelPrototxt(model)));
+}
+
+std::string InceptionDemoPrototxt() {
+  std::string s = Header("inception_demo", 8, 14, 14);
+  s += ConvLayer("b1", "data", 8, 1, 1, 0);
+  s += ConvLayer("b3", "data", 8, 3, 1, 1);
+  s += ConvLayer("b5", "data", 4, 5, 1, 2);
+  s += "layers {\n  name: \"pool_branch\"\n  type: POOLING\n"
+       "  bottom: \"data\"\n  top: \"pool_branch\"\n"
+       "  pooling_param { pool: MAX  kernel_size: 3  stride: 1  pad: 1 }\n"
+       "}\n";
+  s += "layers {\n  name: \"cat\"\n  type: CONCAT\n"
+       "  bottom: \"b1\"\n  bottom: \"b3\"\n  bottom: \"b5\"\n"
+       "  bottom: \"pool_branch\"\n  top: \"cat\"\n}\n";
+  s += ActLayer("relu_cat", "cat", "RELU");
+  s += FcLayer("fc", "relu_cat", 10);
+  s += ActLayer("prob", "fc", "SOFTMAX");
+  return s;
+}
+
+DesignConstraint DbConstraint() {
+  DesignConstraint c;
+  c.device = "zynq-7045";
+  c.budget = BudgetLevel::kMedium;
+  return c;
+}
+
+DesignConstraint DbLConstraint() {
+  DesignConstraint c;
+  c.device = "zynq-7045";
+  c.budget = BudgetLevel::kHigh;
+  return c;
+}
+
+DesignConstraint DbSConstraint() {
+  DesignConstraint c;
+  c.device = "zynq-7020";
+  c.budget = BudgetLevel::kLow;
+  return c;
+}
+
+}  // namespace db

@@ -1,0 +1,84 @@
+#include "nn/cmac.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace db {
+namespace {
+
+std::uint64_t FnvCombine(std::uint64_t hash, std::uint64_t value) {
+  // FNV-1a over the 8 bytes of `value`.
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFFu;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> CmacActiveCells(const std::vector<float>& x,
+                                          const AssociativeParams& p) {
+  DB_CHECK_MSG(!x.empty(), "CMAC input is empty");
+  std::vector<std::int64_t> cells;
+  cells.reserve(static_cast<std::size_t>(p.generalization));
+  for (std::int64_t j = 0; j < p.generalization; ++j) {
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    hash = FnvCombine(hash, static_cast<std::uint64_t>(j));
+    for (float xv : x) {
+      const double clamped = std::clamp(static_cast<double>(xv), 0.0, 1.0);
+      // Quantise onto the conceptual grid, shifted by offset j, then
+      // coarsened by the generalisation width — overlapping receptive
+      // fields, one per offset layer.
+      const std::int64_t fine = static_cast<std::int64_t>(
+          clamped * static_cast<double>(p.num_cells - 1));
+      const std::int64_t coarse = (fine + j) / p.generalization;
+      hash = FnvCombine(hash, static_cast<std::uint64_t>(coarse));
+    }
+    cells.push_back(static_cast<std::int64_t>(
+        hash % static_cast<std::uint64_t>(p.num_cells)));
+  }
+  return cells;
+}
+
+CmacModel::CmacModel(AssociativeParams params, std::int64_t input_dims)
+    : params_(params),
+      input_dims_(input_dims),
+      table_(Shape{params.num_output, params.num_cells}) {
+  DB_CHECK_MSG(input_dims > 0, "CMAC input_dims must be positive");
+}
+
+std::vector<double> CmacModel::Predict(const std::vector<float>& x) const {
+  DB_CHECK_MSG(static_cast<std::int64_t>(x.size()) == input_dims_,
+               "CMAC input dimension mismatch");
+  const std::vector<std::int64_t> cells = CmacActiveCells(x, params_);
+  std::vector<double> out(static_cast<std::size_t>(params_.num_output), 0.0);
+  for (std::int64_t o = 0; o < params_.num_output; ++o)
+    for (std::int64_t cell : cells)
+      out[static_cast<std::size_t>(o)] += table_.at({o, cell});
+  return out;
+}
+
+double CmacModel::TrainStep(const std::vector<float>& x,
+                            const std::vector<double>& target,
+                            double learning_rate) {
+  DB_CHECK_MSG(static_cast<std::int64_t>(target.size()) ==
+                   params_.num_output,
+               "CMAC target dimension mismatch");
+  const std::vector<std::int64_t> cells = CmacActiveCells(x, params_);
+  const std::vector<double> pred = Predict(x);
+  double sq_err = 0.0;
+  const double share = learning_rate / static_cast<double>(cells.size());
+  for (std::int64_t o = 0; o < params_.num_output; ++o) {
+    const double err =
+        target[static_cast<std::size_t>(o)] - pred[static_cast<std::size_t>(o)];
+    sq_err += err * err;
+    for (std::int64_t cell : cells)
+      table_.at({o, cell}) += static_cast<float>(share * err);
+  }
+  return sq_err;
+}
+
+}  // namespace db

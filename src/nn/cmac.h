@@ -1,0 +1,54 @@
+// CMAC (Cerebellar Model Articulation Controller) support.
+//
+// The paper's Table 1/2 include a 2-layer CMAC used for robot arm control;
+// its association layer maps to DeepBurning's "associative layer"
+// (connection-box hardware).  The association hashing here is shared by
+// the float executor, the fixed-point functional simulator and the
+// stand-alone CmacModel trainer so all three activate identical cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/network_def.h"
+#include "tensor/tensor.h"
+
+namespace db {
+
+/// Indices of the `generalization` cells activated by input `x`
+/// (components expected in [0, 1]; values outside are clamped).
+/// Deterministic FNV-based hashing onto `num_cells` table entries, one
+/// cell per overlapping quantisation offset — the classic CMAC scheme.
+std::vector<std::int64_t> CmacActiveCells(const std::vector<float>& x,
+                                          const AssociativeParams& p);
+
+/// Stand-alone CMAC learner: lookup table trained with the LMS delta rule.
+/// Used by the robot-arm benchmark; the learned table is then installed
+/// into a WeightStore associative layer for accelerator generation.
+class CmacModel {
+ public:
+  CmacModel(AssociativeParams params, std::int64_t input_dims);
+
+  /// Predict outputs for input x (components in [0,1]).
+  std::vector<double> Predict(const std::vector<float>& x) const;
+
+  /// One LMS update: distribute the prediction error equally over the
+  /// active cells.  Returns the pre-update squared error.
+  double TrainStep(const std::vector<float>& x,
+                   const std::vector<double>& target, double learning_rate);
+
+  /// The cell table, shaped {num_output, num_cells}; transferable into a
+  /// WeightStore associative layer.
+  const Tensor& table() const { return table_; }
+  Tensor& table() { return table_; }
+
+  const AssociativeParams& params() const { return params_; }
+  std::int64_t input_dims() const { return input_dims_; }
+
+ private:
+  AssociativeParams params_;
+  std::int64_t input_dims_;
+  Tensor table_;
+};
+
+}  // namespace db

@@ -1,0 +1,415 @@
+#include "nn/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "nn/cmac.h"
+
+namespace db {
+
+Tensor ConvolutionForward(const Tensor& in, const LayerParams& params,
+                          const ConvolutionParams& p) {
+  DB_CHECK_MSG(in.shape().rank() == 3, "convolution input must be CHW");
+  const std::int64_t in_c = in.shape().dim(0);
+  const std::int64_t in_h = in.shape().dim(1);
+  const std::int64_t in_w = in.shape().dim(2);
+  const std::int64_t oh = ConvOutDim(in_h, p.kernel_size, p.stride, p.pad);
+  const std::int64_t ow = ConvOutDim(in_w, p.kernel_size, p.stride, p.pad);
+  DB_CHECK_MSG(oh > 0 && ow > 0, "convolution output is empty");
+  DB_CHECK_MSG(params.weights.shape() ==
+                   Shape({p.num_output, in_c / p.group, p.kernel_size,
+                          p.kernel_size}),
+               "convolution weight shape mismatch");
+
+  Tensor out(Shape{p.num_output, oh, ow});
+  const bool has_bias = params.bias.size() > 0;
+  const std::int64_t group_in = in_c / p.group;
+  const std::int64_t group_out = p.num_output / p.group;
+  for (std::int64_t oc = 0; oc < p.num_output; ++oc) {
+    const std::int64_t ic_base = (oc / group_out) * group_in;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        double acc = has_bias ? params.bias[oc] : 0.0;
+        for (std::int64_t g = 0; g < group_in; ++g) {
+          const std::int64_t ic = ic_base + g;
+          for (std::int64_t ky = 0; ky < p.kernel_size; ++ky) {
+            const std::int64_t iy = y * p.stride + ky - p.pad;
+            if (iy < 0 || iy >= in_h) continue;
+            for (std::int64_t kx = 0; kx < p.kernel_size; ++kx) {
+              const std::int64_t ix = x * p.stride + kx - p.pad;
+              if (ix < 0 || ix >= in_w) continue;
+              acc += static_cast<double>(in.at3(ic, iy, ix)) *
+                     params.weights.at({oc, g, ky, kx});
+            }
+          }
+        }
+        out.at3(oc, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PoolingForward(const Tensor& in, const PoolingParams& p) {
+  DB_CHECK_MSG(in.shape().rank() == 3, "pooling input must be CHW");
+  const std::int64_t c = in.shape().dim(0);
+  const std::int64_t in_h = in.shape().dim(1);
+  const std::int64_t in_w = in.shape().dim(2);
+  const std::int64_t oh =
+      CeilDiv(in_h + 2 * p.pad - p.kernel_size, p.stride) + 1;
+  const std::int64_t ow =
+      CeilDiv(in_w + 2 * p.pad - p.kernel_size, p.stride) + 1;
+
+  Tensor out(Shape{c, oh, ow});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const std::int64_t y0 = std::max<std::int64_t>(y * p.stride - p.pad,
+                                                       0);
+        const std::int64_t x0 = std::max<std::int64_t>(x * p.stride - p.pad,
+                                                       0);
+        const std::int64_t y1 =
+            std::min(y * p.stride - p.pad + p.kernel_size, in_h);
+        const std::int64_t x1 =
+            std::min(x * p.stride - p.pad + p.kernel_size, in_w);
+        if (p.method == PoolMethod::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t iy = y0; iy < y1; ++iy)
+            for (std::int64_t ix = x0; ix < x1; ++ix)
+              best = std::max(best, in.at3(ch, iy, ix));
+          out.at3(ch, y, x) = best;
+        } else {
+          double sum = 0.0;
+          for (std::int64_t iy = y0; iy < y1; ++iy)
+            for (std::int64_t ix = x0; ix < x1; ++ix)
+              sum += in.at3(ch, iy, ix);
+          // Average over the nominal window (Caffe divides by k*k).
+          out.at3(ch, y, x) = static_cast<float>(
+              sum / static_cast<double>(p.kernel_size * p.kernel_size));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor InnerProductForward(const Tensor& in, const LayerParams& params,
+                           const InnerProductParams& p) {
+  const std::int64_t in_n = in.size();
+  DB_CHECK_MSG(params.weights.shape() == Shape({p.num_output, in_n}),
+               "inner product weight shape mismatch");
+  Tensor out(Shape{p.num_output, 1, 1});
+  const bool has_bias = params.bias.size() > 0;
+  for (std::int64_t o = 0; o < p.num_output; ++o) {
+    double acc = has_bias ? params.bias[o] : 0.0;
+    for (std::int64_t i = 0; i < in_n; ++i)
+      acc += static_cast<double>(params.weights.at({o, i})) * in[i];
+    out[o] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+namespace {
+template <typename Fn>
+Tensor ElementwiseForward(const Tensor& in, Fn fn) {
+  Tensor out(in.shape());
+  for (std::int64_t i = 0; i < in.size(); ++i)
+    out[i] = static_cast<float>(fn(static_cast<double>(in[i])));
+  return out;
+}
+}  // namespace
+
+Tensor ReluForward(const Tensor& in) {
+  return ElementwiseForward(in, [](double x) { return Relu(x); });
+}
+
+Tensor SigmoidForward(const Tensor& in) {
+  return ElementwiseForward(in, [](double x) { return Sigmoid(x); });
+}
+
+Tensor TanhForward(const Tensor& in) {
+  return ElementwiseForward(in, [](double x) { return TanhFn(x); });
+}
+
+Tensor LrnForward(const Tensor& in, const LrnParams& p) {
+  DB_CHECK_MSG(in.shape().rank() == 3, "lrn input must be CHW");
+  const std::int64_t c = in.shape().dim(0);
+  const std::int64_t h = in.shape().dim(1);
+  const std::int64_t w = in.shape().dim(2);
+  Tensor out(in.shape());
+  const std::int64_t half = p.local_size / 2;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const std::int64_t c0 = std::max<std::int64_t>(ch - half, 0);
+    const std::int64_t c1 = std::min<std::int64_t>(ch + half + 1, c);
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        double sum_sq = 0.0;
+        for (std::int64_t cc = c0; cc < c1; ++cc) {
+          const double v = in.at3(cc, y, x);
+          sum_sq += v * v;
+        }
+        const double scale =
+            1.0 + p.alpha / static_cast<double>(p.local_size) * sum_sq;
+        out.at3(ch, y, x) = static_cast<float>(
+            in.at3(ch, y, x) / std::pow(scale, p.beta));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxForward(const Tensor& in) {
+  Tensor out(in.shape());
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (std::int64_t i = 0; i < in.size(); ++i)
+    max_v = std::max(max_v, static_cast<double>(in[i]));
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < in.size(); ++i) {
+    const double e = std::exp(static_cast<double>(in[i]) - max_v);
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  for (std::int64_t i = 0; i < in.size(); ++i)
+    out[i] = static_cast<float>(out[i] / sum);
+  return out;
+}
+
+Tensor DropoutForward(const Tensor& in, const DropoutParams& p,
+                      const ExecutorOptions& opts) {
+  if (!opts.training_mode) return in;  // inverted dropout: identity at test
+  Tensor out(in.shape());
+  Rng rng(opts.dropout_seed);
+  const float scale = static_cast<float>(1.0 / (1.0 - p.ratio));
+  for (std::int64_t i = 0; i < in.size(); ++i)
+    out[i] = rng.Bernoulli(p.ratio) ? 0.0f : in[i] * scale;
+  return out;
+}
+
+Tensor RecurrentForward(const Tensor& in, const LayerParams& params,
+                        const RecurrentParams& p) {
+  const std::int64_t in_n = in.size();
+  DB_CHECK_MSG(params.weights.shape() == Shape({p.num_output, in_n}),
+               "recurrent input-weight shape mismatch");
+  DB_CHECK_MSG(params.recurrent.shape() ==
+                   Shape({p.num_output, p.num_output}),
+               "recurrent state-weight shape mismatch");
+  std::vector<double> h(static_cast<std::size_t>(p.num_output), 0.0);
+  std::vector<double> next(h.size(), 0.0);
+  for (std::int64_t t = 0; t < p.time_steps; ++t) {
+    for (std::int64_t o = 0; o < p.num_output; ++o) {
+      double acc = params.bias.size() > 0 ? params.bias[o] : 0.0;
+      for (std::int64_t i = 0; i < in_n; ++i)
+        acc += static_cast<double>(params.weights.at({o, i})) * in[i];
+      for (std::int64_t j = 0; j < p.num_output; ++j)
+        acc += static_cast<double>(params.recurrent.at({o, j})) *
+               h[static_cast<std::size_t>(j)];
+      switch (p.activation) {
+        case RecurrentActivation::kTanh: acc = TanhFn(acc); break;
+        case RecurrentActivation::kSigmoid: acc = Sigmoid(acc); break;
+        case RecurrentActivation::kNone: break;
+      }
+      next[static_cast<std::size_t>(o)] = acc;
+    }
+    h.swap(next);
+  }
+  Tensor out(Shape{p.num_output, 1, 1});
+  for (std::int64_t o = 0; o < p.num_output; ++o)
+    out[o] = static_cast<float>(h[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+Tensor LstmForward(const Tensor& in, const LayerParams& params,
+                   const LstmParams& p) {
+  const std::int64_t in_n = in.size();
+  const std::int64_t h = p.num_output;
+  DB_CHECK_MSG(params.weights.shape() == Shape({4 * h, in_n}),
+               "lstm input-weight shape mismatch");
+  DB_CHECK_MSG(params.recurrent.shape() == Shape({4 * h, h}),
+               "lstm state-weight shape mismatch");
+  // Gate rows: [0,H) input, [H,2H) forget, [2H,3H) cell, [3H,4H) output.
+  std::vector<double> hidden(static_cast<std::size_t>(h), 0.0);
+  std::vector<double> cell(static_cast<std::size_t>(h), 0.0);
+  std::vector<double> gates(static_cast<std::size_t>(4 * h), 0.0);
+  for (std::int64_t t = 0; t < p.time_steps; ++t) {
+    for (std::int64_t g = 0; g < 4 * h; ++g) {
+      double acc = params.bias.size() > 0 ? params.bias[g] : 0.0;
+      for (std::int64_t i = 0; i < in_n; ++i)
+        acc += static_cast<double>(params.weights.at({g, i})) * in[i];
+      for (std::int64_t j = 0; j < h; ++j)
+        acc += static_cast<double>(params.recurrent.at({g, j})) *
+               hidden[static_cast<std::size_t>(j)];
+      gates[static_cast<std::size_t>(g)] = acc;
+    }
+    for (std::int64_t j = 0; j < h; ++j) {
+      const double gi = Sigmoid(gates[static_cast<std::size_t>(j)]);
+      const double gf = Sigmoid(gates[static_cast<std::size_t>(h + j)]);
+      const double gc = TanhFn(gates[static_cast<std::size_t>(2 * h + j)]);
+      const double go = Sigmoid(gates[static_cast<std::size_t>(3 * h + j)]);
+      cell[static_cast<std::size_t>(j)] =
+          gf * cell[static_cast<std::size_t>(j)] + gi * gc;
+      hidden[static_cast<std::size_t>(j)] =
+          go * TanhFn(cell[static_cast<std::size_t>(j)]);
+    }
+  }
+  Tensor out(Shape{h, 1, 1});
+  for (std::int64_t j = 0; j < h; ++j)
+    out[j] = static_cast<float>(hidden[static_cast<std::size_t>(j)]);
+  return out;
+}
+
+Tensor AssociativeForward(const Tensor& in, const LayerParams& params,
+                          const AssociativeParams& p) {
+  DB_CHECK_MSG(params.weights.shape() == Shape({p.num_output, p.num_cells}),
+               "associative table shape mismatch");
+  std::vector<float> x(in.data(), in.data() + in.size());
+  const std::vector<std::int64_t> cells = CmacActiveCells(x, p);
+  Tensor out(Shape{p.num_output, 1, 1});
+  for (std::int64_t o = 0; o < p.num_output; ++o) {
+    double acc = 0.0;
+    for (std::int64_t cell : cells) acc += params.weights.at({o, cell});
+    out[o] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor ConcatForward(const std::vector<Tensor>& ins) {
+  DB_CHECK_MSG(!ins.empty(), "concat of zero tensors");
+  std::int64_t channels = 0;
+  const std::int64_t h = ins.front().shape().dim(1);
+  const std::int64_t w = ins.front().shape().dim(2);
+  for (const Tensor& t : ins) {
+    DB_CHECK_MSG(t.shape().rank() == 3 && t.shape().dim(1) == h &&
+                     t.shape().dim(2) == w,
+                 "concat spatial mismatch");
+    channels += t.shape().dim(0);
+  }
+  Tensor out(Shape{channels, h, w});
+  std::int64_t c_off = 0;
+  for (const Tensor& t : ins) {
+    for (std::int64_t c = 0; c < t.shape().dim(0); ++c)
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x)
+          out.at3(c_off + c, y, x) = t.at3(c, y, x);
+    c_off += t.shape().dim(0);
+  }
+  return out;
+}
+
+Tensor ClassifierForward(const Tensor& in, const ClassifierParams& p) {
+  // k-sorter: emit the indices of the top-k activations, best first.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(in.size()));
+  for (std::int64_t i = 0; i < in.size(); ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  const std::int64_t k = std::min<std::int64_t>(p.top_k, in.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::int64_t a, std::int64_t b) {
+                      if (in[a] != in[b]) return in[a] > in[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  Tensor out(Shape{p.top_k, 1, 1});
+  for (std::int64_t i = 0; i < k; ++i)
+    out[i] = static_cast<float>(order[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+Executor::Executor(const Network& net, const WeightStore& weights,
+                   ExecutorOptions opts)
+    : net_(net), weights_(weights), opts_(opts) {}
+
+std::map<std::string, Tensor> Executor::Forward(
+    const std::map<std::string, Tensor>& inputs) const {
+  std::map<std::string, Tensor> acts;  // layer name -> activation
+  std::vector<Tensor> by_id(net_.layers().size());
+
+  for (const IrLayer& layer : net_.layers()) {
+    if (layer.kind() == LayerKind::kInput) {
+      const auto it = inputs.find(layer.name());
+      if (it == inputs.end())
+        DB_THROW("missing input tensor for blob '" << layer.name() << "'");
+      const BlobShape& bs = layer.output_shape;
+      if (it->second.shape() != Shape({bs.channels, bs.height, bs.width}))
+        DB_THROW("input '" << layer.name() << "' has shape "
+                 << it->second.shape().ToString() << ", expected "
+                 << bs.ToString());
+      by_id[static_cast<std::size_t>(layer.id)] = it->second;
+      acts[layer.name()] = it->second;
+      continue;
+    }
+
+    std::vector<Tensor> ins;
+    ins.reserve(layer.input_ids.size());
+    for (int id : layer.input_ids)
+      ins.push_back(by_id[static_cast<std::size_t>(id)]);
+
+    Tensor out;
+    switch (layer.kind()) {
+      case LayerKind::kConvolution:
+        out = ConvolutionForward(ins.front(), weights_.at(layer.name()),
+                                 *layer.def.conv);
+        break;
+      case LayerKind::kPooling:
+        out = PoolingForward(ins.front(), *layer.def.pool);
+        break;
+      case LayerKind::kInnerProduct:
+        out = InnerProductForward(ins.front(), weights_.at(layer.name()),
+                                  *layer.def.fc);
+        break;
+      case LayerKind::kRelu:
+        out = ReluForward(ins.front());
+        break;
+      case LayerKind::kSigmoid:
+        out = SigmoidForward(ins.front());
+        break;
+      case LayerKind::kTanh:
+        out = TanhForward(ins.front());
+        break;
+      case LayerKind::kLrn:
+        out = LrnForward(ins.front(), *layer.def.lrn);
+        break;
+      case LayerKind::kDropout:
+        out = DropoutForward(ins.front(), *layer.def.dropout, opts_);
+        break;
+      case LayerKind::kSoftmax:
+        out = SoftmaxForward(ins.front());
+        break;
+      case LayerKind::kRecurrent:
+        out = RecurrentForward(ins.front(), weights_.at(layer.name()),
+                               *layer.def.recurrent);
+        break;
+      case LayerKind::kLstm:
+        out = LstmForward(ins.front(), weights_.at(layer.name()),
+                          *layer.def.lstm);
+        break;
+      case LayerKind::kAssociative:
+        out = AssociativeForward(ins.front(), weights_.at(layer.name()),
+                                 *layer.def.associative);
+        break;
+      case LayerKind::kConcat:
+        out = ConcatForward(ins);
+        break;
+      case LayerKind::kClassifier:
+        out = ClassifierForward(ins.front(), *layer.def.classifier);
+        break;
+      case LayerKind::kInput:
+        break;  // handled above
+    }
+    // The executor stores per-layer activations under the layer name even
+    // for in-place layers, so accuracy probes can inspect any point.
+    by_id[static_cast<std::size_t>(layer.id)] = out;
+    acts[layer.name()] = std::move(out);
+  }
+  return acts;
+}
+
+Tensor Executor::ForwardOutput(const Tensor& input) const {
+  DB_CHECK_MSG(net_.input_ids().size() == 1,
+               "ForwardOutput requires a single-input network");
+  const IrLayer& in_layer = net_.layer(net_.input_ids().front());
+  std::map<std::string, Tensor> inputs{{in_layer.name(), input}};
+  auto acts = Forward(inputs);
+  return acts.at(net_.OutputLayer().name());
+}
+
+}  // namespace db

@@ -1,0 +1,69 @@
+// Float reference executor: the "software NN on CPU" of the paper's
+// evaluation.  It is the golden functional model the fixed-point
+// accelerator simulator is checked against (Fig. 10), and doubles as the
+// inference engine behind the SGD trainer.
+//
+// The per-layer kernels are exposed as free functions so unit tests and
+// the functional simulator can exercise them individually.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/weights.h"
+
+namespace db {
+
+struct ExecutorOptions {
+  bool training_mode = false;   // dropout applies a random mask when true
+  std::uint64_t dropout_seed = 1;
+};
+
+/// Per-layer reference kernels.  Feature maps are (C, H, W) tensors.
+Tensor ConvolutionForward(const Tensor& in, const LayerParams& params,
+                          const ConvolutionParams& p);
+Tensor PoolingForward(const Tensor& in, const PoolingParams& p);
+Tensor InnerProductForward(const Tensor& in, const LayerParams& params,
+                           const InnerProductParams& p);
+Tensor ReluForward(const Tensor& in);
+Tensor SigmoidForward(const Tensor& in);
+Tensor TanhForward(const Tensor& in);
+Tensor LrnForward(const Tensor& in, const LrnParams& p);
+Tensor SoftmaxForward(const Tensor& in);
+Tensor DropoutForward(const Tensor& in, const DropoutParams& p,
+                      const ExecutorOptions& opts);
+Tensor RecurrentForward(const Tensor& in, const LayerParams& params,
+                        const RecurrentParams& p);
+Tensor LstmForward(const Tensor& in, const LayerParams& params,
+                   const LstmParams& p);
+Tensor AssociativeForward(const Tensor& in, const LayerParams& params,
+                          const AssociativeParams& p);
+Tensor ConcatForward(const std::vector<Tensor>& ins);
+Tensor ClassifierForward(const Tensor& in, const ClassifierParams& p);
+
+/// Forward-propagation engine over a shape-inferred Network.
+class Executor {
+ public:
+  Executor(const Network& net, const WeightStore& weights,
+           ExecutorOptions opts = {});
+
+  /// Run one forward propagation.  `inputs` is keyed by input-layer name;
+  /// shapes must match the network's declared input geometry.  Returns the
+  /// activation of every layer keyed by layer name (the output layer's
+  /// entry is the network result).
+  std::map<std::string, Tensor> Forward(
+      const std::map<std::string, Tensor>& inputs) const;
+
+  /// Single-input convenience: feed `input` to the sole input layer and
+  /// return the output layer's activation.
+  Tensor ForwardOutput(const Tensor& input) const;
+
+  const Network& network() const { return net_; }
+
+ private:
+  const Network& net_;
+  const WeightStore& weights_;
+  ExecutorOptions opts_;
+};
+
+}  // namespace db

@@ -1,0 +1,148 @@
+#include "nn/hopfield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace db {
+
+HopfieldTsp::HopfieldTsp(const std::vector<std::vector<double>>& distances,
+                         HopfieldTspParams params)
+    : n_(static_cast<int>(distances.size())),
+      params_(params),
+      dist_(distances),
+      u_(static_cast<std::size_t>(n_ * n_), 0.0),
+      v_(static_cast<std::size_t>(n_ * n_), 0.0) {
+  DB_CHECK_MSG(n_ >= 2, "TSP needs at least two cities");
+  for (const auto& row : dist_)
+    DB_CHECK_MSG(static_cast<int>(row.size()) == n_,
+                 "distance matrix must be square");
+}
+
+void HopfieldTsp::Reset(Rng& rng) {
+  // Bias potentials so activations start near the uniform n-cities/n-slots
+  // fixed point, plus a small symmetry-breaking perturbation.
+  const double u00 =
+      params_.gain * std::atanh(2.0 / static_cast<double>(n_) - 1.0);
+  for (std::size_t i = 0; i < u_.size(); ++i) {
+    u_[i] = u00 + rng.Uniform(-0.1, 0.1) * params_.gain;
+    v_[i] = Sigmoid(2.0 * u_[i] / params_.gain);
+  }
+}
+
+double HopfieldTsp::Weight(int x, int i, int y, int j) const {
+  double w = 0.0;
+  const bool same_city = x == y;
+  const bool same_pos = i == j;
+  if (same_city && !same_pos) w -= params_.a;          // one slot per city
+  if (same_pos && !same_city) w -= params_.b;          // one city per slot
+  w -= params_.c;                                      // global neuron count
+  if (!same_city) {
+    // Tour-length term couples adjacent positions (cyclic).
+    const int prev = (j + n_ - 1) % n_;
+    const int next = (j + 1) % n_;
+    if (i == prev || i == next)
+      w -= params_.d * dist_[static_cast<std::size_t>(x)]
+                            [static_cast<std::size_t>(y)];
+  }
+  return w;
+}
+
+double HopfieldTsp::Bias() const {
+  return params_.c * static_cast<double>(n_);
+}
+
+double HopfieldTsp::Step() {
+  std::vector<double> du(u_.size(), 0.0);
+  for (int x = 0; x < n_; ++x) {
+    for (int i = 0; i < n_; ++i) {
+      const int xi = Index(x, i);
+      double net = Bias();
+      for (int y = 0; y < n_; ++y)
+        for (int j = 0; j < n_; ++j)
+          net += Weight(x, i, y, j) * v_[static_cast<std::size_t>(
+                                         Index(y, j))];
+      du[static_cast<std::size_t>(xi)] =
+          -u_[static_cast<std::size_t>(xi)] + net;
+    }
+  }
+  for (std::size_t k = 0; k < u_.size(); ++k) {
+    u_[k] += params_.dt * du[k];
+    v_[k] = Sigmoid(2.0 * u_[k] / params_.gain);
+  }
+  return Energy();
+}
+
+void HopfieldTsp::Settle(Rng& rng) {
+  Reset(rng);
+  for (int s = 0; s < params_.steps; ++s) Step();
+}
+
+Tensor HopfieldTsp::Activations() const {
+  Tensor t(Shape{n_, n_});
+  for (int x = 0; x < n_; ++x)
+    for (int i = 0; i < n_; ++i)
+      t.at({x, i}) =
+          static_cast<float>(v_[static_cast<std::size_t>(Index(x, i))]);
+  return t;
+}
+
+std::vector<int> HopfieldTsp::DecodeTour() const {
+  // Greedy assignment: repeatedly take the strongest remaining
+  // (city, position) activation.  Guarantees a valid permutation even if
+  // the network has not fully converged.
+  std::vector<int> tour(static_cast<std::size_t>(n_), -1);
+  std::vector<bool> city_used(static_cast<std::size_t>(n_), false);
+  std::vector<bool> pos_used(static_cast<std::size_t>(n_), false);
+  for (int assigned = 0; assigned < n_; ++assigned) {
+    double best = -1.0;
+    int best_city = -1;
+    int best_pos = -1;
+    for (int x = 0; x < n_; ++x) {
+      if (city_used[static_cast<std::size_t>(x)]) continue;
+      for (int i = 0; i < n_; ++i) {
+        if (pos_used[static_cast<std::size_t>(i)]) continue;
+        const double act = v_[static_cast<std::size_t>(Index(x, i))];
+        if (act > best) {
+          best = act;
+          best_city = x;
+          best_pos = i;
+        }
+      }
+    }
+    tour[static_cast<std::size_t>(best_pos)] = best_city;
+    city_used[static_cast<std::size_t>(best_city)] = true;
+    pos_used[static_cast<std::size_t>(best_pos)] = true;
+  }
+  return tour;
+}
+
+double HopfieldTsp::Energy() const {
+  double e = 0.0;
+  for (int x = 0; x < n_; ++x)
+    for (int i = 0; i < n_; ++i)
+      for (int y = 0; y < n_; ++y)
+        for (int j = 0; j < n_; ++j)
+          e -= 0.5 * Weight(x, i, y, j) *
+               v_[static_cast<std::size_t>(Index(x, i))] *
+               v_[static_cast<std::size_t>(Index(y, j))];
+  for (int x = 0; x < n_; ++x)
+    for (int i = 0; i < n_; ++i)
+      e -= Bias() * v_[static_cast<std::size_t>(Index(x, i))];
+  return e;
+}
+
+double HopfieldTsp::TourLength(const std::vector<int>& tour) const {
+  DB_CHECK_MSG(static_cast<int>(tour.size()) == n_, "tour size mismatch");
+  double len = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const int a = tour[static_cast<std::size_t>(i)];
+    const int b = tour[static_cast<std::size_t>((i + 1) % n_)];
+    len += dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  }
+  return len;
+}
+
+}  // namespace db

@@ -1,0 +1,459 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace db {
+namespace {
+
+bool KindTrainable(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+    case LayerKind::kConvolution:
+    case LayerKind::kPooling:
+    case LayerKind::kInnerProduct:
+    case LayerKind::kRelu:
+    case LayerKind::kSigmoid:
+    case LayerKind::kTanh:
+    case LayerKind::kSoftmax:
+    case LayerKind::kDropout:
+    case LayerKind::kConcat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(const Network& net, WeightStore& weights,
+                 TrainerOptions opts)
+    : net_(net),
+      weights_(weights),
+      opts_(opts),
+      grads_(WeightStore::CreateFor(net)),
+      velocity_(WeightStore::CreateFor(net)),
+      rng_(opts.seed) {
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    if (!KindTrainable(layer->kind()))
+      DB_THROW("Trainer does not support layer kind "
+               << LayerKindName(layer->kind()) << " (layer '"
+               << layer->name() << "'); use the dedicated substrate");
+    if (layer->kind() == LayerKind::kConvolution &&
+        layer->def.conv->group != 1)
+      DB_THROW("Trainer does not support grouped convolution (layer '"
+               << layer->name() << "')");
+  }
+  if (opts.loss == LossKind::kSoftmaxCrossEntropy &&
+      net.OutputLayer().kind() != LayerKind::kSoftmax)
+    DB_THROW("softmax cross-entropy loss requires a SOFTMAX output layer");
+}
+
+double Trainer::SampleLoss(const TrainSample& sample) const {
+  Executor exec(net_, weights_);
+  const Tensor out = exec.ForwardOutput(sample.input);
+  DB_CHECK_MSG(out.shape() == sample.target.shape(),
+               "target shape mismatch");
+  if (opts_.loss == LossKind::kMse) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < out.size(); ++i) {
+      const double d = static_cast<double>(out[i]) - sample.target[i];
+      sum += d * d;
+    }
+    return sum / static_cast<double>(out.size());
+  }
+  // Cross-entropy against the softmax output.
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    if (sample.target[i] > 0.0f)
+      loss -= static_cast<double>(sample.target[i]) *
+              std::log(std::max(static_cast<double>(out[i]), 1e-12));
+  return loss;
+}
+
+double Trainer::Evaluate(std::span<const TrainSample> samples) const {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const TrainSample& s : samples) total += SampleLoss(s);
+  return total / static_cast<double>(samples.size());
+}
+
+double Trainer::ClassificationAccuracy(
+    std::span<const TrainSample> samples) const {
+  if (samples.empty()) return 0.0;
+  Executor exec(net_, weights_);
+  std::int64_t correct = 0;
+  for (const TrainSample& s : samples) {
+    const Tensor out = exec.ForwardOutput(s.input);
+    if (out.ArgMax() == s.target.ArgMax()) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(samples.size());
+}
+
+double Trainer::TrainEpoch(std::span<const TrainSample> samples) {
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng_.UniformInt(i)]);
+
+  const int batch = std::max(opts_.batch_size, 1);
+  double total = 0.0;
+  int pending = 0;
+  for (std::size_t idx : order) {
+    total += ForwardBackward(samples[idx]);
+    if (++pending == batch) {
+      ApplyGradients(pending);
+      pending = 0;
+    }
+  }
+  if (pending > 0) ApplyGradients(pending);
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+double Trainer::ForwardBackward(const TrainSample& sample) {
+  ++step_;
+  const std::size_t n = net_.layers().size();
+  std::vector<Tensor> acts(n);       // output of each layer
+  std::vector<Tensor> masks(n);      // dropout masks (scaled)
+  // ---- forward ----
+  ExecutorOptions fwd_opts;
+  fwd_opts.training_mode = true;
+  for (const IrLayer& layer : net_.layers()) {
+    const std::size_t id = static_cast<std::size_t>(layer.id);
+    std::vector<const Tensor*> ins;
+    for (int in_id : layer.input_ids)
+      ins.push_back(&acts[static_cast<std::size_t>(in_id)]);
+    switch (layer.kind()) {
+      case LayerKind::kInput: {
+        const BlobShape& bs = layer.output_shape;
+        DB_CHECK_MSG(sample.input.shape() ==
+                         Shape({bs.channels, bs.height, bs.width}),
+                     "training input shape mismatch");
+        acts[id] = sample.input;
+        break;
+      }
+      case LayerKind::kConvolution:
+        acts[id] = ConvolutionForward(*ins.front(),
+                                      weights_.at(layer.name()),
+                                      *layer.def.conv);
+        break;
+      case LayerKind::kPooling:
+        acts[id] = PoolingForward(*ins.front(), *layer.def.pool);
+        break;
+      case LayerKind::kInnerProduct:
+        acts[id] = InnerProductForward(*ins.front(),
+                                       weights_.at(layer.name()),
+                                       *layer.def.fc);
+        break;
+      case LayerKind::kRelu:
+        acts[id] = ReluForward(*ins.front());
+        break;
+      case LayerKind::kSigmoid:
+        acts[id] = SigmoidForward(*ins.front());
+        break;
+      case LayerKind::kTanh:
+        acts[id] = TanhForward(*ins.front());
+        break;
+      case LayerKind::kSoftmax:
+        acts[id] = SoftmaxForward(*ins.front());
+        break;
+      case LayerKind::kDropout: {
+        // Generate and cache the mask so backward replays it exactly.
+        const Tensor& x = *ins.front();
+        Tensor mask(x.shape());
+        const float scale =
+            static_cast<float>(1.0 / (1.0 - layer.def.dropout->ratio));
+        Rng mask_rng(opts_.seed ^ (step_ * 0x9E3779B97F4A7C15ull) ^
+                     static_cast<std::uint64_t>(layer.id));
+        for (std::int64_t i = 0; i < x.size(); ++i)
+          mask[i] = mask_rng.Bernoulli(layer.def.dropout->ratio) ? 0.0f
+                                                                 : scale;
+        Tensor y(x.shape());
+        for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i] * mask[i];
+        masks[id] = std::move(mask);
+        acts[id] = std::move(y);
+        break;
+      }
+      case LayerKind::kConcat: {
+        std::vector<Tensor> owned;
+        owned.reserve(ins.size());
+        for (const Tensor* t : ins) owned.push_back(*t);
+        acts[id] = ConcatForward(owned);
+        break;
+      }
+      default:
+        DB_THROW("unreachable: untrainable kind in ForwardBackward");
+    }
+  }
+
+  // ---- loss and output gradient ----
+  const IrLayer& out_layer = net_.OutputLayer();
+  const Tensor& out = acts[static_cast<std::size_t>(out_layer.id)];
+  DB_CHECK_MSG(out.shape() == sample.target.shape(),
+               "target shape mismatch");
+  std::vector<Tensor> grads(n);  // d(loss)/d(layer output)
+  for (std::size_t i = 0; i < n; ++i)
+    grads[i] = Tensor(net_.layer(static_cast<int>(i)).output_shape.channels
+                          ? Shape{net_.layer(static_cast<int>(i))
+                                      .output_shape.channels,
+                                  net_.layer(static_cast<int>(i))
+                                      .output_shape.height,
+                                  net_.layer(static_cast<int>(i))
+                                      .output_shape.width}
+                          : Shape{0});
+
+  double loss = 0.0;
+  Tensor& dout = grads[static_cast<std::size_t>(out_layer.id)];
+  if (opts_.loss == LossKind::kMse) {
+    for (std::int64_t i = 0; i < out.size(); ++i) {
+      const double d = static_cast<double>(out[i]) - sample.target[i];
+      loss += d * d;
+      dout[i] = static_cast<float>(2.0 * d /
+                                   static_cast<double>(out.size()));
+    }
+    loss /= static_cast<double>(out.size());
+  } else {
+    // Softmax + cross-entropy: gradient w.r.t. the softmax *input* is
+    // (p - t).  We set the softmax layer's output grad to (p - t) and let
+    // the softmax backward below pass it through unchanged.
+    for (std::int64_t i = 0; i < out.size(); ++i) {
+      if (sample.target[i] > 0.0f)
+        loss -= static_cast<double>(sample.target[i]) *
+                std::log(std::max(static_cast<double>(out[i]), 1e-12));
+      dout[i] = out[i] - sample.target[i];
+    }
+  }
+
+  // ---- backward ----
+  for (auto it = net_.layers().rbegin(); it != net_.layers().rend(); ++it) {
+    const IrLayer& layer = *it;
+    const std::size_t id = static_cast<std::size_t>(layer.id);
+    if (layer.kind() == LayerKind::kInput) continue;
+    const Tensor& dy = grads[id];
+    auto add_input_grad = [&](int which, const Tensor& dx) {
+      Tensor& g = grads[static_cast<std::size_t>(
+          layer.input_ids[static_cast<std::size_t>(which)])];
+      DB_CHECK(g.shape() == dx.shape());
+      for (std::int64_t i = 0; i < dx.size(); ++i) g[i] += dx[i];
+    };
+    const Tensor& x0 =
+        acts[static_cast<std::size_t>(layer.input_ids.front())];
+
+    switch (layer.kind()) {
+      case LayerKind::kConvolution: {
+        const ConvolutionParams& p = *layer.def.conv;
+        const LayerParams& w = weights_.at(layer.name());
+        LayerParams& gw = grads_.at(layer.name());
+        Tensor dx(x0.shape());
+        const std::int64_t in_c = x0.shape().dim(0);
+        const std::int64_t in_h = x0.shape().dim(1);
+        const std::int64_t in_w = x0.shape().dim(2);
+        const std::int64_t oh = dy.shape().dim(1);
+        const std::int64_t ow = dy.shape().dim(2);
+        for (std::int64_t oc = 0; oc < p.num_output; ++oc) {
+          for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const float g = dy.at3(oc, y, x);
+              if (g == 0.0f) continue;
+              if (gw.bias.size() > 0) gw.bias[oc] += g;
+              for (std::int64_t ic = 0; ic < in_c; ++ic) {
+                for (std::int64_t ky = 0; ky < p.kernel_size; ++ky) {
+                  const std::int64_t iy = y * p.stride + ky - p.pad;
+                  if (iy < 0 || iy >= in_h) continue;
+                  for (std::int64_t kx = 0; kx < p.kernel_size; ++kx) {
+                    const std::int64_t ix = x * p.stride + kx - p.pad;
+                    if (ix < 0 || ix >= in_w) continue;
+                    gw.weights.at({oc, ic, ky, kx}) +=
+                        g * x0.at3(ic, iy, ix);
+                    dx.at3(ic, iy, ix) +=
+                        g * w.weights.at({oc, ic, ky, kx});
+                  }
+                }
+              }
+            }
+          }
+        }
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kInnerProduct: {
+        const InnerProductParams& p = *layer.def.fc;
+        const LayerParams& w = weights_.at(layer.name());
+        LayerParams& gw = grads_.at(layer.name());
+        Tensor dx(x0.shape());
+        const std::int64_t in_n = x0.size();
+        for (std::int64_t o = 0; o < p.num_output; ++o) {
+          const float g = dy[o];
+          if (gw.bias.size() > 0) gw.bias[o] += g;
+          for (std::int64_t i = 0; i < in_n; ++i) {
+            gw.weights.at({o, i}) += g * x0[i];
+            dx[i] += g * w.weights.at({o, i});
+          }
+        }
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kPooling: {
+        const PoolingParams& p = *layer.def.pool;
+        Tensor dx(x0.shape());
+        const std::int64_t c = x0.shape().dim(0);
+        const std::int64_t in_h = x0.shape().dim(1);
+        const std::int64_t in_w = x0.shape().dim(2);
+        const std::int64_t oh = dy.shape().dim(1);
+        const std::int64_t ow = dy.shape().dim(2);
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t y0 =
+                  std::max<std::int64_t>(y * p.stride - p.pad, 0);
+              const std::int64_t x0i =
+                  std::max<std::int64_t>(x * p.stride - p.pad, 0);
+              const std::int64_t y1 =
+                  std::min(y * p.stride - p.pad + p.kernel_size, in_h);
+              const std::int64_t x1 =
+                  std::min(x * p.stride - p.pad + p.kernel_size, in_w);
+              const float g = dy.at3(ch, y, x);
+              if (p.method == PoolMethod::kMax) {
+                std::int64_t by = y0, bx = x0i;
+                float best = -std::numeric_limits<float>::infinity();
+                for (std::int64_t iy = y0; iy < y1; ++iy)
+                  for (std::int64_t ix = x0i; ix < x1; ++ix)
+                    if (x0.at3(ch, iy, ix) > best) {
+                      best = x0.at3(ch, iy, ix);
+                      by = iy;
+                      bx = ix;
+                    }
+                dx.at3(ch, by, bx) += g;
+              } else {
+                const float share = g / static_cast<float>(
+                                            p.kernel_size * p.kernel_size);
+                for (std::int64_t iy = y0; iy < y1; ++iy)
+                  for (std::int64_t ix = x0i; ix < x1; ++ix)
+                    dx.at3(ch, iy, ix) += share;
+              }
+            }
+          }
+        }
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kRelu: {
+        Tensor dx(x0.shape());
+        for (std::int64_t i = 0; i < x0.size(); ++i)
+          dx[i] = x0[i] > 0.0f ? dy[i] : 0.0f;
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kSigmoid: {
+        const Tensor& y = acts[id];
+        Tensor dx(x0.shape());
+        for (std::int64_t i = 0; i < y.size(); ++i)
+          dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kTanh: {
+        const Tensor& y = acts[id];
+        Tensor dx(x0.shape());
+        for (std::int64_t i = 0; i < y.size(); ++i)
+          dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kSoftmax: {
+        if (opts_.loss == LossKind::kSoftmaxCrossEntropy &&
+            layer.id == out_layer.id) {
+          // dy already holds (p - t) = d(loss)/d(logits).
+          add_input_grad(0, dy);
+        } else {
+          const Tensor& y = acts[id];
+          double dot = 0.0;
+          for (std::int64_t i = 0; i < y.size(); ++i)
+            dot += static_cast<double>(dy[i]) * y[i];
+          Tensor dx(x0.shape());
+          for (std::int64_t i = 0; i < y.size(); ++i)
+            dx[i] = static_cast<float>(
+                y[i] * (static_cast<double>(dy[i]) - dot));
+          add_input_grad(0, dx);
+        }
+        break;
+      }
+      case LayerKind::kDropout: {
+        const Tensor& mask = masks[id];
+        Tensor dx(x0.shape());
+        for (std::int64_t i = 0; i < x0.size(); ++i)
+          dx[i] = dy[i] * mask[i];
+        add_input_grad(0, dx);
+        break;
+      }
+      case LayerKind::kConcat: {
+        std::int64_t c_off = 0;
+        for (std::size_t which = 0; which < layer.input_ids.size();
+             ++which) {
+          const Tensor& xin = acts[static_cast<std::size_t>(
+              layer.input_ids[which])];
+          Tensor dx(xin.shape());
+          const std::int64_t cc = xin.shape().dim(0);
+          const std::int64_t h = xin.shape().dim(1);
+          const std::int64_t w = xin.shape().dim(2);
+          for (std::int64_t c = 0; c < cc; ++c)
+            for (std::int64_t y = 0; y < h; ++y)
+              for (std::int64_t x = 0; x < w; ++x)
+                dx.at3(c, y, x) = dy.at3(c_off + c, y, x);
+          add_input_grad(static_cast<int>(which), dx);
+          c_off += cc;
+        }
+        break;
+      }
+      default:
+        DB_THROW("unreachable: untrainable kind in backward pass");
+    }
+  }
+  return loss;
+}
+
+void Trainer::ApplyGradients(int batch) {
+  // Average over the accumulated batch, then clip to the global norm.
+  float pre_scale = 1.0f / static_cast<float>(std::max(batch, 1));
+  if (opts_.max_grad_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const auto& [name, g] : grads_.all())
+      norm_sq += g.weights.SumSquares() + g.bias.SumSquares() +
+                 g.recurrent.SumSquares();
+    const double norm = std::sqrt(norm_sq) * pre_scale;
+    if (norm > opts_.max_grad_norm)
+      pre_scale *= static_cast<float>(opts_.max_grad_norm / norm);
+  }
+  if (pre_scale != 1.0f) {
+    for (auto& [name, g] : grads_.all()) {
+      for (std::int64_t i = 0; i < g.weights.size(); ++i)
+        g.weights[i] *= pre_scale;
+      for (std::int64_t i = 0; i < g.bias.size(); ++i)
+        g.bias[i] *= pre_scale;
+      for (std::int64_t i = 0; i < g.recurrent.size(); ++i)
+        g.recurrent[i] *= pre_scale;
+    }
+  }
+  for (auto& [name, g] : grads_.all()) {
+    LayerParams& w = weights_.at(name);
+    LayerParams& v = velocity_.at(name);
+    auto update = [&](Tensor& wt, Tensor& gt, Tensor& vt) {
+      for (std::int64_t i = 0; i < wt.size(); ++i) {
+        vt[i] = static_cast<float>(opts_.momentum * vt[i] -
+                                   opts_.learning_rate * gt[i]);
+        wt[i] += vt[i];
+        gt[i] = 0.0f;
+      }
+    };
+    update(w.weights, g.weights, v.weights);
+    if (w.bias.size() > 0) update(w.bias, g.bias, v.bias);
+    if (w.recurrent.size() > 0)
+      update(w.recurrent, g.recurrent, v.recurrent);
+  }
+}
+
+}  // namespace db

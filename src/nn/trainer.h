@@ -1,0 +1,80 @@
+// SGD/backprop trainer for feed-forward networks.
+//
+// The paper trains its models offline in Caffe/Matlab and loads the
+// weights onto the board.  This trainer is the in-repo substitute: it
+// covers the feed-forward layer kinds (convolution, pooling, inner
+// product, ReLU/sigmoid/tanh, softmax, dropout, concat), enough to train
+// the ANN-0/1/2 approximators and the MNIST/Cifar-style CNNs on the
+// synthetic datasets.  Recurrent/associative models are trained by their
+// dedicated substrates (HopfieldTsp builds weights analytically, CmacModel
+// uses LMS).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/executor.h"
+
+namespace db {
+
+/// One supervised example.  For kMse the target has the output layer's
+/// shape; for kSoftmaxCrossEntropy it is a class distribution (usually
+/// one-hot) over the pre-softmax logits' elements.
+struct TrainSample {
+  Tensor input;
+  Tensor target;
+};
+
+enum class LossKind { kMse, kSoftmaxCrossEntropy };
+
+struct TrainerOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  /// Per-sample gradients are rescaled to this global L2 norm when they
+  /// exceed it; guards the per-sample SGD against the exploding updates
+  /// that kill ReLU networks.  <= 0 disables clipping.
+  double max_grad_norm = 5.0;
+  /// Samples whose gradients accumulate before one weight update.
+  /// Mini-batching removes the last-sample bias that stalls pure SGD on
+  /// multi-class tasks.
+  int batch_size = 1;
+  LossKind loss = LossKind::kMse;
+  std::uint64_t seed = 1;  // shuffling + dropout masks
+};
+
+/// Mini SGD trainer.  Holds gradient and momentum buffers shaped like the
+/// WeightStore it updates.
+class Trainer {
+ public:
+  Trainer(const Network& net, WeightStore& weights, TrainerOptions opts);
+
+  /// One pass over all samples in shuffled order, updating weights after
+  /// every sample (pure SGD).  Returns the mean loss over the epoch.
+  double TrainEpoch(std::span<const TrainSample> samples);
+
+  /// Mean loss without updating weights.
+  double Evaluate(std::span<const TrainSample> samples) const;
+
+  /// Loss of a single (input, target) pair under the configured LossKind.
+  double SampleLoss(const TrainSample& sample) const;
+
+  /// Classification accuracy: fraction of samples whose output argmax
+  /// matches the target argmax.
+  double ClassificationAccuracy(std::span<const TrainSample> samples) const;
+
+ private:
+  /// Forward pass caching every layer's input/output; returns d(loss)/d(output)
+  /// of the final layer and accumulates parameter gradients on the way back.
+  double ForwardBackward(const TrainSample& sample);
+  void ApplyGradients(int batch = 1);
+
+  const Network& net_;
+  WeightStore& weights_;
+  TrainerOptions opts_;
+  WeightStore grads_;
+  WeightStore velocity_;
+  Rng rng_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace db

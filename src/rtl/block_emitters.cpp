@@ -1,0 +1,521 @@
+#include "rtl/block_emitters.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace db {
+namespace {
+
+void AddClkRst(VModule& m) {
+  m.ports.push_back({"clk", PortDir::kInput, 1, false});
+  m.ports.push_back({"rst_n", PortDir::kInput, 1, false});
+}
+
+VModule EmitSynergyNeuron(const BlockConfig& c) {
+  // A lane array of multiply-accumulate neurons: each lane multiplies a
+  // feature element by a weight element and accumulates; `clear` starts a
+  // new dot product, `valid_in` gates accumulation.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Synergy neuron: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  m.ports.push_back({"valid_in", PortDir::kInput, 1, false});
+  m.ports.push_back({"clear", PortDir::kInput, 1, false});
+  m.ports.push_back({"feature", PortDir::kInput, w * c.lanes, false});
+  m.ports.push_back({"weight", PortDir::kInput, w * c.lanes, false});
+  m.ports.push_back({"acc_out", PortDir::kOutput, 2 * w * c.lanes, true});
+  m.ports.push_back({"valid_out", PortDir::kOutput, 1, true});
+
+  m.nets.push_back({"product", 2 * w * c.lanes, false, 0});
+  for (int lane = 0; lane < c.lanes; ++lane) {
+    std::ostringstream lhs, rhs;
+    lhs << "product[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
+        << "]";
+    rhs << "$signed(feature[" << w * (lane + 1) - 1 << ":" << w * lane
+        << "]) * $signed(weight[" << w * (lane + 1) - 1 << ":" << w * lane
+        << "])";
+    m.assigns.push_back({lhs.str(), rhs.str()});
+  }
+
+  VAlways acc;
+  acc.sensitivity = "posedge clk";
+  acc.body.push_back("if (!rst_n) begin");
+  acc.body.push_back("  acc_out <= 0;");
+  acc.body.push_back("  valid_out <= 1'b0;");
+  acc.body.push_back("end else if (clear) begin");
+  acc.body.push_back("  acc_out <= 0;");
+  acc.body.push_back("  valid_out <= 1'b0;");
+  acc.body.push_back("end else if (valid_in) begin");
+  for (int lane = 0; lane < c.lanes; ++lane) {
+    std::ostringstream line;
+    line << "  acc_out[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
+         << "] <= acc_out[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
+         << "] + product[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
+         << "];";
+    acc.body.push_back(line.str());
+  }
+  acc.body.push_back("  valid_out <= 1'b1;");
+  acc.body.push_back("end");
+  m.always_blocks.push_back(std::move(acc));
+  return m;
+}
+
+VModule EmitAccumulator(const BlockConfig& c) {
+  // Adder tree folding `lanes` partial sums into one; saturating output.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Partial-sum accumulator: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = 2 * c.bit_width;  // accepts full-precision partial sums
+  m.ports.push_back({"valid_in", PortDir::kInput, 1, false});
+  m.ports.push_back({"partials", PortDir::kInput, w * c.lanes, false});
+  m.ports.push_back({"sum", PortDir::kOutput, w, true});
+  m.ports.push_back({"valid_out", PortDir::kOutput, 1, true});
+
+  std::ostringstream tree;
+  for (int lane = 0; lane < c.lanes; ++lane) {
+    if (lane > 0) tree << " + ";
+    tree << "$signed(partials[" << w * (lane + 1) - 1 << ":" << w * lane
+         << "])";
+  }
+  m.nets.push_back({"tree_sum", w, false, 0});
+  m.assigns.push_back({"tree_sum", tree.str()});
+
+  VAlways reg;
+  reg.sensitivity = "posedge clk";
+  reg.body = {"if (!rst_n) begin", "  sum <= 0;", "  valid_out <= 1'b0;",
+              "end else begin", "  sum <= tree_sum;",
+              "  valid_out <= valid_in;", "end"};
+  m.always_blocks.push_back(std::move(reg));
+  return m;
+}
+
+VModule EmitPoolingUnit(const BlockConfig& c) {
+  // Streaming window reduction: running max or running sum with a final
+  // shift (average pooling divides by a power-of-two window via shift —
+  // the connection box's shifting latch, folded in here).
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Pooling unit: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  m.ports.push_back({"valid_in", PortDir::kInput, 1, false});
+  m.ports.push_back({"window_start", PortDir::kInput, 1, false});
+  m.ports.push_back({"mode_max", PortDir::kInput, 1, false});
+  m.ports.push_back({"shift", PortDir::kInput, 4, false});
+  m.ports.push_back({"din", PortDir::kInput, w * c.lanes, false});
+  m.ports.push_back({"dout", PortDir::kOutput, w * c.lanes, true});
+
+  for (int lane = 0; lane < c.lanes; ++lane) {
+    VAlways a;
+    a.sensitivity = "posedge clk";
+    std::ostringstream hi;
+    hi << w * (lane + 1) - 1 << ":" << w * lane;
+    const std::string slice = hi.str();
+    a.body.push_back("if (!rst_n) dout[" + slice + "] <= 0;");
+    a.body.push_back("else if (window_start) dout[" + slice +
+                     "] <= din[" + slice + "];");
+    a.body.push_back("else if (valid_in) begin");
+    a.body.push_back("  if (mode_max) begin");
+    a.body.push_back("    if ($signed(din[" + slice + "]) > $signed(dout[" +
+                     slice + "])) dout[" + slice + "] <= din[" + slice +
+                     "];");
+    a.body.push_back("  end else begin");
+    a.body.push_back("    dout[" + slice + "] <= ($signed(dout[" + slice +
+                     "]) + $signed(din[" + slice + "])) >>> shift;");
+    a.body.push_back("  end");
+    a.body.push_back("end");
+    m.always_blocks.push_back(std::move(a));
+  }
+  return m;
+}
+
+VModule EmitLrnUnit(const BlockConfig& c) {
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "LRN unit: squares a channel window, accumulates, and drives "
+              "the scale through the approx LUT interface.\n" +
+              DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  m.ports.push_back({"valid_in", PortDir::kInput, 1, false});
+  m.ports.push_back({"window_start", PortDir::kInput, 1, false});
+  m.ports.push_back({"din", PortDir::kInput, w, false});
+  m.ports.push_back({"sum_sq", PortDir::kOutput, 2 * w, true});
+  m.ports.push_back({"lut_key", PortDir::kOutput, w, false});
+
+  m.nets.push_back({"sq", 2 * w, false, 0});
+  m.assigns.push_back({"sq", "$signed(din) * $signed(din)"});
+  m.assigns.push_back({"lut_key", StrFormat("sum_sq[%d:%d]", 2 * w - 1, w)});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {"if (!rst_n) sum_sq <= 0;",
+            "else if (window_start) sum_sq <= sq;",
+            "else if (valid_in) sum_sq <= sum_sq + sq;"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitDropoutUnit(const BlockConfig& c) {
+  // LFSR-driven mask inserter used during accelerator-assisted training.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Drop-out inserter: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  m.ports.push_back({"enable", PortDir::kInput, 1, false});
+  m.ports.push_back({"threshold", PortDir::kInput, 16, false});
+  m.ports.push_back({"din", PortDir::kInput, w, false});
+  m.ports.push_back({"dout", PortDir::kOutput, w, false});
+  m.nets.push_back({"lfsr", 16, true, 0});
+  m.assigns.push_back(
+      {"dout", "(enable && (lfsr < threshold)) ? {" + std::to_string(w) +
+                   "{1'b0}} : din"});
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {"if (!rst_n) lfsr <= 16'hACE1;",
+            "else lfsr <= {lfsr[14:0], lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ "
+            "lfsr[10]};"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitClassifier(const BlockConfig& c) {
+  // k-sorter (Beigel & Gill [11]): one compare-exchange insertion stage
+  // per cycle over a k-deep sorted register file of (value, index) pairs.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "K-sorter classifier: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  const int k = c.lanes;
+  const int iw = 16;  // index width
+  m.ports.push_back({"valid_in", PortDir::kInput, 1, false});
+  m.ports.push_back({"flush", PortDir::kInput, 1, false});
+  m.ports.push_back({"din", PortDir::kInput, w, false});
+  m.ports.push_back({"din_index", PortDir::kInput, iw, false});
+  m.ports.push_back({"top_values", PortDir::kOutput, w * k, true});
+  m.ports.push_back({"top_indices", PortDir::kOutput, iw * k, true});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body.push_back("if (!rst_n || flush) begin");
+  for (int i = 0; i < k; ++i) {
+    a.body.push_back(StrFormat("  top_values[%d:%d] <= {1'b1, {%d{1'b0}}};",
+                               w * (i + 1) - 1, w * i, w - 1));
+    a.body.push_back(StrFormat("  top_indices[%d:%d] <= 0;",
+                               iw * (i + 1) - 1, iw * i));
+  }
+  a.body.push_back("end else if (valid_in) begin");
+  // Insertion network: shift-down from the position where din wins.
+  for (int i = k - 1; i >= 0; --i) {
+    std::ostringstream cond;
+    cond << "  if ($signed(din) > $signed(top_values[" << w * (i + 1) - 1
+         << ":" << w * i << "]))";
+    a.body.push_back(cond.str());
+    a.body.push_back("  begin");
+    for (int j = k - 1; j > i; --j) {
+      a.body.push_back(StrFormat(
+          "    top_values[%d:%d] <= top_values[%d:%d];",
+          w * (j + 1) - 1, w * j, w * j - 1, w * (j - 1)));
+      a.body.push_back(StrFormat(
+          "    top_indices[%d:%d] <= top_indices[%d:%d];",
+          iw * (j + 1) - 1, iw * j, iw * j - 1, iw * (j - 1)));
+    }
+    a.body.push_back(StrFormat("    top_values[%d:%d] <= din;",
+                               w * (i + 1) - 1, w * i));
+    a.body.push_back(StrFormat("    top_indices[%d:%d] <= din_index;",
+                               iw * (i + 1) - 1, iw * i));
+    a.body.push_back("  end");
+  }
+  a.body.push_back("end");
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitApproxLut(const BlockConfig& c) {
+  // Approx LUT (paper §3.3): sampled function store; keys that miss are
+  // resolved by interpolating between the adjacent sampled entries.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Approx LUT: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  const int idx_bits =
+      std::max(1, static_cast<int>(std::llround(
+                      std::log2(static_cast<double>(c.depth)))));
+  m.ports.push_back({"key", PortDir::kInput, w, false});
+  m.ports.push_back({"value", PortDir::kOutput, w, true});
+  m.nets.push_back({"table_mem", w, true, c.depth});
+  m.nets.push_back({"index", idx_bits, false, 0});
+  m.assigns.push_back(
+      {"index", StrFormat("key[%d:%d]", w - 1, w - idx_bits)});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  // Interpolation needs fractional key bits below the index field; a
+  // table indexed by the full key has nothing to interpolate on.
+  const bool interpolate = c.interpolate && w - idx_bits >= 1;
+  if (interpolate) {
+    m.nets.push_back({"lo", w, false, 0});
+    m.nets.push_back({"hi", w, false, 0});
+    m.nets.push_back({"frac", w - idx_bits, false, 0});
+    m.assigns.push_back({"lo", "table_mem[index]"});
+    m.assigns.push_back(
+        {"hi", StrFormat("table_mem[index == %lld ? index : index + 1]",
+                         static_cast<long long>(c.depth - 1))});
+    m.assigns.push_back({"frac", StrFormat("key[%d:0]", w - idx_bits - 1)});
+    a.body = {StrFormat(
+        "value <= lo + ((($signed(hi) - $signed(lo)) * $signed({1'b0, "
+        "frac})) >>> %d);",
+        w - idx_bits)};
+  } else {
+    a.body = {"value <= table_mem[index];"};
+  }
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitActivationUnit(const BlockConfig& c) {
+  // Thin pipeline stage wrapping the approx LUT; selects between the
+  // hard-wired ReLU comparator and the LUT-backed smooth functions.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Activation unit: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  m.ports.push_back({"select_relu", PortDir::kInput, 1, false});
+  m.ports.push_back({"din", PortDir::kInput, w, false});
+  m.ports.push_back({"lut_value", PortDir::kInput, w, false});
+  m.ports.push_back({"lut_key", PortDir::kOutput, w, false});
+  m.ports.push_back({"dout", PortDir::kOutput, w, true});
+  m.assigns.push_back({"lut_key", "din"});
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {
+      "if (!rst_n) dout <= 0;",
+      StrFormat("else if (select_relu) dout <= $signed(din) > 0 ? din : "
+                "{%d{1'b0}};",
+                w),
+      "else dout <= lut_value;"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitConnectionBox(const BlockConfig& c) {
+  // Crossbar reconnecting producer blocks to consumer blocks, plus the
+  // shifting latch for approximate division (paper §3.2).
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Connection box: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width;
+  const int p = c.ports;
+  const int sel_bits = std::max(
+      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(p)))));
+  m.ports.push_back({"din", PortDir::kInput, w * p, false});
+  m.ports.push_back({"select", PortDir::kInput, sel_bits * p, false});
+  m.ports.push_back({"shift", PortDir::kInput, 4, false});
+  m.ports.push_back({"dout", PortDir::kOutput, w * p, true});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body.push_back("if (!rst_n) dout <= 0;");
+  a.body.push_back("else begin");
+  for (int out = 0; out < p; ++out) {
+    std::ostringstream line;
+    line << "  dout[" << w * (out + 1) - 1 << ":" << w * out
+         << "] <= $signed(din[select[" << sel_bits * (out + 1) - 1 << ":"
+         << sel_bits * out << "]*" << w << " +: " << w << "]) >>> shift;";
+    a.body.push_back(line.str());
+  }
+  a.body.push_back("end");
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitAgu(const BlockConfig& c) {
+  // Template AGU of Fig. 6: pattern registers (start, footprint, x/y
+  // length, stride, offset) stepped by a nested x/y counter pair; emits
+  // an address stream and the data-driven trigger events.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "AGU (" + AguRoleName(c.agu_role) + "): " + DescribeBlock(c);
+  AddClkRst(m);
+  const int aw = c.agu_role == AguRole::kMain ? 32 : 18;
+  const int pat_bits = std::max(
+      1, static_cast<int>(
+             std::ceil(std::log2(static_cast<double>(c.patterns)))));
+  m.ports.push_back({"start_event", PortDir::kInput, 1, false});
+  m.ports.push_back({"pattern_sel", PortDir::kInput, pat_bits, false});
+  m.ports.push_back({"cfg_start", PortDir::kInput, aw, false});
+  m.ports.push_back({"cfg_x_len", PortDir::kInput, 16, false});
+  m.ports.push_back({"cfg_y_len", PortDir::kInput, 16, false});
+  m.ports.push_back({"cfg_stride", PortDir::kInput, 16, false});
+  m.ports.push_back({"cfg_offset", PortDir::kInput, aw, false});
+  m.ports.push_back({"addr", PortDir::kOutput, aw, true});
+  m.ports.push_back({"addr_valid", PortDir::kOutput, 1, true});
+  m.ports.push_back({"pattern_done", PortDir::kOutput, 1, true});
+
+  m.nets.push_back({"x_cnt", 16, true, 0});
+  m.nets.push_back({"y_cnt", 16, true, 0});
+  m.nets.push_back({"row_base", aw, true, 0});
+  m.nets.push_back({"running", 1, true, 0});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {
+      "if (!rst_n) begin",
+      "  x_cnt <= 0; y_cnt <= 0; row_base <= 0; running <= 1'b0;",
+      "  addr <= 0; addr_valid <= 1'b0; pattern_done <= 1'b0;",
+      "end else if (start_event) begin",
+      "  x_cnt <= 0; y_cnt <= 0; row_base <= cfg_start;",
+      "  addr <= cfg_start; addr_valid <= 1'b1; running <= 1'b1;",
+      "  pattern_done <= 1'b0;",
+      "end else if (running) begin",
+      "  if (x_cnt + 1 < cfg_x_len) begin",
+      "    x_cnt <= x_cnt + 1;",
+      "    addr <= addr + cfg_stride;",
+      "  end else if (y_cnt + 1 < cfg_y_len) begin",
+      "    x_cnt <= 0; y_cnt <= y_cnt + 1;",
+      "    row_base <= row_base + cfg_offset;",
+      "    addr <= row_base + cfg_offset;",
+      "  end else begin",
+      "    running <= 1'b0; addr_valid <= 1'b0; pattern_done <= 1'b1;",
+      "  end",
+      "end else begin",
+      "  pattern_done <= 1'b0;",
+      "end"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitCoordinator(const BlockConfig& c) {
+  // Central FSM: walks the fold schedule, raising the pattern-trigger
+  // event of each step when the previous step's AGUs report done
+  // (data-driven producer/consumer reconnection, paper §3.3).
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "Scheduling coordinator: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int ev = c.fold_events;
+  const int st_bits = std::max(
+      1, static_cast<int>(
+             std::ceil(std::log2(static_cast<double>(ev + 1)))));
+  m.ports.push_back({"go", PortDir::kInput, 1, false});
+  m.ports.push_back({"step_done", PortDir::kInput, 1, false});
+  m.ports.push_back({"trigger", PortDir::kOutput, ev, true});
+  m.ports.push_back({"state", PortDir::kOutput, st_bits, true});
+  m.ports.push_back({"all_done", PortDir::kOutput, 1, true});
+
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {
+      "if (!rst_n) begin",
+      "  state <= 0; trigger <= 0; all_done <= 1'b0;",
+      "end else if (go && state == 0) begin",
+      StrFormat("  state <= 1; trigger <= %d'b1; all_done <= 1'b0;", ev),
+      "end else if (step_done && state != 0) begin",
+      StrFormat("  if (state == %d) begin", ev),
+      "    state <= 0; trigger <= 0; all_done <= 1'b1;",
+      "  end else begin",
+      "    state <= state + 1;",
+      "    trigger <= trigger << 1;",
+      "  end",
+      "end else begin",
+      "  trigger <= 0;",
+      "end"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+VModule EmitBufferBank(const BlockConfig& c) {
+  // Simple dual-port on-chip buffer of `depth` bytes, `lanes` elements
+  // wide per access.
+  VModule m;
+  m.name = BlockModuleName(c);
+  m.comment = "On-chip buffer bank: " + DescribeBlock(c);
+  AddClkRst(m);
+  const int w = c.bit_width * c.lanes;
+  const std::int64_t words =
+      std::max<std::int64_t>(1, c.depth * 8 / std::max(1, w));
+  const int aw = std::max(
+      1, static_cast<int>(
+             std::ceil(std::log2(static_cast<double>(words)))));
+  m.ports.push_back({"wr_en", PortDir::kInput, 1, false});
+  m.ports.push_back({"wr_addr", PortDir::kInput, aw, false});
+  m.ports.push_back({"wr_data", PortDir::kInput, w, false});
+  m.ports.push_back({"rd_addr", PortDir::kInput, aw, false});
+  m.ports.push_back({"rd_data", PortDir::kOutput, w, true});
+  m.nets.push_back({"mem", w, true, words});
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {"if (wr_en) mem[wr_addr] <= wr_data;",
+            "rd_data <= mem[rd_addr];"};
+  m.always_blocks.push_back(std::move(a));
+  return m;
+}
+
+}  // namespace
+
+std::string BlockModuleName(const BlockConfig& c) {
+  std::ostringstream os;
+  os << "db_" << BlockTypeName(c.type) << "_w" << c.bit_width;
+  switch (c.type) {
+    case BlockType::kSynergyNeuron:
+      os << "_l" << c.lanes << (c.use_dsp ? "_dsp" : "_lut");
+      break;
+    case BlockType::kAccumulator:
+    case BlockType::kPoolingUnit:
+    case BlockType::kActivationUnit:
+    case BlockType::kLrnUnit:
+    case BlockType::kDropoutUnit:
+      os << "_l" << c.lanes;
+      break;
+    case BlockType::kClassifier:
+      os << "_k" << c.lanes;
+      break;
+    case BlockType::kApproxLut:
+      os << "_d" << c.depth << (c.interpolate ? "_interp" : "_nearest");
+      break;
+    case BlockType::kConnectionBox:
+      os << "_p" << c.ports;
+      break;
+    case BlockType::kAgu:
+      os << "_" << AguRoleName(c.agu_role) << "_pat" << c.patterns;
+      break;
+    case BlockType::kCoordinator:
+      os << "_ev" << c.fold_events;
+      break;
+    case BlockType::kBufferBank:
+      os << "_l" << c.lanes << "_b" << c.depth;
+      break;
+  }
+  return ToIdentifier(os.str());
+}
+
+VModule EmitBlockModule(const BlockConfig& c) {
+  ValidateBlockConfig(c);
+  switch (c.type) {
+    case BlockType::kSynergyNeuron: return EmitSynergyNeuron(c);
+    case BlockType::kAccumulator: return EmitAccumulator(c);
+    case BlockType::kPoolingUnit: return EmitPoolingUnit(c);
+    case BlockType::kLrnUnit: return EmitLrnUnit(c);
+    case BlockType::kDropoutUnit: return EmitDropoutUnit(c);
+    case BlockType::kClassifier: return EmitClassifier(c);
+    case BlockType::kActivationUnit: return EmitActivationUnit(c);
+    case BlockType::kApproxLut: return EmitApproxLut(c);
+    case BlockType::kConnectionBox: return EmitConnectionBox(c);
+    case BlockType::kAgu: return EmitAgu(c);
+    case BlockType::kCoordinator: return EmitCoordinator(c);
+    case BlockType::kBufferBank: return EmitBufferBank(c);
+  }
+  DB_THROW("unhandled block type");
+}
+
+}  // namespace db

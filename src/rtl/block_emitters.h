@@ -1,0 +1,22 @@
+// RTL emitters for every building block in the component library.
+//
+// Each emitter turns a BlockConfig into a synthesisable Verilog module.
+// The module names are deterministic functions of the configuration so a
+// design that instantiates the same configuration twice shares one module
+// definition.
+#pragma once
+
+#include "hwlib/blocks.h"
+#include "rtl/verilog.h"
+
+namespace db {
+
+/// Deterministic module name for a configuration,
+/// e.g. "db_synergy_neuron_w16_l32_dsp".
+std::string BlockModuleName(const BlockConfig& config);
+
+/// Emit the Verilog module realising `config`.
+/// Throws db::Error on configurations the library cannot realise.
+VModule EmitBlockModule(const BlockConfig& config);
+
+}  // namespace db

@@ -1,0 +1,187 @@
+#include "rtl/lint.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace db {
+namespace {
+
+bool IsLegalIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name.front())) &&
+      name.front() != '_')
+    return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '$')
+      return false;
+  return true;
+}
+
+/// Extract the base identifier of an lvalue like "foo[3:0]" -> "foo".
+std::string BaseName(const std::string& expr) {
+  const std::size_t bracket = expr.find('[');
+  std::string base =
+      bracket == std::string::npos ? expr : expr.substr(0, bracket);
+  while (!base.empty() && std::isspace(static_cast<unsigned char>(
+                              base.back())))
+    base.pop_back();
+  return base;
+}
+
+void Issue(std::vector<LintIssue>& issues, const std::string& module,
+           const std::string& message) {
+  issues.push_back({module, message});
+}
+
+}  // namespace
+
+std::vector<LintIssue> LintModule(const VModule& m) {
+  std::vector<LintIssue> issues;
+  if (!IsLegalIdentifier(m.name))
+    Issue(issues, m.name, "module name is not a legal identifier");
+
+  std::set<std::string> names;
+  for (const VPort& p : m.ports) {
+    if (!IsLegalIdentifier(p.name))
+      Issue(issues, m.name, "port '" + p.name + "' is not a legal "
+                            "identifier");
+    if (p.width < 1)
+      Issue(issues, m.name, "port '" + p.name + "' has non-positive width");
+    if (!names.insert(p.name).second)
+      Issue(issues, m.name, "duplicate name '" + p.name + "'");
+  }
+  for (const VNet& n : m.nets) {
+    if (!IsLegalIdentifier(n.name))
+      Issue(issues, m.name, "net '" + n.name + "' is not a legal "
+                            "identifier");
+    if (n.width < 1)
+      Issue(issues, m.name, "net '" + n.name + "' has non-positive width");
+    if (n.depth > 0 && !n.is_reg)
+      Issue(issues, m.name, "memory '" + n.name + "' must be a reg");
+    if (!names.insert(n.name).second)
+      Issue(issues, m.name, "duplicate name '" + n.name + "'");
+  }
+  for (const VParam& p : m.params) {
+    if (!IsLegalIdentifier(p.name))
+      Issue(issues, m.name, "parameter '" + p.name + "' is not a legal "
+                            "identifier");
+    if (!names.insert(p.name).second)
+      Issue(issues, m.name, "duplicate name '" + p.name + "'");
+  }
+
+  // assign targets must be declared wires or output ports (non-reg), and
+  // no wire may have two continuous drivers.
+  std::set<std::string> assigned;
+  for (const VAssign& a : m.assigns) {
+    const std::string base = BaseName(a.lhs);
+    bool found_wire = false;
+    bool is_reg = false;
+    for (const VNet& n : m.nets)
+      if (n.name == base) {
+        found_wire = true;
+        is_reg = n.is_reg;
+      }
+    for (const VPort& p : m.ports)
+      if (p.name == base) {
+        found_wire = true;
+        is_reg = p.is_reg;
+        if (p.dir == PortDir::kInput)
+          Issue(issues, m.name, "assign drives input port '" + base + "'");
+      }
+    if (!found_wire)
+      Issue(issues, m.name, "assign drives undeclared net '" + base + "'");
+    if (is_reg)
+      Issue(issues, m.name,
+            "assign drives reg '" + base + "' (must be a wire)");
+    // Full-signal double drive: only flag when the exact same lvalue
+    // repeats (slice-level overlap analysis is out of scope).
+    if (!assigned.insert(a.lhs).second)
+      Issue(issues, m.name, "net '" + a.lhs + "' has multiple drivers");
+    if (a.rhs.empty())
+      Issue(issues, m.name, "assign to '" + a.lhs + "' has empty rhs");
+  }
+
+  // Output reg ports should be written by some always block; output wires
+  // should be continuously assigned or driven by an instance connection.
+  for (const VPort& p : m.ports) {
+    if (p.dir != PortDir::kOutput) continue;
+    bool driven = false;
+    for (const VAssign& a : m.assigns)
+      if (BaseName(a.lhs) == p.name) driven = true;
+    for (const VAlways& a : m.always_blocks)
+      for (const std::string& line : a.body)
+        if (line.find(p.name) != std::string::npos &&
+            line.find("<=") != std::string::npos)
+          driven = true;
+    for (const VInstance& inst : m.instances)
+      for (const VBinding& b : inst.ports)
+        if (BaseName(b.actual) == p.name) driven = true;
+    if (!driven)
+      Issue(issues, m.name, "output '" + p.name + "' is never driven");
+  }
+  return issues;
+}
+
+std::vector<LintIssue> LintDesign(const VDesign& design) {
+  std::vector<LintIssue> issues;
+  std::set<std::string> module_names;
+  for (const VModule& m : design.modules) {
+    if (!module_names.insert(m.name).second)
+      Issue(issues, m.name, "duplicate module definition");
+    const std::vector<LintIssue> local = LintModule(m);
+    issues.insert(issues.end(), local.begin(), local.end());
+  }
+
+  if (design.top.empty()) {
+    Issue(issues, "<design>", "no top module declared");
+  } else if (design.FindModule(design.top) == nullptr) {
+    Issue(issues, "<design>", "top module '" + design.top +
+                              "' is not defined");
+  }
+
+  for (const VModule& m : design.modules) {
+    std::set<std::string> instance_names;
+    for (const VInstance& inst : m.instances) {
+      if (!instance_names.insert(inst.instance_name).second)
+        Issue(issues, m.name, "duplicate instance name '" +
+                              inst.instance_name + "'");
+      const VModule* target = design.FindModule(inst.module_name);
+      if (target == nullptr) {
+        Issue(issues, m.name, "instance '" + inst.instance_name +
+                              "' references undefined module '" +
+                              inst.module_name + "'");
+        continue;
+      }
+      std::set<std::string> bound;
+      for (const VBinding& b : inst.ports) {
+        if (target->FindPort(b.formal) == nullptr)
+          Issue(issues, m.name, "instance '" + inst.instance_name +
+                                "' binds unknown port '" + b.formal + "'");
+        if (!bound.insert(b.formal).second)
+          Issue(issues, m.name, "instance '" + inst.instance_name +
+                                "' binds port '" + b.formal + "' twice");
+      }
+      for (const VPort& p : target->ports)
+        if (bound.find(p.name) == bound.end())
+          Issue(issues, m.name, "instance '" + inst.instance_name +
+                                "' leaves port '" + p.name + "' unbound");
+    }
+  }
+  return issues;
+}
+
+void CheckDesignOrThrow(const VDesign& design) {
+  const std::vector<LintIssue> issues = LintDesign(design);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "RTL lint found " << issues.size() << " issue(s):";
+  for (const LintIssue& i : issues)
+    os << "\n  [" << i.module << "] " << i.message;
+  throw Error(os.str());
+}
+
+}  // namespace db

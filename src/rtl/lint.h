@@ -1,0 +1,33 @@
+// Structural lint for generated Verilog designs.
+//
+// The session has no synthesiser, so this pass is the safety net that
+// keeps NN-Gen's RTL well-formed: identifier legality, unique names,
+// port/binding consistency against instantiated module definitions, and
+// driver sanity (every output driven, no wire driven twice by assigns).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/verilog.h"
+
+namespace db {
+
+/// One lint finding.
+struct LintIssue {
+  std::string module;  // module where the issue was found
+  std::string message;
+};
+
+/// Lint a single module in isolation (no cross-module checks).
+std::vector<LintIssue> LintModule(const VModule& module);
+
+/// Lint a full design: per-module checks plus instantiation checks
+/// (instances must reference defined modules and bind real ports) and a
+/// defined, existing top module.
+std::vector<LintIssue> LintDesign(const VDesign& design);
+
+/// Convenience: throws db::Error listing the issues if any are found.
+void CheckDesignOrThrow(const VDesign& design);
+
+}  // namespace db

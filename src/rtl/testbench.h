@@ -1,0 +1,30 @@
+// Verilog testbench emission for the generated accelerator top module.
+//
+// Vivado users simulate the generated RTL before synthesis (the paper:
+// "The RTL-level simulation of forward-propagation is conducted with
+// Vivado to verify the timing and function of the generated
+// accelerators").  This emitter writes the matching self-checking
+// testbench skeleton: clock/reset generation, a `go` pulse, a bounded
+// wait for `done`, and a $display of the AXI read-address trace so the
+// waveform can be diffed against the compiler's AGU program.
+#pragma once
+
+#include <string>
+
+#include "rtl/verilog.h"
+
+namespace db {
+
+struct TestbenchOptions {
+  std::int64_t clock_period_ns = 10;  // 100 MHz
+  std::int64_t max_cycles = 1 << 20;  // watchdog before $fatal
+  bool trace_axi = true;              // $display the AXI address stream
+};
+
+/// Emit testbench Verilog text for the design's top module.  Throws
+/// db::Error if the design has no top.  The testbench module is named
+/// "tb_<top>".
+std::string EmitTestbench(const VDesign& design,
+                          const TestbenchOptions& options = {});
+
+}  // namespace db

@@ -1,0 +1,98 @@
+// Minimal structural Verilog AST and pretty-printer.
+//
+// NN-Gen's output is synthesisable Verilog-2001; this AST covers exactly
+// the constructs the block emitters need (ports, parameters, wires/regs,
+// continuous assigns, always blocks with raw statement bodies, and module
+// instantiation).  The lint pass (rtl/lint.h) checks structural sanity in
+// place of a synthesiser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace db {
+
+enum class PortDir { kInput, kOutput };
+
+/// A module port; width is in bits (1 emits no range).
+struct VPort {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+  int width = 1;
+  bool is_reg = false;  // output declared as reg
+};
+
+/// A Verilog parameter with a default value.
+struct VParam {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// An internal net; `is_reg` selects reg vs wire; `depth` > 0 declares a
+/// memory array (reg [w-1:0] name [0:depth-1]).
+struct VNet {
+  std::string name;
+  int width = 1;
+  bool is_reg = false;
+  std::int64_t depth = 0;
+};
+
+/// A continuous assignment `assign lhs = rhs;` (rhs is an expression
+/// string — the emitters build simple, well-formed expressions).
+struct VAssign {
+  std::string lhs;
+  std::string rhs;
+};
+
+/// One port or parameter binding of an instance.
+struct VBinding {
+  std::string formal;
+  std::string actual;
+};
+
+/// A module instantiation.
+struct VInstance {
+  std::string module_name;
+  std::string instance_name;
+  std::vector<VBinding> params;
+  std::vector<VBinding> ports;
+};
+
+/// A clocked or combinational always block; `body` holds raw statements
+/// (one per line, without trailing newlines) emitted with indentation.
+struct VAlways {
+  std::string sensitivity;  // e.g. "posedge clk" or "*"
+  std::vector<std::string> body;
+};
+
+/// One Verilog module.
+struct VModule {
+  std::string name;
+  std::string comment;  // emitted as a header comment
+  std::vector<VParam> params;
+  std::vector<VPort> ports;
+  std::vector<VNet> nets;
+  std::vector<VAssign> assigns;
+  std::vector<VInstance> instances;
+  std::vector<VAlways> always_blocks;
+
+  /// Find a port by name (nullptr if absent).
+  const VPort* FindPort(const std::string& name) const;
+};
+
+/// A design: a set of modules, the last conventionally being the top.
+struct VDesign {
+  std::vector<VModule> modules;
+  std::string top;
+
+  const VModule* FindModule(const std::string& name) const;
+};
+
+/// Render a single module as Verilog text.
+std::string EmitVerilog(const VModule& module);
+
+/// Render a whole design (file header + every module).
+std::string EmitVerilog(const VDesign& design);
+
+}  // namespace db

@@ -1,0 +1,444 @@
+#include "sim/functional_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "nn/cmac.h"
+
+namespace db {
+namespace {
+
+/// Renormalise a full-precision accumulator (2*frac fractional bits) back
+/// to the datapath format with round-half-up and saturation — the
+/// accumulator writeback stage of the synergy-neuron pipeline.
+std::int64_t WritebackAcc(const FixedFormat& fmt, __int128 acc) {
+  const int f = fmt.frac_bits();
+  if (f > 0) {
+    acc += static_cast<__int128>(1) << (f - 1);
+    acc >>= f;
+  }
+  if (acc > fmt.raw_max()) return fmt.raw_max();
+  if (acc < fmt.raw_min()) return fmt.raw_min();
+  return static_cast<std::int64_t>(acc);
+}
+
+}  // namespace
+
+FunctionalSimulator::FunctionalSimulator(const Network& net,
+                                         const AcceleratorDesign& design,
+                                         const WeightStore& weights)
+    : net_(net),
+      design_(design),
+      weights_(weights),
+      fmt_(design.config.format) {
+  for (const auto& [name, params] : weights.all()) {
+    RawParams raw;
+    raw.weights = QuantizeVector(fmt_, params.weights.storage());
+    raw.bias = QuantizeVector(fmt_, params.bias.storage());
+    raw.recurrent = QuantizeVector(fmt_, params.recurrent.storage());
+    raw_params_.emplace(name, std::move(raw));
+  }
+  for (const ApproxLutSpec& spec : design.lut_specs)
+    luts_.push_back(ApproxLut::Generate(spec));
+}
+
+const ApproxLut& FunctionalSimulator::LutFor(LutFunction fn) const {
+  for (const ApproxLut& lut : luts_)
+    if (lut.spec().function == fn) return lut;
+  DB_THROW("design has no Approx LUT for function " << LutFunctionName(fn));
+}
+
+FunctionalSimulator::RawTensor FunctionalSimulator::RunLayer(
+    const IrLayer& layer,
+    const std::vector<const RawTensor*>& ins) const {
+  RawTensor out;
+  out.shape = layer.output_shape;
+  out.raw.assign(static_cast<std::size_t>(out.shape.NumElements()), 0);
+  const RawTensor& in0 = *ins.front();
+  const int f = fmt_.frac_bits();
+
+  auto in_at = [&](const RawTensor& t, std::int64_t c, std::int64_t y,
+                   std::int64_t x) {
+    return t.raw[static_cast<std::size_t>(
+        (c * t.shape.height + y) * t.shape.width + x)];
+  };
+  auto out_ref = [&](std::int64_t c, std::int64_t y,
+                     std::int64_t x) -> std::int64_t& {
+    return out.raw[static_cast<std::size_t>(
+        (c * out.shape.height + y) * out.shape.width + x)];
+  };
+
+  switch (layer.kind()) {
+    case LayerKind::kConvolution: {
+      const ConvolutionParams& p = *layer.def.conv;
+      const RawParams& rp = raw_params_.at(layer.name());
+      const std::int64_t in_c = in0.shape.channels;
+      const std::int64_t in_h = in0.shape.height;
+      const std::int64_t in_w = in0.shape.width;
+      const std::int64_t k = p.kernel_size;
+      const std::int64_t group_in = in_c / p.group;
+      const std::int64_t group_out = out.shape.channels / p.group;
+      for (std::int64_t oc = 0; oc < out.shape.channels; ++oc) {
+        const std::int64_t ic_base = (oc / group_out) * group_in;
+        for (std::int64_t y = 0; y < out.shape.height; ++y) {
+          for (std::int64_t x = 0; x < out.shape.width; ++x) {
+            __int128 acc = 0;
+            if (!rp.bias.empty())
+              acc = static_cast<__int128>(
+                        rp.bias[static_cast<std::size_t>(oc)])
+                    << f;
+            for (std::int64_t g = 0; g < group_in; ++g) {
+              const std::int64_t ic = ic_base + g;
+              for (std::int64_t ky = 0; ky < k; ++ky) {
+                const std::int64_t iy = y * p.stride + ky - p.pad;
+                if (iy < 0 || iy >= in_h) continue;
+                for (std::int64_t kx = 0; kx < k; ++kx) {
+                  const std::int64_t ix = x * p.stride + kx - p.pad;
+                  if (ix < 0 || ix >= in_w) continue;
+                  const std::int64_t wv = rp.weights[static_cast<
+                      std::size_t>(((oc * group_in + g) * k + ky) * k +
+                                   kx)];
+                  acc += static_cast<__int128>(in_at(in0, ic, iy, ix)) * wv;
+                }
+              }
+            }
+            out_ref(oc, y, x) = WritebackAcc(fmt_, acc);
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kInnerProduct: {
+      const InnerProductParams& p = *layer.def.fc;
+      const RawParams& rp = raw_params_.at(layer.name());
+      const std::int64_t in_n = in0.shape.NumElements();
+      for (std::int64_t o = 0; o < p.num_output; ++o) {
+        __int128 acc = 0;
+        if (!rp.bias.empty())
+          acc = static_cast<__int128>(rp.bias[static_cast<std::size_t>(o)])
+                << f;
+        for (std::int64_t i = 0; i < in_n; ++i)
+          acc += static_cast<__int128>(
+                     rp.weights[static_cast<std::size_t>(o * in_n + i)]) *
+                 in0.raw[static_cast<std::size_t>(i)];
+        out.raw[static_cast<std::size_t>(o)] = WritebackAcc(fmt_, acc);
+      }
+      break;
+    }
+    case LayerKind::kPooling: {
+      const PoolingParams& p = *layer.def.pool;
+      const std::int64_t window = p.kernel_size * p.kernel_size;
+      const bool pow2_window = IsPow2(window);
+      const int shift = pow2_window
+                            ? static_cast<int>(std::llround(
+                                  std::log2(static_cast<double>(window))))
+                            : 0;
+      const std::int64_t recip_raw =
+          pow2_window ? 0
+                      : fmt_.Quantize(1.0 / static_cast<double>(window));
+      for (std::int64_t c = 0; c < out.shape.channels; ++c) {
+        for (std::int64_t y = 0; y < out.shape.height; ++y) {
+          for (std::int64_t x = 0; x < out.shape.width; ++x) {
+            const std::int64_t y0 =
+                std::max<std::int64_t>(y * p.stride - p.pad, 0);
+            const std::int64_t x0 =
+                std::max<std::int64_t>(x * p.stride - p.pad, 0);
+            const std::int64_t y1 = std::min(
+                y * p.stride - p.pad + p.kernel_size, in0.shape.height);
+            const std::int64_t x1 = std::min(
+                x * p.stride - p.pad + p.kernel_size, in0.shape.width);
+            if (p.method == PoolMethod::kMax) {
+              std::int64_t best = fmt_.raw_min();
+              for (std::int64_t iy = y0; iy < y1; ++iy)
+                for (std::int64_t ix = x0; ix < x1; ++ix)
+                  best = std::max(best, in_at(in0, c, iy, ix));
+              out_ref(c, y, x) = best;
+            } else {
+              std::int64_t sum = 0;
+              for (std::int64_t iy = y0; iy < y1; ++iy)
+                for (std::int64_t ix = x0; ix < x1; ++ix)
+                  sum += in_at(in0, c, iy, ix);
+              // Average via the connection box's shifting latch when the
+              // window is a power of two; otherwise multiply by the
+              // quantised reciprocal.
+              out_ref(c, y, x) =
+                  pow2_window ? fmt_.Saturate(sum >> shift)
+                              : fmt_.Mul(fmt_.Saturate(sum), recip_raw);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kRelu:
+      for (std::size_t i = 0; i < in0.raw.size(); ++i)
+        out.raw[i] = std::max<std::int64_t>(in0.raw[i], 0);
+      break;
+    case LayerKind::kSigmoid: {
+      const ApproxLut& lut = LutFor(LutFunction::kSigmoid);
+      for (std::size_t i = 0; i < in0.raw.size(); ++i)
+        out.raw[i] = lut.EvalRaw(in0.raw[i]);
+      break;
+    }
+    case LayerKind::kTanh: {
+      const ApproxLut& lut = LutFor(LutFunction::kTanh);
+      for (std::size_t i = 0; i < in0.raw.size(); ++i)
+        out.raw[i] = lut.EvalRaw(in0.raw[i]);
+      break;
+    }
+    case LayerKind::kLrn: {
+      const LrnParams& p = *layer.def.lrn;
+      const ApproxLut& lut = LutFor(LutFunction::kLrnPow);
+      const std::int64_t half = p.local_size / 2;
+      const std::int64_t alpha_raw = fmt_.Quantize(
+          p.alpha / static_cast<double>(p.local_size));
+      const std::int64_t one_raw = fmt_.Quantize(1.0);
+      for (std::int64_t c = 0; c < out.shape.channels; ++c) {
+        const std::int64_t c0 = std::max<std::int64_t>(c - half, 0);
+        const std::int64_t c1 =
+            std::min<std::int64_t>(c + half + 1, out.shape.channels);
+        for (std::int64_t y = 0; y < out.shape.height; ++y) {
+          for (std::int64_t x = 0; x < out.shape.width; ++x) {
+            __int128 sum_sq = 0;
+            for (std::int64_t cc = c0; cc < c1; ++cc) {
+              const std::int64_t v = in_at(in0, cc, y, x);
+              sum_sq += static_cast<__int128>(v) * v;
+            }
+            const std::int64_t sum_raw =
+                WritebackAcc(fmt_, sum_sq);
+            const std::int64_t scale_raw =
+                fmt_.Add(one_raw, fmt_.Mul(alpha_raw, sum_raw));
+            const std::int64_t pow_raw = lut.EvalRaw(scale_raw);
+            out_ref(c, y, x) = fmt_.Mul(in_at(in0, c, y, x), pow_raw);
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kSoftmax: {
+      const ApproxLut& exp_lut = LutFor(LutFunction::kExp);
+      const ApproxLut& recip_lut = LutFor(LutFunction::kRecip);
+      std::int64_t max_raw = fmt_.raw_min();
+      for (std::int64_t v : in0.raw) max_raw = std::max(max_raw, v);
+      std::int64_t sum = 0;
+      for (std::size_t i = 0; i < in0.raw.size(); ++i) {
+        out.raw[i] = exp_lut.EvalRaw(fmt_.Saturate(in0.raw[i] - max_raw));
+        sum += out.raw[i];
+      }
+      const std::int64_t recip = recip_lut.EvalRaw(fmt_.Saturate(sum));
+      for (std::size_t i = 0; i < out.raw.size(); ++i)
+        out.raw[i] = fmt_.Mul(out.raw[i], recip);
+      break;
+    }
+    case LayerKind::kDropout:
+      out.raw = in0.raw;  // inference: inverted dropout is identity
+      break;
+    case LayerKind::kRecurrent: {
+      const RecurrentParams& p = *layer.def.recurrent;
+      const RawParams& rp = raw_params_.at(layer.name());
+      const std::int64_t in_n = in0.shape.NumElements();
+      std::vector<std::int64_t> h(static_cast<std::size_t>(p.num_output),
+                                  0);
+      std::vector<std::int64_t> next(h.size(), 0);
+      const ApproxLut* act = nullptr;
+      if (p.activation == RecurrentActivation::kTanh)
+        act = &LutFor(LutFunction::kTanh);
+      else if (p.activation == RecurrentActivation::kSigmoid)
+        act = &LutFor(LutFunction::kSigmoid);
+      for (std::int64_t t = 0; t < p.time_steps; ++t) {
+        for (std::int64_t o = 0; o < p.num_output; ++o) {
+          __int128 acc = 0;
+          if (!rp.bias.empty())
+            acc = static_cast<__int128>(
+                      rp.bias[static_cast<std::size_t>(o)])
+                  << f;
+          for (std::int64_t i = 0; i < in_n; ++i)
+            acc += static_cast<__int128>(
+                       rp.weights[static_cast<std::size_t>(o * in_n + i)]) *
+                   in0.raw[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < p.num_output; ++j)
+            acc += static_cast<__int128>(
+                       rp.recurrent[static_cast<std::size_t>(
+                           o * p.num_output + j)]) *
+                   h[static_cast<std::size_t>(j)];
+          std::int64_t v = WritebackAcc(fmt_, acc);
+          if (act != nullptr) v = act->EvalRaw(v);
+          next[static_cast<std::size_t>(o)] = v;
+        }
+        h.swap(next);
+      }
+      for (std::size_t i = 0; i < h.size(); ++i) out.raw[i] = h[i];
+      break;
+    }
+    case LayerKind::kLstm: {
+      const LstmParams& p = *layer.def.lstm;
+      const RawParams& rp = raw_params_.at(layer.name());
+      const std::int64_t in_n = in0.shape.NumElements();
+      const std::int64_t h = p.num_output;
+      const ApproxLut& sig = LutFor(LutFunction::kSigmoid);
+      const ApproxLut& tanh_lut = LutFor(LutFunction::kTanh);
+      std::vector<std::int64_t> hidden(static_cast<std::size_t>(h), 0);
+      std::vector<std::int64_t> cell(static_cast<std::size_t>(h), 0);
+      std::vector<std::int64_t> gates(static_cast<std::size_t>(4 * h), 0);
+      for (std::int64_t t = 0; t < p.time_steps; ++t) {
+        for (std::int64_t g = 0; g < 4 * h; ++g) {
+          __int128 acc = 0;
+          if (!rp.bias.empty())
+            acc = static_cast<__int128>(
+                      rp.bias[static_cast<std::size_t>(g)])
+                  << f;
+          for (std::int64_t i = 0; i < in_n; ++i)
+            acc += static_cast<__int128>(
+                       rp.weights[static_cast<std::size_t>(g * in_n + i)]) *
+                   in0.raw[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < h; ++j)
+            acc += static_cast<__int128>(
+                       rp.recurrent[static_cast<std::size_t>(g * h + j)]) *
+                   hidden[static_cast<std::size_t>(j)];
+          gates[static_cast<std::size_t>(g)] = WritebackAcc(fmt_, acc);
+        }
+        for (std::int64_t j = 0; j < h; ++j) {
+          const std::int64_t gi =
+              sig.EvalRaw(gates[static_cast<std::size_t>(j)]);
+          const std::int64_t gf =
+              sig.EvalRaw(gates[static_cast<std::size_t>(h + j)]);
+          const std::int64_t gc =
+              tanh_lut.EvalRaw(gates[static_cast<std::size_t>(2 * h + j)]);
+          const std::int64_t go =
+              sig.EvalRaw(gates[static_cast<std::size_t>(3 * h + j)]);
+          cell[static_cast<std::size_t>(j)] = fmt_.Add(
+              fmt_.Mul(gf, cell[static_cast<std::size_t>(j)]),
+              fmt_.Mul(gi, gc));
+          hidden[static_cast<std::size_t>(j)] = fmt_.Mul(
+              go, tanh_lut.EvalRaw(cell[static_cast<std::size_t>(j)]));
+        }
+      }
+      for (std::size_t j = 0; j < hidden.size(); ++j)
+        out.raw[j] = hidden[j];
+      break;
+    }
+    case LayerKind::kAssociative: {
+      const AssociativeParams& p = *layer.def.associative;
+      const RawParams& rp = raw_params_.at(layer.name());
+      std::vector<float> x;
+      x.reserve(in0.raw.size());
+      for (std::int64_t v : in0.raw)
+        x.push_back(static_cast<float>(fmt_.Dequantize(v)));
+      const std::vector<std::int64_t> cells = CmacActiveCells(x, p);
+      for (std::int64_t o = 0; o < p.num_output; ++o) {
+        std::int64_t acc = 0;
+        for (std::int64_t cell : cells)
+          acc = fmt_.Add(acc, rp.weights[static_cast<std::size_t>(
+                                  o * p.num_cells + cell)]);
+        out.raw[static_cast<std::size_t>(o)] = acc;
+      }
+      break;
+    }
+    case LayerKind::kConcat: {
+      std::size_t pos = 0;
+      for (const RawTensor* t : ins)
+        for (std::int64_t v : t->raw) out.raw[pos++] = v;
+      DB_CHECK(pos == out.raw.size());
+      break;
+    }
+    case LayerKind::kClassifier: {
+      const ClassifierParams& p = *layer.def.classifier;
+      std::vector<std::int64_t> order(in0.raw.size());
+      for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<std::int64_t>(i);
+      const std::int64_t k = std::min<std::int64_t>(
+          p.top_k, static_cast<std::int64_t>(in0.raw.size()));
+      std::partial_sort(
+          order.begin(), order.begin() + k, order.end(),
+          [&](std::int64_t a, std::int64_t b) {
+            const std::int64_t va = in0.raw[static_cast<std::size_t>(a)];
+            const std::int64_t vb = in0.raw[static_cast<std::size_t>(b)];
+            if (va != vb) return va > vb;
+            return a < b;
+          });
+      for (std::int64_t i = 0; i < k; ++i)
+        out.raw[static_cast<std::size_t>(i)] =
+            fmt_.Quantize(static_cast<double>(order[
+                static_cast<std::size_t>(i)]));
+      break;
+    }
+    case LayerKind::kInput:
+      DB_THROW("input layer reached RunLayer");
+  }
+  return out;
+}
+
+std::map<std::string, Tensor> FunctionalSimulator::Run(
+    const std::map<std::string, Tensor>& inputs) const {
+  std::vector<RawTensor> by_id(net_.layers().size());
+  std::map<std::string, Tensor> result;
+  for (const IrLayer& layer : net_.layers()) {
+    const std::size_t id = static_cast<std::size_t>(layer.id);
+    if (layer.kind() == LayerKind::kInput) {
+      const auto it = inputs.find(layer.name());
+      if (it == inputs.end())
+        DB_THROW("missing input '" << layer.name() << "'");
+      RawTensor rt;
+      rt.shape = layer.output_shape;
+      rt.raw = QuantizeVector(fmt_, it->second.storage());
+      by_id[id] = std::move(rt);
+      continue;
+    }
+    std::vector<const RawTensor*> ins;
+    for (int in_id : layer.input_ids)
+      ins.push_back(&by_id[static_cast<std::size_t>(in_id)]);
+    by_id[id] = RunLayer(layer, ins);
+  }
+  const IrLayer& out_layer = net_.OutputLayer();
+  const RawTensor& out = by_id[static_cast<std::size_t>(out_layer.id)];
+  Tensor t(Shape{out.shape.channels, out.shape.height, out.shape.width});
+  for (std::int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(
+        fmt_.Dequantize(out.raw[static_cast<std::size_t>(i)]));
+  result[out_layer.name()] = std::move(t);
+  return result;
+}
+
+std::map<std::string, Tensor> FunctionalSimulator::RunAll(
+    const Tensor& input) const {
+  DB_CHECK_MSG(net_.input_ids().size() == 1,
+               "RunAll requires a single-input network");
+  const IrLayer& in_layer = net_.layer(net_.input_ids().front());
+
+  std::vector<RawTensor> by_id(net_.layers().size());
+  std::map<std::string, Tensor> acts;
+  for (const IrLayer& layer : net_.layers()) {
+    const std::size_t id = static_cast<std::size_t>(layer.id);
+    if (layer.kind() == LayerKind::kInput) {
+      RawTensor rt;
+      rt.shape = layer.output_shape;
+      DB_CHECK_MSG(layer.name() == in_layer.name(), "input mismatch");
+      rt.raw = QuantizeVector(fmt_, input.storage());
+      by_id[id] = std::move(rt);
+    } else {
+      std::vector<const RawTensor*> ins;
+      for (int in_id : layer.input_ids)
+        ins.push_back(&by_id[static_cast<std::size_t>(in_id)]);
+      by_id[id] = RunLayer(layer, ins);
+    }
+    const RawTensor& rt = by_id[id];
+    Tensor t(Shape{rt.shape.channels, rt.shape.height, rt.shape.width});
+    for (std::int64_t i = 0; i < t.size(); ++i)
+      t[i] = static_cast<float>(
+          fmt_.Dequantize(rt.raw[static_cast<std::size_t>(i)]));
+    acts[layer.name()] = std::move(t);
+  }
+  return acts;
+}
+
+Tensor FunctionalSimulator::Run(const Tensor& input) const {
+  DB_CHECK_MSG(net_.input_ids().size() == 1,
+               "single-input Run requires a single-input network");
+  const IrLayer& in_layer = net_.layer(net_.input_ids().front());
+  auto outs = Run(std::map<std::string, Tensor>{{in_layer.name(), input}});
+  return outs.at(net_.OutputLayer().name());
+}
+
+}  // namespace db

@@ -1,0 +1,68 @@
+// Bit-accurate functional simulation of a generated accelerator.
+//
+// Executes a network's forward propagation with exactly the arithmetic
+// the generated datapath performs: operands quantised to the design's
+// fixed-point format, full-precision MAC accumulation with saturating
+// writeback, Approx-LUT activation/softmax/LRN evaluation (including the
+// super-linear interpolation), and shift-based average pooling.  Fig. 10
+// compares this simulator's outputs against the float reference executor.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/generator.h"
+#include "nn/weights.h"
+
+namespace db {
+
+/// Functional simulator bound to one generated design.
+class FunctionalSimulator {
+ public:
+  /// Quantises the weights once at construction (the ARM host's
+  /// preprocessing step in the paper's flow).
+  FunctionalSimulator(const Network& net, const AcceleratorDesign& design,
+                      const WeightStore& weights);
+
+  /// Run one forward propagation; input and output are float tensors at
+  /// the network boundary (the host's view), everything in between is
+  /// fixed-point.
+  Tensor Run(const Tensor& input) const;
+
+  /// Multi-input variant keyed by input-layer name.
+  std::map<std::string, Tensor> Run(
+      const std::map<std::string, Tensor>& inputs) const;
+
+  /// Run and return *every* layer's activation (dequantised), keyed by
+  /// layer name — the probe interface used to compare fixed-point
+  /// fidelity at interior points (e.g. pre-softmax logits, where
+  /// magnitudes are representable).
+  std::map<std::string, Tensor> RunAll(const Tensor& input) const;
+
+  /// The Approx LUT generated for `fn` (throws if the design has none).
+  const ApproxLut& LutFor(LutFunction fn) const;
+
+ private:
+  struct RawTensor {
+    BlobShape shape;
+    std::vector<std::int64_t> raw;
+  };
+
+  RawTensor RunLayer(const IrLayer& layer,
+                     const std::vector<const RawTensor*>& ins) const;
+
+  const Network& net_;
+  const AcceleratorDesign& design_;
+  const WeightStore& weights_;
+  FixedFormat fmt_;
+  // Quantised parameters per layer, stored raw.
+  struct RawParams {
+    std::vector<std::int64_t> weights;
+    std::vector<std::int64_t> bias;
+    std::vector<std::int64_t> recurrent;
+  };
+  std::map<std::string, RawParams> raw_params_;
+  std::vector<ApproxLut> luts_;
+};
+
+}  // namespace db

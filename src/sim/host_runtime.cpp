@@ -1,0 +1,64 @@
+#include "sim/host_runtime.h"
+
+#include "common/error.h"
+
+namespace db {
+
+HostRuntime::HostRuntime(const Network& net,
+                         const AcceleratorDesign& design,
+                         const WeightStore& weights,
+                         std::string device_name)
+    : net_(net),
+      design_(design),
+      device_(DeviceCatalog(device_name)),
+      image_(design.memory_map.total_bytes()) {
+  // Provision the board: weights once, input region zeroed.
+  const IrLayer& in_layer = net.layer(net.input_ids().front());
+  const BlobShape& s = in_layer.output_shape;
+  const MemoryImage full = BuildMemoryImage(
+      net, design, weights,
+      {{in_layer.name(), Tensor(Shape{s.channels, s.height, s.width})}});
+  image_ = full;
+}
+
+HostInvocation HostRuntime::MakeInvocation(const Tensor& output,
+                                           const PerfResult& perf) {
+  HostInvocation inv;
+  inv.output = output;
+  inv.cycles = perf.total_cycles;
+  inv.seconds = perf.TotalSeconds();
+  inv.joules =
+      EstimateEnergy(design_.resources.total, perf, device_).total_joules;
+  ++stats_.invocations;
+  stats_.total_seconds += inv.seconds;
+  stats_.total_joules += inv.joules;
+  stats_.total_dram_bytes += perf.total_dram_bytes;
+  return inv;
+}
+
+HostInvocation HostRuntime::Infer(const Tensor& input) {
+  const SystemRunResult run = RunSystem(net_, design_, image_, input);
+  return MakeInvocation(run.output, run.perf);
+}
+
+std::vector<HostInvocation> HostRuntime::InferBatch(
+    std::span<const Tensor> inputs) {
+  DB_CHECK_MSG(!inputs.empty(), "empty inference batch");
+  std::vector<HostInvocation> results;
+  results.reserve(inputs.size());
+
+  // First image: cold run through the image.
+  results.push_back(Infer(inputs.front()));
+
+  // Remaining images reuse buffered weights where they fit.
+  PerfOptions steady;
+  steady.weights_resident = true;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const SystemRunResult run =
+        RunSystem(net_, design_, image_, inputs[i], steady);
+    results.push_back(MakeInvocation(run.output, run.perf));
+  }
+  return results;
+}
+
+}  // namespace db

@@ -1,0 +1,66 @@
+// Host-side runtime: the software the ARM Cortex-A9 runs in the paper's
+// system (§4.1) — it owns the DRAM image, preprocesses inputs into the
+// compiler-directed layout, kicks invocations, reads results back, and
+// keeps cumulative accounting.  This is the top of the whole stack: a
+// user application links against this class and never touches the
+// accelerator internals.
+#pragma once
+
+#include <span>
+
+#include "core/memory_image.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+#include "sim/system_sim.h"
+
+namespace db {
+
+/// Result of one accelerator invocation as the host sees it.
+struct HostInvocation {
+  Tensor output;
+  std::int64_t cycles = 0;
+  double seconds = 0.0;
+  double joules = 0.0;
+};
+
+/// Cumulative session accounting.
+struct HostStats {
+  std::int64_t invocations = 0;
+  double total_seconds = 0.0;
+  double total_joules = 0.0;
+  std::int64_t total_dram_bytes = 0;
+};
+
+class HostRuntime {
+ public:
+  /// Builds the DRAM image (weights serialised once, the way the board
+  /// is provisioned at start-up).
+  HostRuntime(const Network& net, const AcceleratorDesign& design,
+              const WeightStore& weights,
+              std::string device_name = "zynq-7045");
+
+  /// One inference: write input, invoke, read output back.
+  HostInvocation Infer(const Tensor& input);
+
+  /// Batched inference: the first image pays the cold-weight cost; the
+  /// rest run with resident weights where they fit (SimulateBatch's
+  /// steady-state model).
+  std::vector<HostInvocation> InferBatch(std::span<const Tensor> inputs);
+
+  const HostStats& stats() const { return stats_; }
+
+  /// Direct access to the DRAM image (fault-injection experiments).
+  MemoryImage& image() { return image_; }
+
+ private:
+  HostInvocation MakeInvocation(const Tensor& output,
+                                const PerfResult& perf);
+
+  const Network& net_;
+  const AcceleratorDesign& design_;
+  const DeviceInfo& device_;
+  MemoryImage image_;
+  HostStats stats_;
+};
+
+}  // namespace db

@@ -1,0 +1,200 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "graph/layer_stats.h"
+
+namespace db {
+namespace {
+
+/// Per-layer memory traffic derived from the data layout.
+struct LayerTraffic {
+  std::int64_t fetch_bytes = 0;   // bytes occupying the DRAM channel
+  std::int64_t store_bytes = 0;
+  std::int64_t useful_bytes = 0;  // traffic net of utilisation waste
+};
+
+LayerTraffic ComputeTraffic(const IrLayer& layer, const LayerFold& fold,
+                            const TileSpec& layout,
+                            const AcceleratorConfig& config,
+                            bool weights_resident) {
+  LayerTraffic t;
+  const std::int64_t elem = config.ElementBytes();
+  const LayerStats stats = ComputeLayerStats(layer);
+  const std::int64_t input_bytes = stats.input_elems * elem;
+  std::int64_t weight_bytes = stats.weight_count * elem;
+  if (weights_resident && weight_bytes <= config.weight_buffer_bytes)
+    weight_bytes = 0;  // already on chip from the previous image
+  t.store_bytes = stats.output_elems * elem;
+
+  // If the layer's input working set exceeds the data buffer, the folded
+  // segments cannot all reuse the buffered tiles and the input streams
+  // again from DRAM for the uncovered passes.
+  std::int64_t passes = 1;
+  if (input_bytes > config.data_buffer_bytes && fold.segments > 1)
+    passes = std::min<std::int64_t>(
+        fold.segments, CeilDiv(input_bytes, config.data_buffer_bytes));
+
+  const double fetched =
+      static_cast<double>(input_bytes) * layout.refetch /
+          std::max(layout.utilization, 1e-6) *
+          static_cast<double>(passes) +
+      static_cast<double>(weight_bytes);
+  t.fetch_bytes = static_cast<std::int64_t>(fetched);
+  t.useful_bytes = input_bytes * passes + weight_bytes;
+  return t;
+}
+
+}  // namespace
+
+std::string PerfResult::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("  %-16s %9s %12s %12s %12s %12s\n", "layer", "segs",
+                  "compute_cyc", "memory_cyc", "total_cyc", "dram_bytes");
+  for (const LayerTiming& lt : layers)
+    os << StrFormat("  %-16s %9lld %12lld %12lld %12lld %12lld\n",
+                    lt.name.c_str(), static_cast<long long>(lt.segments),
+                    static_cast<long long>(lt.compute_cycles),
+                    static_cast<long long>(lt.memory_cycles),
+                    static_cast<long long>(lt.total_cycles),
+                    static_cast<long long>(lt.dram_bytes));
+  os << StrFormat("  total: %lld cycles = %.3f ms @ %.0f MHz, %lld DRAM "
+                  "bytes\n",
+                  static_cast<long long>(total_cycles), TotalMs(),
+                  frequency_mhz,
+                  static_cast<long long>(total_dram_bytes));
+  return os.str();
+}
+
+PerfResult SimulatePerformance(const Network& net,
+                               const AcceleratorDesign& design,
+                               const PerfOptions& options) {
+  PerfResult result;
+  result.frequency_mhz = design.config.frequency_mhz;
+  const double bytes_per_cycle = design.config.DramBytesPerCycle();
+  DB_CHECK_MSG(bytes_per_cycle > 0, "DRAM bandwidth must be positive");
+
+  std::int64_t now = 0;           // global time (cycles)
+  std::int64_t dram_free = 0;     // DRAM channel availability
+  std::int64_t datapath_free = 0;
+
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const LayerFold& fold = design.fold_plan.ForLayer(layer->id);
+    TileSpec layout = design.layout.ForLayer(layer->id).input_layout;
+    if (options.force_naive_layout) {
+      std::int64_t kernel = 1;
+      std::int64_t stride = 1;
+      if (layer->kind() == LayerKind::kConvolution) {
+        kernel = layer->def.conv->kernel_size;
+        stride = layer->def.conv->stride;
+      } else if (layer->kind() == LayerKind::kPooling) {
+        kernel = layer->def.pool->kernel_size;
+        stride = layer->def.pool->stride;
+      }
+      layout = NaiveRowMajorLayout(layer->input_shapes.front(), kernel,
+                                   stride, design.config.memory_port_elems);
+    }
+    const LayerTraffic traffic =
+        ComputeTraffic(*layer, fold, layout, design.config,
+                       options.weights_resident);
+
+    LayerTiming lt;
+    lt.layer_id = layer->id;
+    lt.name = layer->name();
+    lt.segments = fold.segments;
+    lt.dram_bytes = traffic.fetch_bytes + traffic.store_bytes;
+
+    const std::int64_t layer_start = now;
+    const std::int64_t segs = std::max<std::int64_t>(fold.segments, 1);
+    const std::int64_t fetch_per_seg =
+        static_cast<std::int64_t>(
+            static_cast<double>(traffic.fetch_bytes) /
+            static_cast<double>(segs) / bytes_per_cycle) +
+        options.dram_burst_latency;
+    const std::int64_t store_per_seg = static_cast<std::int64_t>(
+        static_cast<double>(traffic.store_bytes) /
+        static_cast<double>(segs) / bytes_per_cycle);
+    const std::int64_t compute_per_seg =
+        fold.unit_work + options.segment_overhead_cycles;
+
+    // Two on-chip buffer slots: segment i's fetch may start once segment
+    // i-2's compute released its slot.  Output results drain through a
+    // write-back buffer, so stores do not block the next segment's fetch;
+    // the layer completes when the drain finishes.
+    std::vector<std::int64_t> compute_end(static_cast<std::size_t>(segs),
+                                          0);
+    std::int64_t last_compute_end = layer_start;
+    for (std::int64_t s = 0; s < segs; ++s) {
+      std::int64_t fetch_start = std::max(dram_free, layer_start);
+      if (!options.double_buffer)
+        fetch_start = std::max(fetch_start, datapath_free);
+      if (s >= 2)
+        fetch_start = std::max(fetch_start,
+                               compute_end[static_cast<std::size_t>(s - 2)]);
+      const std::int64_t fetch_end = fetch_start + fetch_per_seg;
+      dram_free = fetch_end;
+
+      const std::int64_t compute_start =
+          std::max(fetch_end, datapath_free);
+      const std::int64_t c_end = compute_start + compute_per_seg;
+      compute_end[static_cast<std::size_t>(s)] = c_end;
+      datapath_free = c_end;
+      last_compute_end = c_end;
+      if (options.trace != nullptr) {
+        options.trace->events.push_back({TraceEvent::Resource::kDram,
+                                         layer->id, fetch_start,
+                                         fetch_end});
+        options.trace->events.push_back({TraceEvent::Resource::kDatapath,
+                                         layer->id, compute_start, c_end});
+      }
+
+      lt.compute_cycles += compute_per_seg;
+      lt.memory_cycles += fetch_per_seg + store_per_seg;
+    }
+    // Write-back drain of all segments' outputs.
+    const std::int64_t drain_start = std::max(dram_free, last_compute_end);
+    const std::int64_t drain_end = drain_start + store_per_seg * segs;
+    if (options.trace != nullptr && drain_end > drain_start)
+      options.trace->events.push_back({TraceEvent::Resource::kDram,
+                                       layer->id, drain_start, drain_end});
+    dram_free = drain_end;
+    now = std::max(last_compute_end, drain_end) +
+          options.layer_overhead_cycles;
+    datapath_free = now;
+    lt.total_cycles = now - layer_start;
+
+    result.total_dram_bytes += lt.dram_bytes;
+    result.layers.push_back(std::move(lt));
+  }
+  result.total_cycles = now;
+  if (options.trace != nullptr) options.trace->total_cycles = now;
+  return result;
+}
+
+BatchResult SimulateBatch(const Network& net,
+                          const AcceleratorDesign& design,
+                          std::int64_t images,
+                          const PerfOptions& options) {
+  DB_CHECK_MSG(images >= 1, "batch needs at least one image");
+  BatchResult result;
+  result.images = images;
+  result.frequency_mhz = design.config.frequency_mhz;
+
+  const PerfResult cold = SimulatePerformance(net, design, options);
+  result.first_image_cycles = cold.total_cycles;
+
+  PerfOptions steady = options;
+  steady.weights_resident = true;
+  const PerfResult warm = SimulatePerformance(net, design, steady);
+  result.steady_image_cycles = warm.total_cycles;
+
+  result.total_cycles =
+      cold.total_cycles + (images - 1) * warm.total_cycles;
+  return result;
+}
+
+}  // namespace db

@@ -1,0 +1,99 @@
+// Transaction-level performance simulation of a generated accelerator.
+//
+// The simulator walks the coordinator schedule at fold-segment
+// granularity.  Each segment is a (fetch, compute, store) transaction
+// triple; with double buffering (the data-driven default) segment i+1's
+// fetch overlaps segment i's compute, exactly the producer/consumer
+// behaviour the AGUs implement.  Memory transaction durations come from
+// the DRAM channel model scaled by the data layout's bandwidth
+// utilisation and re-fetch factors — this is where Method-1 tiling pays
+// off and where the tiling ablation measures its effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "sim/trace.h"
+
+namespace db {
+
+struct PerfOptions {
+  /// Overlap fetch of the next segment with compute of the current one.
+  bool double_buffer = true;
+  /// Replace every layout entry by the naive row-major layout (tiling
+  /// ablation) before simulating.
+  bool force_naive_layout = false;
+  /// Cycles the coordinator + AGU retrigger cost per fold segment.
+  std::int64_t segment_overhead_cycles = 8;
+  /// Pipeline fill/drain cycles per layer.
+  std::int64_t layer_overhead_cycles = 24;
+  /// DRAM channel latency per burst (cycles), amortised per transaction.
+  std::int64_t dram_burst_latency = 16;
+  /// Treat each layer's weights as already resident in the weight buffer
+  /// (steady-state batch processing): layers whose weight arrays fit the
+  /// buffer skip the weight fetch.
+  bool weights_resident = false;
+  /// When set, the simulator records every DRAM / datapath busy interval
+  /// here (see sim/trace.h for VCD export).
+  PerfTrace* trace = nullptr;
+};
+
+/// Timing of one layer.
+struct LayerTiming {
+  int layer_id = 0;
+  std::string name;
+  std::int64_t segments = 1;
+  std::int64_t compute_cycles = 0;  // datapath-busy cycles
+  std::int64_t memory_cycles = 0;   // DRAM-channel-busy cycles
+  std::int64_t total_cycles = 0;    // after overlap
+  std::int64_t dram_bytes = 0;
+};
+
+/// Whole-network timing.
+struct PerfResult {
+  std::vector<LayerTiming> layers;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_dram_bytes = 0;
+  double frequency_mhz = 100.0;
+
+  double TotalSeconds() const {
+    return static_cast<double>(total_cycles) / (frequency_mhz * 1e6);
+  }
+  double TotalMs() const { return TotalSeconds() * 1e3; }
+  std::string ToString() const;
+};
+
+/// Simulate one forward propagation of `net` on `design`.
+PerfResult SimulatePerformance(const Network& net,
+                               const AcceleratorDesign& design,
+                               const PerfOptions& options = {});
+
+/// Batched invocation: the first image pays the cold-weight run; later
+/// images reuse buffered weights where they fit (latency vs throughput,
+/// the batch amortisation a host runtime exploits).
+struct BatchResult {
+  std::int64_t images = 0;
+  std::int64_t first_image_cycles = 0;
+  std::int64_t steady_image_cycles = 0;
+  std::int64_t total_cycles = 0;
+  double frequency_mhz = 100.0;
+
+  double LatencySeconds() const {
+    return static_cast<double>(first_image_cycles) /
+           (frequency_mhz * 1e6);
+  }
+  double ThroughputImagesPerSecond() const {
+    return images > 0 ? static_cast<double>(images) /
+                            (static_cast<double>(total_cycles) /
+                             (frequency_mhz * 1e6))
+                      : 0.0;
+  }
+};
+BatchResult SimulateBatch(const Network& net,
+                          const AcceleratorDesign& design,
+                          std::int64_t images,
+                          const PerfOptions& options = {});
+
+}  // namespace db

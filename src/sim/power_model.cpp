@@ -1,0 +1,41 @@
+#include "sim/power_model.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace db {
+
+std::string EnergyResult::ToString() const {
+  std::ostringstream os;
+  os << StrFormat(
+      "runtime=%.4f s, static=%.3f W, fabric=%.3f W, dram=%.4f J, "
+      "total=%.4f J (avg %.3f W)",
+      runtime_s, static_watts, fabric_watts, dram_joules, total_joules,
+      average_watts);
+  return os.str();
+}
+
+EnergyResult EstimateEnergy(const ResourceBudget& used,
+                            const PerfResult& perf,
+                            const DeviceInfo& device,
+                            const PowerParams& params) {
+  EnergyResult e;
+  e.runtime_s = perf.TotalSeconds();
+  e.static_watts = device.static_watts;
+  const double freq_scale = perf.frequency_mhz / params.reference_mhz;
+  e.fabric_watts =
+      (static_cast<double>(used.lut) * params.watts_per_lut +
+       static_cast<double>(used.ff) * params.watts_per_ff +
+       static_cast<double>(used.dsp) * params.watts_per_dsp +
+       static_cast<double>(used.bram_bytes) * params.watts_per_bram_byte) *
+      freq_scale;
+  e.dram_joules = static_cast<double>(perf.total_dram_bytes) *
+                  params.dram_joules_per_byte;
+  e.total_joules =
+      (e.static_watts + e.fabric_watts) * e.runtime_s + e.dram_joules;
+  e.average_watts = e.runtime_s > 0 ? e.total_joules / e.runtime_s : 0.0;
+  return e;
+}
+
+}  // namespace db

@@ -1,0 +1,47 @@
+// Activity- and resource-based power/energy model.
+//
+// FPGA power at a fixed clock is dominated by static leakage plus
+// clock/logic switching proportional to the occupied fabric; DRAM traffic
+// adds a per-byte cost.  The coefficients are calibrated against the
+// evaluation platform of the paper (Zynq boards around 1-3 W for
+// CNN-scale designs, Virtex-7 VC707 much higher) so Fig. 9's relative
+// energies reproduce.
+#pragma once
+
+#include <string>
+
+#include "hwlib/device.h"
+#include "sim/perf_model.h"
+
+namespace db {
+
+/// Model coefficients (defaults calibrated for 100 MHz designs).
+struct PowerParams {
+  double watts_per_lut = 45e-6;     // logic + routing + clock per LUT
+  double watts_per_ff = 8e-6;
+  double watts_per_dsp = 2.4e-3;
+  double watts_per_bram_byte = 1.2e-6;
+  double dram_joules_per_byte = 60e-12;  // DDR3 access energy
+  /// Scales dynamic fabric power with the operating frequency.
+  double reference_mhz = 100.0;
+};
+
+struct EnergyResult {
+  double runtime_s = 0.0;
+  double static_watts = 0.0;
+  double fabric_watts = 0.0;   // resource-proportional switching power
+  double dram_joules = 0.0;
+  double total_joules = 0.0;
+  double average_watts = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Energy of one forward propagation: fabric power x runtime + DRAM
+/// traffic energy + board static power x runtime.
+EnergyResult EstimateEnergy(const ResourceBudget& used_resources,
+                            const PerfResult& perf,
+                            const DeviceInfo& device,
+                            const PowerParams& params = {});
+
+}  // namespace db

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+namespace db {
+
+AcceleratorSimulator::AcceleratorSimulator(const Network& net,
+                                           const AcceleratorDesign& design,
+                                           const WeightStore& weights,
+                                           std::string device_name)
+    : net_(net),
+      design_(design),
+      functional_(net, design, weights),
+      device_(DeviceCatalog(device_name)) {}
+
+SimulationResult AcceleratorSimulator::Invoke(
+    const Tensor& input, const PerfOptions& options) const {
+  SimulationResult result;
+  result.output = functional_.Run(input);
+  result.perf = SimulatePerformance(net_, design_, options);
+  result.energy =
+      EstimateEnergy(design_.resources.total, result.perf, device_);
+  return result;
+}
+
+PerfResult AcceleratorSimulator::Performance(
+    const PerfOptions& options) const {
+  return SimulatePerformance(net_, design_, options);
+}
+
+EnergyResult AcceleratorSimulator::Energy(const PerfOptions& options) const {
+  const PerfResult perf = SimulatePerformance(net_, design_, options);
+  return EstimateEnergy(design_.resources.total, perf, device_);
+}
+
+}  // namespace db

@@ -1,0 +1,48 @@
+// Facade tying the three simulator aspects together: functional
+// (bit-accurate outputs), performance (cycles) and energy.  This is what
+// the examples and benches use to "run" a generated accelerator in place
+// of the FPGA board.
+#pragma once
+
+#include <string>
+
+#include "core/generator.h"
+#include "nn/weights.h"
+#include "sim/functional_sim.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+
+namespace db {
+
+/// A complete simulated invocation of a generated accelerator.
+struct SimulationResult {
+  Tensor output;
+  PerfResult perf;
+  EnergyResult energy;
+};
+
+/// Simulated accelerator bound to one design + trained weights.
+class AcceleratorSimulator {
+ public:
+  AcceleratorSimulator(const Network& net, const AcceleratorDesign& design,
+                       const WeightStore& weights,
+                       std::string device_name = "zynq-7045");
+
+  /// Run one inference: functional output plus timing and energy.
+  SimulationResult Invoke(const Tensor& input,
+                          const PerfOptions& options = {}) const;
+
+  /// Timing/energy only (workload-independent in this model).
+  PerfResult Performance(const PerfOptions& options = {}) const;
+  EnergyResult Energy(const PerfOptions& options = {}) const;
+
+  const FunctionalSimulator& functional() const { return functional_; }
+
+ private:
+  const Network& net_;
+  const AcceleratorDesign& design_;
+  FunctionalSimulator functional_;
+  const DeviceInfo& device_;
+};
+
+}  // namespace db

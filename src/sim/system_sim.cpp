@@ -1,0 +1,58 @@
+#include "sim/system_sim.h"
+
+#include "common/error.h"
+
+namespace db {
+
+WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
+                          const AcceleratorDesign& design) {
+  const FixedFormat& fmt = design.config.format;
+  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+  WeightStore store = WeightStore::CreateFor(net);
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    if (!store.Has(layer->name())) continue;
+    DB_CHECK_MSG(design.memory_map.HasWeights(layer->name()),
+                 "parameterised layer missing a weight region");
+    const MemoryRegion& region =
+        design.memory_map.Weights(layer->name());
+    LayerParams& params = store.at(layer->name());
+    std::int64_t addr = region.base;
+    auto decode = [&](Tensor& t) {
+      for (std::int64_t i = 0; i < t.size(); ++i) {
+        DB_CHECK_MSG(addr + elem_bytes <= region.end(),
+                     "weight region underflows its tensors");
+        t[i] = static_cast<float>(
+            fmt.Dequantize(image.ReadElem(addr, elem_bytes)));
+        addr += elem_bytes;
+      }
+    };
+    decode(params.weights);
+    decode(params.bias);
+    decode(params.recurrent);
+  }
+  return store;
+}
+
+SystemRunResult RunSystem(const Network& net,
+                          const AcceleratorDesign& design,
+                          MemoryImage& image, const Tensor& input,
+                          const PerfOptions& perf_options) {
+  // Host writes the input blob into DRAM in the compiler's tile order.
+  const IrLayer& in_layer = net.layer(net.input_ids().front());
+  StoreBlob(image, net, design, in_layer.name(), input);
+
+  // The accelerator's view of the weights comes from the image bytes.
+  const WeightStore weights = DecodeWeights(image, net, design);
+  FunctionalSimulator sim(net, design, weights);
+  SystemRunResult result;
+  const Tensor raw_out = sim.Run(input);
+
+  // Accelerator writes the output blob; host reads it back.
+  const IrLayer& out_layer = net.OutputLayer();
+  StoreBlob(image, net, design, out_layer.name(), raw_out);
+  result.output = ExtractBlob(image, net, design, out_layer.name());
+  result.perf = SimulatePerformance(net, design, perf_options);
+  return result;
+}
+
+}  // namespace db

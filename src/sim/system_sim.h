@@ -1,0 +1,35 @@
+// System-level simulation: run an inference entirely through the DRAM
+// image, the way the board operates (paper §4.1: the ARM core stores the
+// preprocessed weights and inputs into DDR3; the accelerator reads and
+// writes DRAM through the AXI switches; the host reads the result back).
+//
+// The weights the datapath uses are *decoded from the image bytes*, not
+// taken from the WeightStore — so a corrupted image region corrupts the
+// run, exactly as on hardware.
+#pragma once
+
+#include "core/memory_image.h"
+#include "sim/functional_sim.h"
+#include "sim/perf_model.h"
+
+namespace db {
+
+struct SystemRunResult {
+  Tensor output;          // host-visible result, read back from the image
+  PerfResult perf;        // accelerator timing for the invocation
+};
+
+/// Decode a WeightStore from the image's weight regions (the inverse of
+/// BuildMemoryImage's weight serialisation).  Exposed for tests.
+WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
+                          const AcceleratorDesign& design);
+
+/// One full invocation against the image: decode weights, run the
+/// bit-accurate functional simulation, store the output blob back into
+/// the image, and read it out as the host would.
+SystemRunResult RunSystem(const Network& net,
+                          const AcceleratorDesign& design,
+                          MemoryImage& image, const Tensor& input,
+                          const PerfOptions& perf_options = {});
+
+}  // namespace db

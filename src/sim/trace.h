@@ -1,0 +1,43 @@
+// Execution tracing for the transaction-level simulator, with VCD
+// export — the waveform-shaped artifact a hardware engineer expects next
+// to the generated RTL.
+//
+// The performance simulator optionally records every DRAM-channel and
+// datapath busy interval; WriteVcd renders them as two busy wires plus a
+// per-layer index bus, viewable in GTKWave next to an RTL simulation of
+// the generated design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace db {
+
+/// One busy interval of a shared resource, in accelerator cycles.
+struct TraceEvent {
+  enum class Resource { kDram, kDatapath };
+  Resource resource = Resource::kDram;
+  int layer_id = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+
+/// The recorded activity of one simulated invocation.
+struct PerfTrace {
+  std::vector<TraceEvent> events;
+  std::int64_t total_cycles = 0;
+
+  /// Busy-cycle sum for one resource (utilisation numerator).
+  std::int64_t BusyCycles(TraceEvent::Resource resource) const;
+
+  /// Fraction of total cycles the resource was busy.
+  double Utilization(TraceEvent::Resource resource) const;
+};
+
+/// Render the trace as a Value Change Dump.  `timescale_ns` is the
+/// duration of one cycle.  Signals: dram_busy, datapath_busy, and an
+/// 8-bit active_layer index bus (follows the datapath events).
+std::string WriteVcd(const PerfTrace& trace, double timescale_ns = 10.0);
+
+}  // namespace db

@@ -1,0 +1,137 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace db {
+
+std::int64_t Shape::dim(int i) const {
+  DB_CHECK_MSG(i >= 0 && i < rank(), "shape dim out of range");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::NumElements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::Offset(const std::vector<std::int64_t>& index) const {
+  DB_CHECK_MSG(static_cast<int>(index.size()) == rank(),
+               "index rank mismatch");
+  std::int64_t offset = 0;
+  for (int i = 0; i < rank(); ++i) {
+    const std::int64_t d = dims_[static_cast<std::size_t>(i)];
+    const std::int64_t idx = index[static_cast<std::size_t>(i)];
+    DB_CHECK_MSG(idx >= 0 && idx < d, "index out of bounds");
+    offset = offset * d + idx;
+  }
+  return offset;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[static_cast<std::size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Shape::Check() const {
+  for (std::int64_t d : dims_)
+    DB_CHECK_MSG(d >= 0, "negative shape dimension");
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  return os << shape.ToString();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DB_CHECK_MSG(static_cast<std::int64_t>(data_.size()) ==
+                   shape_.NumElements(),
+               "tensor data size does not match shape");
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  DB_CHECK_MSG(i >= 0 && i < size(), "tensor index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  DB_CHECK_MSG(i >= 0 && i < size(), "tensor index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at3(std::int64_t c, std::int64_t y, std::int64_t x) {
+  return at({c, y, x});
+}
+
+float Tensor::at3(std::int64_t c, std::int64_t y, std::int64_t x) const {
+  return at({c, y, x});
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::FillUniform(Rng& rng, float lo, float hi) {
+  for (float& v : data_)
+    v = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+void Tensor::FillGaussian(Rng& rng, float mean, float stddev) {
+  for (float& v : data_)
+    v = static_cast<float>(rng.Gaussian(mean, stddev));
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  DB_CHECK_MSG(new_shape.NumElements() == shape_.NumElements(),
+               "reshape element count mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::SumSquares() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+std::int64_t Tensor::ArgMax() const {
+  DB_CHECK_MSG(size() > 0, "ArgMax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < size(); ++i)
+    if (data_[static_cast<std::size_t>(i)] >
+        data_[static_cast<std::size_t>(best)])
+      best = i;
+  return best;
+}
+
+double RelativeL2(const Tensor& a, const Tensor& b) {
+  DB_CHECK_MSG(a.shape() == b.shape(), "RelativeL2 shape mismatch");
+  double diff_sq = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    diff_sq += d * d;
+  }
+  return std::sqrt(diff_sq) / (std::sqrt(b.SumSquares()) + 1e-12);
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  DB_CHECK_MSG(a.shape() == b.shape(), "MaxAbsDiff shape mismatch");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
+
+}  // namespace db

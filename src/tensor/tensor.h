@@ -1,0 +1,114 @@
+// A small dense N-D tensor used by the reference executor, the trainer,
+// the functional fixed-point simulator and the data-layout compiler.
+//
+// Convention: shapes are row-major, and feature maps are stored as
+// (channels, height, width) unless a layout transform from the compiler
+// says otherwise.  The class deliberately stays simple — the paper's
+// contribution is the generator, not a tensor library.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace db {
+
+/// Tensor shape with row-major strides.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { Check(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    Check();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  std::int64_t NumElements() const;
+
+  /// Row-major linear offset of the given index vector.
+  std::int64_t Offset(const std::vector<std::int64_t>& index) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const = default;
+
+ private:
+  void Check() const;
+  std::vector<std::int64_t> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+/// Dense float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.NumElements()), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  /// Number of stored elements.  Note: a default-constructed Tensor has
+  /// size 0 even though its rank-0 Shape reports NumElements() == 1.
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// Multi-dimensional accessors (bounds-checked through Shape::Offset).
+  float& at(const std::vector<std::int64_t>& index) {
+    return data_[static_cast<std::size_t>(shape_.Offset(index))];
+  }
+  float at(const std::vector<std::int64_t>& index) const {
+    return data_[static_cast<std::size_t>(shape_.Offset(index))];
+  }
+
+  /// Convenience 3-D accessor for (channel, y, x) feature maps.
+  float& at3(std::int64_t c, std::int64_t y, std::int64_t x);
+  float at3(std::int64_t c, std::int64_t y, std::int64_t x) const;
+
+  /// Fill helpers.
+  void Fill(float value);
+  void FillUniform(Rng& rng, float lo, float hi);
+  void FillGaussian(Rng& rng, float mean, float stddev);
+
+  /// Reinterpret the same storage with a new shape of equal element count.
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// Reductions used in tests and accuracy metrics.
+  float MaxAbs() const;
+  double SumSquares() const;
+
+  /// Index of the maximum element (classification argmax).
+  std::int64_t ArgMax() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Relative L2 distance ||a-b|| / (||b|| + eps); the paper's Eq. (1)
+/// accuracy is 1 - this squared-ratio form (see baseline/accuracy.h).
+double RelativeL2(const Tensor& a, const Tensor& b);
+
+/// Max elementwise absolute difference.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace db

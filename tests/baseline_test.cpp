@@ -1,0 +1,148 @@
+// Tests for the evaluation baselines: CPU model, Custom designs,
+// Zhang'15 constants and the Eq. (1) accuracy metric.
+#include <gtest/gtest.h>
+
+#include "baseline/accuracy.h"
+#include "baseline/cpu_model.h"
+#include "baseline/custom_design.h"
+#include "baseline/zhang_fpga15.h"
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "sim/perf_model.h"
+
+namespace db {
+namespace {
+
+TEST(CpuModel, TimeMonotonicInWork) {
+  const CpuRunEstimate tiny =
+      EstimateCpuRun(BuildZooModel(ZooModel::kAnn0Fft));
+  const CpuRunEstimate mid =
+      EstimateCpuRun(BuildZooModel(ZooModel::kCifar));
+  const CpuRunEstimate big =
+      EstimateCpuRun(BuildZooModel(ZooModel::kAlexnet));
+  EXPECT_LT(tiny.seconds, mid.seconds);
+  EXPECT_LT(mid.seconds, big.seconds);
+  EXPECT_GT(tiny.seconds, 0.0);  // invocation overhead floor
+}
+
+TEST(CpuModel, EnergyIsPowerTimesTime) {
+  CpuModelParams params;
+  const CpuRunEstimate est =
+      EstimateCpuRun(BuildZooModel(ZooModel::kMnist), params);
+  EXPECT_NEAR(est.joules, est.seconds * params.package_watts, 1e-12);
+}
+
+TEST(CpuModel, AlexnetInHundredsOfMilliseconds) {
+  const CpuRunEstimate est =
+      EstimateCpuRun(BuildZooModel(ZooModel::kAlexnet));
+  EXPECT_GT(est.seconds, 0.1);
+  EXPECT_LT(est.seconds, 2.0);
+}
+
+TEST(CpuModel, MeasuredModeRunsAndIsPositive) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  Rng rng(1);
+  const WeightStore weights = WeightStore::CreateRandom(net, rng);
+  EXPECT_GT(MeasureCpuSeconds(net, weights), 0.0);
+}
+
+TEST(CustomDesign, BeatsGeneratedRuntime) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const CustomDesignResult custom = BuildCustomDesign(net);
+  const AcceleratorDesign db = GenerateAccelerator(net, DbConstraint());
+  const PerfResult db_perf = SimulatePerformance(net, db);
+  EXPECT_LT(custom.perf.total_cycles, db_perf.total_cycles);
+}
+
+TEST(CustomDesign, UsesFewerLuts) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const CustomDesignResult custom = BuildCustomDesign(net);
+  EXPECT_LT(custom.resources.lut, custom.design.resources.total.lut);
+  EXPECT_LE(custom.resources.ff, custom.design.resources.total.ff);
+  EXPECT_EQ(custom.resources.dsp, custom.design.resources.total.dsp);
+}
+
+TEST(CustomDesign, EnergyBelowGenerated) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const CustomDesignResult custom = BuildCustomDesign(net);
+  const AcceleratorDesign db = GenerateAccelerator(net, DbConstraint());
+  const PerfResult db_perf = SimulatePerformance(net, db);
+  const EnergyResult db_energy = EstimateEnergy(
+      db.resources.total, db_perf, DeviceCatalog("zynq-7045"));
+  EXPECT_LT(custom.energy.total_joules, db_energy.total_joules);
+  // Paper: DB consumes ~1.8x more energy than Custom.
+  const double ratio =
+      db_energy.total_joules / custom.energy.total_joules;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(Zhang15, ConstantsMatchPaper) {
+  EXPECT_NEAR(ZhangFpga15::kAlexnetSeconds, 0.0216, 0.001);
+  EXPECT_NEAR(ZhangFpga15::kAlexnetJoules, 0.40, 0.05);  // ~0.5 J quoted
+}
+
+TEST(Eq1, ScalarProperties) {
+  EXPECT_DOUBLE_EQ(Eq1Accuracy(5.0, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(Eq1Accuracy(0.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(Eq1Accuracy(1.0, 0.0), 0.0);
+  // 10% relative error -> 99% accuracy.
+  EXPECT_NEAR(Eq1Accuracy(1.1, 1.0), 99.0, 1e-9);
+  // Clamped at zero for wild misses.
+  EXPECT_DOUBLE_EQ(Eq1Accuracy(10.0, 1.0), 0.0);
+}
+
+TEST(Eq1, TensorAggregation) {
+  Tensor b(Shape{2}, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(Eq1AccuracyTensors(b, b), 100.0);
+  Tensor a(Shape{2}, {3.0f, 4.4f});
+  // diff^2 = 0.16, ref^2 = 25 -> 99.36%.
+  EXPECT_NEAR(Eq1AccuracyTensors(a, b), 99.36, 0.01);
+}
+
+TEST(Accuracy, ClassificationCountsArgmaxMatches) {
+  std::vector<TrainSample> samples(4);
+  for (int i = 0; i < 4; ++i) {
+    samples[static_cast<std::size_t>(i)].input =
+        Tensor(Shape{1, 1, 1}, {static_cast<float>(i)});
+    samples[static_cast<std::size_t>(i)].target = Tensor(Shape{2, 1, 1});
+    samples[static_cast<std::size_t>(i)].target[i % 2] = 1.0f;
+  }
+  // Inference that always answers class 0: 50% accuracy.
+  const double acc = ClassificationAccuracyPct(
+      samples, [](const Tensor&) {
+        return Tensor(Shape{2, 1, 1}, {1.0f, 0.0f});
+      });
+  EXPECT_DOUBLE_EQ(acc, 50.0);
+}
+
+TEST(Accuracy, RegressionPerfectIs100) {
+  std::vector<TrainSample> samples(3);
+  for (auto& s : samples) {
+    s.input = Tensor(Shape{1, 1, 1}, {1.0f});
+    s.target = Tensor(Shape{1, 1, 1}, {2.0f});
+  }
+  const double acc = RegressionAccuracyPct(
+      samples,
+      [](const Tensor&) { return Tensor(Shape{1, 1, 1}, {2.0f}); });
+  EXPECT_DOUBLE_EQ(acc, 100.0);
+}
+
+TEST(Accuracy, FidelityComparesTwoImplementations) {
+  std::vector<TrainSample> samples(2);
+  for (auto& s : samples) {
+    s.input = Tensor(Shape{1, 1, 1}, {1.0f});
+    s.target = Tensor(Shape{1, 1, 1});
+  }
+  const auto impl_a = [](const Tensor&) {
+    return Tensor(Shape{1, 1, 1}, {1.0f});
+  };
+  const auto impl_b = [](const Tensor&) {
+    return Tensor(Shape{1, 1, 1}, {1.02f});
+  };
+  EXPECT_GT(FidelityPct(samples, impl_a, impl_b), 99.0);
+  EXPECT_DOUBLE_EQ(FidelityPct(samples, impl_a, impl_a), 100.0);
+}
+
+}  // namespace
+}  // namespace db

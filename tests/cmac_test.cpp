@@ -1,0 +1,126 @@
+// Tests for the CMAC association hashing and LMS learner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "nn/cmac.h"
+
+namespace db {
+namespace {
+
+AssociativeParams DefaultParams() {
+  return AssociativeParams{.num_cells = 256, .generalization = 8,
+                           .num_output = 1};
+}
+
+TEST(CmacCells, DeterministicAndCorrectCount) {
+  const AssociativeParams p = DefaultParams();
+  const std::vector<float> x = {0.3f, 0.6f};
+  const auto a = CmacActiveCells(x, p);
+  const auto b = CmacActiveCells(x, p);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(static_cast<std::int64_t>(a.size()), p.generalization);
+  for (std::int64_t cell : a) {
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, p.num_cells);
+  }
+}
+
+TEST(CmacCells, NearbyInputsShareCells) {
+  const AssociativeParams p = DefaultParams();
+  const auto a = CmacActiveCells({0.50f, 0.50f}, p);
+  const auto b = CmacActiveCells({0.505f, 0.505f}, p);
+  std::set<std::int64_t> sa(a.begin(), a.end());
+  int shared = 0;
+  for (std::int64_t cell : b)
+    if (sa.count(cell)) ++shared;
+  // Generalisation: close inputs activate mostly the same cells.
+  EXPECT_GE(shared, p.generalization / 2);
+}
+
+TEST(CmacCells, DistantInputsMostlyDisjoint) {
+  const AssociativeParams p = DefaultParams();
+  const auto a = CmacActiveCells({0.1f, 0.1f}, p);
+  const auto b = CmacActiveCells({0.9f, 0.9f}, p);
+  std::set<std::int64_t> sa(a.begin(), a.end());
+  int shared = 0;
+  for (std::int64_t cell : b)
+    if (sa.count(cell)) ++shared;
+  EXPECT_LE(shared, 2);
+}
+
+TEST(CmacCells, OutOfRangeInputsClamp) {
+  const AssociativeParams p = DefaultParams();
+  EXPECT_EQ(CmacActiveCells({-5.0f, 2.0f}, p),
+            CmacActiveCells({0.0f, 1.0f}, p));
+}
+
+TEST(CmacCells, EmptyInputRejected) {
+  EXPECT_THROW(CmacActiveCells({}, DefaultParams()), std::logic_error);
+}
+
+TEST(CmacModel, PredictStartsAtZero) {
+  CmacModel model(DefaultParams(), 2);
+  const auto out = model.Predict({0.4f, 0.4f});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(CmacModel, TrainStepReducesErrorAtThatPoint) {
+  CmacModel model(DefaultParams(), 2);
+  const std::vector<float> x = {0.25f, 0.75f};
+  const std::vector<double> target = {2.0};
+  const double before = model.TrainStep(x, target, 1.0);
+  EXPECT_NEAR(before, 4.0, 1e-9);  // error = 2^2
+  // Learning rate 1 with uniform distribution drives output to target.
+  EXPECT_NEAR(model.Predict(x)[0], 2.0, 1e-9);
+}
+
+TEST(CmacModel, LearnsSmoothFunction) {
+  AssociativeParams p{.num_cells = 1024, .generalization = 8,
+                      .num_output = 1};
+  CmacModel model(p, 1);
+  Rng rng(3);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (int i = 0; i < 200; ++i) {
+      const float x = static_cast<float>(rng.Uniform());
+      model.TrainStep({x}, {std::sin(3.0 * x)}, 0.4);
+    }
+  }
+  double max_err = 0.0;
+  for (int i = 0; i <= 50; ++i) {
+    const float x = static_cast<float>(i) / 50.0f;
+    max_err = std::max(max_err,
+                       std::fabs(model.Predict({x})[0] - std::sin(3.0 * x)));
+  }
+  EXPECT_LT(max_err, 0.25);  // residual is hash-collision noise
+}
+
+TEST(CmacModel, MultiOutput) {
+  AssociativeParams p{.num_cells = 512, .generalization = 4,
+                      .num_output = 2};
+  CmacModel model(p, 2);
+  model.TrainStep({0.5f, 0.5f}, {1.0, -1.0}, 1.0);
+  const auto out = model.Predict({0.5f, 0.5f});
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+  EXPECT_NEAR(out[1], -1.0, 1e-9);
+}
+
+TEST(CmacModel, DimensionMismatchRejected) {
+  CmacModel model(DefaultParams(), 2);
+  EXPECT_THROW(model.Predict({0.5f}), std::logic_error);
+  EXPECT_THROW(model.TrainStep({0.5f, 0.5f}, {1.0, 2.0}, 0.1),
+               std::logic_error);
+}
+
+TEST(CmacModel, TableShapeMatchesParams) {
+  AssociativeParams p{.num_cells = 128, .generalization = 4,
+                      .num_output = 3};
+  CmacModel model(p, 2);
+  EXPECT_EQ(model.table().shape(), Shape({3, 128}));
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,203 @@
+// Tests for the common substrate: strings, RNG, math utilities, errors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace db {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("layer0_fold0", "layer"));
+  EXPECT_FALSE(StartsWith("la", "layer"));
+  EXPECT_TRUE(EndsWith("conv.prototxt", ".prototxt"));
+  EXPECT_FALSE(EndsWith("conv", ".prototxt"));
+}
+
+TEST(Strings, ToLowerAscii) {
+  EXPECT_EQ(ToLower("CONVOLUTION"), "convolution");
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+}
+
+TEST(Strings, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(Strings, ToIdentifierSanitises) {
+  EXPECT_EQ(ToIdentifier("conv1"), "conv1");
+  EXPECT_EQ(ToIdentifier("my-layer.0"), "my_layer_0");
+  EXPECT_EQ(ToIdentifier("3layers"), "_3layers");
+  EXPECT_EQ(ToIdentifier(""), "_");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+  for (std::uint64_t v : seen) EXPECT_LT(v, 8u);
+}
+
+TEST(Rng, GaussianRoughMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(12, 4), 12);
+  EXPECT_EQ(RoundUp(0, 8), 0);
+}
+
+TEST(MathUtil, FloorPow2) {
+  EXPECT_EQ(FloorPow2(1), 1);
+  EXPECT_EQ(FloorPow2(2), 2);
+  EXPECT_EQ(FloorPow2(3), 2);
+  EXPECT_EQ(FloorPow2(1023), 512);
+  EXPECT_EQ(FloorPow2(1024), 1024);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(256));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_FALSE(IsPow2(-4));
+}
+
+TEST(MathUtil, Gcd3MatchesMethod1Example) {
+  // Paper Fig. 7: kernel 12, port 4, stride 4 -> common divisor 4.
+  EXPECT_EQ(Gcd3(12, 4, 4), 4);
+  EXPECT_EQ(Gcd3(5, 16, 1), 1);
+  EXPECT_EQ(Gcd3(6, 4, 2), 2);
+}
+
+TEST(MathUtil, ConvOutDim) {
+  EXPECT_EQ(ConvOutDim(227, 11, 4, 0), 55);  // Alexnet conv1
+  EXPECT_EQ(ConvOutDim(12, 3, 1, 0), 10);
+  EXPECT_EQ(ConvOutDim(8, 3, 1, 1), 8);      // same padding
+}
+
+TEST(MathUtil, ActivationRanges) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_GT(Sigmoid(10.0), 0.9999);
+  EXPECT_LT(Sigmoid(-10.0), 0.0001);
+  EXPECT_NEAR(TanhFn(0.0), 0.0, 1e-12);
+  EXPECT_EQ(Relu(-3.0), 0.0);
+  EXPECT_EQ(Relu(3.5), 3.5);
+}
+
+TEST(Error, DbThrowCarriesMessage) {
+  try {
+    DB_THROW("bad value " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad value 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  ParseError err(17, "oops");
+  EXPECT_EQ(err.line(), 17);
+  EXPECT_NE(std::string(err.what()).find("line 17"), std::string::npos);
+}
+
+TEST(Error, CheckThrowsLogicError) {
+  EXPECT_THROW(DB_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(DB_CHECK(1 == 1));
+  EXPECT_THROW(DB_CHECK_MSG(false, "context"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace db

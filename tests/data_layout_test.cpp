@@ -1,0 +1,173 @@
+// Tests for Method-1 data tiling and partitioning (paper §3.4, Fig. 7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "core/data_layout.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+TEST(Method1, Rule1KernelEqualsPort) {
+  // k == d and stride >= k: k x k tiles, no refetch.
+  const TileSpec spec = Method1Layout({1, 24, 24}, 4, 4, 4, 1);
+  EXPECT_EQ(spec.rule, TileRule::kKernelTiles);
+  EXPECT_EQ(spec.tile_h, 4);
+  EXPECT_DOUBLE_EQ(spec.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(spec.refetch, 1.0);
+}
+
+TEST(Method1, Rule2StrideDividesKernelAndPort) {
+  // Fig. 7: 12x12 kernel at stride 4 -> partition into 4x4 sub-blocks
+  // that retire exactly once.
+  const TileSpec spec = Method1Layout({1, 57, 57}, 12, 4, 12, 1);
+  EXPECT_EQ(spec.rule, TileRule::kStridePartition);
+  EXPECT_EQ(spec.tile_h, 4);
+  EXPECT_EQ(spec.tile_w, 4);
+  EXPECT_DOUBLE_EQ(spec.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(spec.refetch, 1.0);
+}
+
+TEST(Method1, Rule1OverlappingWindowsRefetch) {
+  // k == d but stride does not divide: kernel tiles with k/s refetch.
+  const TileSpec spec = Method1Layout({1, 30, 30}, 6, 5, 6, 1);
+  EXPECT_EQ(spec.rule, TileRule::kKernelTiles);
+  EXPECT_GT(spec.refetch, 1.0);
+}
+
+TEST(Method1, Rule3CommonDivisorInterleaves) {
+  // k=6, d=4, s=2 -> f = gcd = 2; multiple maps interleave.
+  const TileSpec spec = Method1Layout({16, 26, 26}, 6, 2, 4, 16);
+  EXPECT_EQ(spec.rule, TileRule::kCommonDivisor);
+  EXPECT_EQ(spec.tile_h, 2);
+  EXPECT_TRUE(spec.interleave_maps);
+  EXPECT_DOUBLE_EQ(spec.utilization, 1.0);
+}
+
+TEST(Method1, Rule3SingleMapNoInterleave) {
+  const TileSpec spec = Method1Layout({1, 26, 26}, 6, 2, 4, 1);
+  EXPECT_EQ(spec.rule, TileRule::kCommonDivisor);
+  EXPECT_FALSE(spec.interleave_maps);
+}
+
+TEST(Method1, InvalidGeometryRejected) {
+  EXPECT_THROW(Method1Layout({1, 8, 8}, 0, 1, 4, 1), std::logic_error);
+  EXPECT_THROW(Method1Layout({1, 8, 8}, 3, 0, 4, 1), std::logic_error);
+}
+
+TEST(NaiveLayout, PoorUtilizationOnWideMaps) {
+  // Fig. 7 example: 57-wide rows fetched for a 12-wide kernel — only the
+  // first 12 pixels of each fetched row are used.
+  const TileSpec naive = NaiveRowMajorLayout({1, 57, 57}, 12, 4, 12);
+  EXPECT_LT(naive.utilization, 0.25);
+  EXPECT_GT(naive.refetch, 1.0);
+
+  const TileSpec tiled = Method1Layout({1, 57, 57}, 12, 4, 12, 1);
+  EXPECT_GT(tiled.utilization, naive.utilization);
+  EXPECT_LE(tiled.refetch, naive.refetch);
+}
+
+TEST(LinearLayout, TailWasteOnly) {
+  const TileSpec spec = LinearLayout({10, 1, 1}, 8);
+  EXPECT_EQ(spec.rule, TileRule::kLinear);
+  // 10 elements fetched as 2 beats of 8: utilisation 10/16.
+  EXPECT_DOUBLE_EQ(spec.utilization, 10.0 / 16.0);
+  const TileSpec aligned = LinearLayout({16, 1, 1}, 8);
+  EXPECT_DOUBLE_EQ(aligned.utilization, 1.0);
+}
+
+TEST(TilePermutation, IsBijection) {
+  for (const TileSpec& spec :
+       {Method1Layout({3, 12, 12}, 4, 4, 4, 3),
+        Method1Layout({2, 13, 11}, 6, 2, 4, 2),  // non-divisible edges
+        LinearLayout({4, 5, 5}, 8)}) {
+    const BlobShape blob =
+        spec.rule == TileRule::kLinear ? BlobShape{4, 5, 5}
+        : spec.interleave_maps         ? BlobShape{2, 13, 11}
+                                       : BlobShape{3, 12, 12};
+    const auto perm = TilePermutation(blob, spec);
+    ASSERT_EQ(static_cast<std::int64_t>(perm.size()),
+              blob.NumElements());
+    std::set<std::int64_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()),
+              blob.NumElements());
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), blob.NumElements() - 1);
+  }
+}
+
+TEST(TilePermutation, TileElementsContiguous) {
+  // Rule-1 tiles: the first tile_h*tile_w entries of the permutation are
+  // exactly the first 4x4 tile of map 0, row-major inside the tile.
+  const TileSpec spec = Method1Layout({1, 8, 8}, 4, 4, 4, 1);
+  const auto perm = TilePermutation({1, 8, 8}, spec);
+  for (int dy = 0; dy < 4; ++dy)
+    for (int dx = 0; dx < 4; ++dx)
+      EXPECT_EQ(perm[static_cast<std::size_t>(dy * 4 + dx)], dy * 8 + dx);
+}
+
+TEST(TilePermutation, InterleavedMapsAlternate) {
+  TileSpec spec = Method1Layout({2, 4, 4}, 2, 2, 2, 2);
+  // Force rule 3 semantics for the check.
+  if (spec.rule != TileRule::kCommonDivisor) {
+    spec.rule = TileRule::kCommonDivisor;
+    spec.tile_h = spec.tile_w = 2;
+    spec.interleave_maps = true;
+  }
+  const auto perm = TilePermutation({2, 4, 4}, spec);
+  // First tile from map 0, second tile from map 1 (same position).
+  EXPECT_LT(perm[0], 16);   // map 0 indices are [0, 16)
+  EXPECT_GE(perm[4], 16);   // next tile comes from map 1
+}
+
+TEST(PlanDataLayout, CoversEveryComputeLayer) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const DataLayoutPlan plan = PlanDataLayout(net, 16);
+  EXPECT_EQ(plan.entries.size(), net.ComputeLayers().size());
+  for (const IrLayer* layer : net.ComputeLayers())
+    EXPECT_NO_THROW(plan.ForLayer(layer->id));
+  EXPECT_THROW(plan.ForLayer(-5), Error);
+}
+
+TEST(PlanDataLayout, ConvolutionGetsWindowedLayout) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const DataLayoutPlan plan = PlanDataLayout(net, 8);
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const auto& entry = plan.ForLayer(layer->id);
+    if (layer->kind() == LayerKind::kConvolution) {
+      EXPECT_NE(entry.input_layout.rule, TileRule::kLinear)
+          << layer->name();
+    }
+    if (layer->kind() == LayerKind::kInnerProduct) {
+      EXPECT_EQ(entry.input_layout.rule, TileRule::kLinear)
+          << layer->name();
+    }
+  }
+}
+
+TEST(PlanDataLayout, WeightsStreamOnce) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const DataLayoutPlan plan = PlanDataLayout(net, 16);
+  for (const auto& entry : plan.entries)
+    EXPECT_DOUBLE_EQ(entry.weight_layout.refetch, 1.0) << entry.layer_name;
+}
+
+TEST(TileRuleNames, AllNamed) {
+  EXPECT_EQ(TileRuleName(TileRule::kKernelTiles), "kernel_tiles");
+  EXPECT_EQ(TileRuleName(TileRule::kStridePartition), "stride_partition");
+  EXPECT_EQ(TileRuleName(TileRule::kCommonDivisor), "common_divisor");
+  EXPECT_EQ(TileRuleName(TileRule::kLinear), "linear");
+}
+
+TEST(TileSpec, ToStringMentionsRuleAndUtil) {
+  const TileSpec spec = Method1Layout({1, 57, 57}, 12, 4, 12, 1);
+  const std::string text = spec.ToString();
+  EXPECT_NE(text.find("stride_partition"), std::string::npos);
+  EXPECT_NE(text.find("util"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,246 @@
+// Tests for the float reference executor's per-layer kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/executor.h"
+
+namespace db {
+namespace {
+
+TEST(ConvKernel, HandComputed1x1Channel) {
+  // 1-channel 3x3 input, single 2x2 kernel of ones, stride 1: each output
+  // is the window sum.
+  Tensor in(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  LayerParams params;
+  params.weights = Tensor(Shape{1, 1, 2, 2}, {1, 1, 1, 1});
+  params.bias = Tensor(Shape{1}, {0.0f});
+  ConvolutionParams p{.num_output = 1, .kernel_size = 2, .stride = 1,
+                      .pad = 0, .bias = true};
+  const Tensor out = ConvolutionForward(in, params, p);
+  ASSERT_EQ(out.shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out[1], 2 + 3 + 5 + 6);
+  EXPECT_FLOAT_EQ(out[2], 4 + 5 + 7 + 8);
+  EXPECT_FLOAT_EQ(out[3], 5 + 6 + 8 + 9);
+}
+
+TEST(ConvKernel, BiasAndMultiChannel) {
+  Tensor in(Shape{2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 2});
+  LayerParams params;
+  params.weights = Tensor(Shape{1, 2, 2, 2}, {1, 1, 1, 1, 1, 1, 1, 1});
+  params.bias = Tensor(Shape{1}, {0.5f});
+  ConvolutionParams p{.num_output = 1, .kernel_size = 2, .stride = 1,
+                      .pad = 0, .bias = true};
+  const Tensor out = ConvolutionForward(in, params, p);
+  EXPECT_FLOAT_EQ(out[0], 4 * 1 + 4 * 2 + 0.5f);
+}
+
+TEST(ConvKernel, PaddingContributesZeros) {
+  Tensor in(Shape{1, 1, 1}, {3.0f});
+  LayerParams params;
+  params.weights = Tensor(Shape{1, 1, 3, 3});
+  params.weights.Fill(1.0f);
+  ConvolutionParams p{.num_output = 1, .kernel_size = 3, .stride = 1,
+                      .pad = 1, .bias = false};
+  const Tensor out = ConvolutionForward(in, params, p);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 3.0f);  // only the centre tap hits data
+}
+
+TEST(PoolKernel, MaxPooling) {
+  Tensor in(Shape{1, 2, 4}, {1, 5, 2, 0, 3, 4, 1, 7});
+  PoolingParams p{.method = PoolMethod::kMax, .kernel_size = 2,
+                  .stride = 2, .pad = 0};
+  const Tensor out = PoolingForward(in, p);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+}
+
+TEST(PoolKernel, AveragePoolingDividesByNominalWindow) {
+  Tensor in(Shape{1, 2, 2}, {1, 2, 3, 4});
+  PoolingParams p{.method = PoolMethod::kAverage, .kernel_size = 2,
+                  .stride = 2, .pad = 0};
+  const Tensor out = PoolingForward(in, p);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(PoolKernel, CeilModeEdgeWindow) {
+  // 3-wide input, kernel 2 stride 2: second window covers only column 2.
+  Tensor in(Shape{1, 1, 3}, {1, 2, 9});
+  PoolingParams p{.method = PoolMethod::kMax, .kernel_size = 2,
+                  .stride = 2, .pad = 0};
+  const Tensor out = PoolingForward(in, p);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[1], 9.0f);
+}
+
+TEST(FcKernel, MatVecWithBias) {
+  Tensor in(Shape{3, 1, 1}, {1, 2, 3});
+  LayerParams params;
+  params.weights = Tensor(Shape{2, 3}, {1, 0, 0, 0, 1, 1});
+  params.bias = Tensor(Shape{2}, {10.0f, -1.0f});
+  InnerProductParams p{.num_output = 2, .bias = true};
+  const Tensor out = InnerProductForward(in, params, p);
+  EXPECT_FLOAT_EQ(out[0], 11.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(Activations, Relu) {
+  Tensor in(Shape{3}, {-1.0f, 0.0f, 2.0f});
+  const Tensor out = ReluForward(in);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(Activations, SigmoidTanh) {
+  Tensor in(Shape{1}, {0.0f});
+  EXPECT_FLOAT_EQ(SigmoidForward(in)[0], 0.5f);
+  EXPECT_FLOAT_EQ(TanhForward(in)[0], 0.0f);
+}
+
+TEST(Activations, SoftmaxNormalises) {
+  Tensor in(Shape{4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const Tensor out = SoftmaxForward(in);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < 4; ++i) sum += out[i];
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(out[3], out[2]);
+  EXPECT_GT(out[2], out[1]);
+}
+
+TEST(Activations, SoftmaxStableForLargeInputs) {
+  Tensor in(Shape{2}, {1000.0f, 1000.0f});
+  const Tensor out = SoftmaxForward(in);
+  EXPECT_NEAR(out[0], 0.5, 1e-6);
+}
+
+TEST(Lrn, IdentityWhenAlphaZero) {
+  Tensor in(Shape{8, 2, 2});
+  Rng rng(5);
+  in.FillUniform(rng, -1.0f, 1.0f);
+  LrnParams p{.local_size = 5, .alpha = 0.0, .beta = 0.75};
+  const Tensor out = LrnForward(in, p);
+  EXPECT_LT(MaxAbsDiff(in, out), 1e-6);
+}
+
+TEST(Lrn, SuppressesHighEnergyRegions) {
+  Tensor in(Shape{5, 1, 1}, {10, 10, 10, 10, 10});
+  LrnParams p{.local_size = 5, .alpha = 1.0, .beta = 0.75};
+  const Tensor out = LrnForward(in, p);
+  EXPECT_LT(out[2], in[2]);
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Tensor in(Shape{10});
+  Rng rng(7);
+  in.FillUniform(rng, -1.0f, 1.0f);
+  ExecutorOptions opts;  // training_mode = false
+  const Tensor out = DropoutForward(in, DropoutParams{0.5}, opts);
+  EXPECT_EQ(MaxAbsDiff(in, out), 0.0);
+}
+
+TEST(Dropout, MasksAtTraining) {
+  Tensor in(Shape{1000});
+  in.Fill(1.0f);
+  ExecutorOptions opts;
+  opts.training_mode = true;
+  opts.dropout_seed = 3;
+  const Tensor out = DropoutForward(in, DropoutParams{0.5}, opts);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] == 0.0f)
+      ++zeros;
+    else
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // inverted dropout scale
+  }
+  EXPECT_NEAR(zeros, 500, 80);
+}
+
+TEST(Recurrent, SettlesToFixedPointWithZeroWeights) {
+  LayerParams params;
+  params.weights = Tensor(Shape{2, 1}, {0.0f, 0.0f});
+  params.recurrent = Tensor(Shape{2, 2});
+  params.bias = Tensor(Shape{2}, {0.0f, 0.0f});
+  RecurrentParams p{.num_output = 2, .time_steps = 5,
+                    .activation = RecurrentActivation::kTanh};
+  Tensor in(Shape{1, 1, 1}, {1.0f});
+  const Tensor out = RecurrentForward(in, params, p);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(Recurrent, StateFeedback) {
+  // h_{t+1} = h_t * 1 + x (no activation): after 3 steps h = 3x.
+  LayerParams params;
+  params.weights = Tensor(Shape{1, 1}, {1.0f});
+  params.recurrent = Tensor(Shape{1, 1}, {1.0f});
+  params.bias = Tensor(Shape{1}, {0.0f});
+  RecurrentParams p{.num_output = 1, .time_steps = 3,
+                    .activation = RecurrentActivation::kNone};
+  Tensor in(Shape{1, 1, 1}, {1.0f});
+  const Tensor out = RecurrentForward(in, params, p);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(Concat, StacksChannels) {
+  Tensor a(Shape{1, 1, 2}, {1, 2});
+  Tensor b(Shape{2, 1, 2}, {3, 4, 5, 6});
+  const Tensor out = ConcatForward({a, b});
+  ASSERT_EQ(out.shape(), Shape({3, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 1);
+  EXPECT_FLOAT_EQ(out[2], 3);
+  EXPECT_FLOAT_EQ(out[5], 6);
+}
+
+TEST(Classifier, TopKIndices) {
+  Tensor in(Shape{5, 1, 1}, {0.1f, 0.9f, 0.5f, 0.9f, 0.2f});
+  const Tensor out = ClassifierForward(in, ClassifierParams{3});
+  ASSERT_EQ(out.size(), 3);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);  // ties broken by lower index
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(Executor, EndToEndTinyMlp) {
+  const NetworkDef def = ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 2\ninput_dim: 1\n"
+      "input_dim: 1\n"
+      "layers { name: \"fc\" type: INNER_PRODUCT bottom: \"data\" "
+      "top: \"fc\" param { num_output: 1 } }\n"
+      "layers { name: \"sig\" type: SIGMOID bottom: \"fc\" top: \"sig\" "
+      "}\n");
+  const Network net = Network::Build(def);
+  WeightStore weights = WeightStore::CreateFor(net);
+  weights.at("fc").weights = Tensor(Shape{1, 2}, {1.0f, -1.0f});
+  weights.at("fc").bias = Tensor(Shape{1}, {0.0f});
+  Executor exec(net, weights);
+  const Tensor out = exec.ForwardOutput(Tensor(Shape{2, 1, 1}, {2, 2}));
+  EXPECT_NEAR(out[0], 0.5f, 1e-6);
+}
+
+TEST(Executor, MissingInputRejected) {
+  const Network net = Network::Build(ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 1\ninput_dim: 1\n"
+      "input_dim: 1\n"
+      "layers { name: \"r\" type: RELU bottom: \"data\" top: \"r\" }\n"));
+  WeightStore weights = WeightStore::CreateFor(net);
+  Executor exec(net, weights);
+  EXPECT_THROW(exec.Forward({}), Error);
+}
+
+TEST(Executor, WrongInputShapeRejected) {
+  const Network net = Network::Build(ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 2\ninput_dim: 2\n"
+      "input_dim: 2\n"
+      "layers { name: \"r\" type: RELU bottom: \"data\" top: \"r\" }\n"));
+  WeightStore weights = WeightStore::CreateFor(net);
+  Executor exec(net, weights);
+  EXPECT_THROW(exec.ForwardOutput(Tensor(Shape{1, 1, 1})), Error);
+}
+
+}  // namespace
+}  // namespace db

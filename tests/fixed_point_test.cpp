@@ -1,0 +1,158 @@
+// Tests for the runtime Q-format fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/fixed_point.h"
+
+namespace db {
+namespace {
+
+TEST(FixedFormat, ConstructionValidation) {
+  EXPECT_NO_THROW(FixedFormat(16, 8));
+  EXPECT_NO_THROW(FixedFormat(2, 0));
+  EXPECT_NO_THROW(FixedFormat(32, 31));
+  EXPECT_THROW(FixedFormat(1, 0), Error);
+  EXPECT_THROW(FixedFormat(33, 8), Error);
+  EXPECT_THROW(FixedFormat(16, 16), Error);
+  EXPECT_THROW(FixedFormat(16, -1), Error);
+}
+
+TEST(FixedFormat, RangesQ7_8) {
+  FixedFormat fmt(16, 8);
+  EXPECT_EQ(fmt.raw_max(), 32767);
+  EXPECT_EQ(fmt.raw_min(), -32768);
+  EXPECT_NEAR(fmt.value_max(), 127.996, 0.001);
+  EXPECT_NEAR(fmt.value_min(), -128.0, 1e-9);
+  EXPECT_NEAR(fmt.resolution(), 1.0 / 256.0, 1e-12);
+  EXPECT_EQ(fmt.ToString(), "Q7.8");
+}
+
+TEST(FixedFormat, QuantizeRoundsToNearest) {
+  FixedFormat fmt(16, 8);
+  EXPECT_EQ(fmt.Quantize(1.0), 256);
+  EXPECT_EQ(fmt.Quantize(0.5), 128);
+  EXPECT_EQ(fmt.Quantize(1.0 / 512.0), 1);   // half LSB rounds away
+  EXPECT_EQ(fmt.Quantize(-1.0 / 512.0), -1);
+  EXPECT_EQ(fmt.Quantize(0.0), 0);
+}
+
+TEST(FixedFormat, QuantizeSaturates) {
+  FixedFormat fmt(8, 4);
+  EXPECT_EQ(fmt.Quantize(1e9), fmt.raw_max());
+  EXPECT_EQ(fmt.Quantize(-1e9), fmt.raw_min());
+  EXPECT_EQ(fmt.Quantize(std::nan("")), 0);
+}
+
+TEST(FixedFormat, RoundTripErrorBoundedByHalfLsb) {
+  FixedFormat fmt(16, 10);
+  for (double v : {0.113, -3.7, 12.25, -0.001, 31.9}) {
+    EXPECT_LE(std::fabs(fmt.RoundTrip(v) - v), fmt.resolution() / 2 + 1e-12)
+        << "value " << v;
+  }
+}
+
+TEST(FixedFormat, AddSaturates) {
+  FixedFormat fmt(8, 0);  // range [-128, 127]
+  EXPECT_EQ(fmt.Add(100, 100), 127);
+  EXPECT_EQ(fmt.Add(-100, -100), -128);
+  EXPECT_EQ(fmt.Add(50, 20), 70);
+}
+
+TEST(FixedFormat, MulMatchesRealArithmetic) {
+  FixedFormat fmt(16, 8);
+  const std::int64_t a = fmt.Quantize(1.5);
+  const std::int64_t b = fmt.Quantize(-2.25);
+  EXPECT_NEAR(fmt.Dequantize(fmt.Mul(a, b)), -3.375, fmt.resolution());
+}
+
+TEST(FixedFormat, MulSaturates) {
+  FixedFormat fmt(8, 4);  // max ~7.94
+  const std::int64_t big = fmt.Quantize(7.9);
+  EXPECT_EQ(fmt.Mul(big, big), fmt.raw_max());
+  const std::int64_t neg = fmt.Quantize(-8.0);
+  EXPECT_EQ(fmt.Mul(neg, fmt.Quantize(7.9)), fmt.raw_min());
+}
+
+TEST(FixedFormat, MulByOneIsIdentityUpToRounding) {
+  FixedFormat fmt(16, 8);
+  const std::int64_t one = fmt.Quantize(1.0);
+  for (std::int64_t raw : {0L, 37L, -1000L, 32000L, -32768L})
+    EXPECT_EQ(fmt.Mul(raw, one), fmt.Saturate(raw));
+}
+
+TEST(FixedFormat, SaturateClamps) {
+  FixedFormat fmt(12, 4);
+  EXPECT_EQ(fmt.Saturate(1 << 20), fmt.raw_max());
+  EXPECT_EQ(fmt.Saturate(-(1 << 20)), fmt.raw_min());
+  EXPECT_EQ(fmt.Saturate(5), 5);
+}
+
+TEST(FixedVector, QuantizeDequantizeVectors) {
+  FixedFormat fmt(16, 8);
+  const std::vector<float> values = {0.5f, -1.25f, 3.0f};
+  const auto raw = QuantizeVector(fmt, values);
+  ASSERT_EQ(raw.size(), 3u);
+  const auto back = DequantizeVector(fmt, raw);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(back[i], values[i], fmt.resolution());
+}
+
+TEST(FixedVector, QuantizationRmseBounded) {
+  FixedFormat fmt(16, 8);
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(static_cast<float>(std::sin(i * 0.1) * 10));
+  const double rmse = QuantizationRmse(fmt, values);
+  EXPECT_GT(rmse, 0.0);
+  EXPECT_LE(rmse, fmt.resolution());  // RMS error < 1 LSB
+}
+
+TEST(FixedVector, EmptyRmseIsZero) {
+  FixedFormat fmt(16, 8);
+  EXPECT_EQ(QuantizationRmse(fmt, {}), 0.0);
+}
+
+// Property sweep: round-trip error bounded across formats.
+class FixedFormatSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FixedFormatSweep, RoundTripBounded) {
+  const auto [total, frac] = GetParam();
+  FixedFormat fmt(total, frac);
+  for (int i = -50; i <= 50; ++i) {
+    const double v = fmt.value_max() * i / 55.0;
+    EXPECT_LE(std::fabs(fmt.RoundTrip(v) - v),
+              fmt.resolution() / 2 + 1e-12);
+  }
+}
+
+TEST_P(FixedFormatSweep, AddCommutes) {
+  const auto [total, frac] = GetParam();
+  FixedFormat fmt(total, frac);
+  const std::int64_t a = fmt.Quantize(fmt.value_max() * 0.3);
+  const std::int64_t b = fmt.Quantize(fmt.value_min() * 0.7);
+  EXPECT_EQ(fmt.Add(a, b), fmt.Add(b, a));
+}
+
+TEST_P(FixedFormatSweep, MulCommutes) {
+  const auto [total, frac] = GetParam();
+  FixedFormat fmt(total, frac);
+  const std::int64_t a = fmt.Quantize(1.7);
+  const std::int64_t b = fmt.Quantize(-0.3);
+  EXPECT_EQ(fmt.Mul(a, b), fmt.Mul(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FixedFormatSweep,
+    ::testing::Values(std::pair{8, 4}, std::pair{12, 6}, std::pair{16, 8},
+                      std::pair{16, 12}, std::pair{24, 16},
+                      std::pair{32, 16}),
+    [](const auto& info) {
+      return "Q" + std::to_string(info.param.first - info.param.second - 1) +
+             "_" + std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace db

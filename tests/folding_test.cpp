@@ -1,0 +1,130 @@
+// Tests for the temporal/spatial folding planner.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "core/folding.h"
+#include "core/generator.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+AcceleratorConfig SmallConfig(int mac_lanes) {
+  AcceleratorConfig config;
+  config.dsp_lanes = mac_lanes;
+  config.accumulator_lanes = mac_lanes;
+  config.pooling_lanes = 4;
+  config.activation_lanes = 4;
+  config.memory_port_elems = 8;
+  return config;
+}
+
+TEST(Folding, MacLayerSegmentsCoverUnits) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(8));
+  for (const LayerFold& fold : plan.folds) {
+    if (fold.pool != LanePool::kMac) continue;
+    EXPECT_LE(fold.lanes_used, 8);
+    EXPECT_EQ(fold.segments,
+              CeilDiv(fold.parallel_units, fold.lanes_used))
+        << fold.layer_name;
+    EXPECT_GE(fold.segments * fold.lanes_used, fold.parallel_units);
+  }
+}
+
+TEST(Folding, StreamingLayersSingleSegment) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(8));
+  for (const LayerFold& fold : plan.folds) {
+    if (fold.pool == LanePool::kPooling ||
+        fold.pool == LanePool::kActivation) {
+      EXPECT_EQ(fold.segments, 1) << fold.layer_name;
+    }
+  }
+}
+
+TEST(Folding, ComputeCyclesConsistent) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(16));
+  for (const LayerFold& fold : plan.folds)
+    EXPECT_EQ(fold.ComputeCycles(), fold.segments * fold.unit_work);
+}
+
+TEST(Folding, MoreLanesFewerSegments) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const FoldPlan narrow = PlanFolding(net, SmallConfig(4));
+  const FoldPlan wide = PlanFolding(net, SmallConfig(64));
+  EXPECT_GT(narrow.TotalSegments(), wide.TotalSegments());
+}
+
+TEST(Folding, TemporalFoldsEqualComputeLayers) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(32));
+  EXPECT_EQ(plan.TemporalFolds(),
+            static_cast<std::int64_t>(net.ComputeLayers().size()));
+}
+
+TEST(Folding, ZeroLanePoolRejected) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  AcceleratorConfig config = SmallConfig(8);
+  config.pooling_lanes = 0;  // MNIST has pooling layers
+  EXPECT_THROW(PlanFolding(net, config), Error);
+}
+
+TEST(Folding, ForLayerLookup) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(2));
+  for (const IrLayer* layer : net.ComputeLayers())
+    EXPECT_EQ(plan.ForLayer(layer->id).layer_id, layer->id);
+  EXPECT_THROW(plan.ForLayer(999), Error);
+}
+
+TEST(Folding, ConvUnitWorkIsWindowSize) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(8));
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    if (layer->kind() != LayerKind::kConvolution) continue;
+    const LayerFold& fold = plan.ForLayer(layer->id);
+    const ConvolutionParams& p = *layer->def.conv;
+    EXPECT_EQ(fold.unit_work,
+              p.kernel_size * p.kernel_size *
+                  layer->input_shapes.front().channels)
+        << layer->name();
+  }
+}
+
+TEST(Folding, FullyExpandedDemandHuge) {
+  const ExpandedDemand demand =
+      FullyExpandedDemand(BuildZooModel(ZooModel::kAlexnet));
+  // Fully expanding Alexnet needs one MAC lane per output pixel of every
+  // layer concurrently — far beyond any FPGA (paper's motivation for
+  // folding).
+  EXPECT_GT(demand.mac_lanes, 1000000);
+  EXPECT_GT(demand.activation_lanes, 100000);
+  EXPECT_GT(demand.pooling_lanes, 10000);
+}
+
+TEST(Folding, FullyExpandedTinyMlpIsSmall) {
+  const ExpandedDemand demand =
+      FullyExpandedDemand(BuildZooModel(ZooModel::kAnn0Fft));
+  EXPECT_EQ(demand.mac_lanes, 8 + 8 + 2);
+}
+
+TEST(Folding, ToStringListsLayers) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const FoldPlan plan = PlanFolding(net, SmallConfig(8));
+  const std::string text = plan.ToString();
+  for (const IrLayer* layer : net.ComputeLayers())
+    EXPECT_NE(text.find(layer->name()), std::string::npos);
+}
+
+TEST(Folding, LanePoolNames) {
+  EXPECT_EQ(LanePoolName(LanePool::kMac), "mac");
+  EXPECT_EQ(LanePoolName(LanePool::kPooling), "pool");
+  EXPECT_EQ(LanePoolName(LanePool::kActivation), "act");
+  EXPECT_EQ(LanePoolName(LanePool::kNone), "none");
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,192 @@
+// Tests for the bit-accurate functional simulator: fixed-point execution
+// must track the float reference within quantisation tolerance.
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+
+namespace db {
+namespace {
+
+struct SimCase {
+  ZooModel model;
+  double tolerance;  // max |float - fixed| on the output
+};
+
+class FunctionalSimSweep : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(FunctionalSimSweep, TracksFloatReference) {
+  const Network net = BuildZooModel(GetParam().model);
+  Rng rng(21);
+  // Small weights keep intermediate values inside the Q7.8 range so the
+  // comparison isolates rounding (not saturation).
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  Executor exec(net, weights);
+  FunctionalSimulator sim(net, design, weights);
+
+  const BlobShape in_shape =
+      net.layer(net.input_ids().front()).output_shape;
+  for (int trial = 0; trial < 3; ++trial) {
+    Tensor input(Shape{in_shape.channels, in_shape.height,
+                       in_shape.width});
+    Rng in_rng(static_cast<std::uint64_t>(trial) + 100);
+    input.FillUniform(in_rng, 0.0f, 1.0f);
+    // Pre-round the input to the datapath format so both paths see
+    // identical values (the CMAC association hash is discontinuous in
+    // its input, so sub-LSB input differences are not rounding noise).
+    for (std::int64_t i = 0; i < input.size(); ++i)
+      input[i] = static_cast<float>(
+          design.config.format.RoundTrip(input[i]));
+    const Tensor ref = exec.ForwardOutput(input);
+    const Tensor fixed = sim.Run(input);
+    ASSERT_EQ(ref.shape(), fixed.shape());
+    EXPECT_LT(MaxAbsDiff(ref, fixed), GetParam().tolerance)
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallModels, FunctionalSimSweep,
+    ::testing::Values(SimCase{ZooModel::kAnn0Fft, 0.05},
+                      SimCase{ZooModel::kAnn1Jpeg, 0.08},
+                      SimCase{ZooModel::kAnn2Kmeans, 0.05},
+                      SimCase{ZooModel::kMnist, 0.08},
+                      SimCase{ZooModel::kCifar, 0.10},
+                      SimCase{ZooModel::kCmac, 0.05}),
+    [](const auto& info) {
+      std::string name = ZooModelName(info.param.model);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(FunctionalSim, ClassificationAgreesWithFloat) {
+  // On a network whose logits are well separated (unit-scale weights),
+  // quantisation must not flip the argmax for the vast majority of
+  // inputs.  (A *random-weight* deep CNN has near-degenerate logits where
+  // argmax is meaningless; trained-model agreement is covered by the
+  // integration tests.)
+  const Network net = Network::Build(ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 16\ninput_dim: 1\n"
+      "input_dim: 1\n"
+      "layers { name: \"fc\" type: INNER_PRODUCT bottom: \"data\" "
+      "top: \"fc\" param { num_output: 4 } }\n"
+      "layers { name: \"sm\" type: SOFTMAX bottom: \"fc\" top: \"sm\" "
+      "}\n"));
+  Rng rng(31);
+  WeightStore weights = WeightStore::CreateFor(net);
+  weights.at("fc").weights.FillGaussian(rng, 0.0f, 1.0f);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  Executor exec(net, weights);
+  FunctionalSimulator sim(net, design, weights);
+
+  int agree = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Tensor input(Shape{16, 1, 1});
+    Rng in_rng(static_cast<std::uint64_t>(t) + 500);
+    input.FillUniform(in_rng, 0.0f, 1.0f);
+    if (exec.ForwardOutput(input).ArgMax() == sim.Run(input).ArgMax())
+      ++agree;
+  }
+  EXPECT_GE(agree, 8);
+}
+
+TEST(FunctionalSim, ReluClampsNegative) {
+  const Network net = Network::Build(ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 4\ninput_dim: 1\n"
+      "input_dim: 1\n"
+      "layers { name: \"r\" type: RELU bottom: \"data\" top: \"r\" }\n"));
+  WeightStore weights = WeightStore::CreateFor(net);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  const Tensor out =
+      sim.Run(Tensor(Shape{4, 1, 1}, {-1.0f, -0.5f, 0.5f, 1.0f}));
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_NEAR(out[2], 0.5f, 0.01);
+}
+
+TEST(FunctionalSim, SaturatesInsteadOfWrapping) {
+  // A weight of 100 on an input of 100 overflows Q7.8: output must pin at
+  // the format maximum, not wrap negative.
+  const Network net = Network::Build(ParseNetworkDef(
+      "input: \"data\"\ninput_dim: 1\ninput_dim: 1\ninput_dim: 1\n"
+      "input_dim: 1\n"
+      "layers { name: \"fc\" type: INNER_PRODUCT bottom: \"data\" "
+      "top: \"fc\" param { num_output: 1 } }\n"));
+  WeightStore weights = WeightStore::CreateFor(net);
+  weights.at("fc").weights[0] = 100.0f;
+  weights.at("fc").bias[0] = 0.0f;
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  const Tensor out = sim.Run(Tensor(Shape{1, 1, 1}, {100.0f}));
+  EXPECT_NEAR(out[0], design.config.format.value_max(), 0.01);
+}
+
+TEST(FunctionalSim, SoftmaxOutputsNormalised) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  Rng rng(41);
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  Tensor input(Shape{1, 12, 12});
+  input.FillUniform(rng, 0.0f, 1.0f);
+  const Tensor out = sim.Run(input);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i], -0.01f);
+    sum += out[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 0.2);  // fixed-point softmax is approximate
+}
+
+TEST(FunctionalSim, LutForUnusedFunctionThrows) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);  // tanh only
+  Rng rng(1);
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  EXPECT_NO_THROW(sim.LutFor(LutFunction::kTanh));
+  EXPECT_THROW(sim.LutFor(LutFunction::kExp), Error);
+}
+
+TEST(FunctionalSim, HopfieldProducesActivationsInRange) {
+  const Network net = BuildZooModel(ZooModel::kHopfield);
+  WeightStore weights = WeightStore::CreateFor(net);
+  // Mild symmetric couplings.
+  Rng rng(9);
+  weights.at("settle").recurrent.FillUniform(rng, -0.2f, 0.2f);
+  weights.at("settle").weights.FillUniform(rng, -0.2f, 0.2f);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  Tensor input(Shape{25, 1, 1});
+  input.FillUniform(rng, -0.5f, 0.5f);
+  const Tensor out = sim.Run(input);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i], -0.01f);  // sigmoid range
+    EXPECT_LE(out[i], 1.01f);
+  }
+}
+
+TEST(FunctionalSim, MultiInputInterfaceRejectsMissing) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  WeightStore weights = WeightStore::CreateFor(net);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  FunctionalSimulator sim(net, design, weights);
+  EXPECT_THROW(sim.Run(std::map<std::string, Tensor>{}), Error);
+}
+
+}  // namespace
+}  // namespace db

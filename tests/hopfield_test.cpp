@@ -1,0 +1,137 @@
+// Tests for the Hopfield-Tank TSP dynamics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "models/golden.h"
+#include "nn/hopfield.h"
+
+namespace db {
+namespace {
+
+std::vector<std::vector<double>> SquareInstance() {
+  // Four cities on a unit square: optimal tour length 4.
+  const std::vector<std::array<double, 2>> pts = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  std::vector<std::vector<double>> d(4, std::vector<double>(4, 0.0));
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      const double dx = pts[static_cast<std::size_t>(i)][0] -
+                        pts[static_cast<std::size_t>(j)][0];
+      const double dy = pts[static_cast<std::size_t>(i)][1] -
+                        pts[static_cast<std::size_t>(j)][1];
+      d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::sqrt(dx * dx + dy * dy);
+    }
+  return d;
+}
+
+TEST(Hopfield, WeightsSymmetric) {
+  HopfieldTsp net(SquareInstance(), HopfieldTspParams{});
+  for (int x = 0; x < 4; ++x)
+    for (int i = 0; i < 4; ++i)
+      for (int y = 0; y < 4; ++y)
+        for (int j = 0; j < 4; ++j)
+          EXPECT_DOUBLE_EQ(net.Weight(x, i, y, j), net.Weight(y, j, x, i));
+}
+
+TEST(Hopfield, EnergyTrendsDownward) {
+  HopfieldTspParams params;
+  params.steps = 200;
+  HopfieldTsp net(SquareInstance(), params);
+  Rng rng(7);
+  net.Reset(rng);
+  const double e0 = net.Energy();
+  double e_prev = e0;
+  int increases = 0;
+  for (int s = 0; s < 200; ++s) {
+    const double e = net.Step();
+    if (e > e_prev + 1e-9) ++increases;
+    e_prev = e;
+  }
+  EXPECT_LT(e_prev, e0);
+  // Euler integration may wobble occasionally but must mostly descend.
+  EXPECT_LT(increases, 20);
+}
+
+TEST(Hopfield, DecodeAlwaysPermutation) {
+  HopfieldTspParams params;
+  params.steps = 50;
+  HopfieldTsp net(SquareInstance(), params);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    net.Settle(rng);
+    const std::vector<int> tour = net.DecodeTour();
+    ASSERT_EQ(tour.size(), 4u);
+    std::set<int> cities(tour.begin(), tour.end());
+    EXPECT_EQ(cities.size(), 4u) << "seed " << seed;
+    for (int c : tour) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 4);
+    }
+  }
+}
+
+TEST(Hopfield, TourLengthComputation) {
+  HopfieldTsp net(SquareInstance(), HopfieldTspParams{});
+  EXPECT_DOUBLE_EQ(net.TourLength({0, 1, 2, 3}), 4.0);
+  const double diag = std::sqrt(2.0);
+  EXPECT_NEAR(net.TourLength({0, 2, 1, 3}), 2 + 2 * diag, 1e-9);
+}
+
+TEST(Hopfield, FindsReasonableTourOnSquare) {
+  HopfieldTspParams params;
+  params.steps = 1500;
+  HopfieldTsp net(SquareInstance(), params);
+  double best = 1e9;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    net.Settle(rng);
+    best = std::min(best, net.TourLength(net.DecodeTour()));
+  }
+  // Optimal is 4.0; worst permutation on the square is ~6.83.  The
+  // settled network should find something near-optimal on at least one
+  // restart.
+  EXPECT_LT(best, 5.7);
+}
+
+TEST(Hopfield, ActivationsInUnitRange) {
+  HopfieldTspParams params;
+  params.steps = 100;
+  HopfieldTsp net(SquareInstance(), params);
+  Rng rng(4);
+  net.Settle(rng);
+  const Tensor acts = net.Activations();
+  for (std::int64_t i = 0; i < acts.size(); ++i) {
+    EXPECT_GE(acts[i], 0.0f);
+    EXPECT_LE(acts[i], 1.0f);
+  }
+}
+
+TEST(Hopfield, RejectsDegenerateInstances) {
+  EXPECT_THROW(HopfieldTsp({{0.0}}, HopfieldTspParams{}),
+               std::logic_error);
+  EXPECT_THROW(HopfieldTsp({{0, 1}, {1}}, HopfieldTspParams{}),
+               std::logic_error);
+}
+
+TEST(GoldenTsp, BruteForceSquare) {
+  EXPECT_NEAR(BruteForceTspLength(SquareInstance()), 4.0, 1e-9);
+}
+
+TEST(GoldenTsp, BruteForceRandomInstanceIsLowerBound) {
+  Rng rng(9);
+  const auto dist = RandomTspInstance(6, rng);
+  const double optimal = BruteForceTspLength(dist);
+  // Any specific tour cannot be shorter than the optimum.
+  double arbitrary = 0.0;
+  for (int i = 0; i < 6; ++i)
+    arbitrary +=
+        dist[static_cast<std::size_t>(i)][static_cast<std::size_t>((i + 1) %
+                                                                   6)];
+  EXPECT_LE(optimal, arbitrary + 1e-12);
+}
+
+}  // namespace
+}  // namespace db

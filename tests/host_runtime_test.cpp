@@ -1,0 +1,110 @@
+// Tests for the host-side runtime (the ARM application layer).
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+#include "sim/host_runtime.h"
+
+namespace db {
+namespace {
+
+struct Fixture {
+  Network net;
+  AcceleratorDesign design;
+  WeightStore weights;
+
+  explicit Fixture(ZooModel model = ZooModel::kMnist)
+      : net(BuildZooModel(model)),
+        design(GenerateAccelerator(net, DbConstraint())),
+        weights(WeightStore::CreateFor(net)) {
+    Rng rng(31);
+    weights = WeightStore::CreateRandom(net, rng);
+  }
+
+  Tensor RandomInput(std::uint64_t seed) const {
+    const BlobShape& s = net.layer(net.input_ids().front()).output_shape;
+    Tensor t(Shape{s.channels, s.height, s.width});
+    Rng rng(seed);
+    t.FillUniform(rng, 0.0f, 1.0f);
+    return t;
+  }
+};
+
+TEST(HostRuntime, InferMatchesFunctionalSimulation) {
+  Fixture fx;
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  const Tensor input = fx.RandomInput(7);
+  const HostInvocation inv = host.Infer(input);
+
+  FunctionalSimulator direct(fx.net, fx.design, fx.weights);
+  EXPECT_LT(MaxAbsDiff(inv.output, direct.Run(input)),
+            2 * fx.design.config.format.resolution());
+  EXPECT_GT(inv.cycles, 0);
+  EXPECT_GT(inv.seconds, 0.0);
+  EXPECT_GT(inv.joules, 0.0);
+}
+
+TEST(HostRuntime, StatsAccumulate) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  EXPECT_EQ(host.stats().invocations, 0);
+  const HostInvocation a = host.Infer(fx.RandomInput(1));
+  const HostInvocation b = host.Infer(fx.RandomInput(2));
+  EXPECT_EQ(host.stats().invocations, 2);
+  EXPECT_NEAR(host.stats().total_seconds, a.seconds + b.seconds, 1e-12);
+  EXPECT_NEAR(host.stats().total_joules, a.joules + b.joules, 1e-12);
+  EXPECT_GT(host.stats().total_dram_bytes, 0);
+}
+
+TEST(HostRuntime, BatchReusesResidentWeights) {
+  Fixture fx(ZooModel::kCifar);  // weights fit the on-chip buffer
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(fx.RandomInput(10 + i));
+  const auto results = host.InferBatch(inputs);
+  ASSERT_EQ(results.size(), 4u);
+  // Steady-state images are no slower than the cold first image.
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_LE(results[i].cycles, results[0].cycles);
+  EXPECT_LT(results[1].cycles, results[0].cycles);
+  EXPECT_EQ(host.stats().invocations, 4);
+}
+
+TEST(HostRuntime, BatchOutputsMatchSingleInference) {
+  Fixture fx(ZooModel::kAnn1Jpeg);
+  HostRuntime batch_host(fx.net, fx.design, fx.weights);
+  HostRuntime single_host(fx.net, fx.design, fx.weights);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) inputs.push_back(fx.RandomInput(50 + i));
+  const auto batched = batch_host.InferBatch(inputs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const HostInvocation solo = single_host.Infer(inputs[i]);
+    EXPECT_EQ(MaxAbsDiff(batched[i].output, solo.output), 0.0)
+        << "input " << i;
+  }
+}
+
+TEST(HostRuntime, ImageFaultVisibleThroughRuntime) {
+  Fixture fx;
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  const Tensor input = fx.RandomInput(9);
+  const Tensor clean = host.Infer(input).output;
+  // Corrupt a conv1 weight region through the exposed image.
+  const MemoryRegion& region = fx.design.memory_map.Weights("conv1");
+  for (std::int64_t addr = region.base; addr < region.base + 32;
+       addr += 2)
+    host.image().WriteElem(addr, 0x7FFF, 2);
+  const Tensor corrupted = host.Infer(input).output;
+  EXPECT_GT(MaxAbsDiff(clean, corrupted), 0.0);
+}
+
+TEST(HostRuntime, EmptyBatchRejected) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  EXPECT_THROW(host.InferBatch({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,197 @@
+// Tests for the device catalogue, block library and resource model.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hwlib/blocks.h"
+#include "hwlib/device.h"
+#include "hwlib/resource_model.h"
+
+namespace db {
+namespace {
+
+TEST(Device, CatalogueLookup) {
+  const DeviceInfo& z45 = DeviceCatalog("zynq-7045");
+  EXPECT_EQ(z45.capacity.dsp, 900);
+  EXPECT_EQ(z45.capacity.lut, 218600);
+  const DeviceInfo& z20 = DeviceCatalog("ZYNQ-7020");  // case-insensitive
+  EXPECT_EQ(z20.capacity.dsp, 220);
+  EXPECT_THROW(DeviceCatalog("nonexistent"), Error);
+}
+
+TEST(Device, NamesListsAll) {
+  const auto names = DeviceNames();
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(Device, BudgetFractionOrdering) {
+  EXPECT_LT(BudgetFraction(BudgetLevel::kLow),
+            BudgetFraction(BudgetLevel::kMedium));
+  EXPECT_LT(BudgetFraction(BudgetLevel::kMedium),
+            BudgetFraction(BudgetLevel::kHigh));
+}
+
+TEST(Device, ResolveBudgetScalesDevice) {
+  DesignConstraint c;
+  c.device = "zynq-7045";
+  c.budget = BudgetLevel::kHigh;
+  const ResourceBudget b = ResolveBudget(c);
+  EXPECT_EQ(b.dsp, static_cast<std::int64_t>(900 * 0.80));
+  EXPECT_GT(b.lut, 0);
+}
+
+TEST(Device, ResolveBudgetHonoursExplicitOverrides) {
+  DesignConstraint c;
+  c.explicit_budget.dsp = 7;
+  c.explicit_budget.lut = 1234;
+  const ResourceBudget b = ResolveBudget(c);
+  EXPECT_EQ(b.dsp, 7);
+  EXPECT_EQ(b.lut, 1234);
+  EXPECT_GT(b.ff, 0);  // unset fields fall back to the device fraction
+}
+
+TEST(Blocks, ValidateRejectsBadConfigs) {
+  BlockConfig lut;
+  lut.type = BlockType::kApproxLut;
+  lut.depth = 100;  // not a power of two
+  EXPECT_THROW(ValidateBlockConfig(lut), Error);
+  lut.depth = 128;
+  EXPECT_NO_THROW(ValidateBlockConfig(lut));
+
+  BlockConfig neuron;
+  neuron.type = BlockType::kSynergyNeuron;
+  neuron.lanes = 0;
+  EXPECT_THROW(ValidateBlockConfig(neuron), Error);
+  neuron.lanes = 4;
+  neuron.bit_width = 64;
+  EXPECT_THROW(ValidateBlockConfig(neuron), Error);
+
+  BlockConfig box;
+  box.type = BlockType::kConnectionBox;
+  box.ports = 1;
+  EXPECT_THROW(ValidateBlockConfig(box), Error);
+}
+
+TEST(Blocks, DescribeMentionsKeyParameters) {
+  BlockConfig c;
+  c.type = BlockType::kSynergyNeuron;
+  c.lanes = 32;
+  c.bit_width = 16;
+  c.use_dsp = true;
+  const std::string desc = DescribeBlock(c);
+  EXPECT_NE(desc.find("synergy_neuron"), std::string::npos);
+  EXPECT_NE(desc.find("x32"), std::string::npos);
+  EXPECT_NE(desc.find("dsp"), std::string::npos);
+}
+
+TEST(Blocks, EveryTypeHasAName) {
+  for (BlockType t :
+       {BlockType::kSynergyNeuron, BlockType::kAccumulator,
+        BlockType::kPoolingUnit, BlockType::kLrnUnit,
+        BlockType::kDropoutUnit, BlockType::kClassifier,
+        BlockType::kActivationUnit, BlockType::kApproxLut,
+        BlockType::kConnectionBox, BlockType::kAgu,
+        BlockType::kCoordinator, BlockType::kBufferBank})
+    EXPECT_NE(BlockTypeName(t), "?");
+}
+
+TEST(ResourceModel, SynergyNeuronScalesWithLanes) {
+  BlockConfig c;
+  c.type = BlockType::kSynergyNeuron;
+  c.use_dsp = true;
+  c.lanes = 1;
+  const ResourceBudget one = BlockCost(c);
+  c.lanes = 8;
+  const ResourceBudget eight = BlockCost(c);
+  EXPECT_EQ(eight.dsp, 8 * one.dsp);
+  EXPECT_EQ(eight.lut, 8 * one.lut);
+}
+
+TEST(ResourceModel, LutMultiplierCostsMoreFabric) {
+  BlockConfig dsp;
+  dsp.type = BlockType::kSynergyNeuron;
+  dsp.use_dsp = true;
+  BlockConfig lut = dsp;
+  lut.use_dsp = false;
+  EXPECT_EQ(BlockCost(lut).dsp, 0);
+  EXPECT_GT(BlockCost(lut).lut, 4 * BlockCost(dsp).lut);
+}
+
+TEST(ResourceModel, WiderDatapathCostsMore) {
+  BlockConfig narrow;
+  narrow.type = BlockType::kSynergyNeuron;
+  narrow.use_dsp = false;
+  narrow.bit_width = 8;
+  BlockConfig wide = narrow;
+  wide.bit_width = 24;
+  EXPECT_GT(BlockCost(wide).lut, BlockCost(narrow).lut);
+}
+
+TEST(ResourceModel, ApproxLutUsesBramAndInterpolationLogic) {
+  BlockConfig c;
+  c.type = BlockType::kApproxLut;
+  c.depth = 256;
+  c.interpolate = false;
+  const ResourceBudget nearest = BlockCost(c);
+  c.interpolate = true;
+  const ResourceBudget interp = BlockCost(c);
+  EXPECT_GT(nearest.bram_bytes, 0);
+  EXPECT_GT(interp.lut, nearest.lut);  // slope multiplier
+}
+
+TEST(ResourceModel, BufferCostIsItsBytes) {
+  BlockConfig c;
+  c.type = BlockType::kBufferBank;
+  c.depth = 4096;
+  EXPECT_EQ(BlockCost(c).bram_bytes, 4096);
+}
+
+TEST(ResourceModel, CoordinatorLogicBounded) {
+  BlockConfig small;
+  small.type = BlockType::kCoordinator;
+  small.fold_events = 4;
+  BlockConfig huge = small;
+  huge.fold_events = 100000;
+  // Schedule lives in BRAM; logic must not scale linearly.
+  EXPECT_LT(BlockCost(huge).lut, 2 * BlockCost(small).lut + 256);
+  EXPECT_GT(BlockCost(huge).bram_bytes, BlockCost(small).bram_bytes);
+}
+
+TEST(ResourceModel, TallySumsAndReports) {
+  std::vector<BlockInstance> blocks;
+  BlockConfig n;
+  n.type = BlockType::kSynergyNeuron;
+  n.lanes = 4;
+  blocks.push_back({"a", n});
+  blocks.push_back({"b", n});
+  const ResourceReport report = TallyResources(blocks);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.total.dsp,
+            report.entries[0].cost.dsp + report.entries[1].cost.dsp);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+}
+
+TEST(ResourceModel, ClassifierScalesWithK) {
+  BlockConfig c;
+  c.type = BlockType::kClassifier;
+  c.lanes = 1;
+  const auto small = BlockCost(c);
+  c.lanes = 16;
+  const auto big = BlockCost(c);
+  EXPECT_GT(big.lut, small.lut);
+}
+
+TEST(ResourceModel, AguMainCarriesWiderAddress) {
+  BlockConfig data;
+  data.type = BlockType::kAgu;
+  data.agu_role = AguRole::kData;
+  data.patterns = 4;
+  BlockConfig main = data;
+  main.agu_role = AguRole::kMain;
+  EXPECT_GT(BlockCost(main).lut, BlockCost(data).lut);
+  EXPECT_GT(BlockCost(main).ff, BlockCost(data).ff);
+}
+
+}  // namespace
+}  // namespace db

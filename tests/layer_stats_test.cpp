@@ -1,0 +1,131 @@
+// Tests for per-layer operation/weight statistics.
+#include <gtest/gtest.h>
+
+#include "graph/layer_stats.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+const IrLayer& FindLayer(const Network& net, const std::string& name) {
+  for (const IrLayer& layer : net.layers())
+    if (layer.name() == name) return layer;
+  throw std::logic_error("layer not found: " + name);
+}
+
+TEST(LayerStats, AlexnetConv1) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "conv1"));
+  // 96 x 55 x 55 outputs, 11x11x3 window.
+  EXPECT_EQ(s.macs, 96LL * 55 * 55 * 11 * 11 * 3);
+  EXPECT_EQ(s.weight_count, 96LL * 3 * 11 * 11 + 96);
+  EXPECT_EQ(s.output_elems, 96LL * 55 * 55);
+  EXPECT_EQ(s.input_elems, 3LL * 227 * 227);
+}
+
+TEST(LayerStats, AlexnetFc6) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "fc6"));
+  EXPECT_EQ(s.macs, 4096LL * 9216);
+  EXPECT_EQ(s.weight_count, 4096LL * 9216 + 4096);
+}
+
+TEST(LayerStats, MaxPoolingCountsCompares) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "pool1"));
+  // 8 x 5 x 5 outputs, 2x2 window -> 3 compares each.
+  EXPECT_EQ(s.compares, 8LL * 5 * 5 * 3);
+  EXPECT_EQ(s.macs, 0);
+  EXPECT_EQ(s.weight_count, 0);
+}
+
+TEST(LayerStats, AveragePoolingCountsAdds) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "pool2"));
+  EXPECT_GT(s.adds, 0);
+  EXPECT_EQ(s.compares, 0);
+}
+
+TEST(LayerStats, ActivationsUseLutOps) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "act1"));
+  EXPECT_EQ(s.lut_ops, 8);
+  EXPECT_EQ(s.macs, 0);
+}
+
+TEST(LayerStats, ReluUsesCompares) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "relu1"));
+  EXPECT_EQ(s.compares, 8LL * 10 * 10);
+}
+
+TEST(LayerStats, RecurrentScalesWithSteps) {
+  const Network net = BuildZooModel(ZooModel::kHopfield);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "settle"));
+  // 60 steps x 25 outputs x (25 input + 25 state).
+  EXPECT_EQ(s.macs, 60LL * 25 * 50);
+  EXPECT_EQ(s.weight_count, 25LL * 50 + 25);
+}
+
+TEST(LayerStats, AssociativeCountsCells) {
+  const Network net = BuildZooModel(ZooModel::kCmac);
+  const LayerStats s = ComputeLayerStats(FindLayer(net, "assoc"));
+  EXPECT_EQ(s.adds, 8LL * 2);          // generalization x outputs
+  EXPECT_EQ(s.weight_count, 512LL * 2);
+}
+
+TEST(LayerStats, FlopsCombinesAll) {
+  LayerStats s;
+  s.macs = 10;
+  s.adds = 5;
+  s.compares = 3;
+  s.lut_ops = 2;
+  EXPECT_EQ(s.Flops(), 2 * 10 + 5 + 3 + 2);
+}
+
+TEST(LayerStats, AggregateIsSumOfLayers) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  LayerStats manual;
+  for (const IrLayer* layer : net.ComputeLayers())
+    manual += ComputeLayerStats(*layer);
+  const LayerStats total = ComputeNetworkStats(net);
+  EXPECT_EQ(total.macs, manual.macs);
+  EXPECT_EQ(total.weight_count, manual.weight_count);
+  EXPECT_EQ(total.Flops(), manual.Flops());
+}
+
+TEST(LayerStats, AlexnetTotalMacsInKnownRange) {
+  // Grouped Alexnet's published forward pass is ~0.72 GMAC.
+  const LayerStats total =
+      ComputeNetworkStats(BuildZooModel(ZooModel::kAlexnet));
+  EXPECT_GT(total.macs, 650e6);
+  EXPECT_LT(total.macs, 850e6);
+  // ~61M parameters.
+  EXPECT_GT(total.weight_count, 55e6);
+  EXPECT_LT(total.weight_count, 70e6);
+}
+
+TEST(LayerStats, GroupedConvScalesDown) {
+  const std::string header =
+      "input: \"d\"\ninput_dim: 1\ninput_dim: 4\ninput_dim: 8\n"
+      "input_dim: 8\n";
+  auto macs = [&](int group) {
+    const Network net = Network::Build(ParseNetworkDef(
+        header + "layers { name: \"c\" type: CONVOLUTION bottom: \"d\" "
+                 "top: \"c\" convolution_param { num_output: 4 "
+                 "kernel_size: 3 group: " +
+        std::to_string(group) + " } }\n"));
+    return ComputeNetworkStats(net).macs;
+  };
+  EXPECT_EQ(macs(1), 2 * macs(2));
+  EXPECT_EQ(macs(1), 4 * macs(4));
+}
+
+TEST(LayerStats, ToStringContainsCounts) {
+  LayerStats s;
+  s.macs = 123;
+  EXPECT_NE(s.ToString().find("123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db

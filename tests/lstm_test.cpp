@@ -1,0 +1,163 @@
+// Tests for the LSTM extension layer: frontend, IR, float executor,
+// fixed-point simulation and generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "core/generator.h"
+#include "graph/layer_stats.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "nn/trainer.h"
+#include "sim/functional_sim.h"
+
+namespace db {
+namespace {
+
+std::string LstmScript(int in, int h, int steps) {
+  return "name: \"lstm_net\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: " +
+         std::to_string(in) +
+         "\ninput_dim: 1\ninput_dim: 1\n"
+         "layers { name: \"cell\" type: LSTM bottom: \"data\" "
+         "top: \"cell\" lstm_param { num_output: " +
+         std::to_string(h) + "  time_steps: " + std::to_string(steps) +
+         " }\n"
+         "  connect { name: \"r\" direction: recurrent type: full } }\n";
+}
+
+TEST(LstmFrontend, ParsesAndRoundTrips) {
+  const NetworkDef def = ParseNetworkDef(LstmScript(3, 5, 4));
+  ASSERT_EQ(def.layers.size(), 1u);
+  EXPECT_EQ(def.layers[0].kind, LayerKind::kLstm);
+  ASSERT_TRUE(def.layers[0].lstm.has_value());
+  EXPECT_EQ(def.layers[0].lstm->num_output, 5);
+  EXPECT_EQ(def.layers[0].lstm->time_steps, 4);
+
+  const NetworkDef again = ParseNetworkDef(NetworkDefToPrototxt(def));
+  EXPECT_EQ(again.layers[0].lstm->num_output, 5);
+  EXPECT_EQ(again.layers[0].lstm->time_steps, 4);
+}
+
+TEST(LstmFrontend, InvalidParamsRejected) {
+  EXPECT_THROW(ParseNetworkDef(
+                   "input: \"d\"\ninput_dim: 1\ninput_dim: 2\n"
+                   "input_dim: 1\ninput_dim: 1\n"
+                   "layers { name: \"l\" type: LSTM bottom: \"d\" "
+                   "top: \"l\" }\n"),
+               ParseError);  // missing num_output
+}
+
+TEST(LstmIr, ShapeAndRecurrence) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(3, 7, 2)));
+  EXPECT_EQ(net.OutputLayer().output_shape, (BlobShape{7, 1, 1}));
+  EXPECT_TRUE(net.HasRecurrence());
+}
+
+TEST(LstmWeights, GateShapes) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(3, 5, 2)));
+  const WeightStore store = WeightStore::CreateFor(net);
+  const LayerParams& params = store.at("cell");
+  EXPECT_EQ(params.weights.shape(), Shape({20, 3}));
+  EXPECT_EQ(params.recurrent.shape(), Shape({20, 5}));
+  EXPECT_EQ(params.bias.shape(), Shape({20}));
+}
+
+TEST(LstmExecutor, ZeroWeightsGiveZeroOutput) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(2, 3, 4)));
+  const WeightStore store = WeightStore::CreateFor(net);
+  Executor exec(net, store);
+  const Tensor out = exec.ForwardOutput(Tensor(Shape{2, 1, 1}, {1, -1}));
+  // Gates all sigmoid(0)=0.5 / tanh(0)=0: cell stays 0, hidden stays 0.
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(out[i], 0.0f);
+}
+
+TEST(LstmExecutor, HandComputedSingleUnitSingleStep) {
+  // 1 input, 1 hidden unit, 1 step; hand-set gates.
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(1, 1, 1)));
+  WeightStore store = WeightStore::CreateFor(net);
+  LayerParams& p = store.at("cell");
+  // Rows: [i, f, g(cell), o].  Wire the input straight into each gate.
+  p.weights.at({0, 0}) = 2.0f;   // input gate pre-act = 2x
+  p.weights.at({1, 0}) = 0.0f;   // forget gate = sigmoid(0) = 0.5
+  p.weights.at({2, 0}) = 1.0f;   // cell candidate = tanh(x)
+  p.weights.at({3, 0}) = 3.0f;   // output gate = sigmoid(3x)
+  Executor exec(net, store);
+  const double x = 0.8;
+  const Tensor out =
+      exec.ForwardOutput(Tensor(Shape{1, 1, 1}, {static_cast<float>(x)}));
+  const double i_gate = Sigmoid(2.0 * x);
+  const double g_cell = TanhFn(1.0 * x);
+  const double o_gate = Sigmoid(3.0 * x);
+  const double c = i_gate * g_cell;  // cell starts at 0
+  const double expected = o_gate * TanhFn(c);
+  EXPECT_NEAR(out[0], expected, 1e-6);
+}
+
+TEST(LstmExecutor, ForgetGateDecaysState) {
+  // Two steps with constant input: the cell accumulates, modulated by the
+  // forget gate; output after 2 steps differs from 1 step.
+  const Network one = Network::Build(ParseNetworkDef(LstmScript(1, 1, 1)));
+  const Network two = Network::Build(ParseNetworkDef(LstmScript(1, 1, 2)));
+  WeightStore w1 = WeightStore::CreateFor(one);
+  Rng rng(3);
+  w1.at("cell").weights.FillUniform(rng, -1.0f, 1.0f);
+  w1.at("cell").recurrent.FillUniform(rng, -0.5f, 0.5f);
+  WeightStore w2 = WeightStore::CreateFor(two);
+  w2.at("cell") = w1.at("cell");
+  const Tensor in(Shape{1, 1, 1}, {0.5f});
+  const float out1 = Executor(one, w1).ForwardOutput(in)[0];
+  const float out2 = Executor(two, w2).ForwardOutput(in)[0];
+  EXPECT_NE(out1, out2);
+}
+
+TEST(LstmStats, CountsMatchFormula) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(3, 5, 4)));
+  const LayerStats s = ComputeLayerStats(*net.ComputeLayers().front());
+  EXPECT_EQ(s.weight_count, 4 * 5 * (3 + 5) + 4 * 5);
+  EXPECT_EQ(s.macs, 4LL * (4 * 5 * (3 + 5) + 2 * 5));
+  EXPECT_EQ(s.lut_ops, 4LL * 5 * 5);
+}
+
+TEST(LstmGenerator, GeneratesWithBothLuts) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(4, 8, 3)));
+  const auto fns = RequiredLutFunctions(net);
+  EXPECT_EQ(fns.size(), 2u);  // sigmoid + tanh
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  EXPECT_EQ(design.lut_specs.size(), 2u);
+  EXPECT_TRUE(design.config.budget.Fits(design.resources.total));
+  EXPECT_TRUE(design.config.has_connection_box);  // recurrent model
+}
+
+TEST(LstmFixedPoint, TracksFloatReference) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(4, 6, 3)));
+  Rng rng(11);
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  Executor exec(net, weights);
+  FunctionalSimulator sim(net, design, weights);
+  for (int trial = 0; trial < 4; ++trial) {
+    Tensor in(Shape{4, 1, 1});
+    Rng in_rng(static_cast<std::uint64_t>(trial) + 77);
+    in.FillUniform(in_rng, -1.0f, 1.0f);
+    const Tensor ref = exec.ForwardOutput(in);
+    const Tensor fixed = sim.Run(in);
+    // Three unrolled steps of Q7.8 gate arithmetic: allow a few LSBs of
+    // compounding error.
+    EXPECT_LT(MaxAbsDiff(ref, fixed), 0.08) << "trial " << trial;
+  }
+}
+
+TEST(LstmTrainer, RejectedAsUnsupported) {
+  const Network net = Network::Build(ParseNetworkDef(LstmScript(2, 2, 2)));
+  Rng rng(1);
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+  EXPECT_THROW(Trainer(net, weights, TrainerOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,95 @@
+// Tests for the DRAM memory map.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/memory_map.h"
+#include "graph/layer_stats.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+AcceleratorConfig TestConfig() {
+  AcceleratorConfig config;
+  config.memory_port_elems = 16;
+  return config;  // 16-bit elements by default
+}
+
+TEST(MemoryMap, RegionsNonOverlappingAndAligned) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorConfig config = TestConfig();
+  const MemoryMap map = MemoryMap::Build(net, config);
+  const std::int64_t align =
+      config.memory_port_elems * config.ElementBytes();
+  std::int64_t prev_end = 0;
+  for (const MemoryRegion& r : map.regions()) {
+    EXPECT_EQ(r.base % align, 0) << r.name;
+    EXPECT_EQ(r.bytes % align, 0) << r.name;
+    EXPECT_GE(r.base, prev_end) << r.name;
+    prev_end = r.end();
+  }
+  EXPECT_EQ(map.total_bytes(), prev_end);
+}
+
+TEST(MemoryMap, EveryBlobAndWeightCovered) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const MemoryMap map = MemoryMap::Build(net, TestConfig());
+  for (const IrLayer& layer : net.layers()) {
+    EXPECT_NO_THROW(map.Blob(layer.name())) << layer.name();
+    const LayerStats stats = ComputeLayerStats(layer);
+    EXPECT_EQ(map.HasWeights(layer.name()), stats.weight_count > 0)
+        << layer.name();
+  }
+}
+
+TEST(MemoryMap, RegionSizesMatchData) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorConfig config = TestConfig();
+  const MemoryMap map = MemoryMap::Build(net, config);
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const std::int64_t blob_bytes =
+        layer->output_shape.NumElements() * config.ElementBytes();
+    EXPECT_GE(map.Blob(layer->name()).bytes, blob_bytes) << layer->name();
+    const LayerStats stats = ComputeLayerStats(*layer);
+    if (stats.weight_count > 0) {
+      EXPECT_GE(map.Weights(layer->name()).bytes,
+                stats.weight_count * config.ElementBytes())
+          << layer->name();
+    }
+  }
+}
+
+TEST(MemoryMap, UnknownRegionThrows) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  const MemoryMap map = MemoryMap::Build(net, TestConfig());
+  EXPECT_THROW(map.Blob("nonexistent"), Error);
+  EXPECT_THROW(map.Weights("act1"), Error);  // activations have no weights
+}
+
+TEST(MemoryMap, InputBlobsComeFirst) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const MemoryMap map = MemoryMap::Build(net, TestConfig());
+  ASSERT_FALSE(map.regions().empty());
+  EXPECT_EQ(map.regions().front().name, "blob:data");
+  EXPECT_EQ(map.regions().front().base, 0);
+}
+
+TEST(MemoryMap, AlexnetTotalOnKnownScale) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const MemoryMap map = MemoryMap::Build(net, TestConfig());
+  // 61M weights + a few MB of activations at 2 bytes each.
+  EXPECT_GT(map.total_bytes(), 120e6);
+  EXPECT_LT(map.total_bytes(), 160e6);
+}
+
+TEST(MemoryMap, ToStringListsRegions) {
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  const MemoryMap map = MemoryMap::Build(net, TestConfig());
+  const std::string text = map.ToString();
+  EXPECT_NE(text.find("blob:data"), std::string::npos);
+  EXPECT_NE(text.find("weights:fc1"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db

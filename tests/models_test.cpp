@@ -1,0 +1,219 @@
+// Tests for the model zoo, golden kernels and synthetic datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/datasets.h"
+#include "models/golden.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+class ZooSweep : public ::testing::TestWithParam<ZooModel> {};
+
+TEST_P(ZooSweep, PrototxtParsesAndBuilds) {
+  const Network net = BuildZooModel(GetParam());
+  EXPECT_FALSE(net.ComputeLayers().empty());
+  EXPECT_EQ(net.input_ids().size(), 1u);
+}
+
+TEST_P(ZooSweep, HasNameAndApplication) {
+  EXPECT_NE(ZooModelName(GetParam()), "?");
+  EXPECT_NE(ZooModelApplication(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooSweep,
+                         ::testing::ValuesIn(AllZooModels()),
+                         [](const auto& info) {
+                           std::string n = ZooModelName(info.param);
+                           for (char& c : n)
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+TEST(Zoo, AlexnetGeometry) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  // Spot-check the published shapes.
+  for (const IrLayer& layer : net.layers()) {
+    if (layer.name() == "conv1") {
+      EXPECT_EQ(layer.output_shape, (BlobShape{96, 55, 55}));
+    }
+    if (layer.name() == "pool2") {
+      EXPECT_EQ(layer.output_shape, (BlobShape{256, 13, 13}));
+    }
+    if (layer.name() == "pool5") {
+      EXPECT_EQ(layer.output_shape, (BlobShape{256, 6, 6}));
+    }
+    if (layer.name() == "fc8") {
+      EXPECT_EQ(layer.output_shape.channels, 1000);
+    }
+  }
+}
+
+TEST(Zoo, NinEndsInGlobalPoolOver1000Maps) {
+  const Network net = BuildZooModel(ZooModel::kNin);
+  const IrLayer& out = net.OutputLayer();
+  EXPECT_EQ(out.kind(), LayerKind::kSoftmax);
+  EXPECT_EQ(out.output_shape, (BlobShape{1000, 1, 1}));
+}
+
+TEST(Zoo, Table2FlagsMatch) {
+  // Table 2: conv / FC / recurrent flags per benchmark.
+  auto has_kind = [](ZooModel m, LayerKind k) {
+    return BuildZooModel(m).KindHistogram().count(k) > 0;
+  };
+  EXPECT_FALSE(has_kind(ZooModel::kAnn0Fft, LayerKind::kConvolution));
+  EXPECT_TRUE(has_kind(ZooModel::kAnn0Fft, LayerKind::kInnerProduct));
+  EXPECT_TRUE(has_kind(ZooModel::kAlexnet, LayerKind::kConvolution));
+  EXPECT_TRUE(BuildZooModel(ZooModel::kHopfield).HasRecurrence());
+  EXPECT_TRUE(BuildZooModel(ZooModel::kCmac).HasRecurrence());
+  EXPECT_FALSE(BuildZooModel(ZooModel::kMnist).HasRecurrence());
+}
+
+TEST(Zoo, ConstraintPresetsDiffer) {
+  EXPECT_EQ(DbConstraint().device, "zynq-7045");
+  EXPECT_EQ(DbConstraint().budget, BudgetLevel::kMedium);
+  EXPECT_EQ(DbLConstraint().budget, BudgetLevel::kHigh);
+  EXPECT_EQ(DbSConstraint().device, "zynq-7020");
+  EXPECT_EQ(DbSConstraint().budget, BudgetLevel::kLow);
+}
+
+TEST(GoldenFft, TwiddleOnUnitCircle) {
+  for (double x : {0.0, 0.1, 0.25, 0.5, 0.9}) {
+    const auto t = GoldenFftTwiddle(x);
+    EXPECT_NEAR(t[0] * t[0] + t[1] * t[1], 1.0, 1e-12);
+  }
+  EXPECT_NEAR(GoldenFftTwiddle(0.0)[0], 1.0, 1e-12);
+  EXPECT_NEAR(GoldenFftTwiddle(0.25)[1], 1.0, 1e-12);
+}
+
+TEST(GoldenJpeg, RoundTripApproximatesSmoothSignals) {
+  std::array<double, 8> block;
+  for (int i = 0; i < 8; ++i)
+    block[static_cast<std::size_t>(i)] =
+        0.5 + 0.3 * std::cos(3.14159 * i / 8.0);
+  const auto out = GoldenJpegBlock(block);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)],
+                block[static_cast<std::size_t>(i)], 0.1);
+}
+
+TEST(GoldenJpeg, QuantisationIsLossy) {
+  std::array<double, 8> noisy;
+  Rng rng(3);
+  for (auto& v : noisy) v = rng.Uniform();
+  const auto out = GoldenJpegBlock(noisy);
+  double diff = 0.0;
+  for (int i = 0; i < 8; ++i)
+    diff += std::fabs(out[static_cast<std::size_t>(i)] -
+                      noisy[static_cast<std::size_t>(i)]);
+  EXPECT_GT(diff, 1e-6);  // high-frequency content is quantised away
+}
+
+TEST(GoldenKmeans, AssignsNearestCentroid) {
+  for (const auto& c : KmeansCentroids()) {
+    const auto assigned = GoldenKmeansAssign(c[0] + 0.01, c[1] - 0.01);
+    EXPECT_EQ(assigned, c);
+  }
+}
+
+TEST(GoldenArm, ForwardInverseConsistent) {
+  for (double r : {0.3, 0.6, 0.9}) {
+    for (double phi : {0.0, 1.0, 2.5, 4.0}) {
+      const double x = r * std::cos(phi);
+      const double y = r * std::sin(phi);
+      const auto angles = GoldenArmInverseKinematics(x, y);
+      const auto pos = GoldenArmForwardKinematics(angles[0], angles[1]);
+      EXPECT_NEAR(pos[0], x, 1e-9);
+      EXPECT_NEAR(pos[1], y, 1e-9);
+    }
+  }
+}
+
+TEST(GoldenArm, UnreachableRejected) {
+  EXPECT_THROW(GoldenArmInverseKinematics(2.0, 0.0), Error);
+}
+
+TEST(Datasets, DigitDeterministicAndLabelled) {
+  const auto a = MakeDigitDataset(3, 42);
+  const auto b = MakeDigitDataset(3, 42);
+  ASSERT_EQ(a.size(), 30u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(a[i].input, b[i].input), 0.0);
+    EXPECT_EQ(a[i].target.ArgMax(), b[i].target.ArgMax());
+    EXPECT_EQ(a[i].input.shape(), Shape({1, 12, 12}));
+    EXPECT_EQ(a[i].target.size(), 10);
+  }
+}
+
+TEST(Datasets, DigitClassesDistinct) {
+  // Different digits must produce visibly different glyphs on average.
+  const auto set = MakeDigitDataset(1, 7);
+  double diff = MaxAbsDiff(set[1].input, set[8].input);  // '1' vs '8'
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(Datasets, TextureShapesAndDeterminism) {
+  const auto a = MakeTextureDataset(2, 11);
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_EQ(a[0].input.shape(), Shape({3, 16, 16}));
+  EXPECT_EQ(a[0].target.size(), 8);
+  const auto b = MakeTextureDataset(2, 11);
+  EXPECT_EQ(MaxAbsDiff(a[5].input, b[5].input), 0.0);
+}
+
+TEST(Datasets, FftTargetsMatchGolden) {
+  const auto set = MakeFftDataset(20, 13);
+  for (const TrainSample& s : set) {
+    const auto g = GoldenFftTwiddle(s.input[0]);
+    EXPECT_NEAR(s.target[0], g[0], 1e-6);
+    EXPECT_NEAR(s.target[1], g[1], 1e-6);
+  }
+}
+
+TEST(Datasets, JpegShapes) {
+  const auto set = MakeJpegDataset(10, 17);
+  for (const TrainSample& s : set) {
+    EXPECT_EQ(s.input.size(), 8);
+    EXPECT_EQ(s.target.size(), 8);
+  }
+}
+
+TEST(Datasets, KmeansTargetsAreCentroids) {
+  const auto set = MakeKmeansDataset(30, 19);
+  for (const TrainSample& s : set) {
+    bool is_centroid = false;
+    for (const auto& c : KmeansCentroids())
+      if (std::fabs(s.target[0] - c[0]) < 1e-6 &&
+          std::fabs(s.target[1] - c[1]) < 1e-6)
+        is_centroid = true;
+    EXPECT_TRUE(is_centroid);
+  }
+}
+
+TEST(Datasets, ArmSamplesReachable) {
+  const auto set = MakeArmDataset(50, 23);
+  ASSERT_EQ(set.size(), 50u);
+  for (const TrainSample& s : set) {
+    // Forward kinematics of the target angles must land inside [-1,1]^2.
+    const auto pos =
+        GoldenArmForwardKinematics(s.target[0], s.target[1]);
+    EXPECT_LE(std::fabs(pos[0]), 1.0);
+    EXPECT_LE(std::fabs(pos[1]), 1.0);
+  }
+}
+
+TEST(Zoo, PrototxtRoundTripsThroughFrontend) {
+  for (ZooModel m : AllZooModels()) {
+    const NetworkDef def = ParseNetworkDef(ZooModelPrototxt(m));
+    const NetworkDef again = ParseNetworkDef(NetworkDefToPrototxt(def));
+    EXPECT_EQ(again.layers.size(), def.layers.size())
+        << ZooModelName(m);
+  }
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,131 @@
+// Tests for the transaction-level performance model.
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "sim/perf_model.h"
+
+namespace db {
+namespace {
+
+PerfResult Simulate(ZooModel model, const DesignConstraint& constraint,
+                    const PerfOptions& options = {}) {
+  const Network net = BuildZooModel(model);
+  const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+  return SimulatePerformance(net, design, options);
+}
+
+TEST(PerfModel, PositiveCyclesForEveryLayer) {
+  const PerfResult perf = Simulate(ZooModel::kMnist, DbConstraint());
+  EXPECT_GT(perf.total_cycles, 0);
+  for (const LayerTiming& lt : perf.layers) {
+    EXPECT_GT(lt.total_cycles, 0) << lt.name;
+    EXPECT_GE(lt.compute_cycles, 0) << lt.name;
+  }
+}
+
+TEST(PerfModel, TotalIsAtLeastSumOfLayerSpans) {
+  const PerfResult perf = Simulate(ZooModel::kCifar, DbConstraint());
+  std::int64_t sum = 0;
+  for (const LayerTiming& lt : perf.layers) sum += lt.total_cycles;
+  EXPECT_EQ(perf.total_cycles, sum);  // layers execute back-to-back
+}
+
+TEST(PerfModel, DoubleBufferingNeverSlower) {
+  PerfOptions serial;
+  serial.double_buffer = false;
+  const PerfResult overlapped =
+      Simulate(ZooModel::kAlexnet, DbConstraint());
+  const PerfResult serialised =
+      Simulate(ZooModel::kAlexnet, DbConstraint(), serial);
+  EXPECT_LE(overlapped.total_cycles, serialised.total_cycles);
+}
+
+TEST(PerfModel, NaiveLayoutSlowerOnConvNets) {
+  PerfOptions naive;
+  naive.force_naive_layout = true;
+  const PerfResult tiled = Simulate(ZooModel::kAlexnet, DbConstraint());
+  const PerfResult row_major =
+      Simulate(ZooModel::kAlexnet, DbConstraint(), naive);
+  // Method-1 tiling is the point of §3.4: the naive layout must cost
+  // substantially more DRAM traffic and time.
+  EXPECT_GT(row_major.total_dram_bytes, 2 * tiled.total_dram_bytes);
+  EXPECT_GT(row_major.total_cycles, tiled.total_cycles);
+}
+
+TEST(PerfModel, MoreLanesFasterOnBigModels) {
+  const PerfResult medium = Simulate(ZooModel::kAlexnet, DbConstraint());
+  const PerfResult large = Simulate(ZooModel::kAlexnet, DbLConstraint());
+  const PerfResult small = Simulate(ZooModel::kAlexnet, DbSConstraint());
+  EXPECT_LT(large.total_cycles, medium.total_cycles);
+  EXPECT_LT(medium.total_cycles, small.total_cycles);
+}
+
+TEST(PerfModel, DramBytesIncludeWeightsOnce) {
+  const Network net = BuildZooModel(ZooModel::kAnn1Jpeg);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const PerfResult perf = SimulatePerformance(net, design);
+  // Weights dominate the tiny MLP's traffic; bytes must at least cover
+  // one full weight pass.
+  std::int64_t weight_bytes = 0;
+  for (const auto& region : design.memory_map.regions())
+    if (region.name.starts_with("weights:")) weight_bytes += region.bytes;
+  EXPECT_GE(perf.total_dram_bytes, weight_bytes / 2);
+}
+
+TEST(PerfModel, HigherOverheadCostsCycles) {
+  PerfOptions cheap;
+  cheap.segment_overhead_cycles = 0;
+  cheap.layer_overhead_cycles = 0;
+  cheap.dram_burst_latency = 0;
+  PerfOptions dear;
+  dear.segment_overhead_cycles = 64;
+  dear.layer_overhead_cycles = 512;
+  dear.dram_burst_latency = 64;
+  const PerfResult fast = Simulate(ZooModel::kMnist, DbConstraint(), cheap);
+  const PerfResult slow = Simulate(ZooModel::kMnist, DbConstraint(), dear);
+  EXPECT_LT(fast.total_cycles, slow.total_cycles);
+}
+
+TEST(PerfModel, RuntimeConversion) {
+  PerfResult perf;
+  perf.total_cycles = 1000000;
+  perf.frequency_mhz = 100.0;
+  EXPECT_DOUBLE_EQ(perf.TotalSeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(perf.TotalMs(), 10.0);
+}
+
+TEST(PerfModel, ToStringListsLayersAndTotal) {
+  const PerfResult perf = Simulate(ZooModel::kMnist, DbConstraint());
+  const std::string text = perf.ToString();
+  EXPECT_NE(text.find("conv1"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST(PerfModel, ComputeBoundLayerMatchesLaneMath) {
+  // For the tiny ANN (1 lane, weights tiny), fc2's compute cycles are
+  // segments * unit_work + per-segment overhead.
+  const Network net = BuildZooModel(ZooModel::kAnn0Fft);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const PerfResult perf = SimulatePerformance(net, design);
+  for (const LayerTiming& lt : perf.layers) {
+    const LayerFold& fold = design.fold_plan.ForLayer(lt.layer_id);
+    const PerfOptions defaults;
+    EXPECT_EQ(lt.compute_cycles,
+              fold.segments *
+                  (fold.unit_work + defaults.segment_overhead_cycles))
+        << lt.name;
+  }
+}
+
+TEST(PerfModel, DeterministicAcrossRuns) {
+  const PerfResult a = Simulate(ZooModel::kCifar, DbConstraint());
+  const PerfResult b = Simulate(ZooModel::kCifar, DbConstraint());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_dram_bytes, b.total_dram_bytes);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,100 @@
+// Tests for the activity/resource-based power and energy model.
+#include <gtest/gtest.h>
+
+#include "hwlib/device.h"
+#include "sim/power_model.h"
+
+namespace db {
+namespace {
+
+PerfResult MakePerf(std::int64_t cycles, std::int64_t dram_bytes) {
+  PerfResult perf;
+  perf.total_cycles = cycles;
+  perf.total_dram_bytes = dram_bytes;
+  perf.frequency_mhz = 100.0;
+  return perf;
+}
+
+TEST(PowerModel, EnergyPositiveAndComposed) {
+  const ResourceBudget used{10, 5000, 8000, 64 * 1024};
+  const EnergyResult e = EstimateEnergy(
+      used, MakePerf(1000000, 1 << 20), DeviceCatalog("zynq-7045"));
+  EXPECT_GT(e.total_joules, 0.0);
+  EXPECT_GT(e.static_watts, 0.0);
+  EXPECT_GT(e.fabric_watts, 0.0);
+  EXPECT_GT(e.dram_joules, 0.0);
+  EXPECT_NEAR(e.total_joules,
+              (e.static_watts + e.fabric_watts) * e.runtime_s +
+                  e.dram_joules,
+              1e-12);
+}
+
+TEST(PowerModel, EnergyScalesWithRuntime) {
+  const ResourceBudget used{10, 5000, 8000, 0};
+  const DeviceInfo& dev = DeviceCatalog("zynq-7045");
+  const EnergyResult fast = EstimateEnergy(used, MakePerf(1000, 0), dev);
+  const EnergyResult slow =
+      EstimateEnergy(used, MakePerf(1000000, 0), dev);
+  EXPECT_NEAR(slow.total_joules / fast.total_joules, 1000.0, 1.0);
+}
+
+TEST(PowerModel, MoreResourcesMorePower) {
+  const DeviceInfo& dev = DeviceCatalog("zynq-7045");
+  const PerfResult perf = MakePerf(100000, 0);
+  const EnergyResult small =
+      EstimateEnergy({2, 500, 800, 1024}, perf, dev);
+  const EnergyResult big =
+      EstimateEnergy({200, 50000, 80000, 1024 * 1024}, perf, dev);
+  EXPECT_GT(big.fabric_watts, small.fabric_watts);
+  EXPECT_GT(big.total_joules, small.total_joules);
+}
+
+TEST(PowerModel, DramTrafficCostsEnergy) {
+  const DeviceInfo& dev = DeviceCatalog("zynq-7045");
+  const ResourceBudget used{10, 5000, 8000, 0};
+  const EnergyResult none = EstimateEnergy(used, MakePerf(1000, 0), dev);
+  const EnergyResult heavy =
+      EstimateEnergy(used, MakePerf(1000, 100 << 20), dev);
+  EXPECT_GT(heavy.total_joules, none.total_joules);
+  EXPECT_GT(heavy.dram_joules, 0.0);
+}
+
+TEST(PowerModel, FrequencyScalesFabricPower) {
+  const DeviceInfo& dev = DeviceCatalog("zynq-7045");
+  const ResourceBudget used{10, 5000, 8000, 0};
+  PerfResult p100 = MakePerf(100000, 0);
+  PerfResult p200 = MakePerf(100000, 0);
+  p200.frequency_mhz = 200.0;
+  const EnergyResult e100 = EstimateEnergy(used, p100, dev);
+  const EnergyResult e200 = EstimateEnergy(used, p200, dev);
+  EXPECT_NEAR(e200.fabric_watts, 2.0 * e100.fabric_watts, 1e-9);
+}
+
+TEST(PowerModel, DeviceStaticDiffers) {
+  const ResourceBudget used{1, 100, 100, 0};
+  const PerfResult perf = MakePerf(100000, 0);
+  const EnergyResult z45 =
+      EstimateEnergy(used, perf, DeviceCatalog("zynq-7045"));
+  const EnergyResult z20 =
+      EstimateEnergy(used, perf, DeviceCatalog("zynq-7020"));
+  EXPECT_GT(z45.static_watts, z20.static_watts);
+}
+
+TEST(PowerModel, AverageWattsConsistent) {
+  const EnergyResult e =
+      EstimateEnergy({10, 5000, 8000, 0}, MakePerf(1000000, 1 << 20),
+                     DeviceCatalog("zynq-7045"));
+  EXPECT_NEAR(e.average_watts, e.total_joules / e.runtime_s, 1e-9);
+}
+
+TEST(PowerModel, ToStringHasFields) {
+  const EnergyResult e =
+      EstimateEnergy({1, 100, 100, 0}, MakePerf(1000, 0),
+                     DeviceCatalog("zynq-7045"));
+  const std::string text = e.ToString();
+  EXPECT_NE(text.find("runtime"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db

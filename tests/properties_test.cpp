@@ -1,0 +1,144 @@
+// Cross-cutting property tests: exhaustive small-width fixed-point
+// checks, Method-1 layout invariants over a geometry grid, tile
+// permutation round trips, and AGU region-pattern coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/fixed_point.h"
+#include "common/rng.h"
+#include "common/math_util.h"
+#include "core/agu_program.h"
+#include "core/data_layout.h"
+
+namespace db {
+namespace {
+
+// ------------------------------------------------- exhaustive fixed point
+
+TEST(FixedPointExhaustive, AddMatchesSaturatedIntegerMath) {
+  const FixedFormat fmt(8, 3);
+  for (std::int64_t a = fmt.raw_min(); a <= fmt.raw_max(); ++a) {
+    for (std::int64_t b = fmt.raw_min(); b <= fmt.raw_max(); b += 7) {
+      const std::int64_t expected =
+          std::clamp(a + b, fmt.raw_min(), fmt.raw_max());
+      ASSERT_EQ(fmt.Add(a, b), expected) << a << "+" << b;
+    }
+  }
+}
+
+TEST(FixedPointExhaustive, MulWithinHalfLsbOfRealProduct) {
+  const FixedFormat fmt(8, 4);
+  for (std::int64_t a = fmt.raw_min(); a <= fmt.raw_max(); a += 3) {
+    for (std::int64_t b = fmt.raw_min(); b <= fmt.raw_max(); b += 5) {
+      const double real = fmt.Dequantize(a) * fmt.Dequantize(b);
+      const double clamped =
+          std::clamp(real, fmt.value_min(), fmt.value_max());
+      const double got = fmt.Dequantize(fmt.Mul(a, b));
+      ASSERT_LE(std::fabs(got - clamped), fmt.resolution() / 2 + 1e-12)
+          << a << "*" << b;
+    }
+  }
+}
+
+TEST(FixedPointExhaustive, QuantizeDequantizeMonotonic) {
+  const FixedFormat fmt(8, 5);
+  std::int64_t prev = fmt.raw_min();
+  for (double x = fmt.value_min(); x <= fmt.value_max(); x += 0.011) {
+    const std::int64_t q = fmt.Quantize(x);
+    ASSERT_GE(q, prev);
+    prev = q;
+  }
+}
+
+// ----------------------------------------------------- layout invariants
+
+TEST(LayoutInvariants, Method1SweepWellFormed) {
+  for (std::int64_t k : {1, 2, 3, 4, 5, 6, 8, 11, 12}) {
+    for (std::int64_t s : {1, 2, 3, 4}) {
+      for (std::int64_t d : {4, 8, 12, 16}) {
+        const TileSpec spec = Method1Layout({3, 57, 57}, k, s, d, 3);
+        ASSERT_GT(spec.tile_h, 0) << k << "/" << s << "/" << d;
+        ASSERT_GT(spec.utilization, 0.0);
+        ASSERT_LE(spec.utilization, 1.0);
+        ASSERT_GE(spec.refetch, 1.0);
+        // The tile edge always divides the kernel (window-exact tiles).
+        if (spec.rule != TileRule::kLinear) {
+          ASSERT_EQ(k % spec.tile_h, 0) << k << "/" << s << "/" << d;
+        }
+        // Method-1 never does worse than the naive layout on the
+        // fetched-bytes metric.
+        const TileSpec naive = NaiveRowMajorLayout({3, 57, 57}, k, s, d);
+        ASSERT_LE(spec.refetch / spec.utilization,
+                  naive.refetch / naive.utilization + 1e-9)
+            << k << "/" << s << "/" << d;
+      }
+    }
+  }
+}
+
+TEST(LayoutInvariants, PermutationRoundTripsRandomGeometries) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BlobShape blob{
+        1 + static_cast<std::int64_t>(rng.UniformInt(4)),
+        3 + static_cast<std::int64_t>(rng.UniformInt(14)),
+        3 + static_cast<std::int64_t>(rng.UniformInt(14))};
+    const std::int64_t k = 1 + static_cast<std::int64_t>(rng.UniformInt(5));
+    const std::int64_t s = 1 + static_cast<std::int64_t>(rng.UniformInt(3));
+    const std::int64_t d =
+        std::int64_t{4} << rng.UniformInt(3);  // 4, 8, 16
+    const TileSpec spec = Method1Layout(blob, k, s, d, blob.channels);
+    const auto perm = TilePermutation(blob, spec);
+    // Apply then invert.
+    std::vector<std::int64_t> inverse(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      inverse[static_cast<std::size_t>(perm[i])] =
+          static_cast<std::int64_t>(i);
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      ASSERT_EQ(perm[static_cast<std::size_t>(inverse[i])],
+                static_cast<std::int64_t>(i));
+  }
+}
+
+// -------------------------------------------------- AGU region coverage
+
+TEST(AguCoverage, ExpandPatternBeatsAreUniqueAndOrderedPerRow) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    AguPattern p;
+    p.start_addr = static_cast<std::int64_t>(rng.UniformInt(1024)) * 32;
+    p.beat_bytes = 16;
+    p.x_length = 1 + static_cast<std::int64_t>(rng.UniformInt(16));
+    p.y_length = 1 + static_cast<std::int64_t>(rng.UniformInt(16));
+    p.stride = p.beat_bytes;
+    p.offset = p.x_length * p.stride;  // dense rows
+    const auto addrs = ExpandPattern(p);
+    ASSERT_EQ(static_cast<std::int64_t>(addrs.size()),
+              p.x_length * p.y_length);
+    std::set<std::int64_t> unique(addrs.begin(), addrs.end());
+    ASSERT_EQ(unique.size(), addrs.size());
+    // Dense row-major pattern covers a contiguous range.
+    ASSERT_EQ(*unique.begin(), p.start_addr);
+    ASSERT_EQ(*unique.rbegin(),
+              p.start_addr + (p.x_length * p.y_length - 1) * p.stride);
+  }
+}
+
+TEST(AguCoverage, OverlappingRowsStillTerminate) {
+  AguPattern p;
+  p.start_addr = 0;
+  p.x_length = 4;
+  p.y_length = 3;
+  p.stride = 8;
+  p.offset = 8;  // rows overlap deliberately
+  const auto addrs = ExpandPattern(p);
+  EXPECT_EQ(addrs.size(), 12u);
+  // Overlap means duplicates are allowed — but the stream is bounded.
+  EXPECT_EQ(addrs.front(), 0);
+  EXPECT_EQ(addrs.back(), 2 * 8 + 3 * 8);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,105 @@
+// Fault-injection resilience tests: NN accelerators belong to the
+// approximate-computing domain (paper §3.3 citing [1]); small parameter
+// perturbations must degrade output quality gracefully rather than
+// catastrophically.  These tests flip weight bits in the quantised
+// parameter image and measure the accelerator's output deviation.
+#include <gtest/gtest.h>
+
+#include "baseline/accuracy.h"
+#include "core/generator.h"
+#include "models/trained.h"
+#include "nn/executor.h"
+#include "sim/functional_sim.h"
+
+namespace db {
+namespace {
+
+/// Flip bit `bit` of the float-represented fixed-point weight at flat
+/// index `index` of layer `layer` (operating on the quantised raw value,
+/// like an SEU in the weight buffer).
+void FlipWeightBit(WeightStore& weights, const FixedFormat& fmt,
+                   const std::string& layer, std::int64_t index,
+                   int bit) {
+  Tensor& w = weights.at(layer).weights;
+  const std::int64_t raw = fmt.Quantize(w[index]);
+  const std::int64_t flipped =
+      fmt.Saturate(raw ^ (std::int64_t{1} << bit));
+  w[index] = static_cast<float>(fmt.Dequantize(flipped));
+}
+
+struct Fixture {
+  TrainedModel model;
+  AcceleratorDesign design;
+
+  Fixture()
+      : model(TrainZooAnn(ZooModel::kAnn0Fft, 99, 200, 25)),
+        design(GenerateAccelerator(model.net, DbConstraint())) {}
+
+  double Accuracy(const WeightStore& weights) const {
+    FunctionalSimulator sim(model.net, design, weights);
+    double total = 0.0;
+    for (const TrainSample& s : model.test_set)
+      total += Eq1AccuracyTensors(sim.Run(s.input), s.target);
+    return total / static_cast<double>(model.test_set.size());
+  }
+};
+
+TEST(Resilience, LsbFlipsAreHarmless) {
+  Fixture fx;
+  const double baseline = fx.Accuracy(fx.model.weights);
+  WeightStore perturbed = fx.model.weights;
+  Rng rng(1);
+  for (int flip = 0; flip < 8; ++flip) {
+    const std::string layer = rng.Bernoulli(0.5) ? "fc1" : "fc2";
+    Tensor& w = perturbed.at(layer).weights;
+    FlipWeightBit(perturbed, fx.design.config.format, layer,
+                  static_cast<std::int64_t>(rng.UniformInt(
+                      static_cast<std::uint64_t>(w.size()))),
+                  /*bit=*/0);
+  }
+  const double degraded = fx.Accuracy(perturbed);
+  EXPECT_GT(degraded, baseline - 1.0)
+      << "8 LSB flips cost more than 1% accuracy";
+}
+
+TEST(Resilience, MsbFlipHurtsMoreThanLsbFlip) {
+  Fixture fx;
+  const double baseline = fx.Accuracy(fx.model.weights);
+
+  WeightStore lsb = fx.model.weights;
+  FlipWeightBit(lsb, fx.design.config.format, "fc3", 0, /*bit=*/0);
+  WeightStore msb = fx.model.weights;
+  FlipWeightBit(msb, fx.design.config.format, "fc3", 0,
+                fx.design.config.format.total_bits() - 2);
+
+  const double lsb_acc = fx.Accuracy(lsb);
+  const double msb_acc = fx.Accuracy(msb);
+  EXPECT_LE(msb_acc, lsb_acc + 1e-9);
+  EXPECT_GT(lsb_acc, baseline - 0.5);
+}
+
+TEST(Resilience, DegradationGrowsWithFlipCount) {
+  Fixture fx;
+  Rng rng(7);
+  double prev_acc = fx.Accuracy(fx.model.weights);
+  WeightStore perturbed = fx.model.weights;
+  double min_acc = prev_acc;
+  for (int round = 0; round < 3; ++round) {
+    for (int flip = 0; flip < 12; ++flip) {
+      const std::string layer = "fc2";
+      Tensor& w = perturbed.at(layer).weights;
+      FlipWeightBit(perturbed, fx.design.config.format, layer,
+                    static_cast<std::int64_t>(rng.UniformInt(
+                        static_cast<std::uint64_t>(w.size()))),
+                    /*bit=*/static_cast<int>(rng.UniformInt(12)));
+    }
+    min_acc = std::min(min_acc, fx.Accuracy(perturbed));
+  }
+  // Accumulated mid-bit corruption must eventually show up...
+  EXPECT_LT(min_acc, prev_acc);
+  // ...but saturating arithmetic keeps the output finite and scored.
+  EXPECT_GE(min_acc, 0.0);
+}
+
+}  // namespace
+}  // namespace db

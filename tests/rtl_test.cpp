@@ -1,0 +1,239 @@
+// Tests for the Verilog AST, per-block emitters and the structural lint.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rtl/block_emitters.h"
+#include "rtl/lint.h"
+#include "rtl/verilog.h"
+
+namespace db {
+namespace {
+
+std::vector<BlockConfig> AllBlockConfigs() {
+  std::vector<BlockConfig> configs;
+  auto add = [&](BlockType type, auto mutate) {
+    BlockConfig c;
+    c.type = type;
+    c.bit_width = 16;
+    c.lanes = 4;
+    c.depth = 256;
+    c.ports = 4;
+    c.patterns = 3;
+    c.fold_events = 5;
+    mutate(c);
+    configs.push_back(c);
+  };
+  add(BlockType::kSynergyNeuron, [](BlockConfig& c) { c.use_dsp = true; });
+  add(BlockType::kSynergyNeuron, [](BlockConfig& c) { c.use_dsp = false; });
+  add(BlockType::kAccumulator, [](BlockConfig&) {});
+  add(BlockType::kPoolingUnit, [](BlockConfig&) {});
+  add(BlockType::kLrnUnit, [](BlockConfig& c) { c.lanes = 1; });
+  add(BlockType::kDropoutUnit, [](BlockConfig&) {});
+  add(BlockType::kClassifier, [](BlockConfig& c) { c.lanes = 5; });
+  add(BlockType::kActivationUnit, [](BlockConfig&) {});
+  add(BlockType::kApproxLut, [](BlockConfig& c) { c.interpolate = true; });
+  add(BlockType::kApproxLut,
+      [](BlockConfig& c) { c.interpolate = false; });
+  add(BlockType::kConnectionBox, [](BlockConfig&) {});
+  add(BlockType::kAgu, [](BlockConfig& c) { c.agu_role = AguRole::kMain; });
+  add(BlockType::kAgu, [](BlockConfig& c) { c.agu_role = AguRole::kData; });
+  add(BlockType::kCoordinator, [](BlockConfig&) {});
+  add(BlockType::kBufferBank, [](BlockConfig& c) { c.depth = 4096; });
+  return configs;
+}
+
+class BlockEmitterSweep
+    : public ::testing::TestWithParam<BlockConfig> {};
+
+TEST_P(BlockEmitterSweep, EmitsLintCleanModule) {
+  const VModule module = EmitBlockModule(GetParam());
+  const auto issues = LintModule(module);
+  EXPECT_TRUE(issues.empty()) << module.name << ": "
+                              << (issues.empty() ? ""
+                                                 : issues.front().message);
+}
+
+TEST_P(BlockEmitterSweep, ModuleNameDeterministicAndLegal) {
+  const std::string name = BlockModuleName(GetParam());
+  EXPECT_EQ(name, BlockModuleName(GetParam()));
+  EXPECT_EQ(name.find(' '), std::string::npos);
+  EXPECT_TRUE(name.starts_with("db_"));
+}
+
+TEST_P(BlockEmitterSweep, EmittedTextIsModule) {
+  const VModule module = EmitBlockModule(GetParam());
+  const std::string text = EmitVerilog(module);
+  EXPECT_NE(text.find("module " + module.name), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  // Every block is clocked.
+  EXPECT_NE(text.find("input  wire clk"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlocks, BlockEmitterSweep,
+                         ::testing::ValuesIn(AllBlockConfigs()),
+                         [](const auto& info) {
+                           std::string name =
+                               BlockModuleName(info.param);
+                           return name.substr(3) + "_" +
+                                  std::to_string(info.index);
+                         });
+
+TEST(Verilog, EmitPortsAndParams) {
+  VModule m;
+  m.name = "widget";
+  m.params.push_back({"WIDTH", 16});
+  m.ports.push_back({"clk", PortDir::kInput, 1, false});
+  m.ports.push_back({"out", PortDir::kOutput, 8, true});
+  m.assigns.push_back({});  // exercise empty assign rendering guard
+  m.assigns.clear();
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {"out <= out + 1;"};
+  m.always_blocks.push_back(a);
+  const std::string text = EmitVerilog(m);
+  EXPECT_NE(text.find("parameter WIDTH = 16"), std::string::npos);
+  EXPECT_NE(text.find("output reg [7:0] out"), std::string::npos);
+  EXPECT_NE(text.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(Verilog, MemoryDeclaration) {
+  VModule m;
+  m.name = "mem";
+  m.ports.push_back({"clk", PortDir::kInput, 1, false});
+  m.nets.push_back({"ram", 16, true, 64});
+  const std::string text = EmitVerilog(m);
+  EXPECT_NE(text.find("reg [15:0] ram [0:63];"), std::string::npos);
+}
+
+TEST(Lint, CatchesDuplicateNames) {
+  VModule m;
+  m.name = "dup";
+  m.ports.push_back({"x", PortDir::kInput, 1, false});
+  m.nets.push_back({"x", 1, false, 0});
+  const auto issues = LintModule(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().message.find("duplicate"), std::string::npos);
+}
+
+TEST(Lint, CatchesUndrivenOutput) {
+  VModule m;
+  m.name = "undriven";
+  m.ports.push_back({"clk", PortDir::kInput, 1, false});
+  m.ports.push_back({"y", PortDir::kOutput, 4, false});
+  const auto issues = LintModule(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().message.find("never driven"),
+            std::string::npos);
+}
+
+TEST(Lint, CatchesAssignToUndeclared) {
+  VModule m;
+  m.name = "bad";
+  m.assigns.push_back({"ghost", "1'b1"});
+  const auto issues = LintModule(m);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Lint, CatchesAssignToReg) {
+  VModule m;
+  m.name = "bad2";
+  m.nets.push_back({"r", 4, true, 0});
+  m.assigns.push_back({"r", "4'd1"});
+  bool found = false;
+  for (const auto& i : LintModule(m))
+    if (i.message.find("must be a wire") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lint, CatchesDoubleDriver) {
+  VModule m;
+  m.name = "dd";
+  m.nets.push_back({"w", 1, false, 0});
+  m.assigns.push_back({"w", "1'b0"});
+  m.assigns.push_back({"w", "1'b1"});
+  bool found = false;
+  for (const auto& i : LintModule(m))
+    if (i.message.find("multiple drivers") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lint, CatchesIllegalIdentifier) {
+  VModule m;
+  m.name = "9bad";
+  EXPECT_FALSE(LintModule(m).empty());
+}
+
+TEST(LintDesign, CatchesUndefinedInstanceModule) {
+  VDesign design;
+  VModule top;
+  top.name = "top";
+  VInstance inst;
+  inst.module_name = "missing_module";
+  inst.instance_name = "u0";
+  top.instances.push_back(inst);
+  design.modules.push_back(top);
+  design.top = "top";
+  bool found = false;
+  for (const auto& i : LintDesign(design))
+    if (i.message.find("undefined module") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LintDesign, CatchesUnboundAndUnknownPorts) {
+  VDesign design;
+  VModule child;
+  child.name = "child";
+  child.ports.push_back({"a", PortDir::kInput, 1, false});
+  design.modules.push_back(child);
+
+  VModule top;
+  top.name = "top";
+  VInstance inst;
+  inst.module_name = "child";
+  inst.instance_name = "u0";
+  inst.ports.push_back({"bogus", "1'b0"});  // unknown, and 'a' unbound
+  top.instances.push_back(inst);
+  design.modules.push_back(top);
+  design.top = "top";
+
+  int unknown = 0, unbound = 0;
+  for (const auto& i : LintDesign(design)) {
+    if (i.message.find("unknown port") != std::string::npos) ++unknown;
+    if (i.message.find("unbound") != std::string::npos) ++unbound;
+  }
+  EXPECT_EQ(unknown, 1);
+  EXPECT_EQ(unbound, 1);
+}
+
+TEST(LintDesign, CatchesMissingTop) {
+  VDesign design;
+  VModule m;
+  m.name = "only";
+  design.modules.push_back(m);
+  design.top = "nonexistent";
+  bool found = false;
+  for (const auto& i : LintDesign(design))
+    if (i.message.find("top module") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LintDesign, CheckOrThrowAggregates) {
+  VDesign design;
+  VModule m;
+  m.name = "1bad";
+  design.modules.push_back(m);
+  design.top = "1bad";
+  EXPECT_THROW(CheckDesignOrThrow(design), Error);
+}
+
+TEST(Emitters, InvalidConfigRejected) {
+  BlockConfig c;
+  c.type = BlockType::kApproxLut;
+  c.depth = 3;  // not a power of two
+  EXPECT_THROW(EmitBlockModule(c), Error);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,115 @@
+// Tests for the coordinator schedule (dynamic control flow).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/generator.h"
+#include "core/schedule.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+AcceleratorDesign DesignFor(ZooModel model) {
+  return GenerateAccelerator(BuildZooModel(model), DbConstraint());
+}
+
+TEST(Schedule, OneStepPerFoldSegment) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kMnist);
+  EXPECT_EQ(design.schedule.TotalSteps(),
+            design.fold_plan.TotalSegments());
+}
+
+TEST(Schedule, StepsIndexedSequentially) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kCifar);
+  for (std::size_t i = 0; i < design.schedule.steps.size(); ++i)
+    EXPECT_EQ(design.schedule.steps[i].index, static_cast<int>(i));
+}
+
+TEST(Schedule, LayersAppearInPropagationOrder) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kMnist);
+  int prev_layer = -1;
+  for (const ScheduleStep& step : design.schedule.steps) {
+    EXPECT_GE(step.layer_id, prev_layer);
+    prev_layer = step.layer_id;
+  }
+}
+
+TEST(Schedule, EventNamesEncodeLayerAndFold) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kMnist);
+  std::set<std::string> events;
+  for (const ScheduleStep& step : design.schedule.steps) {
+    EXPECT_EQ(step.event, "layer" + std::to_string(step.layer_id) +
+                              "_fold" + std::to_string(step.segment));
+    EXPECT_TRUE(events.insert(step.event).second)
+        << "duplicate event " << step.event;
+  }
+}
+
+TEST(Schedule, PatternsArmOnFirstSegmentOnly) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kCifar);
+  for (const ScheduleStep& step : design.schedule.steps) {
+    if (step.segment == 0)
+      EXPECT_FALSE(step.pattern_ids.empty()) << step.event;
+    else
+      EXPECT_TRUE(step.pattern_ids.empty()) << step.event;
+  }
+}
+
+TEST(Schedule, ProducerChainsThroughConsumers) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kMnist);
+  ASSERT_FALSE(design.schedule.steps.empty());
+  EXPECT_EQ(design.schedule.steps.front().producer_block, "data_buffer");
+  // Each layer's first step consumes from the previous layer's consumer.
+  std::string prev_consumer = "data_buffer";
+  int prev_layer = -1;
+  for (const ScheduleStep& step : design.schedule.steps) {
+    if (step.layer_id != prev_layer) {
+      EXPECT_EQ(step.producer_block, prev_consumer) << step.event;
+      prev_layer = step.layer_id;
+    }
+    prev_consumer = step.consumer_block;
+  }
+}
+
+TEST(Schedule, ConsumerBlocksMatchLayerKind) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  for (const ScheduleStep& step : design.schedule.steps) {
+    const IrLayer& layer = net.layer(step.layer_id);
+    switch (layer.kind()) {
+      case LayerKind::kConvolution:
+      case LayerKind::kInnerProduct:
+        EXPECT_EQ(step.consumer_block, "synergy_array") << step.event;
+        break;
+      case LayerKind::kPooling:
+        EXPECT_EQ(step.consumer_block, "pooling_unit0") << step.event;
+        break;
+      case LayerKind::kRelu:
+      case LayerKind::kSoftmax:
+        EXPECT_EQ(step.consumer_block, "activation_unit0") << step.event;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(Schedule, ToStringListsSteps) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kAnn0Fft);
+  const std::string text = design.schedule.ToString();
+  EXPECT_NE(text.find("layer"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(Schedule, HopfieldRunsOnSynergyArray) {
+  const AcceleratorDesign design = DesignFor(ZooModel::kHopfield);
+  bool saw_mac = false;
+  for (const ScheduleStep& step : design.schedule.steps)
+    if (step.consumer_block == "synergy_array") saw_mac = true;
+  EXPECT_TRUE(saw_mac);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,167 @@
+// Tests for the system-level (DRAM-image-driven) simulation and the
+// execution trace / VCD export.
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "sim/system_sim.h"
+#include "sim/trace.h"
+
+namespace db {
+namespace {
+
+struct Fixture {
+  Network net;
+  AcceleratorDesign design;
+  WeightStore weights;
+
+  explicit Fixture(ZooModel model = ZooModel::kMnist)
+      : net(BuildZooModel(model)),
+        design(GenerateAccelerator(net, DbConstraint())),
+        weights(WeightStore::CreateFor(net)) {
+    Rng rng(23);
+    weights = WeightStore::CreateRandom(net, rng);
+  }
+};
+
+TEST(SystemSim, DecodeWeightsRoundTrips) {
+  const Fixture fx;
+  const MemoryImage image = BuildMemoryImage(
+      fx.net, fx.design, fx.weights,
+      {{"data", Tensor(Shape{1, 12, 12})}});
+  const WeightStore decoded = DecodeWeights(image, fx.net, fx.design);
+  const double lsb = fx.design.config.format.resolution();
+  for (const auto& [name, params] : fx.weights.all()) {
+    const LayerParams& d = decoded.at(name);
+    EXPECT_LT(MaxAbsDiff(params.weights, d.weights), lsb) << name;
+    if (params.bias.size() > 0) {
+      EXPECT_LT(MaxAbsDiff(params.bias, d.bias), lsb) << name;
+    }
+  }
+}
+
+TEST(SystemSim, MatchesDirectFunctionalSimulation) {
+  const Fixture fx;
+  MemoryImage image = BuildMemoryImage(
+      fx.net, fx.design, fx.weights,
+      {{"data", Tensor(Shape{1, 12, 12})}});
+  Rng rng(5);
+  Tensor input(Shape{1, 12, 12});
+  input.FillUniform(rng, 0.0f, 1.0f);
+
+  const SystemRunResult system =
+      RunSystem(fx.net, fx.design, image, input);
+  FunctionalSimulator direct(fx.net, fx.design, fx.weights);
+  const Tensor expected = direct.Run(input);
+  // Weights round-trip through the image (one extra quantise, which is
+  // idempotent) and the output round-trips through its blob region.
+  EXPECT_LT(MaxAbsDiff(system.output, expected),
+            2 * fx.design.config.format.resolution());
+  EXPECT_GT(system.perf.total_cycles, 0);
+}
+
+TEST(SystemSim, CorruptedWeightRegionChangesOutput) {
+  const Fixture fx;
+  MemoryImage image = BuildMemoryImage(
+      fx.net, fx.design, fx.weights,
+      {{"data", Tensor(Shape{1, 12, 12})}});
+  Rng rng(6);
+  Tensor input(Shape{1, 12, 12});
+  input.FillUniform(rng, 0.0f, 1.0f);
+  const Tensor clean = RunSystem(fx.net, fx.design, image, input).output;
+
+  // Smash the first conv layer's weight region.
+  const MemoryRegion& region = fx.design.memory_map.Weights("conv1");
+  for (std::int64_t addr = region.base; addr < region.base + 64;
+       addr += 2)
+    image.WriteElem(addr, 0x7FFF, 2);
+  const Tensor corrupted =
+      RunSystem(fx.net, fx.design, image, input).output;
+  EXPECT_GT(MaxAbsDiff(clean, corrupted), 0.01);
+}
+
+TEST(Trace, RecordsBusyIntervals) {
+  const Fixture fx(ZooModel::kCifar);
+  PerfTrace trace;
+  PerfOptions opts;
+  opts.trace = &trace;
+  const PerfResult perf = SimulatePerformance(fx.net, fx.design, opts);
+  EXPECT_EQ(trace.total_cycles, perf.total_cycles);
+  EXPECT_FALSE(trace.events.empty());
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_LE(e.start, e.end);
+    EXPECT_GE(e.start, 0);
+    EXPECT_LE(e.end, trace.total_cycles);
+  }
+}
+
+TEST(Trace, ResourceIntervalsDoNotOverlap) {
+  const Fixture fx;
+  PerfTrace trace;
+  PerfOptions opts;
+  opts.trace = &trace;
+  SimulatePerformance(fx.net, fx.design, opts);
+  for (TraceEvent::Resource res :
+       {TraceEvent::Resource::kDram, TraceEvent::Resource::kDatapath}) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+    for (const TraceEvent& e : trace.events)
+      if (e.resource == res) spans.emplace_back(e.start, e.end);
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].second, spans[i].first)
+          << "overlap at interval " << i;
+  }
+}
+
+TEST(Trace, UtilizationBetweenZeroAndOne) {
+  const Fixture fx(ZooModel::kCifar);
+  PerfTrace trace;
+  PerfOptions opts;
+  opts.trace = &trace;
+  SimulatePerformance(fx.net, fx.design, opts);
+  for (TraceEvent::Resource res :
+       {TraceEvent::Resource::kDram, TraceEvent::Resource::kDatapath}) {
+    const double u = trace.Utilization(res);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  // A compute-bound design keeps the datapath busier than the channel.
+  EXPECT_GT(trace.Utilization(TraceEvent::Resource::kDatapath),
+            trace.Utilization(TraceEvent::Resource::kDram));
+}
+
+TEST(Trace, VcdWellFormed) {
+  const Fixture fx;
+  PerfTrace trace;
+  PerfOptions opts;
+  opts.trace = &trace;
+  SimulatePerformance(fx.net, fx.design, opts);
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_NE(vcd.find("$timescale 10ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("dram_busy"), std::string::npos);
+  EXPECT_NE(vcd.find("datapath_busy"), std::string::npos);
+  // Toggles balance: equal numbers of rises and falls per wire.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = vcd.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\n1d"), count("\n0d") - 1);  // initial 0d at time 0
+  EXPECT_EQ(count("\n1p"), count("\n0p") - 1);
+}
+
+TEST(Trace, EmptyTraceStillValidVcd) {
+  PerfTrace trace;
+  trace.total_cycles = 10;
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_NE(vcd.find("#10"), std::string::npos);
+  EXPECT_EQ(trace.Utilization(TraceEvent::Resource::kDram), 0.0);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,130 @@
+// Tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tensor/tensor.h"
+
+namespace db {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(Shape({2, 3, 4}).NumElements(), 24);
+  EXPECT_EQ(Shape({7}).NumElements(), 7);
+  EXPECT_EQ(Shape({}).NumElements(), 1);  // rank-0 scalar shape
+  EXPECT_EQ(Shape({0, 5}).NumElements(), 0);
+}
+
+TEST(Shape, OffsetRowMajor) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.Offset({0, 0, 0}), 0);
+  EXPECT_EQ(s.Offset({0, 0, 3}), 3);
+  EXPECT_EQ(s.Offset({0, 1, 0}), 4);
+  EXPECT_EQ(s.Offset({1, 0, 0}), 12);
+  EXPECT_EQ(s.Offset({1, 2, 3}), 23);
+}
+
+TEST(Shape, OffsetBoundsChecked) {
+  Shape s({2, 3});
+  EXPECT_THROW(s.Offset({2, 0}), std::logic_error);
+  EXPECT_THROW(s.Offset({0, 3}), std::logic_error);
+  EXPECT_THROW(s.Offset({-1, 0}), std::logic_error);
+  EXPECT_THROW(s.Offset({0}), std::logic_error);  // rank mismatch
+}
+
+TEST(Shape, NegativeDimensionRejected) {
+  EXPECT_THROW(Shape({2, -1}), std::logic_error);
+}
+
+TEST(Shape, ToStringAndStream) {
+  EXPECT_EQ(Shape({3, 4}).ToString(), "[3, 4]");
+  std::ostringstream os;
+  os << Shape({1});
+  EXPECT_EQ(os.str(), "[1]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0);  // despite rank-0 shape reporting 1 element
+}
+
+TEST(Tensor, ConstructZeroed) {
+  Tensor t(Shape{2, 2});
+  EXPECT_EQ(t.size(), 4);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{3}, {1.0f, 2.0f, 3.0f}));
+  EXPECT_THROW(Tensor(Shape{3}, {1.0f}), std::logic_error);
+}
+
+TEST(Tensor, IndexingBoundsChecked) {
+  Tensor t(Shape{2});
+  EXPECT_THROW(t[2], std::logic_error);
+  EXPECT_THROW(t[-1], std::logic_error);
+}
+
+TEST(Tensor, At3Accessor) {
+  Tensor t(Shape{2, 3, 4});
+  t.at3(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t.at({1, 2, 3}), 5.0f);
+  EXPECT_EQ(t[23], 5.0f);
+}
+
+TEST(Tensor, FillHelpers) {
+  Tensor t(Shape{100});
+  t.Fill(2.5f);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 2.5f);
+
+  Rng rng(3);
+  t.FillUniform(rng, -1.0f, 1.0f);
+  float max_abs = t.MaxAbs();
+  EXPECT_LE(max_abs, 1.0f);
+  EXPECT_GT(max_abs, 0.0f);
+}
+
+TEST(Tensor, FillGaussianDeterministic) {
+  Tensor a(Shape{50});
+  Tensor b(Shape{50});
+  Rng r1(9), r2(9);
+  a.FillGaussian(r1, 0.0f, 1.0f);
+  b.FillGaussian(r2, 0.0f, 1.0f);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.Reshaped(Shape{4, 2}), std::logic_error);
+}
+
+TEST(Tensor, ArgMax) {
+  Tensor t(Shape{5}, {0.1f, 0.9f, 0.3f, 0.9f, -1.0f});
+  EXPECT_EQ(t.ArgMax(), 1);  // first max wins
+}
+
+TEST(Tensor, SumSquaresAndMaxAbs) {
+  Tensor t(Shape{3}, {3.0f, -4.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(t.SumSquares(), 25.0);
+  EXPECT_EQ(t.MaxAbs(), 4.0f);
+}
+
+TEST(TensorMetrics, RelativeL2) {
+  Tensor a(Shape{2}, {1.0f, 0.0f});
+  Tensor b(Shape{2}, {0.0f, 0.0f});
+  // ||a-b|| = 1, ||b|| = 0 -> huge ratio via epsilon guard
+  EXPECT_GT(RelativeL2(a, b), 1e6);
+
+  Tensor c(Shape{2}, {3.0f, 4.0f});
+  EXPECT_NEAR(RelativeL2(c, c), 0.0, 1e-12);
+}
+
+TEST(TensorMetrics, MaxAbsDiffShapeChecked) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(MaxAbsDiff(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,85 @@
+// Tests for the training-time estimation model.
+#include <gtest/gtest.h>
+
+#include "baseline/training_model.h"
+#include "models/zoo.h"
+
+namespace db {
+namespace {
+
+TEST(TrainingModel, ScalesLinearlyWithSamplesAndEpochs) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const TrainingEstimate one =
+      EstimateAcceleratorTraining(net, design, 100, 1);
+  const TrainingEstimate ten =
+      EstimateAcceleratorTraining(net, design, 100, 10);
+  const TrainingEstimate more_samples =
+      EstimateAcceleratorTraining(net, design, 1000, 1);
+  EXPECT_NEAR(ten.total_seconds, 10 * one.total_seconds, 1e-9);
+  EXPECT_NEAR(more_samples.total_seconds, 10 * one.total_seconds, 1e-9);
+}
+
+TEST(TrainingModel, TrainingCostsMoreThanInference) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const PerfResult forward = SimulatePerformance(net, design);
+  const TrainingEstimate est =
+      EstimateAcceleratorTraining(net, design, 1, 1);
+  EXPECT_GT(est.seconds_per_sample, forward.TotalSeconds());
+  // Backward factor 2 => at least ~3x one forward.
+  EXPECT_GT(est.seconds_per_sample, 2.5 * forward.TotalSeconds());
+}
+
+TEST(TrainingModel, CpuEstimatePositiveAndBigger) {
+  const Network net = BuildZooModel(ZooModel::kCifar);
+  const TrainingEstimate cpu = EstimateCpuTraining(net, 100, 2);
+  EXPECT_GT(cpu.total_seconds, 0.0);
+  EXPECT_GT(cpu.joules, 0.0);
+
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const TrainingEstimate accel =
+      EstimateAcceleratorTraining(net, design, 100, 2);
+  // The accelerator inherits the inference speedup on compute-heavy nets.
+  EXPECT_LT(accel.total_seconds, cpu.total_seconds);
+}
+
+TEST(TrainingModel, WeightUpdateTrafficMatters) {
+  // The tiny Hopfield model is weight-light; Alexnet is weight-heavy —
+  // the update term must grow with parameter count.
+  const Network small = BuildZooModel(ZooModel::kAnn0Fft);
+  const Network big = BuildZooModel(ZooModel::kAlexnet);
+  const AcceleratorDesign ds =
+      GenerateAccelerator(small, DbConstraint());
+  const AcceleratorDesign db = GenerateAccelerator(big, DbConstraint());
+  TrainingModelParams heavy;
+  heavy.backward_compute_factor = 0.0;  // isolate the update term
+  heavy.weight_update_passes = 3.0;
+  const double small_update =
+      EstimateAcceleratorTraining(small, ds, 1, 1, "zynq-7045", heavy)
+          .seconds_per_sample -
+      SimulatePerformance(small, ds).TotalSeconds();
+  const double big_update =
+      EstimateAcceleratorTraining(big, db, 1, 1, "zynq-7045", heavy)
+          .seconds_per_sample -
+      SimulatePerformance(big, db).TotalSeconds();
+  EXPECT_GT(big_update, 1000 * small_update);
+}
+
+TEST(TrainingModel, EnergyPositiveAndProportional) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, DbConstraint());
+  const TrainingEstimate e1 =
+      EstimateAcceleratorTraining(net, design, 100, 1);
+  const TrainingEstimate e2 =
+      EstimateAcceleratorTraining(net, design, 100, 2);
+  EXPECT_GT(e1.joules, 0.0);
+  EXPECT_NEAR(e2.joules, 2 * e1.joules, 1e-9);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,158 @@
+// The DeepBurning command-line front-end: the "one-click" flow of Fig. 3.
+//
+//   deepburning --model model.prototxt --constraint constraint.prototxt
+//     --out out_dir [--report] [--simulate]
+//
+// Reads the Caffe-compatible model script and the designer constraint,
+// runs NN-Gen, and writes the hardware/software bundle (Verilog, design
+// report, coordinator schedule, memory map, AGU program) into the output
+// directory.  --simulate additionally runs the performance/energy
+// simulation and prints the summary.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "core/generator.h"
+#include "core/design_json.h"
+#include "rtl/testbench.h"
+#include "sim/trace.h"
+#include "sim/perf_model.h"
+#include "sim/power_model.h"
+
+namespace {
+
+struct CliOptions {
+  std::string model_path;
+  std::string constraint_path;
+  std::string out_dir = "deepburning_out";
+  bool report = false;
+  bool simulate = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "DeepBurning NN-Gen: automatic generation of FPGA-based learning "
+      "accelerators\n\n"
+      "usage: deepburning --model <model.prototxt> "
+      "[--constraint <constraint.prototxt>]\n"
+      "                   [--out <dir>] [--report] [--simulate]\n\n"
+      "  --model       Caffe-compatible network descriptive script "
+      "(required)\n"
+      "  --constraint  designer resource constraint script (default: "
+      "medium Zynq-7045 budget)\n"
+      "  --out         output directory for the generated bundle\n"
+      "  --report      print the full design report to stdout\n"
+      "  --simulate    run the performance/energy simulation\n"
+      "  --help        this message\n");
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw db::Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      opts.model_path = next();
+    } else if (arg == "--constraint") {
+      opts.constraint_path = next();
+    } else if (arg == "--out") {
+      opts.out_dir = next();
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else if (arg == "--simulate") {
+      opts.simulate = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      throw db::Error("unknown argument '" + arg + "' (see --help)");
+    }
+  }
+  return opts;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw db::Error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void WriteFile(const std::filesystem::path& path,
+               const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw db::Error("cannot write " + path.string());
+  out << text;
+  std::printf("  %s (%zu bytes)\n", path.string().c_str(), text.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace db;
+  try {
+    const CliOptions opts = ParseArgs(argc, argv);
+    if (opts.help || opts.model_path.empty()) {
+      PrintUsage();
+      return opts.help ? 0 : 2;
+    }
+
+    const std::string model_text = ReadFile(opts.model_path);
+    const std::string constraint_text =
+        opts.constraint_path.empty() ? std::string()
+                                     : ReadFile(opts.constraint_path);
+
+    const NetworkDef def = ParseNetworkDef(model_text);
+    const Network net = Network::Build(def);
+    const DesignConstraint constraint = ParseConstraint(constraint_text);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, constraint);
+
+    std::printf("generated accelerator for '%s': %d MAC lanes, %lld fold "
+                "steps, %lld LUTs / %lld DSPs\n",
+                net.name().c_str(), design.config.TotalLanes(),
+                static_cast<long long>(design.fold_plan.TotalSegments()),
+                static_cast<long long>(design.resources.total.lut),
+                static_cast<long long>(design.resources.total.dsp));
+
+    std::filesystem::create_directories(opts.out_dir);
+    const std::filesystem::path out = opts.out_dir;
+    std::printf("writing bundle:\n");
+    WriteFile(out / "accelerator.v", EmitVerilog(design.rtl));
+    WriteFile(out / "tb_accelerator.v", EmitTestbench(design.rtl));
+    WriteFile(out / "design_report.txt", design.Report());
+    WriteFile(out / "schedule.txt", design.schedule.ToString());
+    WriteFile(out / "memory_map.txt", design.memory_map.ToString());
+    WriteFile(out / "agu_program.txt", design.agu_program.ToString());
+    WriteFile(out / "design.json", DesignToJson(design));
+
+    if (opts.report) std::printf("\n%s\n", design.Report().c_str());
+
+    if (opts.simulate) {
+      PerfTrace trace;
+      PerfOptions perf_opts;
+      perf_opts.trace = &trace;
+      const PerfResult perf = SimulatePerformance(net, design, perf_opts);
+      WriteFile(out / "trace.vcd", WriteVcd(trace));
+      const EnergyResult energy =
+          EstimateEnergy(design.resources.total, perf,
+                         DeviceCatalog(constraint.device));
+      std::printf("\nsimulated forward propagation: %.4f ms, %.4f J\n",
+                  perf.TotalMs(), energy.total_joules);
+      std::printf("%s\n", perf.ToString().c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deepburning: %s\n", e.what());
+    return 1;
+  }
+}
