@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_approxlut.dir/ablation_approxlut.cpp.o"
+  "CMakeFiles/ablation_approxlut.dir/ablation_approxlut.cpp.o.d"
+  "ablation_approxlut"
+  "ablation_approxlut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_approxlut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_framework.dir/micro_framework.cpp.o"
+  "CMakeFiles/micro_framework.dir/micro_framework.cpp.o.d"
+  "micro_framework"
+  "micro_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_decomposition.dir/table1_decomposition.cpp.o"
+  "CMakeFiles/table1_decomposition.dir/table1_decomposition.cpp.o.d"
+  "table1_decomposition"
+  "table1_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

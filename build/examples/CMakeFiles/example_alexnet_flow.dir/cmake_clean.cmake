@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alexnet_flow.dir/alexnet_flow.cpp.o"
+  "CMakeFiles/example_alexnet_flow.dir/alexnet_flow.cpp.o.d"
+  "example_alexnet_flow"
+  "example_alexnet_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alexnet_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

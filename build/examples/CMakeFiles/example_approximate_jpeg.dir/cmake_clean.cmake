@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_approximate_jpeg.dir/approximate_jpeg.cpp.o"
+  "CMakeFiles/example_approximate_jpeg.dir/approximate_jpeg.cpp.o.d"
+  "example_approximate_jpeg"
+  "example_approximate_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_approximate_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lstm_sequence.dir/lstm_sequence.cpp.o"
+  "CMakeFiles/example_lstm_sequence.dir/lstm_sequence.cpp.o.d"
+  "example_lstm_sequence"
+  "example_lstm_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lstm_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

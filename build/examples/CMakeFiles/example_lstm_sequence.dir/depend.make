@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lstm_sequence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_search.dir/model_search.cpp.o"
+  "CMakeFiles/example_model_search.dir/model_search.cpp.o.d"
+  "example_model_search"
+  "example_model_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_model.dir/multi_model.cpp.o"
+  "CMakeFiles/example_multi_model.dir/multi_model.cpp.o.d"
+  "example_multi_model"
+  "example_multi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

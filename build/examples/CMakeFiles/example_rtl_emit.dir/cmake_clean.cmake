@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rtl_emit.dir/rtl_emit.cpp.o"
+  "CMakeFiles/example_rtl_emit.dir/rtl_emit.cpp.o.d"
+  "example_rtl_emit"
+  "example_rtl_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rtl_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/accuracy.cpp" "src/baseline/CMakeFiles/db_baseline.dir/accuracy.cpp.o" "gcc" "src/baseline/CMakeFiles/db_baseline.dir/accuracy.cpp.o.d"
+  "/root/repo/src/baseline/cpu_model.cpp" "src/baseline/CMakeFiles/db_baseline.dir/cpu_model.cpp.o" "gcc" "src/baseline/CMakeFiles/db_baseline.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/baseline/custom_design.cpp" "src/baseline/CMakeFiles/db_baseline.dir/custom_design.cpp.o" "gcc" "src/baseline/CMakeFiles/db_baseline.dir/custom_design.cpp.o.d"
+  "/root/repo/src/baseline/training_model.cpp" "src/baseline/CMakeFiles/db_baseline.dir/training_model.cpp.o" "gcc" "src/baseline/CMakeFiles/db_baseline.dir/training_model.cpp.o.d"
+  "/root/repo/src/baseline/zhang_fpga15.cpp" "src/baseline/CMakeFiles/db_baseline.dir/zhang_fpga15.cpp.o" "gcc" "src/baseline/CMakeFiles/db_baseline.dir/zhang_fpga15.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/db_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/db_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/db_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/db_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/db_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/db_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/db_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/db_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

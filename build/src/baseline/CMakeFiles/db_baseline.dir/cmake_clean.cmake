@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_baseline.dir/accuracy.cpp.o"
+  "CMakeFiles/db_baseline.dir/accuracy.cpp.o.d"
+  "CMakeFiles/db_baseline.dir/cpu_model.cpp.o"
+  "CMakeFiles/db_baseline.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/db_baseline.dir/custom_design.cpp.o"
+  "CMakeFiles/db_baseline.dir/custom_design.cpp.o.d"
+  "CMakeFiles/db_baseline.dir/training_model.cpp.o"
+  "CMakeFiles/db_baseline.dir/training_model.cpp.o.d"
+  "CMakeFiles/db_baseline.dir/zhang_fpga15.cpp.o"
+  "CMakeFiles/db_baseline.dir/zhang_fpga15.cpp.o.d"
+  "libdb_baseline.a"
+  "libdb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

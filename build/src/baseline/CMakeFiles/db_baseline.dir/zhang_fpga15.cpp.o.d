@@ -1,0 +1,3 @@
+src/baseline/CMakeFiles/db_baseline.dir/zhang_fpga15.cpp.o: \
+ /root/repo/src/baseline/zhang_fpga15.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/baseline/zhang_fpga15.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/db_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/db_common.dir/logging.cpp.o"
+  "CMakeFiles/db_common.dir/logging.cpp.o.d"
+  "CMakeFiles/db_common.dir/strings.cpp.o"
+  "CMakeFiles/db_common.dir/strings.cpp.o.d"
+  "libdb_common.a"
+  "libdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

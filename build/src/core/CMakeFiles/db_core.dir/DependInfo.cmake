@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agu_program.cpp" "src/core/CMakeFiles/db_core.dir/agu_program.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/agu_program.cpp.o.d"
+  "/root/repo/src/core/agu_rtl_model.cpp" "src/core/CMakeFiles/db_core.dir/agu_rtl_model.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/agu_rtl_model.cpp.o.d"
+  "/root/repo/src/core/approx_lut.cpp" "src/core/CMakeFiles/db_core.dir/approx_lut.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/approx_lut.cpp.o.d"
+  "/root/repo/src/core/buffer_plan.cpp" "src/core/CMakeFiles/db_core.dir/buffer_plan.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/buffer_plan.cpp.o.d"
+  "/root/repo/src/core/connection_plan.cpp" "src/core/CMakeFiles/db_core.dir/connection_plan.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/connection_plan.cpp.o.d"
+  "/root/repo/src/core/data_layout.cpp" "src/core/CMakeFiles/db_core.dir/data_layout.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/data_layout.cpp.o.d"
+  "/root/repo/src/core/design_json.cpp" "src/core/CMakeFiles/db_core.dir/design_json.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/design_json.cpp.o.d"
+  "/root/repo/src/core/folding.cpp" "src/core/CMakeFiles/db_core.dir/folding.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/folding.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/db_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/memory_image.cpp" "src/core/CMakeFiles/db_core.dir/memory_image.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/memory_image.cpp.o.d"
+  "/root/repo/src/core/memory_map.cpp" "src/core/CMakeFiles/db_core.dir/memory_map.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/memory_map.cpp.o.d"
+  "/root/repo/src/core/range_profiler.cpp" "src/core/CMakeFiles/db_core.dir/range_profiler.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/range_profiler.cpp.o.d"
+  "/root/repo/src/core/rtl_builder.cpp" "src/core/CMakeFiles/db_core.dir/rtl_builder.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/rtl_builder.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/db_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/db_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/db_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/db_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/db_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/db_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/db_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

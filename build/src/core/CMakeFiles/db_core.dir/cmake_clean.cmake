@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_core.dir/agu_program.cpp.o"
+  "CMakeFiles/db_core.dir/agu_program.cpp.o.d"
+  "CMakeFiles/db_core.dir/agu_rtl_model.cpp.o"
+  "CMakeFiles/db_core.dir/agu_rtl_model.cpp.o.d"
+  "CMakeFiles/db_core.dir/approx_lut.cpp.o"
+  "CMakeFiles/db_core.dir/approx_lut.cpp.o.d"
+  "CMakeFiles/db_core.dir/buffer_plan.cpp.o"
+  "CMakeFiles/db_core.dir/buffer_plan.cpp.o.d"
+  "CMakeFiles/db_core.dir/connection_plan.cpp.o"
+  "CMakeFiles/db_core.dir/connection_plan.cpp.o.d"
+  "CMakeFiles/db_core.dir/data_layout.cpp.o"
+  "CMakeFiles/db_core.dir/data_layout.cpp.o.d"
+  "CMakeFiles/db_core.dir/design_json.cpp.o"
+  "CMakeFiles/db_core.dir/design_json.cpp.o.d"
+  "CMakeFiles/db_core.dir/folding.cpp.o"
+  "CMakeFiles/db_core.dir/folding.cpp.o.d"
+  "CMakeFiles/db_core.dir/generator.cpp.o"
+  "CMakeFiles/db_core.dir/generator.cpp.o.d"
+  "CMakeFiles/db_core.dir/memory_image.cpp.o"
+  "CMakeFiles/db_core.dir/memory_image.cpp.o.d"
+  "CMakeFiles/db_core.dir/memory_map.cpp.o"
+  "CMakeFiles/db_core.dir/memory_map.cpp.o.d"
+  "CMakeFiles/db_core.dir/range_profiler.cpp.o"
+  "CMakeFiles/db_core.dir/range_profiler.cpp.o.d"
+  "CMakeFiles/db_core.dir/rtl_builder.cpp.o"
+  "CMakeFiles/db_core.dir/rtl_builder.cpp.o.d"
+  "CMakeFiles/db_core.dir/schedule.cpp.o"
+  "CMakeFiles/db_core.dir/schedule.cpp.o.d"
+  "libdb_core.a"
+  "libdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

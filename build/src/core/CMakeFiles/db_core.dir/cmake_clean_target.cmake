@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdb_core.a"
+)

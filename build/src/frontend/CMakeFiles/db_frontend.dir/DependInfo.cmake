@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/constraint.cpp" "src/frontend/CMakeFiles/db_frontend.dir/constraint.cpp.o" "gcc" "src/frontend/CMakeFiles/db_frontend.dir/constraint.cpp.o.d"
+  "/root/repo/src/frontend/network_def.cpp" "src/frontend/CMakeFiles/db_frontend.dir/network_def.cpp.o" "gcc" "src/frontend/CMakeFiles/db_frontend.dir/network_def.cpp.o.d"
+  "/root/repo/src/frontend/prototxt.cpp" "src/frontend/CMakeFiles/db_frontend.dir/prototxt.cpp.o" "gcc" "src/frontend/CMakeFiles/db_frontend.dir/prototxt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

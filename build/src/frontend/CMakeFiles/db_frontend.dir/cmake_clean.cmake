@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_frontend.dir/constraint.cpp.o"
+  "CMakeFiles/db_frontend.dir/constraint.cpp.o.d"
+  "CMakeFiles/db_frontend.dir/network_def.cpp.o"
+  "CMakeFiles/db_frontend.dir/network_def.cpp.o.d"
+  "CMakeFiles/db_frontend.dir/prototxt.cpp.o"
+  "CMakeFiles/db_frontend.dir/prototxt.cpp.o.d"
+  "libdb_frontend.a"
+  "libdb_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_graph.dir/layer_stats.cpp.o"
+  "CMakeFiles/db_graph.dir/layer_stats.cpp.o.d"
+  "CMakeFiles/db_graph.dir/network.cpp.o"
+  "CMakeFiles/db_graph.dir/network.cpp.o.d"
+  "libdb_graph.a"
+  "libdb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

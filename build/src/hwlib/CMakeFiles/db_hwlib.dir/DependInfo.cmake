@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwlib/blocks.cpp" "src/hwlib/CMakeFiles/db_hwlib.dir/blocks.cpp.o" "gcc" "src/hwlib/CMakeFiles/db_hwlib.dir/blocks.cpp.o.d"
+  "/root/repo/src/hwlib/device.cpp" "src/hwlib/CMakeFiles/db_hwlib.dir/device.cpp.o" "gcc" "src/hwlib/CMakeFiles/db_hwlib.dir/device.cpp.o.d"
+  "/root/repo/src/hwlib/resource_model.cpp" "src/hwlib/CMakeFiles/db_hwlib.dir/resource_model.cpp.o" "gcc" "src/hwlib/CMakeFiles/db_hwlib.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_hwlib.dir/blocks.cpp.o"
+  "CMakeFiles/db_hwlib.dir/blocks.cpp.o.d"
+  "CMakeFiles/db_hwlib.dir/device.cpp.o"
+  "CMakeFiles/db_hwlib.dir/device.cpp.o.d"
+  "CMakeFiles/db_hwlib.dir/resource_model.cpp.o"
+  "CMakeFiles/db_hwlib.dir/resource_model.cpp.o.d"
+  "libdb_hwlib.a"
+  "libdb_hwlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_hwlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for db_hwlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_models.dir/datasets.cpp.o"
+  "CMakeFiles/db_models.dir/datasets.cpp.o.d"
+  "CMakeFiles/db_models.dir/golden.cpp.o"
+  "CMakeFiles/db_models.dir/golden.cpp.o.d"
+  "CMakeFiles/db_models.dir/trained.cpp.o"
+  "CMakeFiles/db_models.dir/trained.cpp.o.d"
+  "CMakeFiles/db_models.dir/zoo.cpp.o"
+  "CMakeFiles/db_models.dir/zoo.cpp.o.d"
+  "libdb_models.a"
+  "libdb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

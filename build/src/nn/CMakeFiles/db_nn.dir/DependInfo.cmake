@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cmac.cpp" "src/nn/CMakeFiles/db_nn.dir/cmac.cpp.o" "gcc" "src/nn/CMakeFiles/db_nn.dir/cmac.cpp.o.d"
+  "/root/repo/src/nn/executor.cpp" "src/nn/CMakeFiles/db_nn.dir/executor.cpp.o" "gcc" "src/nn/CMakeFiles/db_nn.dir/executor.cpp.o.d"
+  "/root/repo/src/nn/hopfield.cpp" "src/nn/CMakeFiles/db_nn.dir/hopfield.cpp.o" "gcc" "src/nn/CMakeFiles/db_nn.dir/hopfield.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/db_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/db_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/db_nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/db_nn.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/db_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/db_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

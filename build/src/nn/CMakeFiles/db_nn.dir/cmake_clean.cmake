@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_nn.dir/cmac.cpp.o"
+  "CMakeFiles/db_nn.dir/cmac.cpp.o.d"
+  "CMakeFiles/db_nn.dir/executor.cpp.o"
+  "CMakeFiles/db_nn.dir/executor.cpp.o.d"
+  "CMakeFiles/db_nn.dir/hopfield.cpp.o"
+  "CMakeFiles/db_nn.dir/hopfield.cpp.o.d"
+  "CMakeFiles/db_nn.dir/trainer.cpp.o"
+  "CMakeFiles/db_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/db_nn.dir/weights.cpp.o"
+  "CMakeFiles/db_nn.dir/weights.cpp.o.d"
+  "libdb_nn.a"
+  "libdb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

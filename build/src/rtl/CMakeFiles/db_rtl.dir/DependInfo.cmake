@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/block_emitters.cpp" "src/rtl/CMakeFiles/db_rtl.dir/block_emitters.cpp.o" "gcc" "src/rtl/CMakeFiles/db_rtl.dir/block_emitters.cpp.o.d"
+  "/root/repo/src/rtl/lint.cpp" "src/rtl/CMakeFiles/db_rtl.dir/lint.cpp.o" "gcc" "src/rtl/CMakeFiles/db_rtl.dir/lint.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/rtl/CMakeFiles/db_rtl.dir/testbench.cpp.o" "gcc" "src/rtl/CMakeFiles/db_rtl.dir/testbench.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/db_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/db_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwlib/CMakeFiles/db_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_rtl.dir/block_emitters.cpp.o"
+  "CMakeFiles/db_rtl.dir/block_emitters.cpp.o.d"
+  "CMakeFiles/db_rtl.dir/lint.cpp.o"
+  "CMakeFiles/db_rtl.dir/lint.cpp.o.d"
+  "CMakeFiles/db_rtl.dir/testbench.cpp.o"
+  "CMakeFiles/db_rtl.dir/testbench.cpp.o.d"
+  "CMakeFiles/db_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/db_rtl.dir/verilog.cpp.o.d"
+  "libdb_rtl.a"
+  "libdb_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

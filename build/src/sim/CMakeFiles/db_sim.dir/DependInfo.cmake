@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/functional_sim.cpp" "src/sim/CMakeFiles/db_sim.dir/functional_sim.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/functional_sim.cpp.o.d"
+  "/root/repo/src/sim/host_runtime.cpp" "src/sim/CMakeFiles/db_sim.dir/host_runtime.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/host_runtime.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/db_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/db_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/db_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/sim/CMakeFiles/db_sim.dir/system_sim.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/system_sim.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/db_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/db_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/db_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/db_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/db_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/db_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/db_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/db_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_sim.dir/functional_sim.cpp.o"
+  "CMakeFiles/db_sim.dir/functional_sim.cpp.o.d"
+  "CMakeFiles/db_sim.dir/host_runtime.cpp.o"
+  "CMakeFiles/db_sim.dir/host_runtime.cpp.o.d"
+  "CMakeFiles/db_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/db_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/db_sim.dir/power_model.cpp.o"
+  "CMakeFiles/db_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/db_sim.dir/simulator.cpp.o"
+  "CMakeFiles/db_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/db_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/db_sim.dir/system_sim.cpp.o.d"
+  "CMakeFiles/db_sim.dir/trace.cpp.o"
+  "CMakeFiles/db_sim.dir/trace.cpp.o.d"
+  "libdb_sim.a"
+  "libdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/db_tensor.dir/tensor.cpp.o.d"
+  "libdb_tensor.a"
+  "libdb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

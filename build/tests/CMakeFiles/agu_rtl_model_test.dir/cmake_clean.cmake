@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agu_rtl_model_test.dir/agu_rtl_model_test.cpp.o"
+  "CMakeFiles/agu_rtl_model_test.dir/agu_rtl_model_test.cpp.o.d"
+  "agu_rtl_model_test"
+  "agu_rtl_model_test.pdb"
+  "agu_rtl_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agu_rtl_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

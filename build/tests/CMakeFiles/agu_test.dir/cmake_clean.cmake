@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agu_test.dir/agu_test.cpp.o"
+  "CMakeFiles/agu_test.dir/agu_test.cpp.o.d"
+  "agu_test"
+  "agu_test.pdb"
+  "agu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

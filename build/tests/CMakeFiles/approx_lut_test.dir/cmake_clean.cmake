@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_lut_test.dir/approx_lut_test.cpp.o"
+  "CMakeFiles/approx_lut_test.dir/approx_lut_test.cpp.o.d"
+  "approx_lut_test"
+  "approx_lut_test.pdb"
+  "approx_lut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_lut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

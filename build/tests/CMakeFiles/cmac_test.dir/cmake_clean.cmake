@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmac_test.dir/cmac_test.cpp.o"
+  "CMakeFiles/cmac_test.dir/cmac_test.cpp.o.d"
+  "cmac_test"
+  "cmac_test.pdb"
+  "cmac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

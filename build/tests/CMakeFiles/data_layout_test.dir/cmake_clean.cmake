@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_layout_test.dir/data_layout_test.cpp.o"
+  "CMakeFiles/data_layout_test.dir/data_layout_test.cpp.o.d"
+  "data_layout_test"
+  "data_layout_test.pdb"
+  "data_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_json_test.dir/design_json_test.cpp.o"
+  "CMakeFiles/design_json_test.dir/design_json_test.cpp.o.d"
+  "design_json_test"
+  "design_json_test.pdb"
+  "design_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_sim_test.dir/functional_sim_test.cpp.o"
+  "CMakeFiles/functional_sim_test.dir/functional_sim_test.cpp.o.d"
+  "functional_sim_test"
+  "functional_sim_test.pdb"
+  "functional_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopfield_test.dir/hopfield_test.cpp.o"
+  "CMakeFiles/hopfield_test.dir/hopfield_test.cpp.o.d"
+  "hopfield_test"
+  "hopfield_test.pdb"
+  "hopfield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_runtime_test.dir/host_runtime_test.cpp.o"
+  "CMakeFiles/host_runtime_test.dir/host_runtime_test.cpp.o.d"
+  "host_runtime_test"
+  "host_runtime_test.pdb"
+  "host_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_stats_test.dir/layer_stats_test.cpp.o"
+  "CMakeFiles/layer_stats_test.dir/layer_stats_test.cpp.o.d"
+  "layer_stats_test"
+  "layer_stats_test.pdb"
+  "layer_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_def_test.dir/network_def_test.cpp.o"
+  "CMakeFiles/network_def_test.dir/network_def_test.cpp.o.d"
+  "network_def_test"
+  "network_def_test.pdb"
+  "network_def_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_def_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plans_test.dir/plans_test.cpp.o"
+  "CMakeFiles/plans_test.dir/plans_test.cpp.o.d"
+  "plans_test"
+  "plans_test.pdb"
+  "plans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

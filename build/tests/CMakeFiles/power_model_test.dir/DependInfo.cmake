@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power_model_test.cpp" "tests/CMakeFiles/power_model_test.dir/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/power_model_test.dir/power_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/db_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/db_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/db_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/db_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/db_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/db_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/db_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/db_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/db_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/db_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

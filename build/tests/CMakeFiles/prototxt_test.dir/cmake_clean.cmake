@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototxt_test.dir/prototxt_test.cpp.o"
+  "CMakeFiles/prototxt_test.dir/prototxt_test.cpp.o.d"
+  "prototxt_test"
+  "prototxt_test.pdb"
+  "prototxt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototxt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_model_test.dir/training_model_test.cpp.o"
+  "CMakeFiles/training_model_test.dir/training_model_test.cpp.o.d"
+  "training_model_test"
+  "training_model_test.pdb"
+  "training_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

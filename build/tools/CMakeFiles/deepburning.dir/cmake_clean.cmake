@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepburning.dir/deepburning_main.cpp.o"
+  "CMakeFiles/deepburning.dir/deepburning_main.cpp.o.d"
+  "deepburning"
+  "deepburning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepburning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
