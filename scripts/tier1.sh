@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the default build + full test suite, followed by a
+# sanitized configuration that exercises the multi-threaded inference
+# server (and the suites around it) under ASan+UBSan.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: default build =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+echo "== tier-1: ASan+UBSan on the concurrent server and its substrate =="
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}" \
+  --target serve_test trace_test common_test perf_model_test \
+           host_runtime_test system_sim_test
+ctest --preset asan -j "${JOBS}" \
+  -R 'Batcher|RequestQueue|InferenceServer|PerfTrace|MathUtil|HostRuntime|SystemSim|PerfModel'
+
+echo "tier-1 OK"

@@ -10,21 +10,28 @@
 
 namespace db {
 
-/// ceil(a / b) for positive integers.
+/// ceil(a / b).  Requires a >= 0 and b > 0 (the documented contract; a
+/// negative numerator or zero divisor would silently produce a floored
+/// quotient or UB).
 constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  DB_CHECK_MSG(a >= 0, "CeilDiv requires a non-negative numerator");
+  DB_CHECK_MSG(b > 0, "CeilDiv requires a positive divisor");
   return (a + b - 1) / b;
 }
 
-/// Smallest multiple of `align` that is >= value.
+/// Smallest multiple of `align` that is >= value.  Requires value >= 0
+/// and align > 0.
 constexpr std::int64_t RoundUp(std::int64_t value, std::int64_t align) {
   return CeilDiv(value, align) * align;
 }
 
-/// Largest power of two <= value (value must be >= 1).
+/// Largest power of two <= value (value must be >= 1).  The loop guard
+/// divides instead of multiplying so the probe never overflows, even for
+/// value == INT64_MAX (where the answer is 2^62).
 inline std::int64_t FloorPow2(std::int64_t value) {
-  DB_CHECK(value >= 1);
+  DB_CHECK_MSG(value >= 1, "FloorPow2 requires value >= 1");
   std::int64_t p = 1;
-  while (p * 2 <= value) p *= 2;
+  while (p <= value / 2) p *= 2;
   return p;
 }
 

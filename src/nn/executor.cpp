@@ -57,10 +57,16 @@ Tensor PoolingForward(const Tensor& in, const PoolingParams& p) {
   const std::int64_t c = in.shape().dim(0);
   const std::int64_t in_h = in.shape().dim(1);
   const std::int64_t in_w = in.shape().dim(2);
+  // Ceil-mode output size; a kernel wider than the padded input still
+  // yields one (partial) window, hence the clamp to zero.
   const std::int64_t oh =
-      CeilDiv(in_h + 2 * p.pad - p.kernel_size, p.stride) + 1;
+      CeilDiv(std::max<std::int64_t>(in_h + 2 * p.pad - p.kernel_size, 0),
+              p.stride) +
+      1;
   const std::int64_t ow =
-      CeilDiv(in_w + 2 * p.pad - p.kernel_size, p.stride) + 1;
+      CeilDiv(std::max<std::int64_t>(in_w + 2 * p.pad - p.kernel_size, 0),
+              p.stride) +
+      1;
 
   Tensor out(Shape{c, oh, ow});
   for (std::int64_t ch = 0; ch < c; ++ch) {

@@ -1,0 +1,50 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace db::serve {
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy) {
+  DB_CHECK_MSG(policy_.max_batch_size >= 1,
+               "max_batch_size must be at least 1");
+  DB_CHECK_MSG(policy_.linger_cycles >= 0,
+               "linger_cycles must be non-negative");
+}
+
+Batch Batcher::CloseOpen(std::int64_t ready_cycle) {
+  Batch batch;
+  batch.id = next_batch_id_++;
+  batch.ready_cycle = ready_cycle;
+  batch.requests = std::move(open_);
+  open_.clear();
+  return batch;
+}
+
+std::optional<Batch> Batcher::Add(PendingRequest request) {
+  DB_CHECK_MSG(request.arrival_cycle >= last_arrival_,
+               "request arrival cycles must be non-decreasing");
+  last_arrival_ = request.arrival_cycle;
+
+  std::optional<Batch> closed;
+  if (!open_.empty() &&
+      request.arrival_cycle >
+          open_.front().arrival_cycle + policy_.linger_cycles) {
+    // The linger timer of the open batch expired before this arrival.
+    closed = CloseOpen(open_.front().arrival_cycle + policy_.linger_cycles);
+  }
+  open_.push_back(std::move(request));
+  if (static_cast<std::int64_t>(open_.size()) == policy_.max_batch_size) {
+    DB_CHECK(!closed.has_value());  // max_batch_size >= 1 ⇒ at most one
+    closed = CloseOpen(open_.back().arrival_cycle);
+  }
+  return closed;
+}
+
+std::optional<Batch> Batcher::Flush() {
+  if (open_.empty()) return std::nullopt;
+  return CloseOpen(open_.back().arrival_cycle);
+}
+
+}  // namespace db::serve

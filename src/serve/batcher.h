@@ -1,0 +1,70 @@
+// Deterministic request batching for the inference server.
+//
+// Requests carry simulated arrival cycles (the server's clock is the
+// accelerator clock, not wall time).  The batcher groups consecutive
+// requests into batches under two knobs:
+//
+//   * max_batch_size — a batch closes as soon as it holds this many
+//     requests; it dispatches at the last member's arrival cycle.
+//   * linger_cycles  — a partial batch waits at most this many cycles
+//     after its first member's arrival; the first request whose arrival
+//     falls outside the window closes the batch, which dispatches when
+//     the linger timer expires (first arrival + linger).
+//
+// Because batch composition depends only on the submission order and the
+// arrival cycles — never on thread timing — the same request stream
+// always produces the same batches, which is what makes the whole server
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace db::serve {
+
+/// One queued inference request.
+struct PendingRequest {
+  std::int64_t id = 0;             // dense submission index
+  std::int64_t arrival_cycle = 0;  // simulated arrival time
+  Tensor input;
+};
+
+/// A closed batch, ready for dispatch.
+struct Batch {
+  std::int64_t id = 0;  // dense batch index, in close order
+  std::int64_t ready_cycle = 0;  // earliest cycle the batch may dispatch
+  std::vector<PendingRequest> requests;
+};
+
+struct BatchPolicy {
+  std::int64_t max_batch_size = 4;
+  std::int64_t linger_cycles = 0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatchPolicy policy);
+
+  /// Feed the next request (arrival cycles must be non-decreasing).
+  /// Returns the batch that `request` closed, if any; `request` itself
+  /// then opens the next batch.
+  std::optional<Batch> Add(PendingRequest request);
+
+  /// Close the open partial batch (end of the request stream).  The
+  /// flush is an explicit end-of-intake signal, so the batch dispatches
+  /// at its last member's arrival instead of waiting out the linger.
+  std::optional<Batch> Flush();
+
+ private:
+  Batch CloseOpen(std::int64_t ready_cycle);
+
+  BatchPolicy policy_;
+  std::vector<PendingRequest> open_;
+  std::int64_t next_batch_id_ = 0;
+  std::int64_t last_arrival_ = 0;
+};
+
+}  // namespace db::serve

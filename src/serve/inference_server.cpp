@@ -1,0 +1,206 @@
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "sim/power_model.h"
+
+namespace db::serve {
+
+InferenceServer::InferenceServer(const Network& net,
+                                 const AcceleratorDesign& design,
+                                 const WeightStore& weights,
+                                 ServeOptions options)
+    : net_(net),
+      design_(design),
+      device_(DeviceCatalog(options.device_name)),
+      options_(std::move(options)),
+      provisioned_(BuildHostImage(net, design, weights)),
+      context_(net, design, provisioned_),
+      queue_(options_.queue_capacity),
+      batcher_(BatchPolicy{options_.max_batch_size,
+                           options_.linger_cycles}) {
+  DB_CHECK_MSG(options_.workers >= 1, "server needs at least one worker");
+
+  // The scheduler charges every invocation its deterministic cycle cost,
+  // so batch placement never depends on thread timing.  Traces are a
+  // per-run artifact, not a serving concern: workers always simulate
+  // untraced.
+  PerfOptions cold = options_.perf;
+  cold.trace = nullptr;
+  cold.weights_resident = false;
+  cold_cycles_ = SimulatePerformance(net_, design_, cold).total_cycles;
+  PerfOptions steady = cold;
+  steady.weights_resident = true;
+  steady_cycles_ = SimulatePerformance(net_, design_, steady).total_cycles;
+
+  // The DRAM image was built exactly once (provisioned_); every worker
+  // context copies those bytes for its private image.
+  worker_free_cycle_.assign(static_cast<std::size_t>(options_.workers), 0);
+  worker_scheduled_warm_.assign(static_cast<std::size_t>(options_.workers),
+                                false);
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.push_back(std::make_unique<WorkerContext>(provisioned_));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_[static_cast<std::size_t>(w)]->thread =
+        std::thread([this, w] { WorkerLoop(w); });
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  try {
+    Drain();
+  } catch (...) {
+    // Destructor must not throw; Drain only throws on internal
+    // invariant violations, which tests surface through explicit calls.
+  }
+}
+
+std::int64_t InferenceServer::Submit(Tensor input,
+                                     std::int64_t arrival_cycle) {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  if (intake_closed_) throw Error("InferenceServer already drained");
+  DB_CHECK_MSG(arrival_cycle >= last_arrival_,
+               "arrival cycles must be non-decreasing");
+  last_arrival_ = arrival_cycle;
+  const std::int64_t id = next_request_id_++;
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    results_.resize(static_cast<std::size_t>(id) + 1);
+    results_[static_cast<std::size_t>(id)].id = id;
+    results_[static_cast<std::size_t>(id)].arrival_cycle = arrival_cycle;
+  }
+  PendingRequest request;
+  request.id = id;
+  request.arrival_cycle = arrival_cycle;
+  request.input = std::move(input);
+  // Holding submit_mu_ across the (possibly blocking) push keeps the
+  // queue in request-id order, which the batcher's determinism needs.
+  queue_.Push(std::move(request));
+  return id;
+}
+
+void InferenceServer::DispatchBatch(Batch batch) {
+  // Deterministic placement: the worker whose datapath frees earliest,
+  // ties broken towards the lowest index.
+  const auto it = std::min_element(worker_free_cycle_.begin(),
+                                   worker_free_cycle_.end());
+  const int w = static_cast<int>(it - worker_free_cycle_.begin());
+  const std::int64_t start = std::max(batch.ready_cycle, *it);
+
+  std::int64_t duration = 0;
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const bool warm =
+        worker_scheduled_warm_[static_cast<std::size_t>(w)] || i > 0;
+    duration += warm ? steady_cycles_ : cold_cycles_;
+  }
+  worker_free_cycle_[static_cast<std::size_t>(w)] = start + duration;
+  worker_scheduled_warm_[static_cast<std::size_t>(w)] = true;
+  ++batches_dispatched_;
+
+  WorkerContext& ctx = *workers_[static_cast<std::size_t>(w)];
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.work.push_back(
+        ScheduledBatch{std::move(batch), w, start});
+  }
+  ctx.cv.notify_one();
+}
+
+void InferenceServer::DispatcherLoop() {
+  while (std::optional<PendingRequest> request = queue_.Pop()) {
+    if (std::optional<Batch> closed = batcher_.Add(*std::move(request)))
+      DispatchBatch(*std::move(closed));
+  }
+  // Intake closed and drained: flush the partial batch, then stop the
+  // workers once their deques empty out.
+  if (std::optional<Batch> closed = batcher_.Flush())
+    DispatchBatch(*std::move(closed));
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->closed = true;
+    }
+    worker->cv.notify_all();
+  }
+}
+
+void InferenceServer::WorkerLoop(int index) {
+  WorkerContext& ctx = *workers_[static_cast<std::size_t>(index)];
+  for (;;) {
+    ScheduledBatch scheduled;
+    {
+      std::unique_lock<std::mutex> lock(ctx.mu);
+      ctx.cv.wait(lock, [&] { return ctx.closed || !ctx.work.empty(); });
+      if (ctx.work.empty()) return;  // closed and fully drained
+      scheduled = std::move(ctx.work.front());
+      ctx.work.pop_front();
+    }
+
+    std::int64_t cycle = scheduled.start_cycle;
+    for (PendingRequest& request : scheduled.batch.requests) {
+      PerfOptions perf = options_.perf;
+      perf.trace = nullptr;
+      perf.weights_resident = ctx.warm;
+      const std::int64_t charged =
+          ctx.warm ? steady_cycles_ : cold_cycles_;
+      const SystemRunResult run =
+          context_.Run(ctx.image, request.input, perf);
+      ctx.warm = true;
+      DB_CHECK_MSG(run.perf.total_cycles == charged,
+                   "scheduler and execution disagree on invocation cost");
+      const std::int64_t finish = cycle + run.perf.total_cycles;
+      const double joules =
+          EstimateEnergy(design_.resources.total, run.perf, device_)
+              .total_joules;
+      {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        ServedRequest& record =
+            results_[static_cast<std::size_t>(request.id)];
+        record.batch_id = scheduled.batch.id;
+        record.worker = index;
+        record.start_cycle = scheduled.start_cycle;
+        record.finish_cycle = finish;
+        record.service_cycles = run.perf.total_cycles;
+        record.dram_bytes = run.perf.total_dram_bytes;
+        record.joules = joules;
+        record.output = run.output;
+        ++completed_;
+      }
+      ctx.busy_cycles += run.perf.total_cycles;
+      cycle = finish;
+    }
+  }
+}
+
+const std::vector<ServedRequest>& InferenceServer::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    intake_closed_ = true;
+  }
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    DB_CHECK_MSG(completed_ ==
+                     static_cast<std::int64_t>(results_.size()),
+                 "drained server left requests incomplete");
+    drained_ = true;
+  }
+  return results_;
+}
+
+ServerStats InferenceServer::Stats() const {
+  std::vector<std::int64_t> busy;
+  busy.reserve(workers_.size());
+  for (const auto& worker : workers_) busy.push_back(worker->busy_cycles);
+  std::lock_guard<std::mutex> lock(results_mu_);
+  DB_CHECK_MSG(drained_, "Stats() requires a drained server");
+  return ComputeServerStats(results_, batches_dispatched_,
+                            design_.config.frequency_mhz, std::move(busy));
+}
+
+}  // namespace db::serve

@@ -1,0 +1,147 @@
+// Concurrent batched inference server on top of the system simulation —
+// the first "serves traffic" layer of the stack (ROADMAP north star).
+//
+// Architecture (one request's journey):
+//
+//   Submit(input, arrival_cycle)
+//     │  bounded RequestQueue (back-pressure: Submit blocks when full)
+//     ▼
+//   dispatcher thread: Batcher groups requests (max batch + linger,
+//     both in simulated cycles), then schedules each closed batch onto
+//     the worker whose datapath frees earliest
+//     │  per-worker work deques
+//     ▼
+//   worker threads: each owns a private DRAM MemoryImage (copied from
+//     the image built once at start-up) and executes its batches through
+//     the shared read-only SystemContext; weights stay resident across
+//     images after the worker's first (cold) invocation
+//
+// Determinism: batch composition and worker assignment are computed by
+// the dispatcher purely from the submission order, the arrival cycles
+// and the design's (deterministic) cold/steady invocation cycle counts —
+// never from thread timing.  Outputs are bit-identical to running the
+// same inputs through sequential HostRuntime::InferBatch, and every
+// reported cycle number is reproducible run to run; the worker threads
+// merely overlap the wall-clock cost of producing them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "serve/server_stats.h"
+#include "sim/host_runtime.h"
+#include "sim/system_sim.h"
+
+namespace db::serve {
+
+struct ServeOptions {
+  int workers = 2;
+  std::int64_t max_batch_size = 4;
+  std::int64_t linger_cycles = 0;
+  std::size_t queue_capacity = 64;
+  std::string device_name = "zynq-7045";
+  /// Base performance-model options; the server manages
+  /// `weights_resident` itself (cold first image per worker, steady
+  /// after), matching HostRuntime::InferBatch.
+  PerfOptions perf;
+};
+
+class InferenceServer {
+ public:
+  /// Serialises the weights into a DRAM image once; each worker context
+  /// copies that image and decodes the shared read-only SystemContext.
+  /// Worker threads start immediately.
+  InferenceServer(const Network& net, const AcceleratorDesign& design,
+                  const WeightStore& weights, ServeOptions options = {});
+
+  /// Joins all threads (abandoning queued work if Drain was not called).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one request; blocks while the bounded queue is full.
+  /// Arrival cycles must be non-decreasing across calls.  Returns the
+  /// request id (dense, in submission order).
+  std::int64_t Submit(Tensor input, std::int64_t arrival_cycle);
+
+  /// End intake, wait until every submitted request has completed, and
+  /// return the records ordered by request id.  Idempotent.
+  const std::vector<ServedRequest>& Drain();
+
+  /// Aggregate metrics; valid after Drain().
+  ServerStats Stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+  /// Cycle cost the scheduler charges per invocation (exposed so tests
+  /// and benches can reason about the schedule analytically).
+  std::int64_t cold_cycles() const { return cold_cycles_; }
+  std::int64_t steady_cycles() const { return steady_cycles_; }
+
+ private:
+  /// A batch bound to a worker with its service window decided.
+  struct ScheduledBatch {
+    Batch batch;
+    int worker = -1;
+    std::int64_t start_cycle = 0;
+  };
+
+  /// One worker: a private DRAM image plus a work deque.
+  struct WorkerContext {
+    explicit WorkerContext(MemoryImage img) : image(std::move(img)) {}
+    MemoryImage image;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ScheduledBatch> work;
+    bool closed = false;
+    bool warm = false;  // weights resident after the first image
+    std::int64_t busy_cycles = 0;
+    std::thread thread;
+  };
+
+  void DispatcherLoop();
+  void WorkerLoop(int index);
+  void DispatchBatch(Batch batch);
+
+  const Network& net_;
+  const AcceleratorDesign& design_;
+  const DeviceInfo& device_;
+  ServeOptions options_;
+
+  MemoryImage provisioned_;  // built once; workers copy these bytes
+  SystemContext context_;    // shared, read-only across workers
+  std::int64_t cold_cycles_ = 0;
+  std::int64_t steady_cycles_ = 0;
+
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<WorkerContext>> workers_;
+  std::thread dispatcher_;
+
+  // Deterministic scheduler state (dispatcher thread only).
+  Batcher batcher_;
+  std::vector<std::int64_t> worker_free_cycle_;
+  std::vector<bool> worker_scheduled_warm_;
+  std::int64_t batches_dispatched_ = 0;
+
+  // Submission state (caller threads).
+  std::mutex submit_mu_;
+  std::int64_t next_request_id_ = 0;
+  std::int64_t last_arrival_ = 0;
+  bool intake_closed_ = false;
+
+  // Completion tracking and results.
+  mutable std::mutex results_mu_;
+  std::vector<ServedRequest> results_;  // indexed by request id
+  std::int64_t completed_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace db::serve

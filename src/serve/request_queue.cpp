@@ -1,0 +1,46 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace db::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  DB_CHECK_MSG(capacity_ >= 1, "queue capacity must be at least 1");
+}
+
+void RequestQueue::Push(PendingRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [&] { return closed_ || items_.size() < capacity_; });
+  if (closed_) throw Error("request queue is closed");
+  items_.push_back(std::move(request));
+  not_empty_.notify_one();
+}
+
+std::optional<PendingRequest> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  PendingRequest request = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return request;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace db::serve

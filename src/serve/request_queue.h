@@ -1,0 +1,50 @@
+// Bounded blocking request queue between the submitting application
+// threads and the server's dispatcher.
+//
+// The bound is the server's admission control: when the accelerator
+// falls behind, Push blocks the producer instead of letting the backlog
+// grow without limit (the standard back-pressure contract of a serving
+// system).  Close() ends intake: pending items drain, further Push calls
+// throw, and Pop returns nullopt once the queue is empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/batcher.h"
+
+namespace db::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full.  Throws db::Error if the queue was
+  /// closed (before or while waiting).
+  void Push(PendingRequest request);
+
+  /// Blocks while the queue is empty and open.  Returns nullopt once the
+  /// queue is closed and fully drained.
+  std::optional<PendingRequest> Pop();
+
+  /// End intake; wakes all waiters.
+  void Close();
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Instantaneous depth (monitoring only).
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace db::serve

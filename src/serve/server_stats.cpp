@@ -1,0 +1,106 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace db::serve {
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted vector.
+double NearestRank(const std::vector<double>& sorted, double q) {
+  DB_CHECK(!sorted.empty());
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  const std::int64_t rank =
+      std::max<std::int64_t>(CeilDiv(static_cast<std::int64_t>(q * n), 100),
+                             1);
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+}  // namespace
+
+double ServerStats::WorkerUtilization(int worker) const {
+  DB_CHECK(worker >= 0 &&
+           worker < static_cast<int>(worker_busy_cycles.size()));
+  if (makespan_cycles <= 0) return 0.0;
+  return static_cast<double>(
+             worker_busy_cycles[static_cast<std::size_t>(worker)]) /
+         static_cast<double>(makespan_cycles);
+}
+
+std::string ServerStats::ToString() const {
+  std::ostringstream os;
+  os << StrFormat(
+      "  %lld requests in %lld batches on %d workers @ %.0f MHz\n",
+      static_cast<long long>(requests), static_cast<long long>(batches),
+      workers, frequency_mhz);
+  os << StrFormat("  makespan  %.4f ms   throughput %.1f req/s\n",
+                  makespan_seconds * 1e3, throughput_rps);
+  os << StrFormat(
+      "  latency   p50 %.4f ms  p90 %.4f ms  p99 %.4f ms  max %.4f ms\n",
+      latency_p50_s * 1e3, latency_p90_s * 1e3, latency_p99_s * 1e3,
+      latency_max_s * 1e3);
+  os << StrFormat("  traffic   %lld DRAM bytes   energy %.4f J\n",
+                  static_cast<long long>(total_dram_bytes), total_joules);
+  for (int w = 0; w < static_cast<int>(worker_busy_cycles.size()); ++w)
+    os << StrFormat("  worker %d  busy %lld cycles  (%.1f%% utilised)\n",
+                    w,
+                    static_cast<long long>(
+                        worker_busy_cycles[static_cast<std::size_t>(w)]),
+                    WorkerUtilization(w) * 100.0);
+  return os.str();
+}
+
+ServerStats ComputeServerStats(
+    std::span<const ServedRequest> requests, std::int64_t batches,
+    double frequency_mhz, std::vector<std::int64_t> worker_busy_cycles) {
+  DB_CHECK_MSG(frequency_mhz > 0, "frequency must be positive");
+  ServerStats stats;
+  stats.requests = static_cast<std::int64_t>(requests.size());
+  stats.batches = batches;
+  stats.workers = static_cast<int>(worker_busy_cycles.size());
+  stats.frequency_mhz = frequency_mhz;
+  stats.worker_busy_cycles = std::move(worker_busy_cycles);
+  if (requests.empty()) return stats;
+
+  const double cycles_to_s = 1.0 / (frequency_mhz * 1e6);
+  std::int64_t first_arrival = std::numeric_limits<std::int64_t>::max();
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+  double latency_sum = 0.0;
+  for (const ServedRequest& r : requests) {
+    DB_CHECK_MSG(r.finish_cycle >= r.arrival_cycle,
+                 "request finishes before it arrives");
+    stats.makespan_cycles = std::max(stats.makespan_cycles, r.finish_cycle);
+    first_arrival = std::min(first_arrival, r.arrival_cycle);
+    const double lat =
+        static_cast<double>(r.finish_cycle - r.arrival_cycle) * cycles_to_s;
+    latencies.push_back(lat);
+    latency_sum += lat;
+    stats.total_dram_bytes += r.dram_bytes;
+    stats.total_joules += r.joules;
+  }
+  stats.makespan_seconds =
+      static_cast<double>(stats.makespan_cycles) * cycles_to_s;
+
+  const double span_s =
+      static_cast<double>(stats.makespan_cycles - first_arrival) *
+      cycles_to_s;
+  if (span_s > 0)
+    stats.throughput_rps = static_cast<double>(stats.requests) / span_s;
+
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_p50_s = NearestRank(latencies, 50);
+  stats.latency_p90_s = NearestRank(latencies, 90);
+  stats.latency_p99_s = NearestRank(latencies, 99);
+  stats.latency_max_s = latencies.back();
+  stats.latency_mean_s = latency_sum / static_cast<double>(latencies.size());
+  return stats;
+}
+
+}  // namespace db::serve

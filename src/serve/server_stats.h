@@ -1,0 +1,75 @@
+// Per-request records and aggregate metrics of an inference-server run.
+//
+// All times are *simulated*: cycles of the generated accelerator's clock
+// converted through the design's frequency.  A request's latency is
+// queueing (waiting for its batch to close and a worker to free up) plus
+// service (its position inside the batch on the worker's datapath):
+//
+//   latency = finish_cycle − arrival_cycle
+//
+// Percentiles use the nearest-rank definition on the sorted latency
+// list: p(q) = sorted[⌈q/100 · n⌉ − 1], so p100 and `max` coincide and
+// every reported percentile is a latency that actually occurred.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace db::serve {
+
+/// Everything the server knows about one completed request.
+struct ServedRequest {
+  std::int64_t id = 0;
+  std::int64_t batch_id = 0;
+  int worker = -1;
+  std::int64_t arrival_cycle = 0;
+  std::int64_t start_cycle = 0;   // its batch began service
+  std::int64_t finish_cycle = 0;  // its own image completed
+  std::int64_t service_cycles = 0;  // datapath cycles of its image
+  std::int64_t dram_bytes = 0;
+  double joules = 0.0;
+  Tensor output;
+};
+
+/// Aggregate metrics over one completed run.
+struct ServerStats {
+  std::int64_t requests = 0;
+  std::int64_t batches = 0;
+  int workers = 0;
+  double frequency_mhz = 0.0;
+
+  /// Simulated makespan: the largest finish cycle over all requests.
+  std::int64_t makespan_cycles = 0;
+  double makespan_seconds = 0.0;
+
+  /// requests / (last finish − first arrival), in simulated seconds.
+  double throughput_rps = 0.0;
+
+  /// Nearest-rank latency percentiles, simulated seconds.
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  double latency_mean_s = 0.0;
+
+  std::int64_t total_dram_bytes = 0;
+  double total_joules = 0.0;
+
+  /// Busy cycles per worker; utilisation = busy / makespan.
+  std::vector<std::int64_t> worker_busy_cycles;
+
+  double WorkerUtilization(int worker) const;
+  std::string ToString() const;
+};
+
+/// Aggregate the per-request records (order-independent).
+/// `worker_busy_cycles[w]` must hold worker w's total service cycles.
+ServerStats ComputeServerStats(std::span<const ServedRequest> requests,
+                               std::int64_t batches, double frequency_mhz,
+                               std::vector<std::int64_t> worker_busy_cycles);
+
+}  // namespace db::serve

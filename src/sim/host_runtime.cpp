@@ -4,6 +4,17 @@
 
 namespace db {
 
+MemoryImage BuildHostImage(const Network& net,
+                           const AcceleratorDesign& design,
+                           const WeightStore& weights) {
+  // Provision the board: weights once, input region zeroed.
+  const IrLayer& in_layer = net.layer(net.input_ids().front());
+  const BlobShape& s = in_layer.output_shape;
+  return BuildMemoryImage(
+      net, design, weights,
+      {{in_layer.name(), Tensor(Shape{s.channels, s.height, s.width})}});
+}
+
 HostRuntime::HostRuntime(const Network& net,
                          const AcceleratorDesign& design,
                          const WeightStore& weights,
@@ -11,15 +22,7 @@ HostRuntime::HostRuntime(const Network& net,
     : net_(net),
       design_(design),
       device_(DeviceCatalog(device_name)),
-      image_(design.memory_map.total_bytes()) {
-  // Provision the board: weights once, input region zeroed.
-  const IrLayer& in_layer = net.layer(net.input_ids().front());
-  const BlobShape& s = in_layer.output_shape;
-  const MemoryImage full = BuildMemoryImage(
-      net, design, weights,
-      {{in_layer.name(), Tensor(Shape{s.channels, s.height, s.width})}});
-  image_ = full;
-}
+      image_(BuildHostImage(net, design, weights)) {}
 
 HostInvocation HostRuntime::MakeInvocation(const Tensor& output,
                                            const PerfResult& perf) {

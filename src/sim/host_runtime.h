@@ -31,6 +31,13 @@ struct HostStats {
   std::int64_t total_dram_bytes = 0;
 };
 
+/// Build the board's start-up DRAM image: all weights serialised, the
+/// input region zeroed.  Shared by HostRuntime and the inference
+/// server's worker contexts (which each copy the image built once here).
+MemoryImage BuildHostImage(const Network& net,
+                           const AcceleratorDesign& design,
+                           const WeightStore& weights);
+
 class HostRuntime {
  public:
   /// Builds the DRAM image (weights serialised once, the way the board

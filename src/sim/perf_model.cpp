@@ -18,8 +18,7 @@ struct LayerTraffic {
   std::int64_t useful_bytes = 0;  // traffic net of utilisation waste
 };
 
-LayerTraffic ComputeTraffic(const IrLayer& layer, const LayerFold& fold,
-                            const TileSpec& layout,
+LayerTraffic ComputeTraffic(const IrLayer& layer, const TileSpec& layout,
                             const AcceleratorConfig& config,
                             bool weights_resident) {
   LayerTraffic t;
@@ -31,13 +30,16 @@ LayerTraffic ComputeTraffic(const IrLayer& layer, const LayerFold& fold,
     weight_bytes = 0;  // already on chip from the previous image
   t.store_bytes = stats.output_elems * elem;
 
-  // If the layer's input working set exceeds the data buffer, the folded
-  // segments cannot all reuse the buffered tiles and the input streams
-  // again from DRAM for the uncovered passes.
+  // If the layer's input working set exceeds the data buffer, the tiles
+  // cannot all stay resident and the input streams again from DRAM for
+  // the uncovered passes.  Buffer pressure is a property of the working
+  // set alone: an unfolded layer (segments == 1) whose input overflows
+  // the buffer refetches just the same, so the pass count must not be
+  // gated on the fold plan.
   std::int64_t passes = 1;
-  if (input_bytes > config.data_buffer_bytes && fold.segments > 1)
-    passes = std::min<std::int64_t>(
-        fold.segments, CeilDiv(input_bytes, config.data_buffer_bytes));
+  if (input_bytes > config.data_buffer_bytes)
+    passes = CeilDiv(input_bytes,
+                     std::max<std::int64_t>(config.data_buffer_bytes, 1));
 
   const double fetched =
       static_cast<double>(input_bytes) * layout.refetch /
@@ -98,9 +100,8 @@ PerfResult SimulatePerformance(const Network& net,
       layout = NaiveRowMajorLayout(layer->input_shapes.front(), kernel,
                                    stride, design.config.memory_port_elems);
     }
-    const LayerTraffic traffic =
-        ComputeTraffic(*layer, fold, layout, design.config,
-                       options.weights_resident);
+    const LayerTraffic traffic = ComputeTraffic(
+        *layer, layout, design.config, options.weights_resident);
 
     LayerTiming lt;
     lt.layer_id = layer->id;

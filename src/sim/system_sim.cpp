@@ -33,26 +33,39 @@ WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
   return store;
 }
 
+SystemContext::SystemContext(const Network& net,
+                             const AcceleratorDesign& design,
+                             const MemoryImage& image)
+    : net_(net),
+      design_(design),
+      weights_(DecodeWeights(image, net, design)),
+      sim_(net, design, weights_) {}
+
+SystemRunResult SystemContext::Run(MemoryImage& image, const Tensor& input,
+                                   const PerfOptions& perf_options) const {
+  // Host writes the input blob into DRAM in the compiler's tile order.
+  const IrLayer& in_layer = net_.layer(net_.input_ids().front());
+  StoreBlob(image, net_, design_, in_layer.name(), input);
+
+  SystemRunResult result;
+  const Tensor raw_out = sim_.Run(input);
+
+  // Accelerator writes the output blob; host reads it back.
+  const IrLayer& out_layer = net_.OutputLayer();
+  StoreBlob(image, net_, design_, out_layer.name(), raw_out);
+  result.output = ExtractBlob(image, net_, design_, out_layer.name());
+  result.perf = SimulatePerformance(net_, design_, perf_options);
+  return result;
+}
+
 SystemRunResult RunSystem(const Network& net,
                           const AcceleratorDesign& design,
                           MemoryImage& image, const Tensor& input,
                           const PerfOptions& perf_options) {
-  // Host writes the input blob into DRAM in the compiler's tile order.
-  const IrLayer& in_layer = net.layer(net.input_ids().front());
-  StoreBlob(image, net, design, in_layer.name(), input);
-
-  // The accelerator's view of the weights comes from the image bytes.
-  const WeightStore weights = DecodeWeights(image, net, design);
-  FunctionalSimulator sim(net, design, weights);
-  SystemRunResult result;
-  const Tensor raw_out = sim.Run(input);
-
-  // Accelerator writes the output blob; host reads it back.
-  const IrLayer& out_layer = net.OutputLayer();
-  StoreBlob(image, net, design, out_layer.name(), raw_out);
-  result.output = ExtractBlob(image, net, design, out_layer.name());
-  result.perf = SimulatePerformance(net, design, perf_options);
-  return result;
+  // The accelerator's view of the weights comes from the image bytes;
+  // re-decoding here keeps corruption of weight regions visible.
+  const SystemContext context(net, design, image);
+  return context.Run(image, input, perf_options);
 }
 
 }  // namespace db

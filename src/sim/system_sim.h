@@ -24,9 +24,40 @@ struct SystemRunResult {
 WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
                           const AcceleratorDesign& design);
 
+/// The const half of RunSystem: weights decoded once at construction,
+/// after which every invocation is a const operation over shared state.
+/// One context can therefore be shared by concurrent server workers —
+/// the Network, the AcceleratorDesign and this context are read-only;
+/// each worker passes its own MemoryImage to Run().
+///
+/// The weights are snapshotted from `image` at construction; a worker
+/// that mutates weight regions afterwards (fault injection) must build a
+/// fresh context, which is exactly what the RunSystem wrapper does.
+class SystemContext {
+ public:
+  SystemContext(const Network& net, const AcceleratorDesign& design,
+                const MemoryImage& image);
+
+  /// One invocation: write the input blob into `image`, run the
+  /// bit-accurate functional simulation with the snapshotted weights,
+  /// store the output blob back, and read it out as the host would.
+  SystemRunResult Run(MemoryImage& image, const Tensor& input,
+                      const PerfOptions& perf_options = {}) const;
+
+  const WeightStore& weights() const { return weights_; }
+
+ private:
+  const Network& net_;
+  const AcceleratorDesign& design_;
+  WeightStore weights_;       // decoded snapshot (owned; sim_ refers to it)
+  FunctionalSimulator sim_;
+};
+
 /// One full invocation against the image: decode weights, run the
 /// bit-accurate functional simulation, store the output blob back into
-/// the image, and read it out as the host would.
+/// the image, and read it out as the host would.  Decodes the weights on
+/// every call so image corruption is always visible; steady-state
+/// callers (the inference server) hold a SystemContext instead.
 SystemRunResult RunSystem(const Network& net,
                           const AcceleratorDesign& design,
                           MemoryImage& image, const Tensor& input,

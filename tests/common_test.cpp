@@ -1,6 +1,7 @@
 // Tests for the common substrate: strings, RNG, math utilities, errors.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/error.h"
@@ -133,10 +134,23 @@ TEST(MathUtil, CeilDiv) {
   EXPECT_EQ(CeilDiv(0, 5), 0);
 }
 
+TEST(MathUtil, CeilDivRejectsContractViolations) {
+  // The documented contract is a >= 0, b > 0; violations used to slip
+  // through and produce floored quotients (or UB for b == 0).
+  EXPECT_THROW(CeilDiv(10, 0), std::logic_error);
+  EXPECT_THROW(CeilDiv(10, -3), std::logic_error);
+  EXPECT_THROW(CeilDiv(-1, 3), std::logic_error);
+}
+
 TEST(MathUtil, RoundUp) {
   EXPECT_EQ(RoundUp(10, 4), 12);
   EXPECT_EQ(RoundUp(12, 4), 12);
   EXPECT_EQ(RoundUp(0, 8), 0);
+}
+
+TEST(MathUtil, RoundUpRejectsContractViolations) {
+  EXPECT_THROW(RoundUp(10, 0), std::logic_error);
+  EXPECT_THROW(RoundUp(-10, 4), std::logic_error);
 }
 
 TEST(MathUtil, FloorPow2) {
@@ -145,6 +159,20 @@ TEST(MathUtil, FloorPow2) {
   EXPECT_EQ(FloorPow2(3), 2);
   EXPECT_EQ(FloorPow2(1023), 512);
   EXPECT_EQ(FloorPow2(1024), 1024);
+}
+
+TEST(MathUtil, FloorPow2NoOverflowNearIntMax) {
+  // Regression: the loop used to compute p * 2 before comparing, which
+  // is signed overflow (UB) once p reaches 2^62 — exactly what happens
+  // for any value >= 2^62.
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t kPow62 = std::int64_t{1} << 62;
+  EXPECT_EQ(FloorPow2(kMax), kPow62);
+  EXPECT_EQ(FloorPow2(kMax - 1), kPow62);
+  EXPECT_EQ(FloorPow2(kPow62), kPow62);
+  EXPECT_EQ(FloorPow2(kPow62 - 1), kPow62 / 2);
+  EXPECT_THROW(FloorPow2(0), std::logic_error);
+  EXPECT_THROW(FloorPow2(-8), std::logic_error);
 }
 
 TEST(MathUtil, IsPow2) {

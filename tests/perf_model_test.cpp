@@ -1,7 +1,10 @@
 // Tests for the transaction-level performance model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/generator.h"
+#include "graph/layer_stats.h"
 #include "models/zoo.h"
 #include "sim/perf_model.h"
 
@@ -118,6 +121,46 @@ TEST(PerfModel, ComputeBoundLayerMatchesLaneMath) {
                   (fold.unit_work + defaults.segment_overhead_cycles))
         << lt.name;
   }
+}
+
+TEST(PerfModel, UnfoldedOverBufferLayerPaysRefetchTraffic) {
+  // Regression: ComputeTraffic used to add refetch passes only when a
+  // layer was folded (segments > 1); an *unfolded* layer whose input
+  // working set exceeds the data buffer silently under-counted DRAM
+  // fetch traffic.  Shrinking the data buffer below a segments == 1
+  // layer's input bytes must now increase total_dram_bytes.
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign roomy = GenerateAccelerator(net, DbConstraint());
+
+  // Find an unfolded layer and the largest input working set among them.
+  std::int64_t max_unfolded_input_bytes = 0;
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    if (roomy.fold_plan.ForLayer(layer->id).segments != 1) continue;
+    const LayerStats stats = ComputeLayerStats(*layer);
+    max_unfolded_input_bytes =
+        std::max(max_unfolded_input_bytes,
+                 stats.input_elems * roomy.config.ElementBytes());
+  }
+  ASSERT_GT(max_unfolded_input_bytes, 0)
+      << "fixture needs at least one unfolded layer";
+
+  AcceleratorDesign cramped = roomy;
+  cramped.config.data_buffer_bytes = max_unfolded_input_bytes / 2;
+  ASSERT_LT(cramped.config.data_buffer_bytes, max_unfolded_input_bytes);
+
+  const PerfResult with_room = SimulatePerformance(net, roomy);
+  const PerfResult without_room = SimulatePerformance(net, cramped);
+  EXPECT_GT(without_room.total_dram_bytes, with_room.total_dram_bytes);
+
+  // The increase must show up on an unfolded layer specifically.
+  bool unfolded_layer_grew = false;
+  for (std::size_t i = 0; i < with_room.layers.size(); ++i) {
+    const LayerTiming& a = with_room.layers[i];
+    const LayerTiming& b = without_room.layers[i];
+    if (a.segments == 1 && b.dram_bytes > a.dram_bytes)
+      unfolded_layer_grew = true;
+  }
+  EXPECT_TRUE(unfolded_layer_grew);
 }
 
 TEST(PerfModel, DeterministicAcrossRuns) {

@@ -1,0 +1,254 @@
+// Tests for the concurrent batched inference server (src/serve).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "serve/batcher.h"
+#include "serve/inference_server.h"
+#include "serve/request_queue.h"
+#include "sim/host_runtime.h"
+
+namespace db {
+namespace {
+
+using serve::Batch;
+using serve::Batcher;
+using serve::BatchPolicy;
+using serve::InferenceServer;
+using serve::PendingRequest;
+using serve::RequestQueue;
+using serve::ServedRequest;
+using serve::ServeOptions;
+using serve::ServerStats;
+
+struct Fixture {
+  Network net;
+  AcceleratorDesign design;
+  WeightStore weights;
+
+  explicit Fixture(ZooModel model = ZooModel::kCifar)
+      : net(BuildZooModel(model)),
+        design(GenerateAccelerator(net, DbConstraint())),
+        weights(WeightStore::CreateFor(net)) {
+    Rng rng(31);
+    weights = WeightStore::CreateRandom(net, rng);
+  }
+
+  Tensor RandomInput(std::uint64_t seed) const {
+    const BlobShape& s = net.layer(net.input_ids().front()).output_shape;
+    Tensor t(Shape{s.channels, s.height, s.width});
+    Rng rng(seed);
+    t.FillUniform(rng, 0.0f, 1.0f);
+    return t;
+  }
+
+  std::vector<Tensor> Inputs(int n) const {
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < n; ++i)
+      inputs.push_back(RandomInput(100 + static_cast<std::uint64_t>(i)));
+    return inputs;
+  }
+};
+
+PendingRequest Req(std::int64_t id, std::int64_t arrival) {
+  PendingRequest r;
+  r.id = id;
+  r.arrival_cycle = arrival;
+  return r;
+}
+
+TEST(Batcher, ClosesOnMaxBatchSize) {
+  Batcher batcher(BatchPolicy{.max_batch_size = 3, .linger_cycles = 1000});
+  EXPECT_FALSE(batcher.Add(Req(0, 10)).has_value());
+  EXPECT_FALSE(batcher.Add(Req(1, 20)).has_value());
+  const auto batch = batcher.Add(Req(2, 30));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 3u);
+  EXPECT_EQ(batch->ready_cycle, 30);  // full batch goes immediately
+  EXPECT_FALSE(batcher.Flush().has_value());
+}
+
+TEST(Batcher, LingerExpiryClosesPartialBatch) {
+  Batcher batcher(BatchPolicy{.max_batch_size = 8, .linger_cycles = 100});
+  EXPECT_FALSE(batcher.Add(Req(0, 50)).has_value());
+  EXPECT_FALSE(batcher.Add(Req(1, 120)).has_value());  // inside window
+  const auto batch = batcher.Add(Req(2, 151));  // outside 50+100
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 2u);
+  EXPECT_EQ(batch->ready_cycle, 150);  // first arrival + linger
+  const auto rest = batcher.Flush();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->requests.size(), 1u);
+  EXPECT_EQ(rest->ready_cycle, 151);  // flush dispatches immediately
+}
+
+TEST(Batcher, RejectsDecreasingArrivals) {
+  Batcher batcher(BatchPolicy{.max_batch_size = 4, .linger_cycles = 0});
+  EXPECT_FALSE(batcher.Add(Req(0, 100)).has_value());
+  EXPECT_THROW(batcher.Add(Req(1, 99)), std::logic_error);
+}
+
+TEST(RequestQueue, FifoAndCloseSemantics) {
+  RequestQueue queue(4);
+  queue.Push(Req(0, 0));
+  queue.Push(Req(1, 0));
+  queue.Close();
+  EXPECT_THROW(queue.Push(Req(2, 0)), Error);
+  EXPECT_EQ(queue.Pop()->id, 0);
+  EXPECT_EQ(queue.Pop()->id, 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(InferenceServer, MatchesSequentialHostRuntimeBitExactly) {
+  Fixture fx;
+  const auto inputs = fx.Inputs(6);
+
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  std::vector<Tensor> seq_inputs(inputs.begin(), inputs.end());
+  const auto sequential = host.InferBatch(seq_inputs);
+
+  for (int workers : {2, 3}) {
+    ServeOptions options;
+    options.workers = workers;
+    options.max_batch_size = 2;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    for (const Tensor& input : inputs) server.Submit(input, 0);
+    const auto& served = server.Drain();
+    ASSERT_EQ(served.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      EXPECT_EQ(MaxAbsDiff(served[i].output, sequential[i].output), 0.0)
+          << "workers=" << workers << " request " << i;
+  }
+}
+
+TEST(InferenceServer, DeterministicScheduleAcrossRuns) {
+  Fixture fx(ZooModel::kAnn1Jpeg);
+  const auto inputs = fx.Inputs(9);
+  auto run = [&] {
+    ServeOptions options;
+    options.workers = 3;
+    options.max_batch_size = 2;
+    options.linger_cycles = 500;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    std::int64_t arrival = 0;
+    for (const Tensor& input : inputs) {
+      server.Submit(input, arrival);
+      arrival += 200;
+    }
+    std::vector<ServedRequest> copy = server.Drain();
+    return std::make_pair(copy, server.Stats());
+  };
+  const auto [a, stats_a] = run();
+  const auto [b, stats_b] = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].worker, b[i].worker) << i;
+    EXPECT_EQ(a[i].batch_id, b[i].batch_id) << i;
+    EXPECT_EQ(a[i].start_cycle, b[i].start_cycle) << i;
+    EXPECT_EQ(a[i].finish_cycle, b[i].finish_cycle) << i;
+    EXPECT_EQ(MaxAbsDiff(a[i].output, b[i].output), 0.0) << i;
+  }
+  EXPECT_EQ(stats_a.makespan_cycles, stats_b.makespan_cycles);
+  EXPECT_EQ(stats_a.total_dram_bytes, stats_b.total_dram_bytes);
+}
+
+TEST(InferenceServer, ThroughputScalesWithWorkers) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  const auto inputs = fx.Inputs(12);
+  auto makespan = [&](int workers) {
+    ServeOptions options;
+    options.workers = workers;
+    options.max_batch_size = 1;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    for (const Tensor& input : inputs) server.Submit(input, 0);
+    server.Drain();
+    return server.Stats().makespan_cycles;
+  };
+  const std::int64_t one = makespan(1);
+  const std::int64_t two = makespan(2);
+  const std::int64_t four = makespan(4);
+  EXPECT_LT(two, one);
+  EXPECT_LT(four, two);
+}
+
+TEST(InferenceServer, ScheduleMatchesColdSteadyCycleMath) {
+  Fixture fx(ZooModel::kCifar);  // weights fit the buffer: steady < cold
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch_size = 2;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  for (const Tensor& input : fx.Inputs(4)) server.Submit(input, 0);
+  const auto& served = server.Drain();
+
+  const std::int64_t cold = server.cold_cycles();
+  const std::int64_t steady = server.steady_cycles();
+  EXPECT_LT(steady, cold);
+  // Two batches of two, all arriving at cycle 0: each worker takes one
+  // batch (cold + steady cycles), starting at cycle 0.
+  ASSERT_EQ(served.size(), 4u);
+  EXPECT_EQ(served[0].worker, 0);
+  EXPECT_EQ(served[2].worker, 1);
+  for (const ServedRequest& r : served) {
+    EXPECT_EQ(r.start_cycle, 0);
+    EXPECT_EQ(r.service_cycles,
+              r.id % 2 == 0 ? cold : steady);  // first-in-batch is cold
+  }
+  EXPECT_EQ(served[1].finish_cycle, cold + steady);
+  EXPECT_EQ(served[3].finish_cycle, cold + steady);
+}
+
+TEST(InferenceServer, StatsAggregateAndPercentilesOrdered) {
+  Fixture fx(ZooModel::kAnn1Jpeg);
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch_size = 4;
+  options.queue_capacity = 2;  // exercise back-pressure
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  std::int64_t total_dram = 0;
+  for (const Tensor& input : fx.Inputs(10)) server.Submit(input, 0);
+  const auto& served = server.Drain();
+  for (const ServedRequest& r : served) {
+    EXPECT_GT(r.service_cycles, 0);
+    EXPECT_GT(r.dram_bytes, 0);
+    EXPECT_GT(r.joules, 0.0);
+    total_dram += r.dram_bytes;
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, 10);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_EQ(stats.total_dram_bytes, total_dram);
+  EXPECT_GT(stats.total_joules, 0.0);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+  EXPECT_LE(stats.latency_p50_s, stats.latency_p90_s);
+  EXPECT_LE(stats.latency_p90_s, stats.latency_p99_s);
+  EXPECT_LE(stats.latency_p99_s, stats.latency_max_s);
+  for (int w = 0; w < stats.workers; ++w) {
+    EXPECT_GE(stats.WorkerUtilization(w), 0.0);
+    EXPECT_LE(stats.WorkerUtilization(w), 1.0);
+  }
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("requests"), std::string::npos);
+  EXPECT_NE(text.find("worker 1"), std::string::npos);
+}
+
+TEST(InferenceServer, SubmitAfterDrainRejected) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  InferenceServer server(fx.net, fx.design, fx.weights);
+  server.Submit(fx.RandomInput(1), 0);
+  server.Drain();
+  EXPECT_THROW(server.Submit(fx.RandomInput(2), 0), Error);
+}
+
+TEST(InferenceServer, DrainWithNoRequestsIsEmpty) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  InferenceServer server(fx.net, fx.design, fx.weights);
+  EXPECT_TRUE(server.Drain().empty());
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, 0);
+  EXPECT_EQ(stats.makespan_cycles, 0);
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,111 @@
+// Tests for the perf-simulator execution trace and its VCD export —
+// the busy-cycle accounting the inference server's utilisation metrics
+// are built on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "sim/perf_model.h"
+#include "sim/trace.h"
+
+namespace db {
+namespace {
+
+TraceEvent Ev(TraceEvent::Resource res, int layer, std::int64_t start,
+              std::int64_t end) {
+  return TraceEvent{res, layer, start, end};
+}
+
+/// Reconstruct the busy-cycle sum of one VCD wire by replaying its value
+/// changes (the inverse of WriteVcd for a single bit signal).
+std::int64_t VcdBusyCycles(const std::string& vcd, char wire) {
+  std::istringstream in(vcd);
+  std::string line;
+  std::int64_t now = 0, busy = 0, high_since = -1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') {
+      now = std::stoll(line.substr(1));
+    } else if (line.size() == 2 && line[1] == wire) {
+      if (line[0] == '1' && high_since < 0) {
+        high_since = now;
+      } else if (line[0] == '0' && high_since >= 0) {
+        busy += now - high_since;
+        high_since = -1;
+      }
+    }
+  }
+  return busy;
+}
+
+TEST(PerfTrace, EmptyTraceIsAllZero) {
+  PerfTrace trace;
+  EXPECT_EQ(trace.BusyCycles(TraceEvent::Resource::kDram), 0);
+  EXPECT_EQ(trace.BusyCycles(TraceEvent::Resource::kDatapath), 0);
+  EXPECT_DOUBLE_EQ(trace.Utilization(TraceEvent::Resource::kDram), 0.0);
+  // With zero total cycles Utilization must not divide by zero.
+  trace.total_cycles = 0;
+  EXPECT_DOUBLE_EQ(trace.Utilization(TraceEvent::Resource::kDatapath), 0.0);
+  // The VCD is still well-formed: header plus initial values.
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("dram_busy"), std::string::npos);
+}
+
+TEST(PerfTrace, BusyCyclesSumPerResource) {
+  PerfTrace trace;
+  trace.events.push_back(Ev(TraceEvent::Resource::kDram, 0, 0, 10));
+  trace.events.push_back(Ev(TraceEvent::Resource::kDram, 1, 20, 25));
+  trace.events.push_back(Ev(TraceEvent::Resource::kDatapath, 0, 10, 40));
+  trace.total_cycles = 40;
+  EXPECT_EQ(trace.BusyCycles(TraceEvent::Resource::kDram), 15);
+  EXPECT_EQ(trace.BusyCycles(TraceEvent::Resource::kDatapath), 30);
+  EXPECT_DOUBLE_EQ(trace.Utilization(TraceEvent::Resource::kDram),
+                   15.0 / 40.0);
+  EXPECT_DOUBLE_EQ(trace.Utilization(TraceEvent::Resource::kDatapath),
+                   30.0 / 40.0);
+}
+
+TEST(PerfTrace, OverlappingIntervalsCountAdditively) {
+  // BusyCycles is an occupancy *sum*, not a union: two transactions that
+  // overlap in time both contribute their full length (utilisation can
+  // therefore exceed 1 on an oversubscribed resource).
+  PerfTrace trace;
+  trace.events.push_back(Ev(TraceEvent::Resource::kDram, 0, 0, 30));
+  trace.events.push_back(Ev(TraceEvent::Resource::kDram, 1, 10, 20));
+  trace.total_cycles = 30;
+  EXPECT_EQ(trace.BusyCycles(TraceEvent::Resource::kDram), 40);
+  EXPECT_DOUBLE_EQ(trace.Utilization(TraceEvent::Resource::kDram),
+                   40.0 / 30.0);
+}
+
+TEST(PerfTrace, VcdRoundTripsBusyCyclesOfSimulatedRun) {
+  // The simulator serialises each resource's transactions (DRAM channel
+  // and datapath are each busy with at most one transfer at a time), so
+  // the VCD wire's high time must equal the BusyCycles sum the server's
+  // utilisation metrics use.
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design = GenerateAccelerator(net, DbConstraint());
+  PerfTrace trace;
+  PerfOptions options;
+  options.trace = &trace;
+  const PerfResult perf = SimulatePerformance(net, design, options);
+  ASSERT_FALSE(trace.events.empty());
+  EXPECT_EQ(trace.total_cycles, perf.total_cycles);
+
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_EQ(VcdBusyCycles(vcd, 'd'),
+            trace.BusyCycles(TraceEvent::Resource::kDram));
+  EXPECT_EQ(VcdBusyCycles(vcd, 'p'),
+            trace.BusyCycles(TraceEvent::Resource::kDatapath));
+}
+
+TEST(PerfTrace, VcdRejectsNonPositiveTimescale) {
+  PerfTrace trace;
+  EXPECT_THROW(WriteVcd(trace, 0.0), std::logic_error);
+  EXPECT_THROW(WriteVcd(trace, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace db

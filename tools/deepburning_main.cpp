@@ -8,6 +8,12 @@
 // report, coordinator schedule, memory map, AGU program) into the output
 // directory.  --simulate additionally runs the performance/energy
 // simulation and prints the summary.
+// The `serve` subcommand runs the concurrent batched inference server
+// against a generated accelerator and prints its simulated-time serving
+// report:
+//
+//   deepburning serve --zoo MNIST --requests 64 --workers 2 --batch 4
+//     [--linger <cycles>] [--arrival-gap <cycles>] [--constraint file]
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,9 +22,12 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "core/generator.h"
 #include "core/design_json.h"
+#include "models/zoo.h"
 #include "rtl/testbench.h"
+#include "serve/inference_server.h"
 #include "sim/trace.h"
 #include "sim/perf_model.h"
 #include "sim/power_model.h"
@@ -40,7 +49,9 @@ void PrintUsage() {
       "accelerators\n\n"
       "usage: deepburning --model <model.prototxt> "
       "[--constraint <constraint.prototxt>]\n"
-      "                   [--out <dir>] [--report] [--simulate]\n\n"
+      "                   [--out <dir>] [--report] [--simulate]\n"
+      "       deepburning serve ...   (batched inference server; "
+      "`deepburning serve --help`)\n\n"
       "  --model       Caffe-compatible network descriptive script "
       "(required)\n"
       "  --constraint  designer resource constraint script (default: "
@@ -79,6 +90,132 @@ CliOptions ParseArgs(int argc, char** argv) {
   return opts;
 }
 
+struct ServeCliOptions {
+  std::string zoo_name;
+  std::string model_path;
+  std::string constraint_path;
+  int requests = 64;
+  int workers = 2;
+  std::int64_t batch = 4;
+  std::int64_t linger = 0;
+  std::int64_t arrival_gap = 0;
+  bool help = false;
+};
+
+void PrintServeUsage() {
+  std::printf(
+      "usage: deepburning serve (--zoo <name> | --model <model.prototxt>)\n"
+      "                         [--constraint <constraint.prototxt>]\n"
+      "                         [--requests N] [--workers N] [--batch N]\n"
+      "                         [--linger CYCLES] [--arrival-gap CYCLES]\n\n"
+      "  --zoo          benchmark model name (ANN-0, ANN-1, ANN-2, "
+      "Hopfield,\n"
+      "                 CMAC, MNIST, Alexnet, NiN, Cifar)\n"
+      "  --model        Caffe-compatible network script instead of --zoo\n"
+      "  --constraint   designer resource constraint script\n"
+      "  --requests     number of requests to submit (default 64)\n"
+      "  --workers      worker contexts, each with a private DRAM image "
+      "(default 2)\n"
+      "  --batch        max requests per batch (default 4)\n"
+      "  --linger       cycles a partial batch waits to fill (default 0)\n"
+      "  --arrival-gap  cycles between request arrivals (default 0: all "
+      "at once)\n");
+}
+
+db::ZooModel ZooModelByName(const std::string& name) {
+  for (db::ZooModel model : db::AllZooModels())
+    if (db::ToLower(db::ZooModelName(model)) == db::ToLower(name))
+      return model;
+  throw db::Error("unknown zoo model '" + name + "' (see --help)");
+}
+
+std::string ReadFile(const std::string& path);
+
+int RunServe(int argc, char** argv) {
+  using namespace db;
+  ServeCliOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--zoo") {
+      opts.zoo_name = next();
+    } else if (arg == "--model") {
+      opts.model_path = next();
+    } else if (arg == "--constraint") {
+      opts.constraint_path = next();
+    } else if (arg == "--requests") {
+      opts.requests = std::stoi(next());
+    } else if (arg == "--workers") {
+      opts.workers = std::stoi(next());
+    } else if (arg == "--batch") {
+      opts.batch = std::stoll(next());
+    } else if (arg == "--linger") {
+      opts.linger = std::stoll(next());
+    } else if (arg == "--arrival-gap") {
+      opts.arrival_gap = std::stoll(next());
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      throw Error("unknown serve argument '" + arg + "' (see --help)");
+    }
+  }
+  if (opts.help || (opts.zoo_name.empty() && opts.model_path.empty())) {
+    PrintServeUsage();
+    return opts.help ? 0 : 2;
+  }
+  if (opts.requests < 1) throw Error("--requests must be at least 1");
+  if (opts.workers < 1) throw Error("--workers must be at least 1");
+  if (opts.batch < 1) throw Error("--batch must be at least 1");
+  if (opts.linger < 0) throw Error("--linger must be non-negative");
+  if (opts.arrival_gap < 0)
+    throw Error("--arrival-gap must be non-negative");
+
+  const Network net =
+      opts.zoo_name.empty()
+          ? Network::Build(ParseNetworkDef(ReadFile(opts.model_path)))
+          : BuildZooModel(ZooModelByName(opts.zoo_name));
+  const DesignConstraint constraint =
+      opts.constraint_path.empty()
+          ? ParseConstraint(std::string())
+          : ParseConstraint(ReadFile(opts.constraint_path));
+  const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+
+  Rng rng(2016);
+  WeightStore weights = WeightStore::CreateRandom(net, rng);
+
+  serve::ServeOptions server_opts;
+  server_opts.workers = opts.workers;
+  server_opts.max_batch_size = opts.batch;
+  server_opts.linger_cycles = opts.linger;
+  server_opts.device_name = constraint.device;
+  serve::InferenceServer server(net, design, weights, server_opts);
+
+  std::printf(
+      "serving '%s': %d requests, %d workers, batch <= %lld, linger %lld "
+      "cycles, arrivals every %lld cycles\n",
+      net.name().c_str(), opts.requests, opts.workers,
+      static_cast<long long>(opts.batch),
+      static_cast<long long>(opts.linger),
+      static_cast<long long>(opts.arrival_gap));
+
+  const BlobShape& in_shape =
+      net.layer(net.input_ids().front()).output_shape;
+  for (int i = 0; i < opts.requests; ++i) {
+    Tensor input(
+        Shape{in_shape.channels, in_shape.height, in_shape.width});
+    Rng input_rng(1000 + static_cast<std::uint64_t>(i));
+    input.FillUniform(input_rng, 0.0f, 1.0f);
+    server.Submit(std::move(input), static_cast<std::int64_t>(i) *
+                                        opts.arrival_gap);
+  }
+  server.Drain();
+  std::printf("%s", server.Stats().ToString().c_str());
+  return 0;
+}
+
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw db::Error("cannot read " + path);
@@ -100,6 +237,8 @@ void WriteFile(const std::filesystem::path& path,
 int main(int argc, char** argv) {
   using namespace db;
   try {
+    if (argc > 1 && std::string(argv[1]) == "serve")
+      return RunServe(argc, argv);
     const CliOptions opts = ParseArgs(argc, argv);
     if (opts.help || opts.model_path.empty()) {
       PrintUsage();
