@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "serve/inference_server.h"
 
 namespace {
@@ -36,10 +37,10 @@ int main() {
   std::printf("=== Serving throughput: workers x batch (simulated time, "
               "%d requests, all arriving at cycle 0) ===\n",
               kRequests);
-  std::printf("%-10s %8s %8s %10s %12s %12s %12s %10s\n", "model",
-              "workers", "batch", "batches", "req/s", "p50_ms", "p99_ms",
-              "speedup");
-  PrintRule(92);
+  std::printf("%-10s %8s %8s %10s %12s %12s %12s %10s %10s %6s\n",
+              "model", "workers", "batch", "batches", "req/s", "p50_ms",
+              "p99_ms", "speedup", "qwait_ms", "depth");
+  PrintRule(110);
 
   for (ZooModel model : {ZooModel::kMnist, ZooModel::kAlexnet}) {
     const Network net = BuildZooModel(model);
@@ -54,24 +55,33 @@ int main() {
     double base_rps = 0.0;
     for (int workers : {1, 2, 4}) {
       for (std::int64_t batch : {1, 4, 16}) {
+        obs::MetricsRegistry metrics;
         serve::ServeOptions options;
         options.workers = workers;
         options.max_batch_size = batch;
+        options.metrics = &metrics;
         serve::InferenceServer server(net, design, weights, options);
         for (const Tensor& input : inputs) server.Submit(input, 0);
         server.Drain();
         const serve::ServerStats stats = server.Stats();
         if (workers == 1 && batch == 1) base_rps = stats.throughput_rps;
+        // Mean queue residency and peak depth come from the obs
+        // registry the server published into at drain time.
+        const double qwait_ms =
+            metrics.HistogramOf("serve.queue_wait_cycles").Mean() /
+            (design.config.frequency_mhz * 1e3);
         std::printf(
-            "%-10s %8d %8lld %10lld %12.1f %12.4f %12.4f %9.2fx\n",
+            "%-10s %8d %8lld %10lld %12.1f %12.4f %12.4f %9.2fx "
+            "%10.4f %6.0f\n",
             ZooModelName(model).c_str(), workers,
             static_cast<long long>(batch),
             static_cast<long long>(stats.batches), stats.throughput_rps,
             stats.latency_p50_s * 1e3, stats.latency_p99_s * 1e3,
-            stats.throughput_rps / base_rps);
+            stats.throughput_rps / base_rps, qwait_ms,
+            metrics.GaugeValue("serve.queue_depth_peak"));
       }
     }
-    PrintRule(92);
+    PrintRule(110);
   }
   std::printf(
       "\nshape: throughput scales with worker count (each worker is an "

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the default build + full test suite, followed by a
-# sanitized configuration that exercises the multi-threaded inference
-# server (and the suites around it) under ASan+UBSan.
+# Tier-1 verification: the default build + full test suite, followed by
+# sanitized configurations — ASan+UBSan over the inference server and its
+# substrate, then TSan over the concurrency-labelled suites (server
+# workers, metrics sinks, the logger).
 #
 # Usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -17,8 +18,14 @@ echo "== tier-1: ASan+UBSan on the concurrent server and its substrate =="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}" \
   --target serve_test trace_test common_test perf_model_test \
-           host_runtime_test system_sim_test
+           host_runtime_test system_sim_test obs_test
 ctest --preset asan -j "${JOBS}" \
-  -R 'Batcher|RequestQueue|InferenceServer|PerfTrace|MathUtil|HostRuntime|SystemSim|PerfModel'
+  -R 'Batcher|RequestQueue|InferenceServer|PerfTrace|MathUtil|HostRuntime|SystemSim|PerfModel|Metrics|Tracer|ScopedSpan|ChromeTrace|ExportPerfTrace'
+
+echo "== tier-1: TSan on the thread-labelled suites (ctest -L threads) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}" \
+  --target serve_test obs_test common_test
+ctest --preset tsan -j "${JOBS}" -L threads
 
 echo "tier-1 OK"

@@ -1,10 +1,14 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/strings.h"
 
 namespace db {
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -16,11 +20,34 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("DB_LOG_LEVEL");
+  if (env != nullptr)
+    if (const std::optional<LogLevel> parsed = ParseLogLevel(env))
+      return *parsed;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 void SetLogLevel(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  const std::string lower = ToLower(Trim(text));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2")
+    return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4")
+    return LogLevel::kOff;
+  return std::nullopt;
 }
 
 namespace internal {
@@ -35,7 +62,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  // One mutex-ordered fwrite per line: concurrent server workers may
+  // race to log, but no line ever interleaves with another mid-text
+  // (operator<< on std::cerr flushes per insertion and could).
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
   (void)level_;
 }
 

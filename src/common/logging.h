@@ -2,20 +2,31 @@
 //
 // Usage: DB_LOG(kInfo) << "mapped " << n << " layers";
 // The global level defaults to kWarn so tests and benches stay quiet;
-// examples raise it to kInfo to narrate the flow.
+// examples raise it to kInfo to narrate the flow, and the DB_LOG_LEVEL
+// environment variable ("debug".."off" or 0..4) overrides the default
+// without code changes.  Each line is flushed to stderr as one atomic,
+// mutex-ordered write, so lines from concurrent server workers never
+// interleave mid-line.
 #pragma once
 
-#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace db {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide minimum level that is actually emitted.
+/// Process-wide minimum level that is actually emitted.  The initial
+/// value comes from the DB_LOG_LEVEL environment variable when set to a
+/// parseable level, else kWarn.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive)
+/// or a numeric level 0..4; nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
 
 namespace internal {
 

@@ -393,29 +393,58 @@ std::vector<BlockInstance> PickBlocks(const AcceleratorConfig& config,
 }  // namespace
 
 AcceleratorDesign GenerateAccelerator(const Network& net,
-                                      const DesignConstraint& constraint) {
+                                      const DesignConstraint& constraint,
+                                      obs::Tracer* tracer) {
+  // Toolchain spans tick an ordinal clock (one tick per phase) starting
+  // where the caller's own toolchain spans (parse, constraint) ended —
+  // deterministic, unlike wall time.
+  obs::TickClock clock(tracer != nullptr ? tracer->TrackEnd("toolchain")
+                                         : 0);
+  auto phase = [&](const char* name, int attempt, auto&& body) {
+    obs::ScopedSpan span(tracer, clock, "toolchain", name, "toolchain");
+    if (attempt > 0) span.AddArg("attempt", std::to_string(attempt));
+    body();
+    clock.Advance(1);
+  };
+
   AcceleratorDesign design;
-  design.config = SizeDatapath(net, constraint);
+  phase("size datapath", 0,
+        [&] { design.config = SizeDatapath(net, constraint); });
 
   // Iteratively compile and tally; if the realised design exceeds the
   // budget (LUT-multiplier lanes are the dominant knob), fold harder by
   // halving the lane allocation and recompiling.
   for (int attempt = 0;; ++attempt) {
     design.lut_specs.clear();
-    design.fold_plan = PlanFolding(net, design.config);
-    design.layout = PlanDataLayout(net, design.config.memory_port_elems);
-    design.memory_map = MemoryMap::Build(net, design.config);
-    design.agu_program =
-        BuildAguProgram(net, design.config, design.fold_plan,
-                        design.layout, design.memory_map);
-    design.schedule = BuildSchedule(net, design.fold_plan,
-                                    design.agu_program);
-    design.buffer_plan = PlanBuffers(net, design.config, design.fold_plan,
-                                     design.layout);
-    design.connection_plan = PlanConnections(net, design.schedule);
-    design.blocks = PickBlocks(design.config, net, design.agu_program,
-                               design.fold_plan, design.lut_specs);
-    design.resources = TallyResources(design.blocks);
+    phase("folding", attempt,
+          [&] { design.fold_plan = PlanFolding(net, design.config); });
+    phase("data layout", attempt, [&] {
+      design.layout = PlanDataLayout(net, design.config.memory_port_elems);
+    });
+    phase("memory map", attempt, [&] {
+      design.memory_map = MemoryMap::Build(net, design.config);
+    });
+    phase("agu program", attempt, [&] {
+      design.agu_program =
+          BuildAguProgram(net, design.config, design.fold_plan,
+                          design.layout, design.memory_map);
+    });
+    phase("schedule", attempt, [&] {
+      design.schedule = BuildSchedule(net, design.fold_plan,
+                                      design.agu_program);
+    });
+    phase("buffer plan", attempt, [&] {
+      design.buffer_plan = PlanBuffers(net, design.config,
+                                       design.fold_plan, design.layout);
+    });
+    phase("connection plan", attempt, [&] {
+      design.connection_plan = PlanConnections(net, design.schedule);
+    });
+    phase("pick blocks", attempt, [&] {
+      design.blocks = PickBlocks(design.config, net, design.agu_program,
+                                 design.fold_plan, design.lut_specs);
+      design.resources = TallyResources(design.blocks);
+    });
     if (design.config.budget.Fits(design.resources.total)) break;
     if (attempt >= 24)
       DB_THROW("network '" << net.name() << "' does not fit budget "
@@ -456,8 +485,9 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
       design.config.accumulator_lanes = design.config.TotalLanes();
     }
   }
-  design.rtl = BuildRtl(design.config, design.blocks);
-  CheckDesignOrThrow(design.rtl);
+  phase("rtl emit", 0,
+        [&] { design.rtl = BuildRtl(design.config, design.blocks); });
+  phase("lint", 0, [&] { CheckDesignOrThrow(design.rtl); });
 
   DB_LOG(kInfo) << "generated accelerator for '" << net.name() << "': "
                 << design.config.TotalLanes() << " lanes, "
@@ -468,12 +498,26 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
 
 AcceleratorDesign GenerateFromScripts(
     const std::string& model_prototxt,
-    const std::string& constraint_prototxt) {
-  const NetworkDef def = ParseNetworkDef(model_prototxt);
+    const std::string& constraint_prototxt,
+    obs::Tracer* tracer) {
+  obs::TickClock clock(tracer != nullptr ? tracer->TrackEnd("toolchain")
+                                         : 0);
+  NetworkDef def;
+  {
+    obs::ScopedSpan span(tracer, clock, "toolchain", "parse model",
+                         "toolchain");
+    def = ParseNetworkDef(model_prototxt);
+    clock.Advance(1);
+  }
   const Network net = Network::Build(def);
-  const DesignConstraint constraint =
-      ParseConstraint(constraint_prototxt);
-  return GenerateAccelerator(net, constraint);
+  DesignConstraint constraint;
+  {
+    obs::ScopedSpan span(tracer, clock, "toolchain", "parse constraint",
+                         "toolchain");
+    constraint = ParseConstraint(constraint_prototxt);
+    clock.Advance(1);
+  }
+  return GenerateAccelerator(net, constraint, tracer);
 }
 
 SharedAccelerator GenerateSharedAccelerator(

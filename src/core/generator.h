@@ -23,6 +23,7 @@
 #include "core/schedule.h"
 #include "graph/network.h"
 #include "hwlib/resource_model.h"
+#include "obs/tracer.h"
 #include "rtl/verilog.h"
 
 namespace db {
@@ -49,13 +50,24 @@ struct AcceleratorDesign {
 /// Generate an accelerator for `net` under `constraint`.
 /// Throws db::Error when the constraint cannot accommodate the network
 /// (e.g. no lanes fit the budget).
+///
+/// With a tracer, every compilation phase (sizing → folding → data
+/// layout → memory map → agu program → schedule → buffer plan →
+/// connections → blocks → rtl emit → lint) is recorded as one span on
+/// the "toolchain" track, one ordinal tick per phase (the toolchain has
+/// no simulated clock); refit attempts annotate their spans.  The
+/// timeline continues from the track's prior end, so a caller's own
+/// parse/constraint spans slot in before these.
 AcceleratorDesign GenerateAccelerator(const Network& net,
-                                      const DesignConstraint& constraint);
+                                      const DesignConstraint& constraint,
+                                      obs::Tracer* tracer = nullptr);
 
-/// Convenience wrapper: parse both scripts and generate.
+/// Convenience wrapper: parse both scripts and generate (the scripted
+/// phases land on the same toolchain track when traced).
 AcceleratorDesign GenerateFromScripts(
     const std::string& model_prototxt,
-    const std::string& constraint_prototxt);
+    const std::string& constraint_prototxt,
+    obs::Tracer* tracer = nullptr);
 
 /// The datapath-sizing step alone (exposed for tests and DSE sweeps):
 /// decides lanes, buffers and port width under the budget.

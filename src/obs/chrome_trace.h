@@ -1,0 +1,25 @@
+// Chrome Trace Event JSON export of a Tracer — loadable in Perfetto /
+// chrome://tracing, the software-shaped sibling of sim/trace.h's VCD.
+//
+// Mapping: every track becomes one named thread of a single
+// "deepburning" process; synchronous spans become complete ("X") events
+// and async spans become begin/end ("b"/"e") pairs keyed by span id so
+// overlapping lifetimes (queue residency) render on their own rows.
+// Timestamps are microseconds derived from deterministic ticks at the
+// design clock: ts_us = ticks / frequency_mhz.  The emission order is a
+// pure function of the span set, so two runs that recorded the same
+// spans produce byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace db::obs {
+
+/// Render the whole tracer as one Chrome Trace Event JSON document.
+/// `frequency_mhz` is the simulated clock used for the tick→µs mapping
+/// and must be positive.
+std::string WriteChromeTrace(const Tracer& tracer, double frequency_mhz);
+
+}  // namespace db::obs

@@ -1,0 +1,74 @@
+// MetricsRegistry: named counters, gauges and histograms shared by the
+// toolchain, the simulators and the inference server.
+//
+// Design rules, chosen so the registry never breaks the repo's
+// determinism guarantee (PR 1: every reported number is a pure function
+// of the simulated workload, not of thread timing):
+//
+//   * Counters and histograms are *commutative* — concurrent publishers
+//     (server workers) may interleave arbitrarily and the final value is
+//     still identical run to run.
+//   * Gauges are last-write-wins and must therefore only be set from
+//     deterministic single-threaded code (e.g. InferenceServer::Drain
+//     after the workers joined).
+//   * Iteration and JSON export walk the metric names in sorted order,
+//     so two runs that published the same values emit byte-identical
+//     JSON regardless of publication order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include <map>
+
+namespace db::obs {
+
+/// Streaming summary of one histogram metric (no sample buffer: the
+/// registry stays O(#metrics) no matter how many samples flow through).
+struct HistogramStats {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Add `delta` to the named counter (created at zero on first use).
+  void AddCounter(std::string_view name, std::int64_t delta = 1);
+
+  /// Set the named gauge (single-writer; see header comment).
+  void SetGauge(std::string_view name, double value);
+
+  /// Feed one sample into the named histogram.
+  void Observe(std::string_view name, double value);
+
+  /// Reads return the zero value for names never published.
+  std::int64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  HistogramStats HistogramOf(std::string_view name) const;
+
+  std::size_t size() const;  // total metrics across all three kinds
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with names in sorted order; byte-stable for equal contents.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramStats, std::less<>> histograms_;
+};
+
+}  // namespace db::obs

@@ -1,0 +1,84 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace db::obs {
+
+void Tracer::Record(Span span) {
+  DB_CHECK_MSG(span.end >= span.start,
+               "span '" + span.name + "' ends before it starts");
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::RecordSpan(std::string track, std::string name,
+                        std::int64_t start, std::int64_t end,
+                        std::string category) {
+  Span span;
+  span.track = std::move(track);
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start = start;
+  span.end = end;
+  Record(std::move(span));
+}
+
+bool Tracer::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty();
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::int64_t Tracer::TrackEnd(std::string_view track) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t end = 0;
+  for (const Span& span : spans_)
+    if (span.track == track) end = std::max(end, span.end);
+  return end;
+}
+
+std::vector<Span> Tracer::Sorted() const {
+  std::vector<Span> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.track != b.track) return a.track < b.track;
+    if (a.end != b.end) return a.end > b.end;  // longest first: parents
+    if (a.name != b.name) return a.name < b.name;
+    return a.id < b.id;
+  });
+  return spans;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const TickClock& clock,
+                       std::string track, std::string name,
+                       std::string category)
+    : tracer_(tracer), clock_(clock) {
+  if (tracer_ == nullptr) return;
+  span_.track = std::move(track);
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.start = clock_.now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  span_.end = clock_.now();
+  tracer_->Record(std::move(span_));
+}
+
+void ScopedSpan::AddArg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace db::obs

@@ -1,9 +1,11 @@
 #include "serve/inference_server.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "sim/power_model.h"
 
 namespace db::serve {
@@ -26,9 +28,11 @@ InferenceServer::InferenceServer(const Network& net,
   // The scheduler charges every invocation its deterministic cycle cost,
   // so batch placement never depends on thread timing.  Traces are a
   // per-run artifact, not a serving concern: workers always simulate
-  // untraced.
+  // untraced.  These planning presimulations also publish no metrics —
+  // only actual request service does.
   PerfOptions cold = options_.perf;
   cold.trace = nullptr;
+  cold.metrics = nullptr;
   cold.weights_resident = false;
   cold_cycles_ = SimulatePerformance(net_, design_, cold).total_cycles;
   PerfOptions steady = cold;
@@ -140,6 +144,9 @@ void InferenceServer::WorkerLoop(int index) {
 
     std::int64_t cycle = scheduled.start_cycle;
     for (PendingRequest& request : scheduled.batch.requests) {
+      // Workers never trace (the interval stream is ordering-sensitive)
+      // but do publish the commutative "sim.*" counters when the caller
+      // supplied perf.metrics.
       PerfOptions perf = options_.perf;
       perf.trace = nullptr;
       perf.weights_resident = ctx.warm;
@@ -188,9 +195,106 @@ const std::vector<ServedRequest>& InferenceServer::Drain() {
     DB_CHECK_MSG(completed_ ==
                      static_cast<std::int64_t>(results_.size()),
                  "drained server left requests incomplete");
+    if (!drained_) PublishObservability();
     drained_ = true;
   }
   return results_;
+}
+
+void InferenceServer::PublishObservability() {
+  // Called once, after every worker joined: the records are final and
+  // this thread is the only publisher, so span emission order — and the
+  // exported trace bytes — are a pure function of the schedule.
+  if (options_.tracer != nullptr) {
+    obs::Tracer& tracer = *options_.tracer;
+    std::map<std::int64_t, std::vector<const ServedRequest*>> batches;
+    for (const ServedRequest& r : results_) {
+      const std::int64_t service_start = r.finish_cycle - r.service_cycles;
+      const std::string worker_track =
+          StrFormat("serve/worker %d", r.worker);
+
+      // Queue residency overlaps across requests: async span, one row
+      // per request id in Perfetto.
+      obs::Span queued;
+      queued.track = "serve/queue";
+      queued.name = StrFormat("req %lld", static_cast<long long>(r.id));
+      queued.category = "serve";
+      queued.start = r.arrival_cycle;
+      queued.end = service_start;
+      queued.async = true;
+      queued.id = r.id;
+      queued.args.emplace_back(
+          "batch", std::to_string(r.batch_id));
+      queued.args.emplace_back("worker", std::to_string(r.worker));
+      tracer.Record(std::move(queued));
+
+      obs::Span service;
+      service.track = worker_track;
+      service.name = StrFormat("req %lld", static_cast<long long>(r.id));
+      service.category = "serve";
+      service.start = service_start;
+      service.end = r.finish_cycle;
+      service.args.emplace_back("batch", std::to_string(r.batch_id));
+      service.args.emplace_back("dram_bytes",
+                                std::to_string(r.dram_bytes));
+      tracer.Record(std::move(service));
+
+      batches[r.batch_id].push_back(&r);
+    }
+    for (const auto& [batch_id, members] : batches) {
+      obs::Span span;
+      span.track = StrFormat("serve/worker %d", members.front()->worker);
+      span.name = StrFormat("batch %lld", static_cast<long long>(batch_id));
+      span.category = "serve";
+      span.start = members.front()->start_cycle;
+      span.end = 0;
+      for (const ServedRequest* r : members)
+        span.end = std::max(span.end, r->finish_cycle);
+      span.args.emplace_back("size", std::to_string(members.size()));
+      tracer.Record(std::move(span));
+    }
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    std::int64_t makespan = 0;
+    std::map<std::int64_t, std::int64_t> batch_sizes;
+    // Queue depth over simulated time: +1 at arrival, -1 at service
+    // start (departures at a cycle clear before same-cycle arrivals).
+    std::vector<std::pair<std::int64_t, int>> depth_events;
+    for (const ServedRequest& r : results_) {
+      const std::int64_t service_start = r.finish_cycle - r.service_cycles;
+      m.AddCounter("serve.requests");
+      m.AddCounter("serve.dram_bytes", r.dram_bytes);
+      m.Observe("serve.queue_wait_cycles",
+                static_cast<double>(service_start - r.arrival_cycle));
+      m.Observe("serve.service_cycles",
+                static_cast<double>(r.service_cycles));
+      makespan = std::max(makespan, r.finish_cycle);
+      ++batch_sizes[r.batch_id];
+      depth_events.emplace_back(r.arrival_cycle, +1);
+      depth_events.emplace_back(service_start, -1);
+    }
+    m.AddCounter("serve.batches",
+                 static_cast<std::int64_t>(batch_sizes.size()));
+    for (const auto& [batch_id, size] : batch_sizes)
+      m.Observe("serve.batch_size", static_cast<double>(size));
+    std::sort(depth_events.begin(), depth_events.end());
+    std::int64_t depth = 0, peak = 0;
+    for (const auto& [cycle, delta] : depth_events)
+      peak = std::max(peak, depth += delta);
+    m.SetGauge("serve.queue_depth_peak", static_cast<double>(peak));
+    m.SetGauge("serve.makespan_cycles", static_cast<double>(makespan));
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const std::int64_t busy = workers_[w]->busy_cycles;
+      m.SetGauge(StrFormat("serve.worker%zu.busy_cycles", w),
+                 static_cast<double>(busy));
+      m.SetGauge(StrFormat("serve.worker%zu.utilization", w),
+                 makespan > 0 ? static_cast<double>(busy) /
+                                    static_cast<double>(makespan)
+                              : 0.0);
+    }
+  }
 }
 
 ServerStats InferenceServer::Stats() const {

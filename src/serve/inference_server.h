@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
 #include "serve/server_stats.h"
@@ -51,6 +53,17 @@ struct ServeOptions {
   /// `weights_resident` itself (cold first image per worker, steady
   /// after), matching HostRuntime::InferBatch.
   PerfOptions perf;
+  /// Optional observability sinks.  Request lifecycle spans — queue
+  /// residency on "serve/queue" (async) plus batch and per-request
+  /// service spans on "serve/worker N" — and the "serve.*" metrics are
+  /// published once, inside the first Drain() call, derived from the
+  /// deterministic per-request records after every worker joined; the
+  /// worker threads themselves never touch the sinks, so the emitted
+  /// trace is byte-identical across runs.  `perf.metrics` additionally
+  /// receives the workers' per-invocation "sim.*" counters (commutative,
+  /// still deterministic).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class InferenceServer {
@@ -110,6 +123,9 @@ class InferenceServer {
   void DispatcherLoop();
   void WorkerLoop(int index);
   void DispatchBatch(Batch batch);
+  /// Emit spans + metrics from the completed records (results_mu_ held,
+  /// workers joined); runs once, from the first Drain().
+  void PublishObservability();
 
   const Network& net_;
   const AcceleratorDesign& design_;

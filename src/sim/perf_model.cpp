@@ -16,6 +16,7 @@ struct LayerTraffic {
   std::int64_t fetch_bytes = 0;   // bytes occupying the DRAM channel
   std::int64_t store_bytes = 0;
   std::int64_t useful_bytes = 0;  // traffic net of utilisation waste
+  std::int64_t passes = 1;        // input re-streams (buffer overflow)
 };
 
 LayerTraffic ComputeTraffic(const IrLayer& layer, const TileSpec& layout,
@@ -40,6 +41,7 @@ LayerTraffic ComputeTraffic(const IrLayer& layer, const TileSpec& layout,
   if (input_bytes > config.data_buffer_bytes)
     passes = CeilDiv(input_bytes,
                      std::max<std::int64_t>(config.data_buffer_bytes, 1));
+  t.passes = passes;
 
   const double fetched =
       static_cast<double>(input_bytes) * layout.refetch /
@@ -108,6 +110,7 @@ PerfResult SimulatePerformance(const Network& net,
     lt.name = layer->name();
     lt.segments = fold.segments;
     lt.dram_bytes = traffic.fetch_bytes + traffic.store_bytes;
+    lt.refetch_passes = traffic.passes;
 
     const std::int64_t layer_start = now;
     const std::int64_t segs = std::max<std::int64_t>(fold.segments, 1);
@@ -173,6 +176,22 @@ PerfResult SimulatePerformance(const Network& net,
   }
   result.total_cycles = now;
   if (options.trace != nullptr) options.trace->total_cycles = now;
+  if (options.metrics != nullptr) {
+    // Commutative kinds only (counters + histograms): concurrent server
+    // workers publishing into one registry must stay deterministic.
+    obs::MetricsRegistry& m = *options.metrics;
+    m.AddCounter("sim.invocations");
+    m.AddCounter("sim.total_cycles", result.total_cycles);
+    m.AddCounter("sim.dram_bytes", result.total_dram_bytes);
+    for (const LayerTiming& lt : result.layers) {
+      m.AddCounter("sim.datapath_cycles", lt.compute_cycles);
+      m.AddCounter("sim.memory_cycles", lt.memory_cycles);
+      m.AddCounter("sim.fold_segments", lt.segments);
+      m.AddCounter("sim.refetch_passes", lt.refetch_passes);
+      m.Observe("sim.layer_cycles",
+                static_cast<double>(lt.total_cycles));
+    }
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/generator.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 
 namespace db {
@@ -38,6 +39,12 @@ struct PerfOptions {
   /// When set, the simulator records every DRAM / datapath busy interval
   /// here (see sim/trace.h for VCD export).
   PerfTrace* trace = nullptr;
+  /// When set, the simulator publishes per-invocation counters and
+  /// histograms here ("sim.*": DRAM bytes, busy cycles, refetch passes,
+  /// fold segments, per-layer cycles).  Only commutative metric kinds
+  /// are published, so concurrent server workers sharing one registry
+  /// still produce run-to-run identical totals.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Timing of one layer.
@@ -49,6 +56,9 @@ struct LayerTiming {
   std::int64_t memory_cycles = 0;   // DRAM-channel-busy cycles
   std::int64_t total_cycles = 0;    // after overlap
   std::int64_t dram_bytes = 0;
+  /// Input re-streaming passes forced by data-buffer overflow (1 = the
+  /// working set fit and streamed once).
+  std::int64_t refetch_passes = 1;
 };
 
 /// Whole-network timing.

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.h"
+
 namespace db {
 
 /// One busy interval of a shared resource, in accelerator cycles.
@@ -37,7 +39,18 @@ struct PerfTrace {
 
 /// Render the trace as a Value Change Dump.  `timescale_ns` is the
 /// duration of one cycle.  Signals: dram_busy, datapath_busy, and an
-/// 8-bit active_layer index bus (follows the datapath events).
+/// active_layer index bus (follows the datapath events) sized from the
+/// largest layer id in the trace (at least 8 bits).  Datapath events
+/// must carry non-negative layer ids.
 std::string WriteVcd(const PerfTrace& trace, double timescale_ns = 10.0);
+
+/// Mirror the recorded busy intervals onto the Chrome-trace-shaped
+/// tracer (obs/chrome_trace.h): one span per transaction, named
+/// "layer <id>", on tracks "<prefix>dram" and "<prefix>datapath".
+/// The VCD shows the same intervals as waveforms; the tracer export is
+/// what lets them sit on a shared timeline with toolchain and serving
+/// spans in Perfetto.
+void ExportPerfTrace(const PerfTrace& trace, obs::Tracer& tracer,
+                     const std::string& track_prefix = "sim/");
 
 }  // namespace db

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -225,6 +226,34 @@ TEST(Error, CheckThrowsLogicError) {
   EXPECT_THROW(DB_CHECK(1 == 2), std::logic_error);
   EXPECT_NO_THROW(DB_CHECK(1 == 1));
   EXPECT_THROW(DB_CHECK_MSG(false, "context"), std::logic_error);
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("  warn \n"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("4"), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("loud"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("5"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("-1"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("1.5"), std::nullopt);
+}
+
+TEST(Logging, SetLevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+  EXPECT_EQ(GetLogLevel(), before);
 }
 
 }  // namespace

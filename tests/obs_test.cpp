@@ -1,0 +1,467 @@
+// Tests for the observability layer (src/obs): metrics registry
+// round-trip, deterministic span tracing, and the Chrome-trace export —
+// including the byte-stability guarantees the serving path relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "sim/trace.h"
+
+namespace db {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::ScopedSpan;
+using obs::Span;
+using obs::TickClock;
+using obs::Tracer;
+using obs::WriteChromeTrace;
+
+/// Minimal recursive-descent JSON validator: enough grammar to reject
+/// malformed output without pulling in a JSON dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (c == '"') return true;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// All "ts" values in event order (the exporter emits one event per
+/// line, so scanning linearly preserves emission order).
+std::vector<double> TimestampsInOrder(const std::string& trace) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while ((pos = trace.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::stod(trace.substr(pos)));
+  }
+  return out;
+}
+
+TEST(Metrics, CounterRoundTrip) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.CounterValue("never"), 0);
+  m.AddCounter("requests");
+  m.AddCounter("requests");
+  m.AddCounter("bytes", 4096);
+  m.AddCounter("bytes", -96);
+  EXPECT_EQ(m.CounterValue("requests"), 2);
+  EXPECT_EQ(m.CounterValue("bytes"), 4000);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry m;
+  EXPECT_DOUBLE_EQ(m.GaugeValue("never"), 0.0);
+  m.SetGauge("depth", 3.0);
+  m.SetGauge("depth", 7.5);
+  EXPECT_DOUBLE_EQ(m.GaugeValue("depth"), 7.5);
+}
+
+TEST(Metrics, HistogramTracksStreamingStats) {
+  MetricsRegistry m;
+  const obs::HistogramStats empty = m.HistogramOf("never");
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);  // no divide-by-zero
+  m.Observe("latency", 10.0);
+  m.Observe("latency", 2.0);
+  m.Observe("latency", 6.0);
+  const obs::HistogramStats h = m.HistogramOf("latency");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 18.0);
+  EXPECT_DOUBLE_EQ(h.min, 2.0);
+  EXPECT_DOUBLE_EQ(h.max, 10.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 6.0);
+}
+
+TEST(Metrics, SizeSpansAllThreeKinds) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.size(), 0u);
+  m.AddCounter("a");
+  m.SetGauge("b", 1.0);
+  m.Observe("c", 1.0);
+  m.Observe("c", 2.0);  // same histogram, not a new metric
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Metrics, JsonGolden) {
+  MetricsRegistry m;
+  m.AddCounter("serve.requests", 8);
+  m.SetGauge("serve.depth", 3.0);
+  m.SetGauge("serve.util", 0.5);
+  m.Observe("serve.wait", 4.0);
+  m.Observe("serve.wait", 2.0);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"serve.requests\": 8\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"serve.depth\": 3,\n"
+      "    \"serve.util\": 0.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"serve.wait\": {\"count\": 2, \"sum\": 6, \"min\": 2, "
+      "\"max\": 4, \"mean\": 3}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(m.ToJson(), expected);
+  EXPECT_TRUE(JsonValidator(m.ToJson()).Valid());
+}
+
+TEST(Metrics, JsonByteStableAcrossPublicationOrder) {
+  // Commutative metrics published in any interleaving must export the
+  // same bytes — the property that lets concurrent workers publish.
+  MetricsRegistry a;
+  a.AddCounter("x", 1);
+  a.AddCounter("y", 2);
+  a.Observe("h", 1.0);
+  a.Observe("h", 5.0);
+  MetricsRegistry b;
+  b.Observe("h", 5.0);
+  b.AddCounter("y", 2);
+  b.Observe("h", 1.0);
+  b.AddCounter("x", 1);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(Metrics, EmptyRegistryIsValidJson) {
+  MetricsRegistry m;
+  EXPECT_TRUE(JsonValidator(m.ToJson()).Valid());
+}
+
+TEST(Tracer, RejectsNegativeLengthSpans) {
+  Tracer t;
+  Span bad;
+  bad.track = "x";
+  bad.start = 10;
+  bad.end = 9;
+  EXPECT_THROW(t.Record(bad), std::logic_error);
+}
+
+TEST(Tracer, SortedImposesDeterministicTotalOrder) {
+  auto build = [](const std::vector<int>& order) {
+    auto tracer = std::make_unique<Tracer>();
+    // Three spans: same start, different lengths; plus a later one.
+    std::vector<Span> spans(4);
+    spans[0].track = "t";  spans[0].name = "long";   spans[0].start = 0;
+    spans[0].end = 100;
+    spans[1].track = "t";  spans[1].name = "short";  spans[1].start = 0;
+    spans[1].end = 10;
+    spans[2].track = "a";  spans[2].name = "other";  spans[2].start = 0;
+    spans[2].end = 50;
+    spans[3].track = "t";  spans[3].name = "late";   spans[3].start = 60;
+    spans[3].end = 70;
+    for (int i : order) tracer->Record(spans[static_cast<std::size_t>(i)]);
+    return tracer;
+  };
+  const auto a = build({0, 1, 2, 3});
+  const auto b = build({3, 2, 1, 0});
+  const auto sa = a->Sorted();
+  const auto sb = b->Sorted();
+  ASSERT_EQ(sa.size(), 4u);
+  // (start, track, longest-first, ...): track "a" first at start 0,
+  // then "t"/long before "t"/short, then the late span.
+  EXPECT_EQ(sa[0].name, "other");
+  EXPECT_EQ(sa[1].name, "long");
+  EXPECT_EQ(sa[2].name, "short");
+  EXPECT_EQ(sa[3].name, "late");
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_EQ(sa[i].name, sb[i].name) << i;
+}
+
+TEST(Tracer, TrackEndContinuesTimeline) {
+  Tracer t;
+  EXPECT_EQ(t.TrackEnd("toolchain"), 0);
+  t.RecordSpan("toolchain", "a", 0, 3);
+  t.RecordSpan("toolchain", "b", 3, 7);
+  t.RecordSpan("elsewhere", "c", 0, 99);
+  EXPECT_EQ(t.TrackEnd("toolchain"), 7);
+  EXPECT_EQ(t.TrackEnd("elsewhere"), 99);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(ScopedSpan, RecordsClockIntervalWithArgs) {
+  Tracer t;
+  TickClock clock(5);
+  {
+    ScopedSpan span(&t, clock, "toolchain", "phase", "gen");
+    span.AddArg("attempt", "2");
+    clock.Advance(3);
+  }
+  const auto spans = t.Sorted();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].track, "toolchain");
+  EXPECT_EQ(spans[0].name, "phase");
+  EXPECT_EQ(spans[0].category, "gen");
+  EXPECT_EQ(spans[0].start, 5);
+  EXPECT_EQ(spans[0].end, 8);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "attempt");
+  EXPECT_EQ(spans[0].args[0].second, "2");
+}
+
+TEST(ScopedSpan, NullTracerIsNoOp) {
+  TickClock clock;
+  ScopedSpan span(nullptr, clock, "t", "n");
+  span.AddArg("k", "v");  // must not crash
+  clock.Advance(1);
+}
+
+TEST(ChromeTrace, ValidJsonWithMonotonicTimestamps) {
+  Tracer t;
+  t.RecordSpan("toolchain", "parse", 0, 1, "gen");
+  t.RecordSpan("toolchain", "emit", 1, 2, "gen");
+  t.RecordSpan("sim/dram", "layer 0", 0, 120, "sim");
+  t.RecordSpan("sim/datapath", "layer 0", 20, 200, "sim");
+  Span async;
+  async.track = "serve/queue";
+  async.name = "req 0";
+  async.start = 10;
+  async.end = 150;
+  async.async = true;
+  async.id = 7;
+  t.Record(async);
+
+  const std::string trace = WriteChromeTrace(t, 100.0);
+  EXPECT_TRUE(JsonValidator(trace).Valid());
+  const std::vector<double> ts = TimestampsInOrder(trace);
+  ASSERT_EQ(ts.size(), 6u);  // 4 complete + async begin/end
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    EXPECT_GE(ts[i], ts[i - 1]) << "event " << i;
+  // Cycle -> microsecond mapping: ts_us = cycles / frequency_mhz.
+  EXPECT_NE(trace.find("\"dur\":1.200"), std::string::npos);  // 120 @ 100MHz
+  EXPECT_NE(trace.find("\"ts\":1.500"), std::string::npos);   // async end
+  // Async spans pair begin/end by id; "serve/queue" sorts first → tid 1.
+  EXPECT_NE(trace.find("\"ph\":\"b\",\"pid\":1,\"tid\":1,\"id\":7"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"e\",\"pid\":1,\"tid\":1,\"id\":7"),
+            std::string::npos);
+  // Track names become thread names, in sorted-name order.
+  EXPECT_LT(trace.find("\"name\":\"serve/queue\""),
+            trace.find("\"name\":\"sim/datapath\""));
+  EXPECT_LT(trace.find("\"name\":\"sim/datapath\""),
+            trace.find("\"name\":\"toolchain\""));
+}
+
+TEST(ChromeTrace, ByteStableAcrossRecordOrder) {
+  auto build = [](bool reversed) {
+    auto tracer = std::make_unique<Tracer>();
+    std::vector<Span> spans(3);
+    spans[0].track = "serve/worker 0";  spans[0].name = "batch 0";
+    spans[0].start = 0;  spans[0].end = 500;
+    spans[1].track = "serve/worker 0";  spans[1].name = "req 0";
+    spans[1].start = 0;  spans[1].end = 250;
+    spans[2].track = "serve/worker 1";  spans[2].name = "req 1";
+    spans[2].start = 100;  spans[2].end = 400;
+    if (reversed) std::reverse(spans.begin(), spans.end());
+    for (Span& s : spans) tracer->Record(std::move(s));
+    return WriteChromeTrace(*tracer, 150.0);
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST(ChromeTrace, ZeroLengthAsyncSpanOpensBeforeClosing) {
+  // A request served the cycle it arrived has a zero-length queue span;
+  // its begin event must still precede its end event.
+  Tracer t;
+  Span s;
+  s.track = "serve/queue";
+  s.name = "req 0";
+  s.start = 42;
+  s.end = 42;
+  s.async = true;
+  s.id = 0;
+  t.Record(s);
+  const std::string trace = WriteChromeTrace(t, 100.0);
+  EXPECT_TRUE(JsonValidator(trace).Valid());
+  const std::size_t begin = trace.find("\"ph\":\"b\"");
+  const std::size_t end = trace.find("\"ph\":\"e\"");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_LT(begin, end);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  Tracer t;
+  Span s;
+  s.track = "t";
+  s.name = "say \"hi\"\nnow\tplease\x01";
+  s.start = 0;
+  s.end = 1;
+  s.args.emplace_back("path", "a\\b");
+  t.Record(s);
+  const std::string trace = WriteChromeTrace(t, 1.0);
+  EXPECT_TRUE(JsonValidator(trace).Valid());
+  EXPECT_NE(trace.find("say \\\"hi\\\"\\nnow\\tplease\\u0001"),
+            std::string::npos);
+  EXPECT_NE(trace.find("a\\\\b"), std::string::npos);
+}
+
+TEST(ChromeTrace, RejectsNonPositiveFrequency) {
+  Tracer t;
+  EXPECT_THROW(WriteChromeTrace(t, 0.0), std::logic_error);
+  EXPECT_THROW(WriteChromeTrace(t, -5.0), std::logic_error);
+}
+
+TEST(ExportPerfTrace, SpansMirrorBusyCycles) {
+  PerfTrace trace;
+  trace.events.push_back(
+      TraceEvent{TraceEvent::Resource::kDram, 0, 0, 100});
+  trace.events.push_back(
+      TraceEvent{TraceEvent::Resource::kDram, 1, 150, 170});
+  trace.events.push_back(
+      TraceEvent{TraceEvent::Resource::kDatapath, 0, 40, 90});
+  trace.total_cycles = 170;
+
+  Tracer tracer;
+  ExportPerfTrace(trace, tracer);
+  std::int64_t dram = 0, datapath = 0;
+  for (const Span& s : tracer.Sorted()) {
+    EXPECT_EQ(s.category, "sim");
+    if (s.track == "sim/dram") dram += s.end - s.start;
+    if (s.track == "sim/datapath") datapath += s.end - s.start;
+  }
+  EXPECT_EQ(dram, trace.BusyCycles(TraceEvent::Resource::kDram));
+  EXPECT_EQ(datapath, trace.BusyCycles(TraceEvent::Resource::kDatapath));
+  EXPECT_EQ(tracer.size(), trace.events.size());
+}
+
+TEST(GeneratorTrace, ToolchainPhasesAreContiguous) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  Tracer tracer;
+  GenerateAccelerator(net, DbConstraint(), &tracer);
+  const auto spans = tracer.Sorted();
+  ASSERT_FALSE(spans.empty());
+  bool saw_size = false, saw_emit = false, saw_lint = false;
+  std::int64_t cursor = 0;
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.track, "toolchain");
+    EXPECT_EQ(s.start, cursor);  // one tick per phase, no gaps
+    EXPECT_EQ(s.end, cursor + 1);
+    cursor = s.end;
+    saw_size |= s.name == "size datapath";
+    saw_emit |= s.name == "rtl emit";
+    saw_lint |= s.name == "lint";
+  }
+  EXPECT_TRUE(saw_size);
+  EXPECT_TRUE(saw_emit);
+  EXPECT_TRUE(saw_lint);
+  // The trace export of a generator run is itself byte-stable.
+  Tracer again;
+  GenerateAccelerator(net, DbConstraint(), &again);
+  EXPECT_EQ(WriteChromeTrace(tracer, 150.0),
+            WriteChromeTrace(again, 150.0));
+}
+
+}  // namespace
+}  // namespace db

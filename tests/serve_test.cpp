@@ -1,10 +1,15 @@
 // Tests for the concurrent batched inference server (src/serve).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "core/generator.h"
 #include "models/zoo.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "serve/batcher.h"
 #include "serve/inference_server.h"
 #include "serve/request_queue.h"
@@ -231,6 +236,90 @@ TEST(InferenceServer, StatsAggregateAndPercentilesOrdered) {
   const std::string text = stats.ToString();
   EXPECT_NE(text.find("requests"), std::string::npos);
   EXPECT_NE(text.find("worker 1"), std::string::npos);
+}
+
+TEST(InferenceServer, ObservabilitySpansTileLatency) {
+  // Each request's queue-residency span plus its service span must
+  // exactly tile its reported latency, and the summed service spans
+  // must equal the workers' busy-cycle accounting in Stats().
+  Fixture fx(ZooModel::kMnist);
+  const auto inputs = fx.Inputs(6);
+  auto run = [&](obs::Tracer& tracer, obs::MetricsRegistry& metrics) {
+    ServeOptions options;
+    options.workers = 2;
+    options.max_batch_size = 2;
+    options.linger_cycles = 100;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    std::int64_t arrival = 0;
+    for (const Tensor& input : inputs) {
+      server.Submit(input, arrival);
+      arrival += 50;
+    }
+    std::vector<ServedRequest> served = server.Drain();
+    return std::make_pair(served, server.Stats());
+  };
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const auto [served, stats] = run(tracer, metrics);
+  const auto spans = tracer.Sorted();
+  ASSERT_FALSE(spans.empty());
+
+  std::vector<std::int64_t> span_busy(2, 0);
+  for (const ServedRequest& r : served) {
+    const std::string req_name =
+        StrFormat("req %lld", static_cast<long long>(r.id));
+    const obs::Span* queued = nullptr;
+    const obs::Span* service = nullptr;
+    for (const obs::Span& s : spans) {
+      if (s.name != req_name) continue;
+      if (s.track == "serve/queue" && s.async && s.id == r.id) queued = &s;
+      if (s.track == StrFormat("serve/worker %d", r.worker)) service = &s;
+    }
+    ASSERT_NE(queued, nullptr) << req_name;
+    ASSERT_NE(service, nullptr) << req_name;
+    // Queued then service, back to back, covering the whole latency.
+    EXPECT_EQ(queued->start, r.arrival_cycle) << req_name;
+    EXPECT_EQ(queued->end, service->start) << req_name;
+    EXPECT_EQ(service->end, r.finish_cycle) << req_name;
+    EXPECT_EQ((queued->end - queued->start) +
+                  (service->end - service->start),
+              r.finish_cycle - r.arrival_cycle)
+        << req_name;
+    EXPECT_EQ(service->end - service->start, r.service_cycles) << req_name;
+    span_busy[static_cast<std::size_t>(r.worker)] += r.service_cycles;
+  }
+  ASSERT_EQ(stats.worker_busy_cycles.size(), 2u);
+  EXPECT_EQ(span_busy[0], stats.worker_busy_cycles[0]);
+  EXPECT_EQ(span_busy[1], stats.worker_busy_cycles[1]);
+
+  // The published metrics agree with the aggregate stats.
+  EXPECT_EQ(metrics.CounterValue("serve.requests"), stats.requests);
+  EXPECT_EQ(metrics.CounterValue("serve.batches"), stats.batches);
+  EXPECT_EQ(metrics.CounterValue("serve.dram_bytes"),
+            stats.total_dram_bytes);
+  EXPECT_DOUBLE_EQ(metrics.GaugeValue("serve.makespan_cycles"),
+                   static_cast<double>(stats.makespan_cycles));
+  const obs::HistogramStats service_hist =
+      metrics.HistogramOf("serve.service_cycles");
+  EXPECT_EQ(service_hist.count, stats.requests);
+  EXPECT_DOUBLE_EQ(service_hist.sum,
+                   static_cast<double>(span_busy[0] + span_busy[1]));
+  for (int w = 0; w < 2; ++w)
+    EXPECT_DOUBLE_EQ(
+        metrics.GaugeValue(StrFormat("serve.worker%d.busy_cycles", w)),
+        static_cast<double>(stats.worker_busy_cycles[
+            static_cast<std::size_t>(w)]));
+
+  // A second identical run emits byte-identical trace and metrics files.
+  obs::Tracer tracer2;
+  obs::MetricsRegistry metrics2;
+  run(tracer2, metrics2);
+  EXPECT_EQ(obs::WriteChromeTrace(tracer, fx.design.config.frequency_mhz),
+            obs::WriteChromeTrace(tracer2, fx.design.config.frequency_mhz));
+  EXPECT_EQ(metrics.ToJson(), metrics2.ToJson());
 }
 
 TEST(InferenceServer, SubmitAfterDrainRejected) {

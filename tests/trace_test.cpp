@@ -101,6 +101,34 @@ TEST(PerfTrace, VcdRoundTripsBusyCyclesOfSimulatedRun) {
             trace.BusyCycles(TraceEvent::Resource::kDatapath));
 }
 
+TEST(PerfTrace, VcdLayerBusWidensBeyondEightBits) {
+  // Layer ids above 255 must widen the active_layer bus instead of being
+  // silently truncated to the low 8 bits.
+  PerfTrace trace;
+  trace.events.push_back(Ev(TraceEvent::Resource::kDatapath, 300, 0, 10));
+  trace.total_cycles = 10;
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_NE(vcd.find("$var wire 9 l active_layer"), std::string::npos);
+  EXPECT_NE(vcd.find("b100101100 l"), std::string::npos);  // 300, 9 bits
+  EXPECT_EQ(vcd.find("b00101100 l"), std::string::npos);  // truncated 44
+}
+
+TEST(PerfTrace, VcdKeepsEightBitBusForSmallTraces) {
+  PerfTrace trace;
+  trace.events.push_back(Ev(TraceEvent::Resource::kDatapath, 3, 0, 10));
+  trace.total_cycles = 10;
+  const std::string vcd = WriteVcd(trace);
+  EXPECT_NE(vcd.find("$var wire 8 l active_layer"), std::string::npos);
+  EXPECT_NE(vcd.find("b00000011 l"), std::string::npos);
+}
+
+TEST(PerfTrace, VcdRejectsNegativeDatapathLayerId) {
+  PerfTrace trace;
+  trace.events.push_back(Ev(TraceEvent::Resource::kDatapath, -1, 0, 10));
+  trace.total_cycles = 10;
+  EXPECT_THROW(WriteVcd(trace), std::logic_error);
+}
+
 TEST(PerfTrace, VcdRejectsNonPositiveTimescale) {
   PerfTrace trace;
   EXPECT_THROW(WriteVcd(trace, 0.0), std::logic_error);

@@ -14,6 +14,12 @@
 //
 //   deepburning serve --zoo MNIST --requests 64 --workers 2 --batch 4
 //     [--linger <cycles>] [--arrival-gap <cycles>] [--constraint file]
+//
+// Every subcommand accepts --trace-out=<file> (Chrome Trace Event JSON:
+// toolchain phases, per-layer simulator intervals, per-request serving
+// spans — open in Perfetto) and --metrics-out=<file> (counters, gauges
+// and histograms as JSON).  Both artifacts are pure functions of the
+// simulated workload, byte-identical across runs.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -26,6 +32,9 @@
 #include "core/generator.h"
 #include "core/design_json.h"
 #include "models/zoo.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rtl/testbench.h"
 #include "serve/inference_server.h"
 #include "sim/trace.h"
@@ -38,6 +47,8 @@ struct CliOptions {
   std::string model_path;
   std::string constraint_path;
   std::string out_dir = "deepburning_out";
+  std::string trace_out;
+  std::string metrics_out;
   bool report = false;
   bool simulate = false;
   bool help = false;
@@ -50,6 +61,7 @@ void PrintUsage() {
       "usage: deepburning --model <model.prototxt> "
       "[--constraint <constraint.prototxt>]\n"
       "                   [--out <dir>] [--report] [--simulate]\n"
+      "                   [--trace-out <file>] [--metrics-out <file>]\n"
       "       deepburning serve ...   (batched inference server; "
       "`deepburning serve --help`)\n\n"
       "  --model       Caffe-compatible network descriptive script "
@@ -59,7 +71,29 @@ void PrintUsage() {
       "  --out         output directory for the generated bundle\n"
       "  --report      print the full design report to stdout\n"
       "  --simulate    run the performance/energy simulation\n"
+      "  --trace-out   write a Chrome-trace JSON (toolchain phases; with "
+      "--simulate\n"
+      "                also per-layer DRAM/datapath intervals) for "
+      "Perfetto\n"
+      "  --metrics-out write the metrics registry as JSON\n"
       "  --help        this message\n");
+}
+
+/// Match `--name value` and `--name=value`; fills *out and returns true
+/// when `arg` is this flag.  `next` supplies the following argv entry.
+template <typename NextFn>
+bool FlagValue(const std::string& arg, const char* name, NextFn&& next,
+               std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg == name) {
+    *out = next();
+    return true;
+  }
+  if (db::StartsWith(arg, prefix)) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
 }
 
 CliOptions ParseArgs(int argc, char** argv) {
@@ -77,6 +111,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.constraint_path = next();
     } else if (arg == "--out") {
       opts.out_dir = next();
+    } else if (FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
+               FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
     } else if (arg == "--report") {
       opts.report = true;
     } else if (arg == "--simulate") {
@@ -94,6 +130,8 @@ struct ServeCliOptions {
   std::string zoo_name;
   std::string model_path;
   std::string constraint_path;
+  std::string trace_out;
+  std::string metrics_out;
   int requests = 64;
   int workers = 2;
   std::int64_t batch = 4;
@@ -107,7 +145,9 @@ void PrintServeUsage() {
       "usage: deepburning serve (--zoo <name> | --model <model.prototxt>)\n"
       "                         [--constraint <constraint.prototxt>]\n"
       "                         [--requests N] [--workers N] [--batch N]\n"
-      "                         [--linger CYCLES] [--arrival-gap CYCLES]\n\n"
+      "                         [--linger CYCLES] [--arrival-gap CYCLES]\n"
+      "                         [--trace-out <file>] "
+      "[--metrics-out <file>]\n\n"
       "  --zoo          benchmark model name (ANN-0, ANN-1, ANN-2, "
       "Hopfield,\n"
       "                 CMAC, MNIST, Alexnet, NiN, Cifar)\n"
@@ -119,7 +159,12 @@ void PrintServeUsage() {
       "  --batch        max requests per batch (default 4)\n"
       "  --linger       cycles a partial batch waits to fill (default 0)\n"
       "  --arrival-gap  cycles between request arrivals (default 0: all "
-      "at once)\n");
+      "at once)\n"
+      "  --trace-out    write the toolchain + per-request serving spans "
+      "as\n"
+      "                 Chrome-trace JSON (open in Perfetto)\n"
+      "  --metrics-out  write the serve.*/sim.* metrics registry as "
+      "JSON\n");
 }
 
 db::ZooModel ZooModelByName(const std::string& name) {
@@ -130,6 +175,7 @@ db::ZooModel ZooModelByName(const std::string& name) {
 }
 
 std::string ReadFile(const std::string& path);
+void WriteFile(const std::filesystem::path& path, const std::string& text);
 
 int RunServe(int argc, char** argv) {
   using namespace db;
@@ -156,6 +202,8 @@ int RunServe(int argc, char** argv) {
       opts.linger = std::stoll(next());
     } else if (arg == "--arrival-gap") {
       opts.arrival_gap = std::stoll(next());
+    } else if (FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
+               FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
     } else if (arg == "--help" || arg == "-h") {
       opts.help = true;
     } else {
@@ -173,6 +221,9 @@ int RunServe(int argc, char** argv) {
   if (opts.arrival_gap < 0)
     throw Error("--arrival-gap must be non-negative");
 
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
   const Network net =
       opts.zoo_name.empty()
           ? Network::Build(ParseNetworkDef(ReadFile(opts.model_path)))
@@ -181,7 +232,8 @@ int RunServe(int argc, char** argv) {
       opts.constraint_path.empty()
           ? ParseConstraint(std::string())
           : ParseConstraint(ReadFile(opts.constraint_path));
-  const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+  const AcceleratorDesign design =
+      GenerateAccelerator(net, constraint, &tracer);
 
   Rng rng(2016);
   WeightStore weights = WeightStore::CreateRandom(net, rng);
@@ -191,6 +243,9 @@ int RunServe(int argc, char** argv) {
   server_opts.max_batch_size = opts.batch;
   server_opts.linger_cycles = opts.linger;
   server_opts.device_name = constraint.device;
+  server_opts.tracer = &tracer;
+  server_opts.metrics = &metrics;
+  server_opts.perf.metrics = &metrics;
   serve::InferenceServer server(net, design, weights, server_opts);
 
   std::printf(
@@ -213,6 +268,11 @@ int RunServe(int argc, char** argv) {
   }
   server.Drain();
   std::printf("%s", server.Stats().ToString().c_str());
+  if (!opts.trace_out.empty())
+    WriteFile(opts.trace_out,
+              obs::WriteChromeTrace(tracer, design.config.frequency_mhz));
+  if (!opts.metrics_out.empty())
+    WriteFile(opts.metrics_out, metrics.ToJson());
   return 0;
 }
 
@@ -250,11 +310,26 @@ int main(int argc, char** argv) {
         opts.constraint_path.empty() ? std::string()
                                      : ReadFile(opts.constraint_path);
 
-    const NetworkDef def = ParseNetworkDef(model_text);
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    obs::TickClock clock;
+    NetworkDef def;
+    {
+      obs::ScopedSpan span(&tracer, clock, "toolchain", "parse model",
+                           "toolchain");
+      def = ParseNetworkDef(model_text);
+      clock.Advance(1);
+    }
     const Network net = Network::Build(def);
-    const DesignConstraint constraint = ParseConstraint(constraint_text);
+    DesignConstraint constraint;
+    {
+      obs::ScopedSpan span(&tracer, clock, "toolchain",
+                           "parse constraint", "toolchain");
+      constraint = ParseConstraint(constraint_text);
+      clock.Advance(1);
+    }
     const AcceleratorDesign design =
-        GenerateAccelerator(net, constraint);
+        GenerateAccelerator(net, constraint, &tracer);
 
     std::printf("generated accelerator for '%s': %d MAC lanes, %lld fold "
                 "steps, %lld LUTs / %lld DSPs\n",
@@ -280,8 +355,10 @@ int main(int argc, char** argv) {
       PerfTrace trace;
       PerfOptions perf_opts;
       perf_opts.trace = &trace;
+      perf_opts.metrics = &metrics;
       const PerfResult perf = SimulatePerformance(net, design, perf_opts);
       WriteFile(out / "trace.vcd", WriteVcd(trace));
+      ExportPerfTrace(trace, tracer);
       const EnergyResult energy =
           EstimateEnergy(design.resources.total, perf,
                          DeviceCatalog(constraint.device));
@@ -289,6 +366,12 @@ int main(int argc, char** argv) {
                   perf.TotalMs(), energy.total_joules);
       std::printf("%s\n", perf.ToString().c_str());
     }
+    if (!opts.trace_out.empty())
+      WriteFile(opts.trace_out,
+                obs::WriteChromeTrace(tracer,
+                                      design.config.frequency_mhz));
+    if (!opts.metrics_out.empty())
+      WriteFile(opts.metrics_out, metrics.ToJson());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deepburning: %s\n", e.what());
