@@ -28,4 +28,11 @@ cmake --build --preset tsan -j "${JOBS}" \
   --target serve_test obs_test common_test
 ctest --preset tsan -j "${JOBS}" -L threads
 
+echo "== tier-1: ASan fault campaign (ctest -L faults) =="
+# The seeded fault-injection campaign (bit flips, transients, stalls)
+# under ASan+UBSan: recovery paths (scrub-and-reload, retries, deadline
+# expiry, shedding) must be memory-clean, not just correct.
+cmake --build --preset asan -j "${JOBS}" --target fault_test
+ctest --preset asan -j "${JOBS}" -L faults
+
 echo "tier-1 OK"

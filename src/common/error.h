@@ -17,6 +17,37 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Operation attempted on a component whose intake has closed: pushing
+/// into a closed RequestQueue, submitting to a drained InferenceServer.
+/// A distinct type so callers can tell "the system is shutting down"
+/// (retry elsewhere / stop producing) apart from a bad request.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// Per-request outcome, used where a failure must cross a thread
+/// boundary as a value instead of an exception (server workers report
+/// request dispositions through records, never by throwing).
+enum class StatusCode {
+  kOk = 0,
+  kDeadlineExceeded,  // expired before its datapath service began
+  kShed,              // evicted by kShedOldest admission under overload
+  kRejected,          // refused at admission under kReject
+  kFaulted,           // injected-fault retries exhausted
+};
+
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kShed: return "SHED";
+    case StatusCode::kRejected: return "REJECTED";
+    case StatusCode::kFaulted: return "FAULTED";
+  }
+  return "UNKNOWN";
+}
+
 /// Parse failures from the prototxt frontend; carries a line number.
 class ParseError : public Error {
  public:

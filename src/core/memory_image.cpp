@@ -1,5 +1,7 @@
 #include "core/memory_image.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "core/data_layout.h"
 
@@ -33,6 +35,23 @@ std::int64_t MemoryImage::ReadElem(std::int64_t addr,
   const std::uint64_t sign_bit = std::uint64_t{1} << (bits - 1);
   if (value & sign_bit) value |= ~((sign_bit << 1) - 1);
   return static_cast<std::int64_t>(value);
+}
+
+void MemoryImage::FlipBit(std::int64_t addr, int bit) {
+  DB_CHECK_MSG(addr >= 0 && addr < size(), "bit flip out of bounds");
+  DB_CHECK_MSG(bit >= 0 && bit < 8, "bit index must be in [0, 8)");
+  bytes_[static_cast<std::size_t>(addr)] ^=
+      static_cast<std::uint8_t>(1u << bit);
+}
+
+void MemoryImage::CopyRange(const MemoryImage& src, std::int64_t base,
+                            std::int64_t bytes) {
+  DB_CHECK_MSG(bytes >= 0, "negative copy length");
+  DB_CHECK_MSG(base >= 0 && base + bytes <= size() &&
+                   base + bytes <= src.size(),
+               "copy range out of bounds");
+  std::copy(src.bytes_.begin() + base, src.bytes_.begin() + base + bytes,
+            bytes_.begin() + base);
 }
 
 std::vector<std::int64_t> BlobTileOrder(const Network& net,

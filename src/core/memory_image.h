@@ -35,6 +35,15 @@ class MemoryImage {
   void WriteElem(std::int64_t addr, std::int64_t raw, int elem_bytes);
   std::int64_t ReadElem(std::int64_t addr, int elem_bytes) const;
 
+  /// Flip one bit of the byte at `addr` (a DRAM soft error).
+  /// Bounds-checked; `bit` must be in [0, 8).
+  void FlipBit(std::int64_t addr, int bit);
+
+  /// Copy `bytes` bytes starting at `base` from `src` into this image
+  /// (scrub-and-reload recovery).  Both images must cover the range.
+  void CopyRange(const MemoryImage& src, std::int64_t base,
+                 std::int64_t bytes);
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
  private:

@@ -1,0 +1,82 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace db::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int workers) {
+  DB_CHECK_MSG(workers >= 1, "injector needs at least one worker");
+  per_worker_.resize(static_cast<std::size_t>(workers));
+  has_weight_flips_.assign(static_cast<std::size_t>(workers), false);
+  for (const FaultEvent& event : plan.events) {
+    if (event.worker < 0 || event.worker >= workers)
+      DB_THROW("fault plan targets worker " << event.worker
+               << " but the server has " << workers);
+    if (event.kind == FaultKind::kBitFlip)
+      DB_CHECK_MSG(event.bit >= 0 && event.bit < 8,
+                   "bit flip index out of range");
+    if (event.kind == FaultKind::kStall)
+      DB_CHECK_MSG(event.stall_cycles > 0,
+                   "stall events need positive cycles");
+    per_worker_[static_cast<std::size_t>(event.worker)].push_back(event);
+    if (event.kind == FaultKind::kBitFlip && event.weight_region)
+      has_weight_flips_[static_cast<std::size_t>(event.worker)] = true;
+    ++total_events_;
+  }
+  for (auto& events : per_worker_)
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.invocation < b.invocation;
+                     });
+}
+
+const std::vector<FaultEvent>& FaultInjector::ForWorker(int worker) const {
+  DB_CHECK(worker >= 0 &&
+           worker < static_cast<int>(per_worker_.size()));
+  return per_worker_[static_cast<std::size_t>(worker)];
+}
+
+bool FaultInjector::HasWeightFlips(int worker) const {
+  DB_CHECK(worker >= 0 &&
+           worker < static_cast<int>(has_weight_flips_.size()));
+  return has_weight_flips_[static_cast<std::size_t>(worker)];
+}
+
+std::uint64_t WeightChecksum(const MemoryImage& image,
+                             const MemoryMap& map) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  const std::vector<std::uint8_t>& bytes = image.bytes();
+  for (const MemoryRegion& region : map.regions()) {
+    if (!StartsWith(region.name, "weights:")) continue;
+    DB_CHECK_MSG(region.end() <= image.size(),
+                 "weight region outside the image");
+    for (std::int64_t addr = region.base; addr < region.end(); ++addr) {
+      hash ^= bytes[static_cast<std::size_t>(addr)];
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+std::int64_t ScrubWeights(MemoryImage& image, const MemoryImage& golden,
+                          const MemoryMap& map) {
+  std::int64_t copied = 0;
+  for (const MemoryRegion& region : map.regions()) {
+    if (!StartsWith(region.name, "weights:")) continue;
+    image.CopyRange(golden, region.base, region.bytes);
+    copied += region.bytes;
+  }
+  return copied;
+}
+
+std::int64_t WeightRegionBytes(const MemoryMap& map) {
+  std::int64_t total = 0;
+  for (const MemoryRegion& region : map.regions())
+    if (StartsWith(region.name, "weights:")) total += region.bytes;
+  return total;
+}
+
+}  // namespace db::fault

@@ -1,0 +1,74 @@
+// FaultInjector: hands a FaultPlan's events to the serving workers, and
+// the integrity primitives (weight-region checksum, scrub-and-reload)
+// the workers use to survive them.
+//
+// Threading model: the plan is partitioned per worker once, at
+// construction; afterwards every worker thread reads only its own
+// immutable slice (ForWorker), so no locking is needed on the hot path.
+// Each worker keeps its own cursor into its slice and fires every event
+// whose `invocation` coordinate has been reached — the firing order is
+// a pure function of the plan and the (deterministic) schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/memory_image.h"
+#include "fault/fault_plan.h"
+
+namespace db::fault {
+
+/// What one worker did about one fault (injection or recovery), with
+/// the simulated-cycle window it charged.  The server publishes these
+/// as "fault"-category spans and fault.* metrics at drain time.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kBitFlip;
+  bool recovery = false;  // true for scrub/retry windows, false at injection
+  int worker = 0;
+  std::int64_t invocation = 0;
+  std::int64_t request_id = -1;
+  std::int64_t start_cycle = 0;
+  std::int64_t end_cycle = 0;
+  std::int64_t detail = 0;  // flip addr / stall or backoff cycles / attempt
+};
+
+class FaultInjector {
+ public:
+  /// Partition `plan` across `workers` worker slices, each sorted by
+  /// invocation (stable, so equal coordinates keep plan order).
+  /// Events naming a worker outside [0, workers) throw db::Error.
+  FaultInjector(const FaultPlan& plan, int workers);
+
+  /// Worker `w`'s events, sorted by invocation.
+  const std::vector<FaultEvent>& ForWorker(int worker) const;
+
+  /// True if `worker`'s slice contains any weight-region bit flip — the
+  /// only fault kind that requires per-invocation integrity checks.
+  bool HasWeightFlips(int worker) const;
+
+  std::size_t total_events() const { return total_events_; }
+
+ private:
+  std::vector<std::vector<FaultEvent>> per_worker_;
+  std::vector<bool> has_weight_flips_;
+  std::size_t total_events_ = 0;
+};
+
+/// FNV-1a over every weight region's bytes, in map order — the scrub
+/// engine's integrity reference.  Blob/activation regions are excluded:
+/// they are rewritten on every invocation, so corruption there is
+/// overwritten before anything reads it.
+std::uint64_t WeightChecksum(const MemoryImage& image,
+                             const MemoryMap& map);
+
+/// Scrub-and-reload: re-copy every weight region of `image` from the
+/// provisioned `golden` image.  Returns the number of bytes copied
+/// (the basis for the recovery-cycle charge).
+std::int64_t ScrubWeights(MemoryImage& image, const MemoryImage& golden,
+                          const MemoryMap& map);
+
+/// Total bytes across the map's weight regions.
+std::int64_t WeightRegionBytes(const MemoryMap& map);
+
+}  // namespace db::fault

@@ -29,6 +29,11 @@ namespace db::serve {
 struct PendingRequest {
   std::int64_t id = 0;             // dense submission index
   std::int64_t arrival_cycle = 0;  // simulated arrival time
+  /// Absolute simulated cycle by which service must have *started*;
+  /// 0 means no deadline.  A request whose service would begin after
+  /// its deadline completes with StatusCode::kDeadlineExceeded instead
+  /// of occupying a datapath slot.
+  std::int64_t deadline_cycle = 0;
   Tensor input;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/math_util.h"
 #include "common/strings.h"
 #include "sim/power_model.h"
 
@@ -20,10 +21,16 @@ InferenceServer::InferenceServer(const Network& net,
       options_(std::move(options)),
       provisioned_(BuildHostImage(net, design, weights)),
       context_(net, design, provisioned_),
+      injector_(options_.faults, options_.workers),
       queue_(options_.queue_capacity),
       batcher_(BatchPolicy{options_.max_batch_size,
                            options_.linger_cycles}) {
   DB_CHECK_MSG(options_.workers >= 1, "server needs at least one worker");
+  DB_CHECK_MSG(options_.max_retries >= 0, "max_retries must be >= 0");
+  DB_CHECK_MSG(options_.retry_backoff_cycles >= 1,
+               "retry_backoff_cycles must be >= 1");
+  DB_CHECK_MSG(options_.deadline_cycles >= 0,
+               "deadline_cycles must be >= 0");
 
   // The scheduler charges every invocation its deterministic cycle cost,
   // so batch placement never depends on thread timing.  Traces are a
@@ -39,6 +46,17 @@ InferenceServer::InferenceServer(const Network& net,
   steady.weights_resident = true;
   steady_cycles_ = SimulatePerformance(net_, design_, steady).total_cycles;
 
+  // Integrity reference for the scrub engine: the provisioned image's
+  // weight-region checksum, and the deterministic cycle charge of one
+  // scrub-and-reload (weight bytes over the DRAM port width).
+  weight_checksum_ = fault::WeightChecksum(provisioned_, design_.memory_map);
+  const std::int64_t port_bytes =
+      design_.config.ElementBytes() * design_.config.memory_port_elems;
+  scrub_cycles_ = std::max<std::int64_t>(
+      CeilDiv(fault::WeightRegionBytes(design_.memory_map),
+              std::max<std::int64_t>(port_bytes, 1)),
+      1);
+
   // The DRAM image was built exactly once (provisioned_); every worker
   // context copies those bytes for its private image.
   worker_free_cycle_.assign(static_cast<std::size_t>(options_.workers), 0);
@@ -50,6 +68,7 @@ InferenceServer::InferenceServer(const Network& net,
     workers_[static_cast<std::size_t>(w)]->thread =
         std::thread([this, w] { WorkerLoop(w); });
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  state_.store(ServerState::kServing);
 }
 
 InferenceServer::~InferenceServer() {
@@ -61,27 +80,98 @@ InferenceServer::~InferenceServer() {
   }
 }
 
+void InferenceServer::CompleteWithoutService(std::int64_t id,
+                                             StatusCode status,
+                                             std::int64_t finish_cycle) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  ServedRequest& record = results_[static_cast<std::size_t>(id)];
+  DB_CHECK_MSG(record.status == StatusCode::kOk,
+               "request completed twice");
+  record.status = status;
+  record.finish_cycle = finish_cycle;
+  ++completed_;
+}
+
 std::int64_t InferenceServer::Submit(Tensor input,
-                                     std::int64_t arrival_cycle) {
+                                     std::int64_t arrival_cycle,
+                                     std::int64_t deadline_cycle) {
   std::lock_guard<std::mutex> lock(submit_mu_);
-  if (intake_closed_) throw Error("InferenceServer already drained");
+  const ServerState state = state_.load();
+  if (state != ServerState::kServing)
+    throw ShutdownError(
+        StrFormat("InferenceServer cannot accept requests: intake is "
+                  "closed (state: %s)",
+                  ServerStateName(state)));
   DB_CHECK_MSG(arrival_cycle >= last_arrival_,
                "arrival cycles must be non-decreasing");
+  DB_CHECK_MSG(deadline_cycle == 0 || deadline_cycle >= arrival_cycle,
+               "deadline precedes arrival");
   last_arrival_ = arrival_cycle;
+  if (deadline_cycle == 0 && options_.deadline_cycles > 0)
+    deadline_cycle = arrival_cycle + options_.deadline_cycles;
   const std::int64_t id = next_request_id_++;
   {
     std::lock_guard<std::mutex> rlock(results_mu_);
     results_.resize(static_cast<std::size_t>(id) + 1);
     results_[static_cast<std::size_t>(id)].id = id;
     results_[static_cast<std::size_t>(id)].arrival_cycle = arrival_cycle;
+    results_[static_cast<std::size_t>(id)].deadline_cycle = deadline_cycle;
   }
+
+  // Simulated-time admission: mirror the batcher's linger/size closure
+  // rules over the admitted stream, so "the queue is full" — and which
+  // request pays for it — is a pure function of the arrival cycles.
+  if (shadow_open_count_ > 0 &&
+      arrival_cycle > shadow_first_arrival_ + options_.linger_cycles) {
+    // The open batch's linger expired before this arrival: it closes
+    // and dispatches, emptying the simulated queue.
+    shadow_open_count_ = 0;
+    shadow_live_.clear();
+  }
+  if (shadow_live_.size() >= options_.queue_capacity) {
+    switch (options_.admission) {
+      case AdmissionPolicy::kBlock:
+        break;  // the wall-clock Push below provides the back-pressure
+      case AdmissionPolicy::kReject:
+        // Never pushed: the dispatcher and batcher don't see it.
+        CompleteWithoutService(id, StatusCode::kRejected, arrival_cycle);
+        return id;
+      case AdmissionPolicy::kShedOldest: {
+        // Evict the oldest queued request; it stays in the pipeline as
+        // a tombstone (the worker skips completed records) so batch
+        // composition keeps mirroring the shadow state.
+        const std::int64_t victim = shadow_live_.front();
+        shadow_live_.pop_front();
+        CompleteWithoutService(victim, StatusCode::kShed, arrival_cycle);
+        break;
+      }
+    }
+  }
+  if (shadow_open_count_ == 0) shadow_first_arrival_ = arrival_cycle;
+  ++shadow_open_count_;
+  shadow_live_.push_back(id);
+  if (shadow_open_count_ == options_.max_batch_size) {
+    shadow_open_count_ = 0;  // the batch closes by size and dispatches
+    shadow_live_.clear();
+  }
+
   PendingRequest request;
   request.id = id;
   request.arrival_cycle = arrival_cycle;
+  request.deadline_cycle = deadline_cycle;
   request.input = std::move(input);
   // Holding submit_mu_ across the (possibly blocking) push keeps the
   // queue in request-id order, which the batcher's determinism needs.
-  queue_.Push(std::move(request));
+  try {
+    queue_.Push(std::move(request));
+  } catch (const ShutdownError&) {
+    // Drain raced this Submit while it was blocked on a full queue: the
+    // request was registered but never admitted.  Complete it as
+    // rejected so Drain's completion accounting stays exact, then let
+    // the caller see the shutdown.
+    CompleteWithoutService(id, StatusCode::kRejected, arrival_cycle);
+    throw;
+  }
   return id;
 }
 
@@ -93,6 +183,9 @@ void InferenceServer::DispatchBatch(Batch batch) {
   const int w = static_cast<int>(it - worker_free_cycle_.begin());
   const std::int64_t start = std::max(batch.ready_cycle, *it);
 
+  // The schedule is the fault-free plan: shed tombstones and injected
+  // delays surface in the worker's own timeline, never here, so
+  // placement stays a pure function of the arrival stream.
   std::int64_t duration = 0;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const bool warm =
@@ -132,6 +225,14 @@ void InferenceServer::DispatcherLoop() {
 
 void InferenceServer::WorkerLoop(int index) {
   WorkerContext& ctx = *workers_[static_cast<std::size_t>(index)];
+  const std::vector<fault::FaultEvent>& events =
+      injector_.ForWorker(index);
+  // Weight-region integrity checks only run on workers whose plan slice
+  // can actually corrupt weights; the fault-free fast path is untouched.
+  const bool integrity_checks = injector_.HasWeightFlips(index);
+  std::size_t cursor = 0;       // next unfired event in `events`
+  std::int64_t invocation = 0;  // worker-local request services
+  std::int64_t local_cycle = 0; // worker's own simulated timeline
   for (;;) {
     ScheduledBatch scheduled;
     {
@@ -142,8 +243,95 @@ void InferenceServer::WorkerLoop(int index) {
       ctx.work.pop_front();
     }
 
-    std::int64_t cycle = scheduled.start_cycle;
+    // Fault recovery may have pushed this worker past the scheduler's
+    // optimistic start; service never begins before the datapath frees.
+    std::int64_t cycle = std::max(scheduled.start_cycle, local_cycle);
+    const std::int64_t batch_start = cycle;
     for (PendingRequest& request : scheduled.batch.requests) {
+      {
+        // Shed tombstone: the request was evicted at admission after
+        // its batch membership was fixed; skip without touching it.
+        std::lock_guard<std::mutex> lock(results_mu_);
+        if (results_[static_cast<std::size_t>(request.id)].status !=
+            StatusCode::kOk)
+          continue;
+      }
+
+      // 1. Fire every injected fault bound to this invocation.
+      std::int64_t stall = 0;
+      int failures = 0;
+      while (cursor < events.size() &&
+             events[cursor].invocation <= invocation) {
+        const fault::FaultEvent& event = events[cursor++];
+        fault::FaultRecord record;
+        record.kind = event.kind;
+        record.worker = index;
+        record.invocation = invocation;
+        record.request_id = request.id;
+        record.start_cycle = cycle;
+        record.end_cycle = cycle;
+        switch (event.kind) {
+          case fault::FaultKind::kBitFlip:
+            ctx.image.FlipBit(event.addr, event.bit);
+            record.detail = event.addr;
+            break;
+          case fault::FaultKind::kTransient:
+            ++failures;
+            record.detail = failures;
+            break;
+          case fault::FaultKind::kStall:
+            record.end_cycle = cycle + event.stall_cycles;
+            record.detail = event.stall_cycles;
+            stall += event.stall_cycles;
+            break;
+        }
+        ctx.fault_records.push_back(record);
+      }
+      ++invocation;
+      std::int64_t recovery = stall;
+      cycle += stall;
+
+      // 2. Deadline: an expired request completes without occupying
+      // the datapath slot.
+      if (request.deadline_cycle > 0 && cycle > request.deadline_cycle) {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        ServedRequest& record =
+            results_[static_cast<std::size_t>(request.id)];
+        record.batch_id = scheduled.batch.id;
+        record.worker = index;
+        record.status = StatusCode::kDeadlineExceeded;
+        record.finish_cycle = cycle;
+        record.recovery_cycles = recovery;
+        ++completed_;
+        continue;
+      }
+
+      // 3. Weight-region integrity: scrub-and-reload from the
+      // provisioned image on checksum mismatch, charged in cycles.
+      if (integrity_checks &&
+          fault::WeightChecksum(ctx.image, design_.memory_map) !=
+              weight_checksum_) {
+        fault::ScrubWeights(ctx.image, provisioned_, design_.memory_map);
+        DB_CHECK_MSG(fault::WeightChecksum(ctx.image, design_.memory_map) ==
+                         weight_checksum_,
+                     "scrub failed to restore the weight regions");
+        fault::FaultRecord record;
+        record.kind = fault::FaultKind::kBitFlip;
+        record.recovery = true;  // a scrub window
+        record.worker = index;
+        record.invocation = invocation - 1;
+        record.request_id = request.id;
+        record.start_cycle = cycle;
+        record.end_cycle = cycle + scrub_cycles_;
+        record.detail = scrub_cycles_;
+        ctx.fault_records.push_back(record);
+        ++ctx.scrubs;
+        cycle += scrub_cycles_;
+        recovery += scrub_cycles_;
+      }
+
+      // 4. Transient failures: bounded retries with exponential
+      // backoff; each failed attempt occupied the datapath.
       // Workers never trace (the interval stream is ordering-sensitive)
       // but do publish the commutative "sim.*" counters when the caller
       // supplied perf.metrics.
@@ -152,6 +340,40 @@ void InferenceServer::WorkerLoop(int index) {
       perf.weights_resident = ctx.warm;
       const std::int64_t charged =
           ctx.warm ? steady_cycles_ : cold_cycles_;
+      int retries = 0;
+      while (failures > 0 && retries < options_.max_retries) {
+        const std::int64_t backoff = options_.retry_backoff_cycles
+                                     << retries;
+        fault::FaultRecord record;
+        record.kind = fault::FaultKind::kTransient;
+        record.recovery = true;  // a failed attempt + its backoff
+        record.worker = index;
+        record.invocation = invocation - 1;
+        record.request_id = request.id;
+        record.start_cycle = cycle;
+        record.end_cycle = cycle + charged + backoff;
+        record.detail = backoff;
+        ctx.fault_records.push_back(record);
+        cycle += charged + backoff;
+        recovery += charged + backoff;
+        --failures;
+        ++retries;
+      }
+      if (failures > 0) {
+        // Retries exhausted: fail the request, never the server.
+        std::lock_guard<std::mutex> lock(results_mu_);
+        ServedRequest& record =
+            results_[static_cast<std::size_t>(request.id)];
+        record.batch_id = scheduled.batch.id;
+        record.worker = index;
+        record.status = StatusCode::kFaulted;
+        record.finish_cycle = cycle;
+        record.retries = retries;
+        record.recovery_cycles = recovery;
+        ++completed_;
+        continue;
+      }
+
       const SystemRunResult run =
           context_.Run(ctx.image, request.input, perf);
       ctx.warm = true;
@@ -167,24 +389,29 @@ void InferenceServer::WorkerLoop(int index) {
             results_[static_cast<std::size_t>(request.id)];
         record.batch_id = scheduled.batch.id;
         record.worker = index;
-        record.start_cycle = scheduled.start_cycle;
+        record.start_cycle = batch_start;
         record.finish_cycle = finish;
         record.service_cycles = run.perf.total_cycles;
         record.dram_bytes = run.perf.total_dram_bytes;
         record.joules = joules;
+        record.status = run.status;
+        record.retries = retries;
+        record.recovery_cycles = recovery;
         record.output = run.output;
         ++completed_;
       }
       ctx.busy_cycles += run.perf.total_cycles;
       cycle = finish;
     }
+    local_cycle = cycle;
   }
 }
 
 const std::vector<ServedRequest>& InferenceServer::Drain() {
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    intake_closed_ = true;
+    ServerState expected = ServerState::kServing;
+    state_.compare_exchange_strong(expected, ServerState::kDraining);
   }
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
@@ -198,6 +425,7 @@ const std::vector<ServedRequest>& InferenceServer::Drain() {
     if (!drained_) PublishObservability();
     drained_ = true;
   }
+  state_.store(ServerState::kStopped);
   return results_;
 }
 
@@ -209,6 +437,21 @@ void InferenceServer::PublishObservability() {
     obs::Tracer& tracer = *options_.tracer;
     std::map<std::int64_t, std::vector<const ServedRequest*>> batches;
     for (const ServedRequest& r : results_) {
+      if (r.status != StatusCode::kOk) {
+        // Shed / rejected / expired / faulted: one async queue span
+        // covering arrival to disposition, tagged with the status.
+        obs::Span dropped;
+        dropped.track = "serve/queue";
+        dropped.name = StrFormat("req %lld", static_cast<long long>(r.id));
+        dropped.category = "serve";
+        dropped.start = r.arrival_cycle;
+        dropped.end = std::max(r.finish_cycle, r.arrival_cycle);
+        dropped.async = true;
+        dropped.id = r.id;
+        dropped.args.emplace_back("status", StatusCodeName(r.status));
+        tracer.Record(std::move(dropped));
+        continue;
+      }
       const std::int64_t service_start = r.finish_cycle - r.service_cycles;
       const std::string worker_track =
           StrFormat("serve/worker %d", r.worker);
@@ -253,18 +496,74 @@ void InferenceServer::PublishObservability() {
       span.args.emplace_back("size", std::to_string(members.size()));
       tracer.Record(std::move(span));
     }
+
+    // Fault injections and recovery windows, per worker in index order
+    // (each worker's log is in its own deterministic service order).
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      for (const fault::FaultRecord& record : workers_[w]->fault_records) {
+        obs::Span span;
+        span.track = StrFormat("serve/worker %zu", w);
+        span.category = "fault";
+        if (record.recovery) {
+          span.name = record.kind == fault::FaultKind::kBitFlip
+                          ? "scrub"
+                          : "retry";
+        } else {
+          span.name = StrFormat("fault:%s",
+                                fault::FaultKindName(record.kind));
+        }
+        span.start = record.start_cycle;
+        span.end = record.end_cycle;
+        span.args.emplace_back("invocation",
+                               std::to_string(record.invocation));
+        span.args.emplace_back("request",
+                               std::to_string(record.request_id));
+        span.args.emplace_back("detail", std::to_string(record.detail));
+        tracer.Record(std::move(span));
+      }
+    }
   }
 
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& m = *options_.metrics;
     std::int64_t makespan = 0;
     std::map<std::int64_t, std::int64_t> batch_sizes;
-    // Queue depth over simulated time: +1 at arrival, -1 at service
-    // start (departures at a cycle clear before same-cycle arrivals).
+    // Queue depth over simulated time: +1 at arrival, -1 when the
+    // request leaves the queue — at service start when served, at its
+    // disposition cycle when shed or expired (departures at a cycle
+    // clear before same-cycle arrivals).  Rejected requests never
+    // entered the queue.
     std::vector<std::pair<std::int64_t, int>> depth_events;
+    std::int64_t shed = 0, rejected = 0, expired = 0, faulted = 0;
+    std::int64_t completed = 0, retries = 0, recovery_cycles = 0;
     for (const ServedRequest& r : results_) {
-      const std::int64_t service_start = r.finish_cycle - r.service_cycles;
       m.AddCounter("serve.requests");
+      retries += r.retries;
+      recovery_cycles += r.recovery_cycles;
+      switch (r.status) {
+        case StatusCode::kShed:
+          ++shed;
+          depth_events.emplace_back(r.arrival_cycle, +1);
+          depth_events.emplace_back(r.finish_cycle, -1);
+          continue;
+        case StatusCode::kRejected:
+          ++rejected;
+          continue;
+        case StatusCode::kDeadlineExceeded:
+          ++expired;
+          depth_events.emplace_back(r.arrival_cycle, +1);
+          depth_events.emplace_back(r.finish_cycle, -1);
+          continue;
+        case StatusCode::kFaulted:
+          ++faulted;
+          depth_events.emplace_back(r.arrival_cycle, +1);
+          depth_events.emplace_back(r.finish_cycle, -1);
+          continue;
+        case StatusCode::kOk:
+          ++completed;
+          break;
+      }
+      const std::int64_t service_start = r.finish_cycle - r.service_cycles;
       m.AddCounter("serve.dram_bytes", r.dram_bytes);
       m.Observe("serve.queue_wait_cycles",
                 static_cast<double>(service_start - r.arrival_cycle));
@@ -275,6 +574,12 @@ void InferenceServer::PublishObservability() {
       depth_events.emplace_back(r.arrival_cycle, +1);
       depth_events.emplace_back(service_start, -1);
     }
+    m.AddCounter("serve.completed", completed);
+    m.AddCounter("serve.shed", shed);
+    m.AddCounter("serve.rejected", rejected);
+    m.AddCounter("serve.deadline_exceeded", expired);
+    m.AddCounter("serve.faulted", faulted);
+    m.AddCounter("serve.retries", retries);
     m.AddCounter("serve.batches",
                  static_cast<std::int64_t>(batch_sizes.size()));
     for (const auto& [batch_id, size] : batch_sizes)
@@ -294,6 +599,25 @@ void InferenceServer::PublishObservability() {
                                     static_cast<double>(makespan)
                               : 0.0);
     }
+
+    // fault.*: injections by kind, recovery actions and their cost.
+    std::int64_t flips = 0, transients = 0, stalls = 0, scrubs = 0;
+    for (const auto& worker : workers_) {
+      scrubs += worker->scrubs;
+      for (const fault::FaultRecord& record : worker->fault_records) {
+        if (record.recovery) continue;
+        switch (record.kind) {
+          case fault::FaultKind::kBitFlip: ++flips; break;
+          case fault::FaultKind::kTransient: ++transients; break;
+          case fault::FaultKind::kStall: ++stalls; break;
+        }
+      }
+    }
+    m.AddCounter("fault.injected.bit_flip", flips);
+    m.AddCounter("fault.injected.transient", transients);
+    m.AddCounter("fault.injected.stall", stalls);
+    m.AddCounter("fault.scrubs", scrubs);
+    m.AddCounter("fault.recovery_cycles", recovery_cycles);
   }
 }
 
@@ -303,8 +627,13 @@ ServerStats InferenceServer::Stats() const {
   for (const auto& worker : workers_) busy.push_back(worker->busy_cycles);
   std::lock_guard<std::mutex> lock(results_mu_);
   DB_CHECK_MSG(drained_, "Stats() requires a drained server");
-  return ComputeServerStats(results_, batches_dispatched_,
-                            design_.config.frequency_mhz, std::move(busy));
+  ServerStats stats =
+      ComputeServerStats(results_, batches_dispatched_,
+                         design_.config.frequency_mhz, std::move(busy));
+  for (const auto& worker : workers_)
+    for (const fault::FaultRecord& record : worker->fault_records)
+      if (!record.recovery) ++stats.faults_injected;
+  return stats;
 }
 
 }  // namespace db::serve

@@ -1,10 +1,13 @@
 // Concurrent batched inference server on top of the system simulation —
-// the first "serves traffic" layer of the stack (ROADMAP north star).
+// the first "serves traffic" layer of the stack (ROADMAP north star),
+// hardened against the fault model of src/fault.
 //
 // Architecture (one request's journey):
 //
-//   Submit(input, arrival_cycle)
-//     │  bounded RequestQueue (back-pressure: Submit blocks when full)
+//   Submit(input, arrival_cycle[, deadline_cycle])
+//     │  admission control in *simulated time* (kBlock / kReject /
+//     │  kShedOldest against queue_capacity), then the bounded
+//     │  RequestQueue (wall-clock back-pressure: Submit blocks when full)
 //     ▼
 //   dispatcher thread: Batcher groups requests (max batch + linger,
 //     both in simulated cycles), then schedules each closed batch onto
@@ -14,17 +17,30 @@
 //   worker threads: each owns a private DRAM MemoryImage (copied from
 //     the image built once at start-up) and executes its batches through
 //     the shared read-only SystemContext; weights stay resident across
-//     images after the worker's first (cold) invocation
+//     images after the worker's first (cold) invocation.  Before each
+//     request service the worker fires any injected faults bound to that
+//     invocation, charges stalls, expires requests past their deadline,
+//     verifies the weight-region checksum (scrub-and-reload from the
+//     provisioned image on mismatch) and retries transient failures with
+//     bounded exponential backoff — all charged in simulated cycles.
 //
-// Determinism: batch composition and worker assignment are computed by
-// the dispatcher purely from the submission order, the arrival cycles
-// and the design's (deterministic) cold/steady invocation cycle counts —
-// never from thread timing.  Outputs are bit-identical to running the
-// same inputs through sequential HostRuntime::InferBatch, and every
-// reported cycle number is reproducible run to run; the worker threads
-// merely overlap the wall-clock cost of producing them.
+// Determinism: batch composition, worker assignment, admission
+// decisions, fault firing points and every recovery charge are computed
+// purely from the submission order, the arrival cycles, the design's
+// (deterministic) cold/steady invocation cycle counts and the seeded
+// fault plan — never from thread timing.  Outputs of kOk requests are
+// bit-identical to running the same inputs through sequential
+// HostRuntime::InferBatch, and every reported cycle number is
+// reproducible run to run; the worker threads merely overlap the
+// wall-clock cost of producing them.
+//
+// Lifecycle: kStarting (constructor) → kServing (threads running) →
+// kDraining (Drain called, intake closed) → kStopped (workers joined,
+// observability published).  Submit outside kServing throws
+// db::ShutdownError.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,6 +49,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "serve/batcher.h"
@@ -43,11 +61,42 @@
 
 namespace db::serve {
 
+enum class ServerState { kStarting, kServing, kDraining, kStopped };
+
+constexpr const char* ServerStateName(ServerState state) {
+  switch (state) {
+    case ServerState::kStarting: return "starting";
+    case ServerState::kServing: return "serving";
+    case ServerState::kDraining: return "draining";
+    case ServerState::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
 struct ServeOptions {
   int workers = 2;
   std::int64_t max_batch_size = 4;
   std::int64_t linger_cycles = 0;
   std::size_t queue_capacity = 64;
+  /// What happens when the queue is full.  The server evaluates the
+  /// policy against the *simulated-time* queue depth (requests whose
+  /// batch has not yet closed), so which requests are shed or rejected
+  /// is a pure function of the arrival stream, not of thread timing;
+  /// the wall-clock RequestQueue keeps kBlock semantics as the memory
+  /// back-pressure layer underneath.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Default relative deadline: a request submitted without an explicit
+  /// deadline must start service within this many cycles of arrival.
+  /// 0 = no default deadline.
+  std::int64_t deadline_cycles = 0;
+  /// Seeded deterministic fault campaign (empty = fault-free serving).
+  fault::FaultPlan faults;
+  /// Transient-failure retry policy: at most `max_retries` attempts are
+  /// retried per request, each charging the invocation cost plus
+  /// `retry_backoff_cycles << attempt` simulated cycles; exhaustion
+  /// completes the request as StatusCode::kFaulted.
+  int max_retries = 3;
+  std::int64_t retry_backoff_cycles = 64;
   std::string device_name = "zynq-7045";
   /// Base performance-model options; the server manages
   /// `weights_resident` itself (cold first image per worker, steady
@@ -55,13 +104,14 @@ struct ServeOptions {
   PerfOptions perf;
   /// Optional observability sinks.  Request lifecycle spans — queue
   /// residency on "serve/queue" (async) plus batch and per-request
-  /// service spans on "serve/worker N" — and the "serve.*" metrics are
-  /// published once, inside the first Drain() call, derived from the
-  /// deterministic per-request records after every worker joined; the
-  /// worker threads themselves never touch the sinks, so the emitted
-  /// trace is byte-identical across runs.  `perf.metrics` additionally
-  /// receives the workers' per-invocation "sim.*" counters (commutative,
-  /// still deterministic).
+  /// service spans on "serve/worker N" — fault/recovery spans, and the
+  /// "serve.*" / "fault.*" metrics are published once, inside the first
+  /// Drain() call, derived from the deterministic per-request and
+  /// per-worker records after every worker joined; the worker threads
+  /// themselves never touch the sinks, so the emitted trace is
+  /// byte-identical across runs.  `perf.metrics` additionally receives
+  /// the workers' per-invocation "sim.*" counters (commutative, still
+  /// deterministic).
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -80,10 +130,15 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueue one request; blocks while the bounded queue is full.
-  /// Arrival cycles must be non-decreasing across calls.  Returns the
-  /// request id (dense, in submission order).
-  std::int64_t Submit(Tensor input, std::int64_t arrival_cycle);
+  /// Enqueue one request; blocks while the bounded queue is full (under
+  /// kBlock).  Arrival cycles must be non-decreasing across calls.
+  /// `deadline_cycle` is the absolute cycle by which service must have
+  /// started (0: use the options' default relative deadline, or none).
+  /// Returns the request id (dense, in submission order); a rejected or
+  /// shed request still gets an id and a record with its status.
+  /// Throws db::ShutdownError unless the server is in kServing.
+  std::int64_t Submit(Tensor input, std::int64_t arrival_cycle,
+                      std::int64_t deadline_cycle = 0);
 
   /// End intake, wait until every submitted request has completed, and
   /// return the records ordered by request id.  Idempotent.
@@ -92,12 +147,17 @@ class InferenceServer {
   /// Aggregate metrics; valid after Drain().
   ServerStats Stats() const;
 
+  /// Lifecycle observer (see ServerState).
+  ServerState state() const { return state_.load(); }
+
   const ServeOptions& options() const { return options_; }
 
   /// Cycle cost the scheduler charges per invocation (exposed so tests
   /// and benches can reason about the schedule analytically).
   std::int64_t cold_cycles() const { return cold_cycles_; }
   std::int64_t steady_cycles() const { return steady_cycles_; }
+  /// Cycles one weight-region scrub-and-reload charges.
+  std::int64_t scrub_cycles() const { return scrub_cycles_; }
 
  private:
   /// A batch bound to a worker with its service window decided.
@@ -117,12 +177,20 @@ class InferenceServer {
     bool closed = false;
     bool warm = false;  // weights resident after the first image
     std::int64_t busy_cycles = 0;
+    /// Worker-local fault/recovery log, appended only by this worker's
+    /// thread and read after it joined; deterministic content.
+    std::vector<fault::FaultRecord> fault_records;
+    std::int64_t scrubs = 0;
     std::thread thread;
   };
 
   void DispatcherLoop();
   void WorkerLoop(int index);
   void DispatchBatch(Batch batch);
+  /// Mark request `id` completed with `status` (results_mu_ held by the
+  /// caller is NOT assumed; takes the lock itself).
+  void CompleteWithoutService(std::int64_t id, StatusCode status,
+                              std::int64_t finish_cycle);
   /// Emit spans + metrics from the completed records (results_mu_ held,
   /// workers joined); runs once, from the first Drain().
   void PublishObservability();
@@ -134,8 +202,11 @@ class InferenceServer {
 
   MemoryImage provisioned_;  // built once; workers copy these bytes
   SystemContext context_;    // shared, read-only across workers
+  fault::FaultInjector injector_;
   std::int64_t cold_cycles_ = 0;
   std::int64_t steady_cycles_ = 0;
+  std::uint64_t weight_checksum_ = 0;  // of the provisioned image
+  std::int64_t scrub_cycles_ = 0;
 
   RequestQueue queue_;
   std::vector<std::unique_ptr<WorkerContext>> workers_;
@@ -147,11 +218,18 @@ class InferenceServer {
   std::vector<bool> worker_scheduled_warm_;
   std::int64_t batches_dispatched_ = 0;
 
-  // Submission state (caller threads).
+  // Submission state (caller threads, guarded by submit_mu_).
   std::mutex submit_mu_;
   std::int64_t next_request_id_ = 0;
   std::int64_t last_arrival_ = 0;
-  bool intake_closed_ = false;
+  // Simulated-time admission shadow: mirrors the dispatcher's batcher
+  // over the admitted stream so Submit knows the simulated queue depth
+  // (members of the still-open batch) without racing the dispatcher.
+  std::int64_t shadow_open_count_ = 0;    // open-batch size incl. shed
+  std::int64_t shadow_first_arrival_ = 0;
+  std::deque<std::int64_t> shadow_live_;  // queued (non-shed) request ids
+
+  std::atomic<ServerState> state_{ServerState::kStarting};
 
   // Completion tracking and results.
   mutable std::mutex results_mu_;

@@ -2,21 +2,40 @@
 
 #include <utility>
 
-#include "common/error.h"
-
 namespace db::serve {
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+RequestQueue::RequestQueue(std::size_t capacity, AdmissionPolicy policy)
+    : capacity_(capacity), policy_(policy) {
   DB_CHECK_MSG(capacity_ >= 1, "queue capacity must be at least 1");
 }
 
-void RequestQueue::Push(PendingRequest request) {
+AdmissionResult RequestQueue::Push(PendingRequest request) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [&] { return closed_ || items_.size() < capacity_; });
-  if (closed_) throw Error("request queue is closed");
+  AdmissionResult result;
+  switch (policy_) {
+    case AdmissionPolicy::kBlock:
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      break;
+    case AdmissionPolicy::kReject:
+      if (!closed_ && items_.size() >= capacity_) {
+        ++rejected_;
+        result.status = StatusCode::kRejected;
+        return result;
+      }
+      break;
+    case AdmissionPolicy::kShedOldest:
+      if (!closed_ && items_.size() >= capacity_) {
+        ++shed_;
+        result.shed = std::move(items_.front());
+        items_.pop_front();
+      }
+      break;
+  }
+  if (closed_) throw ShutdownError("request queue is closed");
   items_.push_back(std::move(request));
   not_empty_.notify_one();
+  return result;
 }
 
 std::optional<PendingRequest> RequestQueue::Pop() {
@@ -41,6 +60,16 @@ void RequestQueue::Close() {
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+std::int64_t RequestQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+std::int64_t RequestQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
 }
 
 }  // namespace db::serve

@@ -1,30 +1,65 @@
-// Bounded blocking request queue between the submitting application
-// threads and the server's dispatcher.
+// Bounded request queue between the submitting application threads and
+// the server's dispatcher, with configurable admission control.
 //
-// The bound is the server's admission control: when the accelerator
-// falls behind, Push blocks the producer instead of letting the backlog
-// grow without limit (the standard back-pressure contract of a serving
-// system).  Close() ends intake: pending items drain, further Push calls
-// throw, and Pop returns nullopt once the queue is empty.
+// The bound is the server's overload protection.  What happens when the
+// queue is full is the admission policy:
+//
+//   * kBlock     — Push blocks the producer until a slot frees (the
+//                  classic back-pressure contract; the default).
+//   * kReject    — Push returns StatusCode::kRejected immediately; the
+//                  producer completes the request as failed.
+//   * kShedOldest — Push evicts the oldest queued request (returned to
+//                  the caller so it can be completed as kShed) and
+//                  admits the new one: fresh work is favoured because
+//                  the oldest entry is the most likely to be past its
+//                  deadline anyway.
+//
+// Close() ends intake: pending items drain, further Push calls throw
+// db::ShutdownError (including producers already blocked inside Push),
+// and Pop returns nullopt once the queue is empty.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "common/error.h"
 #include "serve/batcher.h"
 
 namespace db::serve {
 
+enum class AdmissionPolicy { kBlock, kReject, kShedOldest };
+
+constexpr const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kShedOldest: return "shed-oldest";
+  }
+  return "unknown";
+}
+
+/// Outcome of one Push under the queue's admission policy.
+struct AdmissionResult {
+  /// kOk: the request was admitted.  kRejected: the queue was full
+  /// under kReject and the request was refused.
+  StatusCode status = StatusCode::kOk;
+  /// Under kShedOldest on a full queue: the evicted oldest request.
+  std::optional<PendingRequest> shed;
+};
+
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  explicit RequestQueue(std::size_t capacity,
+                        AdmissionPolicy policy = AdmissionPolicy::kBlock);
 
-  /// Blocks while the queue is full.  Throws db::Error if the queue was
-  /// closed (before or while waiting).
-  void Push(PendingRequest request);
+  /// Admit `request` under the queue's policy (see header comment).
+  /// Only kBlock ever blocks.  Throws db::ShutdownError if the queue
+  /// was closed (before or while waiting).
+  AdmissionResult Push(PendingRequest request);
 
   /// Blocks while the queue is empty and open.  Returns nullopt once the
   /// queue is closed and fully drained.
@@ -34,16 +69,24 @@ class RequestQueue {
   void Close();
 
   std::size_t capacity() const { return capacity_; }
+  AdmissionPolicy policy() const { return policy_; }
 
   /// Instantaneous depth (monitoring only).
   std::size_t size() const;
 
+  /// Cumulative admission outcomes (monitoring only).
+  std::int64_t rejected() const;
+  std::int64_t shed() const;
+
  private:
   const std::size_t capacity_;
+  const AdmissionPolicy policy_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<PendingRequest> items_;
+  std::int64_t rejected_ = 0;
+  std::int64_t shed_ = 0;
   bool closed_ = false;
 };
 

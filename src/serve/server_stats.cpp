@@ -47,6 +47,19 @@ std::string ServerStats::ToString() const {
       latency_max_s * 1e3);
   os << StrFormat("  traffic   %lld DRAM bytes   energy %.4f J\n",
                   static_cast<long long>(total_dram_bytes), total_joules);
+  os << StrFormat(
+      "  outcomes  ok %lld  shed %lld  rejected %lld  deadline %lld  "
+      "faulted %lld\n",
+      static_cast<long long>(completed), static_cast<long long>(shed),
+      static_cast<long long>(rejected),
+      static_cast<long long>(deadline_exceeded),
+      static_cast<long long>(faulted));
+  if (faults_injected > 0 || retries > 0 || recovery_cycles > 0)
+    os << StrFormat(
+        "  faults    %lld injected  %lld retries  %lld recovery cycles\n",
+        static_cast<long long>(faults_injected),
+        static_cast<long long>(retries),
+        static_cast<long long>(recovery_cycles));
   for (int w = 0; w < static_cast<int>(worker_busy_cycles.size()); ++w)
     os << StrFormat("  worker %d  busy %lld cycles  (%.1f%% utilised)\n",
                     w,
@@ -74,6 +87,17 @@ ServerStats ComputeServerStats(
   latencies.reserve(requests.size());
   double latency_sum = 0.0;
   for (const ServedRequest& r : requests) {
+    stats.retries += r.retries;
+    stats.recovery_cycles += r.recovery_cycles;
+    switch (r.status) {
+      case StatusCode::kShed: ++stats.shed; continue;
+      case StatusCode::kRejected: ++stats.rejected; continue;
+      case StatusCode::kDeadlineExceeded:
+        ++stats.deadline_exceeded;
+        continue;
+      case StatusCode::kFaulted: ++stats.faulted; continue;
+      case StatusCode::kOk: ++stats.completed; break;
+    }
     DB_CHECK_MSG(r.finish_cycle >= r.arrival_cycle,
                  "request finishes before it arrives");
     stats.makespan_cycles = std::max(stats.makespan_cycles, r.finish_cycle);
@@ -87,12 +111,13 @@ ServerStats ComputeServerStats(
   }
   stats.makespan_seconds =
       static_cast<double>(stats.makespan_cycles) * cycles_to_s;
+  if (latencies.empty()) return stats;  // nothing reached the datapath
 
   const double span_s =
       static_cast<double>(stats.makespan_cycles - first_arrival) *
       cycles_to_s;
   if (span_s > 0)
-    stats.throughput_rps = static_cast<double>(stats.requests) / span_s;
+    stats.throughput_rps = static_cast<double>(stats.completed) / span_s;
 
   std::sort(latencies.begin(), latencies.end());
   stats.latency_p50_s = NearestRank(latencies, 50);

@@ -17,30 +17,53 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "tensor/tensor.h"
 
 namespace db::serve {
 
-/// Everything the server knows about one completed request.
+/// Everything the server knows about one completed request.  `status`
+/// records the disposition: only kOk requests carry an output and
+/// service accounting; shed / rejected / expired / faulted requests
+/// complete without ever occupying a datapath slot (their timing fields
+/// beyond arrival and finish stay zero).
 struct ServedRequest {
   std::int64_t id = 0;
   std::int64_t batch_id = 0;
   int worker = -1;
   std::int64_t arrival_cycle = 0;
+  std::int64_t deadline_cycle = 0;  // 0 = none; service must start by it
   std::int64_t start_cycle = 0;   // its batch began service
   std::int64_t finish_cycle = 0;  // its own image completed
   std::int64_t service_cycles = 0;  // datapath cycles of its image
   std::int64_t dram_bytes = 0;
   double joules = 0.0;
+  StatusCode status = StatusCode::kOk;
+  int retries = 0;  // transient-fault attempts retried before success
+  /// Cycles lost to injected faults and their recovery on this request:
+  /// stalls, weight-region scrubs and retry backoff, all simulated.
+  std::int64_t recovery_cycles = 0;
   Tensor output;
 };
 
-/// Aggregate metrics over one completed run.
+/// Aggregate metrics over one completed run.  Latency, throughput and
+/// traffic aggregates cover the `completed` (status kOk) requests;
+/// the robustness counters account for everything else.
 struct ServerStats {
   std::int64_t requests = 0;
   std::int64_t batches = 0;
   int workers = 0;
   double frequency_mhz = 0.0;
+
+  /// Robustness accounting (see StatusCode).
+  std::int64_t completed = 0;           // status == kOk
+  std::int64_t shed = 0;                // evicted under kShedOldest
+  std::int64_t rejected = 0;            // refused under kReject
+  std::int64_t deadline_exceeded = 0;   // expired before service
+  std::int64_t faulted = 0;             // retries exhausted
+  std::int64_t retries = 0;             // transient attempts retried
+  std::int64_t faults_injected = 0;     // events the injector fired
+  std::int64_t recovery_cycles = 0;     // stall + scrub + backoff cycles
 
   /// Simulated makespan: the largest finish cycle over all requests.
   std::int64_t makespan_cycles = 0;
@@ -68,6 +91,8 @@ struct ServerStats {
 
 /// Aggregate the per-request records (order-independent).
 /// `worker_busy_cycles[w]` must hold worker w's total service cycles.
+/// Status counts, retries and recovery cycles are derived from the
+/// records; `faults_injected` is the caller's (it knows the plan).
 ServerStats ComputeServerStats(std::span<const ServedRequest> requests,
                                std::int64_t batches, double frequency_mhz,
                                std::vector<std::int64_t> worker_busy_cycles);

@@ -24,24 +24,23 @@ HostRuntime::HostRuntime(const Network& net,
       device_(DeviceCatalog(device_name)),
       image_(BuildHostImage(net, design, weights)) {}
 
-HostInvocation HostRuntime::MakeInvocation(const Tensor& output,
-                                           const PerfResult& perf) {
+HostInvocation HostRuntime::MakeInvocation(const SystemRunResult& run) {
   HostInvocation inv;
-  inv.output = output;
-  inv.cycles = perf.total_cycles;
-  inv.seconds = perf.TotalSeconds();
-  inv.joules =
-      EstimateEnergy(design_.resources.total, perf, device_).total_joules;
+  inv.output = run.output;
+  inv.cycles = run.perf.total_cycles;
+  inv.seconds = run.perf.TotalSeconds();
+  inv.joules = EstimateEnergy(design_.resources.total, run.perf, device_)
+                   .total_joules;
+  inv.status = run.status;
   ++stats_.invocations;
   stats_.total_seconds += inv.seconds;
   stats_.total_joules += inv.joules;
-  stats_.total_dram_bytes += perf.total_dram_bytes;
+  stats_.total_dram_bytes += run.perf.total_dram_bytes;
   return inv;
 }
 
 HostInvocation HostRuntime::Infer(const Tensor& input) {
-  const SystemRunResult run = RunSystem(net_, design_, image_, input);
-  return MakeInvocation(run.output, run.perf);
+  return MakeInvocation(RunSystem(net_, design_, image_, input));
 }
 
 std::vector<HostInvocation> HostRuntime::InferBatch(
@@ -56,11 +55,9 @@ std::vector<HostInvocation> HostRuntime::InferBatch(
   // Remaining images reuse buffered weights where they fit.
   PerfOptions steady;
   steady.weights_resident = true;
-  for (std::size_t i = 1; i < inputs.size(); ++i) {
-    const SystemRunResult run =
-        RunSystem(net_, design_, image_, inputs[i], steady);
-    results.push_back(MakeInvocation(run.output, run.perf));
-  }
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    results.push_back(
+        MakeInvocation(RunSystem(net_, design_, image_, inputs[i], steady)));
   return results;
 }
 

@@ -21,6 +21,7 @@ struct HostInvocation {
   std::int64_t cycles = 0;
   double seconds = 0.0;
   double joules = 0.0;
+  StatusCode status = StatusCode::kOk;  // from SystemRunResult
 };
 
 /// Cumulative session accounting.
@@ -60,8 +61,7 @@ class HostRuntime {
   MemoryImage& image() { return image_; }
 
  private:
-  HostInvocation MakeInvocation(const Tensor& output,
-                                const PerfResult& perf);
+  HostInvocation MakeInvocation(const SystemRunResult& run);
 
   const Network& net_;
   const AcceleratorDesign& design_;

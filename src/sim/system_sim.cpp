@@ -55,6 +55,7 @@ SystemRunResult SystemContext::Run(MemoryImage& image, const Tensor& input,
   StoreBlob(image, net_, design_, out_layer.name(), raw_out);
   result.output = ExtractBlob(image, net_, design_, out_layer.name());
   result.perf = SimulatePerformance(net_, design_, perf_options);
+  result.status = StatusCode::kOk;
   return result;
 }
 

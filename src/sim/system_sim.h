@@ -8,6 +8,7 @@
 // run, exactly as on hardware.
 #pragma once
 
+#include "common/error.h"
 #include "core/memory_image.h"
 #include "sim/functional_sim.h"
 #include "sim/perf_model.h"
@@ -17,6 +18,10 @@ namespace db {
 struct SystemRunResult {
   Tensor output;          // host-visible result, read back from the image
   PerfResult perf;        // accelerator timing for the invocation
+  /// Per-invocation disposition, propagated to HostInvocation and the
+  /// server's ServedRequest records so failures cross thread boundaries
+  /// as values, never as exceptions (see common/error.h).
+  StatusCode status = StatusCode::kOk;
 };
 
 /// Decode a WeightStore from the image's weight regions (the inverse of

@@ -1,0 +1,26 @@
+# Asserts the deepburning CLI's documented exit-code contract:
+#   0 — success
+#   2 — user-facing error (db::Error: bad flags, unreadable files)
+#   3 — internal invariant violation (a DB_CHECK fired)
+# Run via: ctest -R cli_exit_codes  (wired up in tests/CMakeLists.txt,
+# which passes -DDEEPBURNING=<path to the binary>).
+if(NOT DEFINED DEEPBURNING)
+  message(FATAL_ERROR "pass -DDEEPBURNING=<path to the deepburning binary>")
+endif()
+
+function(expect_exit code)
+  execute_process(COMMAND ${DEEPBURNING} ${ARGN}
+    RESULT_VARIABLE result OUTPUT_QUIET ERROR_QUIET)
+  if(NOT result EQUAL ${code})
+    message(FATAL_ERROR
+      "deepburning ${ARGN}: expected exit ${code}, got ${result}")
+  endif()
+endfunction()
+
+expect_exit(0 --help)
+expect_exit(2 --model /nonexistent/model.prototxt)       # db::Error
+expect_exit(2 --no-such-flag)                            # db::Error
+expect_exit(2 serve --zoo no-such-model)                 # db::Error
+expect_exit(2 serve --zoo MNIST --admission=bogus)       # db::Error
+expect_exit(2 serve --zoo MNIST --faults=bogus-key=1)    # db::Error
+expect_exit(3 --self-test-internal-error)                # DB_CHECK

@@ -1,7 +1,9 @@
 // Tests for the concurrent batched inference server (src/serve).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
@@ -18,6 +20,7 @@
 namespace db {
 namespace {
 
+using serve::AdmissionPolicy;
 using serve::Batch;
 using serve::Batcher;
 using serve::BatchPolicy;
@@ -26,6 +29,7 @@ using serve::PendingRequest;
 using serve::RequestQueue;
 using serve::ServedRequest;
 using serve::ServeOptions;
+using serve::ServerState;
 using serve::ServerStats;
 
 struct Fixture {
@@ -103,6 +107,50 @@ TEST(RequestQueue, FifoAndCloseSemantics) {
   EXPECT_THROW(queue.Push(Req(2, 0)), Error);
   EXPECT_EQ(queue.Pop()->id, 0);
   EXPECT_EQ(queue.Pop()->id, 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(RequestQueue, RejectPolicyRefusesWhenFull) {
+  RequestQueue queue(2, AdmissionPolicy::kReject);
+  EXPECT_EQ(queue.Push(Req(0, 0)).status, StatusCode::kOk);
+  EXPECT_EQ(queue.Push(Req(1, 0)).status, StatusCode::kOk);
+  const auto refused = queue.Push(Req(2, 0));
+  EXPECT_EQ(refused.status, StatusCode::kRejected);
+  EXPECT_FALSE(refused.shed.has_value());
+  EXPECT_EQ(queue.rejected(), 1);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop()->id, 0);  // admitted work is untouched
+  EXPECT_EQ(queue.Pop()->id, 1);
+}
+
+TEST(RequestQueue, ShedOldestEvictsFrontWhenFull) {
+  RequestQueue queue(2, AdmissionPolicy::kShedOldest);
+  queue.Push(Req(0, 0));
+  queue.Push(Req(1, 10));
+  const auto result = queue.Push(Req(2, 20));
+  EXPECT_EQ(result.status, StatusCode::kOk);  // the new request is in
+  ASSERT_TRUE(result.shed.has_value());
+  EXPECT_EQ(result.shed->id, 0);  // oldest entry paid for it
+  EXPECT_EQ(queue.shed(), 1);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop()->id, 1);
+  EXPECT_EQ(queue.Pop()->id, 2);
+}
+
+TEST(RequestQueue, CloseWakesBlockedPushWithShutdownError) {
+  // A producer blocked inside Push (kBlock, queue full) must observe
+  // Close() as db::ShutdownError instead of deadlocking.  The throw is
+  // guaranteed on both sides of the race: if Close lands first the
+  // next Push call throws immediately.
+  RequestQueue queue(1);
+  queue.Push(Req(0, 0));
+  std::thread producer([&] {
+    EXPECT_THROW(queue.Push(Req(1, 0)), ShutdownError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(queue.Pop()->id, 0);  // queued work still drains
   EXPECT_FALSE(queue.Pop().has_value());
 }
 
@@ -322,12 +370,136 @@ TEST(InferenceServer, ObservabilitySpansTileLatency) {
   EXPECT_EQ(metrics.ToJson(), metrics2.ToJson());
 }
 
-TEST(InferenceServer, SubmitAfterDrainRejected) {
+TEST(InferenceServer, SubmitAfterDrainThrowsShutdownError) {
+  // The documented intake contract: once Drain() has been called the
+  // server never accepts another request; Submit throws
+  // db::ShutdownError (an Error subclass) naming the lifecycle state.
   Fixture fx(ZooModel::kAnn0Fft);
   InferenceServer server(fx.net, fx.design, fx.weights);
+  EXPECT_EQ(server.state(), ServerState::kServing);
   server.Submit(fx.RandomInput(1), 0);
   server.Drain();
-  EXPECT_THROW(server.Submit(fx.RandomInput(2), 0), Error);
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  try {
+    server.Submit(fx.RandomInput(2), 0);
+    FAIL() << "Submit after Drain must throw";
+  } catch (const ShutdownError& e) {
+    EXPECT_NE(std::string(e.what()).find("stopped"), std::string::npos);
+  }
+}
+
+TEST(InferenceServer, DeadlineExpiredRequestSkipsDatapath) {
+  // workers=1, batch=1: request 1 cannot start before request 0's cold
+  // invocation finishes, so an absolute deadline of 1 cycle expires it.
+  Fixture fx(ZooModel::kAnn0Fft);
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch_size = 1;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  server.Submit(fx.RandomInput(1), 0);
+  server.Submit(fx.RandomInput(2), 0, /*deadline_cycle=*/1);
+  server.Submit(fx.RandomInput(3), 0);
+  const auto& served = server.Drain();
+  const std::int64_t cold = server.cold_cycles();
+  const std::int64_t steady = server.steady_cycles();
+
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].status, StatusCode::kOk);
+  EXPECT_EQ(served[1].status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(served[2].status, StatusCode::kOk);
+  EXPECT_EQ(served[1].output.size(), 0);  // never produced
+  EXPECT_EQ(served[1].finish_cycle, cold);  // expired at service point
+  // The expired request occupied no datapath slot: request 2 runs at
+  // its scheduled start and the worker's busy cycles exclude request 1.
+  EXPECT_EQ(served[2].finish_cycle, cold + 2 * steady);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.worker_busy_cycles[0], cold + steady);
+}
+
+TEST(InferenceServer, DefaultRelativeDeadlineApplies) {
+  // With deadline_cycles set, every Submit without an explicit deadline
+  // gets arrival + deadline_cycles; an impossible default expires all
+  // but the request that starts immediately.
+  Fixture fx(ZooModel::kAnn0Fft);
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch_size = 1;
+  options.deadline_cycles = 1;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  for (int i = 0; i < 3; ++i) server.Submit(fx.RandomInput(i), 0);
+  const auto& served = server.Drain();
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].status, StatusCode::kOk);  // starts at cycle 0
+  EXPECT_EQ(served[1].status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(served[2].status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(served[0].deadline_cycle, 1);
+}
+
+TEST(InferenceServer, ShedOldestIsDeterministicInSimulatedTime) {
+  // queue_capacity=2, batch=4, all arrivals at cycle 0: the simulated
+  // queue fills at two outstanding requests, so ids 2..7 each evict the
+  // oldest live entry — a pure function of the arrival stream.  The
+  // survivors' outputs stay bit-identical to sequential inference.
+  Fixture fx(ZooModel::kAnn0Fft);
+  const auto inputs = fx.Inputs(8);
+  auto run = [&] {
+    ServeOptions options;
+    options.workers = 1;
+    options.max_batch_size = 4;
+    options.queue_capacity = 2;
+    options.admission = AdmissionPolicy::kShedOldest;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    for (const Tensor& input : inputs) server.Submit(input, 0);
+    std::vector<ServedRequest> copy = server.Drain();
+    return std::make_pair(copy, server.Stats());
+  };
+  const auto [served, stats] = run();
+  ASSERT_EQ(served.size(), 8u);
+  std::vector<std::int64_t> ok_ids, shed_ids;
+  for (const ServedRequest& r : served) {
+    if (r.status == StatusCode::kOk) ok_ids.push_back(r.id);
+    if (r.status == StatusCode::kShed) shed_ids.push_back(r.id);
+  }
+  EXPECT_EQ(ok_ids, (std::vector<std::int64_t>{2, 3, 6, 7}));
+  EXPECT_EQ(shed_ids, (std::vector<std::int64_t>{0, 1, 4, 5}));
+  EXPECT_EQ(stats.shed, 4);
+  EXPECT_EQ(stats.completed, 4);
+
+  HostRuntime host(fx.net, fx.design, fx.weights);
+  for (const std::int64_t id : ok_ids)
+    EXPECT_EQ(MaxAbsDiff(served[static_cast<std::size_t>(id)].output,
+                         host.Infer(inputs[static_cast<std::size_t>(id)])
+                             .output),
+              0.0)
+        << "request " << id;
+
+  // Same arrival stream, same shed set: the decision is simulated-time.
+  const auto [served2, stats2] = run();
+  for (std::size_t i = 0; i < served.size(); ++i)
+    EXPECT_EQ(served[i].status, served2[i].status) << i;
+  EXPECT_EQ(stats2.shed, 4);
+}
+
+TEST(InferenceServer, RejectPolicyRefusesOverload) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch_size = 4;
+  options.queue_capacity = 2;
+  options.admission = AdmissionPolicy::kReject;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  for (const Tensor& input : fx.Inputs(4)) server.Submit(input, 0);
+  const auto& served = server.Drain();
+  ASSERT_EQ(served.size(), 4u);
+  EXPECT_EQ(served[0].status, StatusCode::kOk);
+  EXPECT_EQ(served[1].status, StatusCode::kOk);
+  EXPECT_EQ(served[2].status, StatusCode::kRejected);
+  EXPECT_EQ(served[3].status, StatusCode::kRejected);
+  // A rejected request is disposed of at its arrival cycle.
+  EXPECT_EQ(served[2].finish_cycle, served[2].arrival_cycle);
+  EXPECT_EQ(server.Stats().rejected, 2);
 }
 
 TEST(InferenceServer, DrainWithNoRequestsIsEmpty) {

@@ -31,6 +31,7 @@
 #include "common/strings.h"
 #include "core/generator.h"
 #include "core/design_json.h"
+#include "fault/fault_plan.h"
 #include "models/zoo.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
@@ -132,13 +133,26 @@ struct ServeCliOptions {
   std::string constraint_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string faults;     // fault-campaign spec, e.g. "seed=7,flips=100"
+  std::string admission;  // block | reject | shed-oldest
   int requests = 64;
   int workers = 2;
   std::int64_t batch = 4;
   std::int64_t linger = 0;
   std::int64_t arrival_gap = 0;
+  std::int64_t deadline_cycles = 0;
+  std::size_t queue_capacity = 64;
   bool help = false;
 };
+
+db::serve::AdmissionPolicy ParseAdmissionPolicy(const std::string& name) {
+  using db::serve::AdmissionPolicy;
+  if (name == "block") return AdmissionPolicy::kBlock;
+  if (name == "reject") return AdmissionPolicy::kReject;
+  if (name == "shed-oldest") return AdmissionPolicy::kShedOldest;
+  throw db::Error("unknown admission policy '" + name +
+                  "' (expected block, reject or shed-oldest)");
+}
 
 void PrintServeUsage() {
   std::printf(
@@ -146,6 +160,9 @@ void PrintServeUsage() {
       "                         [--constraint <constraint.prototxt>]\n"
       "                         [--requests N] [--workers N] [--batch N]\n"
       "                         [--linger CYCLES] [--arrival-gap CYCLES]\n"
+      "                         [--queue-capacity N] [--admission POLICY]\n"
+      "                         [--deadline-cycles CYCLES] "
+      "[--faults <spec>]\n"
       "                         [--trace-out <file>] "
       "[--metrics-out <file>]\n\n"
       "  --zoo          benchmark model name (ANN-0, ANN-1, ANN-2, "
@@ -160,6 +177,18 @@ void PrintServeUsage() {
       "  --linger       cycles a partial batch waits to fill (default 0)\n"
       "  --arrival-gap  cycles between request arrivals (default 0: all "
       "at once)\n"
+      "  --queue-capacity  bounded request-queue depth (default 64)\n"
+      "  --admission    full-queue policy, evaluated in simulated time:\n"
+      "                 block (back-pressure, default), reject "
+      "(kRejected),\n"
+      "                 shed-oldest (evict the oldest queued request)\n"
+      "  --deadline-cycles  relative deadline: service must start within\n"
+      "                 this many cycles of arrival (default 0: none)\n"
+      "  --faults       seeded deterministic fault campaign, e.g.\n"
+      "                 'seed=7,flips=100,transients=8,stalls=4'\n"
+      "                 (keys: seed, flips, blob-flips, transients, "
+      "stalls,\n"
+      "                 stall-cycles, span; see DESIGN.md)\n"
       "  --trace-out    write the toolchain + per-request serving spans "
       "as\n"
       "                 Chrome-trace JSON (open in Perfetto)\n"
@@ -202,7 +231,14 @@ int RunServe(int argc, char** argv) {
       opts.linger = std::stoll(next());
     } else if (arg == "--arrival-gap") {
       opts.arrival_gap = std::stoll(next());
-    } else if (FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
+    } else if (arg == "--queue-capacity") {
+      opts.queue_capacity =
+          static_cast<std::size_t>(std::stoll(next()));
+    } else if (arg == "--deadline-cycles") {
+      opts.deadline_cycles = std::stoll(next());
+    } else if (FlagValue(arg, "--faults", next, &opts.faults) ||
+               FlagValue(arg, "--admission", next, &opts.admission) ||
+               FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
                FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
     } else if (arg == "--help" || arg == "-h") {
       opts.help = true;
@@ -220,6 +256,18 @@ int RunServe(int argc, char** argv) {
   if (opts.linger < 0) throw Error("--linger must be non-negative");
   if (opts.arrival_gap < 0)
     throw Error("--arrival-gap must be non-negative");
+  if (opts.queue_capacity < 1)
+    throw Error("--queue-capacity must be at least 1");
+  if (opts.deadline_cycles < 0)
+    throw Error("--deadline-cycles must be non-negative");
+  // Validate the robustness flags before the (expensive) generation so
+  // a typo fails fast.
+  const serve::AdmissionPolicy admission =
+      opts.admission.empty() ? serve::AdmissionPolicy::kBlock
+                             : ParseAdmissionPolicy(opts.admission);
+  fault::FaultCampaignSpec campaign;
+  if (!opts.faults.empty())
+    campaign = fault::ParseFaultCampaign(opts.faults);
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
@@ -242,10 +290,19 @@ int RunServe(int argc, char** argv) {
   server_opts.workers = opts.workers;
   server_opts.max_batch_size = opts.batch;
   server_opts.linger_cycles = opts.linger;
+  server_opts.queue_capacity = opts.queue_capacity;
+  server_opts.deadline_cycles = opts.deadline_cycles;
   server_opts.device_name = constraint.device;
   server_opts.tracer = &tracer;
   server_opts.metrics = &metrics;
   server_opts.perf.metrics = &metrics;
+  server_opts.admission = admission;
+  if (!opts.faults.empty()) {
+    fault::FaultCampaignSpec sized = campaign;
+    sized.workers = opts.workers;
+    server_opts.faults =
+        fault::FaultPlan::Generate(sized, design.memory_map);
+  }
   serve::InferenceServer server(net, design, weights, server_opts);
 
   std::printf(
@@ -255,6 +312,9 @@ int RunServe(int argc, char** argv) {
       static_cast<long long>(opts.batch),
       static_cast<long long>(opts.linger),
       static_cast<long long>(opts.arrival_gap));
+  if (!server_opts.faults.empty())
+    std::printf("fault campaign: %s\n",
+                server_opts.faults.ToString().c_str());
 
   const BlobShape& in_shape =
       net.layer(net.input_ids().front()).output_shape;
@@ -294,9 +354,18 @@ void WriteFile(const std::filesystem::path& path,
 
 }  // namespace
 
+// Exit codes: 0 success, 1 unexpected failure (any other std::exception),
+// 2 user-facing error (db::Error: bad flags, unreadable files, invalid
+// specs), 3 internal invariant violation (a DB_CHECK fired —
+// std::logic_error; always a bug worth reporting).
 int main(int argc, char** argv) {
   using namespace db;
   try {
+    // Undocumented: trip a DB_CHECK on demand so the CLI test suite can
+    // assert the internal-error exit code without a real bug.
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--self-test-internal-error")
+        DB_CHECK_MSG(false, "self-test internal error");
     if (argc > 1 && std::string(argv[1]) == "serve")
       return RunServe(argc, argv);
     const CliOptions opts = ParseArgs(argc, argv);
@@ -373,6 +442,12 @@ int main(int argc, char** argv) {
     if (!opts.metrics_out.empty())
       WriteFile(opts.metrics_out, metrics.ToJson());
     return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "deepburning: %s\n", e.what());
+    return 2;
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "deepburning: internal error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deepburning: %s\n", e.what());
     return 1;
