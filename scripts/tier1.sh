@@ -5,6 +5,10 @@
 # workers, metrics sinks, the logger).
 #
 # Usage: scripts/tier1.sh [jobs]
+#
+# Set DB_COVERAGE=1 to append a gcov line-coverage stage: the full suite
+# runs in an instrumented build (build-coverage/) and a per-module
+# line-coverage summary is printed at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
@@ -34,5 +38,37 @@ echo "== tier-1: ASan fault campaign (ctest -L faults) =="
 # expiry, shedding) must be memory-clean, not just correct.
 cmake --build --preset asan -j "${JOBS}" --target fault_test
 ctest --preset asan -j "${JOBS}" -L faults
+
+if [[ "${DB_COVERAGE:-0}" == "1" ]]; then
+  echo "== tier-1: gcov line coverage over the full suite =="
+  cmake --preset coverage
+  cmake --build --preset coverage -j "${JOBS}"
+  ctest --preset coverage -j "${JOBS}"
+  # Per-module summary: aggregate each src/<module>'s gcov line rates.
+  # gcov writes its .gcov transcripts into the cwd; keep them out of the
+  # tree.
+  (
+    cd build-coverage
+    find . -name '*.gcda' -path '*src*' -print0 |
+      xargs -0 gcov 2>/dev/null |
+      awk '/^File .*\/src\// {
+             file = $2; gsub(/'"'"'/, "", file)
+             sub(/.*\/src\//, "", file); sub(/\/.*/, "", file)
+           }
+           /^Lines executed:/ && file != "" {
+             split($0, a, ":"); split(a[2], b, "% of ")
+             covered[file] += b[2] * b[1] / 100.0; total[file] += b[2]
+             file = ""
+           }
+           END {
+             printf "%-12s %10s %10s %8s\n",
+                    "module", "lines", "covered", "rate"
+             for (m in total)
+               printf "%-12s %10d %10d %7.1f%%\n",
+                      m, total[m], covered[m], 100.0 * covered[m] / total[m]
+           }' | sort
+    rm -f ./*.gcov
+  )
+fi
 
 echo "tier-1 OK"

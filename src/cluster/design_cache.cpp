@@ -1,0 +1,201 @@
+#include "cluster/design_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string_view>
+#include <utility>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "core/design_serde.h"
+
+namespace db::cluster {
+
+namespace {
+
+// Separates the two canonical texts inside the key so a network script
+// ending where a constraint begins can never splice into the same
+// bytes as a different (network, constraint) split.
+constexpr std::string_view kKeySeparator = "\n%constraint%\n";
+
+std::filesystem::path EntryPath(const std::string& directory,
+                                const DesignKey& key) {
+  return std::filesystem::path(directory) / (DesignKeyHex(key) + ".design");
+}
+
+std::uint64_t ReadU64Le(std::string_view bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]))
+             << (8 * i);
+  return value;
+}
+
+void AppendU64Le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+}  // namespace
+
+DesignKey MakeDesignKey(const NetworkDef& net,
+                        const DesignConstraint& constraint) {
+  DesignKey key;
+  key.canonical = NetworkDefToPrototxt(net);
+  key.canonical += kKeySeparator;
+  key.canonical += ConstraintToPrototxt(constraint);
+  key.hash = Fnv1a64(key.canonical);
+  return key;
+}
+
+std::string DesignKeyHex(const DesignKey& key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key.hash));
+  return std::string(buf);
+}
+
+DesignCache::DesignCache() : DesignCache(Options{}) {}
+
+DesignCache::DesignCache(Options options) : options_(std::move(options)) {
+  DB_CHECK_MSG(options_.capacity >= 1, "design cache needs capacity >= 1");
+}
+
+std::shared_ptr<const AcceleratorDesign> DesignCache::Lookup(
+    const DesignKey& key) {
+  auto it = FindResident(key);
+  if (it != lru_.end()) {
+    lru_.splice(lru_.begin(), lru_, it);  // refresh recency
+    ++stats_.hits;
+    Note("hit", key);
+    return it->design;
+  }
+  if (!options_.directory.empty()) {
+    if (auto design = LoadFromDisk(key)) {
+      ++stats_.disk_hits;
+      Note("disk_hit", key);
+      return InsertResident(key, std::move(design));
+    }
+  }
+  ++stats_.misses;
+  Note("miss", key);
+  return nullptr;
+}
+
+std::shared_ptr<const AcceleratorDesign> DesignCache::Insert(
+    const DesignKey& key, AcceleratorDesign design) {
+  auto shared = std::make_shared<const AcceleratorDesign>(std::move(design));
+  ++stats_.inserts;
+  Note("insert", key);
+  if (!options_.directory.empty()) StoreToDisk(key, *shared);
+  return InsertResident(key, std::move(shared));
+}
+
+std::shared_ptr<const AcceleratorDesign> DesignCache::GetOrGenerate(
+    const DesignKey& key, const Network& net,
+    const DesignConstraint& constraint, obs::Tracer* toolchain_tracer) {
+  if (auto hit = Lookup(key)) return hit;
+  return Insert(key, GenerateAccelerator(net, constraint, toolchain_tracer));
+}
+
+DesignCache::LruList::iterator DesignCache::FindResident(
+    const DesignKey& key) {
+  auto bucket = buckets_.find(key.hash);
+  if (bucket == buckets_.end()) return lru_.end();
+  for (LruList::iterator it : bucket->second)
+    if (it->key.canonical == key.canonical) return it;
+  return lru_.end();
+}
+
+std::shared_ptr<const AcceleratorDesign> DesignCache::InsertResident(
+    const DesignKey& key, std::shared_ptr<const AcceleratorDesign> design) {
+  auto it = FindResident(key);
+  if (it != lru_.end()) {
+    it->design = design;
+    lru_.splice(lru_.begin(), lru_, it);
+    return design;
+  }
+  lru_.push_front(Entry{key, design});
+  buckets_[key.hash].push_back(lru_.begin());
+  while (lru_.size() > options_.capacity) {
+    auto last = std::prev(lru_.end());
+    auto& bucket = buckets_[last->key.hash];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), last),
+                 bucket.end());
+    if (bucket.empty()) buckets_.erase(last->key.hash);
+    ++stats_.evictions;
+    Note("eviction", last->key);
+    lru_.pop_back();  // the shared_ptr keeps live users safe
+  }
+  return design;
+}
+
+std::shared_ptr<const AcceleratorDesign> DesignCache::LoadFromDisk(
+    const DesignKey& key) {
+  std::ifstream in(EntryPath(options_.directory, key), std::ios::binary);
+  if (!in) return nullptr;
+  const std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  // Layout: canonical length (u64 LE) | canonical text | serde payload.
+  if (bytes.size() < 8) return nullptr;
+  const std::uint64_t canonical_size = ReadU64Le(bytes);
+  if (canonical_size > bytes.size() - 8) return nullptr;
+  const std::string_view view(bytes);
+  // A digest collision or a stale file for a changed canonicalisation
+  // scheme is a miss, never a wrong design.
+  if (view.substr(8, static_cast<std::size_t>(canonical_size)) !=
+      key.canonical)
+    return nullptr;
+  try {
+    return std::make_shared<const AcceleratorDesign>(DeserializeDesign(
+        view.substr(8 + static_cast<std::size_t>(canonical_size))));
+  } catch (const Error&) {
+    return nullptr;  // corrupt payload == miss; the generator rebuilds it
+  }
+}
+
+void DesignCache::StoreToDisk(const DesignKey& key,
+                              const AcceleratorDesign& design) {
+  try {
+    std::filesystem::create_directories(options_.directory);
+    std::string bytes;
+    AppendU64Le(bytes, key.canonical.size());
+    bytes += key.canonical;
+    bytes += SerializeDesign(design);
+    std::ofstream out(EntryPath(options_.directory, key),
+                      std::ios::binary | std::ios::trunc);
+    if (!out) return;  // persistence is best-effort
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (out) {
+      ++stats_.disk_writes;
+      Note("disk_write", key);
+    }
+  } catch (const std::exception&) {
+    // Unwritable directory degrades to a memory-only cache.
+  }
+}
+
+void DesignCache::Note(const char* outcome, const DesignKey& key) {
+  if (options_.metrics)
+    options_.metrics->AddCounter(std::string("cluster.cache.") + outcome);
+  if (!options_.tracer) return;
+  const std::string_view what(outcome);
+  // Only lookup outcomes become spans; maintenance traffic (inserts,
+  // evictions, disk writes) stays counter-only to keep the track legible.
+  if (what != "hit" && what != "miss" && what != "disk_hit") return;
+  const std::int64_t start = options_.tracer->TrackEnd("cluster");
+  obs::Span span;
+  span.track = "cluster";
+  span.name = std::string("cache.") + outcome;
+  span.category = "cluster";
+  span.start = start;
+  span.end = start + 1;
+  span.args.emplace_back("design", DesignKeyHex(key));
+  options_.tracer->Record(std::move(span));
+}
+
+}  // namespace db::cluster

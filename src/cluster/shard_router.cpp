@@ -1,0 +1,52 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace db::cluster {
+
+std::string RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "round-robin";
+    case RouterPolicy::kLeastLoaded: return "least-loaded";
+    case RouterPolicy::kHashAffinity: return "hash-affinity";
+  }
+  return "unknown";
+}
+
+RouterPolicy ParseRouterPolicy(const std::string& name) {
+  if (name == "round-robin") return RouterPolicy::kRoundRobin;
+  if (name == "least-loaded") return RouterPolicy::kLeastLoaded;
+  if (name == "hash-affinity") return RouterPolicy::kHashAffinity;
+  throw Error("unknown router policy '" + name +
+              "' (expected round-robin, least-loaded or hash-affinity)");
+}
+
+ShardRouter::ShardRouter(RouterPolicy policy, int replicas,
+                         std::uint64_t affinity_hash)
+    : policy_(policy), replicas_(replicas), affinity_hash_(affinity_hash) {
+  DB_CHECK_MSG(replicas_ >= 1, "router needs at least one replica");
+}
+
+int ShardRouter::Route(std::span<const std::int64_t> replica_free_cycle) {
+  DB_CHECK_MSG(static_cast<int>(replica_free_cycle.size()) == replicas_,
+               "free-cycle vector does not match the replica count");
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin:
+      return static_cast<int>(next_batch_++ %
+                              static_cast<std::int64_t>(replicas_));
+    case RouterPolicy::kLeastLoaded: {
+      const auto it = std::min_element(replica_free_cycle.begin(),
+                                       replica_free_cycle.end());
+      return static_cast<int>(it - replica_free_cycle.begin());
+    }
+    case RouterPolicy::kHashAffinity:
+      return static_cast<int>(affinity_hash_ %
+                              static_cast<std::uint64_t>(replicas_));
+  }
+  DB_CHECK_MSG(false, "unreachable router policy");
+  return 0;
+}
+
+}  // namespace db::cluster

@@ -1,0 +1,58 @@
+// Deterministic batch routing across a pool of accelerator replicas.
+//
+// The router decides which replica serves each closed batch.  Every
+// policy is a pure function of the batch sequence and the replicas'
+// *simulated* free cycles — never of thread timing — so the whole
+// cluster schedule (and therefore every reported cycle number) is
+// reproducible run to run:
+//
+//   * round-robin            batch i -> replica i mod N
+//   * least-loaded           the replica whose datapath frees earliest
+//                            in simulated time (ties to the lowest
+//                            index) — the single-server scheduler of
+//                            PR 1 generalised to the pool
+//   * hash-affinity          the network's content digest pins all of
+//                            its batches to one replica, so a
+//                            multi-model deployment keeps each model's
+//                            weights resident on its own shard; for a
+//                            single-model pool this degenerates to one
+//                            hot replica (documented, not a bug)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace db::cluster {
+
+enum class RouterPolicy { kRoundRobin, kLeastLoaded, kHashAffinity };
+
+/// CLI name: "round-robin", "least-loaded", "hash-affinity".
+std::string RouterPolicyName(RouterPolicy policy);
+
+/// Parse a CLI name (throws db::Error for unknown policies).
+RouterPolicy ParseRouterPolicy(const std::string& name);
+
+class ShardRouter {
+ public:
+  /// `affinity_hash` seeds the hash-affinity policy (use
+  /// NetworkDefDigest of the served network); ignored by the others.
+  ShardRouter(RouterPolicy policy, int replicas,
+              std::uint64_t affinity_hash = 0);
+
+  /// Choose the replica for the next batch.  `replica_free_cycle[r]` is
+  /// the simulated cycle replica r's datapath frees; it must have one
+  /// entry per replica.
+  int Route(std::span<const std::int64_t> replica_free_cycle);
+
+  RouterPolicy policy() const { return policy_; }
+  int replicas() const { return replicas_; }
+
+ private:
+  RouterPolicy policy_;
+  int replicas_;
+  std::uint64_t affinity_hash_;
+  std::int64_t next_batch_ = 0;  // round-robin cursor
+};
+
+}  // namespace db::cluster

@@ -84,4 +84,12 @@ MemoryMap MemoryMap::Build(const Network& net,
   return map;
 }
 
+MemoryMap MemoryMap::FromRegions(std::vector<MemoryRegion> regions) {
+  MemoryMap map;
+  map.regions_ = std::move(regions);
+  for (const MemoryRegion& r : map.regions_)
+    map.total_bytes_ = std::max(map.total_bytes_, r.end());
+  return map;
+}
+
 }  // namespace db

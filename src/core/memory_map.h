@@ -46,6 +46,11 @@ class MemoryMap {
   static MemoryMap Build(const Network& net,
                          const AcceleratorConfig& config);
 
+  /// Reassemble a map from serialised regions (design-cache decode
+  /// path).  The regions must be the contiguous, in-order output of a
+  /// prior Build(); total size is recomputed from the last region's end.
+  static MemoryMap FromRegions(std::vector<MemoryRegion> regions);
+
  private:
   const MemoryRegion* Find(const std::string& name) const;
 

@@ -87,10 +87,16 @@ FaultCampaignSpec ParseFaultCampaign(const std::string& spec) {
     } else if (key == "span") {
       if (n < 1) throw Error("fault spec: span must be >= 1");
       campaign.invocation_span = n;
+    } else if (key == "workers" || key == "replicas") {
+      // "replicas" is the cluster-era spelling; both size the slices the
+      // plan is dealt into (callers usually overwrite this with the
+      // server's actual pool size).
+      if (n < 1) throw Error("fault spec: " + key + " must be >= 1");
+      campaign.workers = static_cast<int>(n);
     } else {
       throw Error("fault spec: unknown key '" + key +
                   "' (seed, flips, blob-flips, transients, stalls, "
-                  "stall-cycles, span)");
+                  "stall-cycles, span, workers, replicas)");
     }
   }
   return campaign;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace db {
@@ -429,6 +430,10 @@ std::string NetworkDefToPrototxt(const NetworkDef& net) {
     os << "}\n";
   }
   return os.str();
+}
+
+std::uint64_t NetworkDefDigest(const NetworkDef& net) {
+  return Fnv1a64(NetworkDefToPrototxt(net));
 }
 
 }  // namespace db

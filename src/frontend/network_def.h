@@ -155,7 +155,17 @@ struct NetworkDef {
 NetworkDef ParseNetworkDef(const std::string& prototxt_text);
 
 /// Re-serialise a NetworkDef to canonical prototxt (round-trip support and
-/// golden-file tests).
+/// golden-file tests).  The emitted field order is fixed, so two scripts
+/// that parse to the same definition — whatever order their fields were
+/// written in — serialise to identical text.  This is the canonical form
+/// the content-addressed design cache hashes.
 std::string NetworkDefToPrototxt(const NetworkDef& net);
+
+/// FNV-1a digest of the canonical serialisation: stable across prototxt
+/// field reordering, comments and whitespace, different for any change
+/// that survives parsing (layer geometry, parameters, wiring).  Not
+/// collision-free — identity decisions must pair it with a compare of
+/// the canonical text (see cluster::DesignCache).
+std::uint64_t NetworkDefDigest(const NetworkDef& net);
 
 }  // namespace db

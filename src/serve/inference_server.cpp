@@ -11,6 +11,20 @@
 
 namespace db::serve {
 
+namespace {
+
+/// Pool size: `replicas` when set, else the historical `workers` knob.
+/// Validated here because the pool and injector consume it in the
+/// constructor's initialiser list.
+int ResolveReplicaCount(const ServeOptions& options) {
+  DB_CHECK_MSG(options.workers >= 1, "server needs at least one worker");
+  DB_CHECK_MSG(options.replicas >= 0,
+               "replicas must be >= 0 (0 = use workers)");
+  return options.replicas > 0 ? options.replicas : options.workers;
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(const Network& net,
                                  const AcceleratorDesign& design,
                                  const WeightStore& weights,
@@ -19,13 +33,14 @@ InferenceServer::InferenceServer(const Network& net,
       design_(design),
       device_(DeviceCatalog(options.device_name)),
       options_(std::move(options)),
+      replica_count_(ResolveReplicaCount(options_)),
       provisioned_(BuildHostImage(net, design, weights)),
-      context_(net, design, provisioned_),
-      injector_(options_.faults, options_.workers),
+      injector_(options_.faults, replica_count_),
       queue_(options_.queue_capacity),
+      pool_(net, design, provisioned_, replica_count_),
       batcher_(BatchPolicy{options_.max_batch_size,
-                           options_.linger_cycles}) {
-  DB_CHECK_MSG(options_.workers >= 1, "server needs at least one worker");
+                           options_.linger_cycles}),
+      router_(options_.router, replica_count_, options_.affinity_hash) {
   DB_CHECK_MSG(options_.max_retries >= 0, "max_retries must be >= 0");
   DB_CHECK_MSG(options_.retry_backoff_cycles >= 1,
                "retry_backoff_cycles must be >= 1");
@@ -57,16 +72,11 @@ InferenceServer::InferenceServer(const Network& net,
               std::max<std::int64_t>(port_bytes, 1)),
       1);
 
-  // The DRAM image was built exactly once (provisioned_); every worker
-  // context copies those bytes for its private image.
-  worker_free_cycle_.assign(static_cast<std::size_t>(options_.workers), 0);
-  worker_scheduled_warm_.assign(static_cast<std::size_t>(options_.workers),
-                                false);
-  for (int w = 0; w < options_.workers; ++w)
-    workers_.push_back(std::make_unique<WorkerContext>(provisioned_));
-  for (int w = 0; w < options_.workers; ++w)
-    workers_[static_cast<std::size_t>(w)]->thread =
-        std::thread([this, w] { WorkerLoop(w); });
+  // The DRAM image was built exactly once (provisioned_); the pool
+  // stamped out one private copy per replica and started the lanes.
+  replica_free_cycle_.assign(static_cast<std::size_t>(replica_count_), 0);
+  replica_scheduled_warm_.assign(static_cast<std::size_t>(replica_count_),
+                                 false);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   state_.store(ServerState::kServing);
 }
@@ -176,33 +186,33 @@ std::int64_t InferenceServer::Submit(Tensor input,
 }
 
 void InferenceServer::DispatchBatch(Batch batch) {
-  // Deterministic placement: the worker whose datapath frees earliest,
-  // ties broken towards the lowest index.
-  const auto it = std::min_element(worker_free_cycle_.begin(),
-                                   worker_free_cycle_.end());
-  const int w = static_cast<int>(it - worker_free_cycle_.begin());
-  const std::int64_t start = std::max(batch.ready_cycle, *it);
+  // Deterministic placement: the router sees only the simulated
+  // free-cycle vector, itself a pure function of the dispatch history
+  // (kLeastLoaded reproduces the historical earliest-free placement,
+  // ties broken towards the lowest index).
+  const int r = router_.Route(replica_free_cycle_);
+  const std::int64_t start =
+      std::max(batch.ready_cycle,
+               replica_free_cycle_[static_cast<std::size_t>(r)]);
 
   // The schedule is the fault-free plan: shed tombstones and injected
-  // delays surface in the worker's own timeline, never here, so
+  // delays surface in the replica's own timeline, never here, so
   // placement stays a pure function of the arrival stream.
   std::int64_t duration = 0;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const bool warm =
-        worker_scheduled_warm_[static_cast<std::size_t>(w)] || i > 0;
+        replica_scheduled_warm_[static_cast<std::size_t>(r)] || i > 0;
     duration += warm ? steady_cycles_ : cold_cycles_;
   }
-  worker_free_cycle_[static_cast<std::size_t>(w)] = start + duration;
-  worker_scheduled_warm_[static_cast<std::size_t>(w)] = true;
+  replica_free_cycle_[static_cast<std::size_t>(r)] = start + duration;
+  replica_scheduled_warm_[static_cast<std::size_t>(r)] = true;
   ++batches_dispatched_;
 
-  WorkerContext& ctx = *workers_[static_cast<std::size_t>(w)];
-  {
-    std::lock_guard<std::mutex> lock(ctx.mu);
-    ctx.work.push_back(
-        ScheduledBatch{std::move(batch), w, start});
-  }
-  ctx.cv.notify_one();
+  // shared_ptr keeps the closure copyable for std::function; the lane
+  // executes it exactly once.
+  auto scheduled = std::make_shared<ScheduledBatch>(
+      ScheduledBatch{std::move(batch), r, start});
+  pool_.Post(r, [this, r, scheduled] { ServeBatch(r, *scheduled); });
 }
 
 void InferenceServer::DispatcherLoop() {
@@ -211,200 +221,184 @@ void InferenceServer::DispatcherLoop() {
       DispatchBatch(*std::move(closed));
   }
   // Intake closed and drained: flush the partial batch, then stop the
-  // workers once their deques empty out.
+  // lanes once their deques empty out.
   if (std::optional<Batch> closed = batcher_.Flush())
     DispatchBatch(*std::move(closed));
-  for (auto& worker : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(worker->mu);
-      worker->closed = true;
-    }
-    worker->cv.notify_all();
-  }
+  pool_.Close();
 }
 
-void InferenceServer::WorkerLoop(int index) {
-  WorkerContext& ctx = *workers_[static_cast<std::size_t>(index)];
+void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
+  cluster::Replica& rep = pool_.replica(index);
   const std::vector<fault::FaultEvent>& events =
       injector_.ForWorker(index);
-  // Weight-region integrity checks only run on workers whose plan slice
-  // can actually corrupt weights; the fault-free fast path is untouched.
+  // Weight-region integrity checks only run on replicas whose plan
+  // slice can actually corrupt weights; the fault-free fast path is
+  // untouched.
   const bool integrity_checks = injector_.HasWeightFlips(index);
-  std::size_t cursor = 0;       // next unfired event in `events`
-  std::int64_t invocation = 0;  // worker-local request services
-  std::int64_t local_cycle = 0; // worker's own simulated timeline
-  for (;;) {
-    ScheduledBatch scheduled;
+
+  // Fault recovery may have pushed this replica past the scheduler's
+  // optimistic start; service never begins before the datapath frees.
+  std::int64_t cycle = std::max(scheduled.start_cycle, rep.local_cycle);
+  const std::int64_t batch_start = cycle;
+  ++rep.batches;
+  for (PendingRequest& request : scheduled.batch.requests) {
     {
-      std::unique_lock<std::mutex> lock(ctx.mu);
-      ctx.cv.wait(lock, [&] { return ctx.closed || !ctx.work.empty(); });
-      if (ctx.work.empty()) return;  // closed and fully drained
-      scheduled = std::move(ctx.work.front());
-      ctx.work.pop_front();
+      // Shed tombstone: the request was evicted at admission after
+      // its batch membership was fixed; skip without touching it.
+      std::lock_guard<std::mutex> lock(results_mu_);
+      if (results_[static_cast<std::size_t>(request.id)].status !=
+          StatusCode::kOk)
+        continue;
     }
 
-    // Fault recovery may have pushed this worker past the scheduler's
-    // optimistic start; service never begins before the datapath frees.
-    std::int64_t cycle = std::max(scheduled.start_cycle, local_cycle);
-    const std::int64_t batch_start = cycle;
-    for (PendingRequest& request : scheduled.batch.requests) {
-      {
-        // Shed tombstone: the request was evicted at admission after
-        // its batch membership was fixed; skip without touching it.
-        std::lock_guard<std::mutex> lock(results_mu_);
-        if (results_[static_cast<std::size_t>(request.id)].status !=
-            StatusCode::kOk)
-          continue;
+    // 1. Fire every injected fault bound to this invocation.
+    std::int64_t stall = 0;
+    int failures = 0;
+    while (rep.fault_cursor < events.size() &&
+           events[rep.fault_cursor].invocation <= rep.invocations) {
+      const fault::FaultEvent& event = events[rep.fault_cursor++];
+      fault::FaultRecord record;
+      record.kind = event.kind;
+      record.worker = index;
+      record.invocation = rep.invocations;
+      record.request_id = request.id;
+      record.start_cycle = cycle;
+      record.end_cycle = cycle;
+      switch (event.kind) {
+        case fault::FaultKind::kBitFlip:
+          rep.image.FlipBit(event.addr, event.bit);
+          record.detail = event.addr;
+          break;
+        case fault::FaultKind::kTransient:
+          ++failures;
+          record.detail = failures;
+          break;
+        case fault::FaultKind::kStall:
+          record.end_cycle = cycle + event.stall_cycles;
+          record.detail = event.stall_cycles;
+          stall += event.stall_cycles;
+          break;
       }
-
-      // 1. Fire every injected fault bound to this invocation.
-      std::int64_t stall = 0;
-      int failures = 0;
-      while (cursor < events.size() &&
-             events[cursor].invocation <= invocation) {
-        const fault::FaultEvent& event = events[cursor++];
-        fault::FaultRecord record;
-        record.kind = event.kind;
-        record.worker = index;
-        record.invocation = invocation;
-        record.request_id = request.id;
-        record.start_cycle = cycle;
-        record.end_cycle = cycle;
-        switch (event.kind) {
-          case fault::FaultKind::kBitFlip:
-            ctx.image.FlipBit(event.addr, event.bit);
-            record.detail = event.addr;
-            break;
-          case fault::FaultKind::kTransient:
-            ++failures;
-            record.detail = failures;
-            break;
-          case fault::FaultKind::kStall:
-            record.end_cycle = cycle + event.stall_cycles;
-            record.detail = event.stall_cycles;
-            stall += event.stall_cycles;
-            break;
-        }
-        ctx.fault_records.push_back(record);
-      }
-      ++invocation;
-      std::int64_t recovery = stall;
-      cycle += stall;
-
-      // 2. Deadline: an expired request completes without occupying
-      // the datapath slot.
-      if (request.deadline_cycle > 0 && cycle > request.deadline_cycle) {
-        std::lock_guard<std::mutex> lock(results_mu_);
-        ServedRequest& record =
-            results_[static_cast<std::size_t>(request.id)];
-        record.batch_id = scheduled.batch.id;
-        record.worker = index;
-        record.status = StatusCode::kDeadlineExceeded;
-        record.finish_cycle = cycle;
-        record.recovery_cycles = recovery;
-        ++completed_;
-        continue;
-      }
-
-      // 3. Weight-region integrity: scrub-and-reload from the
-      // provisioned image on checksum mismatch, charged in cycles.
-      if (integrity_checks &&
-          fault::WeightChecksum(ctx.image, design_.memory_map) !=
-              weight_checksum_) {
-        fault::ScrubWeights(ctx.image, provisioned_, design_.memory_map);
-        DB_CHECK_MSG(fault::WeightChecksum(ctx.image, design_.memory_map) ==
-                         weight_checksum_,
-                     "scrub failed to restore the weight regions");
-        fault::FaultRecord record;
-        record.kind = fault::FaultKind::kBitFlip;
-        record.recovery = true;  // a scrub window
-        record.worker = index;
-        record.invocation = invocation - 1;
-        record.request_id = request.id;
-        record.start_cycle = cycle;
-        record.end_cycle = cycle + scrub_cycles_;
-        record.detail = scrub_cycles_;
-        ctx.fault_records.push_back(record);
-        ++ctx.scrubs;
-        cycle += scrub_cycles_;
-        recovery += scrub_cycles_;
-      }
-
-      // 4. Transient failures: bounded retries with exponential
-      // backoff; each failed attempt occupied the datapath.
-      // Workers never trace (the interval stream is ordering-sensitive)
-      // but do publish the commutative "sim.*" counters when the caller
-      // supplied perf.metrics.
-      PerfOptions perf = options_.perf;
-      perf.trace = nullptr;
-      perf.weights_resident = ctx.warm;
-      const std::int64_t charged =
-          ctx.warm ? steady_cycles_ : cold_cycles_;
-      int retries = 0;
-      while (failures > 0 && retries < options_.max_retries) {
-        const std::int64_t backoff = options_.retry_backoff_cycles
-                                     << retries;
-        fault::FaultRecord record;
-        record.kind = fault::FaultKind::kTransient;
-        record.recovery = true;  // a failed attempt + its backoff
-        record.worker = index;
-        record.invocation = invocation - 1;
-        record.request_id = request.id;
-        record.start_cycle = cycle;
-        record.end_cycle = cycle + charged + backoff;
-        record.detail = backoff;
-        ctx.fault_records.push_back(record);
-        cycle += charged + backoff;
-        recovery += charged + backoff;
-        --failures;
-        ++retries;
-      }
-      if (failures > 0) {
-        // Retries exhausted: fail the request, never the server.
-        std::lock_guard<std::mutex> lock(results_mu_);
-        ServedRequest& record =
-            results_[static_cast<std::size_t>(request.id)];
-        record.batch_id = scheduled.batch.id;
-        record.worker = index;
-        record.status = StatusCode::kFaulted;
-        record.finish_cycle = cycle;
-        record.retries = retries;
-        record.recovery_cycles = recovery;
-        ++completed_;
-        continue;
-      }
-
-      const SystemRunResult run =
-          context_.Run(ctx.image, request.input, perf);
-      ctx.warm = true;
-      DB_CHECK_MSG(run.perf.total_cycles == charged,
-                   "scheduler and execution disagree on invocation cost");
-      const std::int64_t finish = cycle + run.perf.total_cycles;
-      const double joules =
-          EstimateEnergy(design_.resources.total, run.perf, device_)
-              .total_joules;
-      {
-        std::lock_guard<std::mutex> lock(results_mu_);
-        ServedRequest& record =
-            results_[static_cast<std::size_t>(request.id)];
-        record.batch_id = scheduled.batch.id;
-        record.worker = index;
-        record.start_cycle = batch_start;
-        record.finish_cycle = finish;
-        record.service_cycles = run.perf.total_cycles;
-        record.dram_bytes = run.perf.total_dram_bytes;
-        record.joules = joules;
-        record.status = run.status;
-        record.retries = retries;
-        record.recovery_cycles = recovery;
-        record.output = run.output;
-        ++completed_;
-      }
-      ctx.busy_cycles += run.perf.total_cycles;
-      cycle = finish;
+      rep.fault_records.push_back(record);
     }
-    local_cycle = cycle;
+    ++rep.invocations;
+    std::int64_t recovery = stall;
+    cycle += stall;
+
+    // 2. Deadline: an expired request completes without occupying
+    // the datapath slot.
+    if (request.deadline_cycle > 0 && cycle > request.deadline_cycle) {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      ServedRequest& record =
+          results_[static_cast<std::size_t>(request.id)];
+      record.batch_id = scheduled.batch.id;
+      record.worker = index;
+      record.status = StatusCode::kDeadlineExceeded;
+      record.finish_cycle = cycle;
+      record.recovery_cycles = recovery;
+      ++completed_;
+      continue;
+    }
+
+    // 3. Weight-region integrity: scrub-and-reload from the
+    // provisioned image on checksum mismatch, charged in cycles.
+    if (integrity_checks &&
+        fault::WeightChecksum(rep.image, design_.memory_map) !=
+            weight_checksum_) {
+      fault::ScrubWeights(rep.image, provisioned_, design_.memory_map);
+      DB_CHECK_MSG(fault::WeightChecksum(rep.image, design_.memory_map) ==
+                       weight_checksum_,
+                   "scrub failed to restore the weight regions");
+      fault::FaultRecord record;
+      record.kind = fault::FaultKind::kBitFlip;
+      record.recovery = true;  // a scrub window
+      record.worker = index;
+      record.invocation = rep.invocations - 1;
+      record.request_id = request.id;
+      record.start_cycle = cycle;
+      record.end_cycle = cycle + scrub_cycles_;
+      record.detail = scrub_cycles_;
+      rep.fault_records.push_back(record);
+      ++rep.scrubs;
+      cycle += scrub_cycles_;
+      recovery += scrub_cycles_;
+    }
+
+    // 4. Transient failures: bounded retries with exponential
+    // backoff; each failed attempt occupied the datapath.
+    // Replica lanes never trace (the interval stream is
+    // ordering-sensitive) but do publish the commutative "sim.*"
+    // counters when the caller supplied perf.metrics.
+    PerfOptions perf = options_.perf;
+    perf.trace = nullptr;
+    perf.weights_resident = rep.warm;
+    const std::int64_t charged =
+        rep.warm ? steady_cycles_ : cold_cycles_;
+    int retries = 0;
+    while (failures > 0 && retries < options_.max_retries) {
+      const std::int64_t backoff = options_.retry_backoff_cycles
+                                   << retries;
+      fault::FaultRecord record;
+      record.kind = fault::FaultKind::kTransient;
+      record.recovery = true;  // a failed attempt + its backoff
+      record.worker = index;
+      record.invocation = rep.invocations - 1;
+      record.request_id = request.id;
+      record.start_cycle = cycle;
+      record.end_cycle = cycle + charged + backoff;
+      record.detail = backoff;
+      rep.fault_records.push_back(record);
+      cycle += charged + backoff;
+      recovery += charged + backoff;
+      --failures;
+      ++retries;
+    }
+    if (failures > 0) {
+      // Retries exhausted: fail the request, never the server.
+      std::lock_guard<std::mutex> lock(results_mu_);
+      ServedRequest& record =
+          results_[static_cast<std::size_t>(request.id)];
+      record.batch_id = scheduled.batch.id;
+      record.worker = index;
+      record.status = StatusCode::kFaulted;
+      record.finish_cycle = cycle;
+      record.retries = retries;
+      record.recovery_cycles = recovery;
+      ++completed_;
+      continue;
+    }
+
+    const SystemRunResult run =
+        rep.context->Run(rep.image, request.input, perf);
+    rep.warm = true;
+    DB_CHECK_MSG(run.perf.total_cycles == charged,
+                 "scheduler and execution disagree on invocation cost");
+    const std::int64_t finish = cycle + run.perf.total_cycles;
+    const double joules =
+        EstimateEnergy(design_.resources.total, run.perf, device_)
+            .total_joules;
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      ServedRequest& record =
+          results_[static_cast<std::size_t>(request.id)];
+      record.batch_id = scheduled.batch.id;
+      record.worker = index;
+      record.start_cycle = batch_start;
+      record.finish_cycle = finish;
+      record.service_cycles = run.perf.total_cycles;
+      record.dram_bytes = run.perf.total_dram_bytes;
+      record.joules = joules;
+      record.status = run.status;
+      record.retries = retries;
+      record.recovery_cycles = recovery;
+      record.output = run.output;
+      ++completed_;
+    }
+    rep.busy_cycles += run.perf.total_cycles;
+    ++rep.requests;
+    cycle = finish;
   }
+  rep.local_cycle = cycle;
 }
 
 const std::vector<ServedRequest>& InferenceServer::Drain() {
@@ -415,8 +409,8 @@ const std::vector<ServedRequest>& InferenceServer::Drain() {
   }
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
-  for (auto& worker : workers_)
-    if (worker->thread.joinable()) worker->thread.join();
+  pool_.Close();  // idempotent; DispatcherLoop already closed the lanes
+  pool_.Join();
   {
     std::lock_guard<std::mutex> lock(results_mu_);
     DB_CHECK_MSG(completed_ ==
@@ -497,12 +491,13 @@ void InferenceServer::PublishObservability() {
       tracer.Record(std::move(span));
     }
 
-    // Fault injections and recovery windows, per worker in index order
-    // (each worker's log is in its own deterministic service order).
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      for (const fault::FaultRecord& record : workers_[w]->fault_records) {
+    // Fault injections and recovery windows, per replica in index order
+    // (each replica's log is in its own deterministic service order).
+    for (int w = 0; w < pool_.size(); ++w) {
+      for (const fault::FaultRecord& record :
+           pool_.replica(w).fault_records) {
         obs::Span span;
-        span.track = StrFormat("serve/worker %zu", w);
+        span.track = StrFormat("serve/worker %d", w);
         span.category = "fault";
         if (record.recovery) {
           span.name = record.kind == fault::FaultKind::kBitFlip
@@ -590,21 +585,32 @@ void InferenceServer::PublishObservability() {
       peak = std::max(peak, depth += delta);
     m.SetGauge("serve.queue_depth_peak", static_cast<double>(peak));
     m.SetGauge("serve.makespan_cycles", static_cast<double>(makespan));
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      const std::int64_t busy = workers_[w]->busy_cycles;
-      m.SetGauge(StrFormat("serve.worker%zu.busy_cycles", w),
+    m.SetGauge("serve.replicas", static_cast<double>(pool_.size()));
+    m.SetGauge("serve.router",
+               static_cast<double>(static_cast<int>(options_.router)));
+    for (int w = 0; w < pool_.size(); ++w) {
+      const cluster::Replica& rep = pool_.replica(w);
+      const std::int64_t busy = rep.busy_cycles;
+      // Metric names keep the historical "worker" spelling so dashboards
+      // survive the replica refactor.
+      m.SetGauge(StrFormat("serve.worker%d.busy_cycles", w),
                  static_cast<double>(busy));
-      m.SetGauge(StrFormat("serve.worker%zu.utilization", w),
+      m.SetGauge(StrFormat("serve.worker%d.utilization", w),
                  makespan > 0 ? static_cast<double>(busy) /
                                     static_cast<double>(makespan)
                               : 0.0);
+      m.SetGauge(StrFormat("serve.worker%d.requests", w),
+                 static_cast<double>(rep.requests));
+      m.SetGauge(StrFormat("serve.worker%d.batches", w),
+                 static_cast<double>(rep.batches));
     }
 
     // fault.*: injections by kind, recovery actions and their cost.
     std::int64_t flips = 0, transients = 0, stalls = 0, scrubs = 0;
-    for (const auto& worker : workers_) {
-      scrubs += worker->scrubs;
-      for (const fault::FaultRecord& record : worker->fault_records) {
+    for (int w = 0; w < pool_.size(); ++w) {
+      const cluster::Replica& rep = pool_.replica(w);
+      scrubs += rep.scrubs;
+      for (const fault::FaultRecord& record : rep.fault_records) {
         if (record.recovery) continue;
         switch (record.kind) {
           case fault::FaultKind::kBitFlip: ++flips; break;
@@ -623,15 +629,16 @@ void InferenceServer::PublishObservability() {
 
 ServerStats InferenceServer::Stats() const {
   std::vector<std::int64_t> busy;
-  busy.reserve(workers_.size());
-  for (const auto& worker : workers_) busy.push_back(worker->busy_cycles);
+  busy.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int w = 0; w < pool_.size(); ++w)
+    busy.push_back(pool_.replica(w).busy_cycles);
   std::lock_guard<std::mutex> lock(results_mu_);
   DB_CHECK_MSG(drained_, "Stats() requires a drained server");
   ServerStats stats =
       ComputeServerStats(results_, batches_dispatched_,
                          design_.config.frequency_mhz, std::move(busy));
-  for (const auto& worker : workers_)
-    for (const fault::FaultRecord& record : worker->fault_records)
+  for (int w = 0; w < pool_.size(); ++w)
+    for (const fault::FaultRecord& record : pool_.replica(w).fault_records)
       if (!record.recovery) ++stats.faults_injected;
   return stats;
 }

@@ -10,29 +10,32 @@
 //     │  RequestQueue (wall-clock back-pressure: Submit blocks when full)
 //     ▼
 //   dispatcher thread: Batcher groups requests (max batch + linger,
-//     both in simulated cycles), then schedules each closed batch onto
-//     the worker whose datapath frees earliest
-//     │  per-worker work deques
+//     both in simulated cycles), then a cluster::ShardRouter picks the
+//     replica for each closed batch (round-robin, least-loaded in
+//     simulated time, or hash-affinity)
+//     │  per-replica work lanes (cluster::AcceleratorPool)
 //     ▼
-//   worker threads: each owns a private DRAM MemoryImage (copied from
-//     the image built once at start-up) and executes its batches through
-//     the shared read-only SystemContext; weights stay resident across
-//     images after the worker's first (cold) invocation.  Before each
-//     request service the worker fires any injected faults bound to that
-//     invocation, charges stalls, expires requests past their deadline,
+//   replica lanes: the pool holds N replicas of the generated design,
+//     each with a private DRAM MemoryImage (copied from the image built
+//     once at start-up) and its own SystemContext decoded from those
+//     bytes; weights stay resident across images after the replica's
+//     first (cold) invocation.  Before each request service the lane
+//     fires any injected faults bound to that invocation on that
+//     replica, charges stalls, expires requests past their deadline,
 //     verifies the weight-region checksum (scrub-and-reload from the
 //     provisioned image on mismatch) and retries transient failures with
 //     bounded exponential backoff — all charged in simulated cycles.
 //
-// Determinism: batch composition, worker assignment, admission
+// Determinism: batch composition, replica assignment, admission
 // decisions, fault firing points and every recovery charge are computed
 // purely from the submission order, the arrival cycles, the design's
 // (deterministic) cold/steady invocation cycle counts and the seeded
 // fault plan — never from thread timing.  Outputs of kOk requests are
 // bit-identical to running the same inputs through sequential
-// HostRuntime::InferBatch, and every reported cycle number is
-// reproducible run to run; the worker threads merely overlap the
-// wall-clock cost of producing them.
+// HostRuntime::InferBatch — and identical for any replica count, since
+// every replica starts from the same provisioned bytes — and every
+// reported cycle number is reproducible run to run; the lane threads
+// merely overlap the wall-clock cost of producing them.
 //
 // Lifecycle: kStarting (constructor) → kServing (threads running) →
 // kDraining (Drain called, intake closed) → kStopped (workers joined,
@@ -41,7 +44,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -49,6 +51,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/accelerator_pool.h"
+#include "cluster/shard_router.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
@@ -74,7 +78,21 @@ constexpr const char* ServerStateName(ServerState state) {
 }
 
 struct ServeOptions {
+  /// Number of simulated accelerator replicas in the pool — the
+  /// historical name from when each one was a "worker" thread.  Kept as
+  /// the default knob for backward compatibility; `replicas` overrides
+  /// it when positive.
   int workers = 2;
+  /// Pool size by its cluster-era name; 0 = use `workers`.
+  int replicas = 0;
+  /// How closed batches are spread across the replicas.  All three
+  /// policies are deterministic; kLeastLoaded reproduces the historical
+  /// earliest-free-datapath placement.
+  cluster::RouterPolicy router = cluster::RouterPolicy::kLeastLoaded;
+  /// Content hash pinning this server's model under kHashAffinity
+  /// (typically the DesignKey digest).  A single-model pool then keeps
+  /// one replica hot — the intended shard-per-model behaviour.
+  std::uint64_t affinity_hash = 0;
   std::int64_t max_batch_size = 4;
   std::int64_t linger_cycles = 0;
   std::size_t queue_capacity = 64;
@@ -118,9 +136,9 @@ struct ServeOptions {
 
 class InferenceServer {
  public:
-  /// Serialises the weights into a DRAM image once; each worker context
-  /// copies that image and decodes the shared read-only SystemContext.
-  /// Worker threads start immediately.
+  /// Serialises the weights into a DRAM image once; the accelerator
+  /// pool stamps out one private copy (and one decoded SystemContext)
+  /// per replica.  Lane threads start immediately.
   InferenceServer(const Network& net, const AcceleratorDesign& design,
                   const WeightStore& weights, ServeOptions options = {});
 
@@ -152,6 +170,9 @@ class InferenceServer {
 
   const ServeOptions& options() const { return options_; }
 
+  /// Resolved pool size (options().replicas, falling back to workers).
+  int replicas() const { return pool_.size(); }
+
   /// Cycle cost the scheduler charges per invocation (exposed so tests
   /// and benches can reason about the schedule analytically).
   std::int64_t cold_cycles() const { return cold_cycles_; }
@@ -160,48 +181,34 @@ class InferenceServer {
   std::int64_t scrub_cycles() const { return scrub_cycles_; }
 
  private:
-  /// A batch bound to a worker with its service window decided.
+  /// A batch bound to a replica with its service window decided.
   struct ScheduledBatch {
     Batch batch;
-    int worker = -1;
+    int replica = -1;
     std::int64_t start_cycle = 0;
   };
 
-  /// One worker: a private DRAM image plus a work deque.
-  struct WorkerContext {
-    explicit WorkerContext(MemoryImage img) : image(std::move(img)) {}
-    MemoryImage image;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<ScheduledBatch> work;
-    bool closed = false;
-    bool warm = false;  // weights resident after the first image
-    std::int64_t busy_cycles = 0;
-    /// Worker-local fault/recovery log, appended only by this worker's
-    /// thread and read after it joined; deterministic content.
-    std::vector<fault::FaultRecord> fault_records;
-    std::int64_t scrubs = 0;
-    std::thread thread;
-  };
-
   void DispatcherLoop();
-  void WorkerLoop(int index);
+  /// Serve one scheduled batch on replica `index` (runs on that
+  /// replica's lane thread; touches only that replica's state plus the
+  /// lock-guarded results).
+  void ServeBatch(int index, ScheduledBatch& scheduled);
   void DispatchBatch(Batch batch);
   /// Mark request `id` completed with `status` (results_mu_ held by the
   /// caller is NOT assumed; takes the lock itself).
   void CompleteWithoutService(std::int64_t id, StatusCode status,
                               std::int64_t finish_cycle);
   /// Emit spans + metrics from the completed records (results_mu_ held,
-  /// workers joined); runs once, from the first Drain().
+  /// lanes joined); runs once, from the first Drain().
   void PublishObservability();
 
   const Network& net_;
   const AcceleratorDesign& design_;
   const DeviceInfo& device_;
   ServeOptions options_;
+  int replica_count_ = 1;  // resolved from options (replicas or workers)
 
-  MemoryImage provisioned_;  // built once; workers copy these bytes
-  SystemContext context_;    // shared, read-only across workers
+  MemoryImage provisioned_;  // built once; every replica copies its bytes
   fault::FaultInjector injector_;
   std::int64_t cold_cycles_ = 0;
   std::int64_t steady_cycles_ = 0;
@@ -209,13 +216,14 @@ class InferenceServer {
   std::int64_t scrub_cycles_ = 0;
 
   RequestQueue queue_;
-  std::vector<std::unique_ptr<WorkerContext>> workers_;
+  cluster::AcceleratorPool pool_;
   std::thread dispatcher_;
 
   // Deterministic scheduler state (dispatcher thread only).
   Batcher batcher_;
-  std::vector<std::int64_t> worker_free_cycle_;
-  std::vector<bool> worker_scheduled_warm_;
+  cluster::ShardRouter router_;
+  std::vector<std::int64_t> replica_free_cycle_;
+  std::vector<bool> replica_scheduled_warm_;
   std::int64_t batches_dispatched_ = 0;
 
   // Submission state (caller threads, guarded by submit_mu_).

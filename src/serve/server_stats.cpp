@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -60,12 +61,18 @@ std::string ServerStats::ToString() const {
         static_cast<long long>(faults_injected),
         static_cast<long long>(retries),
         static_cast<long long>(recovery_cycles));
-  for (int w = 0; w < static_cast<int>(worker_busy_cycles.size()); ++w)
-    os << StrFormat("  worker %d  busy %lld cycles  (%.1f%% utilised)\n",
+  for (int w = 0; w < static_cast<int>(worker_busy_cycles.size()); ++w) {
+    const auto idx = static_cast<std::size_t>(w);
+    os << StrFormat("  worker %d  busy %lld cycles  (%.1f%% utilised)",
                     w,
-                    static_cast<long long>(
-                        worker_busy_cycles[static_cast<std::size_t>(w)]),
+                    static_cast<long long>(worker_busy_cycles[idx]),
                     WorkerUtilization(w) * 100.0);
+    if (idx < replica_requests.size())
+      os << StrFormat("  served %lld req in %lld batches",
+                      static_cast<long long>(replica_requests[idx]),
+                      static_cast<long long>(replica_batches[idx]));
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -79,7 +86,13 @@ ServerStats ComputeServerStats(
   stats.workers = static_cast<int>(worker_busy_cycles.size());
   stats.frequency_mhz = frequency_mhz;
   stats.worker_busy_cycles = std::move(worker_busy_cycles);
+  stats.replica_requests.assign(stats.worker_busy_cycles.size(), 0);
+  stats.replica_batches.assign(stats.worker_busy_cycles.size(), 0);
   if (requests.empty()) return stats;
+
+  // Distinct batches per replica (a batch runs on exactly one replica).
+  std::vector<std::set<std::int64_t>> replica_batch_ids(
+      stats.worker_busy_cycles.size());
 
   const double cycles_to_s = 1.0 / (frequency_mhz * 1e6);
   std::int64_t first_arrival = std::numeric_limits<std::int64_t>::max();
@@ -98,6 +111,12 @@ ServerStats ComputeServerStats(
       case StatusCode::kFaulted: ++stats.faulted; continue;
       case StatusCode::kOk: ++stats.completed; break;
     }
+    if (r.worker >= 0 &&
+        r.worker < static_cast<int>(stats.replica_requests.size())) {
+      const auto w = static_cast<std::size_t>(r.worker);
+      ++stats.replica_requests[w];
+      replica_batch_ids[w].insert(r.batch_id);
+    }
     DB_CHECK_MSG(r.finish_cycle >= r.arrival_cycle,
                  "request finishes before it arrives");
     stats.makespan_cycles = std::max(stats.makespan_cycles, r.finish_cycle);
@@ -109,6 +128,9 @@ ServerStats ComputeServerStats(
     stats.total_dram_bytes += r.dram_bytes;
     stats.total_joules += r.joules;
   }
+  for (std::size_t w = 0; w < replica_batch_ids.size(); ++w)
+    stats.replica_batches[w] =
+        static_cast<std::int64_t>(replica_batch_ids[w].size());
   stats.makespan_seconds =
       static_cast<double>(stats.makespan_cycles) * cycles_to_s;
   if (latencies.empty()) return stats;  // nothing reached the datapath

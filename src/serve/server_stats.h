@@ -85,6 +85,13 @@ struct ServerStats {
   /// Busy cycles per worker; utilisation = busy / makespan.
   std::vector<std::int64_t> worker_busy_cycles;
 
+  /// Per-replica service aggregation, derived from the records (the
+  /// record's worker index is the replica index): kOk requests served
+  /// and distinct batches executed on each replica.  Sized like
+  /// worker_busy_cycles; a replica the router never picked reads zero.
+  std::vector<std::int64_t> replica_requests;
+  std::vector<std::int64_t> replica_batches;
+
   double WorkerUtilization(int worker) const;
   std::string ToString() const;
 };

@@ -59,6 +59,24 @@ SystemRunResult SystemContext::Run(MemoryImage& image, const Tensor& input,
   return result;
 }
 
+std::vector<SystemReplica> ReplicateSystem(const Network& net,
+                                           const AcceleratorDesign& design,
+                                           const MemoryImage& provisioned,
+                                           int count) {
+  DB_CHECK_MSG(count >= 1, "a system needs at least one replica");
+  std::vector<SystemReplica> replicas;
+  replicas.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SystemReplica replica{provisioned, nullptr};
+    // Each context decodes from its replica's own bytes: the weight
+    // snapshot never aliases a sibling's image.
+    replica.context =
+        std::make_unique<SystemContext>(net, design, replica.image);
+    replicas.push_back(std::move(replica));
+  }
+  return replicas;
+}
+
 SystemRunResult RunSystem(const Network& net,
                           const AcceleratorDesign& design,
                           MemoryImage& image, const Tensor& input,

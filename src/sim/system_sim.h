@@ -8,6 +8,9 @@
 // run, exactly as on hardware.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "common/error.h"
 #include "core/memory_image.h"
 #include "sim/functional_sim.h"
@@ -57,6 +60,24 @@ class SystemContext {
   WeightStore weights_;       // decoded snapshot (owned; sim_ refers to it)
   FunctionalSimulator sim_;
 };
+
+/// One replicated accelerator instance: a private copy of the
+/// provisioned DRAM image plus the SystemContext decoded from it.  The
+/// cluster's AcceleratorPool owns one of these per replica, so one
+/// replica's image corruption (fault injection) can never perturb a
+/// sibling — each context snapshotted its weights from its own bytes.
+struct SystemReplica {
+  MemoryImage image;
+  std::unique_ptr<SystemContext> context;
+};
+
+/// Stamp out `count` independent replicas of a provisioned system.
+/// Every replica starts byte-identical to `provisioned`, so a request
+/// served by any replica produces bit-identical output.
+std::vector<SystemReplica> ReplicateSystem(const Network& net,
+                                           const AcceleratorDesign& design,
+                                           const MemoryImage& provisioned,
+                                           int count);
 
 /// One full invocation against the image: decode weights, run the
 /// bit-accurate functional simulation, store the output blob back into

@@ -23,4 +23,6 @@ expect_exit(2 --no-such-flag)                            # db::Error
 expect_exit(2 serve --zoo no-such-model)                 # db::Error
 expect_exit(2 serve --zoo MNIST --admission=bogus)       # db::Error
 expect_exit(2 serve --zoo MNIST --faults=bogus-key=1)    # db::Error
+expect_exit(2 serve --zoo MNIST --replicas 0)            # db::Error
+expect_exit(2 serve --zoo MNIST --router=bogus)          # db::Error
 expect_exit(3 --self-test-internal-error)                # DB_CHECK

@@ -1,0 +1,209 @@
+// Differential test harness (`ctest -L differential`): seeded random
+// small networks are pushed through every execution path the repo
+// offers and the paths are compared against each other.
+//
+//   * nn::Executor          float reference ("golden")
+//   * FunctionalSimulator   bit-accurate fixed-point datapath
+//   * RunSystem             full DRAM-image round trip
+//   * design_serde          the cache's serialized design, re-decoded
+//   * DesignCache           the memoized generator handle
+//   * InferenceServer       1-replica and 4-replica pools
+//
+// The contracts, in decreasing strictness:
+//   1. All fixed-point paths that share the image pipeline (RunSystem
+//      with the original / serde-round-tripped / cache-returned design,
+//      and every server replica configuration) are BIT-exact.
+//   2. FunctionalSimulator vs RunSystem differ by at most the output
+//      blob's one extra quantise (2 LSBs, the system_sim contract).
+//   3. The fixed-point result tracks the float golden within a
+//      quantization envelope that scales with the accumulation depth.
+//
+// The networks are generated from a seed, so a failure names the seed
+// and is replayed exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/design_cache.h"
+#include "common/rng.h"
+#include "core/design_serde.h"
+#include "core/generator.h"
+#include "frontend/network_def.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "serve/inference_server.h"
+#include "sim/host_runtime.h"
+
+namespace db {
+namespace {
+
+// ----------------------------------------------------- script generator
+
+/// A random small network: optional 3x3 conv, optional 2x2 max pool,
+/// optional mid activation, an FC reduction, and a bounded output
+/// activation — the conv/pool/FC/activation mixes the datapath serves.
+std::string RandomScript(std::uint64_t seed) {
+  Rng rng(seed);
+  const int channels = 1 + static_cast<int>(rng.UniformInt(2));
+  const int side = 6 + 2 * static_cast<int>(rng.UniformInt(2));
+
+  std::string s = "name: \"diff_" + std::to_string(seed) + "\"\n";
+  s += "input: \"data\"\ninput_dim: 1\ninput_dim: " +
+       std::to_string(channels) + "\ninput_dim: " + std::to_string(side) +
+       "\ninput_dim: " + std::to_string(side) + "\n";
+
+  std::string bottom = "data";
+  int spatial = side;
+  if (rng.Bernoulli(0.7)) {
+    const int num_output = 2 + static_cast<int>(rng.UniformInt(3));
+    s += "layers { name: \"conv\" type: CONVOLUTION bottom: \"" + bottom +
+         "\" top: \"conv\" convolution_param { num_output: " +
+         std::to_string(num_output) +
+         " kernel_size: 3 stride: 1 } }\n";
+    bottom = "conv";
+    spatial -= 2;
+  }
+  if (spatial >= 4 && rng.Bernoulli(0.5)) {
+    s += "layers { name: \"pool\" type: POOLING bottom: \"" + bottom +
+         "\" top: \"pool\" pooling_param { pool: MAX kernel_size: 2 "
+         "stride: 2 } }\n";
+    bottom = "pool";
+  }
+  if (rng.Bernoulli(0.5)) {
+    s += "layers { name: \"act0\" type: RELU bottom: \"" + bottom +
+         "\" top: \"act0\" }\n";
+    bottom = "act0";
+  }
+  const int fc_out = 2 + static_cast<int>(rng.UniformInt(5));
+  s += "layers { name: \"fc\" type: INNER_PRODUCT bottom: \"" + bottom +
+       "\" top: \"fc\" inner_product_param { num_output: " +
+       std::to_string(fc_out) + " } }\n";
+  const char* kActs[] = {"RELU", "SIGMOID", "TANH"};
+  s += std::string("layers { name: \"out\" type: ") +
+       kActs[rng.UniformInt(3)] + " bottom: \"fc\" top: \"out\" }\n";
+  return s;
+}
+
+Tensor RandomInput(const Network& net, std::uint64_t seed) {
+  const BlobShape& s = net.layer(net.input_ids().front()).output_shape;
+  Tensor t(Shape{s.channels, s.height, s.width});
+  Rng rng(seed);
+  t.FillUniform(rng, 0.0f, 1.0f);
+  return t;
+}
+
+// ------------------------------------------------------- the harness
+
+constexpr std::uint64_t kSeeds[] = {11, 23, 37, 41, 59};
+
+TEST(Differential, RandomNetworksAgreeAcrossAllPaths) {
+  for (const std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const NetworkDef def = ParseNetworkDef(RandomScript(seed));
+    const Network net = Network::Build(def);
+    const DesignConstraint constraint = DbConstraint();
+
+    // The cache path IS the generator path: the first call generates.
+    cluster::DesignCache cache;
+    const cluster::DesignKey key = cluster::MakeDesignKey(def, constraint);
+    const std::shared_ptr<const AcceleratorDesign> design =
+        cache.GetOrGenerate(key, net, constraint);
+    ASSERT_NE(design, nullptr);
+    const AcceleratorDesign decoded =
+        DeserializeDesign(SerializeDesign(*design));
+
+    Rng rng(seed * 1000 + 1);
+    const WeightStore weights = WeightStore::CreateRandom(net, rng);
+    const Tensor input = RandomInput(net, seed * 1000 + 2);
+
+    // Path 1: float golden.
+    Executor exec(net, weights);
+    const Tensor golden = exec.ForwardOutput(input);
+
+    // Path 2: bit-accurate functional simulation — original design and
+    // the serde-round-tripped design must agree BIT for bit.
+    FunctionalSimulator sim(net, *design, weights);
+    const Tensor functional = sim.Run(input);
+    FunctionalSimulator sim_decoded(net, decoded, weights);
+    EXPECT_EQ(functional.storage(), sim_decoded.Run(input).storage());
+
+    // Path 3: the full DRAM-image round trip, again for both designs.
+    MemoryImage image_a = BuildHostImage(net, *design, weights);
+    MemoryImage image_b = BuildHostImage(net, decoded, weights);
+    const Tensor system = RunSystem(net, *design, image_a, input).output;
+    const Tensor system_decoded =
+        RunSystem(net, decoded, image_b, input).output;
+    EXPECT_EQ(system.storage(), system_decoded.storage());
+
+    // Contract 2: image round trip within one extra output quantise.
+    const float resolution = design->config.format.resolution();
+    EXPECT_LE(MaxAbsDiff(system, functional), 2 * resolution);
+
+    // Contract 3: fixed point tracks the golden within a quantization
+    // envelope proportional to the deepest accumulation fan-in.
+    std::int64_t max_fan_in = 1;
+    for (const IrLayer& layer : net.layers())
+      for (const BlobShape& in : layer.input_shapes)
+        max_fan_in = std::max(max_fan_in, in.NumElements());
+    const float envelope =
+        resolution * static_cast<float>(max_fan_in) + 16 * resolution;
+    EXPECT_LE(MaxAbsDiff(functional, golden), envelope);
+  }
+}
+
+TEST(Differential, ServerReplicasMatchTheStandaloneSystemPath) {
+  const std::uint64_t seed = kSeeds[0];
+  const NetworkDef def = ParseNetworkDef(RandomScript(seed));
+  const Network net = Network::Build(def);
+  const DesignConstraint constraint = DbConstraint();
+  const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+  Rng rng(77);
+  const WeightStore weights = WeightStore::CreateRandom(net, rng);
+
+  constexpr int kRequests = 8;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(RandomInput(net, 300 + static_cast<std::uint64_t>(i)));
+
+  // Standalone reference: one RunSystem per request, fresh image each
+  // time (a request must not observe a sibling's blob writes).
+  std::vector<Tensor> reference;
+  for (const Tensor& input : inputs) {
+    MemoryImage image = BuildHostImage(net, design, weights);
+    reference.push_back(RunSystem(net, design, image, input).output);
+  }
+
+  auto serve = [&](int replicas) {
+    serve::ServeOptions options;
+    options.replicas = replicas;
+    options.max_batch_size = 2;
+    options.linger_cycles = 0;
+    serve::InferenceServer server(net, design, weights, options);
+    std::int64_t arrival = 0;
+    for (const Tensor& input : inputs) {
+      server.Submit(input, arrival);
+      arrival += 25;
+    }
+    return server.Drain();
+  };
+
+  const std::vector<serve::ServedRequest> one = serve(1);
+  const std::vector<serve::ServedRequest> four = serve(4);
+  ASSERT_EQ(one.size(), static_cast<std::size_t>(kRequests));
+  ASSERT_EQ(four.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_EQ(one[idx].status, StatusCode::kOk);
+    ASSERT_EQ(four[idx].status, StatusCode::kOk);
+    // Replica count is a wall-clock knob, never a numerics knob.
+    EXPECT_EQ(one[idx].output.storage(), four[idx].output.storage());
+    EXPECT_EQ(one[idx].output.storage(), reference[idx].storage());
+  }
+}
+
+}  // namespace
+}  // namespace db

@@ -1,0 +1,72 @@
+# Determinism regression for `deepburning serve` (ctest -L differential):
+#
+#   1. Two invocations with identical flags — same zoo model, same seeded
+#      fault campaign, same replica pool — write byte-identical
+#      --metrics-out and --trace-out files.  Everything the server
+#      reports is a pure function of the arrival stream and the seeds;
+#      thread interleaving must never leak into an artifact.
+#   2. Replica count is a wall-clock knob only: the invariant serving
+#      metrics (requests, completed, batches, dram_bytes) are identical
+#      between a 1-replica and a 4-replica pool.
+#
+# Run via: ctest -R serve_determinism (tests/CMakeLists.txt passes
+# -DDEEPBURNING=<path to the binary>).
+if(NOT DEFINED DEEPBURNING)
+  message(FATAL_ERROR "pass -DDEEPBURNING=<path to the deepburning binary>")
+endif()
+
+set(work serve_determinism_work)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work})
+
+function(run_serve prefix)
+  execute_process(COMMAND ${DEEPBURNING} serve ${ARGN}
+      --metrics-out ${work}/${prefix}.metrics.json
+      --trace-out ${work}/${prefix}.trace.json
+    RESULT_VARIABLE result OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR
+      "deepburning serve ${ARGN}: expected exit 0, got ${result}\n${err}")
+  endif()
+endfunction()
+
+function(expect_identical a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${work}/${a} ${work}/${b} RESULT_VARIABLE result)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "${a} and ${b} differ — serving is not "
+      "deterministic")
+  endif()
+endfunction()
+
+# --- 1. byte-identical artifacts across identical invocations --------
+set(flags --zoo ANN-0 --requests 32 --replicas 2 --batch 4
+    --arrival-gap 20 --faults seed=7,flips=40,transients=2,stalls=1)
+run_serve(first ${flags})
+run_serve(second ${flags})
+expect_identical(first.metrics.json second.metrics.json)
+expect_identical(first.trace.json second.trace.json)
+
+# --- 2. invariant metric subset across replica counts ----------------
+# (No fault campaign here: the campaign is sliced per replica, so its
+# per-replica records are legitimately pool-shaped.  serve.dram_bytes is
+# also legitimately pool-shaped — every replica pays its own cold-weight
+# fetch before its weights are resident — so it is not in the subset.)
+set(flags --zoo ANN-0 --requests 32 --batch 4 --arrival-gap 20)
+run_serve(r1 ${flags} --replicas 1)
+run_serve(r4 ${flags} --replicas 4)
+file(READ ${work}/r1.metrics.json r1_metrics)
+file(READ ${work}/r4.metrics.json r4_metrics)
+foreach(metric serve.requests serve.completed serve.batches)
+  string(REGEX MATCH "\"${metric}\": *[0-9]+" r1_value "${r1_metrics}")
+  string(REGEX MATCH "\"${metric}\": *[0-9]+" r4_value "${r4_metrics}")
+  if(r1_value STREQUAL "")
+    message(FATAL_ERROR "metric ${metric} missing from r1.metrics.json")
+  endif()
+  if(NOT r1_value STREQUAL r4_value)
+    message(FATAL_ERROR "metric ${metric} depends on the replica count: "
+      "1 replica reports '${r1_value}', 4 replicas report '${r4_value}'")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${work})

@@ -12,8 +12,14 @@
 // against a generated accelerator and prints its simulated-time serving
 // report:
 //
-//   deepburning serve --zoo MNIST --requests 64 --workers 2 --batch 4
-//     [--linger <cycles>] [--arrival-gap <cycles>] [--constraint file]
+//   deepburning serve --zoo MNIST --requests 64 --replicas 2 --batch 4
+//     [--router POLICY] [--design-cache <dir>] [--linger <cycles>]
+//     [--arrival-gap <cycles>] [--constraint file]
+//
+// --design-cache points both commands at a content-addressed on-disk
+// cache of generator output: a warm entry for the same canonical
+// (network, constraint) pair skips NN-Gen entirely (zero toolchain
+// spans in --trace-out; cluster.cache.* counters record the reuse).
 //
 // Every subcommand accepts --trace-out=<file> (Chrome Trace Event JSON:
 // toolchain phases, per-layer simulator intervals, per-request serving
@@ -27,6 +33,8 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/design_cache.h"
+#include "cluster/shard_router.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/generator.h"
@@ -50,6 +58,7 @@ struct CliOptions {
   std::string out_dir = "deepburning_out";
   std::string trace_out;
   std::string metrics_out;
+  std::string design_cache;  // content-addressed generator cache dir
   bool report = false;
   bool simulate = false;
   bool help = false;
@@ -77,6 +86,8 @@ void PrintUsage() {
       "                also per-layer DRAM/datapath intervals) for "
       "Perfetto\n"
       "  --metrics-out write the metrics registry as JSON\n"
+      "  --design-cache  content-addressed cache directory for generator\n"
+      "                output; a warm entry skips NN-Gen entirely\n"
       "  --help        this message\n");
 }
 
@@ -113,7 +124,9 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--out") {
       opts.out_dir = next();
     } else if (FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
-               FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
+               FlagValue(arg, "--metrics-out", next, &opts.metrics_out) ||
+               FlagValue(arg, "--design-cache", next,
+                         &opts.design_cache)) {
     } else if (arg == "--report") {
       opts.report = true;
     } else if (arg == "--simulate") {
@@ -135,8 +148,11 @@ struct ServeCliOptions {
   std::string metrics_out;
   std::string faults;     // fault-campaign spec, e.g. "seed=7,flips=100"
   std::string admission;  // block | reject | shed-oldest
+  std::string router;     // round-robin | least-loaded | hash-affinity
+  std::string design_cache;  // content-addressed generator cache dir
   int requests = 64;
   int workers = 2;
+  int replicas = 0;  // 0 = use --workers
   std::int64_t batch = 4;
   std::int64_t linger = 0;
   std::int64_t arrival_gap = 0;
@@ -158,7 +174,9 @@ void PrintServeUsage() {
   std::printf(
       "usage: deepburning serve (--zoo <name> | --model <model.prototxt>)\n"
       "                         [--constraint <constraint.prototxt>]\n"
-      "                         [--requests N] [--workers N] [--batch N]\n"
+      "                         [--requests N] [--replicas N] [--batch N]\n"
+      "                         [--router POLICY] "
+      "[--design-cache <dir>]\n"
       "                         [--linger CYCLES] [--arrival-gap CYCLES]\n"
       "                         [--queue-capacity N] [--admission POLICY]\n"
       "                         [--deadline-cycles CYCLES] "
@@ -171,8 +189,13 @@ void PrintServeUsage() {
       "  --model        Caffe-compatible network script instead of --zoo\n"
       "  --constraint   designer resource constraint script\n"
       "  --requests     number of requests to submit (default 64)\n"
-      "  --workers      worker contexts, each with a private DRAM image "
-      "(default 2)\n"
+      "  --replicas     accelerator replicas in the pool, each with a\n"
+      "                 private DRAM image (default: --workers)\n"
+      "  --workers      legacy spelling of --replicas (default 2)\n"
+      "  --router       batch routing policy: least-loaded (default),\n"
+      "                 round-robin, hash-affinity\n"
+      "  --design-cache content-addressed cache directory for generator\n"
+      "                 output; a warm entry skips NN-Gen entirely\n"
       "  --batch        max requests per batch (default 4)\n"
       "  --linger       cycles a partial batch waits to fill (default 0)\n"
       "  --arrival-gap  cycles between request arrivals (default 0: all "
@@ -225,6 +248,10 @@ int RunServe(int argc, char** argv) {
       opts.requests = std::stoi(next());
     } else if (arg == "--workers") {
       opts.workers = std::stoi(next());
+    } else if (arg == "--replicas") {
+      opts.replicas = std::stoi(next());
+      if (opts.replicas < 1)
+        throw Error("--replicas must be at least 1");
     } else if (arg == "--batch") {
       opts.batch = std::stoll(next());
     } else if (arg == "--linger") {
@@ -238,6 +265,9 @@ int RunServe(int argc, char** argv) {
       opts.deadline_cycles = std::stoll(next());
     } else if (FlagValue(arg, "--faults", next, &opts.faults) ||
                FlagValue(arg, "--admission", next, &opts.admission) ||
+               FlagValue(arg, "--router", next, &opts.router) ||
+               FlagValue(arg, "--design-cache", next,
+                         &opts.design_cache) ||
                FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
                FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
     } else if (arg == "--help" || arg == "-h") {
@@ -265,29 +295,48 @@ int RunServe(int argc, char** argv) {
   const serve::AdmissionPolicy admission =
       opts.admission.empty() ? serve::AdmissionPolicy::kBlock
                              : ParseAdmissionPolicy(opts.admission);
+  const cluster::RouterPolicy router =
+      opts.router.empty() ? cluster::RouterPolicy::kLeastLoaded
+                          : cluster::ParseRouterPolicy(opts.router);
   fault::FaultCampaignSpec campaign;
   if (!opts.faults.empty())
     campaign = fault::ParseFaultCampaign(opts.faults);
+  const int replicas = opts.replicas > 0 ? opts.replicas : opts.workers;
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
 
-  const Network net =
+  const NetworkDef def = ParseNetworkDef(
       opts.zoo_name.empty()
-          ? Network::Build(ParseNetworkDef(ReadFile(opts.model_path)))
-          : BuildZooModel(ZooModelByName(opts.zoo_name));
+          ? ReadFile(opts.model_path)
+          : ZooModelPrototxt(ZooModelByName(opts.zoo_name)));
+  const Network net = Network::Build(def);
   const DesignConstraint constraint =
       opts.constraint_path.empty()
           ? ParseConstraint(std::string())
           : ParseConstraint(ReadFile(opts.constraint_path));
-  const AcceleratorDesign design =
-      GenerateAccelerator(net, constraint, &tracer);
+
+  // Content-addressed memoization of NN-Gen: a warm --design-cache
+  // entry (same canonical network + constraint) skips generation — no
+  // toolchain spans in the trace, a cluster.cache hit in the metrics.
+  cluster::DesignCache::Options cache_opts;
+  cache_opts.directory = opts.design_cache;
+  cache_opts.tracer = &tracer;
+  cache_opts.metrics = &metrics;
+  cluster::DesignCache cache(cache_opts);
+  const cluster::DesignKey key = cluster::MakeDesignKey(def, constraint);
+  const std::shared_ptr<const AcceleratorDesign> design_ptr =
+      cache.GetOrGenerate(key, net, constraint, &tracer);
+  const AcceleratorDesign& design = *design_ptr;
 
   Rng rng(2016);
   WeightStore weights = WeightStore::CreateRandom(net, rng);
 
   serve::ServeOptions server_opts;
   server_opts.workers = opts.workers;
+  server_opts.replicas = opts.replicas;
+  server_opts.router = router;
+  server_opts.affinity_hash = key.hash;
   server_opts.max_batch_size = opts.batch;
   server_opts.linger_cycles = opts.linger;
   server_opts.queue_capacity = opts.queue_capacity;
@@ -299,19 +348,23 @@ int RunServe(int argc, char** argv) {
   server_opts.admission = admission;
   if (!opts.faults.empty()) {
     fault::FaultCampaignSpec sized = campaign;
-    sized.workers = opts.workers;
+    sized.workers = replicas;
     server_opts.faults =
         fault::FaultPlan::Generate(sized, design.memory_map);
   }
   serve::InferenceServer server(net, design, weights, server_opts);
 
   std::printf(
-      "serving '%s': %d requests, %d workers, batch <= %lld, linger %lld "
-      "cycles, arrivals every %lld cycles\n",
-      net.name().c_str(), opts.requests, opts.workers,
+      "serving '%s': %d requests, %d replicas (%s router), batch <= %lld, "
+      "linger %lld cycles, arrivals every %lld cycles\n",
+      net.name().c_str(), opts.requests, replicas,
+      cluster::RouterPolicyName(router).c_str(),
       static_cast<long long>(opts.batch),
       static_cast<long long>(opts.linger),
       static_cast<long long>(opts.arrival_gap));
+  if (cache.stats().hits + cache.stats().disk_hits > 0)
+    std::printf("design cache: reused %s (no generation)\n",
+                cluster::DesignKeyHex(key).c_str());
   if (!server_opts.faults.empty())
     std::printf("fault campaign: %s\n",
                 server_opts.faults.ToString().c_str());
@@ -397,8 +450,21 @@ int main(int argc, char** argv) {
       constraint = ParseConstraint(constraint_text);
       clock.Advance(1);
     }
-    const AcceleratorDesign design =
-        GenerateAccelerator(net, constraint, &tracer);
+    // With --design-cache, generation is memoized on the canonical
+    // (network, constraint) content hash; a warm entry skips NN-Gen.
+    cluster::DesignCache::Options cache_opts;
+    cache_opts.directory = opts.design_cache;
+    cache_opts.tracer = &tracer;
+    cache_opts.metrics = &metrics;
+    cluster::DesignCache cache(cache_opts);
+    const cluster::DesignKey key =
+        cluster::MakeDesignKey(def, constraint);
+    const std::shared_ptr<const AcceleratorDesign> design_ptr =
+        cache.GetOrGenerate(key, net, constraint, &tracer);
+    const AcceleratorDesign& design = *design_ptr;
+    if (cache.stats().disk_hits > 0)
+      std::printf("design cache: reused %s (no generation)\n",
+                  cluster::DesignKeyHex(key).c_str());
 
     std::printf("generated accelerator for '%s': %d MAC lanes, %lld fold "
                 "steps, %lld LUTs / %lld DSPs\n",
