@@ -26,6 +26,16 @@ cmake --build --preset asan -j "${JOBS}" \
 ctest --preset asan -j "${JOBS}" \
   -R 'Batcher|RequestQueue|InferenceServer|PerfTrace|MathUtil|HostRuntime|SystemSim|PerfModel|Metrics|Tracer|ScopedSpan|ChromeTrace|ExportPerfTrace'
 
+echo "== tier-1: UBSan on the static verifier and RTL lint =="
+# The verifier's interval arithmetic (AGU footprints, memory-map overlap
+# scans, fold partitions) is exactly where signed overflow and bad shifts
+# would hide; pure UBSan runs it at near-native speed, including the
+# seeded mutation sweep.
+cmake --preset ubsan
+cmake --build --preset ubsan -j "${JOBS}" --target analysis_test rtl_test
+ctest --preset ubsan -j "${JOBS}" \
+  -R 'Diagnostics|Verifier|MutationSweep|DesignCacheVerify|BrokenRuleSweep|Lint'
+
 echo "== tier-1: TSan on the thread-labelled suites (ctest -L threads) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}" \

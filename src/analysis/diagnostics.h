@@ -1,0 +1,62 @@
+// Diagnostics engine for the static design verifier (src/analysis).
+//
+// Every rule pass reports through one AnalysisReport: a flat list of
+// Diagnostic{severity, rule id, location path, message} records.  The
+// report renders byte-stably — diagnostics are sorted into a canonical
+// order (severity, rule, location, message) before text or JSON export,
+// so two runs over the same design emit identical bytes regardless of
+// the order the passes executed in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace db::analysis {
+
+enum class Severity { kError, kWarning, kNote };
+
+std::string SeverityName(Severity severity);
+
+/// One finding of one rule pass.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;      // rule id, e.g. "agu.bounds" (see DESIGN.md §8)
+  std::string location;  // slash path into the design, e.g. "agu/pattern:3"
+  std::string message;
+};
+
+/// The verifier's result: every diagnostic from every rule pass.
+class AnalysisReport {
+ public:
+  void Add(Severity severity, std::string rule, std::string location,
+           std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int ErrorCount() const;
+  int WarningCount() const;
+  /// True when no error-severity diagnostic was reported (warnings and
+  /// notes do not make a design illegal).
+  bool ok() const { return ErrorCount() == 0; }
+
+  /// True when any diagnostic carries the given rule id.
+  bool HasRule(const std::string& rule) const;
+
+  /// Canonical human-readable rendering, one line per diagnostic:
+  ///   error[agu.bounds] agu/pattern:3: footprint ends at 512 past ...
+  /// plus a trailing summary line.  Byte-stable for equal contents.
+  std::string ToText() const;
+
+  /// Canonical JSON rendering:
+  ///   {"errors":N,"warnings":N,"diagnostics":[{...},...]}
+  /// with sorted diagnostics and escaped strings.  Byte-stable.
+  std::string ToJson() const;
+
+ private:
+  /// The canonical order both renderers use: errors first, then by rule
+  /// id, location and message.
+  std::vector<Diagnostic> Sorted() const;
+
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace db::analysis

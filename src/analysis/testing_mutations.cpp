@@ -1,0 +1,100 @@
+#include "analysis/testing_mutations.h"
+
+#include <algorithm>
+
+#include "analysis/verifier.h"
+#include "common/error.h"
+
+namespace db::analysis {
+
+std::vector<std::string> BreakableRules() {
+  return {kRuleAguBounds,      kRuleMemLayout, kRuleSchedHazard,
+          kRuleFoldCoverage,   kRuleBufferCapacity, kRuleConnPorts,
+          kRuleLutDomain,      kRuleResBudget};
+}
+
+void BreakRule(AcceleratorDesign& design, const std::string& rule) {
+  if (rule == kRuleAguBounds) {
+    for (AguPattern& p : design.agu_program.patterns) {
+      if (p.role != AguRole::kMain) continue;
+      // One extra outer row marches the sweep past its region's end.
+      p.y_length += 1;
+      return;
+    }
+    DB_THROW("design has no main-AGU pattern to break");
+  }
+  if (rule == kRuleMemLayout) {
+    DB_CHECK_MSG(!design.memory_map.regions().empty(), "no regions");
+    // Grow the first region into its successor (overlap) without moving
+    // any base, so every AGU pattern still resolves in its own region.
+    std::vector<MemoryRegion> regions = design.memory_map.regions();
+    const std::int64_t align = std::max<std::int64_t>(
+        design.config.memory_port_elems * design.config.ElementBytes(), 1);
+    if (regions.size() > 1)
+      regions[0].bytes += align;
+    else
+      regions[0].bytes += 1;  // single region: break the alignment instead
+    design.memory_map = MemoryMap::FromRegions(std::move(regions));
+    return;
+  }
+  if (rule == kRuleSchedHazard) {
+    DB_CHECK_MSG(design.schedule.steps.size() >= 2,
+                 "need a multi-step schedule to replay an event");
+    // Replay the first step's fold event on the last step: duplicate
+    // event, and (for multi-layer nets) a read of a blob that is not
+    // written yet when the FSM loops back.  The crossbar microcode is
+    // edited in lock-step so only the schedule itself is inconsistent.
+    design.schedule.steps.back().event =
+        design.schedule.steps.front().event;
+    if (!design.connection_plan.settings.empty())
+      design.connection_plan.settings.back().event =
+          design.schedule.steps.back().event;
+    return;
+  }
+  if (rule == kRuleFoldCoverage) {
+    DB_CHECK_MSG(!design.fold_plan.folds.empty(), "empty fold plan");
+    for (LayerFold& fold : design.fold_plan.folds) {
+      if (fold.pool != LanePool::kMac) continue;
+      // Drop one segment: the last lanes_used units never compute.
+      fold.parallel_units += fold.lanes_used;
+      fold.total_ops = fold.parallel_units * fold.unit_work;
+      return;
+    }
+    design.fold_plan.folds.front().segments += 1;
+    return;
+  }
+  if (rule == kRuleBufferCapacity) {
+    DB_CHECK_MSG(!design.buffer_plan.entries.empty(), "empty buffer plan");
+    // Grow the ping slot past the end of the physical buffer.
+    BufferPlanEntry& e = design.buffer_plan.entries.front();
+    e.ping.bytes = design.buffer_plan.data_buffer_bytes + 1;
+    return;
+  }
+  if (rule == kRuleConnPorts) {
+    DB_CHECK_MSG(!design.connection_plan.settings.empty(), "empty plan");
+    // Re-route the first step's consumer to the classifier port; either
+    // no classifier block exists, or the schedule block disagrees.
+    CrossbarSetting& s = design.connection_plan.settings.front();
+    s.consumer = s.consumer == DatapathPort::kClassifier
+                     ? DatapathPort::kPoolingUnit
+                     : DatapathPort::kClassifier;
+    return;
+  }
+  if (rule == kRuleLutDomain) {
+    DB_CHECK_MSG(!design.lut_specs.empty(),
+                 "design approximates no function");
+    // Collapse the input domain: the table covers nothing.
+    ApproxLutSpec& spec = design.lut_specs.front();
+    spec.in_max = spec.in_min;
+    return;
+  }
+  if (rule == kRuleResBudget) {
+    DB_CHECK_MSG(!design.blocks.empty(), "empty block inventory");
+    // Stale accounting: the recorded total no longer re-tallies.
+    design.resources.total.lut += 1;
+    return;
+  }
+  DB_THROW("unknown verifier rule '" << rule << "'");
+}
+
+}  // namespace db::analysis

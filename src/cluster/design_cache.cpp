@@ -8,8 +8,10 @@
 #include <string_view>
 #include <utility>
 
+#include "analysis/verifier.h"
 #include "common/error.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "core/design_serde.h"
 
 namespace db::cluster {
@@ -99,7 +101,8 @@ std::shared_ptr<const AcceleratorDesign> DesignCache::GetOrGenerate(
     const DesignKey& key, const Network& net,
     const DesignConstraint& constraint, obs::Tracer* toolchain_tracer) {
   if (auto hit = Lookup(key)) return hit;
-  return Insert(key, GenerateAccelerator(net, constraint, toolchain_tracer));
+  return Insert(key, GenerateAccelerator(net, constraint, toolchain_tracer,
+                                         options_.metrics));
 }
 
 DesignCache::LruList::iterator DesignCache::FindResident(
@@ -151,8 +154,27 @@ std::shared_ptr<const AcceleratorDesign> DesignCache::LoadFromDisk(
       key.canonical)
     return nullptr;
   try {
-    return std::make_shared<const AcceleratorDesign>(DeserializeDesign(
+    auto design = std::make_shared<const AcceleratorDesign>(DeserializeDesign(
         view.substr(8 + static_cast<std::size_t>(canonical_size))));
+    // The serde layer bounds-checks its framing but carries no content
+    // checksum, so a flipped field inside a record decodes fine.  Re-run
+    // the static verifier against the network this entry claims to
+    // implement: a corrupted-but-decodable design is rejected here with
+    // a diagnostic instead of entering the accelerator pool.
+    const std::size_t sep = key.canonical.find(kKeySeparator);
+    const Network net = Network::Build(ParseNetworkDef(
+        sep == std::string::npos ? key.canonical
+                                 : key.canonical.substr(0, sep)));
+    const analysis::AnalysisReport report =
+        analysis::VerifyDesign(net, *design);
+    if (!report.ok()) {
+      if (options_.metrics)
+        options_.metrics->AddCounter("cluster.cache.verify_reject");
+      DB_LOG(kWarn) << "design cache: rejecting illegal on-disk entry "
+                    << DesignKeyHex(key) << "\n" << report.ToText();
+      return nullptr;  // served like a miss; the generator rebuilds it
+    }
+    return design;
   } catch (const Error&) {
     return nullptr;  // corrupt payload == miss; the generator rebuilds it
   }

@@ -24,6 +24,11 @@
 // NN-Gen entirely — the acceptance criterion's "warm serve shows zero
 // toolchain spans".  Disk loads re-verify the canonical text, and a
 // corrupt or truncated file is treated as a miss, never an error.
+// Because the serde payload has no content checksum, every decoded
+// design is additionally re-verified with the static design verifier
+// (analysis/verifier.h); an entry that decodes but fails verification
+// is rejected with a diagnostic (cluster.cache.verify_reject counter,
+// warning log) and regenerated rather than served.
 //
 // Observability: every Lookup/GetOrGenerate outcome is one ordinal-tick
 // span on the "cluster" track and a cluster.cache.* counter, so traces

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/verifier.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -171,6 +172,22 @@ std::vector<LutFunction> RequiredLutFunctions(const Network& net) {
   return {fns.begin(), fns.end()};
 }
 
+ApproxLutSpec DefaultLutSpec(LutFunction fn, const AcceleratorConfig& config) {
+  ApproxLutSpec spec;
+  spec.function = fn;
+  spec.entries = config.approx_lut_entries;
+  spec.interpolate = config.approx_lut_interpolate;
+  spec.format = config.format;
+  if (fn == LutFunction::kExp) {
+    spec.in_min = -16.0;
+    spec.in_max = 0.0;  // softmax uses exp(x - max) <= 1
+  } else if (fn == LutFunction::kRecip || fn == LutFunction::kLrnPow) {
+    spec.in_min = 1.0 / 128.0;
+    spec.in_max = config.format.value_max();
+  }
+  return spec;
+}
+
 AcceleratorConfig SizeDatapath(const Network& net,
                                const DesignConstraint& constraint) {
   AcceleratorConfig config;
@@ -312,18 +329,7 @@ std::vector<BlockInstance> PickBlocks(const AcceleratorConfig& config,
   }
   // One Approx LUT per approximated function in the model.
   for (LutFunction fn : RequiredLutFunctions(net)) {
-    ApproxLutSpec spec;
-    spec.function = fn;
-    spec.entries = config.approx_lut_entries;
-    spec.interpolate = config.approx_lut_interpolate;
-    spec.format = config.format;
-    if (fn == LutFunction::kExp) {
-      spec.in_min = -16.0;
-      spec.in_max = 0.0;  // softmax uses exp(x - max) <= 1
-    } else if (fn == LutFunction::kRecip || fn == LutFunction::kLrnPow) {
-      spec.in_min = 1.0 / 128.0;
-      spec.in_max = config.format.value_max();
-    }
+    const ApproxLutSpec spec = DefaultLutSpec(fn, config);
     lut_specs.push_back(spec);
     BlockConfig c;
     c.type = BlockType::kApproxLut;
@@ -392,9 +398,38 @@ std::vector<BlockInstance> PickBlocks(const AcceleratorConfig& config,
 
 }  // namespace
 
+namespace {
+
+/// The generator's post-pass gate: run the static verifier, publish
+/// warning counts, and refuse to return an illegal design.
+void VerifyGate(const Network& net, const AcceleratorDesign& design,
+                obs::MetricsRegistry* metrics) {
+  const analysis::AnalysisReport report = analysis::VerifyDesign(net, design);
+  if (metrics != nullptr) {
+    metrics->AddCounter("analysis.designs_verified");
+    if (report.WarningCount() > 0)
+      metrics->AddCounter("analysis.warnings", report.WarningCount());
+    for (const analysis::Diagnostic& d : report.diagnostics())
+      if (d.severity == analysis::Severity::kWarning)
+        metrics->AddCounter("analysis.rule." + d.rule);
+  }
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    if (d.severity == analysis::Severity::kWarning) {
+      DB_LOG(kWarn) << "verify[" << d.rule << "] " << d.location << ": "
+                    << d.message;
+    }
+  }
+  if (!report.ok())
+    DB_THROW("design verification failed for '" << net.name() << "':\n"
+             << report.ToText());
+}
+
+}  // namespace
+
 AcceleratorDesign GenerateAccelerator(const Network& net,
                                       const DesignConstraint& constraint,
-                                      obs::Tracer* tracer) {
+                                      obs::Tracer* tracer,
+                                      obs::MetricsRegistry* metrics) {
   // Toolchain spans tick an ordinal clock (one tick per phase) starting
   // where the caller's own toolchain spans (parse, constraint) ended —
   // deterministic, unlike wall time.
@@ -488,6 +523,7 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
   phase("rtl emit", 0,
         [&] { design.rtl = BuildRtl(design.config, design.blocks); });
   phase("lint", 0, [&] { CheckDesignOrThrow(design.rtl); });
+  phase("verify", 0, [&] { VerifyGate(net, design, metrics); });
 
   DB_LOG(kInfo) << "generated accelerator for '" << net.name() << "': "
                 << design.config.TotalLanes() << " lanes, "
@@ -499,7 +535,8 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
 AcceleratorDesign GenerateFromScripts(
     const std::string& model_prototxt,
     const std::string& constraint_prototxt,
-    obs::Tracer* tracer) {
+    obs::Tracer* tracer,
+    obs::MetricsRegistry* metrics) {
   obs::TickClock clock(tracer != nullptr ? tracer->TrackEnd("toolchain")
                                          : 0);
   NetworkDef def;
@@ -517,7 +554,7 @@ AcceleratorDesign GenerateFromScripts(
     constraint = ParseConstraint(constraint_prototxt);
     clock.Advance(1);
   }
-  return GenerateAccelerator(net, constraint, tracer);
+  return GenerateAccelerator(net, constraint, tracer, metrics);
 }
 
 SharedAccelerator GenerateSharedAccelerator(
@@ -586,24 +623,47 @@ SharedAccelerator GenerateSharedAccelerator(
   proto.blocks = PickBlocks(proto.config, *nets.front(),
                             proto.agu_program, proto.fold_plan,
                             proto.lut_specs);
+  // The shared control hardware must hold every model's state, not just
+  // the first model's: size the AGU pattern stores and the coordinator
+  // FSM to the union across the compiled designs.
+  bool has_weight_agu = false;
+  for (BlockInstance& block : proto.blocks) {
+    if (block.config.type == BlockType::kAgu) {
+      if (block.config.agu_role == AguRole::kWeight) has_weight_agu = true;
+      int need = block.config.patterns;
+      for (const AcceleratorDesign& d : shared.designs)
+        need = std::max(need,
+                        d.agu_program.CountFor(block.config.agu_role));
+      block.config.patterns = need;
+    }
+    if (block.config.type == BlockType::kCoordinator) {
+      std::int64_t need = block.config.fold_events;
+      for (const AcceleratorDesign& d : shared.designs)
+        need = std::max(need, d.fold_plan.TemporalFolds());
+      block.config.fold_events = static_cast<int>(need);
+    }
+  }
+  if (!has_weight_agu) {
+    int weight_patterns = 0;
+    for (const AcceleratorDesign& d : shared.designs)
+      weight_patterns =
+          std::max(weight_patterns, d.agu_program.CountFor(AguRole::kWeight));
+    if (weight_patterns > 0) {
+      BlockConfig c;
+      c.type = BlockType::kAgu;
+      c.bit_width = proto.config.format.total_bits();
+      c.agu_role = AguRole::kWeight;
+      c.patterns = weight_patterns;
+      proto.blocks.push_back({"agu_" + AguRoleName(AguRole::kWeight), c});
+    }
+  }
   // Append LUT blocks for functions the first model alone did not need.
   std::set<LutFunction> have;
   for (const ApproxLutSpec& spec : proto.lut_specs)
     have.insert(spec.function);
   for (LutFunction fn : fn_union) {
     if (have.count(fn)) continue;
-    ApproxLutSpec spec;
-    spec.function = fn;
-    spec.entries = proto.config.approx_lut_entries;
-    spec.interpolate = proto.config.approx_lut_interpolate;
-    spec.format = proto.config.format;
-    if (fn == LutFunction::kExp) {
-      spec.in_min = -16.0;
-      spec.in_max = 0.0;
-    } else if (fn == LutFunction::kRecip || fn == LutFunction::kLrnPow) {
-      spec.in_min = 1.0 / 128.0;
-      spec.in_max = proto.config.format.value_max();
-    }
+    const ApproxLutSpec spec = DefaultLutSpec(fn, proto.config);
     proto.lut_specs.push_back(spec);
     BlockConfig c;
     c.type = BlockType::kApproxLut;
@@ -627,6 +687,9 @@ SharedAccelerator GenerateSharedAccelerator(
     shared.designs[i].resources = proto.resources;
     shared.designs[i].rtl = proto.rtl;
   }
+  // Gate every model's compiled view, same as the single-model path.
+  for (std::size_t i = 0; i < shared.designs.size(); ++i)
+    analysis::VerifyDesignOrThrow(*nets[i], shared.designs[i]);
   return shared;
 }
 

@@ -23,6 +23,7 @@
 #include "core/schedule.h"
 #include "graph/network.h"
 #include "hwlib/resource_model.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "rtl/verilog.h"
 
@@ -53,21 +54,28 @@ struct AcceleratorDesign {
 ///
 /// With a tracer, every compilation phase (sizing → folding → data
 /// layout → memory map → agu program → schedule → buffer plan →
-/// connections → blocks → rtl emit → lint) is recorded as one span on
-/// the "toolchain" track, one ordinal tick per phase (the toolchain has
-/// no simulated clock); refit attempts annotate their spans.  The
-/// timeline continues from the track's prior end, so a caller's own
-/// parse/constraint spans slot in before these.
+/// connections → blocks → rtl emit → lint → verify) is recorded as one
+/// span on the "toolchain" track, one ordinal tick per phase (the
+/// toolchain has no simulated clock); refit attempts annotate their
+/// spans.  The timeline continues from the track's prior end, so a
+/// caller's own parse/constraint spans slot in before these.
+///
+/// The final verify phase runs the static design verifier
+/// (analysis/verifier.h) as a gate: error diagnostics throw db::Error
+/// carrying the report; warnings pass and are counted on `metrics` as
+/// `analysis.warnings` plus per-rule `analysis.rule.<id>` counters.
 AcceleratorDesign GenerateAccelerator(const Network& net,
                                       const DesignConstraint& constraint,
-                                      obs::Tracer* tracer = nullptr);
+                                      obs::Tracer* tracer = nullptr,
+                                      obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience wrapper: parse both scripts and generate (the scripted
 /// phases land on the same toolchain track when traced).
 AcceleratorDesign GenerateFromScripts(
     const std::string& model_prototxt,
     const std::string& constraint_prototxt,
-    obs::Tracer* tracer = nullptr);
+    obs::Tracer* tracer = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// The datapath-sizing step alone (exposed for tests and DSE sweeps):
 /// decides lanes, buffers and port width under the budget.
@@ -77,6 +85,14 @@ AcceleratorConfig SizeDatapath(const Network& net,
 /// Approx-LUT functions the network's layers require (sigmoid/tanh for
 /// activations, exp+recip for softmax, lrn_pow for LRN).
 std::vector<LutFunction> RequiredLutFunctions(const Network& net);
+
+/// The library's canonical LUT spec for `fn` under `config`: table sizing
+/// from the config knobs plus the per-function input-domain policy
+/// (softmax exp keys are shifted non-positive, reciprocal-family keys
+/// start above zero).  PickBlocks instantiates exactly this spec; the
+/// static verifier re-derives it to cross-check a design's recorded
+/// specs against the policy.
+ApproxLutSpec DefaultLutSpec(LutFunction fn, const AcceleratorConfig& config);
 
 /// One accelerator shared by several network models — the versatility
 /// argument of the paper's introduction (an ASIP's fixed ISA cannot; the

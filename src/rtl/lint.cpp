@@ -37,6 +37,29 @@ void Issue(std::vector<LintIssue>& issues, const std::string& module,
   issues.push_back({module, message});
 }
 
+/// Width of an instance-binding actual, when it is statically knowable:
+/// a whole named net/port of the parent module, or a sized literal like
+/// "8'd0".  Returns 0 for slices, expressions and unsized literals —
+/// callers skip the width check there (slice-width arithmetic is out of
+/// scope, as with the assign double-drive analysis above).
+int ActualWidth(const VModule& parent, const std::string& actual) {
+  if (IsLegalIdentifier(actual)) {
+    for (const VNet& n : parent.nets)
+      if (n.name == actual) return n.width;
+    if (const VPort* p = parent.FindPort(actual)) return p->width;
+    return 0;
+  }
+  // Sized literal: <decimal width>'<base><digits>.
+  const std::size_t tick = actual.find('\'');
+  if (tick == std::string::npos || tick == 0) return 0;
+  int width = 0;
+  for (std::size_t i = 0; i < tick; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(actual[i]))) return 0;
+    width = width * 10 + (actual[i] - '0');
+  }
+  return width;
+}
+
 }  // namespace
 
 std::vector<LintIssue> LintModule(const VModule& m) {
@@ -158,12 +181,23 @@ std::vector<LintIssue> LintDesign(const VDesign& design) {
       }
       std::set<std::string> bound;
       for (const VBinding& b : inst.ports) {
-        if (target->FindPort(b.formal) == nullptr)
+        const VPort* formal = target->FindPort(b.formal);
+        if (formal == nullptr)
           Issue(issues, m.name, "instance '" + inst.instance_name +
                                 "' binds unknown port '" + b.formal + "'");
         if (!bound.insert(b.formal).second)
           Issue(issues, m.name, "instance '" + inst.instance_name +
                                 "' binds port '" + b.formal + "' twice");
+        // Width check where the actual's width is statically knowable;
+        // Verilog would silently truncate or zero-extend the mismatch.
+        const int actual_width =
+            formal == nullptr ? 0 : ActualWidth(m, b.actual);
+        if (actual_width > 0 && actual_width != formal->width)
+          Issue(issues, m.name,
+                "instance '" + inst.instance_name + "' binds port '" +
+                    b.formal + "' (width " +
+                    std::to_string(formal->width) + ") to '" + b.actual +
+                    "' (width " + std::to_string(actual_width) + ")");
       }
       for (const VPort& p : target->ports)
         if (bound.find(p.name) == bound.end())

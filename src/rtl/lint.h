@@ -2,8 +2,10 @@
 //
 // The session has no synthesiser, so this pass is the safety net that
 // keeps NN-Gen's RTL well-formed: identifier legality, unique names,
-// port/binding consistency against instantiated module definitions, and
-// driver sanity (every output driven, no wire driven twice by assigns).
+// port/binding consistency against instantiated module definitions
+// (including width agreement where the actual is a whole net/port or a
+// sized literal), and driver sanity (every output driven, no wire
+// driven twice by assigns).
 #pragma once
 
 #include <string>

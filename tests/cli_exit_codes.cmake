@@ -26,3 +26,42 @@ expect_exit(2 serve --zoo MNIST --faults=bogus-key=1)    # db::Error
 expect_exit(2 serve --zoo MNIST --replicas 0)            # db::Error
 expect_exit(2 serve --zoo MNIST --router=bogus)          # db::Error
 expect_exit(3 --self-test-internal-error)                # DB_CHECK
+
+# `deepburning verify`: exit 0 with a clean verdict for a generated
+# design, exit 2 when the report carries error diagnostics.  The hidden
+# --self-test-break flag applies the shared BreakRule corruption, so the
+# CLI path and the analysis_test negatives exercise identical breakage.
+expect_exit(0 verify --help)
+expect_exit(0 verify --zoo MNIST)
+expect_exit(2 verify --zoo no-such-model)                # db::Error
+expect_exit(2 verify --self-test-break bogus.rule --zoo MNIST)
+foreach(rule
+    agu.bounds mem.layout sched.hazard fold.coverage
+    buffer.capacity conn.ports lut.domain res.budget)
+  expect_exit(2 verify --zoo Cifar --self-test-break ${rule})
+endforeach()
+
+# Report rendering is byte-stable: two runs over the same broken design
+# emit identical bytes, in both text and JSON form.
+foreach(fmt text json)
+  set(fmt_flag)
+  if(fmt STREQUAL json)
+    set(fmt_flag --json)
+  endif()
+  foreach(run a b)
+    execute_process(
+      COMMAND ${DEEPBURNING} verify --zoo Cifar
+              --self-test-break mem.layout ${fmt_flag}
+      RESULT_VARIABLE verify_result
+      OUTPUT_VARIABLE verify_${run} ERROR_QUIET)
+    if(NOT verify_result EQUAL 2)
+      message(FATAL_ERROR
+        "verify --self-test-break mem.layout (${fmt}): expected exit 2, "
+        "got ${verify_result}")
+    endif()
+  endforeach()
+  if(NOT verify_a STREQUAL verify_b)
+    message(FATAL_ERROR "verify report is not byte-stable (${fmt}):\n"
+      "--- run a ---\n${verify_a}\n--- run b ---\n${verify_b}")
+  endif()
+endforeach()

@@ -207,6 +207,57 @@ TEST(LintDesign, CatchesUnboundAndUnknownPorts) {
   EXPECT_EQ(unbound, 1);
 }
 
+TEST(LintDesign, CatchesPortWidthMismatch) {
+  VDesign design;
+  VModule child;
+  child.name = "child";
+  child.ports.push_back({"data_in", PortDir::kInput, 8, false});
+  child.ports.push_back({"sel", PortDir::kInput, 2, false});
+  child.ports.push_back({"bit_in", PortDir::kInput, 1, false});
+  design.modules.push_back(child);
+
+  VModule top;
+  top.name = "top";
+  top.nets.push_back({"narrow", 4, false, 0});   // 4-bit wire on 8-bit port
+  top.nets.push_back({"wide", 16, false, 0});
+  VInstance inst;
+  inst.module_name = "child";
+  inst.instance_name = "u0";
+  inst.ports.push_back({"data_in", "narrow"});    // width 4 != 8
+  inst.ports.push_back({"sel", "8'd1"});          // sized literal 8 != 2
+  inst.ports.push_back({"bit_in", "wide[3]"});    // slice: width unknown, ok
+  top.instances.push_back(inst);
+  design.modules.push_back(top);
+  design.top = "top";
+
+  int width_issues = 0;
+  for (const auto& i : LintDesign(design))
+    if (i.message.find("width") != std::string::npos) ++width_issues;
+  EXPECT_EQ(width_issues, 2);
+}
+
+TEST(LintDesign, AcceptsMatchingPortWidths) {
+  VDesign design;
+  VModule child;
+  child.name = "child";
+  child.ports.push_back({"data_in", PortDir::kInput, 8, false});
+  design.modules.push_back(child);
+
+  VModule top;
+  top.name = "top";
+  top.nets.push_back({"bus", 8, false, 0});
+  VInstance inst;
+  inst.module_name = "child";
+  inst.instance_name = "u0";
+  inst.ports.push_back({"data_in", "bus"});
+  top.instances.push_back(inst);
+  design.modules.push_back(top);
+  design.top = "top";
+
+  for (const auto& i : LintDesign(design))
+    EXPECT_EQ(i.message.find("width"), std::string::npos) << i.message;
+}
+
 TEST(LintDesign, CatchesMissingTop) {
   VDesign design;
   VModule m;

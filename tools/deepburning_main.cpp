@@ -16,6 +16,14 @@
 //     [--router POLICY] [--design-cache <dir>] [--linger <cycles>]
 //     [--arrival-gap <cycles>] [--constraint file]
 //
+// The `verify` subcommand generates the design for a model/constraint
+// pair, runs the static design verifier over it, and prints the
+// diagnostics report (byte-stable across runs).  Exit code 0 when the
+// design is clean, 2 when any error-severity diagnostic is reported:
+//
+//   deepburning verify (--zoo MNIST | --model m.prototxt)
+//     [--constraint file] [--json]
+//
 // --design-cache points both commands at a content-addressed on-disk
 // cache of generator output: a warm entry for the same canonical
 // (network, constraint) pair skips NN-Gen entirely (zero toolchain
@@ -33,6 +41,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/testing_mutations.h"
+#include "analysis/verifier.h"
 #include "cluster/design_cache.h"
 #include "cluster/shard_router.h"
 #include "common/error.h"
@@ -73,7 +83,9 @@ void PrintUsage() {
       "                   [--out <dir>] [--report] [--simulate]\n"
       "                   [--trace-out <file>] [--metrics-out <file>]\n"
       "       deepburning serve ...   (batched inference server; "
-      "`deepburning serve --help`)\n\n"
+      "`deepburning serve --help`)\n"
+      "       deepburning verify ...  (static design verifier; "
+      "`deepburning verify --help`)\n\n"
       "  --model       Caffe-compatible network descriptive script "
       "(required)\n"
       "  --constraint  designer resource constraint script (default: "
@@ -228,6 +240,88 @@ db::ZooModel ZooModelByName(const std::string& name) {
 
 std::string ReadFile(const std::string& path);
 void WriteFile(const std::filesystem::path& path, const std::string& text);
+
+void PrintVerifyUsage() {
+  std::printf(
+      "usage: deepburning verify (--zoo <name> | --model <model.prototxt>)\n"
+      "                          [--constraint <constraint.prototxt>] "
+      "[--json]\n\n"
+      "Generates the accelerator design for the model/constraint pair and\n"
+      "runs the static design verifier (AGU bounds, memory-map layout,\n"
+      "schedule hazards, fold coverage, buffer capacity, connection ports,\n"
+      "Approx-LUT domains, resource accounting) over the design IR.\n"
+      "Prints the diagnostics report, byte-stable across runs.\n\n"
+      "  --zoo         benchmark model name (ANN-0, ANN-1, ANN-2, "
+      "Hopfield,\n"
+      "                CMAC, MNIST, Alexnet, NiN, Cifar)\n"
+      "  --model       Caffe-compatible network script instead of --zoo\n"
+      "  --constraint  designer resource constraint script (default: "
+      "medium\n"
+      "                Zynq-7045 budget)\n"
+      "  --json        print the report as canonical JSON instead of "
+      "text\n\n"
+      "exit codes: 0 = clean design, 2 = error-severity violations\n");
+}
+
+int RunVerify(int argc, char** argv) {
+  using namespace db;
+  std::string zoo_name;
+  std::string model_path;
+  std::string constraint_path;
+  std::string break_rule;
+  bool json = false;
+  bool help = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--zoo") {
+      zoo_name = next();
+    } else if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--constraint") {
+      constraint_path = next();
+    } else if (FlagValue(arg, "--self-test-break", next, &break_rule)) {
+      // Undocumented: corrupt the generated design so the CLI test suite
+      // can assert the violation exit code and report rendering against
+      // each rule id without shipping broken fixture files.
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      help = true;
+    } else {
+      throw Error("unknown verify argument '" + arg + "' (see --help)");
+    }
+  }
+  if (help || (zoo_name.empty() && model_path.empty())) {
+    PrintVerifyUsage();
+    return help ? 0 : 2;
+  }
+
+  const NetworkDef def = ParseNetworkDef(
+      zoo_name.empty() ? ReadFile(model_path)
+                       : ZooModelPrototxt(ZooModelByName(zoo_name)));
+  const Network net = Network::Build(def);
+  const DesignConstraint constraint =
+      constraint_path.empty() ? ParseConstraint(std::string())
+                              : ParseConstraint(ReadFile(constraint_path));
+
+  // The generator's own gate would refuse an illegal design, so reaching
+  // the explicit verification below with a violation requires the
+  // self-test corruption (or a future generator bug surfacing here).
+  AcceleratorDesign design = GenerateAccelerator(net, constraint);
+  if (!break_rule.empty()) analysis::BreakRule(design, break_rule);
+
+  const analysis::AnalysisReport report =
+      analysis::VerifyDesign(net, design);
+  if (json)
+    std::printf("%s\n", report.ToJson().c_str());
+  else
+    std::printf("%s", report.ToText().c_str());
+  return report.ok() ? 0 : 2;
+}
 
 int RunServe(int argc, char** argv) {
   using namespace db;
@@ -421,6 +515,8 @@ int main(int argc, char** argv) {
         DB_CHECK_MSG(false, "self-test internal error");
     if (argc > 1 && std::string(argv[1]) == "serve")
       return RunServe(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "verify")
+      return RunVerify(argc, argv);
     const CliOptions opts = ParseArgs(argc, argv);
     if (opts.help || opts.model_path.empty()) {
       PrintUsage();
