@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the pinned perf-trajectory workloads and refresh the tracked BENCH
+# files at the repo root:
+#
+#   BENCH_sim.json    simulator hot path — simulated cycles per wall
+#                     second on the zoo's MNIST and Alexnet entries
+#   BENCH_serve.json  serving stack — requests/sec and p50/p99 latency
+#                     (simulated time: deterministic, byte-stable)
+#
+# Usage: scripts/bench.sh [--smoke] [jobs]
+#   --smoke  minimal run counts (tier1's bench-smoke stage); output goes
+#            to a temp dir and the tracked files are left untouched.
+#
+# Compare two snapshots with scripts/bench_diff.py (exits nonzero on a
+# >10% regression of any tracked metric).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+JOBS="$(nproc)"
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) SMOKE=1 ;;
+    *) JOBS="${arg}" ;;
+  esac
+done
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${JOBS}" --target trajectory
+
+if [[ "${SMOKE}" == "1" ]]; then
+  OUT="$(mktemp -d)"
+  trap 'rm -rf "${OUT}"' EXIT
+  ./build/bench/trajectory --smoke --out "${OUT}"
+  # The diff tool must parse both the committed and the fresh snapshots.
+  # Wall-clock throughput is noisy and smoke runs are unwarmed, so gate
+  # only on the tool working, not on the smoke numbers.
+  python3 scripts/bench_diff.py BENCH_serve.json "${OUT}/BENCH_serve.json"
+  python3 scripts/bench_diff.py BENCH_sim.json "${OUT}/BENCH_sim.json" \
+    --tolerance 1e9
+else
+  ./build/bench/trajectory --out .
+fi

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and fail on regressions.
+
+Usage: bench_diff.py OLD.json NEW.json [--tolerance FRAC]
+
+Workloads are matched by their identifying fields (model plus any serve
+configuration); metrics present in both snapshots are compared with a
+direction per metric:
+
+  higher is better:  sim_cycles_per_sec, requests_per_sec
+  lower is better:   wall_ms_per_run, p50_ms, p99_ms
+
+Exits 1 when any metric moved in the bad direction by more than
+``--tolerance`` (default 0.10 = 10%). Workloads present in only one
+snapshot are reported but not fatal (the pinned set may grow over time).
+Uses only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> True when higher is better
+DIRECTIONS = {
+    "sim_cycles_per_sec": True,
+    "requests_per_sec": True,
+    "wall_ms_per_run": False,
+    "p50_ms": False,
+    "p99_ms": False,
+}
+
+KEY_FIELDS = ("model", "workers", "max_batch_size", "requests")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "workloads" not in doc or not isinstance(doc["workloads"], list):
+        sys.exit(f"bench_diff: {path}: missing 'workloads' list")
+    return doc
+
+
+def workload_key(row):
+    return tuple((k, row[k]) for k in KEY_FIELDS if k in row)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    if old_doc.get("schema") != new_doc.get("schema"):
+        sys.exit(f"bench_diff: schema mismatch: {old_doc.get('schema')} "
+                 f"vs {new_doc.get('schema')}")
+
+    old_rows = {workload_key(r): r for r in old_doc["workloads"]}
+    new_rows = {workload_key(r): r for r in new_doc["workloads"]}
+
+    compared = 0
+    failures = []
+    for key, old_row in sorted(old_rows.items()):
+        label = " ".join(f"{k}={v}" for k, v in key)
+        new_row = new_rows.get(key)
+        if new_row is None:
+            print(f"  [skip] {label}: absent from {args.new}")
+            continue
+        for metric, higher_better in DIRECTIONS.items():
+            if metric not in old_row or metric not in new_row:
+                continue
+            old_v, new_v = float(old_row[metric]), float(new_row[metric])
+            compared += 1
+            if old_v == 0.0:
+                continue
+            change = (new_v - old_v) / abs(old_v)
+            regressed = (change < -args.tolerance if higher_better
+                         else change > args.tolerance)
+            marker = "REGRESSION" if regressed else "ok"
+            print(f"  [{marker}] {label} {metric}: "
+                  f"{old_v:.6g} -> {new_v:.6g} ({change:+.1%})")
+            if regressed:
+                failures.append(f"{label} {metric}")
+    for key in sorted(set(new_rows) - set(old_rows)):
+        label = " ".join(f"{k}={v}" for k, v in key)
+        print(f"  [new] {label}: absent from {args.old}")
+
+    if compared == 0:
+        sys.exit("bench_diff: no common metrics to compare")
+    if failures:
+        print(f"bench_diff: {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%}: " + "; ".join(failures))
+        return 1
+    print(f"bench_diff: {compared} metric(s) within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

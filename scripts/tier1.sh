@@ -49,6 +49,14 @@ echo "== tier-1: ASan fault campaign (ctest -L faults) =="
 cmake --build --preset asan -j "${JOBS}" --target fault_test
 ctest --preset asan -j "${JOBS}" -L faults
 
+echo "== tier-1: bench smoke (perf-trajectory harness + diff tool) =="
+# Minimal-run trajectory into a temp dir, then bench_diff.py over the
+# committed snapshots: proves the harness runs, the JSON parses, and the
+# regression gate works.  Smoke numbers are unwarmed, so the sim compare
+# is parse-only (huge tolerance); the serve compare is simulated time
+# and must hold to the default 10%.
+scripts/bench.sh --smoke "${JOBS}"
+
 if [[ "${DB_COVERAGE:-0}" == "1" ]]; then
   echo "== tier-1: gcov line coverage over the full suite =="
   cmake --preset coverage

@@ -12,6 +12,7 @@
 #include "common/strings.h"
 #include "core/approx_lut.h"
 #include "core/connection_plan.h"
+#include "graph/layer_stats.h"
 #include "hwlib/resource_model.h"
 
 namespace db::analysis {
@@ -189,7 +190,7 @@ void CheckAguBounds(const Network& net, const AcceleratorDesign& design,
 // ---------------------------------------------------------------------
 // Rule 2: mem.layout
 // ---------------------------------------------------------------------
-void CheckMemLayout(const AcceleratorDesign& design,
+void CheckMemLayout(const Network& net, const AcceleratorDesign& design,
                     AnalysisReport& report) {
   const auto err = [&](const std::string& loc, const std::string& msg) {
     report.Add(Severity::kError, kRuleMemLayout, loc, msg);
@@ -237,6 +238,30 @@ void CheckMemLayout(const AcceleratorDesign& design,
                           I64(design.memory_map.total_bytes()) +
                           " bytes disagrees with the last region end " +
                           I64(max_end));
+  // Weight regions must be sized for exactly the layer's parameter
+  // count: smaller underflows the decode, larger leaves trailing bytes
+  // beyond the port-alignment padding that DecodeWeights would have to
+  // silently skip.
+  const std::int64_t elem_bytes = design.config.ElementBytes();
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const LayerStats stats = ComputeLayerStats(*layer);
+    if (stats.weight_count <= 0 ||
+        !design.memory_map.HasWeights(layer->name()))
+      continue;
+    const MemoryRegion& r = design.memory_map.Weights(layer->name());
+    const std::int64_t needed = stats.weight_count * elem_bytes;
+    const std::int64_t padded = (needed + align - 1) / align * align;
+    if (r.bytes < needed)
+      err("memory_map/" + r.name,
+          "weight region holds " + I64(r.bytes) + " bytes but layer '" +
+              layer->name() + "' needs " + I64(needed));
+    else if (r.bytes > padded)
+      err("memory_map/" + r.name,
+          "weight region holds " + I64(r.bytes) + " bytes but layer '" +
+              layer->name() + "' needs only " + I64(needed) + " (" +
+              I64(padded) + " after port alignment) — trailing bytes "
+              "would decode as garbage");
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -794,8 +819,10 @@ AnalysisReport VerifyDesign(const Network& net,
          CheckAguBounds(n, d, r);
        }},
       {kRuleMemLayout,
-       [](const Network&, const AcceleratorDesign& d, const VerifyOptions&,
-          AnalysisReport& r) { CheckMemLayout(d, r); }},
+       [](const Network& n, const AcceleratorDesign& d,
+          const VerifyOptions&, AnalysisReport& r) {
+         CheckMemLayout(n, d, r);
+       }},
       {kRuleSchedHazard,
        [](const Network& n, const AcceleratorDesign& d,
           const VerifyOptions&, AnalysisReport& r) {

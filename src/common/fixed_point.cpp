@@ -51,10 +51,13 @@ std::int64_t FixedFormat::Add(std::int64_t a, std::int64_t b) const {
 
 std::int64_t FixedFormat::Mul(std::int64_t a, std::int64_t b) const {
   // Product carries 2*frac_bits fractional bits; renormalise with
-  // round-half-up on the discarded bits (hardware adds 1 << (frac-1)).
+  // round-half-away-from-zero on the discarded bits, matching Quantize
+  // (a bare `+ half; >> frac` would round negative ties toward +inf —
+  // subtracting the sign bit repairs exactly the tie case).
   __int128 prod = static_cast<__int128>(a) * static_cast<__int128>(b);
   if (frac_bits_ > 0) {
-    prod += static_cast<__int128>(1) << (frac_bits_ - 1);
+    prod += (static_cast<__int128>(1) << (frac_bits_ - 1)) -
+            (prod < 0 ? 1 : 0);
     prod >>= frac_bits_;
   }
   if (prod > raw_max_) return raw_max_;

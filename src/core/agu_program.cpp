@@ -20,8 +20,9 @@ std::string TransferKindName(TransferKind kind) {
   return "?";
 }
 
-std::vector<std::int64_t> ExpandPattern(const AguPattern& p) {
-  std::vector<std::int64_t> addrs;
+void ExpandPatternInto(const AguPattern& p,
+                       std::vector<std::int64_t>& addrs) {
+  addrs.clear();
   addrs.reserve(static_cast<std::size_t>(p.x_length * p.y_length));
   std::int64_t row_base = p.start_addr;
   for (std::int64_t y = 0; y < p.y_length; ++y) {
@@ -32,6 +33,11 @@ std::vector<std::int64_t> ExpandPattern(const AguPattern& p) {
     }
     row_base += p.offset;
   }
+}
+
+std::vector<std::int64_t> ExpandPattern(const AguPattern& p) {
+  std::vector<std::int64_t> addrs;
+  ExpandPatternInto(p, addrs);
   return addrs;
 }
 

@@ -54,6 +54,12 @@ struct AguPattern {
 /// model to validate coverage.
 std::vector<std::int64_t> ExpandPattern(const AguPattern& pattern);
 
+/// Buffer-reusing variant for hot loops (e.g. sweeping a whole
+/// program's patterns): clears `addrs` and refills it, keeping its
+/// capacity across calls.
+void ExpandPatternInto(const AguPattern& pattern,
+                       std::vector<std::int64_t>& addrs);
+
 /// All patterns of a design plus per-role tallies.
 struct AguProgram {
   std::vector<AguPattern> patterns;

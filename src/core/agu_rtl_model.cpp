@@ -53,8 +53,9 @@ AguModelOutputs AguRtlModel::Step(const AguModelInputs& in) {
   return out_;
 }
 
-std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
-                                        std::int64_t max_cycles) {
+void RunAguPatternInto(const AguPattern& pattern,
+                       std::vector<std::int64_t>& addrs,
+                       std::int64_t max_cycles) {
   AguRtlModel model;
   AguModelInputs in;
   in.cfg_start = pattern.start_addr;
@@ -70,7 +71,7 @@ std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
 
   // Trigger the pattern for one cycle.
   in.start_event = true;
-  std::vector<std::int64_t> addrs;
+  addrs.clear();
   AguModelOutputs out = model.Step(in);
   in.start_event = false;
   if (out.addr_valid) addrs.push_back(out.addr);
@@ -78,10 +79,17 @@ std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
   for (std::int64_t cycle = 0; cycle < max_cycles; ++cycle) {
     out = model.Step(in);
     if (out.addr_valid) addrs.push_back(out.addr);
-    if (out.pattern_done) return addrs;
+    if (out.pattern_done) return;
   }
   DB_THROW("AGU pattern did not complete within " << max_cycles
            << " cycles");
+}
+
+std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
+                                        std::int64_t max_cycles) {
+  std::vector<std::int64_t> addrs;
+  RunAguPatternInto(pattern, addrs, max_cycles);
+  return addrs;
 }
 
 }  // namespace db

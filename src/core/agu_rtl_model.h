@@ -54,4 +54,10 @@ class AguRtlModel {
 std::vector<std::int64_t> RunAguPattern(const AguPattern& pattern,
                                         std::int64_t max_cycles = 1 << 22);
 
+/// Buffer-reusing variant: clears `addrs` and refills it, keeping its
+/// capacity across calls (pattern sweeps in tests and benches).
+void RunAguPatternInto(const AguPattern& pattern,
+                       std::vector<std::int64_t>& addrs,
+                       std::int64_t max_cycles = 1 << 22);
+
 }  // namespace db

@@ -115,18 +115,12 @@ MemoryImage BuildMemoryImage(const Network& net,
   return image;
 }
 
-void StoreBlob(MemoryImage& image, const Network& net,
-               const AcceleratorDesign& design,
-               const std::string& layer_name, const Tensor& value) {
+void StoreBlob(MemoryImage& image, const AcceleratorDesign& design,
+               const MemoryRegion& region,
+               const std::vector<std::int64_t>& order,
+               const Tensor& value) {
   const FixedFormat& fmt = design.config.format;
   const int elem_bytes = static_cast<int>(design.config.ElementBytes());
-  const MemoryRegion& region = design.memory_map.Blob(layer_name);
-  int layer_id = -1;
-  for (const IrLayer& layer : net.layers())
-    if (layer.name() == layer_name) layer_id = layer.id;
-  DB_CHECK_MSG(layer_id >= 0, "unknown blob layer");
-  const std::vector<std::int64_t> order =
-      BlobTileOrder(net, design, layer_id);
   DB_CHECK_MSG(static_cast<std::int64_t>(order.size()) == value.size(),
                "blob size mismatch");
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
@@ -138,23 +132,28 @@ void StoreBlob(MemoryImage& image, const Network& net,
   }
 }
 
-Tensor ExtractBlob(const MemoryImage& image, const Network& net,
-                   const AcceleratorDesign& design,
-                   const std::string& layer_name) {
-  const FixedFormat& fmt = design.config.format;
-  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+void StoreBlob(MemoryImage& image, const Network& net,
+               const AcceleratorDesign& design,
+               const std::string& layer_name, const Tensor& value) {
   const MemoryRegion& region = design.memory_map.Blob(layer_name);
   int layer_id = -1;
   for (const IrLayer& layer : net.layers())
     if (layer.name() == layer_name) layer_id = layer.id;
   DB_CHECK_MSG(layer_id >= 0, "unknown blob layer");
-  const IrLayer& producer = net.layer(layer_id);
-  const std::vector<std::int64_t> order =
-      BlobTileOrder(net, design, layer_id);
+  StoreBlob(image, design, region, BlobTileOrder(net, design, layer_id),
+            value);
+}
 
-  Tensor out(Shape{producer.output_shape.channels,
-                   producer.output_shape.height,
-                   producer.output_shape.width});
+Tensor ExtractBlob(const MemoryImage& image,
+                   const AcceleratorDesign& design,
+                   const MemoryRegion& region,
+                   const std::vector<std::int64_t>& order,
+                   const BlobShape& shape) {
+  const FixedFormat& fmt = design.config.format;
+  const int elem_bytes = static_cast<int>(design.config.ElementBytes());
+  Tensor out(Shape{shape.channels, shape.height, shape.width});
+  DB_CHECK_MSG(static_cast<std::int64_t>(order.size()) == out.size(),
+               "blob size mismatch");
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     const std::int64_t addr =
         region.base + static_cast<std::int64_t>(pos) * elem_bytes;
@@ -162,6 +161,19 @@ Tensor ExtractBlob(const MemoryImage& image, const Network& net,
         fmt.Dequantize(image.ReadElem(addr, elem_bytes)));
   }
   return out;
+}
+
+Tensor ExtractBlob(const MemoryImage& image, const Network& net,
+                   const AcceleratorDesign& design,
+                   const std::string& layer_name) {
+  int layer_id = -1;
+  for (const IrLayer& layer : net.layers())
+    if (layer.name() == layer_name) layer_id = layer.id;
+  DB_CHECK_MSG(layer_id >= 0, "unknown blob layer");
+  return ExtractBlob(image, design,
+                     design.memory_map.Blob(layer_name),
+                     BlobTileOrder(net, design, layer_id),
+                     net.layer(layer_id).output_shape);
 }
 
 }  // namespace db

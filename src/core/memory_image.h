@@ -77,4 +77,17 @@ void StoreBlob(MemoryImage& image, const Network& net,
                const AcceleratorDesign& design,
                const std::string& layer_name, const Tensor& value);
 
+/// Hot-path variants taking the blob's region and precomputed tile
+/// order (see BlobTileOrder) so steady-state callers — one store and one
+/// extract per served request — skip the per-call permutation rebuild.
+void StoreBlob(MemoryImage& image, const AcceleratorDesign& design,
+               const MemoryRegion& region,
+               const std::vector<std::int64_t>& order,
+               const Tensor& value);
+Tensor ExtractBlob(const MemoryImage& image,
+                   const AcceleratorDesign& design,
+                   const MemoryRegion& region,
+                   const std::vector<std::int64_t>& order,
+                   const BlobShape& shape);
+
 }  // namespace db

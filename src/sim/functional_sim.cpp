@@ -1,7 +1,9 @@
 #include "sim/functional_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -10,19 +12,132 @@
 namespace db {
 namespace {
 
-/// Renormalise a full-precision accumulator (2*frac fractional bits) back
-/// to the datapath format with round-half-up and saturation — the
-/// accumulator writeback stage of the synergy-neuron pipeline.
-std::int64_t WritebackAcc(const FixedFormat& fmt, __int128 acc) {
-  const int f = fmt.frac_bits();
-  if (f > 0) {
-    acc += static_cast<__int128>(1) << (f - 1);
-    acc >>= f;
-  }
-  if (acc > fmt.raw_max()) return fmt.raw_max();
-  if (acc < fmt.raw_min()) return fmt.raw_min();
-  return static_cast<std::int64_t>(acc);
+std::vector<std::int32_t> QuantizeToI32(const FixedFormat& fmt,
+                                        const std::vector<float>& values) {
+  std::vector<std::int32_t> raw(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    raw[i] = static_cast<std::int32_t>(
+        fmt.Quantize(static_cast<double>(values[i])));
+  return raw;
 }
+
+/// Deepest accumulation fan-in (number of summed terms, bias included)
+/// across the network — the bound that decides whether int64
+/// accumulation can ever overflow for this design's format.
+std::int64_t MaxAccTerms(const Network& net) {
+  std::int64_t worst = 1;
+  for (const IrLayer& layer : net.layers()) {
+    if (layer.input_ids.empty()) continue;
+    const BlobShape& in_shape =
+        net.layer(layer.input_ids.front()).output_shape;
+    std::int64_t terms = 1;
+    switch (layer.kind()) {
+      case LayerKind::kConvolution: {
+        const ConvolutionParams& p = *layer.def.conv;
+        const std::int64_t k = p.kernel_size;
+        terms = (in_shape.channels / p.group) * k * k + 1;
+        break;
+      }
+      case LayerKind::kInnerProduct:
+        terms = in_shape.NumElements() + 1;
+        break;
+      case LayerKind::kLrn:
+        terms = layer.def.lrn->local_size;
+        break;
+      case LayerKind::kRecurrent:
+        terms = in_shape.NumElements() +
+                layer.def.recurrent->num_output + 1;
+        break;
+      case LayerKind::kLstm:
+        terms = in_shape.NumElements() + layer.def.lstm->num_output + 1;
+        break;
+      default:
+        break;
+    }
+    worst = std::max(worst, terms);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------
+// Accumulation math policies
+//
+// NarrowMath drives the SoA kernel backend with exact int64 sums; it is
+// selected only when MaxAccTerms x format width proves 63-bit
+// accumulation cannot overflow, which is what makes the vector lane
+// order immaterial (bit-identical to scalar).  WideMath is the __int128
+// fallback for formats where that proof fails; it shares the
+// round-half-away writeback so both paths implement the same hardware
+// rounder.
+// ---------------------------------------------------------------------
+
+struct NarrowMath {
+  using Acc = std::int64_t;
+  const sim::KernelOps& ops;
+
+  static Acc Bias(std::int32_t b, int f) {
+    return static_cast<Acc>(b) << f;
+  }
+  void MacRow(Acc* acc, const std::int32_t* in, std::int32_t w,
+              std::size_t n) const {
+    ops.mac_row(acc, in, w, n);
+  }
+  Acc Dot(const std::int32_t* a, const std::int32_t* b,
+          std::size_t n) const {
+    return ops.dot(a, b, n);
+  }
+  Acc DotRows(const std::int32_t* a, std::ptrdiff_t a_stride,
+              const std::int32_t* b, std::ptrdiff_t b_stride,
+              std::size_t rows, std::size_t n) const {
+    return ops.dot_rows(a, a_stride, b, b_stride, rows, n);
+  }
+  void Writeback(std::int32_t* out, const Acc* acc, std::size_t n,
+                 const FixedFormat& fmt) const {
+    ops.writeback(out, acc, n, fmt.frac_bits(),
+                  static_cast<std::int32_t>(fmt.raw_min()),
+                  static_cast<std::int32_t>(fmt.raw_max()));
+  }
+};
+
+struct WideMath {
+  using Acc = __int128;
+
+  static Acc Bias(std::int32_t b, int f) {
+    return static_cast<Acc>(b) << f;
+  }
+  void MacRow(Acc* acc, const std::int32_t* in, std::int32_t w,
+              std::size_t n) const {
+    const std::int64_t w64 = w;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += Acc{w64 * in[i]};
+  }
+  Acc Dot(const std::int32_t* a, const std::int32_t* b,
+          std::size_t n) const {
+    Acc sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      sum += Acc{static_cast<std::int64_t>(a[i]) * b[i]};
+    return sum;
+  }
+  Acc DotRows(const std::int32_t* a, std::ptrdiff_t a_stride,
+              const std::int32_t* b, std::ptrdiff_t b_stride,
+              std::size_t rows, std::size_t n) const {
+    Acc sum = 0;
+    for (std::size_t r = 0; r < rows; ++r)
+      sum += Dot(a + static_cast<std::ptrdiff_t>(r) * a_stride,
+                 b + static_cast<std::ptrdiff_t>(r) * b_stride, n);
+    return sum;
+  }
+  void Writeback(std::int32_t* out, const Acc* acc, std::size_t n,
+                 const FixedFormat& fmt) const {
+    const Acc raw_max = fmt.raw_max();
+    const Acc raw_min = fmt.raw_min();
+    for (std::size_t i = 0; i < n; ++i) {
+      Acc v = sim::RoundShiftHalfAway128(acc[i], fmt.frac_bits());
+      if (v > raw_max) v = raw_max;
+      if (v < raw_min) v = raw_min;
+      out[i] = static_cast<std::int32_t>(v);
+    }
+  }
+};
 
 }  // namespace
 
@@ -35,13 +150,24 @@ FunctionalSimulator::FunctionalSimulator(const Network& net,
       fmt_(design.config.format) {
   for (const auto& [name, params] : weights.all()) {
     RawParams raw;
-    raw.weights = QuantizeVector(fmt_, params.weights.storage());
-    raw.bias = QuantizeVector(fmt_, params.bias.storage());
-    raw.recurrent = QuantizeVector(fmt_, params.recurrent.storage());
+    raw.weights = QuantizeToI32(fmt_, params.weights.storage());
+    raw.bias = QuantizeToI32(fmt_, params.bias.storage());
+    raw.recurrent = QuantizeToI32(fmt_, params.recurrent.storage());
     raw_params_.emplace(name, std::move(raw));
   }
   for (const ApproxLutSpec& spec : design.lut_specs)
     luts_.push_back(ApproxLut::Generate(spec));
+  // |sum of T products| <= T * 2^(2*(total_bits-1)), so int64
+  // accumulation is safe iff 2*(tb-1) + ceil_log2(T) stays within 62
+  // bits (one bit of headroom below the sign).
+  const std::int64_t max_terms = MaxAccTerms(net_);
+  const int term_bits = std::bit_width(
+      static_cast<std::uint64_t>(max_terms));
+  narrow_ = 2 * (fmt_.total_bits() - 1) + term_bits <= 62;
+  // Resolve the kernel backend now, on the constructing thread: a bad
+  // DB_SIM_KERNEL value must surface as db::Error where the CLI can
+  // report it, not escape a replica lane thread and terminate.
+  (void)sim::ActiveKernels();
 }
 
 const ApproxLut& FunctionalSimulator::LutFor(LutFunction fn) const {
@@ -50,354 +176,496 @@ const ApproxLut& FunctionalSimulator::LutFor(LutFunction fn) const {
   DB_THROW("design has no Approx LUT for function " << LutFunctionName(fn));
 }
 
-FunctionalSimulator::RawTensor FunctionalSimulator::RunLayer(
-    const IrLayer& layer,
-    const std::vector<const RawTensor*>& ins) const {
-  RawTensor out;
-  out.shape = layer.output_shape;
-  out.raw.assign(static_cast<std::size_t>(out.shape.NumElements()), 0);
-  const RawTensor& in0 = *ins.front();
-  const int f = fmt_.frac_bits();
+// ---------------------------------------------------------------------
+// MAC layers (templated over the accumulation policy)
+// ---------------------------------------------------------------------
 
-  auto in_at = [&](const RawTensor& t, std::int64_t c, std::int64_t y,
-                   std::int64_t x) {
-    return t.raw[static_cast<std::size_t>(
-        (c * t.shape.height + y) * t.shape.width + x)];
-  };
-  auto out_ref = [&](std::int64_t c, std::int64_t y,
-                     std::int64_t x) -> std::int64_t& {
-    return out.raw[static_cast<std::size_t>(
-        (c * out.shape.height + y) * out.shape.width + x)];
-  };
+template <typename Math>
+void FunctionalSimulator::RunConv(const Math& math, const IrLayer& layer,
+                                  const RawTensor& in0,
+                                  RawTensor& out) const {
+  using Acc = typename Math::Acc;
+  const ConvolutionParams& p = *layer.def.conv;
+  const RawParams& rp = raw_params_.at(layer.name());
+  const int f = fmt_.frac_bits();
+  const std::int64_t in_h = in0.shape.height;
+  const std::int64_t in_w = in0.shape.width;
+  const std::int64_t out_h = out.shape.height;
+  const std::int64_t out_w = out.shape.width;
+  const std::int64_t k = p.kernel_size;
+  const std::int64_t group_in = in0.shape.channels / p.group;
+  const std::int64_t group_out = out.shape.channels / p.group;
+  Acc* acc_row = arena_.Alloc<Acc>(static_cast<std::size_t>(out_w));
+  for (std::int64_t oc = 0; oc < out.shape.channels; ++oc) {
+    const std::int64_t ic_base = (oc / group_out) * group_in;
+    const Acc bias =
+        rp.bias.empty()
+            ? Acc{0}
+            : Math::Bias(rp.bias[static_cast<std::size_t>(oc)], f);
+    const std::int32_t* w_oc =
+        rp.weights.data() + oc * group_in * k * k;
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      for (std::int64_t x = 0; x < out_w; ++x) acc_row[x] = bias;
+      if (p.stride == 1) {
+        // Stride-1: broadcast each weight tap across the whole output
+        // row (one mac_row per (g, ky, kx)).
+        for (std::int64_t g = 0; g < group_in; ++g) {
+          const std::int64_t ic = ic_base + g;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = y + ky - p.pad;
+            if (iy < 0 || iy >= in_h) continue;
+            const std::int32_t* in_row =
+                in0.raw + (ic * in_h + iy) * in_w;
+            const std::int32_t* w_row = w_oc + (g * k + ky) * k;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t x_lo =
+                  std::max<std::int64_t>(0, p.pad - kx);
+              const std::int64_t x_hi =
+                  std::min<std::int64_t>(out_w, in_w - kx + p.pad);
+              if (x_hi <= x_lo) continue;
+              math.MacRow(acc_row + x_lo, in_row + (x_lo + kx - p.pad),
+                          w_row[kx],
+                          static_cast<std::size_t>(x_hi - x_lo));
+            }
+          }
+        }
+      } else {
+        // Strided: per output pixel, one fused dot over the clipped
+        // (ky, kx) tap block of each input channel.
+        const std::int64_t iy0 = y * p.stride - p.pad;
+        const std::int64_t ky_lo = std::max<std::int64_t>(0, -iy0);
+        const std::int64_t ky_hi = std::min<std::int64_t>(k, in_h - iy0);
+        if (ky_hi <= ky_lo) {
+          math.Writeback(out.raw + (oc * out_h + y) * out_w, acc_row,
+                         static_cast<std::size_t>(out_w), fmt_);
+          continue;
+        }
+        const std::size_t tap_rows =
+            static_cast<std::size_t>(ky_hi - ky_lo);
+        for (std::int64_t x = 0; x < out_w; ++x) {
+          const std::int64_t ix0 = x * p.stride - p.pad;
+          const std::int64_t kx_lo = std::max<std::int64_t>(0, -ix0);
+          const std::int64_t kx_hi =
+              std::min<std::int64_t>(k, in_w - ix0);
+          if (kx_hi <= kx_lo) continue;
+          Acc acc = 0;
+          for (std::int64_t g = 0; g < group_in; ++g) {
+            const std::int64_t ic = ic_base + g;
+            acc += math.DotRows(
+                w_oc + (g * k + ky_lo) * k + kx_lo, k,
+                in0.raw + (ic * in_h + iy0 + ky_lo) * in_w + ix0 + kx_lo,
+                in_w, tap_rows,
+                static_cast<std::size_t>(kx_hi - kx_lo));
+          }
+          acc_row[x] += acc;
+        }
+      }
+      math.Writeback(out.raw + (oc * out_h + y) * out_w, acc_row,
+                     static_cast<std::size_t>(out_w), fmt_);
+    }
+  }
+}
+
+template <typename Math>
+void FunctionalSimulator::RunInnerProduct(const Math& math,
+                                          const IrLayer& layer,
+                                          const RawTensor& in0,
+                                          RawTensor& out) const {
+  using Acc = typename Math::Acc;
+  const InnerProductParams& p = *layer.def.fc;
+  const RawParams& rp = raw_params_.at(layer.name());
+  const int f = fmt_.frac_bits();
+  const std::int64_t in_n = in0.shape.NumElements();
+  Acc* acc = arena_.Alloc<Acc>(static_cast<std::size_t>(p.num_output));
+  for (std::int64_t o = 0; o < p.num_output; ++o) {
+    const Acc bias =
+        rp.bias.empty()
+            ? Acc{0}
+            : Math::Bias(rp.bias[static_cast<std::size_t>(o)], f);
+    acc[o] = bias + math.Dot(rp.weights.data() + o * in_n, in0.raw,
+                             static_cast<std::size_t>(in_n));
+  }
+  math.Writeback(out.raw, acc, static_cast<std::size_t>(p.num_output),
+                 fmt_);
+}
+
+template <typename Math>
+void FunctionalSimulator::RunLrn(const Math& math, const IrLayer& layer,
+                                 const RawTensor& in0,
+                                 RawTensor& out) const {
+  using Acc = typename Math::Acc;
+  const LrnParams& p = *layer.def.lrn;
+  const ApproxLut& lut = LutFor(LutFunction::kLrnPow);
+  const std::int64_t half = p.local_size / 2;
+  const std::int64_t alpha_raw =
+      fmt_.Quantize(p.alpha / static_cast<double>(p.local_size));
+  const std::int64_t one_raw = fmt_.Quantize(1.0);
+  const std::int64_t h = out.shape.height;
+  const std::int64_t w = out.shape.width;
+  const std::int64_t plane = h * w;
+  for (std::int64_t c = 0; c < out.shape.channels; ++c) {
+    const std::int64_t c0 = std::max<std::int64_t>(c - half, 0);
+    const std::int64_t c1 =
+        std::min<std::int64_t>(c + half + 1, out.shape.channels);
+    for (std::int64_t i = 0; i < plane; ++i) {
+      Acc sum_sq = 0;
+      for (std::int64_t cc = c0; cc < c1; ++cc) {
+        const std::int64_t v = in0.raw[cc * plane + i];
+        sum_sq += Acc{v * v};
+      }
+      std::int32_t sum_raw = 0;
+      math.Writeback(&sum_raw, &sum_sq, 1, fmt_);
+      const std::int64_t scale_raw =
+          fmt_.Add(one_raw, fmt_.Mul(alpha_raw, sum_raw));
+      const std::int64_t pow_raw = lut.EvalRaw(scale_raw);
+      out.raw[c * plane + i] = static_cast<std::int32_t>(
+          fmt_.Mul(in0.raw[c * plane + i], pow_raw));
+    }
+  }
+}
+
+template <typename Math>
+void FunctionalSimulator::RunRecurrent(const Math& math,
+                                       const IrLayer& layer,
+                                       const RawTensor& in0,
+                                       RawTensor& out) const {
+  using Acc = typename Math::Acc;
+  const RecurrentParams& p = *layer.def.recurrent;
+  const RawParams& rp = raw_params_.at(layer.name());
+  const int f = fmt_.frac_bits();
+  const std::int64_t in_n = in0.shape.NumElements();
+  const std::size_t n_out = static_cast<std::size_t>(p.num_output);
+  std::int32_t* h = arena_.AllocZeroed<std::int32_t>(n_out);
+  std::int32_t* next = arena_.AllocZeroed<std::int32_t>(n_out);
+  const ApproxLut* act = nullptr;
+  if (p.activation == RecurrentActivation::kTanh)
+    act = &LutFor(LutFunction::kTanh);
+  else if (p.activation == RecurrentActivation::kSigmoid)
+    act = &LutFor(LutFunction::kSigmoid);
+  for (std::int64_t t = 0; t < p.time_steps; ++t) {
+    for (std::int64_t o = 0; o < p.num_output; ++o) {
+      Acc acc =
+          rp.bias.empty()
+              ? Acc{0}
+              : Math::Bias(rp.bias[static_cast<std::size_t>(o)], f);
+      acc += math.Dot(rp.weights.data() + o * in_n, in0.raw,
+                      static_cast<std::size_t>(in_n));
+      acc += math.Dot(rp.recurrent.data() + o * p.num_output, h, n_out);
+      std::int32_t v = 0;
+      math.Writeback(&v, &acc, 1, fmt_);
+      if (act != nullptr)
+        v = static_cast<std::int32_t>(act->EvalRaw(v));
+      next[static_cast<std::size_t>(o)] = v;
+    }
+    std::swap(h, next);
+  }
+  std::memcpy(out.raw, h, n_out * sizeof(std::int32_t));
+}
+
+template <typename Math>
+void FunctionalSimulator::RunLstm(const Math& math, const IrLayer& layer,
+                                  const RawTensor& in0,
+                                  RawTensor& out) const {
+  using Acc = typename Math::Acc;
+  const LstmParams& p = *layer.def.lstm;
+  const RawParams& rp = raw_params_.at(layer.name());
+  const int f = fmt_.frac_bits();
+  const std::int64_t in_n = in0.shape.NumElements();
+  const std::int64_t h = p.num_output;
+  const std::size_t n_h = static_cast<std::size_t>(h);
+  const ApproxLut& sig = LutFor(LutFunction::kSigmoid);
+  const ApproxLut& tanh_lut = LutFor(LutFunction::kTanh);
+  std::int32_t* hidden = arena_.AllocZeroed<std::int32_t>(n_h);
+  std::int32_t* cell = arena_.AllocZeroed<std::int32_t>(n_h);
+  std::int32_t* gates = arena_.AllocZeroed<std::int32_t>(4 * n_h);
+  for (std::int64_t t = 0; t < p.time_steps; ++t) {
+    for (std::int64_t g = 0; g < 4 * h; ++g) {
+      Acc acc =
+          rp.bias.empty()
+              ? Acc{0}
+              : Math::Bias(rp.bias[static_cast<std::size_t>(g)], f);
+      acc += math.Dot(rp.weights.data() + g * in_n, in0.raw,
+                      static_cast<std::size_t>(in_n));
+      acc += math.Dot(rp.recurrent.data() + g * h, hidden, n_h);
+      math.Writeback(&gates[static_cast<std::size_t>(g)], &acc, 1, fmt_);
+    }
+    // The elementwise gate combination is a chain of saturating Mul/Add
+    // in a fixed order — kept scalar on purpose.
+    for (std::int64_t j = 0; j < h; ++j) {
+      const std::int64_t gi =
+          sig.EvalRaw(gates[static_cast<std::size_t>(j)]);
+      const std::int64_t gf =
+          sig.EvalRaw(gates[static_cast<std::size_t>(h + j)]);
+      const std::int64_t gc =
+          tanh_lut.EvalRaw(gates[static_cast<std::size_t>(2 * h + j)]);
+      const std::int64_t go =
+          sig.EvalRaw(gates[static_cast<std::size_t>(3 * h + j)]);
+      cell[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(
+          fmt_.Add(fmt_.Mul(gf, cell[static_cast<std::size_t>(j)]),
+                   fmt_.Mul(gi, gc)));
+      hidden[static_cast<std::size_t>(j)] =
+          static_cast<std::int32_t>(fmt_.Mul(
+              go,
+              tanh_lut.EvalRaw(cell[static_cast<std::size_t>(j)])));
+    }
+  }
+  std::memcpy(out.raw, hidden, n_h * sizeof(std::int32_t));
+}
+
+// ---------------------------------------------------------------------
+// Non-MAC layers
+// ---------------------------------------------------------------------
+
+void FunctionalSimulator::RunPooling(const IrLayer& layer,
+                                     const RawTensor& in0,
+                                     RawTensor& out) const {
+  const sim::KernelOps& ops = sim::ActiveKernels();
+  const PoolingParams& p = *layer.def.pool;
+  const std::int64_t window = p.kernel_size * p.kernel_size;
+  const bool pow2_window = IsPow2(window);
+  const int shift =
+      pow2_window ? static_cast<int>(std::llround(
+                        std::log2(static_cast<double>(window))))
+                  : 0;
+  const std::int64_t recip_raw =
+      pow2_window ? 0 : fmt_.Quantize(1.0 / static_cast<double>(window));
+  const std::int64_t in_h = in0.shape.height;
+  const std::int64_t in_w = in0.shape.width;
+  const std::int64_t out_h = out.shape.height;
+  const std::int64_t out_w = out.shape.width;
+  const std::int32_t raw_min = static_cast<std::int32_t>(fmt_.raw_min());
+  for (std::int64_t c = 0; c < out.shape.channels; ++c) {
+    const std::int32_t* in_plane = in0.raw + c * in_h * in_w;
+    std::int32_t* out_plane = out.raw + c * out_h * out_w;
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      for (std::int64_t x = 0; x < out_w; ++x) {
+        const std::int64_t y0 =
+            std::max<std::int64_t>(y * p.stride - p.pad, 0);
+        const std::int64_t x0 =
+            std::max<std::int64_t>(x * p.stride - p.pad, 0);
+        const std::int64_t y1 =
+            std::min(y * p.stride - p.pad + p.kernel_size, in_h);
+        const std::int64_t x1 =
+            std::min(x * p.stride - p.pad + p.kernel_size, in_w);
+        if (p.method == PoolMethod::kMax) {
+          std::int32_t best = raw_min;
+          for (std::int64_t iy = y0; iy < y1; ++iy)
+            best = ops.max_value(in_plane + iy * in_w + x0,
+                                 static_cast<std::size_t>(x1 - x0), best);
+          out_plane[y * out_w + x] = best;
+        } else {
+          // Window sums of raw values always fit int64.
+          std::int64_t sum = 0;
+          for (std::int64_t iy = y0; iy < y1; ++iy)
+            for (std::int64_t ix = x0; ix < x1; ++ix)
+              sum += in_plane[iy * in_w + ix];
+          // Average via the connection box's shifting latch when the
+          // window is a power of two; otherwise multiply by the
+          // quantised reciprocal.
+          out_plane[y * out_w + x] = static_cast<std::int32_t>(
+              pow2_window ? fmt_.Saturate(sum >> shift)
+                          : fmt_.Mul(fmt_.Saturate(sum), recip_raw));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void FunctionalSimulator::RunLayer(const IrLayer& layer,
+                                   const RawTensor* const* ins,
+                                   std::size_t num_ins,
+                                   RawTensor& out) const {
+  out.shape = layer.output_shape;
+  out.n = static_cast<std::size_t>(out.shape.NumElements());
+  out.raw = arena_.Alloc<std::int32_t>(out.n);
+  DB_CHECK(num_ins >= 1);
+  const RawTensor& in0 = *ins[0];
+  const sim::KernelOps& ops = sim::ActiveKernels();
+  const NarrowMath narrow{ops};
+  const WideMath wide;
 
   switch (layer.kind()) {
-    case LayerKind::kConvolution: {
-      const ConvolutionParams& p = *layer.def.conv;
-      const RawParams& rp = raw_params_.at(layer.name());
-      const std::int64_t in_c = in0.shape.channels;
-      const std::int64_t in_h = in0.shape.height;
-      const std::int64_t in_w = in0.shape.width;
-      const std::int64_t k = p.kernel_size;
-      const std::int64_t group_in = in_c / p.group;
-      const std::int64_t group_out = out.shape.channels / p.group;
-      for (std::int64_t oc = 0; oc < out.shape.channels; ++oc) {
-        const std::int64_t ic_base = (oc / group_out) * group_in;
-        for (std::int64_t y = 0; y < out.shape.height; ++y) {
-          for (std::int64_t x = 0; x < out.shape.width; ++x) {
-            __int128 acc = 0;
-            if (!rp.bias.empty())
-              acc = static_cast<__int128>(
-                        rp.bias[static_cast<std::size_t>(oc)])
-                    << f;
-            for (std::int64_t g = 0; g < group_in; ++g) {
-              const std::int64_t ic = ic_base + g;
-              for (std::int64_t ky = 0; ky < k; ++ky) {
-                const std::int64_t iy = y * p.stride + ky - p.pad;
-                if (iy < 0 || iy >= in_h) continue;
-                for (std::int64_t kx = 0; kx < k; ++kx) {
-                  const std::int64_t ix = x * p.stride + kx - p.pad;
-                  if (ix < 0 || ix >= in_w) continue;
-                  const std::int64_t wv = rp.weights[static_cast<
-                      std::size_t>(((oc * group_in + g) * k + ky) * k +
-                                   kx)];
-                  acc += static_cast<__int128>(in_at(in0, ic, iy, ix)) * wv;
-                }
-              }
-            }
-            out_ref(oc, y, x) = WritebackAcc(fmt_, acc);
-          }
-        }
-      }
+    case LayerKind::kConvolution:
+      narrow_ ? RunConv(narrow, layer, in0, out)
+              : RunConv(wide, layer, in0, out);
       break;
-    }
-    case LayerKind::kInnerProduct: {
-      const InnerProductParams& p = *layer.def.fc;
-      const RawParams& rp = raw_params_.at(layer.name());
-      const std::int64_t in_n = in0.shape.NumElements();
-      for (std::int64_t o = 0; o < p.num_output; ++o) {
-        __int128 acc = 0;
-        if (!rp.bias.empty())
-          acc = static_cast<__int128>(rp.bias[static_cast<std::size_t>(o)])
-                << f;
-        for (std::int64_t i = 0; i < in_n; ++i)
-          acc += static_cast<__int128>(
-                     rp.weights[static_cast<std::size_t>(o * in_n + i)]) *
-                 in0.raw[static_cast<std::size_t>(i)];
-        out.raw[static_cast<std::size_t>(o)] = WritebackAcc(fmt_, acc);
-      }
+    case LayerKind::kInnerProduct:
+      narrow_ ? RunInnerProduct(narrow, layer, in0, out)
+              : RunInnerProduct(wide, layer, in0, out);
       break;
-    }
-    case LayerKind::kPooling: {
-      const PoolingParams& p = *layer.def.pool;
-      const std::int64_t window = p.kernel_size * p.kernel_size;
-      const bool pow2_window = IsPow2(window);
-      const int shift = pow2_window
-                            ? static_cast<int>(std::llround(
-                                  std::log2(static_cast<double>(window))))
-                            : 0;
-      const std::int64_t recip_raw =
-          pow2_window ? 0
-                      : fmt_.Quantize(1.0 / static_cast<double>(window));
-      for (std::int64_t c = 0; c < out.shape.channels; ++c) {
-        for (std::int64_t y = 0; y < out.shape.height; ++y) {
-          for (std::int64_t x = 0; x < out.shape.width; ++x) {
-            const std::int64_t y0 =
-                std::max<std::int64_t>(y * p.stride - p.pad, 0);
-            const std::int64_t x0 =
-                std::max<std::int64_t>(x * p.stride - p.pad, 0);
-            const std::int64_t y1 = std::min(
-                y * p.stride - p.pad + p.kernel_size, in0.shape.height);
-            const std::int64_t x1 = std::min(
-                x * p.stride - p.pad + p.kernel_size, in0.shape.width);
-            if (p.method == PoolMethod::kMax) {
-              std::int64_t best = fmt_.raw_min();
-              for (std::int64_t iy = y0; iy < y1; ++iy)
-                for (std::int64_t ix = x0; ix < x1; ++ix)
-                  best = std::max(best, in_at(in0, c, iy, ix));
-              out_ref(c, y, x) = best;
-            } else {
-              std::int64_t sum = 0;
-              for (std::int64_t iy = y0; iy < y1; ++iy)
-                for (std::int64_t ix = x0; ix < x1; ++ix)
-                  sum += in_at(in0, c, iy, ix);
-              // Average via the connection box's shifting latch when the
-              // window is a power of two; otherwise multiply by the
-              // quantised reciprocal.
-              out_ref(c, y, x) =
-                  pow2_window ? fmt_.Saturate(sum >> shift)
-                              : fmt_.Mul(fmt_.Saturate(sum), recip_raw);
-            }
-          }
-        }
-      }
+    case LayerKind::kPooling:
+      RunPooling(layer, in0, out);
       break;
-    }
     case LayerKind::kRelu:
-      for (std::size_t i = 0; i < in0.raw.size(); ++i)
-        out.raw[i] = std::max<std::int64_t>(in0.raw[i], 0);
+      ops.relu(out.raw, in0.raw, in0.n);
       break;
     case LayerKind::kSigmoid: {
       const ApproxLut& lut = LutFor(LutFunction::kSigmoid);
-      for (std::size_t i = 0; i < in0.raw.size(); ++i)
-        out.raw[i] = lut.EvalRaw(in0.raw[i]);
+      for (std::size_t i = 0; i < in0.n; ++i)
+        out.raw[i] = static_cast<std::int32_t>(lut.EvalRaw(in0.raw[i]));
       break;
     }
     case LayerKind::kTanh: {
       const ApproxLut& lut = LutFor(LutFunction::kTanh);
-      for (std::size_t i = 0; i < in0.raw.size(); ++i)
-        out.raw[i] = lut.EvalRaw(in0.raw[i]);
+      for (std::size_t i = 0; i < in0.n; ++i)
+        out.raw[i] = static_cast<std::int32_t>(lut.EvalRaw(in0.raw[i]));
       break;
     }
-    case LayerKind::kLrn: {
-      const LrnParams& p = *layer.def.lrn;
-      const ApproxLut& lut = LutFor(LutFunction::kLrnPow);
-      const std::int64_t half = p.local_size / 2;
-      const std::int64_t alpha_raw = fmt_.Quantize(
-          p.alpha / static_cast<double>(p.local_size));
-      const std::int64_t one_raw = fmt_.Quantize(1.0);
-      for (std::int64_t c = 0; c < out.shape.channels; ++c) {
-        const std::int64_t c0 = std::max<std::int64_t>(c - half, 0);
-        const std::int64_t c1 =
-            std::min<std::int64_t>(c + half + 1, out.shape.channels);
-        for (std::int64_t y = 0; y < out.shape.height; ++y) {
-          for (std::int64_t x = 0; x < out.shape.width; ++x) {
-            __int128 sum_sq = 0;
-            for (std::int64_t cc = c0; cc < c1; ++cc) {
-              const std::int64_t v = in_at(in0, cc, y, x);
-              sum_sq += static_cast<__int128>(v) * v;
-            }
-            const std::int64_t sum_raw =
-                WritebackAcc(fmt_, sum_sq);
-            const std::int64_t scale_raw =
-                fmt_.Add(one_raw, fmt_.Mul(alpha_raw, sum_raw));
-            const std::int64_t pow_raw = lut.EvalRaw(scale_raw);
-            out_ref(c, y, x) = fmt_.Mul(in_at(in0, c, y, x), pow_raw);
-          }
-        }
-      }
+    case LayerKind::kLrn:
+      narrow_ ? RunLrn(narrow, layer, in0, out)
+              : RunLrn(wide, layer, in0, out);
       break;
-    }
     case LayerKind::kSoftmax: {
       const ApproxLut& exp_lut = LutFor(LutFunction::kExp);
       const ApproxLut& recip_lut = LutFor(LutFunction::kRecip);
-      std::int64_t max_raw = fmt_.raw_min();
-      for (std::int64_t v : in0.raw) max_raw = std::max(max_raw, v);
+      const std::int32_t max_raw =
+          ops.max_value(in0.raw, in0.n,
+                        static_cast<std::int32_t>(fmt_.raw_min()));
       std::int64_t sum = 0;
-      for (std::size_t i = 0; i < in0.raw.size(); ++i) {
-        out.raw[i] = exp_lut.EvalRaw(fmt_.Saturate(in0.raw[i] - max_raw));
+      for (std::size_t i = 0; i < in0.n; ++i) {
+        out.raw[i] = static_cast<std::int32_t>(
+            exp_lut.EvalRaw(fmt_.Saturate(
+                static_cast<std::int64_t>(in0.raw[i]) - max_raw)));
         sum += out.raw[i];
       }
       const std::int64_t recip = recip_lut.EvalRaw(fmt_.Saturate(sum));
-      for (std::size_t i = 0; i < out.raw.size(); ++i)
-        out.raw[i] = fmt_.Mul(out.raw[i], recip);
+      for (std::size_t i = 0; i < out.n; ++i)
+        out.raw[i] =
+            static_cast<std::int32_t>(fmt_.Mul(out.raw[i], recip));
       break;
     }
     case LayerKind::kDropout:
-      out.raw = in0.raw;  // inference: inverted dropout is identity
+      // Inference: inverted dropout is identity.
+      std::memcpy(out.raw, in0.raw, in0.n * sizeof(std::int32_t));
       break;
-    case LayerKind::kRecurrent: {
-      const RecurrentParams& p = *layer.def.recurrent;
-      const RawParams& rp = raw_params_.at(layer.name());
-      const std::int64_t in_n = in0.shape.NumElements();
-      std::vector<std::int64_t> h(static_cast<std::size_t>(p.num_output),
-                                  0);
-      std::vector<std::int64_t> next(h.size(), 0);
-      const ApproxLut* act = nullptr;
-      if (p.activation == RecurrentActivation::kTanh)
-        act = &LutFor(LutFunction::kTanh);
-      else if (p.activation == RecurrentActivation::kSigmoid)
-        act = &LutFor(LutFunction::kSigmoid);
-      for (std::int64_t t = 0; t < p.time_steps; ++t) {
-        for (std::int64_t o = 0; o < p.num_output; ++o) {
-          __int128 acc = 0;
-          if (!rp.bias.empty())
-            acc = static_cast<__int128>(
-                      rp.bias[static_cast<std::size_t>(o)])
-                  << f;
-          for (std::int64_t i = 0; i < in_n; ++i)
-            acc += static_cast<__int128>(
-                       rp.weights[static_cast<std::size_t>(o * in_n + i)]) *
-                   in0.raw[static_cast<std::size_t>(i)];
-          for (std::int64_t j = 0; j < p.num_output; ++j)
-            acc += static_cast<__int128>(
-                       rp.recurrent[static_cast<std::size_t>(
-                           o * p.num_output + j)]) *
-                   h[static_cast<std::size_t>(j)];
-          std::int64_t v = WritebackAcc(fmt_, acc);
-          if (act != nullptr) v = act->EvalRaw(v);
-          next[static_cast<std::size_t>(o)] = v;
-        }
-        h.swap(next);
-      }
-      for (std::size_t i = 0; i < h.size(); ++i) out.raw[i] = h[i];
+    case LayerKind::kRecurrent:
+      narrow_ ? RunRecurrent(narrow, layer, in0, out)
+              : RunRecurrent(wide, layer, in0, out);
       break;
-    }
-    case LayerKind::kLstm: {
-      const LstmParams& p = *layer.def.lstm;
-      const RawParams& rp = raw_params_.at(layer.name());
-      const std::int64_t in_n = in0.shape.NumElements();
-      const std::int64_t h = p.num_output;
-      const ApproxLut& sig = LutFor(LutFunction::kSigmoid);
-      const ApproxLut& tanh_lut = LutFor(LutFunction::kTanh);
-      std::vector<std::int64_t> hidden(static_cast<std::size_t>(h), 0);
-      std::vector<std::int64_t> cell(static_cast<std::size_t>(h), 0);
-      std::vector<std::int64_t> gates(static_cast<std::size_t>(4 * h), 0);
-      for (std::int64_t t = 0; t < p.time_steps; ++t) {
-        for (std::int64_t g = 0; g < 4 * h; ++g) {
-          __int128 acc = 0;
-          if (!rp.bias.empty())
-            acc = static_cast<__int128>(
-                      rp.bias[static_cast<std::size_t>(g)])
-                  << f;
-          for (std::int64_t i = 0; i < in_n; ++i)
-            acc += static_cast<__int128>(
-                       rp.weights[static_cast<std::size_t>(g * in_n + i)]) *
-                   in0.raw[static_cast<std::size_t>(i)];
-          for (std::int64_t j = 0; j < h; ++j)
-            acc += static_cast<__int128>(
-                       rp.recurrent[static_cast<std::size_t>(g * h + j)]) *
-                   hidden[static_cast<std::size_t>(j)];
-          gates[static_cast<std::size_t>(g)] = WritebackAcc(fmt_, acc);
-        }
-        for (std::int64_t j = 0; j < h; ++j) {
-          const std::int64_t gi =
-              sig.EvalRaw(gates[static_cast<std::size_t>(j)]);
-          const std::int64_t gf =
-              sig.EvalRaw(gates[static_cast<std::size_t>(h + j)]);
-          const std::int64_t gc =
-              tanh_lut.EvalRaw(gates[static_cast<std::size_t>(2 * h + j)]);
-          const std::int64_t go =
-              sig.EvalRaw(gates[static_cast<std::size_t>(3 * h + j)]);
-          cell[static_cast<std::size_t>(j)] = fmt_.Add(
-              fmt_.Mul(gf, cell[static_cast<std::size_t>(j)]),
-              fmt_.Mul(gi, gc));
-          hidden[static_cast<std::size_t>(j)] = fmt_.Mul(
-              go, tanh_lut.EvalRaw(cell[static_cast<std::size_t>(j)]));
-        }
-      }
-      for (std::size_t j = 0; j < hidden.size(); ++j)
-        out.raw[j] = hidden[j];
+    case LayerKind::kLstm:
+      narrow_ ? RunLstm(narrow, layer, in0, out)
+              : RunLstm(wide, layer, in0, out);
       break;
-    }
     case LayerKind::kAssociative: {
+      // CMAC: the per-output sum over active cells is a chain of
+      // SATURATING adds in cell order — order-sensitive, kept scalar.
       const AssociativeParams& p = *layer.def.associative;
       const RawParams& rp = raw_params_.at(layer.name());
       std::vector<float> x;
-      x.reserve(in0.raw.size());
-      for (std::int64_t v : in0.raw)
-        x.push_back(static_cast<float>(fmt_.Dequantize(v)));
+      x.reserve(in0.n);
+      for (std::size_t i = 0; i < in0.n; ++i)
+        x.push_back(static_cast<float>(fmt_.Dequantize(in0.raw[i])));
       const std::vector<std::int64_t> cells = CmacActiveCells(x, p);
       for (std::int64_t o = 0; o < p.num_output; ++o) {
         std::int64_t acc = 0;
         for (std::int64_t cell : cells)
           acc = fmt_.Add(acc, rp.weights[static_cast<std::size_t>(
                                   o * p.num_cells + cell)]);
-        out.raw[static_cast<std::size_t>(o)] = acc;
+        out.raw[static_cast<std::size_t>(o)] =
+            static_cast<std::int32_t>(acc);
       }
       break;
     }
     case LayerKind::kConcat: {
       std::size_t pos = 0;
-      for (const RawTensor* t : ins)
-        for (std::int64_t v : t->raw) out.raw[pos++] = v;
-      DB_CHECK(pos == out.raw.size());
+      for (std::size_t i = 0; i < num_ins; ++i) {
+        std::memcpy(out.raw + pos, ins[i]->raw,
+                    ins[i]->n * sizeof(std::int32_t));
+        pos += ins[i]->n;
+      }
+      DB_CHECK(pos == out.n);
       break;
     }
     case LayerKind::kClassifier: {
       const ClassifierParams& p = *layer.def.classifier;
-      std::vector<std::int64_t> order(in0.raw.size());
+      std::fill(out.raw, out.raw + out.n, 0);
+      std::vector<std::int64_t> order(in0.n);
       for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = static_cast<std::int64_t>(i);
       const std::int64_t k = std::min<std::int64_t>(
-          p.top_k, static_cast<std::int64_t>(in0.raw.size()));
+          p.top_k, static_cast<std::int64_t>(in0.n));
       std::partial_sort(
           order.begin(), order.begin() + k, order.end(),
           [&](std::int64_t a, std::int64_t b) {
-            const std::int64_t va = in0.raw[static_cast<std::size_t>(a)];
-            const std::int64_t vb = in0.raw[static_cast<std::size_t>(b)];
+            const std::int32_t va = in0.raw[static_cast<std::size_t>(a)];
+            const std::int32_t vb = in0.raw[static_cast<std::size_t>(b)];
             if (va != vb) return va > vb;
             return a < b;
           });
       for (std::int64_t i = 0; i < k; ++i)
         out.raw[static_cast<std::size_t>(i)] =
-            fmt_.Quantize(static_cast<double>(order[
-                static_cast<std::size_t>(i)]));
+            static_cast<std::int32_t>(fmt_.Quantize(static_cast<double>(
+                order[static_cast<std::size_t>(i)])));
       break;
     }
     case LayerKind::kInput:
       DB_THROW("input layer reached RunLayer");
   }
-  return out;
 }
 
-std::map<std::string, Tensor> FunctionalSimulator::Run(
-    const std::map<std::string, Tensor>& inputs) const {
-  std::vector<RawTensor> by_id(net_.layers().size());
-  std::map<std::string, Tensor> result;
+// ---------------------------------------------------------------------
+// Graph execution
+// ---------------------------------------------------------------------
+
+FunctionalSimulator::RawTensor FunctionalSimulator::QuantizeInput(
+    const Tensor& t, const BlobShape& shape) const {
+  RawTensor rt;
+  rt.shape = shape;
+  rt.n = static_cast<std::size_t>(shape.NumElements());
+  rt.raw = arena_.Alloc<std::int32_t>(rt.n);
+  const std::vector<float>& v = t.storage();
+  DB_CHECK(v.size() == rt.n);
+  for (std::size_t i = 0; i < rt.n; ++i)
+    rt.raw[i] = static_cast<std::int32_t>(
+        fmt_.Quantize(static_cast<double>(v[i])));
+  return rt;
+}
+
+Tensor FunctionalSimulator::Dequantize(const RawTensor& rt) const {
+  Tensor t(Shape{rt.shape.channels, rt.shape.height, rt.shape.width});
+  for (std::int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(
+        fmt_.Dequantize(rt.raw[static_cast<std::size_t>(i)]));
+  return t;
+}
+
+const FunctionalSimulator::RawTensor* FunctionalSimulator::RunGraph(
+    const std::map<std::string, const Tensor*>& inputs) const {
+  arena_.Reset();
+  const std::size_t n_layers = net_.layers().size();
+  RawTensor* by_id = arena_.AllocZeroed<RawTensor>(n_layers);
   for (const IrLayer& layer : net_.layers()) {
     const std::size_t id = static_cast<std::size_t>(layer.id);
     if (layer.kind() == LayerKind::kInput) {
       const auto it = inputs.find(layer.name());
       if (it == inputs.end())
         DB_THROW("missing input '" << layer.name() << "'");
-      RawTensor rt;
-      rt.shape = layer.output_shape;
-      rt.raw = QuantizeVector(fmt_, it->second.storage());
-      by_id[id] = std::move(rt);
+      by_id[id] = QuantizeInput(*it->second, layer.output_shape);
       continue;
     }
-    std::vector<const RawTensor*> ins;
-    for (int in_id : layer.input_ids)
-      ins.push_back(&by_id[static_cast<std::size_t>(in_id)]);
-    by_id[id] = RunLayer(layer, ins);
+    const std::size_t num_ins = layer.input_ids.size();
+    const RawTensor** ins =
+        arena_.Alloc<const RawTensor*>(num_ins == 0 ? 1 : num_ins);
+    for (std::size_t i = 0; i < num_ins; ++i)
+      ins[i] = &by_id[static_cast<std::size_t>(layer.input_ids[i])];
+    RunLayer(layer, ins, num_ins, by_id[id]);
   }
+  return by_id;
+}
+
+std::map<std::string, Tensor> FunctionalSimulator::Run(
+    const std::map<std::string, Tensor>& inputs) const {
+  std::map<std::string, const Tensor*> in_ptrs;
+  for (const auto& [name, t] : inputs) in_ptrs.emplace(name, &t);
+  const RawTensor* by_id = RunGraph(in_ptrs);
   const IrLayer& out_layer = net_.OutputLayer();
-  const RawTensor& out = by_id[static_cast<std::size_t>(out_layer.id)];
-  Tensor t(Shape{out.shape.channels, out.shape.height, out.shape.width});
-  for (std::int64_t i = 0; i < t.size(); ++i)
-    t[i] = static_cast<float>(
-        fmt_.Dequantize(out.raw[static_cast<std::size_t>(i)]));
-  result[out_layer.name()] = std::move(t);
+  std::map<std::string, Tensor> result;
+  result[out_layer.name()] =
+      Dequantize(by_id[static_cast<std::size_t>(out_layer.id)]);
   return result;
 }
 
@@ -406,30 +674,12 @@ std::map<std::string, Tensor> FunctionalSimulator::RunAll(
   DB_CHECK_MSG(net_.input_ids().size() == 1,
                "RunAll requires a single-input network");
   const IrLayer& in_layer = net_.layer(net_.input_ids().front());
-
-  std::vector<RawTensor> by_id(net_.layers().size());
+  const RawTensor* by_id =
+      RunGraph({{in_layer.name(), &input}});
   std::map<std::string, Tensor> acts;
-  for (const IrLayer& layer : net_.layers()) {
-    const std::size_t id = static_cast<std::size_t>(layer.id);
-    if (layer.kind() == LayerKind::kInput) {
-      RawTensor rt;
-      rt.shape = layer.output_shape;
-      DB_CHECK_MSG(layer.name() == in_layer.name(), "input mismatch");
-      rt.raw = QuantizeVector(fmt_, input.storage());
-      by_id[id] = std::move(rt);
-    } else {
-      std::vector<const RawTensor*> ins;
-      for (int in_id : layer.input_ids)
-        ins.push_back(&by_id[static_cast<std::size_t>(in_id)]);
-      by_id[id] = RunLayer(layer, ins);
-    }
-    const RawTensor& rt = by_id[id];
-    Tensor t(Shape{rt.shape.channels, rt.shape.height, rt.shape.width});
-    for (std::int64_t i = 0; i < t.size(); ++i)
-      t[i] = static_cast<float>(
-          fmt_.Dequantize(rt.raw[static_cast<std::size_t>(i)]));
-    acts[layer.name()] = std::move(t);
-  }
+  for (const IrLayer& layer : net_.layers())
+    acts[layer.name()] =
+        Dequantize(by_id[static_cast<std::size_t>(layer.id)]);
   return acts;
 }
 

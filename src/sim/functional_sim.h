@@ -3,9 +3,23 @@
 // Executes a network's forward propagation with exactly the arithmetic
 // the generated datapath performs: operands quantised to the design's
 // fixed-point format, full-precision MAC accumulation with saturating
-// writeback, Approx-LUT activation/softmax/LRN evaluation (including the
-// super-linear interpolation), and shift-based average pooling.  Fig. 10
-// compares this simulator's outputs against the float reference executor.
+// round-half-away-from-zero writeback, Approx-LUT activation/softmax/LRN
+// evaluation (including the super-linear interpolation), and shift-based
+// average pooling.  Fig. 10 compares this simulator's outputs against
+// the float reference executor.
+//
+// Hot-path layout: layer state is structure-of-arrays — int32 raw
+// activations in a per-simulator arena, int64 accumulators — and the
+// dense MAC/activation sweeps run on the sim/kernels.h backend (AVX2
+// when the host has it, bit-identical scalar otherwise).  Formats too
+// wide for provably-overflow-free int64 accumulation fall back to an
+// __int128 scalar path with identical rounding.
+//
+// Threading contract: a FunctionalSimulator owns one scratch arena, so
+// concurrent Run() calls on the SAME instance are not supported.  Every
+// serving replica owns a private SystemContext (and therefore a private
+// simulator) driven by one lane thread, which satisfies this by
+// construction.
 #pragma once
 
 #include <map>
@@ -13,6 +27,7 @@
 
 #include "core/generator.h"
 #include "nn/weights.h"
+#include "sim/kernels.h"
 
 namespace db {
 
@@ -42,27 +57,64 @@ class FunctionalSimulator {
   /// The Approx LUT generated for `fn` (throws if the design has none).
   const ApproxLut& LutFor(LutFunction fn) const;
 
+  /// True when this design's accumulations run on the int64 SoA kernel
+  /// backend; false means the format is wide enough to need the
+  /// __int128 scalar fallback (exposed for tests/benches).
+  bool uses_kernel_backend() const { return narrow_; }
+
  private:
+  /// One layer's raw activations: an arena-backed int32 span.
   struct RawTensor {
     BlobShape shape;
-    std::vector<std::int64_t> raw;
+    std::int32_t* raw = nullptr;
+    std::size_t n = 0;
   };
 
-  RawTensor RunLayer(const IrLayer& layer,
-                     const std::vector<const RawTensor*>& ins) const;
+  void RunLayer(const IrLayer& layer, const RawTensor* const* ins,
+                std::size_t num_ins, RawTensor& out) const;
+  /// Execute all layers; returns the arena-backed per-layer tensors,
+  /// indexed by layer id.  `inputs` keys input-layer names.
+  const RawTensor* RunGraph(
+      const std::map<std::string, const Tensor*>& inputs) const;
+  RawTensor QuantizeInput(const Tensor& t, const BlobShape& shape) const;
+  Tensor Dequantize(const RawTensor& t) const;
+
+  template <typename Math>
+  void RunConv(const Math& math, const IrLayer& layer,
+               const RawTensor& in0, RawTensor& out) const;
+  template <typename Math>
+  void RunInnerProduct(const Math& math, const IrLayer& layer,
+                       const RawTensor& in0, RawTensor& out) const;
+  template <typename Math>
+  void RunLrn(const Math& math, const IrLayer& layer, const RawTensor& in0,
+              RawTensor& out) const;
+  template <typename Math>
+  void RunRecurrent(const Math& math, const IrLayer& layer,
+                    const RawTensor& in0, RawTensor& out) const;
+  template <typename Math>
+  void RunLstm(const Math& math, const IrLayer& layer, const RawTensor& in0,
+               RawTensor& out) const;
+  void RunPooling(const IrLayer& layer, const RawTensor& in0,
+                  RawTensor& out) const;
 
   const Network& net_;
   const AcceleratorDesign& design_;
   const WeightStore& weights_;
   FixedFormat fmt_;
-  // Quantised parameters per layer, stored raw.
+  // Quantised parameters per layer, stored raw (SoA int32).
   struct RawParams {
-    std::vector<std::int64_t> weights;
-    std::vector<std::int64_t> bias;
-    std::vector<std::int64_t> recurrent;
+    std::vector<std::int32_t> weights;
+    std::vector<std::int32_t> bias;
+    std::vector<std::int32_t> recurrent;
   };
   std::map<std::string, RawParams> raw_params_;
   std::vector<ApproxLut> luts_;
+  /// int64 accumulation provably never overflows for this design
+  /// (format width x deepest fan-in) — the kernel fast path.
+  bool narrow_ = true;
+  /// Per-run scratch, recycled across invocations (see class comment
+  /// for the single-thread contract).
+  mutable sim::SimArena arena_;
 };
 
 }  // namespace db

@@ -1,0 +1,233 @@
+#include "sim/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace db::sim {
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------
+
+namespace {
+
+void ScalarMacRow(std::int64_t* acc, const std::int32_t* in,
+                  std::int32_t w, std::size_t n) {
+  const std::int64_t w64 = w;
+  for (std::size_t i = 0; i < n; ++i) acc[i] += w64 * in[i];
+}
+
+std::int64_t ScalarDot(const std::int32_t* a, const std::int32_t* b,
+                       std::size_t n) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += static_cast<std::int64_t>(a[i]) * b[i];
+  return sum;
+}
+
+std::int64_t ScalarDotRows(const std::int32_t* a, std::ptrdiff_t a_stride,
+                           const std::int32_t* b, std::ptrdiff_t b_stride,
+                           std::size_t rows, std::size_t n) {
+  std::int64_t sum = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int32_t* pa = a + static_cast<std::ptrdiff_t>(r) * a_stride;
+    const std::int32_t* pb = b + static_cast<std::ptrdiff_t>(r) * b_stride;
+    for (std::size_t i = 0; i < n; ++i)
+      sum += static_cast<std::int64_t>(pa[i]) * pb[i];
+  }
+  return sum;
+}
+
+void ScalarWriteback(std::int32_t* out, const std::int64_t* acc,
+                     std::size_t n, int frac_bits, std::int32_t raw_min,
+                     std::int32_t raw_max) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t v = RoundShiftHalfAway(acc[i], frac_bits);
+    if (v > raw_max) v = raw_max;
+    if (v < raw_min) v = raw_min;
+    out[i] = static_cast<std::int32_t>(v);
+  }
+}
+
+void ScalarRelu(std::int32_t* out, const std::int32_t* in, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0 ? in[i] : 0;
+}
+
+std::int32_t ScalarMaxValue(const std::int32_t* in, std::size_t n,
+                            std::int32_t init) {
+  std::int32_t best = init;
+  for (std::size_t i = 0; i < n; ++i)
+    if (in[i] > best) best = in[i];
+  return best;
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",        ScalarMacRow, ScalarDot, ScalarDotRows,
+    ScalarWriteback, ScalarRelu,   ScalarMaxValue,
+};
+
+}  // namespace
+
+const KernelOps& ScalarKernels() { return kScalarOps; }
+
+// ---------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------
+
+#if defined(DB_HAVE_AVX2_KERNELS)
+namespace detail {
+// Defined in kernels_avx2.cpp (compiled with -mavx2).
+const KernelOps& Avx2KernelsImpl();
+}  // namespace detail
+#endif
+
+bool Avx2Available() {
+#if defined(DB_HAVE_AVX2_KERNELS) && defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelOps& Avx2Kernels() {
+#if defined(DB_HAVE_AVX2_KERNELS)
+  if (Avx2Available()) return detail::Avx2KernelsImpl();
+#endif
+  DB_THROW("AVX2 kernels are not available on this host");
+}
+
+std::string KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto: return "auto";
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+KernelBackend ParseBackend(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "auto") return KernelBackend::kAuto;
+  if (n == "scalar") return KernelBackend::kScalar;
+  if (n == "avx2") return KernelBackend::kAvx2;
+  DB_THROW("unknown kernel backend '" << name
+           << "' (want auto, scalar or avx2)");
+}
+
+/// The initial request: DB_SIM_KERNEL env var, else auto.
+KernelBackend InitialBackend() {
+  const char* env = std::getenv("DB_SIM_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelBackend::kAuto;
+  return ParseBackend(env);
+}
+
+std::atomic<KernelBackend>& RequestedBackend() {
+  static std::atomic<KernelBackend> requested{InitialBackend()};
+  return requested;
+}
+
+}  // namespace
+
+void SetKernelBackend(KernelBackend backend) {
+  if (backend == KernelBackend::kAvx2 && !Avx2Available())
+    DB_THROW("cannot select the avx2 kernel backend: "
+             "not available on this host");
+  RequestedBackend().store(backend, std::memory_order_relaxed);
+}
+
+KernelBackend ActiveKernelBackend() {
+  const KernelBackend requested =
+      RequestedBackend().load(std::memory_order_relaxed);
+  if (requested == KernelBackend::kScalar) return KernelBackend::kScalar;
+  if (requested == KernelBackend::kAvx2) return KernelBackend::kAvx2;
+  return Avx2Available() ? KernelBackend::kAvx2 : KernelBackend::kScalar;
+}
+
+const KernelOps& ActiveKernels() {
+  return ActiveKernelBackend() == KernelBackend::kAvx2 ? Avx2Kernels()
+                                                       : ScalarKernels();
+}
+
+// ---------------------------------------------------------------------
+// SimArena
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kArenaAlign = 64;
+constexpr std::size_t kArenaMinBlock = std::size_t{64} * 1024;
+
+std::size_t RoundUpAligned(std::size_t bytes) {
+  return (bytes + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+}  // namespace
+
+std::byte* SimArena::AlignedNew(std::size_t bytes) {
+  return static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t{kArenaAlign}));
+}
+
+void SimArena::AlignedDelete(std::byte* p) {
+  ::operator delete(p, std::align_val_t{kArenaAlign});
+}
+
+SimArena::~SimArena() {
+  for (Block& b : blocks_) AlignedDelete(b.data);
+}
+
+std::size_t SimArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+void* SimArena::AllocBytes(std::size_t bytes) {
+  const std::size_t need = RoundUpAligned(bytes == 0 ? 1 : bytes);
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    if (b.used + need <= b.size) {
+      void* p = b.data + b.used;
+      b.used += need;
+      used_ += need;
+      return p;
+    }
+    ++current_;
+  }
+  // Grow: at least double the current capacity so the block count stays
+  // logarithmic in the eventual footprint.
+  std::size_t size = std::max(need, kArenaMinBlock);
+  size = std::max(size, capacity_bytes());
+  Block b;
+  b.data = AlignedNew(size);
+  b.size = size;
+  b.used = need;
+  blocks_.push_back(b);
+  current_ = blocks_.size() - 1;
+  used_ += need;
+  return b.data;
+}
+
+void SimArena::Reset() {
+  if (blocks_.size() > 1) {
+    // The last run overflowed into extra blocks: coalesce into one block
+    // sized for the whole footprint, so the steady state is a single
+    // stable allocation.
+    const std::size_t total = capacity_bytes();
+    for (Block& b : blocks_) AlignedDelete(b.data);
+    blocks_.clear();
+    Block b;
+    b.data = AlignedNew(total);
+    b.size = total;
+    blocks_.push_back(b);
+  }
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  used_ = 0;
+}
+
+}  // namespace db::sim

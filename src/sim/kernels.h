@@ -1,0 +1,189 @@
+// SoA fixed-point kernel layer for the simulator hot path.
+//
+// The functional simulator executes the folded datapath as dense MAC /
+// activation sweeps over structure-of-arrays state: raw operands are
+// int32 (every FixedFormat raw value fits — total_bits <= 32) and
+// accumulators are int64.  This header is the contract between the
+// simulator and the two interchangeable kernel backends:
+//
+//   * scalar  — portable reference, always available
+//   * avx2    — 4/8-lane vectorised variants, compiled into the build on
+//               x86-64 and selected at runtime only when the CPU reports
+//               AVX2
+//
+// Both backends are BIT-IDENTICAL by construction: every kernel either
+// is elementwise or accumulates exact int64 sums (the simulator only
+// routes a layer through these kernels when the accumulation provably
+// cannot overflow 63 bits, so summation order is immaterial).  The
+// differential test suite pins this equivalence across the model zoo.
+//
+// The arena allocator below carries the per-run scratch state (layer
+// activations, accumulator rows, gate buffers) so a steady-state serving
+// replica performs no per-invocation heap churn after warm-up — the
+// iob-versat emitter/arena idiom applied to simulation state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace db::sim {
+
+// ---------------------------------------------------------------------
+// Rounding
+// ---------------------------------------------------------------------
+
+/// Arithmetic shift right by `frac_bits` with round-half-away-from-zero
+/// on the discarded bits — the documented hardware rounder, matching
+/// FixedFormat::Quantize.  (A bare `+ half; >> frac` rounds negative
+/// ties toward +inf; subtracting the sign bit first repairs exactly the
+/// tie case.)
+inline std::int64_t RoundShiftHalfAway(std::int64_t v, int frac_bits) {
+  if (frac_bits == 0) return v;
+  const std::int64_t half = std::int64_t{1} << (frac_bits - 1);
+  return (v + half - ((v >> 63) & 1)) >> frac_bits;
+}
+
+/// Wide variant for the __int128 fallback path (formats too wide for
+/// int64 accumulation).
+inline __int128 RoundShiftHalfAway128(__int128 v, int frac_bits) {
+  if (frac_bits == 0) return v;
+  const __int128 half = static_cast<__int128>(1) << (frac_bits - 1);
+  return (v + half - (v < 0 ? 1 : 0)) >> frac_bits;
+}
+
+// ---------------------------------------------------------------------
+// Kernel ops table
+// ---------------------------------------------------------------------
+
+/// The vectorisable inner loops of the datapath, dispatched once per
+/// process (or overridden per test).  All pointers may be unaligned.
+struct KernelOps {
+  const char* name;
+
+  /// acc[i] += int64(w) * in[i] for i in [0, n) — the stride-1
+  /// weight-broadcast MAC row of a convolution.
+  void (*mac_row)(std::int64_t* acc, const std::int32_t* in,
+                  std::int32_t w, std::size_t n);
+
+  /// sum_i int64(a[i]) * b[i] — the dot product of an FC/recurrent row
+  /// or a strided convolution tap run.
+  std::int64_t (*dot)(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t n);
+
+  /// sum over `rows` strided row pairs of the n-element dot product —
+  /// the fused (ky, kx) tap block of one strided-convolution output
+  /// pixel, saving a dispatch per row.
+  std::int64_t (*dot_rows)(const std::int32_t* a, std::ptrdiff_t a_stride,
+                           const std::int32_t* b, std::ptrdiff_t b_stride,
+                           std::size_t rows, std::size_t n);
+
+  /// out[i] = clamp(RoundShiftHalfAway(acc[i], frac_bits), raw_min,
+  /// raw_max) — the accumulator writeback stage of the synergy-neuron
+  /// pipeline.
+  void (*writeback)(std::int32_t* out, const std::int64_t* acc,
+                    std::size_t n, int frac_bits, std::int32_t raw_min,
+                    std::int32_t raw_max);
+
+  /// out[i] = max(in[i], 0) — the ReLU activation lane.
+  void (*relu)(std::int32_t* out, const std::int32_t* in, std::size_t n);
+
+  /// Running max of in[0..n) seeded with `init` (max-pool windows,
+  /// softmax max-subtraction).
+  std::int32_t (*max_value)(const std::int32_t* in, std::size_t n,
+                            std::int32_t init);
+};
+
+// ---------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------
+
+enum class KernelBackend {
+  kAuto,    // pick AVX2 when compiled in and the CPU supports it
+  kScalar,  // force the portable reference kernels
+  kAvx2,    // force the AVX2 kernels (throws if unavailable)
+};
+
+std::string KernelBackendName(KernelBackend backend);
+
+/// True when the AVX2 kernels are compiled into this binary AND the
+/// running CPU advertises AVX2.
+bool Avx2Available();
+
+/// Override the backend (tests, benches, DB_SIM_KERNEL env).  Throws
+/// db::Error when forcing kAvx2 on a host without it.
+void SetKernelBackend(KernelBackend backend);
+
+/// The backend requests resolve to: kScalar or kAvx2, never kAuto.
+/// Honors SetKernelBackend first, then the DB_SIM_KERNEL environment
+/// variable ("scalar" | "avx2" | "auto"), then CPU detection.
+KernelBackend ActiveKernelBackend();
+
+/// The ops table for ActiveKernelBackend().
+const KernelOps& ActiveKernels();
+
+/// The two backends, directly (differential tests compare them).
+const KernelOps& ScalarKernels();
+/// Returns the AVX2 table; throws db::Error when !Avx2Available().
+const KernelOps& Avx2Kernels();
+
+// ---------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------
+
+/// Bump allocator for per-run simulator scratch.  Reset() recycles the
+/// committed memory without releasing it, so a warm simulator reuses one
+/// stable footprint run after run; growth coalesces into a single block
+/// on the next Reset().  Allocations are 64-byte aligned (cache line /
+/// full YMM beat).  Not thread-safe: an arena belongs to exactly one
+/// simulator, which belongs to exactly one replica lane.
+class SimArena {
+ public:
+  SimArena() = default;
+  SimArena(const SimArena&) = delete;
+  SimArena& operator=(const SimArena&) = delete;
+  ~SimArena();
+
+  /// Uninitialised scratch of `count` Ts, valid until the next Reset().
+  template <typename T>
+  T* Alloc(std::size_t count) {
+    return static_cast<T*>(AllocBytes(count * sizeof(T)));
+  }
+
+  /// Zero-initialised variant.
+  template <typename T>
+  T* AllocZeroed(std::size_t count) {
+    T* p = Alloc<T>(count);
+    for (std::size_t i = 0; i < count; ++i) p[i] = T{};
+    return p;
+  }
+
+  /// Recycle all allocations; capacity is retained (and defragmented
+  /// into one block if the previous run overflowed).
+  void Reset();
+
+  /// Total bytes of backing capacity (diagnostics / tests).
+  std::size_t capacity_bytes() const;
+  /// Bytes handed out since the last Reset().
+  std::size_t used_bytes() const { return used_; }
+  /// Number of backing blocks (1 once warm).
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* AllocBytes(std::size_t bytes);
+  static std::byte* AlignedNew(std::size_t bytes);
+  static void AlignedDelete(std::byte* p);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // block accepting allocations
+  std::size_t used_ = 0;     // bytes since Reset()
+};
+
+}  // namespace db::sim

@@ -29,6 +29,20 @@ WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
     decode(params.weights);
     decode(params.bias);
     decode(params.recurrent);
+    // The region must be fully consumed: anything left beyond the
+    // MemoryMap's port-alignment padding is trailing garbage the
+    // decoder would silently ignore (an oversized or mis-assembled
+    // image).  Mirrors the mem.layout weight-sizing verifier rule.
+    const std::int64_t align = std::max<std::int64_t>(
+        static_cast<std::int64_t>(design.config.memory_port_elems) *
+            elem_bytes,
+        1);
+    const std::int64_t leftover = region.end() - addr;
+    if (leftover < 0 || leftover >= align)
+      DB_THROW("weight region '" << layer->name()
+               << "' not fully consumed: " << leftover
+               << " trailing bytes exceed one alignment beat (" << align
+               << ")");
   }
   return store;
 }
@@ -39,21 +53,30 @@ SystemContext::SystemContext(const Network& net,
     : net_(net),
       design_(design),
       weights_(DecodeWeights(image, net, design)),
-      sim_(net, design, weights_) {}
+      sim_(net, design, weights_) {
+  // Precompute the input/output blob regions and tile permutations:
+  // they depend only on (net, design), and rebuilding them per request
+  // dominated the serve hot path for small models.
+  const IrLayer& in_layer = net.layer(net.input_ids().front());
+  const IrLayer& out_layer = net.OutputLayer();
+  in_region_ = &design.memory_map.Blob(in_layer.name());
+  out_region_ = &design.memory_map.Blob(out_layer.name());
+  in_order_ = BlobTileOrder(net, design, in_layer.id);
+  out_order_ = BlobTileOrder(net, design, out_layer.id);
+}
 
 SystemRunResult SystemContext::Run(MemoryImage& image, const Tensor& input,
                                    const PerfOptions& perf_options) const {
   // Host writes the input blob into DRAM in the compiler's tile order.
-  const IrLayer& in_layer = net_.layer(net_.input_ids().front());
-  StoreBlob(image, net_, design_, in_layer.name(), input);
+  StoreBlob(image, design_, *in_region_, in_order_, input);
 
   SystemRunResult result;
   const Tensor raw_out = sim_.Run(input);
 
   // Accelerator writes the output blob; host reads it back.
-  const IrLayer& out_layer = net_.OutputLayer();
-  StoreBlob(image, net_, design_, out_layer.name(), raw_out);
-  result.output = ExtractBlob(image, net_, design_, out_layer.name());
+  StoreBlob(image, design_, *out_region_, out_order_, raw_out);
+  result.output = ExtractBlob(image, design_, *out_region_, out_order_,
+                              net_.OutputLayer().output_shape);
   result.perf = SimulatePerformance(net_, design_, perf_options);
   result.status = StatusCode::kOk;
   return result;

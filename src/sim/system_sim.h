@@ -32,13 +32,18 @@ struct SystemRunResult {
 WeightStore DecodeWeights(const MemoryImage& image, const Network& net,
                           const AcceleratorDesign& design);
 
-/// The const half of RunSystem: weights decoded once at construction,
-/// after which every invocation is a const operation over shared state.
-/// One context can therefore be shared by concurrent server workers —
-/// the Network, the AcceleratorDesign and this context are read-only;
-/// each worker passes its own MemoryImage to Run().
+/// The steady-state half of RunSystem: weights decoded and the I/O blob
+/// tile orders computed once at construction, so each Run() is just the
+/// simulation plus two cached-order blob copies.
 ///
-/// The weights are snapshotted from `image` at construction; a worker
+/// Threading: Run() is marked const but is NOT safe to call concurrently
+/// on the same instance — the wrapped FunctionalSimulator owns a mutable
+/// scratch arena (see functional_sim.h).  The serving stack honours this
+/// by giving every replica its own SystemContext driven by a single lane
+/// thread; anything that wants parallel invocations holds one context
+/// per thread (ReplicateSystem stamps these out).
+///
+/// The weights are snapshotted from `image` at construction; a caller
 /// that mutates weight regions afterwards (fault injection) must build a
 /// fresh context, which is exactly what the RunSystem wrapper does.
 class SystemContext {
@@ -59,6 +64,12 @@ class SystemContext {
   const AcceleratorDesign& design_;
   WeightStore weights_;       // decoded snapshot (owned; sim_ refers to it)
   FunctionalSimulator sim_;
+  // Cached per-invocation hot path: the input/output blob regions and
+  // their tile permutations never change for a given (net, design).
+  const MemoryRegion* in_region_ = nullptr;
+  const MemoryRegion* out_region_ = nullptr;
+  std::vector<std::int64_t> in_order_;
+  std::vector<std::int64_t> out_order_;
 };
 
 /// One replicated accelerator instance: a private copy of the

@@ -137,6 +137,55 @@ TEST(Verifier, ReportIsByteStableAcrossRuns) {
   EXPECT_EQ(first.ToJson(), second.ToJson());
 }
 
+TEST(Verifier, OversizedWeightRegionTripsMemLayout) {
+  // A weight region holding more than its layer's parameters (plus port
+  // padding) would decode trailing garbage — the static mem.layout rule
+  // must flag the map DecodeWeights would reject at load time.
+  VerifierFixture& fx = Fixture();
+  AcceleratorDesign broken = fx.design;
+  const std::int64_t align =
+      broken.config.memory_port_elems *
+      static_cast<std::int64_t>(broken.config.ElementBytes());
+  std::vector<MemoryRegion> regions = broken.memory_map.regions();
+  bool grown = false;
+  for (MemoryRegion& r : regions) {
+    if (grown) r.base += align;
+    if (!grown && r.name.rfind("weights:", 0) == 0) {
+      r.bytes += align;
+      grown = true;
+    }
+  }
+  ASSERT_TRUE(grown);
+  broken.memory_map = MemoryMap::FromRegions(std::move(regions));
+  const AnalysisReport report = analysis::VerifyDesign(fx.net, broken);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule(analysis::kRuleMemLayout))
+      << report.ToText();
+}
+
+TEST(Verifier, UndersizedWeightRegionTripsMemLayout) {
+  VerifierFixture& fx = Fixture();
+  AcceleratorDesign broken = fx.design;
+  const std::int64_t align =
+      broken.config.memory_port_elems *
+      static_cast<std::int64_t>(broken.config.ElementBytes());
+  std::vector<MemoryRegion> regions = broken.memory_map.regions();
+  bool shrunk = false;
+  for (MemoryRegion& r : regions) {
+    if (shrunk) r.base -= align;
+    if (!shrunk && r.name.rfind("weights:", 0) == 0) {
+      r.bytes -= align;
+      shrunk = true;
+    }
+  }
+  ASSERT_TRUE(shrunk);
+  broken.memory_map = MemoryMap::FromRegions(std::move(regions));
+  const AnalysisReport report = analysis::VerifyDesign(fx.net, broken);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule(analysis::kRuleMemLayout))
+      << report.ToText();
+}
+
 class BrokenRuleSweep : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(BrokenRuleSweep, TripsExactlyItsOwnRule) {

@@ -31,11 +31,13 @@
 #include "common/rng.h"
 #include "core/design_serde.h"
 #include "core/generator.h"
+#include "fault/fault_plan.h"
 #include "frontend/network_def.h"
 #include "models/zoo.h"
 #include "nn/executor.h"
 #include "serve/inference_server.h"
 #include "sim/host_runtime.h"
+#include "sim/kernels.h"
 
 namespace db {
 namespace {
@@ -202,6 +204,113 @@ TEST(Differential, ServerReplicasMatchTheStandaloneSystemPath) {
     // Replica count is a wall-clock knob, never a numerics knob.
     EXPECT_EQ(one[idx].output.storage(), four[idx].output.storage());
     EXPECT_EQ(one[idx].output.storage(), reference[idx].storage());
+  }
+}
+
+// ------------------------------------------- SIMD vs scalar bit-identity
+
+/// Restores the process-wide kernel backend on scope exit.
+struct BackendGuard {
+  ~BackendGuard() { sim::SetKernelBackend(sim::KernelBackend::kAuto); }
+};
+
+/// The kernel layer's headline contract: the AVX2 backend is bit-exact
+/// against the scalar reference over the entire model zoo (every layer
+/// kind the datapath serves: conv stride 1 and strided, pooling, FC,
+/// LRN, recurrent/LSTM, every activation), and over the seeded random
+/// networks above.
+TEST(Differential, SimdAndScalarKernelsBitIdenticalAcrossZoo) {
+  if (!sim::Avx2Available())
+    GTEST_SKIP() << "AVX2 kernels not available on this host";
+  BackendGuard guard;
+  for (const ZooModel model : AllZooModels()) {
+    SCOPED_TRACE(ZooModelName(model));
+    const Network net = BuildZooModel(model);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    Rng rng(2016);
+    const WeightStore weights = WeightStore::CreateRandom(net, rng);
+    const Tensor input = RandomInput(net, 4242);
+
+    sim::SetKernelBackend(sim::KernelBackend::kScalar);
+    FunctionalSimulator scalar_sim(net, design, weights);
+    const Tensor scalar_out = scalar_sim.Run(input);
+
+    sim::SetKernelBackend(sim::KernelBackend::kAvx2);
+    FunctionalSimulator simd_sim(net, design, weights);
+    const Tensor simd_out = simd_sim.Run(input);
+
+    EXPECT_EQ(scalar_out.storage(), simd_out.storage());
+  }
+  for (const std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Network net =
+        Network::Build(ParseNetworkDef(RandomScript(seed)));
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    Rng rng(seed * 1000 + 1);
+    const WeightStore weights = WeightStore::CreateRandom(net, rng);
+    const Tensor input = RandomInput(net, seed * 1000 + 2);
+
+    sim::SetKernelBackend(sim::KernelBackend::kScalar);
+    const Tensor scalar_out =
+        FunctionalSimulator(net, design, weights).Run(input);
+    sim::SetKernelBackend(sim::KernelBackend::kAvx2);
+    const Tensor simd_out =
+        FunctionalSimulator(net, design, weights).Run(input);
+    EXPECT_EQ(scalar_out.storage(), simd_out.storage());
+  }
+}
+
+/// Bit-identity must also hold under the fault campaign: flipped weight
+/// bits, transient failures and stalls perturb the data and the
+/// scheduling, and every completed request must still agree between
+/// backends (fault handling is orthogonal to the kernel layer).
+TEST(Differential, SimdAndScalarAgreeUnderFaultCampaign) {
+  if (!sim::Avx2Available())
+    GTEST_SKIP() << "AVX2 kernels not available on this host";
+  BackendGuard guard;
+  constexpr int kRequests = 24;
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design = GenerateAccelerator(net, DbConstraint());
+  Rng rng(2016);
+  const WeightStore weights = WeightStore::CreateRandom(net, rng);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(RandomInput(net, 700 + static_cast<std::uint64_t>(i)));
+
+  fault::FaultCampaignSpec spec;
+  spec.seed = 7;
+  spec.weight_flips = 60;
+  spec.transients = 4;
+  spec.stalls = 2;
+  spec.invocation_span = kRequests / 2;
+  spec.workers = 2;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::Generate(spec, design.memory_map);
+
+  auto serve = [&]() {
+    serve::ServeOptions options;
+    options.workers = 2;
+    options.max_batch_size = 4;
+    options.faults = plan;
+    serve::InferenceServer server(net, design, weights, options);
+    for (const Tensor& input : inputs) server.Submit(input, 0);
+    return server.Drain();
+  };
+
+  sim::SetKernelBackend(sim::KernelBackend::kScalar);
+  const std::vector<serve::ServedRequest> scalar_run = serve();
+  sim::SetKernelBackend(sim::KernelBackend::kAvx2);
+  const std::vector<serve::ServedRequest> simd_run = serve();
+
+  ASSERT_EQ(scalar_run.size(), simd_run.size());
+  for (std::size_t i = 0; i < scalar_run.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(scalar_run[i].status, simd_run[i].status);
+    if (scalar_run[i].status != StatusCode::kOk) continue;
+    EXPECT_EQ(scalar_run[i].output.storage(),
+              simd_run[i].output.storage());
   }
 }
 

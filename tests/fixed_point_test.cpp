@@ -75,6 +75,41 @@ TEST(FixedFormat, MulSaturates) {
   EXPECT_EQ(fmt.Mul(neg, fmt.Quantize(7.9)), fmt.raw_min());
 }
 
+// Regression: Mul used to renormalise with a bare `+ half; >> frac`,
+// which rounds negative half-LSB ties toward +inf while Quantize rounds
+// half away from zero.  The raw product -1 << (frac-1) is exactly -0.5
+// LSB and must come back as -1, not 0.
+TEST(FixedFormat, MulNegativeTieRoundsAwayFromZero) {
+  FixedFormat fmt(16, 8);
+  // raw -1 * raw 128 -> product -128 = -0.5 LSB after renormalisation.
+  EXPECT_EQ(fmt.Mul(-1, 128), -1);
+  EXPECT_EQ(fmt.Mul(1, 128), 1);  // +0.5 LSB rounds to +1
+  // -1.5 LSB (product -384) rounds away to -2, not truncated to -1.
+  EXPECT_EQ(fmt.Mul(-3, 128), -2);
+  EXPECT_EQ(fmt.Mul(3, 128), 2);
+  // Non-tie values are unaffected: -0.4995 LSB rounds to 0.
+  EXPECT_EQ(fmt.Mul(-1, 127), 0);
+}
+
+TEST(FixedFormat, MulTieMatchesQuantizeOfRealProduct) {
+  // At every representable half-LSB tie the renormalised product must
+  // agree with quantising the real-valued product — the two rounders
+  // the datapath exposes (weight-load Quantize and MAC writeback) are
+  // the same hardware rounder.
+  for (const auto& [total, frac] :
+       {std::pair{8, 4}, std::pair{16, 8}, std::pair{24, 12}}) {
+    FixedFormat fmt(total, frac);
+    const std::int64_t half = std::int64_t{1} << (frac - 1);
+    for (std::int64_t a : {-5L, -3L, -1L, 1L, 3L, 5L}) {
+      const std::int64_t got = fmt.Mul(a, half);
+      const double real =
+          fmt.Dequantize(a) * fmt.Dequantize(half);
+      EXPECT_EQ(got, fmt.Quantize(real))
+          << fmt.ToString() << " a=" << a;
+    }
+  }
+}
+
 TEST(FixedFormat, MulByOneIsIdentityUpToRounding) {
   FixedFormat fmt(16, 8);
   const std::int64_t one = fmt.Quantize(1.0);

@@ -1,0 +1,221 @@
+// Unit tests for the SoA kernel layer (sim/kernels.h): the rounding
+// helpers, both kernel backends (bit-for-bit against each other and
+// against brute-force references, across saturation and tie edges), the
+// runtime backend dispatch, and the scratch arena's reuse contract.
+#include "sim/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace db::sim {
+namespace {
+
+// ------------------------------------------------------------- rounding
+
+TEST(RoundShiftHalfAway, TiesRoundAwayFromZeroBothSigns) {
+  // frac_bits = 8: half = 128.
+  EXPECT_EQ(RoundShiftHalfAway(128, 8), 1);
+  EXPECT_EQ(RoundShiftHalfAway(-128, 8), -1);
+  EXPECT_EQ(RoundShiftHalfAway(384, 8), 2);
+  EXPECT_EQ(RoundShiftHalfAway(-384, 8), -2);
+  // One below the tie rounds toward zero.
+  EXPECT_EQ(RoundShiftHalfAway(127, 8), 0);
+  EXPECT_EQ(RoundShiftHalfAway(-127, 8), 0);
+  // One above the tie rounds away.
+  EXPECT_EQ(RoundShiftHalfAway(129, 8), 1);
+  EXPECT_EQ(RoundShiftHalfAway(-129, 8), -1);
+  // frac_bits = 0 is the identity.
+  EXPECT_EQ(RoundShiftHalfAway(-7, 0), -7);
+}
+
+TEST(RoundShiftHalfAway, WideVariantMatchesNarrowOnInt64Range) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.Next() >> 16) -
+                   (std::int64_t{1} << 47);
+    const int frac = 1 + static_cast<int>(rng.UniformInt(24));
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  RoundShiftHalfAway128(static_cast<__int128>(v), frac)),
+              RoundShiftHalfAway(v, frac))
+        << "v=" << v << " frac=" << frac;
+  }
+}
+
+// ------------------------------------------------- backends, bit for bit
+
+/// Both tables when AVX2 is live on this host, else just the scalar one.
+std::vector<const KernelOps*> Backends() {
+  std::vector<const KernelOps*> ops{&ScalarKernels()};
+  if (Avx2Available()) ops.push_back(&Avx2Kernels());
+  return ops;
+}
+
+std::vector<std::int32_t> RandomI32(Rng& rng, std::size_t n,
+                                    std::int32_t lo, std::int32_t hi) {
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v)
+    x = lo + static_cast<std::int32_t>(rng.UniformInt(
+                 static_cast<std::uint64_t>(hi - lo) + 1));
+  return v;
+}
+
+TEST(Kernels, MacRowMatchesBruteForceAtAllLengths) {
+  Rng rng(7);
+  // Lengths straddle every vector-width boundary (8/iter + 4/iter + tail).
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 9u, 15u, 16u, 33u}) {
+    const std::vector<std::int32_t> in =
+        RandomI32(rng, n, -(1 << 20), 1 << 20);
+    const std::int32_t w =
+        static_cast<std::int32_t>(rng.UniformInt(1 << 21)) - (1 << 20);
+    std::vector<std::int64_t> want(n, 17);
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] += static_cast<std::int64_t>(w) * in[i];
+    for (const KernelOps* ops : Backends()) {
+      std::vector<std::int64_t> acc(n, 17);
+      ops->mac_row(acc.data(), in.data(), w, n);
+      EXPECT_EQ(acc, want) << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, DotAndDotRowsMatchBruteForce) {
+  Rng rng(8);
+  for (const std::size_t n : {0u, 1u, 5u, 8u, 13u, 32u, 67u}) {
+    const std::vector<std::int32_t> a =
+        RandomI32(rng, 3 * n + 8, -(1 << 15), 1 << 15);
+    const std::vector<std::int32_t> b =
+        RandomI32(rng, 3 * n + 8, -(1 << 15), 1 << 15);
+    std::int64_t want = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      want += static_cast<std::int64_t>(a[i]) * b[i];
+    std::int64_t want_rows = 0;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t i = 0; i < n; ++i)
+        want_rows += static_cast<std::int64_t>(a[r * (n + 2) + i]) *
+                     b[r * (n + 1) + i];
+    for (const KernelOps* ops : Backends()) {
+      EXPECT_EQ(ops->dot(a.data(), b.data(), n), want)
+          << ops->name << " n=" << n;
+      EXPECT_EQ(ops->dot_rows(a.data(), static_cast<std::ptrdiff_t>(n + 2),
+                              b.data(), static_cast<std::ptrdiff_t>(n + 1),
+                              3, n),
+                want_rows)
+          << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, WritebackSaturatesAndRoundsTiesAwayFromZero) {
+  // A 16-bit format with 8 fractional bits: raw range [-32768, 32767].
+  constexpr int kFrac = 8;
+  constexpr std::int32_t kMin = -32768, kMax = 32767;
+  const std::vector<std::int64_t> acc = {
+      128,   -128,  384,  -384,  127,    -127,        // tie edges
+      (std::int64_t{kMax} << kFrac) + 500,            // above raw_max
+      (std::int64_t{kMin} << kFrac) - 500,            // below raw_min
+      std::numeric_limits<std::int64_t>::max() / 2,   // deep saturation
+      std::numeric_limits<std::int64_t>::min() / 2,
+      0};
+  std::vector<std::int32_t> want(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const std::int64_t r = RoundShiftHalfAway(acc[i], kFrac);
+    want[i] = static_cast<std::int32_t>(
+        r < kMin ? kMin : (r > kMax ? kMax : r));
+  }
+  EXPECT_EQ(want[0], 1);
+  EXPECT_EQ(want[1], -1);  // the PR's tie-break bug would give 0 here
+  for (const KernelOps* ops : Backends()) {
+    std::vector<std::int32_t> out(acc.size(), 99);
+    ops->writeback(out.data(), acc.data(), acc.size(), kFrac, kMin, kMax);
+    EXPECT_EQ(out, want) << ops->name;
+  }
+}
+
+TEST(Kernels, ReluAndMaxValueMatchBruteForce) {
+  Rng rng(9);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 25u}) {
+    const std::vector<std::int32_t> in =
+        RandomI32(rng, n, -1000, 1000);
+    std::vector<std::int32_t> want(n);
+    std::int32_t want_max = -5000;
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] = in[i] > 0 ? in[i] : 0;
+      want_max = std::max(want_max, in[i]);
+    }
+    for (const KernelOps* ops : Backends()) {
+      std::vector<std::int32_t> out(n, 99);
+      ops->relu(out.data(), in.data(), n);
+      EXPECT_EQ(out, want) << ops->name;
+      EXPECT_EQ(ops->max_value(in.data(), n, -5000), want_max)
+          << ops->name;
+    }
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
+struct BackendGuard {
+  ~BackendGuard() { SetKernelBackend(KernelBackend::kAuto); }
+};
+
+TEST(Kernels, BackendDispatchHonorsOverride) {
+  BackendGuard guard;
+  SetKernelBackend(KernelBackend::kScalar);
+  EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+  EXPECT_STREQ(ActiveKernels().name, "scalar");
+  if (Avx2Available()) {
+    SetKernelBackend(KernelBackend::kAvx2);
+    EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kAvx2);
+    EXPECT_STREQ(ActiveKernels().name, "avx2");
+  } else {
+    EXPECT_THROW(SetKernelBackend(KernelBackend::kAvx2), Error);
+  }
+  SetKernelBackend(KernelBackend::kAuto);
+  // kAuto always resolves to a concrete backend.
+  EXPECT_NE(ActiveKernelBackend(), KernelBackend::kAuto);
+}
+
+// ---------------------------------------------------------------- arena
+
+TEST(SimArena, ReusesCapacityAndCoalescesAfterGrowth) {
+  SimArena arena;
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+
+  // First run: several allocations, forcing at least one growth.
+  std::int32_t* a = arena.AllocZeroed<std::int32_t>(1000);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a[i], 0);
+  (void)arena.Alloc<std::int64_t>(100 * 1024);  // ~800 KiB: must grow
+  const std::size_t grown = arena.capacity_bytes();
+  EXPECT_GE(grown, 1000 * sizeof(std::int32_t) +
+                       100 * 1024 * sizeof(std::int64_t));
+
+  // Reset keeps the footprint and coalesces into one block.
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_GE(arena.capacity_bytes(), grown);
+  EXPECT_EQ(arena.block_count(), 1u);
+
+  // Warm run of the same shape: no further growth.
+  (void)arena.Alloc<std::int32_t>(1000);
+  (void)arena.Alloc<std::int64_t>(100 * 1024);
+  EXPECT_EQ(arena.capacity_bytes(), arena.capacity_bytes());
+  EXPECT_EQ(arena.block_count(), 1u);
+
+  // Alignment contract: every allocation is 64-byte aligned.
+  arena.Reset();
+  for (int i = 0; i < 8; ++i) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(
+        arena.Alloc<std::byte>(static_cast<std::size_t>(3 + i)));
+    EXPECT_EQ(addr % 64, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace db::sim

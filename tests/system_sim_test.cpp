@@ -2,6 +2,7 @@
 // execution trace / VCD export.
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "core/generator.h"
 #include "models/zoo.h"
 #include "nn/executor.h"
@@ -79,6 +80,41 @@ TEST(SystemSim, CorruptedWeightRegionChangesOutput) {
   const Tensor corrupted =
       RunSystem(fx.net, fx.design, image, input).output;
   EXPECT_GT(MaxAbsDiff(clean, corrupted), 0.01);
+}
+
+// Regression: DecodeWeights used to check only per-element underflow,
+// so an oversized weight region with trailing garbage decoded silently.
+// Now anything beyond one port-alignment beat of padding is rejected.
+TEST(SystemSim, TrailingGarbageWeightRegionIsRejected) {
+  Fixture fx;
+  const std::int64_t align =
+      fx.design.config.memory_port_elems *
+      static_cast<std::int64_t>(fx.design.config.ElementBytes());
+  std::vector<MemoryRegion> regions = fx.design.memory_map.regions();
+  bool grown = false;
+  for (MemoryRegion& r : regions) {
+    if (grown) r.base += align;  // keep successors overlap-free
+    if (!grown && r.name == "weights:conv1") {
+      r.bytes += align;
+      grown = true;
+    }
+  }
+  ASSERT_TRUE(grown);
+  fx.design.memory_map = MemoryMap::FromRegions(std::move(regions));
+  const MemoryImage image = BuildMemoryImage(
+      fx.net, fx.design, fx.weights,
+      {{"data", Tensor(Shape{1, 12, 12})}});
+  EXPECT_THROW(DecodeWeights(image, fx.net, fx.design), Error);
+}
+
+TEST(SystemSim, PaddedWeightRegionWithinOneBeatStillDecodes) {
+  // The MemoryMap rounds every region up to the port alignment, so a
+  // fully-consumed region can legitimately keep < one beat of padding.
+  const Fixture fx;
+  const MemoryImage image = BuildMemoryImage(
+      fx.net, fx.design, fx.weights,
+      {{"data", Tensor(Shape{1, 12, 12})}});
+  EXPECT_NO_THROW(DecodeWeights(image, fx.net, fx.design));
 }
 
 TEST(Trace, RecordsBusyIntervals) {
