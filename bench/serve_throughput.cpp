@@ -83,18 +83,23 @@ int main() {
         server.Drain();
         const serve::ServerStats stats = server.Stats();
         if (workers == 1 && batch == 1) base_rps = stats.throughput_rps;
-        // Mean queue residency and peak depth come from the obs
-        // registry the server published into at drain time.
+        // Latency percentiles, mean queue residency and peak depth all
+        // come from the obs registry the server published into at drain
+        // time; serve.latency_cycles is the same shared quantile
+        // histogram ServerStats reads, so the two surfaces agree.
+        const double cycles_to_ms = 1.0 / (design.config.frequency_mhz * 1e3);
+        const obs::HistogramStats latency =
+            metrics.HistogramOf("serve.latency_cycles");
         const double qwait_ms =
-            metrics.HistogramOf("serve.queue_wait_cycles").Mean() /
-            (design.config.frequency_mhz * 1e3);
+            metrics.HistogramOf("serve.queue_wait_cycles").Mean() *
+            cycles_to_ms;
         std::printf(
             "%-10s %8d %8lld %10lld %12.1f %12.4f %12.4f %9.2fx "
             "%10.4f %6.0f\n",
             ZooModelName(model).c_str(), workers,
             static_cast<long long>(batch),
             static_cast<long long>(stats.batches), stats.throughput_rps,
-            stats.latency_p50_s * 1e3, stats.latency_p99_s * 1e3,
+            latency.P50() * cycles_to_ms, latency.P99() * cycles_to_ms,
             stats.throughput_rps / base_rps, qwait_ms,
             metrics.GaugeValue("serve.queue_depth_peak"));
       }

@@ -32,6 +32,7 @@
 
 #include "core/generator.h"
 #include "models/zoo.h"
+#include "obs/metrics.h"
 #include "serve/inference_server.h"
 #include "sim/functional_sim.h"
 #include "sim/kernels.h"
@@ -114,14 +115,24 @@ ServeRow BenchServe(ZooModel model) {
   Rng rng(2016);
   const WeightStore weights = WeightStore::CreateRandom(net, rng);
 
+  obs::MetricsRegistry metrics;
   serve::ServeOptions options;
   options.workers = 2;
   options.max_batch_size = 4;
+  options.metrics = &metrics;
   serve::InferenceServer server(net, design, weights, options);
   for (int i = 0; i < kRequests; ++i)
     server.Submit(MakeInput(net, 100 + static_cast<std::uint64_t>(i)), 0);
   server.Drain();
   const serve::ServerStats stats = server.Stats();
+
+  // Percentiles come straight from the server's published
+  // serve.latency_cycles histogram — the same shared quantile histogram
+  // ServerStats aggregates — so this file and the metrics export can
+  // never disagree.
+  const obs::HistogramStats latency =
+      metrics.HistogramOf("serve.latency_cycles");
+  const double cycles_to_ms = 1.0 / (design.config.frequency_mhz * 1e3);
 
   ServeRow row;
   row.model = ZooModelName(model);
@@ -130,8 +141,8 @@ ServeRow BenchServe(ZooModel model) {
   row.requests = kRequests;
   row.batches = stats.batches;
   row.requests_per_sec = stats.throughput_rps;
-  row.p50_ms = stats.latency_p50_s * 1e3;
-  row.p99_ms = stats.latency_p99_s * 1e3;
+  row.p50_ms = latency.P50() * cycles_to_ms;
+  row.p99_ms = latency.P99() * cycles_to_ms;
   return row;
 }
 

@@ -1,16 +1,59 @@
 #!/usr/bin/env bash
-# clang-tidy over the whole tree, driven by the default build's
-# compile_commands.json and the checks in .clang-tidy (bugprone-*,
-# performance-*, readability-identifier-naming).
+# Two stages: a metric-name lint that always runs, then clang-tidy over
+# the whole tree, driven by the default build's compile_commands.json
+# and the checks in .clang-tidy (bugprone-*, performance-*,
+# readability-identifier-naming).
 #
-# Usage: scripts/lint.sh [jobs]
+# Usage: scripts/lint.sh [--metrics-only] [jobs]
 #
 # The toolchain image ships gcc only; when no clang-tidy binary is on
 # PATH the script reports that and exits 0 so CI recipes can call it
 # unconditionally — it gates, it does not fail, on the missing tool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+METRICS_ONLY=0
+if [[ "${1:-}" == "--metrics-only" ]]; then
+  METRICS_ONLY=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
+
+# --- Metric-name lint -------------------------------------------------
+# Every metric or time-series name emitted in src/ must appear in the
+# checked-in allowlist, and every allowlisted name must still be
+# emitted.  This catches accidental renames (which would silently break
+# BENCH comparisons, dashboards and the serve_determinism gate) and
+# stale allowlist entries alike.  Extraction: the first string literal
+# handed to AddCounter/SetGauge/Observe/Append, with printf-style
+# replica indices normalised to <n> and dynamic-suffix sites (a literal
+# prefix ending in ".") normalised to <dynamic>.
+ALLOWLIST="scripts/metric_allowlist.txt"
+emitted="$(
+  grep -rhoE \
+    '(AddCounter|SetGauge|Observe|Append)\((StrFormat\(|std::string\()?"[^"]+"' \
+    src |
+    sed -E 's/^[A-Za-z_]+\((StrFormat\(|std::string\()?"//; s/"$//' |
+    sed -E 's/%d/<n>/g; s/\.$/.<dynamic>/' |
+    LC_ALL=C sort -u
+)"
+if ! diff -u "${ALLOWLIST}" <(printf '%s\n' "${emitted}"); then
+  echo "lint: metric names diverge from ${ALLOWLIST}" >&2
+  echo "lint: update the allowlist if the rename is intentional" >&2
+  exit 1
+fi
+# Taxonomy: <subsystem>.<noun>[.<noun>...] — lowercase snake_case parts,
+# with <n>/<dynamic> placeholders allowed inside a part.
+bad="$(printf '%s\n' "${emitted}" |
+  grep -vE '^[a-z][a-z0-9_]*(\.([a-z0-9_]|<n>|<dynamic>)+)+$' || true)"
+if [[ -n "${bad}" ]]; then
+  echo "lint: metric names violate the <subsystem>.<noun> taxonomy:" >&2
+  printf '%s\n' "${bad}" >&2
+  exit 1
+fi
+echo "lint: metric names match ${ALLOWLIST}"
+if [[ "${METRICS_ONLY}" == "1" ]]; then
+  exit 0
+fi
 
 TIDY=""
 for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \

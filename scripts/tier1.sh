@@ -18,6 +18,21 @@ cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
+echo "== tier-1: profile report byte-stability =="
+# The deterministic-profiling contract: two invocations of the profile
+# subcommand on the same zoo model must render byte-identical reports
+# (text and JSON), and the lint stage's metric-name allowlist must match
+# the tree.
+PROFILE_TMP="$(mktemp -d)"
+trap 'rm -rf "${PROFILE_TMP}"' EXIT
+build/tools/deepburning profile Alexnet > "${PROFILE_TMP}/a.txt"
+build/tools/deepburning profile Alexnet > "${PROFILE_TMP}/b.txt"
+cmp "${PROFILE_TMP}/a.txt" "${PROFILE_TMP}/b.txt"
+build/tools/deepburning profile Alexnet --json > "${PROFILE_TMP}/a.json"
+build/tools/deepburning profile Alexnet --json > "${PROFILE_TMP}/b.json"
+cmp "${PROFILE_TMP}/a.json" "${PROFILE_TMP}/b.json"
+scripts/lint.sh --metrics-only
+
 echo "== tier-1: ASan+UBSan on the concurrent server and its substrate =="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}" \

@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -54,7 +55,19 @@ struct Replica {
   std::size_t fault_cursor = 0; // next unfired event in the fault slice
   std::vector<fault::FaultRecord> fault_records;
   std::int64_t scrubs = 0;
+  /// Simulated [start, end) windows this replica's datapath was
+  /// occupied — service runs plus charged recovery (retry attempts,
+  /// stalls, scrubs) — appended in the lane's deterministic service
+  /// order, so the list is sorted and disjoint.  The load time-series
+  /// derives per-replica busy fractions from it.
+  std::vector<std::pair<std::int64_t, std::int64_t>> busy_intervals;
 };
+
+/// Cycles of `intervals` (sorted, disjoint) falling inside the window
+/// [begin, end) — the per-replica busy share a time-series sample reads.
+std::int64_t BusyInWindow(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals,
+    std::int64_t begin, std::int64_t end);
 
 class AcceleratorPool {
  public:

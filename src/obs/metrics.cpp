@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "common/error.h"
 #include "common/strings.h"
 
 namespace db::obs {
@@ -18,6 +20,72 @@ std::string FormatDouble(double value) {
 }
 
 }  // namespace
+
+std::int32_t HistogramStats::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // underflow bucket (incl. negatives/NaN)
+  int exp = 0;
+  // frexp: value = m * 2^exp with m in [0.5, 1) — so the octave is
+  // exp - 1 and value / 2^octave lands in [1, 2).
+  const double mantissa = std::frexp(value, &exp);
+  const std::int32_t octave = exp - 1;
+  const auto sub = std::min<std::int32_t>(
+      kSubBuckets - 1,
+      static_cast<std::int32_t>((mantissa * 2.0 - 1.0) * kSubBuckets));
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double HistogramStats::BucketLowerBound(std::int32_t index) {
+  if (index <= 0) return 0.0;
+  const std::int32_t octave = (index - 1) / kSubBuckets;
+  const std::int32_t sub = (index - 1) % kSubBuckets;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / static_cast<double>(kSubBuckets),
+      octave);
+}
+
+void HistogramStats::Observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[BucketIndex(value)];
+}
+
+void HistogramStats::Merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (const auto& [index, n] : other.buckets) buckets[index] += n;
+}
+
+double HistogramStats::Quantile(double q) const {
+  DB_CHECK_MSG(q >= 0.0 && q <= 100.0,
+               "quantile must be a percentile in [0, 100]");
+  if (count == 0) return 0.0;  // the documented zero state
+  // Nearest rank: the smallest rank whose cumulative share covers q.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q / 100.0 * static_cast<double>(count))));
+  std::int64_t cumulative = 0;
+  for (const auto& [index, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank)
+      return std::clamp(BucketLowerBound(index), min, max);
+  }
+  return max;  // unreachable: bucket counts always sum to `count`
+}
 
 void MetricsRegistry::AddCounter(std::string_view name,
                                  std::int64_t delta) {
@@ -40,17 +108,24 @@ void MetricsRegistry::SetGauge(std::string_view name, double value) {
 
 void MetricsRegistry::Observe(std::string_view name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    histograms_.emplace(std::string(name),
-                        HistogramStats{1, value, value, value});
-    return;
+  histograms_[std::string(name)].Observe(value);
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other` first so locks never nest between two registries.
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramStats, std::less<>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
   }
-  HistogramStats& h = it->second;
-  ++h.count;
-  h.sum += value;
-  h.min = std::min(h.min, value);
-  h.max = std::max(h.max, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : counters) counters_[name] += value;
+  for (const auto& [name, value] : gauges) gauges_[name] = value;
+  for (const auto& [name, h] : histograms) histograms_[name].Merge(h);
 }
 
 std::int64_t MetricsRegistry::CounterValue(std::string_view name) const {
@@ -99,7 +174,11 @@ std::string MetricsRegistry::ToJson() const {
        << h.count << ", \"sum\": " << FormatDouble(h.sum)
        << ", \"min\": " << FormatDouble(h.min)
        << ", \"max\": " << FormatDouble(h.max)
-       << ", \"mean\": " << FormatDouble(h.Mean()) << "}";
+       << ", \"mean\": " << FormatDouble(h.Mean())
+       << ", \"p50\": " << FormatDouble(h.P50())
+       << ", \"p90\": " << FormatDouble(h.P90())
+       << ", \"p99\": " << FormatDouble(h.P99())
+       << ", \"p999\": " << FormatDouble(h.P999()) << "}";
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";

@@ -1,0 +1,84 @@
+// Per-layer bottleneck-attribution report: where a generated design's
+// simulated cycles go, layer by layer, split into the three buckets the
+// roofline question needs — DRAM transfer (memory-bound time), datapath
+// MAC work (compute-bound time) and control/stall overhead.
+//
+// The report is a pure data structure: src/sim owns the attribution
+// (BuildProfileReport in sim/perf_model.h derives the entries from the
+// performance model's interval timeline), src/obs owns the rendering.
+// Both renderings are byte-stable: entries are sorted hottest-first
+// (total cycles descending, layer id ascending on ties) and every
+// number is a deterministic function of the simulated workload, so two
+// runs over the same design emit identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace db::obs {
+
+/// One layer's share of the simulated run.  The three attribution
+/// buckets partition `total_cycles` exactly (no lost or double-counted
+/// cycles — asserted against SimulatePerformance in profile_test):
+///
+///   total_cycles = dram_cycles + mac_cycles + stall_cycles
+struct LayerProfile {
+  int layer_id = 0;
+  std::string name;
+  std::int64_t segments = 1;
+  std::int64_t total_cycles = 0;
+  /// Exposed DRAM-transfer time: cycles the DRAM channel was busy while
+  /// the datapath sat idle (the memory-bound share).
+  std::int64_t dram_cycles = 0;
+  /// Pure MAC-array work: fold unit work summed over the segments (the
+  /// compute-bound share).
+  std::int64_t mac_cycles = 0;
+  /// Everything else on the critical path: segment/coordinator
+  /// overheads, pipeline fill/drain, and waits where both resources
+  /// idled.
+  std::int64_t stall_cycles = 0;
+  std::int64_t dram_bytes = 0;
+  std::int64_t refetch_passes = 1;
+  /// Useful MAC operations over the layer's wall clock across all lanes:
+  /// macs / (lanes * total_cycles), in [0, 1].
+  double pe_utilization = 0.0;
+  /// Input working set over the on-chip data buffer, capped at 1.0 (a
+  /// value of 1.0 with refetch_passes > 1 marks buffer overflow).
+  double buffer_utilization = 0.0;
+
+  /// Roofline classification: "memory" when the exposed DRAM time
+  /// dominates the MAC time, else "compute".
+  const char* Bound() const {
+    return dram_cycles > mac_cycles ? "memory" : "compute";
+  }
+};
+
+/// Whole-design profile: the sorted per-layer attribution plus the run
+/// totals the shares are quoted against.
+struct ProfileReport {
+  std::string model;
+  double frequency_mhz = 100.0;
+  int lanes = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_dram_bytes = 0;
+  std::vector<LayerProfile> layers;  // hottest first after Sort()
+
+  std::int64_t TotalDramCycles() const;
+  std::int64_t TotalMacCycles() const;
+  std::int64_t TotalStallCycles() const;
+
+  /// Bottleneck order: total cycles descending, layer id ascending on
+  /// ties.  Both renderings require (and Build* guarantees) this order.
+  void Sort();
+
+  /// Fixed-width text table, hottest layer first, with a totals footer;
+  /// byte-stable.
+  std::string ToText() const;
+
+  /// Canonical JSON (fixed key order, deterministic float formatting);
+  /// byte-stable.
+  std::string ToJson() const;
+};
+
+}  // namespace db::obs

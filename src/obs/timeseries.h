@@ -1,0 +1,65 @@
+// Deterministic load time-series: named series sampled on simulated-
+// cycle boundaries — the load-signal substrate a (future) autoscaler
+// reads.
+//
+// Sampling contract: the *producer* picks a fixed sample interval in
+// simulated cycles and appends one point per series per boundary, in
+// non-decreasing cycle order (enforced).  Because the grid is derived
+// from the simulated schedule — never from wall-clock time — two runs
+// of the same workload append identical points, and the JSON export
+// (series in sorted name order, points in append order) is
+// byte-identical.  The inference server samples queue depth, in-flight
+// requests, cumulative admission sheds and per-replica busy fractions
+// at every boundary of a power-of-two interval covering its makespan
+// (see serve/inference_server.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace db::obs {
+
+/// One sample: the simulated cycle of the boundary and the value there.
+struct TimeSeriesPoint {
+  std::int64_t cycle = 0;
+  double value = 0.0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder() = default;
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Record the sampling interval the producer chose (cycles between
+  /// boundaries; >= 1).  Exported with the series so consumers can
+  /// reconstruct the grid.
+  void SetSampleInterval(std::int64_t cycles);
+  std::int64_t sample_interval() const;
+
+  /// Append one point to the named series (created on first use).
+  /// Cycles must be non-decreasing within a series.
+  void Append(std::string_view series, std::int64_t cycle, double value);
+
+  /// The named series' points (empty for a never-appended name).
+  std::vector<TimeSeriesPoint> SeriesOf(std::string_view series) const;
+
+  std::size_t size() const;  // number of series
+
+  /// JSON object {"sample_interval_cycles": N, "series": {name:
+  /// [[cycle, value], ...], ...}} with series names in sorted order;
+  /// byte-stable for equal contents.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t sample_interval_ = 1;
+  std::map<std::string, std::vector<TimeSeriesPoint>, std::less<>>
+      series_;
+};
+
+}  // namespace db::obs

@@ -283,6 +283,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
     }
     ++rep.invocations;
     std::int64_t recovery = stall;
+    if (stall > 0) rep.busy_intervals.emplace_back(cycle, cycle + stall);
     cycle += stall;
 
     // 2. Deadline: an expired request completes without occupying
@@ -320,6 +321,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
       record.detail = scrub_cycles_;
       rep.fault_records.push_back(record);
       ++rep.scrubs;
+      rep.busy_intervals.emplace_back(cycle, cycle + scrub_cycles_);
       cycle += scrub_cycles_;
       recovery += scrub_cycles_;
     }
@@ -348,6 +350,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
       record.end_cycle = cycle + charged + backoff;
       record.detail = backoff;
       rep.fault_records.push_back(record);
+      rep.busy_intervals.emplace_back(cycle, cycle + charged + backoff);
       cycle += charged + backoff;
       recovery += charged + backoff;
       --failures;
@@ -395,6 +398,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
       ++completed_;
     }
     rep.busy_cycles += run.perf.total_cycles;
+    rep.busy_intervals.emplace_back(cycle, finish);
     ++rep.requests;
     cycle = finish;
   }
@@ -416,7 +420,10 @@ const std::vector<ServedRequest>& InferenceServer::Drain() {
     DB_CHECK_MSG(completed_ ==
                      static_cast<std::int64_t>(results_.size()),
                  "drained server left requests incomplete");
-    if (!drained_) PublishObservability();
+    if (!drained_) {
+      PublishObservability();
+      if (options_.timeseries != nullptr) PublishTimeSeries();
+    }
     drained_ = true;
   }
   state_.store(ServerState::kStopped);
@@ -560,6 +567,11 @@ void InferenceServer::PublishObservability() {
       }
       const std::int64_t service_start = r.finish_cycle - r.service_cycles;
       m.AddCounter("serve.dram_bytes", r.dram_bytes);
+      // The end-to-end latency histogram: the same HistogramStats type
+      // (and the same samples) ComputeServerStats aggregates, so the
+      // registry's quantiles and ServerStats' percentiles agree exactly.
+      m.Observe("serve.latency_cycles",
+                static_cast<double>(r.finish_cycle - r.arrival_cycle));
       m.Observe("serve.queue_wait_cycles",
                 static_cast<double>(service_start - r.arrival_cycle));
       m.Observe("serve.service_cycles",
@@ -624,6 +636,75 @@ void InferenceServer::PublishObservability() {
     m.AddCounter("fault.injected.stall", stalls);
     m.AddCounter("fault.scrubs", scrubs);
     m.AddCounter("fault.recovery_cycles", recovery_cycles);
+  }
+}
+
+void InferenceServer::PublishTimeSeries() {
+  // Sampled purely from the final records and the replicas' busy
+  // intervals — simulated-cycle state, never thread timing — so two
+  // runs of the same workload export byte-identical series.
+  obs::TimeSeriesRecorder& ts = *options_.timeseries;
+  std::int64_t makespan = 0;
+  for (const ServedRequest& r : results_)
+    makespan =
+        std::max(makespan, std::max(r.finish_cycle, r.arrival_cycle));
+  std::int64_t interval = options_.timeseries_interval_cycles;
+  if (interval <= 0) {
+    interval = 1;
+    while (CeilDiv(makespan, interval) + 1 > 64) interval <<= 1;
+  }
+  ts.SetSampleInterval(interval);
+
+  // State deltas on the simulated timeline.  Departures sort before
+  // same-cycle arrivals (-1 < +1), matching the queue-depth convention
+  // of the peak gauge.
+  std::vector<std::pair<std::int64_t, int>> depth_events;
+  std::vector<std::pair<std::int64_t, int>> inflight_events;
+  std::vector<std::int64_t> shed_cycles;  // disposition cycles, non-kOk
+  for (const ServedRequest& r : results_) {
+    switch (r.status) {
+      case StatusCode::kRejected:
+        shed_cycles.push_back(r.finish_cycle);  // never entered the queue
+        continue;
+      case StatusCode::kShed:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kFaulted:
+        depth_events.emplace_back(r.arrival_cycle, +1);
+        depth_events.emplace_back(r.finish_cycle, -1);
+        shed_cycles.push_back(r.finish_cycle);
+        continue;
+      case StatusCode::kOk: break;
+    }
+    const std::int64_t service_start = r.finish_cycle - r.service_cycles;
+    depth_events.emplace_back(r.arrival_cycle, +1);
+    depth_events.emplace_back(service_start, -1);
+    inflight_events.emplace_back(service_start, +1);
+    inflight_events.emplace_back(r.finish_cycle, -1);
+  }
+  std::sort(depth_events.begin(), depth_events.end());
+  std::sort(inflight_events.begin(), inflight_events.end());
+  std::sort(shed_cycles.begin(), shed_cycles.end());
+
+  const std::int64_t last = CeilDiv(makespan, interval) * interval;
+  std::size_t di = 0, ii = 0, si = 0;
+  std::int64_t depth = 0, in_flight = 0;
+  for (std::int64_t t = 0;; t += interval) {
+    while (di < depth_events.size() && depth_events[di].first <= t)
+      depth += depth_events[di++].second;
+    while (ii < inflight_events.size() && inflight_events[ii].first <= t)
+      in_flight += inflight_events[ii++].second;
+    while (si < shed_cycles.size() && shed_cycles[si] <= t) ++si;
+    ts.Append("load.queue_depth", t, static_cast<double>(depth));
+    ts.Append("load.in_flight", t, static_cast<double>(in_flight));
+    ts.Append("load.sheds", t, static_cast<double>(si));
+    for (int w = 0; w < pool_.size(); ++w)
+      ts.Append(StrFormat("load.replica%d.busy", w), t,
+                t == 0 ? 0.0
+                       : static_cast<double>(cluster::BusyInWindow(
+                             pool_.replica(w).busy_intervals,
+                             t - interval, t)) /
+                             static_cast<double>(interval));
+    if (t >= last) break;
   }
 }
 

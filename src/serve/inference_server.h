@@ -56,6 +56,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
@@ -132,6 +133,19 @@ struct ServeOptions {
   /// deterministic).
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional deterministic load time-series sink, populated once at
+  /// Drain() from the final records and replica busy intervals.  Series
+  /// (all sampled on the same simulated-cycle grid): "load.queue_depth"
+  /// (requests whose service has not started), "load.in_flight"
+  /// (requests inside a datapath window), "load.sheds" (cumulative
+  /// shed + rejected + expired + faulted dispositions) and
+  /// "load.replica<r>.busy" (busy fraction of the *preceding* sample
+  /// window, in [0, 1]).
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  /// Sample interval in simulated cycles; 0 picks the smallest power of
+  /// two giving at most 64 sample boundaries over the makespan, so the
+  /// export stays compact for any workload length.
+  std::int64_t timeseries_interval_cycles = 0;
 };
 
 class InferenceServer {
@@ -201,6 +215,9 @@ class InferenceServer {
   /// Emit spans + metrics from the completed records (results_mu_ held,
   /// lanes joined); runs once, from the first Drain().
   void PublishObservability();
+  /// Sample the load time-series from the final records and replica
+  /// busy intervals (same preconditions as PublishObservability).
+  void PublishTimeSeries();
 
   const Network& net_;
   const AcceleratorDesign& design_;

@@ -7,23 +7,9 @@
 #include <utility>
 
 #include "common/error.h"
-#include "common/math_util.h"
 #include "common/strings.h"
 
 namespace db::serve {
-namespace {
-
-/// Nearest-rank percentile over an ascending-sorted vector.
-double NearestRank(const std::vector<double>& sorted, double q) {
-  DB_CHECK(!sorted.empty());
-  const auto n = static_cast<std::int64_t>(sorted.size());
-  const std::int64_t rank =
-      std::max<std::int64_t>(CeilDiv(static_cast<std::int64_t>(q * n), 100),
-                             1);
-  return sorted[static_cast<std::size_t>(rank - 1)];
-}
-
-}  // namespace
 
 double ServerStats::WorkerUtilization(int worker) const {
   DB_CHECK(worker >= 0 &&
@@ -96,9 +82,6 @@ ServerStats ComputeServerStats(
 
   const double cycles_to_s = 1.0 / (frequency_mhz * 1e6);
   std::int64_t first_arrival = std::numeric_limits<std::int64_t>::max();
-  std::vector<double> latencies;
-  latencies.reserve(requests.size());
-  double latency_sum = 0.0;
   for (const ServedRequest& r : requests) {
     stats.retries += r.retries;
     stats.recovery_cycles += r.recovery_cycles;
@@ -121,10 +104,8 @@ ServerStats ComputeServerStats(
                  "request finishes before it arrives");
     stats.makespan_cycles = std::max(stats.makespan_cycles, r.finish_cycle);
     first_arrival = std::min(first_arrival, r.arrival_cycle);
-    const double lat =
-        static_cast<double>(r.finish_cycle - r.arrival_cycle) * cycles_to_s;
-    latencies.push_back(lat);
-    latency_sum += lat;
+    stats.latency_cycles.Observe(
+        static_cast<double>(r.finish_cycle - r.arrival_cycle));
     stats.total_dram_bytes += r.dram_bytes;
     stats.total_joules += r.joules;
   }
@@ -133,7 +114,8 @@ ServerStats ComputeServerStats(
         static_cast<std::int64_t>(replica_batch_ids[w].size());
   stats.makespan_seconds =
       static_cast<double>(stats.makespan_cycles) * cycles_to_s;
-  if (latencies.empty()) return stats;  // nothing reached the datapath
+  if (stats.latency_cycles.count == 0)
+    return stats;  // nothing reached the datapath
 
   const double span_s =
       static_cast<double>(stats.makespan_cycles - first_arrival) *
@@ -141,12 +123,11 @@ ServerStats ComputeServerStats(
   if (span_s > 0)
     stats.throughput_rps = static_cast<double>(stats.completed) / span_s;
 
-  std::sort(latencies.begin(), latencies.end());
-  stats.latency_p50_s = NearestRank(latencies, 50);
-  stats.latency_p90_s = NearestRank(latencies, 90);
-  stats.latency_p99_s = NearestRank(latencies, 99);
-  stats.latency_max_s = latencies.back();
-  stats.latency_mean_s = latency_sum / static_cast<double>(latencies.size());
+  stats.latency_p50_s = stats.latency_cycles.P50() * cycles_to_s;
+  stats.latency_p90_s = stats.latency_cycles.P90() * cycles_to_s;
+  stats.latency_p99_s = stats.latency_cycles.P99() * cycles_to_s;
+  stats.latency_max_s = stats.latency_cycles.max * cycles_to_s;
+  stats.latency_mean_s = stats.latency_cycles.Mean() * cycles_to_s;
   return stats;
 }
 

@@ -7,9 +7,13 @@
 //
 //   latency = finish_cycle − arrival_cycle
 //
-// Percentiles use the nearest-rank definition on the sorted latency
-// list: p(q) = sorted[⌈q/100 · n⌉ − 1], so p100 and `max` coincide and
-// every reported percentile is a latency that actually occurred.
+// Percentiles come from the shared log-bucket quantile histogram
+// (obs::HistogramStats): latencies are observed *in cycles* into
+// `latency_cycles` and every reported percentile is that histogram's
+// deterministic nearest-rank bucket quantile converted to seconds.
+// Benches and the server's metrics registry use the same histogram
+// type over the same samples, so BENCH_serve.json and the
+// `serve.latency_cycles` metric can never disagree.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 
 namespace db::serve {
@@ -72,7 +77,13 @@ struct ServerStats {
   /// requests / (last finish − first arrival), in simulated seconds.
   double throughput_rps = 0.0;
 
-  /// Nearest-rank latency percentiles, simulated seconds.
+  /// Latency distribution of the kOk requests in simulated cycles —
+  /// the shared quantile histogram the percentiles below are read from
+  /// (identical, bucket for bucket, to the server's
+  /// `serve.latency_cycles` registry metric).
+  obs::HistogramStats latency_cycles;
+
+  /// Bucket quantiles of `latency_cycles`, simulated seconds.
   double latency_p50_s = 0.0;
   double latency_p90_s = 0.0;
   double latency_p99_s = 0.0;

@@ -1,7 +1,9 @@
 #include "sim/perf_model.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -51,6 +53,27 @@ LayerTraffic ComputeTraffic(const IrLayer& layer, const TileSpec& layout,
   t.fetch_bytes = static_cast<std::int64_t>(fetched);
   t.useful_bytes = input_bytes * passes + weight_bytes;
   return t;
+}
+
+/// Total overlap between two sets of intervals, each internally sorted
+/// and disjoint (the DRAM channel and the datapath both serialise their
+/// transactions, so the per-layer interval lists satisfy this by
+/// construction).
+std::int64_t OverlapCycles(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& a,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& b) {
+  std::size_t i = 0, j = 0;
+  std::int64_t total = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].first, b[j].first);
+    const std::int64_t hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second)
+      ++i;
+    else
+      ++j;
+  }
+  return total;
 }
 
 }  // namespace
@@ -131,6 +154,13 @@ PerfResult SimulatePerformance(const Network& net,
     // the layer completes when the drain finishes.
     std::vector<std::int64_t> compute_end(static_cast<std::size_t>(segs),
                                           0);
+    // Busy intervals of the layer, for the cycle attribution below.
+    // Each resource serialises its transactions, so both lists are
+    // sorted and disjoint.
+    std::vector<std::pair<std::int64_t, std::int64_t>> dram_iv;
+    std::vector<std::pair<std::int64_t, std::int64_t>> compute_iv;
+    dram_iv.reserve(static_cast<std::size_t>(segs) + 1);
+    compute_iv.reserve(static_cast<std::size_t>(segs));
     std::int64_t last_compute_end = layer_start;
     for (std::int64_t s = 0; s < segs; ++s) {
       std::int64_t fetch_start = std::max(dram_free, layer_start);
@@ -148,6 +178,8 @@ PerfResult SimulatePerformance(const Network& net,
       compute_end[static_cast<std::size_t>(s)] = c_end;
       datapath_free = c_end;
       last_compute_end = c_end;
+      dram_iv.emplace_back(fetch_start, fetch_end);
+      compute_iv.emplace_back(compute_start, c_end);
       if (options.trace != nullptr) {
         options.trace->events.push_back({TraceEvent::Resource::kDram,
                                          layer->id, fetch_start,
@@ -166,10 +198,24 @@ PerfResult SimulatePerformance(const Network& net,
       options.trace->events.push_back({TraceEvent::Resource::kDram,
                                        layer->id, drain_start, drain_end});
     dram_free = drain_end;
+    if (drain_end > drain_start) dram_iv.emplace_back(drain_start, drain_end);
     now = std::max(last_compute_end, drain_end) +
           options.layer_overhead_cycles;
     datapath_free = now;
     lt.total_cycles = now - layer_start;
+
+    // Exact wall-clock attribution: DRAM-busy time not hidden behind
+    // the datapath is the memory-bound share; the fold unit work is the
+    // compute-bound share; everything else on the critical path —
+    // segment/coordinator overheads, the layer fill/drain allowance and
+    // waits where both resources idled — is control/stall.  The three
+    // buckets partition total_cycles by construction.
+    std::int64_t dram_busy = 0;
+    for (const auto& [lo, hi] : dram_iv) dram_busy += hi - lo;
+    lt.dram_transfer_cycles = dram_busy - OverlapCycles(dram_iv, compute_iv);
+    lt.datapath_mac_cycles = fold.unit_work * segs;
+    lt.control_stall_cycles =
+        lt.total_cycles - lt.dram_transfer_cycles - lt.datapath_mac_cycles;
 
     result.total_dram_bytes += lt.dram_bytes;
     result.layers.push_back(std::move(lt));
@@ -188,11 +234,62 @@ PerfResult SimulatePerformance(const Network& net,
       m.AddCounter("sim.memory_cycles", lt.memory_cycles);
       m.AddCounter("sim.fold_segments", lt.segments);
       m.AddCounter("sim.refetch_passes", lt.refetch_passes);
+      m.AddCounter("sim.dram_transfer_cycles", lt.dram_transfer_cycles);
+      m.AddCounter("sim.datapath_mac_cycles", lt.datapath_mac_cycles);
+      m.AddCounter("sim.control_stall_cycles", lt.control_stall_cycles);
       m.Observe("sim.layer_cycles",
                 static_cast<double>(lt.total_cycles));
     }
   }
   return result;
+}
+
+obs::ProfileReport BuildProfileReport(const Network& net,
+                                      const AcceleratorDesign& design,
+                                      const PerfResult& perf) {
+  obs::ProfileReport report;
+  report.model = net.name();
+  report.frequency_mhz = perf.frequency_mhz;
+  report.lanes = design.config.TotalLanes();
+  report.total_cycles = perf.total_cycles;
+  report.total_dram_bytes = perf.total_dram_bytes;
+
+  std::map<int, const LayerTiming*> by_id;
+  for (const LayerTiming& lt : perf.layers) by_id[lt.layer_id] = &lt;
+
+  const std::int64_t lanes =
+      std::max<std::int64_t>(design.config.TotalLanes(), 1);
+  const std::int64_t elem = design.config.ElementBytes();
+  report.layers.reserve(perf.layers.size());
+  for (const IrLayer* layer : net.ComputeLayers()) {
+    const auto it = by_id.find(layer->id);
+    if (it == by_id.end()) continue;  // layer folded away by the planner
+    const LayerTiming& lt = *it->second;
+    const LayerStats stats = ComputeLayerStats(*layer);
+
+    obs::LayerProfile p;
+    p.layer_id = lt.layer_id;
+    p.name = lt.name;
+    p.segments = lt.segments;
+    p.total_cycles = lt.total_cycles;
+    p.dram_cycles = lt.dram_transfer_cycles;
+    p.mac_cycles = lt.datapath_mac_cycles;
+    p.stall_cycles = lt.control_stall_cycles;
+    p.dram_bytes = lt.dram_bytes;
+    p.refetch_passes = lt.refetch_passes;
+    if (lt.total_cycles > 0)
+      p.pe_utilization = std::min(
+          1.0, static_cast<double>(stats.macs) /
+                   (static_cast<double>(lanes) *
+                    static_cast<double>(lt.total_cycles)));
+    if (design.config.data_buffer_bytes > 0)
+      p.buffer_utilization = std::min(
+          1.0, static_cast<double>(stats.input_elems * elem) /
+                   static_cast<double>(design.config.data_buffer_bytes));
+    report.layers.push_back(std::move(p));
+  }
+  report.Sort();
+  return report;
 }
 
 BatchResult SimulateBatch(const Network& net,

@@ -16,6 +16,7 @@
 
 #include "core/generator.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/trace.h"
 
 namespace db {
@@ -59,6 +60,18 @@ struct LayerTiming {
   /// Input re-streaming passes forced by data-buffer overflow (1 = the
   /// working set fit and streamed once).
   std::int64_t refetch_passes = 1;
+
+  /// Wall-clock attribution of `total_cycles` — an exact partition
+  /// derived from the segment interval timeline (the three buckets sum
+  /// to total_cycles; asserted across the zoo in profile_test):
+  ///   * dram_transfer_cycles: DRAM channel busy while the datapath
+  ///     idled (exposed memory time, the memory-bound share);
+  ///   * datapath_mac_cycles: fold unit work (pure MAC-array time);
+  ///   * control_stall_cycles: segment/coordinator overheads, pipeline
+  ///     fill/drain, and waits where both resources idled.
+  std::int64_t dram_transfer_cycles = 0;
+  std::int64_t datapath_mac_cycles = 0;
+  std::int64_t control_stall_cycles = 0;
 };
 
 /// Whole-network timing.
@@ -79,6 +92,15 @@ struct PerfResult {
 PerfResult SimulatePerformance(const Network& net,
                                const AcceleratorDesign& design,
                                const PerfOptions& options = {});
+
+/// Fold a simulated run into the per-layer bottleneck-attribution
+/// report (obs/profile.h): the LayerTiming attribution buckets plus
+/// PE/buffer utilisation derived from the layer statistics and the
+/// design configuration, sorted hottest-first.  Byte-stable renderings;
+/// `deepburning profile` is this function over a fresh simulation.
+obs::ProfileReport BuildProfileReport(const Network& net,
+                                      const AcceleratorDesign& design,
+                                      const PerfResult& perf);
 
 /// Batched invocation: the first image pays the cold-weight run; later
 /// images reuse buffered weights where they fit (latency vs throughput,

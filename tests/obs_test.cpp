@@ -5,16 +5,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/generator.h"
 #include "models/zoo.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "sim/trace.h"
 
@@ -182,6 +185,223 @@ TEST(Metrics, HistogramTracksStreamingStats) {
   EXPECT_DOUBLE_EQ(h.Mean(), 6.0);
 }
 
+TEST(Metrics, EmptyHistogramIsTheDocumentedZeroState) {
+  // The zero state: count 0, every aggregate and quantile exactly 0.0.
+  const obs::HistogramStats h;
+  EXPECT_EQ(h.count, 0);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P90(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P999(), 0.0);
+  EXPECT_TRUE(h.buckets.empty());
+  // A never-observed registry name reads the same zero state.
+  MetricsRegistry m;
+  EXPECT_EQ(m.HistogramOf("never").count, 0);
+  EXPECT_DOUBLE_EQ(m.HistogramOf("never").P99(), 0.0);
+}
+
+TEST(Metrics, SingleSampleHistogramReportsItExactly) {
+  // The bucket quantile is clamped into [min, max], so one sample is
+  // reported exactly at every quantile — even off a bucket boundary.
+  obs::HistogramStats h;
+  h.Observe(37.0);
+  EXPECT_EQ(h.count, 1);
+  EXPECT_DOUBLE_EQ(h.min, 37.0);
+  EXPECT_DOUBLE_EQ(h.max, 37.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 37.0);
+  EXPECT_DOUBLE_EQ(h.P50(), 37.0);
+  EXPECT_DOUBLE_EQ(h.P999(), 37.0);
+}
+
+TEST(Metrics, FirstSampleInitialisesMinAndMax) {
+  // min/max must come from the first sample, not from the zero state —
+  // otherwise a first sample above 0 would leave min at 0.0 forever.
+  obs::HistogramStats h;
+  h.Observe(500.0);
+  EXPECT_DOUBLE_EQ(h.min, 500.0);
+  EXPECT_DOUBLE_EQ(h.max, 500.0);
+  h.Observe(700.0);
+  EXPECT_DOUBLE_EQ(h.min, 500.0);
+  EXPECT_DOUBLE_EQ(h.max, 700.0);
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.min, 3.0);
+  EXPECT_DOUBLE_EQ(h.max, 700.0);
+}
+
+TEST(Metrics, BucketSchemeIsLogScaledWithFixedBoundaries) {
+  using obs::HistogramStats;
+  // Values below 1.0 (including negatives) share the underflow bucket.
+  EXPECT_EQ(HistogramStats::BucketIndex(0.0), 0);
+  EXPECT_EQ(HistogramStats::BucketIndex(-17.0), 0);
+  EXPECT_EQ(HistogramStats::BucketIndex(0.999), 0);
+  EXPECT_DOUBLE_EQ(HistogramStats::BucketLowerBound(0), 0.0);
+  // Powers of two open their octave at sub-bucket 0.
+  EXPECT_EQ(HistogramStats::BucketIndex(1.0), 1);
+  EXPECT_EQ(HistogramStats::BucketIndex(2.0),
+            1 + HistogramStats::kSubBuckets);
+  EXPECT_EQ(HistogramStats::BucketIndex(4.0),
+            1 + 2 * HistogramStats::kSubBuckets);
+  // Every value's bucket lower bound is <= the value, within 1/32.
+  for (const double v : {1.0, 1.5, 3.0, 37.0, 1000.0, 123456.789, 1e12}) {
+    const std::int32_t index = HistogramStats::BucketIndex(v);
+    const double lb = HistogramStats::BucketLowerBound(index);
+    EXPECT_LE(lb, v) << v;
+    EXPECT_GT(lb * (1.0 + 2.0 / HistogramStats::kSubBuckets), v) << v;
+  }
+}
+
+TEST(Metrics, HistogramQuantilesAreDeterministicBucketReads) {
+  obs::HistogramStats h;
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  // Nearest rank 50 = sample 50, which sits exactly on its bucket's
+  // lower boundary (octave [32, 64) has unit-width sub-buckets); the
+  // p99 rank is sample 99, whose octave-[64, 128) bucket [98, 100)
+  // opens at 98.
+  EXPECT_DOUBLE_EQ(h.P50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 98.0);
+  // Quantiles never leave the observed range.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(100.0), 100.0);
+  // Relative error of every quantile is bounded by the bucket width.
+  for (const double q : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double exact = std::ceil(q);  // nearest-rank over 1..100
+    const double bucketed = h.Quantile(q);
+    EXPECT_LE(bucketed, exact);
+    EXPECT_GE(bucketed * (1.0 + 2.0 / obs::HistogramStats::kSubBuckets),
+              exact)
+        << q;
+  }
+}
+
+TEST(Metrics, HistogramMergeIsCommutativeAndAssociative) {
+  obs::HistogramStats a, b, c;
+  for (int i = 0; i < 50; ++i) a.Observe(static_cast<double>(10 + i));
+  for (int i = 0; i < 30; ++i) b.Observe(static_cast<double>(1000 + 7 * i));
+  c.Observe(2.5);
+
+  obs::HistogramStats ab = a;
+  ab.Merge(b);
+  ab.Merge(c);
+  obs::HistogramStats cb = c;
+  cb.Merge(b);
+  cb.Merge(a);
+  EXPECT_EQ(ab.count, cb.count);
+  EXPECT_DOUBLE_EQ(ab.sum, cb.sum);
+  EXPECT_DOUBLE_EQ(ab.min, cb.min);
+  EXPECT_DOUBLE_EQ(ab.max, cb.max);
+  EXPECT_EQ(ab.buckets, cb.buckets);
+  EXPECT_DOUBLE_EQ(ab.P50(), cb.P50());
+  EXPECT_DOUBLE_EQ(ab.P999(), cb.P999());
+  // Merging an empty histogram is the identity.
+  obs::HistogramStats with_empty = ab;
+  with_empty.Merge(obs::HistogramStats{});
+  EXPECT_EQ(with_empty.buckets, ab.buckets);
+  EXPECT_DOUBLE_EQ(with_empty.min, ab.min);
+}
+
+TEST(Metrics, RegistryMergeFromCombinesCommutativeKinds) {
+  MetricsRegistry a;
+  a.AddCounter("sim.invocations", 3);
+  a.Observe("serve.latency_cycles", 100.0);
+  a.SetGauge("serve.replicas", 2.0);
+  MetricsRegistry b;
+  b.AddCounter("sim.invocations", 4);
+  b.Observe("serve.latency_cycles", 900.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("sim.invocations"), 7);
+  const obs::HistogramStats h = a.HistogramOf("serve.latency_cycles");
+  EXPECT_EQ(h.count, 2);
+  EXPECT_DOUBLE_EQ(h.min, 100.0);
+  EXPECT_DOUBLE_EQ(h.max, 900.0);
+  EXPECT_DOUBLE_EQ(a.GaugeValue("serve.replicas"), 2.0);
+}
+
+TEST(Metrics, ShuffledThreadedPublicationIsByteIdentical) {
+  // N threads publish disjoint slices of one sample set in shuffled
+  // per-thread orders; any interleaving must yield byte-identical JSON
+  // and identical quantiles — the property that lets the server's
+  // replica lanes share one registry.
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 400;
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic LCG-ish
+  for (int i = 0; i < kSamples; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    samples.push_back(static_cast<double>(1 + (state >> 40)));
+  }
+
+  auto publish = [&](std::uint64_t seed) {
+    auto registry = std::make_unique<MetricsRegistry>();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Each thread walks its stride-slice in a seed-dependent
+        // rotation, so runs interleave (and order within a thread)
+        // differently while the multiset of samples stays fixed.
+        const int slice = kSamples / kThreads;
+        const int offset =
+            static_cast<int>((seed + static_cast<std::uint64_t>(t)) %
+                             static_cast<std::uint64_t>(slice));
+        for (int i = 0; i < slice; ++i) {
+          const int k = (offset + i) % slice;
+          registry->Observe(
+              "serve.latency_cycles",
+              samples[static_cast<std::size_t>(k * kThreads + t)]);
+          registry->AddCounter("sim.invocations");
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    return registry;
+  };
+
+  const auto a = publish(1);
+  const auto b = publish(99);
+  EXPECT_EQ(a->ToJson(), b->ToJson());
+  const obs::HistogramStats ha = a->HistogramOf("serve.latency_cycles");
+  const obs::HistogramStats hb = b->HistogramOf("serve.latency_cycles");
+  EXPECT_EQ(ha.count, kSamples);
+  EXPECT_DOUBLE_EQ(ha.P50(), hb.P50());
+  EXPECT_DOUBLE_EQ(ha.P99(), hb.P99());
+  EXPECT_DOUBLE_EQ(ha.P999(), hb.P999());
+  EXPECT_EQ(ha.buckets, hb.buckets);
+}
+
+TEST(TimeSeries, AppendAndExportAreDeterministic) {
+  obs::TimeSeriesRecorder ts;
+  ts.SetSampleInterval(64);
+  ts.Append("load.queue_depth", 0, 0.0);
+  ts.Append("load.queue_depth", 64, 3.0);
+  ts.Append("load.queue_depth", 128, 1.0);
+  ts.Append("load.replica0.busy", 0, 0.0);
+  ts.Append("load.replica0.busy", 64, 0.5);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.sample_interval(), 64);
+  ASSERT_EQ(ts.SeriesOf("load.queue_depth").size(), 3u);
+  EXPECT_EQ(ts.SeriesOf("load.queue_depth")[1].cycle, 64);
+  EXPECT_DOUBLE_EQ(ts.SeriesOf("load.queue_depth")[1].value, 3.0);
+  EXPECT_TRUE(ts.SeriesOf("never").empty());
+
+  const std::string expected =
+      "{\n  \"sample_interval_cycles\": 64,\n  \"series\": {\n"
+      "    \"load.queue_depth\": [[0, 0], [64, 3], [128, 1]],\n"
+      "    \"load.replica0.busy\": [[0, 0], [64, 0.5]]\n  }\n}\n";
+  EXPECT_EQ(ts.ToJson(), expected);
+  EXPECT_TRUE(JsonValidator(ts.ToJson()).Valid());
+}
+
+TEST(TimeSeries, RejectsDecreasingCycles) {
+  obs::TimeSeriesRecorder ts;
+  ts.Append("s", 100, 1.0);
+  EXPECT_THROW(ts.Append("s", 99, 2.0), std::logic_error);
+  EXPECT_THROW(ts.SetSampleInterval(0), std::logic_error);
+}
+
 TEST(Metrics, SizeSpansAllThreeKinds) {
   MetricsRegistry m;
   EXPECT_EQ(m.size(), 0u);
@@ -210,7 +430,8 @@ TEST(Metrics, JsonGolden) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"serve.wait\": {\"count\": 2, \"sum\": 6, \"min\": 2, "
-      "\"max\": 4, \"mean\": 3}\n"
+      "\"max\": 4, \"mean\": 3, \"p50\": 2, \"p90\": 4, \"p99\": 4, "
+      "\"p999\": 4}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(m.ToJson(), expected);

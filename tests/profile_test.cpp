@@ -1,0 +1,126 @@
+// Tests for the per-layer bottleneck-attribution profiler: the exact
+// cycle partition (dram + mac + stall == total, per layer and over the
+// whole design) against SimulatePerformance across the zoo, and the
+// byte-stability of both report renderings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/generator.h"
+#include "models/zoo.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "sim/perf_model.h"
+
+namespace db {
+namespace {
+
+TEST(Profile, AttributionPartitionsTotalCyclesAcrossTheZoo) {
+  for (const ZooModel model : AllZooModels()) {
+    SCOPED_TRACE(ZooModelName(model));
+    const Network net = BuildZooModel(model);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    const PerfResult perf = SimulatePerformance(net, design);
+
+    std::int64_t layer_total = 0;
+    for (const LayerTiming& lt : perf.layers) {
+      SCOPED_TRACE(lt.name);
+      // The three buckets partition the layer's wall clock exactly: no
+      // lost cycles, no double counting, no negative residue.
+      EXPECT_GE(lt.dram_transfer_cycles, 0);
+      EXPECT_GE(lt.datapath_mac_cycles, 0);
+      EXPECT_GE(lt.control_stall_cycles, 0);
+      EXPECT_EQ(lt.dram_transfer_cycles + lt.datapath_mac_cycles +
+                    lt.control_stall_cycles,
+                lt.total_cycles);
+      layer_total += lt.total_cycles;
+    }
+    // Layers are simulated back to back, so the per-layer windows also
+    // tile the whole run.
+    EXPECT_EQ(layer_total, perf.total_cycles);
+
+    const obs::ProfileReport report =
+        BuildProfileReport(net, design, perf);
+    EXPECT_EQ(report.total_cycles, perf.total_cycles);
+    EXPECT_EQ(report.layers.size(), perf.layers.size());
+    EXPECT_EQ(report.TotalDramCycles() + report.TotalMacCycles() +
+                  report.TotalStallCycles(),
+              report.total_cycles);
+  }
+}
+
+TEST(Profile, AttributionCountersMatchTheReport) {
+  const Network net = BuildZooModel(ZooModel::kMnist);
+  const AcceleratorDesign design = GenerateAccelerator(net, DbConstraint());
+  obs::MetricsRegistry metrics;
+  PerfOptions options;
+  options.metrics = &metrics;
+  const PerfResult perf = SimulatePerformance(net, design, options);
+  const obs::ProfileReport report = BuildProfileReport(net, design, perf);
+  EXPECT_EQ(metrics.CounterValue("sim.dram_transfer_cycles"),
+            report.TotalDramCycles());
+  EXPECT_EQ(metrics.CounterValue("sim.datapath_mac_cycles"),
+            report.TotalMacCycles());
+  EXPECT_EQ(metrics.CounterValue("sim.control_stall_cycles"),
+            report.TotalStallCycles());
+  EXPECT_EQ(metrics.CounterValue("sim.dram_transfer_cycles") +
+                metrics.CounterValue("sim.datapath_mac_cycles") +
+                metrics.CounterValue("sim.control_stall_cycles"),
+            metrics.CounterValue("sim.total_cycles"));
+}
+
+TEST(Profile, ReportIsSortedHottestFirstWithSaneUtilisation) {
+  const Network net = BuildZooModel(ZooModel::kAlexnet);
+  const AcceleratorDesign design = GenerateAccelerator(net, DbConstraint());
+  const PerfResult perf = SimulatePerformance(net, design);
+  const obs::ProfileReport report = BuildProfileReport(net, design, perf);
+  ASSERT_FALSE(report.layers.empty());
+  EXPECT_EQ(report.model, net.name());
+  EXPECT_EQ(report.lanes, design.config.TotalLanes());
+  for (std::size_t i = 1; i < report.layers.size(); ++i) {
+    const obs::LayerProfile& prev = report.layers[i - 1];
+    const obs::LayerProfile& cur = report.layers[i];
+    EXPECT_TRUE(prev.total_cycles > cur.total_cycles ||
+                (prev.total_cycles == cur.total_cycles &&
+                 prev.layer_id < cur.layer_id))
+        << "layer " << i << " breaks the bottleneck order";
+  }
+  for (const obs::LayerProfile& l : report.layers) {
+    SCOPED_TRACE(l.name);
+    EXPECT_GE(l.pe_utilization, 0.0);
+    EXPECT_LE(l.pe_utilization, 1.0);
+    EXPECT_GE(l.buffer_utilization, 0.0);
+    EXPECT_LE(l.buffer_utilization, 1.0);
+    EXPECT_TRUE(std::string(l.Bound()) == "memory" ||
+                std::string(l.Bound()) == "compute");
+  }
+}
+
+TEST(Profile, RenderingsAreByteStableAcrossRuns) {
+  auto render = [] {
+    const Network net = BuildZooModel(ZooModel::kAlexnet);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    const PerfResult perf = SimulatePerformance(net, design);
+    const obs::ProfileReport report =
+        BuildProfileReport(net, design, perf);
+    return report.ToText() + "\n---\n" + report.ToJson();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(Profile, BoundClassificationFollowsTheDominantBucket) {
+  obs::LayerProfile memory_bound;
+  memory_bound.dram_cycles = 100;
+  memory_bound.mac_cycles = 40;
+  EXPECT_STREQ(memory_bound.Bound(), "memory");
+  obs::LayerProfile compute_bound;
+  compute_bound.dram_cycles = 40;
+  compute_bound.mac_cycles = 100;
+  EXPECT_STREQ(compute_bound.Bound(), "compute");
+}
+
+}  // namespace
+}  // namespace db

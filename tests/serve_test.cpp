@@ -11,6 +11,7 @@
 #include "models/zoo.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "serve/batcher.h"
 #include "serve/inference_server.h"
@@ -509,6 +510,105 @@ TEST(InferenceServer, DrainWithNoRequestsIsEmpty) {
   const ServerStats stats = server.Stats();
   EXPECT_EQ(stats.requests, 0);
   EXPECT_EQ(stats.makespan_cycles, 0);
+}
+
+TEST(InferenceServer, LatencyPercentilesMatchTheRegistryHistogram) {
+  // ServerStats reads its percentiles off the same shared quantile
+  // histogram the server publishes as serve.latency_cycles, so the two
+  // surfaces can never disagree — the BENCH_serve.json contract.
+  Fixture fx(ZooModel::kMnist);
+  obs::MetricsRegistry metrics;
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch_size = 4;
+  options.metrics = &metrics;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  for (const Tensor& input : fx.Inputs(12)) server.Submit(input, 0);
+  server.Drain();
+  const ServerStats stats = server.Stats();
+  const obs::HistogramStats published =
+      metrics.HistogramOf("serve.latency_cycles");
+  ASSERT_EQ(published.count, stats.latency_cycles.count);
+  EXPECT_EQ(published.buckets, stats.latency_cycles.buckets);
+  const double cycles_to_s = 1.0 / (stats.frequency_mhz * 1e6);
+  EXPECT_DOUBLE_EQ(stats.latency_p50_s, published.P50() * cycles_to_s);
+  EXPECT_DOUBLE_EQ(stats.latency_p90_s, published.P90() * cycles_to_s);
+  EXPECT_DOUBLE_EQ(stats.latency_p99_s, published.P99() * cycles_to_s);
+  EXPECT_DOUBLE_EQ(stats.latency_max_s, published.max * cycles_to_s);
+}
+
+TEST(InferenceServer, LoadTimeSeriesIsDeterministicAndWellFormed) {
+  Fixture fx(ZooModel::kMnist);
+  const auto inputs = fx.Inputs(12);
+  auto run = [&](obs::TimeSeriesRecorder& ts) {
+    ServeOptions options;
+    options.workers = 2;
+    options.max_batch_size = 2;
+    options.timeseries = &ts;
+    InferenceServer server(fx.net, fx.design, fx.weights, options);
+    std::int64_t arrival = 0;
+    for (const Tensor& input : inputs) {
+      server.Submit(input, arrival);
+      arrival += 50;
+    }
+    server.Drain();
+    return server.Stats();
+  };
+
+  obs::TimeSeriesRecorder a;
+  const ServerStats stats = run(a);
+
+  // Well-formed: every series sampled on the same power-of-two grid
+  // covering the makespan, busy fractions within [0, 1], queue depth
+  // and in-flight returning to zero once the run drains.
+  EXPECT_EQ(a.size(), 3u + 2u);  // load.* plus one busy series per replica
+  const std::int64_t interval = a.sample_interval();
+  EXPECT_GE(interval, 1);
+  EXPECT_EQ(interval & (interval - 1), 0);  // power of two
+  const auto depth = a.SeriesOf("load.queue_depth");
+  ASSERT_FALSE(depth.empty());
+  EXPECT_LE(depth.size(), 65u);
+  EXPECT_GE(depth.back().cycle, stats.makespan_cycles);
+  EXPECT_DOUBLE_EQ(depth.back().value, 0.0);
+  for (std::size_t i = 0; i < depth.size(); ++i)
+    EXPECT_EQ(depth[i].cycle, static_cast<std::int64_t>(i) * interval);
+  const auto in_flight = a.SeriesOf("load.in_flight");
+  ASSERT_EQ(in_flight.size(), depth.size());
+  EXPECT_DOUBLE_EQ(in_flight.back().value, 0.0);
+  const auto sheds = a.SeriesOf("load.sheds");
+  ASSERT_EQ(sheds.size(), depth.size());
+  EXPECT_DOUBLE_EQ(sheds.back().value, 0.0);  // nothing shed here
+  for (int w = 0; w < 2; ++w) {
+    const auto busy = a.SeriesOf(StrFormat("load.replica%d.busy", w));
+    ASSERT_EQ(busy.size(), depth.size());
+    EXPECT_DOUBLE_EQ(busy.front().value, 0.0);  // no window before cycle 0
+    for (const obs::TimeSeriesPoint& p : busy) {
+      EXPECT_GE(p.value, 0.0);
+      EXPECT_LE(p.value, 1.0);
+    }
+  }
+
+  // Deterministic: a second identical run exports identical bytes.
+  obs::TimeSeriesRecorder b;
+  run(b);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(InferenceServer, TimeSeriesHonoursExplicitSampleInterval) {
+  Fixture fx(ZooModel::kMnist);
+  obs::TimeSeriesRecorder ts;
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch_size = 4;
+  options.timeseries = &ts;
+  options.timeseries_interval_cycles = 1000;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+  for (const Tensor& input : fx.Inputs(4)) server.Submit(input, 0);
+  server.Drain();
+  EXPECT_EQ(ts.sample_interval(), 1000);
+  const auto depth = ts.SeriesOf("load.queue_depth");
+  ASSERT_GE(depth.size(), 2u);
+  EXPECT_EQ(depth[1].cycle - depth[0].cycle, 1000);
 }
 
 }  // namespace

@@ -24,6 +24,14 @@
 //   deepburning verify (--zoo MNIST | --model m.prototxt)
 //     [--constraint file] [--json]
 //
+// The `profile` subcommand simulates one forward propagation and prints
+// the per-layer bottleneck-attribution report (DRAM-transfer vs
+// datapath-MAC vs control/stall cycles, PE/buffer utilisation, sorted
+// hottest-first; byte-stable across runs):
+//
+//   deepburning profile (<zoo-name> | --zoo NAME | --model m.prototxt)
+//     [--constraint file] [--json] [--out <file>]
+//
 // --design-cache points both commands at a content-addressed on-disk
 // cache of generator output: a warm entry for the same canonical
 // (network, constraint) pair skips NN-Gen entirely (zero toolchain
@@ -53,6 +61,8 @@
 #include "models/zoo.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "rtl/testbench.h"
 #include "serve/inference_server.h"
@@ -68,6 +78,7 @@ struct CliOptions {
   std::string out_dir = "deepburning_out";
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;  // per-layer bottleneck report (JSON)
   std::string design_cache;  // content-addressed generator cache dir
   bool report = false;
   bool simulate = false;
@@ -85,7 +96,9 @@ void PrintUsage() {
       "       deepburning serve ...   (batched inference server; "
       "`deepburning serve --help`)\n"
       "       deepburning verify ...  (static design verifier; "
-      "`deepburning verify --help`)\n\n"
+      "`deepburning verify --help`)\n"
+      "       deepburning profile ... (per-layer bottleneck report; "
+      "`deepburning profile --help`)\n\n"
       "  --model       Caffe-compatible network descriptive script "
       "(required)\n"
       "  --constraint  designer resource constraint script (default: "
@@ -98,6 +111,8 @@ void PrintUsage() {
       "                also per-layer DRAM/datapath intervals) for "
       "Perfetto\n"
       "  --metrics-out write the metrics registry as JSON\n"
+      "  --profile-out write the per-layer bottleneck-attribution report "
+      "as JSON\n"
       "  --design-cache  content-addressed cache directory for generator\n"
       "                output; a warm entry skips NN-Gen entirely\n"
       "  --help        this message\n");
@@ -137,6 +152,7 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.out_dir = next();
     } else if (FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
                FlagValue(arg, "--metrics-out", next, &opts.metrics_out) ||
+               FlagValue(arg, "--profile-out", next, &opts.profile_out) ||
                FlagValue(arg, "--design-cache", next,
                          &opts.design_cache)) {
     } else if (arg == "--report") {
@@ -158,6 +174,8 @@ struct ServeCliOptions {
   std::string constraint_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;     // steady-state bottleneck report (JSON)
+  std::string timeseries_out;  // load time-series export (JSON)
   std::string faults;     // fault-campaign spec, e.g. "seed=7,flips=100"
   std::string admission;  // block | reject | shed-oldest
   std::string router;     // round-robin | least-loaded | hash-affinity
@@ -228,7 +246,12 @@ void PrintServeUsage() {
       "as\n"
       "                 Chrome-trace JSON (open in Perfetto)\n"
       "  --metrics-out  write the serve.*/sim.* metrics registry as "
-      "JSON\n");
+      "JSON\n"
+      "  --profile-out  write the steady-state per-layer bottleneck "
+      "report as JSON\n"
+      "  --timeseries-out  write the load.* time-series (queue depth,\n"
+      "                 in-flight, sheds, per-replica busy fraction,\n"
+      "                 sampled on simulated-cycle boundaries) as JSON\n");
 }
 
 db::ZooModel ZooModelByName(const std::string& name) {
@@ -363,7 +386,10 @@ int RunServe(int argc, char** argv) {
                FlagValue(arg, "--design-cache", next,
                          &opts.design_cache) ||
                FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
-               FlagValue(arg, "--metrics-out", next, &opts.metrics_out)) {
+               FlagValue(arg, "--metrics-out", next, &opts.metrics_out) ||
+               FlagValue(arg, "--profile-out", next, &opts.profile_out) ||
+               FlagValue(arg, "--timeseries-out", next,
+                         &opts.timeseries_out)) {
     } else if (arg == "--help" || arg == "-h") {
       opts.help = true;
     } else {
@@ -426,7 +452,9 @@ int RunServe(int argc, char** argv) {
   Rng rng(2016);
   WeightStore weights = WeightStore::CreateRandom(net, rng);
 
+  obs::TimeSeriesRecorder timeseries;
   serve::ServeOptions server_opts;
+  if (!opts.timeseries_out.empty()) server_opts.timeseries = &timeseries;
   server_opts.workers = opts.workers;
   server_opts.replicas = opts.replicas;
   server_opts.router = router;
@@ -480,6 +508,98 @@ int RunServe(int argc, char** argv) {
               obs::WriteChromeTrace(tracer, design.config.frequency_mhz));
   if (!opts.metrics_out.empty())
     WriteFile(opts.metrics_out, metrics.ToJson());
+  if (!opts.profile_out.empty()) {
+    // The steady-state invocation is what every warm request pays, so
+    // its attribution is the serving-relevant bottleneck picture.
+    PerfOptions steady = server_opts.perf;
+    steady.trace = nullptr;
+    steady.metrics = nullptr;
+    steady.weights_resident = true;
+    const PerfResult perf = SimulatePerformance(net, design, steady);
+    WriteFile(opts.profile_out,
+              BuildProfileReport(net, design, perf).ToJson());
+  }
+  if (!opts.timeseries_out.empty())
+    WriteFile(opts.timeseries_out, timeseries.ToJson());
+  return 0;
+}
+
+void PrintProfileUsage() {
+  std::printf(
+      "usage: deepburning profile (<zoo-name> | --zoo <name> | "
+      "--model <model.prototxt>)\n"
+      "                           [--constraint <constraint.prototxt>] "
+      "[--json]\n"
+      "                           [--out <file>]\n\n"
+      "Generates the accelerator, simulates one forward propagation and\n"
+      "prints the per-layer bottleneck-attribution report: each layer's\n"
+      "total cycles split exactly into DRAM-transfer (exposed memory\n"
+      "time), datapath-MAC and control/stall buckets, plus PE and data-\n"
+      "buffer utilisation, sorted hottest-first.  Byte-stable across\n"
+      "runs.\n\n"
+      "  --zoo         benchmark model name (ANN-0, ANN-1, ANN-2, "
+      "Hopfield,\n"
+      "                CMAC, MNIST, Alexnet, NiN, Cifar); a bare first\n"
+      "                argument is shorthand for --zoo\n"
+      "  --model       Caffe-compatible network script instead of --zoo\n"
+      "  --constraint  designer resource constraint script (default: "
+      "medium\n"
+      "                Zynq-7045 budget)\n"
+      "  --json        print the report as canonical JSON instead of "
+      "text\n"
+      "  --out         also write the report to a file\n");
+}
+
+int RunProfile(int argc, char** argv) {
+  using namespace db;
+  std::string zoo_name;
+  std::string model_path;
+  std::string constraint_path;
+  std::string out_path;
+  bool json = false;
+  bool help = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--zoo") {
+      zoo_name = next();
+    } else if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--constraint") {
+      constraint_path = next();
+    } else if (FlagValue(arg, "--out", next, &out_path)) {
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      help = true;
+    } else if (!arg.empty() && arg[0] != '-' && zoo_name.empty() &&
+               model_path.empty()) {
+      zoo_name = arg;  // `deepburning profile Alexnet`
+    } else {
+      throw Error("unknown profile argument '" + arg + "' (see --help)");
+    }
+  }
+  if (help || (zoo_name.empty() && model_path.empty())) {
+    PrintProfileUsage();
+    return help ? 0 : 2;
+  }
+
+  const NetworkDef def = ParseNetworkDef(
+      zoo_name.empty() ? ReadFile(model_path)
+                       : ZooModelPrototxt(ZooModelByName(zoo_name)));
+  const Network net = Network::Build(def);
+  const DesignConstraint constraint =
+      constraint_path.empty() ? ParseConstraint(std::string())
+                              : ParseConstraint(ReadFile(constraint_path));
+  const AcceleratorDesign design = GenerateAccelerator(net, constraint);
+  const PerfResult perf = SimulatePerformance(net, design);
+  const obs::ProfileReport report = BuildProfileReport(net, design, perf);
+  std::printf("%s", (json ? report.ToJson() : report.ToText()).c_str());
+  if (!out_path.empty())
+    WriteFile(out_path, json ? report.ToJson() : report.ToText());
   return 0;
 }
 
@@ -517,6 +637,8 @@ int main(int argc, char** argv) {
       return RunServe(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "verify")
       return RunVerify(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "profile")
+      return RunProfile(argc, argv);
     const CliOptions opts = ParseArgs(argc, argv);
     if (opts.help || opts.model_path.empty()) {
       PrintUsage();
@@ -596,6 +718,11 @@ int main(int argc, char** argv) {
       std::printf("\nsimulated forward propagation: %.4f ms, %.4f J\n",
                   perf.TotalMs(), energy.total_joules);
       std::printf("%s\n", perf.ToString().c_str());
+    }
+    if (!opts.profile_out.empty()) {
+      const PerfResult perf = SimulatePerformance(net, design);
+      WriteFile(opts.profile_out,
+                BuildProfileReport(net, design, perf).ToJson());
     }
     if (!opts.trace_out.empty())
       WriteFile(opts.trace_out,
