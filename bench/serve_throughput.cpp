@@ -262,5 +262,143 @@ int main() {
         "scale (that is the policy's point for multi-model pools).\n");
     if (!identical) return 1;
   }
+
+  // --- Cluster chaos campaign: crash / hang / slow / route-fail over a
+  // 4-replica pool, plus the hedging latency contract ---
+  {
+    constexpr int kChaosRequests = 64;
+    constexpr int kChaosReplicas = 4;
+    const Network net = BuildZooModel(ZooModel::kMnist);
+    const AcceleratorDesign design =
+        GenerateAccelerator(net, DbConstraint());
+    Rng rng(2016);
+    const WeightStore weights = WeightStore::CreateRandom(net, rng);
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < kChaosRequests; ++i)
+      inputs.push_back(
+          MakeInput(net, 1300 + static_cast<std::uint64_t>(i)));
+
+    auto serve_chaos = [&](const fault::FaultPlan& plan,
+                           std::int64_t hedge_after, std::int64_t gap,
+                           cluster::RouterPolicy router) {
+      serve::ServeOptions options;
+      options.replicas = kChaosReplicas;
+      options.router = router;
+      options.max_batch_size = 2;
+      options.faults = plan;
+      options.hedge_after_cycles = hedge_after;
+      options.breaker.enabled = true;
+      serve::InferenceServer server(net, design, weights, options);
+      std::int64_t arrival = 0;
+      for (const Tensor& input : inputs) {
+        server.Submit(input, arrival);
+        arrival += gap;
+      }
+      std::vector<serve::ServedRequest> records = server.Drain();
+      return std::make_pair(std::move(records), server.Stats());
+    };
+
+    fault::FaultCampaignSpec spec;
+    spec.seed = 11;
+    spec.crashes = 2;
+    spec.hangs = 2;
+    spec.slow_replicas = 1;
+    spec.route_fails = 3;
+    spec.weight_flips = 40;
+    spec.transients = 4;
+    spec.invocation_span = kChaosRequests / kChaosReplicas;
+    spec.workers = kChaosReplicas;
+    const fault::FaultPlan plan =
+        fault::FaultPlan::Generate(spec, design.memory_map);
+
+    const auto [clean_records, clean_stats] = serve_chaos(
+        fault::FaultPlan{}, 0, 50, cluster::RouterPolicy::kLeastLoaded);
+    const auto [chaos_records, chaos_stats] =
+        serve_chaos(plan, 0, 50, cluster::RouterPolicy::kLeastLoaded);
+
+    // Zero lost requests: every submitted request has a completed
+    // record, and every kOk output is bit-identical to fault-free.
+    bool zero_lost =
+        chaos_records.size() == static_cast<std::size_t>(kChaosRequests);
+    std::int64_t ok = 0, identical = 0;
+    for (std::size_t i = 0; i < chaos_records.size(); ++i) {
+      if (chaos_records[i].status != StatusCode::kOk) continue;
+      ++ok;
+      if (chaos_records[i].output.storage() ==
+          clean_records[i].output.storage())
+        ++identical;
+    }
+    std::printf(
+        "\n=== Cluster chaos: MNIST, %d requests, %d replicas, plan "
+        "seed=%llu (%zu events) ===\n",
+        kChaosRequests, kChaosReplicas,
+        static_cast<unsigned long long>(plan.seed), plan.events.size());
+    std::printf("%s", chaos_stats.ToString().c_str());
+    std::printf(
+        "  resilience: %lld/%lld records complete, %lld/%lld kOk outputs "
+        "bit-identical to fault-free%s\n",
+        static_cast<long long>(chaos_records.size()),
+        static_cast<long long>(kChaosRequests),
+        static_cast<long long>(identical), static_cast<long long>(ok),
+        (zero_lost && identical == ok) ? "" : "  ** MISMATCH **");
+    if (!zero_lost || identical != ok) return 1;
+
+    // Hedging contract: under a slow-replica-only campaign, hedged p99
+    // must stay within the documented bound of the fault-free p99
+    // (DESIGN.md: 5x — hedge_after of three steady invocations plus the
+    // hedge's own service, against a one-invocation fault-free p99).
+    // Regime: unsaturated arrivals (one steady invocation apart) under
+    // round-robin, so the slow replica keeps receiving its traffic
+    // share — the case hedging exists for; least-loaded would route
+    // around the backlog on its own.
+    fault::FaultCampaignSpec slow_spec;
+    slow_spec.seed = 13;
+    slow_spec.slow_replicas = 2;
+    slow_spec.slow_factor = 8;
+    slow_spec.slow_services = 16;
+    slow_spec.invocation_span = kChaosRequests / kChaosReplicas;
+    slow_spec.workers = kChaosReplicas;
+    const fault::FaultPlan slow_plan =
+        fault::FaultPlan::Generate(slow_spec, design.memory_map);
+
+    // Hedge once a batch's planned completion exceeds three steady
+    // invocations past ready: normal batches stay under it, an
+    // 8x-degraded batch trips it immediately.
+    serve::InferenceServer probe(net, design, weights, {});
+    const std::int64_t steady = probe.steady_cycles();
+    probe.Drain();
+    const std::int64_t hedge_after = 3 * steady;
+
+    const auto [clean_rr_records, clean_rr_stats] = serve_chaos(
+        fault::FaultPlan{}, 0, steady, cluster::RouterPolicy::kRoundRobin);
+    const auto [slow_records, slow_stats] = serve_chaos(
+        slow_plan, 0, steady, cluster::RouterPolicy::kRoundRobin);
+    const auto [hedged_records, hedged_stats] =
+        serve_chaos(slow_plan, hedge_after, steady,
+                    cluster::RouterPolicy::kRoundRobin);
+    bool hedged_identical = true;
+    for (std::size_t i = 0; i < hedged_records.size(); ++i)
+      if (hedged_records[i].status != StatusCode::kOk ||
+          hedged_records[i].output.storage() !=
+              clean_rr_records[i].output.storage())
+        hedged_identical = false;
+    const double bound = 5.0;
+    const bool within =
+        hedged_stats.latency_p99_s <=
+            bound * clean_rr_stats.latency_p99_s &&
+        hedged_stats.latency_p99_s < slow_stats.latency_p99_s;
+    std::printf(
+        "  hedging (slow-replica campaign, %lld hedges, %lld won): p99 "
+        "fault-free %.4f ms, unhedged %.4f ms, hedged %.4f ms "
+        "(%.2fx fault-free, bound %.1fx)%s%s\n",
+        static_cast<long long>(hedged_stats.hedges),
+        static_cast<long long>(hedged_stats.hedge_wins),
+        clean_rr_stats.latency_p99_s * 1e3,
+        slow_stats.latency_p99_s * 1e3, hedged_stats.latency_p99_s * 1e3,
+        hedged_stats.latency_p99_s / clean_rr_stats.latency_p99_s, bound,
+        within ? "" : "  ** BOUND EXCEEDED **",
+        hedged_identical ? "" : "  ** OUTPUT MISMATCH **");
+    if (!within || !hedged_identical) return 1;
+  }
   return 0;
 }

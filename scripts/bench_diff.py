@@ -52,7 +52,16 @@ def main():
                         help="allowed fractional regression (default 0.10)")
     args = parser.parse_args()
 
-    old_doc, new_doc = load(args.old), load(args.new)
+    # A missing or unreadable baseline is not a regression: first runs
+    # on a fresh checkout (or a machine that never committed snapshots)
+    # have nothing to compare against.  The *new* snapshot must parse.
+    try:
+        old_doc = load(args.old)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {args.old}: {e}")
+        print("bench_diff: no baseline, skipping")
+        return 0
+    new_doc = load(args.new)
     if old_doc.get("schema") != new_doc.get("schema"):
         sys.exit(f"bench_diff: schema mismatch: {old_doc.get('schema')} "
                  f"vs {new_doc.get('schema')}")

@@ -64,6 +64,14 @@ echo "== tier-1: ASan fault campaign (ctest -L faults) =="
 cmake --build --preset asan -j "${JOBS}" --target fault_test
 ctest --preset asan -j "${JOBS}" -L faults
 
+echo "== tier-1: ASan cluster chaos campaign (ctest -L chaos) =="
+# Cluster-level resilience under ASan+UBSan: replica crash re-dispatch,
+# health-monitor readmission, circuit breaking and hedging must keep
+# every request accounted for (and bit-identical where kOk) while the
+# recovery paths stay memory-clean.
+cmake --build --preset asan -j "${JOBS}" --target chaos_test
+ctest --preset asan -j "${JOBS}" -L chaos
+
 echo "== tier-1: bench smoke (perf-trajectory harness + diff tool) =="
 # Minimal-run trajectory into a temp dir, then bench_diff.py over the
 # committed snapshots: proves the harness runs, the JSON parses, and the

@@ -49,4 +49,52 @@ int ShardRouter::Route(std::span<const std::int64_t> replica_free_cycle) {
   return 0;
 }
 
+int ShardRouter::Route(std::span<const std::int64_t> replica_free_cycle,
+                       const std::vector<bool>& routable) {
+  DB_CHECK_MSG(static_cast<int>(replica_free_cycle.size()) == replicas_ &&
+                   static_cast<int>(routable.size()) == replicas_,
+               "free-cycle/routable vectors do not match the replica "
+               "count");
+  const bool any =
+      std::find(routable.begin(), routable.end(), true) != routable.end();
+  // Liveness fallback: with the whole pool non-routable the unmasked
+  // policy decides (the dispatch still waits on the replica's simulated
+  // readmission through its free cycle).
+  if (!any) return Route(replica_free_cycle);
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin: {
+      const std::int64_t base = next_batch_++;
+      for (int k = 0; k < replicas_; ++k) {
+        const int r = static_cast<int>(
+            (base + k) % static_cast<std::int64_t>(replicas_));
+        if (routable[static_cast<std::size_t>(r)]) return r;
+      }
+      break;
+    }
+    case RouterPolicy::kLeastLoaded: {
+      int best = -1;
+      for (int r = 0; r < replicas_; ++r) {
+        if (!routable[static_cast<std::size_t>(r)]) continue;
+        if (best < 0 ||
+            replica_free_cycle[static_cast<std::size_t>(r)] <
+                replica_free_cycle[static_cast<std::size_t>(best)])
+          best = r;
+      }
+      return best;
+    }
+    case RouterPolicy::kHashAffinity: {
+      const auto base = static_cast<std::int64_t>(
+          affinity_hash_ % static_cast<std::uint64_t>(replicas_));
+      for (int k = 0; k < replicas_; ++k) {
+        const int r = static_cast<int>(
+            (base + k) % static_cast<std::int64_t>(replicas_));
+        if (routable[static_cast<std::size_t>(r)]) return r;
+      }
+      break;
+    }
+  }
+  DB_CHECK_MSG(false, "unreachable masked route");
+  return 0;
+}
+
 }  // namespace db::cluster

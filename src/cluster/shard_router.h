@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace db::cluster {
 
@@ -44,6 +45,16 @@ class ShardRouter {
   /// the simulated cycle replica r's datapath frees; it must have one
   /// entry per replica.
   int Route(std::span<const std::int64_t> replica_free_cycle);
+
+  /// Health-masked overload: only replicas with `routable[r]` true are
+  /// candidates — round-robin and hash-affinity scan forward from
+  /// their anchor to the first routable replica, least-loaded takes the
+  /// earliest-free routable one.  When nothing is routable the policy
+  /// falls back to the full pool (liveness over purity: a batch must
+  /// land somewhere; the health monitor readmits, it never strands
+  /// work).  Deterministic like the unmasked form.
+  int Route(std::span<const std::int64_t> replica_free_cycle,
+            const std::vector<bool>& routable);
 
   RouterPolicy policy() const { return policy_; }
   int replicas() const { return replicas_; }

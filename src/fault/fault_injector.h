@@ -40,19 +40,30 @@ class FaultInjector {
   /// Events naming a worker outside [0, workers) throw db::Error.
   FaultInjector(const FaultPlan& plan, int workers);
 
-  /// Worker `w`'s events, sorted by invocation.
+  /// Worker `w`'s datapath events (kBitFlip / kTransient / kStall),
+  /// sorted by invocation.  Cluster-level kinds never appear here.
   const std::vector<FaultEvent>& ForWorker(int worker) const;
+
+  /// Replica `r`'s cluster-level events (kCrash / kHang / kSlow /
+  /// kRouteFail), sorted by invocation.  The `invocation` coordinate of
+  /// a cluster event counts *scheduled* services on the replica — the
+  /// dispatcher's view — not lane-side attempts; the dispatcher fires
+  /// each event at the dispatch whose invocation window reaches it.
+  const std::vector<FaultEvent>& ClusterForReplica(int replica) const;
 
   /// True if `worker`'s slice contains any weight-region bit flip — the
   /// only fault kind that requires per-invocation integrity checks.
   bool HasWeightFlips(int worker) const;
 
   std::size_t total_events() const { return total_events_; }
+  std::size_t cluster_events() const { return cluster_events_; }
 
  private:
   std::vector<std::vector<FaultEvent>> per_worker_;
+  std::vector<std::vector<FaultEvent>> per_replica_cluster_;
   std::vector<bool> has_weight_flips_;
   std::size_t total_events_ = 0;
+  std::size_t cluster_events_ = 0;
 };
 
 /// FNV-1a over every weight region's bytes, in map order — the scrub

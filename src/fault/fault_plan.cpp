@@ -84,6 +84,27 @@ FaultCampaignSpec ParseFaultCampaign(const std::string& spec) {
     } else if (key == "stall-cycles") {
       if (n < 1) throw Error("fault spec: stall-cycles must be >= 1");
       campaign.stall_cycles = n;
+    } else if (key == "crashes") {
+      campaign.crashes = static_cast<int>(n);
+    } else if (key == "hangs") {
+      campaign.hangs = static_cast<int>(n);
+    } else if (key == "slow-replicas") {
+      campaign.slow_replicas = static_cast<int>(n);
+    } else if (key == "route-fails") {
+      campaign.route_fails = static_cast<int>(n);
+    } else if (key == "crash-down-cycles") {
+      if (n < 1) throw Error("fault spec: crash-down-cycles must be >= 1");
+      campaign.crash_down_cycles = n;
+    } else if (key == "hang-cycles") {
+      if (n < 1) throw Error("fault spec: hang-cycles must be >= 1");
+      campaign.hang_cycles = n;
+    } else if (key == "slow-factor") {
+      if (n < 2 || n > 1024)
+        throw Error("fault spec: slow-factor must be in [2, 1024]");
+      campaign.slow_factor = n;
+    } else if (key == "slow-services") {
+      if (n < 1) throw Error("fault spec: slow-services must be >= 1");
+      campaign.slow_services = n;
     } else if (key == "span") {
       if (n < 1) throw Error("fault spec: span must be >= 1");
       campaign.invocation_span = n;
@@ -96,7 +117,9 @@ FaultCampaignSpec ParseFaultCampaign(const std::string& spec) {
     } else {
       throw Error("fault spec: unknown key '" + key +
                   "' (seed, flips, blob-flips, transients, stalls, "
-                  "stall-cycles, span, workers, replicas)");
+                  "stall-cycles, crashes, hangs, slow-replicas, "
+                  "route-fails, crash-down-cycles, hang-cycles, "
+                  "slow-factor, slow-services, span, workers, replicas)");
     }
   }
   return campaign;
@@ -151,6 +174,34 @@ FaultPlan FaultPlan::Generate(const FaultCampaignSpec& spec,
     event.stall_cycles = spec.stall_cycles;
     plan.events.push_back(event);
   }
+  for (int i = 0; i < spec.crashes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kCrash;
+    coordinate(event);
+    event.down_cycles = spec.crash_down_cycles;
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < spec.hangs; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kHang;
+    coordinate(event);
+    event.stall_cycles = spec.hang_cycles;
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < spec.slow_replicas; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kSlow;
+    coordinate(event);
+    event.slow_factor = spec.slow_factor;
+    event.slow_services = spec.slow_services;
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < spec.route_fails; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kRouteFail;
+    coordinate(event);
+    plan.events.push_back(event);
+  }
   return plan;
 }
 
@@ -171,8 +222,20 @@ std::string FaultPlan::ToString() const {
       case FaultKind::kTransient:
         break;
       case FaultKind::kStall:
+      case FaultKind::kHang:
         os << StrFormat(" cycles=%lld",
                         static_cast<long long>(event.stall_cycles));
+        break;
+      case FaultKind::kCrash:
+        os << StrFormat(" down=%lld",
+                        static_cast<long long>(event.down_cycles));
+        break;
+      case FaultKind::kSlow:
+        os << StrFormat(" factor=%lld services=%lld",
+                        static_cast<long long>(event.slow_factor),
+                        static_cast<long long>(event.slow_services));
+        break;
+      case FaultKind::kRouteFail:
         break;
     }
     os << "\n";

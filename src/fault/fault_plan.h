@@ -26,6 +26,14 @@ enum class FaultKind {
   kBitFlip,    // flip one DRAM bit of the worker's private image
   kTransient,  // one invocation attempt fails and must be retried
   kStall,      // the worker stalls for `stall_cycles` simulated cycles
+  // Cluster-level kinds (see IsClusterFault): consumed by the serving
+  // dispatcher against replica-level state, never by a replica lane.
+  kCrash,      // the replica dies; in-flight work re-dispatches, the
+               // replica readmits after `down_cycles` plus a scrub
+  kHang,       // unresponsive for `stall_cycles`; heartbeats go missing
+  kSlow,       // the next `slow_services` invocations cost
+               // `slow_factor`x their normal cycles
+  kRouteFail,  // one routing attempt to the replica fails transiently
 };
 
 constexpr const char* FaultKindName(FaultKind kind) {
@@ -33,8 +41,20 @@ constexpr const char* FaultKindName(FaultKind kind) {
     case FaultKind::kBitFlip: return "bit_flip";
     case FaultKind::kTransient: return "transient";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kSlow: return "slow";
+    case FaultKind::kRouteFail: return "route_fail";
   }
   return "unknown";
+}
+
+/// Cluster faults perturb replica availability (crash / hang / slow /
+/// route failure) instead of a worker's datapath state; the injector
+/// deals them into per-replica cluster slices the dispatcher consumes.
+constexpr bool IsClusterFault(FaultKind kind) {
+  return kind == FaultKind::kCrash || kind == FaultKind::kHang ||
+         kind == FaultKind::kSlow || kind == FaultKind::kRouteFail;
 }
 
 /// One scheduled fault.  `invocation` is a worker-local request-service
@@ -48,7 +68,10 @@ struct FaultEvent {
   std::int64_t addr = 0;          // kBitFlip: absolute image byte address
   int bit = 0;                    // kBitFlip: bit index in [0, 8)
   bool weight_region = true;      // kBitFlip: weight vs activation region
-  std::int64_t stall_cycles = 0;  // kStall: simulated cycles lost
+  std::int64_t stall_cycles = 0;  // kStall / kHang: simulated cycles lost
+  std::int64_t down_cycles = 0;   // kCrash: cycles dead before readmission
+  std::int64_t slow_factor = 1;   // kSlow: service-cycle multiplier
+  std::int64_t slow_services = 0; // kSlow: invocations the factor covers
 };
 
 /// Knobs for generating a seeded random campaign.
@@ -59,6 +82,16 @@ struct FaultCampaignSpec {
   int transients = 0;     // transient invocation failures
   int stalls = 0;         // injected worker stalls
   std::int64_t stall_cycles = 256;  // duration of each stall
+  // Cluster-level event counts (replica crash / hang / slow-replica /
+  // transient route failure) and their shapes.
+  int crashes = 0;
+  int hangs = 0;
+  int slow_replicas = 0;
+  int route_fails = 0;
+  std::int64_t crash_down_cycles = 4096;  // dead window before readmission
+  std::int64_t hang_cycles = 2048;        // unresponsive window per hang
+  std::int64_t slow_factor = 4;           // service-cycle multiplier
+  std::int64_t slow_services = 8;         // invocations the factor covers
   /// Events spread uniformly over worker-local invocations
   /// [0, invocation_span); keep at or below requests/workers so every
   /// event actually fires.
@@ -68,7 +101,9 @@ struct FaultCampaignSpec {
 
 /// Parse a CLI campaign spec:
 ///   "seed=7,flips=100,blob-flips=4,transients=5,stalls=2,
-///    stall-cycles=512,span=32"
+///    stall-cycles=512,crashes=1,hangs=2,slow-replicas=1,
+///    route-fails=3,crash-down-cycles=4096,hang-cycles=2048,
+///    slow-factor=4,slow-services=8,span=32"
 /// Unknown keys or malformed values throw db::Error.  `workers` is not
 /// part of the spec; the caller sets it from the serving options.
 FaultCampaignSpec ParseFaultCampaign(const std::string& spec);

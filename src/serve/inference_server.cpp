@@ -25,6 +25,17 @@ int ResolveReplicaCount(const ServeOptions& options) {
 
 }  // namespace
 
+std::int64_t RetryBackoffCycles(std::int64_t base, int attempt,
+                                std::int64_t cap) {
+  if (base <= 0) return 0;
+  if (attempt < 0) attempt = 0;
+  // `base << attempt` overflows exactly when base > cap >> attempt (or
+  // the shift itself would exceed the int64 width); both saturate to the
+  // cap instead of wrapping.
+  if (attempt >= 63 || base > (cap >> attempt)) return cap;
+  return std::min(cap, base << attempt);
+}
+
 InferenceServer::InferenceServer(const Network& net,
                                  const AcceleratorDesign& design,
                                  const WeightStore& weights,
@@ -40,10 +51,17 @@ InferenceServer::InferenceServer(const Network& net,
       pool_(net, design, provisioned_, replica_count_),
       batcher_(BatchPolicy{options_.max_batch_size,
                            options_.linger_cycles}),
-      router_(options_.router, replica_count_, options_.affinity_hash) {
+      router_(options_.router, replica_count_, options_.affinity_hash),
+      monitor_(replica_count_, options_.health),
+      breaker_(replica_count_, options_.breaker) {
   DB_CHECK_MSG(options_.max_retries >= 0, "max_retries must be >= 0");
   DB_CHECK_MSG(options_.retry_backoff_cycles >= 1,
                "retry_backoff_cycles must be >= 1");
+  DB_CHECK_MSG(options_.max_retry_backoff_cycles >=
+                   options_.retry_backoff_cycles,
+               "max_retry_backoff_cycles must be >= retry_backoff_cycles");
+  DB_CHECK_MSG(options_.hedge_after_cycles >= 0,
+               "hedge_after_cycles must be >= 0");
   DB_CHECK_MSG(options_.deadline_cycles >= 0,
                "deadline_cycles must be >= 0");
 
@@ -72,11 +90,20 @@ InferenceServer::InferenceServer(const Network& net,
               std::max<std::int64_t>(port_bytes, 1)),
       1);
 
+  // The health monitor charges the same scrub-and-reload cost the lanes
+  // do, so a readmitted replica turns kHealthy exactly when its lane's
+  // scrub pass finishes in simulated time.
+  monitor_.set_readmit_scrub_cycles(scrub_cycles_);
+
   // The DRAM image was built exactly once (provisioned_); the pool
   // stamped out one private copy per replica and started the lanes.
   replica_free_cycle_.assign(static_cast<std::size_t>(replica_count_), 0);
   replica_scheduled_warm_.assign(static_cast<std::size_t>(replica_count_),
                                  false);
+  scheduled_invocations_.assign(static_cast<std::size_t>(replica_count_),
+                                0);
+  cluster_cursor_.assign(static_cast<std::size_t>(replica_count_), 0);
+  slow_.assign(static_cast<std::size_t>(replica_count_), SlowState{});
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   state_.store(ServerState::kServing);
 }
@@ -186,33 +213,326 @@ std::int64_t InferenceServer::Submit(Tensor input,
 }
 
 void InferenceServer::DispatchBatch(Batch batch) {
-  // Deterministic placement: the router sees only the simulated
-  // free-cycle vector, itself a pure function of the dispatch history
-  // (kLeastLoaded reproduces the historical earliest-free placement,
-  // ties broken towards the lowest index).
-  const int r = router_.Route(replica_free_cycle_);
-  const std::int64_t start =
-      std::max(batch.ready_cycle,
-               replica_free_cycle_[static_cast<std::size_t>(r)]);
+  const std::int64_t ready = batch.ready_cycle;
+  ScheduleOnCluster(std::move(batch), ready);
+}
 
-  // The schedule is the fault-free plan: shed tombstones and injected
+InferenceServer::BatchPlan InferenceServer::PlanBatch(
+    int r, const Batch& batch, std::int64_t ready) const {
+  // The schedule is the fault-free plan plus the replica's *known*
+  // cluster state (slow factor): shed tombstones and injected datapath
   // delays surface in the replica's own timeline, never here, so
-  // placement stays a pure function of the arrival stream.
+  // placement stays a pure function of the arrival stream and the
+  // seeded fault plan.
+  BatchPlan plan;
+  plan.start = std::max(
+      ready, replica_free_cycle_[static_cast<std::size_t>(r)]);
   std::int64_t duration = 0;
+  std::int64_t slow_left = slow_[static_cast<std::size_t>(r)].services;
+  const std::int64_t factor = slow_[static_cast<std::size_t>(r)].factor;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const bool warm =
         replica_scheduled_warm_[static_cast<std::size_t>(r)] || i > 0;
-    duration += warm ? steady_cycles_ : cold_cycles_;
+    const std::int64_t base = warm ? steady_cycles_ : cold_cycles_;
+    std::int64_t penalty = 0;
+    if (slow_left > 0) {
+      penalty = base * (factor - 1);
+      --slow_left;
+    }
+    plan.penalties.push_back(penalty);
+    duration += base + penalty;
   }
-  replica_free_cycle_[static_cast<std::size_t>(r)] = start + duration;
+  plan.finish = plan.start + duration;
+  return plan;
+}
+
+bool InferenceServer::FireClusterEvents(int r, std::int64_t size,
+                                        std::int64_t ready,
+                                        CrashSplit* crash) {
+  const std::vector<fault::FaultEvent>& events =
+      injector_.ClusterForReplica(r);
+  const std::int64_t scheduled =
+      scheduled_invocations_[static_cast<std::size_t>(r)];
+  std::size_t& cursor = cluster_cursor_[static_cast<std::size_t>(r)];
+  while (cursor < events.size() &&
+         events[cursor].invocation < scheduled + size) {
+    const fault::FaultEvent& event = events[cursor];
+    switch (event.kind) {
+      case fault::FaultKind::kRouteFail: {
+        // Transient routing failure: this dispatch attempt never reaches
+        // the replica; the caller re-routes to another one.
+        ++cursor;
+        ++route_failures_;
+        monitor_.ReportFailure(r, ready);
+        breaker_.RecordFailure(r, ready);
+        LogClusterEvent("route_fail", r, ready, ready);
+        return false;
+      }
+      case fault::FaultKind::kHang: {
+        // The replica stalls for a fixed window before accepting work;
+        // missed heartbeats drive the kSuspect/kDown escalation.
+        ++cursor;
+        const std::int64_t begin = std::max(
+            ready, replica_free_cycle_[static_cast<std::size_t>(r)]);
+        const std::int64_t end = begin + event.stall_cycles;
+        replica_free_cycle_[static_cast<std::size_t>(r)] = end;
+        monitor_.ReportUnresponsive(r, begin, end);
+        ++hangs_;
+        LogClusterEvent("hang", r, begin, end,
+                        {{"cycles", std::to_string(event.stall_cycles)}});
+        break;
+      }
+      case fault::FaultKind::kSlow: {
+        // Degraded replica: the next `slow_services` invocations on it
+        // cost `slow_factor` times the planned charge.
+        ++cursor;
+        slow_[static_cast<std::size_t>(r)] =
+            SlowState{event.slow_factor, event.slow_services};
+        ++slow_faults_;
+        LogClusterEvent(
+            "slow", r, ready, ready,
+            {{"factor", std::to_string(event.slow_factor)},
+             {"services", std::to_string(event.slow_services)}});
+        break;
+      }
+      case fault::FaultKind::kCrash: {
+        // The replica dies partway through the window; the caller splits
+        // the batch at the crash coordinate and re-dispatches the rest.
+        ++cursor;
+        crash->crashed = true;
+        crash->event_invocation = std::max(event.invocation, scheduled);
+        crash->down_cycles = event.down_cycles;
+        return true;
+      }
+      default:
+        DB_CHECK_MSG(false,
+                     "datapath fault routed to the cluster partition");
+    }
+  }
+  return true;
+}
+
+void InferenceServer::CommitBatch(int r, Batch batch, BatchPlan plan) {
+  replica_free_cycle_[static_cast<std::size_t>(r)] = plan.finish;
   replica_scheduled_warm_[static_cast<std::size_t>(r)] = true;
+  scheduled_invocations_[static_cast<std::size_t>(r)] +=
+      static_cast<std::int64_t>(batch.requests.size());
+  SlowState& slow = slow_[static_cast<std::size_t>(r)];
+  slow.services = std::max<std::int64_t>(
+      0,
+      slow.services - static_cast<std::int64_t>(batch.requests.size()));
   ++batches_dispatched_;
+  // A committed dispatch is the monitor/breaker success signal: the
+  // replica accepted work at the planned start.
+  breaker_.RecordSuccess(r, plan.start);
+  monitor_.ReportSuccess(r, plan.start);
 
   // shared_ptr keeps the closure copyable for std::function; the lane
   // executes it exactly once.
-  auto scheduled = std::make_shared<ScheduledBatch>(
-      ScheduledBatch{std::move(batch), r, start});
+  auto scheduled = std::make_shared<ScheduledBatch>(ScheduledBatch{
+      std::move(batch), r, plan.start, std::move(plan.penalties)});
   pool_.Post(r, [this, r, scheduled] { ServeBatch(r, *scheduled); });
+}
+
+void InferenceServer::PostReadmitScrub(int r,
+                                       std::int64_t readmit_cycle) {
+  pool_.Post(r, [this, r, readmit_cycle] {
+    cluster::Replica& rep = pool_.replica(r);
+    const std::int64_t begin = std::max(rep.local_cycle, readmit_cycle);
+    // Readmission re-verifies the weight regions against the provisioned
+    // image (a crashed card reboots from unknown DRAM) and reloads on
+    // mismatch; the charge is the same deterministic scrub cost either
+    // way.
+    if (fault::WeightChecksum(rep.image, design_.memory_map) !=
+        weight_checksum_) {
+      fault::ScrubWeights(rep.image, provisioned_, design_.memory_map);
+      DB_CHECK_MSG(fault::WeightChecksum(rep.image, design_.memory_map) ==
+                       weight_checksum_,
+                   "readmit scrub failed to restore the weight regions");
+    }
+    ++rep.scrubs;
+    fault::FaultRecord record;
+    record.kind = fault::FaultKind::kCrash;
+    record.recovery = true;  // the scrub-and-readmit window
+    record.worker = r;
+    record.invocation = rep.invocations;
+    record.start_cycle = begin;
+    record.end_cycle = begin + scrub_cycles_;
+    record.detail = scrub_cycles_;
+    rep.fault_records.push_back(record);
+    rep.busy_intervals.emplace_back(begin, begin + scrub_cycles_);
+    rep.local_cycle = begin + scrub_cycles_;
+    rep.warm = false;  // the reboot lost weight residency
+  });
+}
+
+void InferenceServer::PostHedgeCancel(int r, std::int64_t start,
+                                      std::int64_t cancel) {
+  pool_.Post(r, [this, r, start, cancel] {
+    cluster::Replica& rep = pool_.replica(r);
+    // The cancelled copy occupied the lane from its planned start until
+    // the winner completed, but never ran the datapath — outputs stay
+    // bit-identical to the unhedged run and warm state is untouched.
+    const std::int64_t begin = std::max(rep.local_cycle, start);
+    const std::int64_t end = std::max(cancel, begin);
+    if (begin < end) rep.busy_intervals.emplace_back(begin, end);
+    rep.local_cycle = end;
+  });
+}
+
+void InferenceServer::LogClusterEvent(
+    const char* name, int replica, std::int64_t start, std::int64_t end,
+    std::vector<std::pair<std::string, std::string>> args) {
+  ClusterEpisode episode;
+  episode.name = name;
+  episode.replica = replica;
+  episode.start = start;
+  episode.end = end;
+  episode.args = std::move(args);
+  cluster_log_.push_back(std::move(episode));
+}
+
+void InferenceServer::ScheduleOnCluster(Batch batch, std::int64_t ready) {
+  monitor_.AdvanceTo(ready);
+  const std::int64_t size =
+      static_cast<std::int64_t>(batch.requests.size());
+
+  // Health-masked routing with deterministic re-route on transient
+  // failures: every attempt excludes replicas already tried for this
+  // batch.  Liveness over purity — with the whole pool non-routable the
+  // batch still lands somewhere (the readmitting replica's free cycle
+  // already carries its down time).
+  std::vector<bool> attempted(static_cast<std::size_t>(replica_count_),
+                              false);
+  int r = -1;
+  for (;;) {
+    std::vector<bool> routable(static_cast<std::size_t>(replica_count_));
+    bool any = false;
+    for (int i = 0; i < replica_count_; ++i) {
+      routable[static_cast<std::size_t>(i)] =
+          !attempted[static_cast<std::size_t>(i)] && monitor_.Routable(i) &&
+          breaker_.Allows(i, ready);
+      any = any || routable[static_cast<std::size_t>(i)];
+    }
+    if (!any) {
+      for (int i = 0; i < replica_count_; ++i)
+        routable[static_cast<std::size_t>(i)] =
+            !attempted[static_cast<std::size_t>(i)];
+      any = std::find(routable.begin(), routable.end(), true) !=
+            routable.end();
+    }
+    if (!any) routable.assign(static_cast<std::size_t>(replica_count_),
+                              true);
+    r = router_.Route(replica_free_cycle_, routable);
+    CrashSplit crash;
+    if (!FireClusterEvents(r, size, ready, &crash)) {
+      attempted[static_cast<std::size_t>(r)] = true;
+      continue;
+    }
+    if (!crash.crashed) break;
+
+    // Crash inside the dispatch window: the prefix before the crash
+    // coordinate was served by the dying replica; the remainder is
+    // re-dispatched to a survivor at the crash cycle under a fresh batch
+    // id from the reserved re-dispatch range (dispatcher batch ids stay
+    // below 1 << 20 for any realistic workload; DB_CHECKed in Drain via
+    // completion accounting).
+    const std::int64_t prefix =
+        crash.event_invocation -
+        scheduled_invocations_[static_cast<std::size_t>(r)];
+    DB_CHECK(prefix >= 0 && prefix < size);
+    Batch served;
+    served.id = batch.id;
+    served.ready_cycle = batch.ready_cycle;
+    Batch rest;
+    rest.id = (std::int64_t{1} << 20) + redispatch_batches_++;
+    rest.ready_cycle = batch.ready_cycle;
+    for (std::int64_t i = 0; i < size; ++i) {
+      if (i < prefix)
+        served.requests.push_back(std::move(
+            batch.requests[static_cast<std::size_t>(i)]));
+      else
+        rest.requests.push_back(std::move(
+            batch.requests[static_cast<std::size_t>(i)]));
+    }
+    std::int64_t crash_cycle = std::max(
+        ready, replica_free_cycle_[static_cast<std::size_t>(r)]);
+    if (prefix > 0) {
+      const BatchPlan plan = PlanBatch(r, served, ready);
+      crash_cycle = plan.finish;
+      CommitBatch(r, std::move(served), plan);
+    }
+    ++crashes_;
+    monitor_.ReportCrash(r, crash_cycle, crash.down_cycles);
+    breaker_.RecordFailure(r, crash_cycle);
+    const std::int64_t readmit = crash_cycle + crash.down_cycles;
+    // The replica is gone until `readmit`, then pays the scrub pass
+    // before its datapath frees; a reboot loses weight residency.
+    replica_free_cycle_[static_cast<std::size_t>(r)] =
+        readmit + scrub_cycles_;
+    replica_scheduled_warm_[static_cast<std::size_t>(r)] = false;
+    slow_[static_cast<std::size_t>(r)] = SlowState{};
+    LogClusterEvent("crash", r, crash_cycle, readmit + scrub_cycles_,
+                    {{"down", std::to_string(crash.down_cycles)},
+                     {"redispatched",
+                      std::to_string(rest.requests.size())}});
+    PostReadmitScrub(r, readmit);
+    ++readmissions_;
+    redispatched_ += static_cast<std::int64_t>(rest.requests.size());
+    ScheduleOnCluster(std::move(rest), std::max(ready, crash_cycle));
+    return;
+  }
+
+  BatchPlan primary = PlanBatch(r, batch, ready);
+  if (options_.hedge_after_cycles > 0 &&
+      primary.finish - ready > options_.hedge_after_cycles) {
+    // Hedge: plan a duplicate on the best other healthy replica issued
+    // once the latency threshold elapses; keep whichever copy's plan
+    // finishes first.  Decided analytically at dispatch — both copies'
+    // windows are pure schedule arithmetic, and the loser's lane only
+    // charges occupancy (PostHedgeCancel), so outputs and cycle numbers
+    // stay deterministic.
+    const std::int64_t issue = ready + options_.hedge_after_cycles;
+    int best = -1;
+    BatchPlan alternate;
+    for (int i = 0; i < replica_count_; ++i) {
+      if (i == r || !monitor_.Routable(i) || !breaker_.Allows(i, issue))
+        continue;
+      BatchPlan candidate = PlanBatch(i, batch, issue);
+      if (best < 0 || candidate.finish < alternate.finish) {
+        best = i;
+        alternate = std::move(candidate);
+      }
+    }
+    if (best >= 0) {
+      ++hedge_count_;
+      if (alternate.finish < primary.finish) {
+        ++hedge_wins_;
+        // Cancel the primary at the winner's completion; its lane
+        // charges [start, cancel) but never serves the requests.
+        const std::int64_t cancel = alternate.finish;
+        if (primary.start < cancel) {
+          replica_free_cycle_[static_cast<std::size_t>(r)] = cancel;
+          PostHedgeCancel(r, primary.start, cancel);
+        }
+        LogClusterEvent("hedge", best, issue, alternate.finish,
+                        {{"primary", std::to_string(r)},
+                         {"won", "1"}});
+        CommitBatch(best, std::move(batch), std::move(alternate));
+        return;
+      }
+      // The primary still wins: the hedge copy occupies the alternate
+      // until the primary completes, then cancels.
+      const std::int64_t cancel = primary.finish;
+      if (alternate.start < cancel) {
+        replica_free_cycle_[static_cast<std::size_t>(best)] = cancel;
+        PostHedgeCancel(best, alternate.start, cancel);
+      }
+      LogClusterEvent("hedge", best, issue, cancel,
+                      {{"primary", std::to_string(r)}, {"won", "0"}});
+    }
+  }
+  CommitBatch(r, std::move(batch), std::move(primary));
 }
 
 void InferenceServer::DispatcherLoop() {
@@ -241,7 +561,13 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
   std::int64_t cycle = std::max(scheduled.start_cycle, rep.local_cycle);
   const std::int64_t batch_start = cycle;
   ++rep.batches;
-  for (PendingRequest& request : scheduled.batch.requests) {
+  for (std::size_t slot = 0; slot < scheduled.batch.requests.size();
+       ++slot) {
+    PendingRequest& request = scheduled.batch.requests[slot];
+    // Slow-replica surcharge the dispatcher planned for this slot; the
+    // lane mirrors it so reported latencies show the degradation.
+    const std::int64_t penalty =
+        slot < scheduled.penalties.size() ? scheduled.penalties[slot] : 0;
     {
       // Shed tombstone: the request was evicted at admission after
       // its batch membership was fixed; skip without touching it.
@@ -278,6 +604,10 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
           record.detail = event.stall_cycles;
           stall += event.stall_cycles;
           break;
+        default:
+          // Cluster faults live in the injector's replica partition and
+          // fire on the dispatcher; they never reach a lane.
+          DB_CHECK_MSG(false, "cluster fault routed to a worker lane");
       }
       rep.fault_records.push_back(record);
     }
@@ -338,8 +668,9 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
         rep.warm ? steady_cycles_ : cold_cycles_;
     int retries = 0;
     while (failures > 0 && retries < options_.max_retries) {
-      const std::int64_t backoff = options_.retry_backoff_cycles
-                                   << retries;
+      const std::int64_t backoff =
+          RetryBackoffCycles(options_.retry_backoff_cycles, retries,
+                             options_.max_retry_backoff_cycles);
       fault::FaultRecord record;
       record.kind = fault::FaultKind::kTransient;
       record.recovery = true;  // a failed attempt + its backoff
@@ -376,7 +707,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
     rep.warm = true;
     DB_CHECK_MSG(run.perf.total_cycles == charged,
                  "scheduler and execution disagree on invocation cost");
-    const std::int64_t finish = cycle + run.perf.total_cycles;
+    const std::int64_t finish = cycle + run.perf.total_cycles + penalty;
     const double joules =
         EstimateEnergy(design_.resources.total, run.perf, device_)
             .total_joules;
@@ -388,7 +719,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
       record.worker = index;
       record.start_cycle = batch_start;
       record.finish_cycle = finish;
-      record.service_cycles = run.perf.total_cycles;
+      record.service_cycles = run.perf.total_cycles + penalty;
       record.dram_bytes = run.perf.total_dram_bytes;
       record.joules = joules;
       record.status = run.status;
@@ -397,7 +728,7 @@ void InferenceServer::ServeBatch(int index, ScheduledBatch& scheduled) {
       record.output = run.output;
       ++completed_;
     }
-    rep.busy_cycles += run.perf.total_cycles;
+    rep.busy_cycles += run.perf.total_cycles + penalty;
     rep.busy_intervals.emplace_back(cycle, finish);
     ++rep.requests;
     cycle = finish;
@@ -415,6 +746,9 @@ const std::vector<ServedRequest>& InferenceServer::Drain() {
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_.Close();  // idempotent; DispatcherLoop already closed the lanes
   pool_.Join();
+  // Apply any health transitions still pending past the last dispatch so
+  // the published transition log covers every scheduled recovery.
+  monitor_.Flush();
   {
     std::lock_guard<std::mutex> lock(results_mu_);
     DB_CHECK_MSG(completed_ ==
@@ -507,8 +841,9 @@ void InferenceServer::PublishObservability() {
         span.track = StrFormat("serve/worker %d", w);
         span.category = "fault";
         if (record.recovery) {
-          span.name = record.kind == fault::FaultKind::kBitFlip
-                          ? "scrub"
+          span.name = record.kind == fault::FaultKind::kBitFlip ? "scrub"
+                      : record.kind == fault::FaultKind::kCrash
+                          ? "readmit"
                           : "retry";
         } else {
           span.name = StrFormat("fault:%s",
@@ -523,6 +858,37 @@ void InferenceServer::PublishObservability() {
         span.args.emplace_back("detail", std::to_string(record.detail));
         tracer.Record(std::move(span));
       }
+    }
+
+    // The cluster track: dispatcher-side resilience episodes (crashes,
+    // hangs, slow windows, route failures, hedges) in dispatch order,
+    // then the health monitor's transition log.  Both are deterministic
+    // dispatcher state, so the emitted bytes are stable run to run.
+    for (const ClusterEpisode& episode : cluster_log_) {
+      obs::Span span;
+      span.track = "cluster";
+      span.category = "cluster";
+      span.name = episode.name;
+      span.start = episode.start;
+      span.end = episode.end;
+      span.args.emplace_back("replica",
+                             std::to_string(episode.replica));
+      for (const auto& arg : episode.args) span.args.push_back(arg);
+      tracer.Record(std::move(span));
+    }
+    for (const cluster::HealthTransition& t : monitor_.transitions()) {
+      obs::Span span;
+      span.track = "cluster";
+      span.category = "health";
+      span.name = StrFormat("replica %d: %s", t.replica,
+                            cluster::ReplicaHealthName(t.to));
+      span.start = t.cycle;
+      span.end = t.cycle;
+      span.args.emplace_back("from",
+                             cluster::ReplicaHealthName(t.from));
+      span.args.emplace_back("to", cluster::ReplicaHealthName(t.to));
+      span.args.emplace_back("cause", t.cause);
+      tracer.Record(std::move(span));
     }
   }
 
@@ -628,6 +994,10 @@ void InferenceServer::PublishObservability() {
           case fault::FaultKind::kBitFlip: ++flips; break;
           case fault::FaultKind::kTransient: ++transients; break;
           case fault::FaultKind::kStall: ++stalls; break;
+          default:
+            // Cluster faults fire on the dispatcher; a lane only ever
+            // records them as recovery windows (skipped above).
+            DB_CHECK_MSG(false, "cluster fault in a lane fault record");
         }
       }
     }
@@ -636,6 +1006,21 @@ void InferenceServer::PublishObservability() {
     m.AddCounter("fault.injected.stall", stalls);
     m.AddCounter("fault.scrubs", scrubs);
     m.AddCounter("fault.recovery_cycles", recovery_cycles);
+
+    // cluster.health.*: fleet-resilience accounting — always published
+    // (zeros under a fault-free run) so dashboards and the determinism
+    // tests see a stable metric set.
+    m.AddCounter("cluster.health.crashes", crashes_);
+    m.AddCounter("cluster.health.hangs", hangs_);
+    m.AddCounter("cluster.health.slow_replicas", slow_faults_);
+    m.AddCounter("cluster.health.route_failures", route_failures_);
+    m.AddCounter("cluster.health.redispatched_requests", redispatched_);
+    m.AddCounter("cluster.health.readmissions", readmissions_);
+    m.AddCounter("cluster.health.transitions",
+                 static_cast<std::int64_t>(monitor_.transitions().size()));
+    m.AddCounter("cluster.health.breaker_opens", breaker_.opens());
+    m.AddCounter("cluster.health.hedges", hedge_count_);
+    m.AddCounter("cluster.health.hedge_wins", hedge_wins_);
   }
 }
 
@@ -704,6 +1089,12 @@ void InferenceServer::PublishTimeSeries() {
                              pool_.replica(w).busy_intervals,
                              t - interval, t)) /
                              static_cast<double>(interval));
+    // Health column per replica: the monitor's replayed state at the
+    // sample boundary (healthy=0, suspect=1, down=2, recovering=3).
+    for (int w = 0; w < pool_.size(); ++w)
+      ts.Append(StrFormat("load.replica%d.health", w), t,
+                static_cast<double>(cluster::ReplicaHealthCode(
+                    monitor_.StateAt(w, t))));
     if (t >= last) break;
   }
 }
@@ -721,6 +1112,20 @@ ServerStats InferenceServer::Stats() const {
   for (int w = 0; w < pool_.size(); ++w)
     for (const fault::FaultRecord& record : pool_.replica(w).fault_records)
       if (!record.recovery) ++stats.faults_injected;
+  // Cluster events fire on the dispatcher, not in lane records.
+  stats.faults_injected += crashes_ + hangs_ + slow_faults_ +
+                           route_failures_;
+  stats.crashes = crashes_;
+  stats.hangs = hangs_;
+  stats.slow_faults = slow_faults_;
+  stats.route_failures = route_failures_;
+  stats.redispatched = redispatched_;
+  stats.readmissions = readmissions_;
+  stats.breaker_opens = breaker_.opens();
+  stats.hedges = hedge_count_;
+  stats.hedge_wins = hedge_wins_;
+  stats.health_transitions =
+      static_cast<std::int64_t>(monitor_.transitions().size());
   return stats;
 }
 

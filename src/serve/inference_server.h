@@ -48,10 +48,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/accelerator_pool.h"
+#include "cluster/health_monitor.h"
 #include "cluster/shard_router.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
@@ -67,6 +70,12 @@
 namespace db::serve {
 
 enum class ServerState { kStarting, kServing, kDraining, kStopped };
+
+/// Saturating exponential-backoff charge: base << attempt, computed
+/// without shifting past the int64 width and clamped to `cap`.  Pure;
+/// exposed so tests can pin the arithmetic.
+std::int64_t RetryBackoffCycles(std::int64_t base, int attempt,
+                                std::int64_t cap);
 
 constexpr const char* ServerStateName(ServerState state) {
   switch (state) {
@@ -116,6 +125,26 @@ struct ServeOptions {
   /// completes the request as StatusCode::kFaulted.
   int max_retries = 3;
   std::int64_t retry_backoff_cycles = 64;
+  /// Saturation cap for the exponential backoff: the charge for attempt
+  /// k is min(retry_backoff_cycles << k, max_retry_backoff_cycles),
+  /// computed shift-safely (RetryBackoffCycles), so huge deadlines or
+  /// retry counts can never overflow int64 cycle math.
+  std::int64_t max_retry_backoff_cycles = std::int64_t{1} << 32;
+  /// Opt-in request hedging: when a batch's planned completion exceeds
+  /// its ready cycle by more than this many cycles, the dispatcher
+  /// plans a duplicate on the best other healthy replica starting at
+  /// ready + hedge_after_cycles and keeps whichever copy finishes
+  /// first; the loser is cancelled (its lane charges the occupied
+  /// window but never runs the datapath, so outputs stay bit-identical
+  /// to the unhedged run).  0 = disabled.
+  std::int64_t hedge_after_cycles = 0;
+  /// Per-replica circuit breaker (closed/open/half-open with a
+  /// cycle-based cooldown); disabled unless `breaker.enabled`.
+  cluster::BreakerOptions breaker;
+  /// Replica health-monitor knobs (heartbeat grid, miss/failure
+  /// thresholds); the readmit scrub charge is overwritten with the
+  /// server's weight-scrub cost.
+  cluster::HealthOptions health;
   std::string device_name = "zynq-7045";
   /// Base performance-model options; the server manages
   /// `weights_resident` itself (cold first image per worker, steady
@@ -194,12 +223,45 @@ class InferenceServer {
   /// Cycles one weight-region scrub-and-reload charges.
   std::int64_t scrub_cycles() const { return scrub_cycles_; }
 
+  /// Cluster-resilience accounting (valid after Drain()).
+  std::int64_t crashes() const { return crashes_; }
+  std::int64_t hedges() const { return hedge_count_; }
+  std::int64_t hedge_wins() const { return hedge_wins_; }
+  std::int64_t redispatched_requests() const { return redispatched_; }
+  const cluster::ReplicaHealthMonitor& health_monitor() const {
+    return monitor_;
+  }
+  const cluster::CircuitBreaker& circuit_breaker() const {
+    return breaker_;
+  }
+
  private:
   /// A batch bound to a replica with its service window decided.
   struct ScheduledBatch {
     Batch batch;
     int replica = -1;
     std::int64_t start_cycle = 0;
+    /// Per-request slow-replica surcharge (cycles added to the service
+    /// charge), aligned with batch.requests; empty = all zero.
+    std::vector<std::int64_t> penalties;
+  };
+
+  /// The dispatcher's pure plan for a batch on a replica: start/finish
+  /// from the simulated free cycle, per-request slow surcharges from
+  /// the replica's live slow-fault state.  Side-effect free so hedging
+  /// can evaluate alternates before committing.
+  struct BatchPlan {
+    std::int64_t start = 0;
+    std::int64_t finish = 0;
+    std::vector<std::int64_t> penalties;
+  };
+
+  /// Outcome of firing a replica's pending cluster events for one
+  /// dispatch window.
+  struct CrashSplit {
+    bool crashed = false;
+    std::int64_t event_invocation = 0;  // clamped into the window
+    std::int64_t down_cycles = 0;
   };
 
   void DispatcherLoop();
@@ -208,6 +270,33 @@ class InferenceServer {
   /// lock-guarded results).
   void ServeBatch(int index, ScheduledBatch& scheduled);
   void DispatchBatch(Batch batch);
+  /// Place `batch` on the cluster at `ready`: health-masked routing,
+  /// cluster-fault firing (route failures re-route, crashes split the
+  /// batch and re-dispatch the remainder), optional hedging, then
+  /// commit to a lane.  Dispatcher thread only.
+  void ScheduleOnCluster(Batch batch, std::int64_t ready);
+  BatchPlan PlanBatch(int r, const Batch& batch, std::int64_t ready) const;
+  /// Fire replica r's pending cluster events for a dispatch covering
+  /// invocations [scheduled, scheduled + size).  Returns false when a
+  /// transient route failure consumed this attempt (caller re-routes);
+  /// fills `crash` when the replica crashes inside the window.
+  bool FireClusterEvents(int r, std::int64_t size, std::int64_t ready,
+                         CrashSplit* crash);
+  /// Advance the committed schedule for a batch executing on r per
+  /// `plan` and post it to r's lane.
+  void CommitBatch(int r, Batch batch, BatchPlan plan);
+  /// Lane task: scrub-and-readmit a crashed replica at `readmit_cycle`
+  /// (verify + reload weights from the provisioned image, charge the
+  /// scrub, drop warm state — a reboot loses residency).
+  void PostReadmitScrub(int r, std::int64_t readmit_cycle);
+  /// Lane task: charge the cancelled side of a hedge the [start,
+  /// cancel) occupancy without running the datapath.
+  void PostHedgeCancel(int r, std::int64_t start, std::int64_t cancel);
+  /// Append a dispatcher-side cluster episode for the "cluster" track.
+  void LogClusterEvent(const char* name, int replica, std::int64_t start,
+                       std::int64_t end,
+                       std::vector<std::pair<std::string, std::string>>
+                           args = {});
   /// Mark request `id` completed with `status` (results_mu_ held by the
   /// caller is NOT assumed; takes the lock itself).
   void CompleteWithoutService(std::int64_t id, StatusCode status,
@@ -242,6 +331,39 @@ class InferenceServer {
   std::vector<std::int64_t> replica_free_cycle_;
   std::vector<bool> replica_scheduled_warm_;
   std::int64_t batches_dispatched_ = 0;
+
+  // Cluster-resilience state (dispatcher thread only while serving;
+  // readable after Drain).  `scheduled_invocations_[r]` counts services
+  // the dispatcher has committed to replica r — the coordinate space of
+  // cluster fault events (distinct from the lane's rep.invocations,
+  // which counts attempted services including tombstone skips).
+  cluster::ReplicaHealthMonitor monitor_;
+  cluster::CircuitBreaker breaker_;
+  std::vector<std::int64_t> scheduled_invocations_;
+  std::vector<std::size_t> cluster_cursor_;
+  struct SlowState {
+    std::int64_t factor = 1;
+    std::int64_t services = 0;  // invocations the factor still covers
+  };
+  std::vector<SlowState> slow_;
+  /// Dispatcher-side episode log for "cluster"-track spans.
+  struct ClusterEpisode {
+    std::string name;
+    int replica = -1;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  std::vector<ClusterEpisode> cluster_log_;
+  std::int64_t crashes_ = 0;
+  std::int64_t hangs_ = 0;
+  std::int64_t slow_faults_ = 0;
+  std::int64_t route_failures_ = 0;
+  std::int64_t redispatched_ = 0;
+  std::int64_t readmissions_ = 0;
+  std::int64_t hedge_count_ = 0;
+  std::int64_t hedge_wins_ = 0;
+  std::int64_t redispatch_batches_ = 0;  // fresh ids for remainders
 
   // Submission state (caller threads, guarded by submit_mu_).
   std::mutex submit_mu_;

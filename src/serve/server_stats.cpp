@@ -47,6 +47,20 @@ std::string ServerStats::ToString() const {
         static_cast<long long>(faults_injected),
         static_cast<long long>(retries),
         static_cast<long long>(recovery_cycles));
+  if (crashes > 0 || hangs > 0 || slow_faults > 0 || route_failures > 0 ||
+      breaker_opens > 0 || hedges > 0)
+    os << StrFormat(
+        "  cluster   %lld crashes  %lld hangs  %lld slow  %lld "
+        "route-fails  %lld redispatched  %lld readmissions  %lld "
+        "breaker-opens  %lld/%lld hedges won\n",
+        static_cast<long long>(crashes), static_cast<long long>(hangs),
+        static_cast<long long>(slow_faults),
+        static_cast<long long>(route_failures),
+        static_cast<long long>(redispatched),
+        static_cast<long long>(readmissions),
+        static_cast<long long>(breaker_opens),
+        static_cast<long long>(hedge_wins),
+        static_cast<long long>(hedges));
   for (int w = 0; w < static_cast<int>(worker_busy_cycles.size()); ++w) {
     const auto idx = static_cast<std::size_t>(w);
     os << StrFormat("  worker %d  busy %lld cycles  (%.1f%% utilised)",

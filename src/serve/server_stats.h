@@ -70,6 +70,20 @@ struct ServerStats {
   std::int64_t faults_injected = 0;     // events the injector fired
   std::int64_t recovery_cycles = 0;     // stall + scrub + backoff cycles
 
+  /// Cluster-resilience accounting, filled by InferenceServer::Stats()
+  /// from dispatcher-side state (ComputeServerStats leaves them zero —
+  /// the records alone cannot see cluster events).
+  std::int64_t crashes = 0;             // replica crash events fired
+  std::int64_t hangs = 0;               // replica hang windows fired
+  std::int64_t slow_faults = 0;         // slow-replica windows fired
+  std::int64_t route_failures = 0;      // transient routing failures
+  std::int64_t redispatched = 0;        // requests moved off a crash
+  std::int64_t readmissions = 0;        // scrub-and-readmit passes
+  std::int64_t breaker_opens = 0;       // circuit-breaker open episodes
+  std::int64_t hedges = 0;              // hedged batches issued
+  std::int64_t hedge_wins = 0;          // hedges that beat the primary
+  std::int64_t health_transitions = 0;  // monitor state changes
+
   /// Simulated makespan: the largest finish cycle over all requests.
   std::int64_t makespan_cycles = 0;
   double makespan_seconds = 0.0;

@@ -25,7 +25,34 @@ expect_exit(2 serve --zoo MNIST --admission=bogus)       # db::Error
 expect_exit(2 serve --zoo MNIST --faults=bogus-key=1)    # db::Error
 expect_exit(2 serve --zoo MNIST --replicas 0)            # db::Error
 expect_exit(2 serve --zoo MNIST --router=bogus)          # db::Error
+expect_exit(2 serve --zoo MNIST --breaker=bogus-key=1)   # db::Error
+expect_exit(2 serve --zoo MNIST --breaker=failures=0)    # db::Error
+expect_exit(2 serve --zoo MNIST --hedge-after-cycles -1) # db::Error
 expect_exit(3 --self-test-internal-error)                # DB_CHECK
+
+# The cluster-resilience flags fail fast (before any generation work)
+# with byte-stable error text: two identical invocations emit identical
+# stderr bytes.
+foreach(bad_flags "--breaker=bogus-key=1" "--hedge-after-cycles;-1")
+  foreach(run a b)
+    execute_process(
+      COMMAND ${DEEPBURNING} serve --zoo MNIST ${bad_flags}
+      RESULT_VARIABLE flag_result
+      ERROR_VARIABLE flag_err_${run} OUTPUT_QUIET)
+    if(NOT flag_result EQUAL 2)
+      message(FATAL_ERROR
+        "serve ${bad_flags}: expected exit 2, got ${flag_result}")
+    endif()
+  endforeach()
+  if(NOT flag_err_a STREQUAL flag_err_b)
+    message(FATAL_ERROR "error text is not byte-stable (${bad_flags}):\n"
+      "--- run a ---\n${flag_err_a}\n--- run b ---\n${flag_err_b}")
+  endif()
+  if(flag_err_a STREQUAL "")
+    message(FATAL_ERROR
+      "serve ${bad_flags}: expected a diagnostic on stderr")
+  endif()
+endforeach()
 
 # `deepburning verify`: exit 0 with a clean verdict for a generated
 # design, exit 2 when the report carries error diagnostics.  The hidden

@@ -1,6 +1,7 @@
 // Tests for the concurrent batched inference server (src/serve).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -561,7 +562,8 @@ TEST(InferenceServer, LoadTimeSeriesIsDeterministicAndWellFormed) {
   // Well-formed: every series sampled on the same power-of-two grid
   // covering the makespan, busy fractions within [0, 1], queue depth
   // and in-flight returning to zero once the run drains.
-  EXPECT_EQ(a.size(), 3u + 2u);  // load.* plus one busy series per replica
+  // load.* plus one busy and one health series per replica.
+  EXPECT_EQ(a.size(), 3u + 2u * 2u);
   const std::int64_t interval = a.sample_interval();
   EXPECT_GE(interval, 1);
   EXPECT_EQ(interval & (interval - 1), 0);  // power of two
@@ -586,6 +588,12 @@ TEST(InferenceServer, LoadTimeSeriesIsDeterministicAndWellFormed) {
       EXPECT_GE(p.value, 0.0);
       EXPECT_LE(p.value, 1.0);
     }
+    // Fault-free run: every replica reads healthy (code 0) throughout.
+    const auto health =
+        a.SeriesOf(StrFormat("load.replica%d.health", w));
+    ASSERT_EQ(health.size(), depth.size());
+    for (const obs::TimeSeriesPoint& p : health)
+      EXPECT_DOUBLE_EQ(p.value, 0.0);
   }
 
   // Deterministic: a second identical run exports identical bytes.
@@ -609,6 +617,99 @@ TEST(InferenceServer, TimeSeriesHonoursExplicitSampleInterval) {
   const auto depth = ts.SeriesOf("load.queue_depth");
   ASSERT_GE(depth.size(), 2u);
   EXPECT_EQ(depth[1].cycle - depth[0].cycle, 1000);
+}
+
+TEST(RetryBackoff, PinsTheSaturatingShiftArithmetic) {
+  const std::int64_t cap = std::int64_t{1} << 32;
+  // Plain doubling while the shift stays inside the cap.
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 0, cap), 64);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 1, cap), 128);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 3, cap), 512);
+  // Saturation: once base << attempt would pass the cap, the cap wins —
+  // computed without ever shifting past the int64 width.
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 26, cap), cap);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 62, cap), cap);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 63, cap), cap);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, 1000, cap), cap);
+  EXPECT_EQ(serve::RetryBackoffCycles(1, 62, std::int64_t{1} << 62),
+            std::int64_t{1} << 62);
+  // Exact boundary: the largest attempt whose shift still fits.
+  EXPECT_EQ(serve::RetryBackoffCycles(1, 31, cap), std::int64_t{1} << 31);
+  EXPECT_EQ(serve::RetryBackoffCycles(1, 32, cap), cap);
+  // Degenerate inputs: no backoff configured, clamped attempt.
+  EXPECT_EQ(serve::RetryBackoffCycles(0, 5, cap), 0);
+  EXPECT_EQ(serve::RetryBackoffCycles(-8, 5, cap), 0);
+  EXPECT_EQ(serve::RetryBackoffCycles(64, -3, cap), 64);
+}
+
+// Drain racing concurrent Submits must never lose accounting: every
+// Submit either returns an id (its record exists and completes) or
+// throws ShutdownError — under all three admission policies.  Run with
+// the `threads` label under TSan by scripts/tier1.sh.
+void DrainVsSubmitRace(AdmissionPolicy admission) {
+  Fixture fx(ZooModel::kAnn0Fft);
+  const Tensor input = fx.RandomInput(9);
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch_size = 2;
+  options.queue_capacity = 4;
+  options.admission = admission;
+  InferenceServer server(fx.net, fx.design, fx.weights, options);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<std::int64_t> accepted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          server.Submit(input, 0);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const ShutdownError&) {
+          return;  // intake closed underneath us: the documented race
+        }
+      }
+    });
+  }
+  const std::vector<ServedRequest>& served = server.Drain();
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+
+  // Exact accounting: every Submit that returned an id has a record; a
+  // Submit that lost the race to Drain while blocked on the queue is
+  // registered, completed as kRejected and then throws — so the record
+  // count can exceed `accepted` but never the attempt count, every kOk
+  // record belongs to an accepted Submit, and the stats partition all
+  // records without loss.
+  const std::int64_t ok_accepted = accepted.load(std::memory_order_relaxed);
+  EXPECT_GE(served.size(), static_cast<std::size_t>(ok_accepted));
+  EXPECT_LE(served.size(),
+            static_cast<std::size_t>(kSubmitters * kPerThread));
+  std::int64_t ok_records = 0;
+  for (const ServedRequest& r : served)
+    if (r.status == StatusCode::kOk) ++ok_records;
+  EXPECT_LE(ok_records, ok_accepted);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed + stats.shed + stats.rejected +
+                stats.deadline_exceeded + stats.faulted,
+            static_cast<std::int64_t>(served.size()));
+  for (const ServedRequest& r : served) {
+    if (r.status != StatusCode::kOk) continue;
+    EXPECT_GT(r.output.size(), 0) << "request " << r.id;
+  }
+}
+
+TEST(InferenceServerRace, DrainVsSubmitUnderBlock) {
+  DrainVsSubmitRace(AdmissionPolicy::kBlock);
+}
+
+TEST(InferenceServerRace, DrainVsSubmitUnderReject) {
+  DrainVsSubmitRace(AdmissionPolicy::kReject);
+}
+
+TEST(InferenceServerRace, DrainVsSubmitUnderShedOldest) {
+  DrainVsSubmitRace(AdmissionPolicy::kShedOldest);
 }
 
 }  // namespace

@@ -179,6 +179,7 @@ struct ServeCliOptions {
   std::string faults;     // fault-campaign spec, e.g. "seed=7,flips=100"
   std::string admission;  // block | reject | shed-oldest
   std::string router;     // round-robin | least-loaded | hash-affinity
+  std::string breaker;    // circuit-breaker spec, "failures=N,cooldown=M"
   std::string design_cache;  // content-addressed generator cache dir
   int requests = 64;
   int workers = 2;
@@ -187,6 +188,7 @@ struct ServeCliOptions {
   std::int64_t linger = 0;
   std::int64_t arrival_gap = 0;
   std::int64_t deadline_cycles = 0;
+  std::int64_t hedge_after_cycles = 0;  // 0 = hedging disabled
   std::size_t queue_capacity = 64;
   bool help = false;
 };
@@ -211,6 +213,8 @@ void PrintServeUsage() {
       "                         [--queue-capacity N] [--admission POLICY]\n"
       "                         [--deadline-cycles CYCLES] "
       "[--faults <spec>]\n"
+      "                         [--hedge-after-cycles CYCLES] "
+      "[--breaker <spec>]\n"
       "                         [--trace-out <file>] "
       "[--metrics-out <file>]\n\n"
       "  --zoo          benchmark model name (ANN-0, ANN-1, ANN-2, "
@@ -238,10 +242,28 @@ void PrintServeUsage() {
       "  --deadline-cycles  relative deadline: service must start within\n"
       "                 this many cycles of arrival (default 0: none)\n"
       "  --faults       seeded deterministic fault campaign, e.g.\n"
-      "                 'seed=7,flips=100,transients=8,stalls=4'\n"
+      "                 'seed=7,flips=100,transients=8,stalls=4' or a\n"
+      "                 cluster chaos campaign\n"
+      "                 'seed=7,crashes=2,hangs=2,slow-replicas=1,"
+      "route-fails=3'\n"
       "                 (keys: seed, flips, blob-flips, transients, "
       "stalls,\n"
-      "                 stall-cycles, span; see DESIGN.md)\n"
+      "                 stall-cycles, span, crashes, crash-down-cycles,\n"
+      "                 hangs, hang-cycles, slow-replicas, slow-factor,\n"
+      "                 slow-services, route-fails; see DESIGN.md)\n"
+      "  --hedge-after-cycles  hedge a batch onto a second healthy "
+      "replica\n"
+      "                 when its planned completion exceeds the ready "
+      "cycle\n"
+      "                 by this many cycles; the first completion wins "
+      "and\n"
+      "                 the loser is cancelled (default 0: disabled)\n"
+      "  --breaker      per-replica circuit breaker spec, e.g.\n"
+      "                 'failures=3,cooldown=16384' (consecutive "
+      "dispatch\n"
+      "                 failures that open it, cycles before the "
+      "half-open\n"
+      "                 trial)\n"
       "  --trace-out    write the toolchain + per-request serving spans "
       "as\n"
       "                 Chrome-trace JSON (open in Perfetto)\n"
@@ -380,9 +402,12 @@ int RunServe(int argc, char** argv) {
           static_cast<std::size_t>(std::stoll(next()));
     } else if (arg == "--deadline-cycles") {
       opts.deadline_cycles = std::stoll(next());
+    } else if (arg == "--hedge-after-cycles") {
+      opts.hedge_after_cycles = std::stoll(next());
     } else if (FlagValue(arg, "--faults", next, &opts.faults) ||
                FlagValue(arg, "--admission", next, &opts.admission) ||
                FlagValue(arg, "--router", next, &opts.router) ||
+               FlagValue(arg, "--breaker", next, &opts.breaker) ||
                FlagValue(arg, "--design-cache", next,
                          &opts.design_cache) ||
                FlagValue(arg, "--trace-out", next, &opts.trace_out) ||
@@ -410,6 +435,8 @@ int RunServe(int argc, char** argv) {
     throw Error("--queue-capacity must be at least 1");
   if (opts.deadline_cycles < 0)
     throw Error("--deadline-cycles must be non-negative");
+  if (opts.hedge_after_cycles < 0)
+    throw Error("--hedge-after-cycles must be non-negative");
   // Validate the robustness flags before the (expensive) generation so
   // a typo fails fast.
   const serve::AdmissionPolicy admission =
@@ -418,6 +445,9 @@ int RunServe(int argc, char** argv) {
   const cluster::RouterPolicy router =
       opts.router.empty() ? cluster::RouterPolicy::kLeastLoaded
                           : cluster::ParseRouterPolicy(opts.router);
+  cluster::BreakerOptions breaker;
+  if (!opts.breaker.empty())
+    breaker = cluster::ParseBreakerSpec(opts.breaker);
   fault::FaultCampaignSpec campaign;
   if (!opts.faults.empty())
     campaign = fault::ParseFaultCampaign(opts.faults);
@@ -463,6 +493,8 @@ int RunServe(int argc, char** argv) {
   server_opts.linger_cycles = opts.linger;
   server_opts.queue_capacity = opts.queue_capacity;
   server_opts.deadline_cycles = opts.deadline_cycles;
+  server_opts.hedge_after_cycles = opts.hedge_after_cycles;
+  server_opts.breaker = breaker;
   server_opts.device_name = constraint.device;
   server_opts.tracer = &tracer;
   server_opts.metrics = &metrics;
