@@ -1,0 +1,66 @@
+// bench/tune: the design-space exploration payoff table.
+//
+// For every zoo model, runs `deepburning tune`'s explorer over the
+// default sweep (latency objective, BRAM bounded by the constraint
+// budget the same way the default design is) and compares the winner
+// against the stock GenerateAccelerator design.  Exits nonzero unless
+// at least one model improves latency or energy within the BRAM budget
+// — the bar the tuner must clear to be worth shipping.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dse/explorer.h"
+
+int main() {
+  using namespace db;
+  using namespace db::bench;
+
+  std::printf("=== bench/tune: DSE winner vs default design (DB budget, "
+              "latency objective) ===\n\n");
+  std::printf("%-10s %12s %12s %8s %11s %11s %8s %10s %9s\n", "model",
+              "def_cyc", "tuned_cyc", "speedup", "def_J", "tuned_J",
+              "energy", "tuned_bram", "frontier");
+  PrintRule(98);
+
+  int improved = 0;
+  for (const ZooModel model : AllZooModels()) {
+    const Network net = BuildZooModel(model);
+    const DesignConstraint constraint = DbConstraint();
+    dse::TuneOptions options;
+    options.jobs = 8;
+    const dse::TuneResult result =
+        dse::Explore(net, constraint, options);
+    const dse::Objectives& tuned =
+        result.candidates[result.winner].obj;
+    const dse::Objectives& def = result.default_obj;
+
+    const bool within_bram =
+        tuned.bram_bytes <=
+        SizeDatapath(net, constraint).budget.bram_bytes;
+    const bool better = within_bram &&
+                        (tuned.latency_cycles < def.latency_cycles ||
+                         tuned.energy_joules < def.energy_joules);
+    if (better) ++improved;
+
+    std::printf("%-10s %12lld %12lld %7.2fx %11.3e %11.3e %7.2fx "
+                "%10lld %9zu%s\n",
+                ZooModelName(model).c_str(),
+                static_cast<long long>(def.latency_cycles),
+                static_cast<long long>(tuned.latency_cycles),
+                static_cast<double>(def.latency_cycles) /
+                    static_cast<double>(tuned.latency_cycles),
+                def.energy_joules, tuned.energy_joules,
+                def.energy_joules / tuned.energy_joules,
+                static_cast<long long>(tuned.bram_bytes),
+                result.frontier.size(), better ? "  *" : "");
+  }
+
+  std::printf("\n%d/9 models improve on latency or energy within the "
+              "BRAM budget (* above)\n",
+              improved);
+  if (improved == 0) {
+    std::printf("FAIL: the tuner beat the default design on no model\n");
+    return 1;
+  }
+  return 0;
+}

@@ -72,6 +72,21 @@ echo "== tier-1: ASan cluster chaos campaign (ctest -L chaos) =="
 cmake --build --preset asan -j "${JOBS}" --target chaos_test
 ctest --preset asan -j "${JOBS}" -L chaos
 
+echo "== tier-1: ASan DSE campaign (ctest -L dse) + tune byte-stability =="
+# The design-space exploration contract under ASan+UBSan: the exhaustive
+# cross-check (parallel pruned search == brute-force frontier on every
+# zoo model), the Pareto property suite and the sweep grammar must be
+# memory-clean.  Then the CLI smoke: the tune report must be
+# byte-identical across reruns and across --jobs values.
+cmake --build --preset asan -j "${JOBS}" --target dse_test
+ctest --preset asan -j "${JOBS}" -L dse
+build/tools/deepburning tune MNIST --jobs 1 > "${PROFILE_TMP}/tune_a.txt"
+build/tools/deepburning tune MNIST --jobs 8 > "${PROFILE_TMP}/tune_b.txt"
+cmp "${PROFILE_TMP}/tune_a.txt" "${PROFILE_TMP}/tune_b.txt"
+build/tools/deepburning tune MNIST --jobs 8 --json > "${PROFILE_TMP}/tune_a.json"
+build/tools/deepburning tune MNIST --jobs 8 --json > "${PROFILE_TMP}/tune_b.json"
+cmp "${PROFILE_TMP}/tune_a.json" "${PROFILE_TMP}/tune_b.json"
+
 echo "== tier-1: bench smoke (perf-trajectory harness + diff tool) =="
 # Minimal-run trajectory into a temp dir, then bench_diff.py over the
 # committed snapshots: proves the harness runs, the JSON parses, and the

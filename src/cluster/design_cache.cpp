@@ -105,6 +105,14 @@ std::shared_ptr<const AcceleratorDesign> DesignCache::GetOrGenerate(
                                          options_.metrics));
 }
 
+std::string DesignCache::SidecarPath(const DesignKey& key,
+                                     const std::string& suffix) const {
+  if (options_.directory.empty()) return std::string();
+  return (std::filesystem::path(options_.directory) /
+          (DesignKeyHex(key) + "." + suffix))
+      .string();
+}
+
 DesignCache::LruList::iterator DesignCache::FindResident(
     const DesignKey& key) {
   auto bucket = buckets_.find(key.hash);

@@ -116,6 +116,14 @@ class DesignCache {
       const DesignConstraint& constraint,
       obs::Tracer* toolchain_tracer = nullptr);
 
+  /// Path of a sidecar artifact stored next to `key`'s entry file —
+  /// e.g. the DSE tuner persists its frontier report as
+  /// `<digest>.<suffix>` so a warm tune invocation can replay the
+  /// byte-identical report without re-exploring.  Empty string when the
+  /// cache is memory-only (no directory configured).
+  std::string SidecarPath(const DesignKey& key,
+                          const std::string& suffix) const;
+
   const DesignCacheStats& stats() const { return stats_; }
   std::size_t size() const { return lru_.size(); }
 

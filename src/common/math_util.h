@@ -12,17 +12,42 @@ namespace db {
 
 /// ceil(a / b).  Requires a >= 0 and b > 0 (the documented contract; a
 /// negative numerator or zero divisor would silently produce a floored
-/// quotient or UB).
+/// quotient or UB).  Computed as quotient-plus-remainder-carry so the
+/// result is exact for every representable input — the textbook
+/// (a + b - 1) / b form overflows for a near INT64_MAX, which the DSE
+/// sweeps reach when they probe degenerate datapath widths.
 constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
   DB_CHECK_MSG(a >= 0, "CeilDiv requires a non-negative numerator");
   DB_CHECK_MSG(b > 0, "CeilDiv requires a positive divisor");
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
 }
 
-/// Smallest multiple of `align` that is >= value.  Requires value >= 0
-/// and align > 0.
+/// Saturating product of two non-negative values: the exact product when
+/// it is representable, INT64_MAX otherwise.  Resource-model cost
+/// arithmetic uses this so an absurd candidate configuration tallies as
+/// "infinitely expensive" (and is pruned against any finite budget)
+/// instead of wrapping into a plausible-looking small number.
+constexpr std::int64_t SatMul(std::int64_t a, std::int64_t b) {
+  DB_CHECK_MSG(a >= 0 && b >= 0, "SatMul requires non-negative factors");
+  if (a == 0 || b == 0) return 0;
+  if (a > INT64_MAX / b) return INT64_MAX;
+  return a * b;
+}
+
+/// Saturating sum of two non-negative values (INT64_MAX on overflow).
+constexpr std::int64_t SatAdd(std::int64_t a, std::int64_t b) {
+  DB_CHECK_MSG(a >= 0 && b >= 0, "SatAdd requires non-negative terms");
+  if (a > INT64_MAX - b) return INT64_MAX;
+  return a + b;
+}
+
+/// Smallest multiple of `align` that is >= value, saturating to
+/// INT64_MAX when no such multiple is representable.  Requires
+/// value >= 0 and align > 0.  The saturated value is deliberately NOT a
+/// multiple of `align`: it only ever feeds budget comparisons, where
+/// INT64_MAX fails any realistic capacity check.
 constexpr std::int64_t RoundUp(std::int64_t value, std::int64_t align) {
-  return CeilDiv(value, align) * align;
+  return SatMul(CeilDiv(value, align), align);
 }
 
 /// Largest power of two <= value (value must be >= 1).  The loop guard

@@ -396,7 +396,55 @@ std::vector<BlockInstance> PickBlocks(const AcceleratorConfig& config,
   return blocks;
 }
 
+/// One full run of the compiler passes for the design's CURRENT config:
+/// folding through block picking + resource tally.  `phase` wraps each
+/// pass — tracer spans in GenerateAccelerator, a no-op for the DSE
+/// explorer's fixed-config candidates.
+template <typename Phase>
+void CompilePasses(const Network& net, AcceleratorDesign& design,
+                   Phase&& phase) {
+  design.lut_specs.clear();
+  phase("folding",
+        [&] { design.fold_plan = PlanFolding(net, design.config); });
+  phase("data layout", [&] {
+    design.layout = PlanDataLayout(net, design.config.memory_port_elems);
+  });
+  phase("memory map", [&] {
+    design.memory_map = MemoryMap::Build(net, design.config);
+  });
+  phase("agu program", [&] {
+    design.agu_program =
+        BuildAguProgram(net, design.config, design.fold_plan,
+                        design.layout, design.memory_map);
+  });
+  phase("schedule", [&] {
+    design.schedule =
+        BuildSchedule(net, design.fold_plan, design.agu_program);
+  });
+  phase("buffer plan", [&] {
+    design.buffer_plan = PlanBuffers(net, design.config, design.fold_plan,
+                                     design.layout);
+  });
+  phase("connection plan", [&] {
+    design.connection_plan = PlanConnections(net, design.schedule);
+  });
+  phase("pick blocks", [&] {
+    design.blocks = PickBlocks(design.config, net, design.agu_program,
+                               design.fold_plan, design.lut_specs);
+    design.resources = TallyResources(design.blocks);
+  });
+}
+
 }  // namespace
+
+AcceleratorDesign CompileForConfig(const Network& net,
+                                   const AcceleratorConfig& config) {
+  AcceleratorDesign design;
+  design.config = config;
+  CompilePasses(net, design,
+                [](const char*, auto&& body) { body(); });
+  return design;
+}
 
 namespace {
 
@@ -450,35 +498,8 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
   // budget (LUT-multiplier lanes are the dominant knob), fold harder by
   // halving the lane allocation and recompiling.
   for (int attempt = 0;; ++attempt) {
-    design.lut_specs.clear();
-    phase("folding", attempt,
-          [&] { design.fold_plan = PlanFolding(net, design.config); });
-    phase("data layout", attempt, [&] {
-      design.layout = PlanDataLayout(net, design.config.memory_port_elems);
-    });
-    phase("memory map", attempt, [&] {
-      design.memory_map = MemoryMap::Build(net, design.config);
-    });
-    phase("agu program", attempt, [&] {
-      design.agu_program =
-          BuildAguProgram(net, design.config, design.fold_plan,
-                          design.layout, design.memory_map);
-    });
-    phase("schedule", attempt, [&] {
-      design.schedule = BuildSchedule(net, design.fold_plan,
-                                      design.agu_program);
-    });
-    phase("buffer plan", attempt, [&] {
-      design.buffer_plan = PlanBuffers(net, design.config,
-                                       design.fold_plan, design.layout);
-    });
-    phase("connection plan", attempt, [&] {
-      design.connection_plan = PlanConnections(net, design.schedule);
-    });
-    phase("pick blocks", attempt, [&] {
-      design.blocks = PickBlocks(design.config, net, design.agu_program,
-                                 design.fold_plan, design.lut_specs);
-      design.resources = TallyResources(design.blocks);
+    CompilePasses(net, design, [&](const char* name, auto&& body) {
+      phase(name, attempt, body);
     });
     if (design.config.budget.Fits(design.resources.total)) break;
     if (attempt >= 24)

@@ -82,6 +82,19 @@ AcceleratorDesign GenerateFromScripts(
 AcceleratorConfig SizeDatapath(const Network& net,
                                const DesignConstraint& constraint);
 
+/// Compile the full software bundle (folding, data layout, memory map,
+/// AGU programs, schedule, buffer plan, connections) plus the block
+/// inventory and resource tally for a FIXED configuration — no sizing,
+/// no refit loop, no RTL emission, no verification gate.  Throws
+/// db::Error when the configuration cannot run the network at all
+/// (e.g. zero MAC lanes for a convolutional model).  This is the
+/// parameterised candidate constructor the DSE explorer (src/dse)
+/// sweeps; the generator's own refit loop runs the same passes.  Pure
+/// function of its arguments, safe to call concurrently from worker
+/// threads on the same (const) network.
+AcceleratorDesign CompileForConfig(const Network& net,
+                                   const AcceleratorConfig& config);
+
 /// Approx-LUT functions the network's layers require (sigmoid/tanh for
 /// activations, exp+recip for softmax, lrn_pow for LRN).
 std::vector<LutFunction> RequiredLutFunctions(const Network& net);

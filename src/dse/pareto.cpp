@@ -1,0 +1,41 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace db::dse {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  DB_CHECK_MSG(a.size() == b.size(),
+               "Dominates requires equal dimensionality");
+  bool strictly_better = false;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (a[d] > b[d]) return false;
+    if (a[d] < b[d]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> ParetoFrontier(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool excluded = false;
+    for (std::size_t j = 0; j < points.size() && !excluded; ++j) {
+      if (j == i) continue;
+      if (Dominates(points[j], points[i])) excluded = true;
+      // Duplicate vectors keep only the lowest-index representative.
+      if (j < i && points[j] == points[i]) excluded = true;
+    }
+    if (!excluded) frontier.push_back(i);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (points[a] != points[b]) return points[a] < points[b];
+              return a < b;
+            });
+  return frontier;
+}
+
+}  // namespace db::dse

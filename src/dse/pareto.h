@@ -1,0 +1,36 @@
+// Pareto-dominance math for the design-space explorer.
+//
+// Objective vectors are minimised componentwise.  The frontier contract
+// is deliberately strict so the tuner's output is byte-stable
+// regardless of enumeration order or worker count:
+//
+//   * membership: a point is on the frontier iff no other point
+//     dominates it AND no earlier point (lower index) has the exact
+//     same objective vector — duplicate vectors keep only their
+//     lowest-index representative;
+//   * order: frontier indices are returned sorted by (objective vector
+//     lexicographically, then index) ascending.
+//
+// Both properties together make the frontier a pure function of the
+// (vector, index) multiset, which the dse_test property suite pins:
+// mutual non-domination, completeness (every excluded point is
+// dominated by, or duplicates, a frontier member) and invariance under
+// input permutation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace db::dse {
+
+/// True iff `a` dominates `b`: a <= b on every objective and a < b on
+/// at least one.  Requires equal dimensionality.  Equal vectors do not
+/// dominate each other.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the Pareto frontier of `points` under the contract above.
+/// O(n^2) — candidate sets are at most a few hundred points.
+std::vector<std::size_t> ParetoFrontier(
+    const std::vector<std::vector<double>>& points);
+
+}  // namespace db::dse

@@ -1,0 +1,70 @@
+// The DSE sweep specification: which candidate configurations the
+// explorer enumerates for one (network, constraint) pair.
+//
+// Four axes, all semantics-preserving (the fixed-point format is pinned
+// by the constraint — an optimiser must never change what the
+// accelerator computes, only how fast/cheaply it computes it; the
+// differential suite holds the tuner to that):
+//
+//   lanes  percent of the sized MAC lane count (the fold-factor knob:
+//          fewer lanes fold a layer across more time slots)
+//   port   elements per memory port / buffer row (the Method-1 tile
+//          width d — this is the datapath width axis)
+//   split  percent of the BRAM budget offered to the data buffer (the
+//          buffer-split knob; the weight buffer takes the remainder)
+//   dsp    whether MAC lanes may claim DSP slices ("on") or must all be
+//          fabric multipliers ("off", trading DSPs for LUTs)
+//
+// Grammar (ParseSweepSpec): semicolon-separated `axis=v1,v2,...`
+// clauses, e.g. "lanes=50,100,200;port=16,32;split=45,60;dsp=on".
+// Unknown axes, empty value lists, duplicate clauses and out-of-range
+// values are rejected with db::Error.  Omitted axes keep their
+// defaults.  Values are sorted and deduplicated, so any two spellings
+// of the same sweep enumerate the same candidates in the same order —
+// and hash to the same tune cache key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace db::dse {
+
+/// One point of the sweep grid.
+struct CandidateSpec {
+  int lanes_pct = 100;          // percent of the sized MAC lane count
+  std::int64_t port_elems = 16; // memory port width (elements)
+  int data_split_pct = 60;      // percent of BRAM for the data buffer
+  bool allow_dsp = true;        // may lanes claim DSP slices?
+
+  bool operator==(const CandidateSpec& other) const = default;
+
+  /// Canonical rendering, e.g. "lanes=50%,port=16,split=45%,dsp=on".
+  std::string ToString() const;
+};
+
+/// The whole grid: the cross product of the four axes' value lists.
+struct SweepSpec {
+  std::vector<int> lanes_pct{25, 50, 100, 200};
+  std::vector<std::int64_t> port_elems{8, 16, 32};
+  std::vector<int> data_split_pct{30, 45, 60};
+  std::vector<bool> allow_dsp{true, false};
+
+  std::size_t CandidateCount() const;
+
+  /// Deterministic enumeration: nested loops lanes -> port -> split ->
+  /// dsp, each axis in its (sorted, deduplicated) stored order.  The
+  /// position in this vector is the candidate index every report and
+  /// cross-check refers to.
+  std::vector<CandidateSpec> Enumerate() const;
+
+  /// Canonical spec string (parses back to an equal SweepSpec; feeds
+  /// the tune cache key).
+  std::string ToString() const;
+};
+
+/// Parse the grammar above; an empty string yields the default sweep.
+/// Throws db::Error on malformed input.
+SweepSpec ParseSweepSpec(const std::string& text);
+
+}  // namespace db::dse

@@ -83,8 +83,11 @@ ResourceBudget BlockCost(const BlockConfig& c) {
       break;
     case BlockType::kApproxLut: {
       // Sample store in BRAM; interpolation needs a slope multiplier and
-      // the adjacent-key fetch/compare logic.
-      r.bram_bytes = c.depth * CeilDiv(c.bit_width, 8) * 2;  // key+value
+      // the adjacent-key fetch/compare logic.  The table product
+      // saturates: an absurd depth/width combination from a DSE sweep
+      // must tally as over-budget, never wrap into a small number.
+      r.bram_bytes = SatMul(SatMul(c.depth, CeilDiv(c.bit_width, 8)),
+                            2);  // key+value
       r.lut = ScaleW(14, c.bit_width);
       r.ff = ScaleW(12, c.bit_width);
       if (c.interpolate) {
@@ -156,10 +159,13 @@ ResourceReport TallyResources(const std::vector<BlockInstance>& blocks) {
     entry.instance = inst.name;
     entry.description = DescribeBlock(inst.config);
     entry.cost = BlockCost(inst.config);
-    report.total.dsp += entry.cost.dsp;
-    report.total.lut += entry.cost.lut;
-    report.total.ff += entry.cost.ff;
-    report.total.bram_bytes += entry.cost.bram_bytes;
+    // Saturating totals: one saturated block cost must poison the whole
+    // tally (and thus fail every Fits check) instead of wrapping.
+    report.total.dsp = SatAdd(report.total.dsp, entry.cost.dsp);
+    report.total.lut = SatAdd(report.total.lut, entry.cost.lut);
+    report.total.ff = SatAdd(report.total.ff, entry.cost.ff);
+    report.total.bram_bytes =
+        SatAdd(report.total.bram_bytes, entry.cost.bram_bytes);
     report.entries.push_back(std::move(entry));
   }
   return report;

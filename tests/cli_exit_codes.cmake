@@ -68,6 +68,74 @@ foreach(rule
   expect_exit(2 verify --zoo Cifar --self-test-break ${rule})
 endforeach()
 
+# `deepburning tune`: exit 0 on a successful exploration, exit 2 for a
+# malformed model name, --budget, --objective, --sweep or --jobs value
+# (all validated before any generator work runs).
+expect_exit(0 tune --help)
+expect_exit(0 tune ANN-0)
+expect_exit(2 tune)                                      # no model
+expect_exit(2 tune no-such-model)                        # db::Error
+expect_exit(2 tune ANN-0 --budget=huge)                  # db::Error
+expect_exit(2 tune ANN-0 --objective=throughput)         # db::Error
+expect_exit(2 tune ANN-0 --sweep=warp=9)                 # db::Error
+expect_exit(2 tune ANN-0 --sweep=port=24)                # db::Error
+expect_exit(2 tune ANN-0 --jobs=0)                       # db::Error
+expect_exit(2 tune ANN-0 --jobs=none)                    # db::Error
+
+# Malformed tuning flags fail fast with byte-stable stderr.
+foreach(bad_flags "--budget=huge" "--objective=throughput" "--jobs=0")
+  foreach(run a b)
+    execute_process(
+      COMMAND ${DEEPBURNING} tune ANN-0 ${bad_flags}
+      RESULT_VARIABLE tune_flag_result
+      ERROR_VARIABLE tune_err_${run} OUTPUT_QUIET)
+    if(NOT tune_flag_result EQUAL 2)
+      message(FATAL_ERROR
+        "tune ${bad_flags}: expected exit 2, got ${tune_flag_result}")
+    endif()
+  endforeach()
+  if(NOT tune_err_a STREQUAL tune_err_b)
+    message(FATAL_ERROR "tune error text is not byte-stable "
+      "(${bad_flags}):\n"
+      "--- run a ---\n${tune_err_a}\n--- run b ---\n${tune_err_b}")
+  endif()
+  if(tune_err_a STREQUAL "")
+    message(FATAL_ERROR
+      "tune ${bad_flags}: expected a diagnostic on stderr")
+  endif()
+endforeach()
+
+# The tune report is byte-identical across reruns AND across --jobs
+# values, in both text and JSON form — parallelism is a wall-clock knob,
+# never an output knob.
+foreach(fmt text json)
+  set(tune_fmt_flag)
+  if(fmt STREQUAL json)
+    set(tune_fmt_flag --json)
+  endif()
+  foreach(run a_1 b_8)
+    string(REGEX REPLACE ".*_" "" tune_jobs "${run}")
+    execute_process(
+      COMMAND ${DEEPBURNING} tune ANN-0 --jobs ${tune_jobs}
+              ${tune_fmt_flag}
+      RESULT_VARIABLE tune_result
+      OUTPUT_VARIABLE tune_${run} ERROR_QUIET)
+    if(NOT tune_result EQUAL 0)
+      message(FATAL_ERROR
+        "tune ANN-0 --jobs ${tune_jobs} (${fmt}): expected exit 0, "
+        "got ${tune_result}")
+    endif()
+  endforeach()
+  if(NOT tune_a_1 STREQUAL tune_b_8)
+    message(FATAL_ERROR "tune report is not byte-stable across --jobs "
+      "(${fmt}):\n"
+      "--- jobs 1 ---\n${tune_a_1}\n--- jobs 8 ---\n${tune_b_8}")
+  endif()
+  if(tune_a_1 STREQUAL "")
+    message(FATAL_ERROR "tune ANN-0 (${fmt}): expected a report")
+  endif()
+endforeach()
+
 # Report rendering is byte-stable: two runs over the same broken design
 # emit identical bytes, in both text and JSON form.
 foreach(fmt text json)

@@ -154,6 +154,54 @@ TEST(MathUtil, RoundUpRejectsContractViolations) {
   EXPECT_THROW(RoundUp(-10, 4), std::logic_error);
 }
 
+TEST(MathUtil, CeilDivExactNearIntMax) {
+  // The textbook (a + b - 1) / b form overflows here; the DSE sweeps
+  // reach this scale when a degenerate candidate saturates a cost.
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(CeilDiv(kMax, 1), kMax);
+  EXPECT_EQ(CeilDiv(kMax, kMax), 1);
+  EXPECT_EQ(CeilDiv(kMax, 2), kMax / 2 + 1);
+  EXPECT_EQ(CeilDiv(kMax - 1, kMax), 1);
+  EXPECT_EQ(CeilDiv(kMax, kMax - 1), 2);
+}
+
+TEST(MathUtil, SatMulSaturatesInsteadOfWrapping) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(SatMul(0, kMax), 0);
+  EXPECT_EQ(SatMul(kMax, 0), 0);
+  EXPECT_EQ(SatMul(1, kMax), kMax);
+  EXPECT_EQ(SatMul(3, 7), 21);
+  EXPECT_EQ(SatMul(kMax, 2), kMax);
+  EXPECT_EQ(SatMul(kMax / 2, 3), kMax);
+  EXPECT_EQ(SatMul(std::int64_t{1} << 32, std::int64_t{1} << 32), kMax);
+  // Largest exact products on either side of the boundary.
+  EXPECT_EQ(SatMul(kMax / 2, 2), kMax - 1);
+  EXPECT_THROW(SatMul(-1, 2), std::logic_error);
+  EXPECT_THROW(SatMul(2, -1), std::logic_error);
+}
+
+TEST(MathUtil, SatAddSaturatesInsteadOfWrapping) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(SatAdd(0, 0), 0);
+  EXPECT_EQ(SatAdd(kMax, 0), kMax);
+  EXPECT_EQ(SatAdd(kMax, 1), kMax);
+  EXPECT_EQ(SatAdd(kMax - 1, 1), kMax);
+  EXPECT_EQ(SatAdd(kMax / 2, kMax / 2), kMax - 1);
+  EXPECT_THROW(SatAdd(-1, 1), std::logic_error);
+}
+
+TEST(MathUtil, RoundUpSaturatesAtWideWidths) {
+  // RoundUp(CeilDiv(v, a) * a) saturates rather than wrapping when the
+  // re-multiplication exceeds the representable range — the resource
+  // model relies on this to poison absurd datapath-width tallies.
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(RoundUp(kMax, 2), kMax);          // kMax is odd: would wrap
+  EXPECT_EQ(RoundUp(kMax - 1, kMax), kMax);   // exact at the boundary
+  EXPECT_EQ(RoundUp(kMax, kMax), kMax);
+  EXPECT_EQ(RoundUp((std::int64_t{1} << 62) + 1, std::int64_t{1} << 62),
+            kMax);
+}
+
 TEST(MathUtil, FloorPow2) {
   EXPECT_EQ(FloorPow2(1), 1);
   EXPECT_EQ(FloorPow2(2), 2);

@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "core/design_serde.h"
 #include "core/generator.h"
+#include "dse/explorer.h"
 #include "fault/fault_plan.h"
 #include "frontend/network_def.h"
 #include "models/zoo.h"
@@ -204,6 +205,50 @@ TEST(Differential, ServerReplicasMatchTheStandaloneSystemPath) {
     // Replica count is a wall-clock knob, never a numerics knob.
     EXPECT_EQ(one[idx].output.storage(), four[idx].output.storage());
     EXPECT_EQ(one[idx].output.storage(), reference[idx].storage());
+  }
+}
+
+// --------------------------------------------- tuned vs default designs
+
+/// The tuner's semantics-preservation guarantee: `deepburning tune`
+/// only moves implementation knobs (lane count, port width, buffer
+/// split, multiplier substrate) while the fixed-point format stays
+/// pinned by the constraint — so the tuned winner's functional-sim
+/// outputs are BIT-identical to the default design's, for every
+/// objective.  A tuner that bought latency by changing numerics would
+/// fail here, not in a tolerance band.
+TEST(Differential, TuneWinnerMatchesDefaultDesignBitExact) {
+  for (const ZooModel model :
+       {ZooModel::kAnn1Jpeg, ZooModel::kHopfield, ZooModel::kMnist}) {
+    SCOPED_TRACE(ZooModelName(model));
+    const Network net = BuildZooModel(model);
+    const DesignConstraint constraint = DbConstraint();
+    const AcceleratorDesign standard =
+        GenerateAccelerator(net, constraint);
+    const AcceleratorConfig base = SizeDatapath(net, constraint);
+
+    Rng rng(909);
+    const WeightStore weights = WeightStore::CreateRandom(net, rng);
+    const Tensor input = RandomInput(net, 910);
+    const Tensor reference =
+        FunctionalSimulator(net, standard, weights).Run(input);
+
+    for (const dse::Objective objective :
+         {dse::Objective::kLatency, dse::Objective::kEnergy,
+          dse::Objective::kBalanced}) {
+      SCOPED_TRACE(dse::ObjectiveName(objective));
+      dse::TuneOptions options;
+      options.objective = objective;
+      options.jobs = 4;
+      const dse::TuneResult result =
+          dse::Explore(net, constraint, options);
+      const AcceleratorDesign tuned = dse::CompileWinner(
+          net, constraint, base,
+          result.candidates[result.winner].spec);
+      const Tensor tuned_out =
+          FunctionalSimulator(net, tuned, weights).Run(input);
+      EXPECT_EQ(reference.storage(), tuned_out.storage());
+    }
   }
 }
 

@@ -32,10 +32,25 @@
 //   deepburning profile (<zoo-name> | --zoo NAME | --model m.prototxt)
 //     [--constraint file] [--json] [--out <file>]
 //
-// --design-cache points both commands at a content-addressed on-disk
+// The `tune` subcommand runs the design-space exploration engine: it
+// enumerates the sweep grid, prunes each candidate (construction ->
+// budget -> static verifier), scores survivors analytically and prints
+// the Pareto frontier over (latency, energy, BRAM) plus the winner for
+// the requested objective (byte-identical for any --jobs value and
+// across reruns):
+//
+//   deepburning tune (<zoo-name> | --zoo NAME | --model m.prototxt)
+//     [--constraint file] [--budget low|medium|high]
+//     [--objective latency|energy|balanced] [--sweep SPEC] [--jobs N]
+//     [--json] [--out <file>] [--design-cache <dir>]
+//
+// --design-cache points the commands at a content-addressed on-disk
 // cache of generator output: a warm entry for the same canonical
 // (network, constraint) pair skips NN-Gen entirely (zero toolchain
 // spans in --trace-out; cluster.cache.* counters record the reuse).
+// `tune` keys its winner (and a sidecar copy of the report) on the
+// (network, constraint, sweep, objective) digest, so a warm tune run
+// replays the report without re-exploring.
 //
 // Every subcommand accepts --trace-out=<file> (Chrome Trace Event JSON:
 // toolchain phases, per-layer simulator intervals, per-request serving
@@ -57,6 +72,7 @@
 #include "common/strings.h"
 #include "core/generator.h"
 #include "core/design_json.h"
+#include "dse/explorer.h"
 #include "fault/fault_plan.h"
 #include "models/zoo.h"
 #include "obs/chrome_trace.h"
@@ -98,7 +114,9 @@ void PrintUsage() {
       "       deepburning verify ...  (static design verifier; "
       "`deepburning verify --help`)\n"
       "       deepburning profile ... (per-layer bottleneck report; "
-      "`deepburning profile --help`)\n\n"
+      "`deepburning profile --help`)\n"
+      "       deepburning tune ...    (design-space exploration; "
+      "`deepburning tune --help`)\n\n"
       "  --model       Caffe-compatible network descriptive script "
       "(required)\n"
       "  --constraint  designer resource constraint script (default: "
@@ -635,6 +653,205 @@ int RunProfile(int argc, char** argv) {
   return 0;
 }
 
+void PrintTuneUsage() {
+  std::printf(
+      "usage: deepburning tune (<zoo-name> | --zoo <name> | "
+      "--model <model.prototxt>)\n"
+      "                        [--constraint <constraint.prototxt>] "
+      "[--budget <level>]\n"
+      "                        [--objective <goal>] [--sweep <spec>] "
+      "[--jobs <n>]\n"
+      "                        [--json] [--out <file>] "
+      "[--design-cache <dir>]\n"
+      "                        [--trace-out <file>] "
+      "[--metrics-out <file>]\n\n"
+      "Design-space exploration: enumerates candidate configurations\n"
+      "(MAC lane scaling, memory port width, BRAM buffer split, DSP vs\n"
+      "fabric multipliers), prunes each one in a fixed order\n"
+      "(construction infeasible -> over budget -> static verifier\n"
+      "rejected), scores survivors with the analytic performance /\n"
+      "energy / resource models, and prints the Pareto frontier over\n"
+      "(latency, energy, BRAM) plus the winner for the requested\n"
+      "objective.  The report is byte-identical for any --jobs value\n"
+      "and across reruns.\n\n"
+      "  --zoo         benchmark model name (ANN-0, ANN-1, ANN-2, "
+      "Hopfield,\n"
+      "                CMAC, MNIST, Alexnet, NiN, Cifar); a bare first\n"
+      "                argument is shorthand for --zoo\n"
+      "  --model       Caffe-compatible network script instead of --zoo\n"
+      "  --constraint  designer resource constraint script (default: "
+      "medium\n"
+      "                Zynq-7045 budget)\n"
+      "  --budget      override the constraint's budget level: low, "
+      "medium\n"
+      "                or high\n"
+      "  --objective   winner selection goal: latency (default), energy "
+      "or\n"
+      "                balanced (latency x energy product)\n"
+      "  --sweep       sweep grid as semicolon-separated axis=v1,v2,... "
+      "clauses;\n"
+      "                axes: lanes (%% of sized MAC lanes), port "
+      "(elements,\n"
+      "                power of two), split (%% of BRAM for the data "
+      "buffer),\n"
+      "                dsp (on/off), e.g. "
+      "'lanes=50,100;port=16,32;dsp=on'\n"
+      "  --jobs        worker threads for candidate evaluation "
+      "(default 1;\n"
+      "                changes wall-clock time only, never the report)\n"
+      "  --json        print the report as canonical JSON instead of "
+      "text\n"
+      "  --out         also write the report to a file\n"
+      "  --design-cache  cache directory; stores the winning design "
+      "under the\n"
+      "                (network, constraint, sweep, objective) digest "
+      "plus a\n"
+      "                report sidecar, so a warm run skips exploration\n"
+      "  --trace-out   write the \"dse\" phase spans as Chrome-trace "
+      "JSON\n"
+      "  --metrics-out write the dse.* metrics registry as JSON\n");
+}
+
+int RunTune(int argc, char** argv) {
+  using namespace db;
+  std::string zoo_name;
+  std::string model_path;
+  std::string constraint_path;
+  std::string budget_name;
+  std::string objective_name = "latency";
+  std::string sweep_text;
+  std::string jobs_text = "1";
+  std::string out_path;
+  std::string design_cache;
+  std::string trace_out;
+  std::string metrics_out;
+  bool json = false;
+  bool help = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--zoo") {
+      zoo_name = next();
+    } else if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--constraint") {
+      constraint_path = next();
+    } else if (FlagValue(arg, "--budget", next, &budget_name) ||
+               FlagValue(arg, "--objective", next, &objective_name) ||
+               FlagValue(arg, "--sweep", next, &sweep_text) ||
+               FlagValue(arg, "--jobs", next, &jobs_text) ||
+               FlagValue(arg, "--out", next, &out_path) ||
+               FlagValue(arg, "--design-cache", next, &design_cache) ||
+               FlagValue(arg, "--trace-out", next, &trace_out) ||
+               FlagValue(arg, "--metrics-out", next, &metrics_out)) {
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      help = true;
+    } else if (!arg.empty() && arg[0] != '-' && zoo_name.empty() &&
+               model_path.empty()) {
+      zoo_name = arg;  // `deepburning tune MNIST`
+    } else {
+      throw Error("unknown tune argument '" + arg + "' (see --help)");
+    }
+  }
+  if (help || (zoo_name.empty() && model_path.empty())) {
+    PrintTuneUsage();
+    return help ? 0 : 2;
+  }
+
+  // Validate every tuning flag before any generator work, so a typo
+  // fails fast with exit code 2 and a stable one-line diagnostic.
+  dse::TuneOptions tune;
+  tune.objective = dse::ParseObjective(objective_name);
+  tune.sweep = dse::ParseSweepSpec(sweep_text);
+  if (jobs_text.empty() ||
+      jobs_text.find_first_not_of("0123456789") != std::string::npos)
+    throw Error("bad --jobs value '" + jobs_text +
+                "' (expected an integer in [1, 64])");
+  const long jobs = std::stol(jobs_text);
+  if (jobs < 1 || jobs > 64)
+    throw Error("bad --jobs value '" + jobs_text +
+                "' (expected an integer in [1, 64])");
+  tune.jobs = static_cast<int>(jobs);
+
+  const NetworkDef def = ParseNetworkDef(
+      zoo_name.empty() ? ReadFile(model_path)
+                       : ZooModelPrototxt(ZooModelByName(zoo_name)));
+  const Network net = Network::Build(def);
+  DesignConstraint constraint =
+      constraint_path.empty() ? ParseConstraint(std::string())
+                              : ParseConstraint(ReadFile(constraint_path));
+  if (!budget_name.empty()) {
+    if (budget_name == "low")
+      constraint.budget = BudgetLevel::kLow;
+    else if (budget_name == "medium")
+      constraint.budget = BudgetLevel::kMedium;
+    else if (budget_name == "high")
+      constraint.budget = BudgetLevel::kHigh;
+    else
+      throw Error("unknown budget '" + budget_name +
+                  "' (expected low, medium or high)");
+  }
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  tune.tracer = &tracer;
+  tune.metrics = &metrics;
+
+  auto emit = [&](const std::string& report) {
+    std::printf("%s", report.c_str());
+    if (!out_path.empty()) WriteFile(out_path, report);
+    if (!trace_out.empty())
+      WriteFile(trace_out,
+                obs::WriteChromeTrace(tracer, constraint.frequency_mhz));
+    if (!metrics_out.empty()) WriteFile(metrics_out, metrics.ToJson());
+  };
+
+  // Winners flow through the design cache keyed on the (network,
+  // constraint, sweep, objective) digest; the rendered report rides
+  // along as a sidecar so a warm run replays byte-identically without
+  // evaluating a single candidate.
+  cluster::DesignCache::Options cache_opts;
+  cache_opts.directory = design_cache;
+  cache_opts.tracer = &tracer;
+  cache_opts.metrics = &metrics;
+  cluster::DesignCache cache(cache_opts);
+  const cluster::DesignKey key =
+      dse::MakeTuneKey(def, constraint, tune.sweep, tune.objective);
+  if (!design_cache.empty()) {
+    const std::string sidecar =
+        cache.SidecarPath(key, json ? "tune.json" : "tune.txt");
+    std::ifstream in(sidecar);
+    if (in && cache.Lookup(key)) {
+      std::ostringstream os;
+      os << in.rdbuf();
+      dse::RecordTuneCacheHit(metrics);
+      std::printf("tune cache: reused %s (no exploration)\n",
+                  cluster::DesignKeyHex(key).c_str());
+      emit(os.str());
+      return 0;
+    }
+  }
+
+  const dse::TuneResult result = dse::Explore(net, constraint, tune);
+  if (!design_cache.empty()) {
+    // Compile the winner into a deployable design (RTL + lint + the
+    // verifier gate) and persist it with both report renderings.
+    const AcceleratorConfig base = SizeDatapath(net, constraint);
+    cache.Insert(key,
+                 dse::CompileWinner(net, constraint, base,
+                                    result.candidates[result.winner].spec));
+    std::ofstream(cache.SidecarPath(key, "tune.txt")) << result.ToText();
+    std::ofstream(cache.SidecarPath(key, "tune.json")) << result.ToJson();
+  }
+  emit(json ? result.ToJson() : result.ToText());
+  return 0;
+}
+
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw db::Error("cannot read " + path);
@@ -671,6 +888,8 @@ int main(int argc, char** argv) {
       return RunVerify(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "profile")
       return RunProfile(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "tune")
+      return RunTune(argc, argv);
     const CliOptions opts = ParseArgs(argc, argv);
     if (opts.help || opts.model_path.empty()) {
       PrintUsage();
