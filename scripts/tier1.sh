@@ -51,6 +51,14 @@ cmake --build --preset ubsan -j "${JOBS}" --target analysis_test rtl_test
 ctest --preset ubsan -j "${JOBS}" \
   -R 'Diagnostics|Verifier|MutationSweep|DesignCacheVerify|BrokenRuleSweep|Lint'
 
+echo "== tier-1: UBSan on the RTL analysis suite (ctest -L rtl) =="
+# The elaborator's bit-range bookkeeping and the width-inference
+# arithmetic (slice bounds, literal rendering shifts, Tarjan indices)
+# run the whole rtl-labelled suite under UBSan: the typed-AST printer
+# goldens, the netlist elaborator and the rtl.* mutation sweep.
+cmake --build --preset ubsan -j "${JOBS}" --target rtl_test rtl_analysis_test
+ctest --preset ubsan -j "${JOBS}" -L rtl
+
 echo "== tier-1: TSan on the thread-labelled suites (ctest -L threads) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}" \

@@ -56,6 +56,10 @@ void AnalysisReport::Add(Severity severity, std::string rule,
                     std::move(message)});
 }
 
+void AnalysisReport::Merge(const AnalysisReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
 int AnalysisReport::ErrorCount() const {
   int n = 0;
   for (const Diagnostic& d : diags_)

@@ -31,6 +31,11 @@ class AnalysisReport {
   void Add(Severity severity, std::string rule, std::string location,
            std::string message);
 
+  /// Append every diagnostic of `other`; rendering re-sorts into the
+  /// canonical order, so merged reports stay byte-stable regardless of
+  /// merge order.
+  void Merge(const AnalysisReport& other);
+
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
   int ErrorCount() const;
   int WarningCount() const;

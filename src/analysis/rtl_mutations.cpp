@@ -1,0 +1,170 @@
+#include "analysis/rtl_mutations.h"
+
+#include <functional>
+
+#include "common/error.h"
+#include "rtl/netlist.h"
+
+namespace db::analysis {
+namespace {
+
+bool ExprReads(const VExpr& expr, const std::string& name) {
+  if (expr.kind == VExprKind::kId && expr.text == name) return true;
+  for (const VExpr& arg : expr.args)
+    if (ExprReads(arg, name)) return true;
+  return false;
+}
+
+bool StmtReads(const VStmt& stmt, const std::string& name) {
+  if (stmt.kind == VStmtKind::kAssign) return ExprReads(stmt.rhs, name);
+  if (stmt.kind == VStmtKind::kIf && ExprReads(stmt.cond, name))
+    return true;
+  for (const VStmt& s : stmt.then_stmts)
+    if (StmtReads(s, name)) return true;
+  for (const VStmt& s : stmt.else_stmts)
+    if (StmtReads(s, name)) return true;
+  return false;
+}
+
+/// True when `module` reads `name` anywhere (assign rhs, always body,
+/// instance binding actual).
+bool ModuleReads(const VModule& module, const std::string& name) {
+  for (const VAssign& a : module.assigns)
+    if (ExprReads(a.rhs, name)) return true;
+  for (const VAlways& blk : module.always_blocks)
+    for (const VStmt& s : blk.body)
+      if (StmtReads(s, name)) return true;
+  for (const VInstance& inst : module.instances)
+    for (const VBinding& b : inst.ports)
+      if (ExprReads(b.actual, name)) return true;
+  return false;
+}
+
+VModule& TopModule(VDesign& design) {
+  for (VModule& m : design.modules)
+    if (m.name == design.top) return m;
+  DB_THROW("design has no top module '" + design.top + "'");
+}
+
+/// Remove an input-port binding whose child module actually reads the
+/// port, leaving a loaded-but-undriven net behind.
+void BreakDriveUnbound(VDesign& design) {
+  VModule& top = TopModule(design);
+  for (VInstance& inst : top.instances) {
+    const VModule* def = design.FindModule(inst.module_name);
+    if (def == nullptr) continue;
+    for (std::size_t i = 0; i < inst.ports.size(); ++i) {
+      const VPort* formal = def->FindPort(inst.ports[i].formal);
+      if (formal == nullptr || formal->dir != PortDir::kInput) continue;
+      if (formal->name == "clk" || formal->name == "rst_n") continue;
+      if (!ModuleReads(*def, formal->name)) continue;
+      inst.ports.erase(inst.ports.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  DB_THROW("no removable input binding in the top module");
+}
+
+/// Point a later continuous assign at an earlier assign's target,
+/// creating overlapping drivers without a width or loop side effect.
+void BreakDriveDouble(VDesign& design) {
+  VModule& top = TopModule(design);
+  for (std::size_t j = 1; j < top.assigns.size(); ++j)
+    for (std::size_t i = 0; i < j; ++i) {
+      const int wl = InferWidth(top, top.assigns[i].lhs);
+      const int wr = InferWidth(top, top.assigns[j].rhs);
+      if (wl <= 0 || wr > wl) continue;  // would add an rtl.width error
+      const std::string base = LvalueBase(top.assigns[i].lhs);
+      if (base.empty() || ExprReads(top.assigns[j].rhs, base))
+        continue;  // would add an rtl.comb.loop error
+      top.assigns[j].lhs = top.assigns[i].lhs;
+      return;
+    }
+  DB_THROW("no assign pair in the top module supports double-driving");
+}
+
+bool WidenFirstSlice(const VModule& m, VExpr& expr) {
+  if (expr.kind == VExprKind::kSlice &&
+      expr.args[0].kind == VExprKind::kId &&
+      InferWidth(m, expr.args[0]) > 0) {
+    ++expr.msb;
+    return true;
+  }
+  for (VExpr& arg : expr.args)
+    if (WidenFirstSlice(m, arg)) return true;
+  return false;
+}
+
+/// Widen the first rhs slice one bit past its declared net.
+void BreakWidthSlice(VDesign& design) {
+  for (VModule& m : design.modules)
+    for (VAssign& a : m.assigns)
+      if (WidenFirstSlice(m, a.rhs)) return;
+  DB_THROW("no sliced assign rhs to widen");
+}
+
+bool BlockFirstAssign(VStmt& stmt) {
+  if (stmt.kind == VStmtKind::kAssign) {
+    if (!stmt.non_blocking) return false;
+    stmt.non_blocking = false;
+    return true;
+  }
+  for (VStmt& s : stmt.then_stmts)
+    if (BlockFirstAssign(s)) return true;
+  for (VStmt& s : stmt.else_stmts)
+    if (BlockFirstAssign(s)) return true;
+  return false;
+}
+
+/// Turn the first non-blocking assignment of the first clocked block
+/// into a blocking one.
+void BreakClockBlocking(VDesign& design) {
+  for (VModule& m : design.modules)
+    for (VAlways& blk : m.always_blocks) {
+      if (blk.sensitivity.rfind("posedge ", 0) != 0) continue;
+      for (VStmt& s : blk.body)
+        if (BlockFirstAssign(s)) return;
+    }
+  DB_THROW("no clocked always block with a non-blocking assignment");
+}
+
+/// Splice two mutually-dependent continuous assigns into the top module.
+void BreakCombCycle(VDesign& design) {
+  VModule& top = TopModule(design);
+  top.nets.push_back({"comb_a", 1, false, 0});
+  top.nets.push_back({"comb_b", 1, false, 0});
+  top.assigns.push_back({VId("comb_a"), VId("comb_b")});
+  top.assigns.push_back({VId("comb_b"), VId("comb_a")});
+}
+
+/// Add a register that is written every cycle and never read.
+void BreakDeadReg(VDesign& design) {
+  for (VModule& m : design.modules)
+    for (VAlways& blk : m.always_blocks) {
+      if (blk.sensitivity.rfind("posedge ", 0) != 0) continue;
+      m.nets.push_back({"dead_reg", 8, true, 0});
+      blk.body.push_back(VNonBlocking(VId("dead_reg"), VLit(8, 0)));
+      return;
+    }
+  DB_THROW("no clocked always block to host a dead register");
+}
+
+}  // namespace
+
+std::vector<std::string> BreakableRtlMutations() {
+  return {"drive.unbound", "drive.double", "width.slice",
+          "clock.blocking", "comb.cycle",  "dead.reg"};
+}
+
+void BreakRtlRule(VDesign& design, const std::string& mutation) {
+  if (mutation == "drive.unbound") return BreakDriveUnbound(design);
+  if (mutation == "drive.double") return BreakDriveDouble(design);
+  if (mutation == "width.slice") return BreakWidthSlice(design);
+  if (mutation == "clock.blocking") return BreakClockBlocking(design);
+  if (mutation == "comb.cycle") return BreakCombCycle(design);
+  if (mutation == "dead.reg") return BreakDeadReg(design);
+  DB_THROW("unknown RTL mutation class '" + mutation + "'");
+}
+
+}  // namespace db::analysis

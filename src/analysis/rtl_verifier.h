@@ -1,0 +1,54 @@
+// RTL static analysis over the elaborated netlist (rtl/netlist.h).
+//
+// VerifyDesign (analysis/verifier.h) proves schedule/memory legality of
+// the *plan*; nothing proved the emitted hardware itself until this
+// suite.  VerifyRtl elaborates design.rtl into a flattened netlist and
+// runs five structural passes, reporting through the same diagnostics
+// engine (canonical ordering, byte-stable text/JSON).
+//
+// Rule catalogue (ids are stable; see DESIGN.md §10):
+//   rtl.drive      every loaded bit has a driver, no two distinct
+//                  drivers overlap on a bit, primary inputs are never
+//                  driven internally; elaboration failures (undeclared
+//                  nets, undefined modules, instantiation cycles)
+//                  surface here.  Memories are exempt (externally
+//                  initialised ROM images)
+//   rtl.width      bottom-up expression width inference: assignment
+//                  truncation, out-of-range slices and bit-selects,
+//                  unsized literals inside concatenations, instance
+//                  binding width mismatches, reversed slice bounds
+//   rtl.comb.loop  Tarjan SCC over the combinational edge set (assigns,
+//                  always @* blocks, instance bindings); every cycle is
+//                  one error listing its member nets
+//   rtl.clock      single-clock discipline: sensitivity is `*` or
+//                  `posedge <declared net>`, one clock per module,
+//                  non-blocking assignments only in clocked blocks,
+//                  blocking only in combinational blocks
+//   rtl.dead       registers written but never read (warning), dangling
+//                  nets (warning), wires driven but never read (note;
+//                  silent for instance-output taps).  Ports are exempt:
+//                  an unread input port is the instantiator's contract,
+//                  not a bug in the module
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "rtl/verilog.h"
+
+namespace db::analysis {
+
+// Stable rule identifiers (also the `analysis.rtl.rule.<id>` metrics).
+inline constexpr char kRuleRtlDrive[] = "rtl.drive";
+inline constexpr char kRuleRtlWidth[] = "rtl.width";
+inline constexpr char kRuleRtlCombLoop[] = "rtl.comb.loop";
+inline constexpr char kRuleRtlClock[] = "rtl.clock";
+inline constexpr char kRuleRtlDead[] = "rtl.dead";
+
+/// Run every rtl.* pass over the design's RTL and collect diagnostics.
+/// Never throws: structurally broken RTL becomes error diagnostics.
+AnalysisReport VerifyRtl(const VDesign& design);
+
+/// Gate form: throws db::Error carrying the report text when VerifyRtl
+/// finds any error-severity diagnostic.  Warnings and notes pass.
+void VerifyRtlOrThrow(const VDesign& design);
+
+}  // namespace db::analysis

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <utility>
 
+#include "analysis/rtl_verifier.h"
 #include "analysis/verifier.h"
 #include "common/error.h"
 #include "common/hash.h"
@@ -181,6 +182,17 @@ std::shared_ptr<const AcceleratorDesign> DesignCache::LoadFromDisk(
       DB_LOG(kWarn) << "design cache: rejecting illegal on-disk entry "
                     << DesignKeyHex(key) << "\n" << report.ToText();
       return nullptr;  // served like a miss; the generator rebuilds it
+    }
+    // Same defence for the hardware itself: a bit-flip inside the RTL
+    // records decodes fine but must not enter the accelerator pool.
+    const analysis::AnalysisReport rtl_report =
+        analysis::VerifyRtl(design->rtl);
+    if (!rtl_report.ok()) {
+      if (options_.metrics)
+        options_.metrics->AddCounter("cluster.cache.verify_reject");
+      DB_LOG(kWarn) << "design cache: rejecting entry with illegal RTL "
+                    << DesignKeyHex(key) << "\n" << rtl_report.ToText();
+      return nullptr;
     }
     return design;
   } catch (const Error&) {

@@ -342,11 +342,44 @@ void Ser(A& a, ResourceReport& r) {
 }
 
 template <class A>
+void Ser(A& a, VExpr& e) {
+  SerEnum(a, e.kind, static_cast<int>(VExprKind::kSigned));
+  Ser(a, e.text);
+  Ser(a, e.value);
+  Ser(a, e.width);
+  int base = e.base;
+  Ser(a, base);
+  if constexpr (A::kReading) {
+    if (base != 'd' && base != 'b' && base != 'h')
+      throw Error("design decode: invalid literal base");
+    e.base = static_cast<char>(base);
+  }
+  Ser(a, e.msb);
+  Ser(a, e.lsb);
+  Ser(a, e.compact);
+  Ser(a, e.args);
+}
+
+template <class A>
+void Ser(A& a, VStmt& s) {
+  SerEnum(a, s.kind, static_cast<int>(VStmtKind::kSeq));
+  Ser(a, s.lhs);
+  Ser(a, s.rhs);
+  Ser(a, s.non_blocking);
+  Ser(a, s.cond);
+  Ser(a, s.then_stmts);
+  Ser(a, s.else_stmts);
+  SerEnum(a, s.then_style, static_cast<int>(VBranchStyle::kBlockOwnLine));
+  SerEnum(a, s.else_style, static_cast<int>(VBranchStyle::kBlockOwnLine));
+}
+
+template <class A>
 void Ser(A& a, VPort& p) {
   Ser(a, p.name);
   SerEnum(a, p.dir, static_cast<int>(PortDir::kOutput));
   Ser(a, p.width);
   Ser(a, p.is_reg);
+  Ser(a, p.width_param);
 }
 
 template <class A>

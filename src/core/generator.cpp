@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/rtl_verifier.h"
 #include "analysis/verifier.h"
 #include "common/error.h"
 #include "common/logging.h"
@@ -472,6 +473,30 @@ void VerifyGate(const Network& net, const AcceleratorDesign& design,
              << report.ToText());
 }
 
+/// The RTL counterpart: elaborate the emitted design and run the rtl.*
+/// netlist passes before the hardware can leave the generator.
+void RtlVerifyGate(const Network& net, const AcceleratorDesign& design,
+                   obs::MetricsRegistry* metrics) {
+  const analysis::AnalysisReport report = analysis::VerifyRtl(design.rtl);
+  if (metrics != nullptr) {
+    metrics->AddCounter("analysis.rtl.designs_verified");
+    if (report.WarningCount() > 0)
+      metrics->AddCounter("analysis.rtl.warnings", report.WarningCount());
+    for (const analysis::Diagnostic& d : report.diagnostics())
+      if (d.severity == analysis::Severity::kWarning)
+        metrics->AddCounter("analysis.rtl.rule." + d.rule);
+  }
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    if (d.severity == analysis::Severity::kWarning) {
+      DB_LOG(kWarn) << "rtl-verify[" << d.rule << "] " << d.location
+                    << ": " << d.message;
+    }
+  }
+  if (!report.ok())
+    DB_THROW("RTL verification failed for '" << net.name() << "':\n"
+             << report.ToText());
+}
+
 }  // namespace
 
 AcceleratorDesign GenerateAccelerator(const Network& net,
@@ -544,6 +569,7 @@ AcceleratorDesign GenerateAccelerator(const Network& net,
   phase("rtl emit", 0,
         [&] { design.rtl = BuildRtl(design.config, design.blocks); });
   phase("lint", 0, [&] { CheckDesignOrThrow(design.rtl); });
+  phase("rtl verify", 0, [&] { RtlVerifyGate(net, design, metrics); });
   phase("verify", 0, [&] { VerifyGate(net, design, metrics); });
 
   DB_LOG(kInfo) << "generated accelerator for '" << net.name() << "': "
@@ -700,6 +726,7 @@ SharedAccelerator GenerateSharedAccelerator(
              << proto.resources.total.ToString() << ")");
   proto.rtl = BuildRtl(proto.config, proto.blocks);
   CheckDesignOrThrow(proto.rtl);
+  analysis::VerifyRtlOrThrow(proto.rtl);
 
   // Propagate the common hardware artifacts to every model's view.
   for (std::size_t i = 1; i < shared.designs.size(); ++i) {

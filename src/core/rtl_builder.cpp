@@ -19,14 +19,54 @@ VInstance WireInstance(VModule& top, const VModule& def,
   vi.instance_name = ToIdentifier(inst.name);
   for (const VPort& port : def.ports) {
     if (port.name == "clk" || port.name == "rst_n") {
-      vi.ports.push_back({port.name, port.name});
+      vi.ports.push_back({port.name, VId(port.name)});
       continue;
     }
     const std::string net = vi.instance_name + "_" + port.name;
     top.nets.push_back({net, port.width, false, 0});
-    vi.ports.push_back({port.name, net});
+    vi.ports.push_back({port.name, VId(net)});
   }
   return vi;
+}
+
+/// Collects every identifier read by `expr` into `out`.
+void CollectIds(const VExpr& expr, std::set<std::string>& out) {
+  if (expr.kind == VExprKind::kId) out.insert(expr.text);
+  for (const VExpr& arg : expr.args) CollectIds(arg, out);
+}
+
+/// Ties every loaded-but-undriven top-level net to zero.  The generator
+/// wires the dataflow; the remaining block config inputs (AGU pattern
+/// registers, buffer write strobes, activation mode selects) are
+/// host-programmed at runtime — in the static design they default to
+/// zero so every net has exactly one driver.
+void TieOffUndrivenNets(const VDesign& design, VModule& top) {
+  std::set<std::string> driven;
+  std::set<std::string> loaded;
+  for (const VPort& p : top.ports)
+    if (p.dir == PortDir::kInput) driven.insert(p.name);
+  for (const VAssign& a : top.assigns) {
+    driven.insert(LvalueBase(a.lhs));
+    CollectIds(a.rhs, loaded);
+  }
+  for (const VInstance& vi : top.instances) {
+    const VModule* def = design.FindModule(vi.module_name);
+    DB_CHECK_MSG(def != nullptr, "instance of unknown module");
+    for (const VBinding& b : vi.ports) {
+      const VPort* formal = def->FindPort(b.formal);
+      DB_CHECK_MSG(formal != nullptr, "binding of unknown port");
+      if (formal->dir == PortDir::kOutput)
+        driven.insert(LvalueBase(b.actual));
+      else
+        CollectIds(b.actual, loaded);
+    }
+  }
+  for (const VNet& n : top.nets) {
+    if (driven.count(n.name) > 0 || loaded.count(n.name) == 0) continue;
+    top.assigns.push_back(
+        {VId(n.name), n.width > 1 ? VRepeat(n.width, VLit(1, 0, 'b'))
+                                  : VLit(1, 0, 'b')});
+  }
 }
 
 }  // namespace
@@ -87,19 +127,20 @@ VDesign BuildRtl(const AcceleratorConfig& config,
   auto has_inst = [&](const std::string& name) {
     return instance_module.count(ToIdentifier(name)) > 0;
   };
-  auto wire = [&](const std::string& dst, const std::string& src) {
-    top.assigns.push_back({dst, src});
+  auto wire = [&](const std::string& dst, VExpr src) {
+    top.assigns.push_back({VId(dst), std::move(src)});
   };
 
   // AXI address/data plumbing from the main AGU and the data buffer.
-  wire("axi_araddr", "agu_main_addr");
-  wire("axi_awaddr", "agu_main_addr");
-  wire("axi_wdata", "buffer_data_rd_data");
-  wire("done", "coordinator0_all_done");
-  wire("coordinator0_go", "go");
-  wire("coordinator0_step_done", "agu_main_pattern_done");
-  wire("agu_main_start_event", "coordinator0_trigger[0]");
-  wire("buffer_data_wr_data", "axi_rdata");
+  wire("axi_araddr", VId("agu_main_addr"));
+  wire("axi_awaddr", VId("agu_main_addr"));
+  wire("axi_wdata", VId("buffer_data_rd_data"));
+  wire("done", VId("coordinator0_all_done"));
+  wire("coordinator0_go", VId("go"));
+  wire("coordinator0_step_done", VId("agu_main_pattern_done"));
+  wire("agu_main_start_event",
+       VIndex(VId("coordinator0_trigger"), VLit(0)));
+  wire("buffer_data_wr_data", VId("axi_rdata"));
 
   if (has_inst("synergy_array")) {
     // Feature and weight operands stream from the on-chip buffers.
@@ -110,9 +151,9 @@ VDesign BuildRtl(const AcceleratorConfig& config,
                           config.format.total_bits();
     if (lane_bits <= port_bits) {
       wire("synergy_array_feature",
-           StrFormat("buffer_data_rd_data[%d:0]", lane_bits - 1));
+           VSlice(VId("buffer_data_rd_data"), lane_bits - 1, 0));
       wire("synergy_array_weight",
-           StrFormat("buffer_weight_rd_data[%d:0]", lane_bits - 1));
+           VSlice(VId("buffer_weight_rd_data"), lane_bits - 1, 0));
     } else {
       // Wide datapaths replicate the port across lane groups via
       // intermediate replication nets (a concatenation cannot be sliced
@@ -120,17 +161,15 @@ VDesign BuildRtl(const AcceleratorConfig& config,
       const int repeat = (lane_bits + port_bits - 1) / port_bits;
       top.nets.push_back({"feature_rep", repeat * port_bits, false, 0});
       top.nets.push_back({"weight_rep", repeat * port_bits, false, 0});
-      wire("feature_rep",
-           StrFormat("{%d{buffer_data_rd_data}}", repeat));
-      wire("weight_rep",
-           StrFormat("{%d{buffer_weight_rd_data}}", repeat));
+      wire("feature_rep", VRepeat(repeat, VId("buffer_data_rd_data")));
+      wire("weight_rep", VRepeat(repeat, VId("buffer_weight_rd_data")));
       wire("synergy_array_feature",
-           StrFormat("feature_rep[%d:0]", lane_bits - 1));
+           VSlice(VId("feature_rep"), lane_bits - 1, 0));
       wire("synergy_array_weight",
-           StrFormat("weight_rep[%d:0]", lane_bits - 1));
+           VSlice(VId("weight_rep"), lane_bits - 1, 0));
     }
-    wire("synergy_array_valid_in", "agu_data_addr_valid");
-    wire("synergy_array_clear", "agu_data_pattern_done");
+    wire("synergy_array_valid_in", VId("agu_data_addr_valid"));
+    wire("synergy_array_clear", VId("agu_data_pattern_done"));
   }
   if (has_inst("accumulator0") && has_inst("synergy_array")) {
     // The primary array's partial sums feed the accumulator tree; its
@@ -140,9 +179,11 @@ VDesign BuildRtl(const AcceleratorConfig& config,
         config.dsp_lanes > 0 ? config.dsp_lanes : config.lut_lanes;
     const int acc_in_bits = 2 * config.format.total_bits() * first_lanes;
     wire("accumulator0_partials",
-         StrFormat("synergy_array_acc_out[%d:0]", acc_in_bits - 1));
-    wire("accumulator0_valid_in", "synergy_array_valid_out");
+         VSlice(VId("synergy_array_acc_out"), acc_in_bits - 1, 0));
+    wire("accumulator0_valid_in", VId("synergy_array_valid_out"));
   }
+
+  TieOffUndrivenNets(design, top);
 
   design.modules.push_back(std::move(top));
   design.top = design.modules.back().name;

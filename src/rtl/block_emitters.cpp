@@ -14,6 +14,16 @@ void AddClkRst(VModule& m) {
   m.ports.push_back({"rst_n", PortDir::kInput, 1, false});
 }
 
+/// Lane slice helper: name[w*(lane+1)-1 : w*lane].
+VExpr Lane(const std::string& name, int w, int lane) {
+  return VSlice(VId(name), w * (lane + 1) - 1, w * lane);
+}
+
+/// Single-bit binary literal: 1'b0 / 1'b1.
+VExpr Bit1(int v) { return VLit(1, v, 'b'); }
+
+VExpr NotRstN() { return VUnary("!", VId("rst_n")); }
+
 VModule EmitSynergyNeuron(const BlockConfig& c) {
   // A lane array of multiply-accumulate neurons: each lane multiplies a
   // feature element by a weight element and accumulates; `clear` starts a
@@ -31,35 +41,30 @@ VModule EmitSynergyNeuron(const BlockConfig& c) {
   m.ports.push_back({"valid_out", PortDir::kOutput, 1, true});
 
   m.nets.push_back({"product", 2 * w * c.lanes, false, 0});
-  for (int lane = 0; lane < c.lanes; ++lane) {
-    std::ostringstream lhs, rhs;
-    lhs << "product[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
-        << "]";
-    rhs << "$signed(feature[" << w * (lane + 1) - 1 << ":" << w * lane
-        << "]) * $signed(weight[" << w * (lane + 1) - 1 << ":" << w * lane
-        << "])";
-    m.assigns.push_back({lhs.str(), rhs.str()});
-  }
+  for (int lane = 0; lane < c.lanes; ++lane)
+    m.assigns.push_back(
+        {Lane("product", 2 * w, lane),
+         VBin(VSigned(Lane("feature", w, lane)), "*",
+              VSigned(Lane("weight", w, lane)))});
+
+  const auto clear_state = [] {
+    return std::vector<VStmt>{VNonBlocking(VId("acc_out"), VLit(0)),
+                              VNonBlocking(VId("valid_out"), Bit1(0))};
+  };
+  std::vector<VStmt> accumulate;
+  for (int lane = 0; lane < c.lanes; ++lane)
+    accumulate.push_back(
+        VNonBlocking(Lane("acc_out", 2 * w, lane),
+                     VBin(Lane("acc_out", 2 * w, lane), "+",
+                          Lane("product", 2 * w, lane))));
+  accumulate.push_back(VNonBlocking(VId("valid_out"), Bit1(1)));
 
   VAlways acc;
   acc.sensitivity = "posedge clk";
-  acc.body.push_back("if (!rst_n) begin");
-  acc.body.push_back("  acc_out <= 0;");
-  acc.body.push_back("  valid_out <= 1'b0;");
-  acc.body.push_back("end else if (clear) begin");
-  acc.body.push_back("  acc_out <= 0;");
-  acc.body.push_back("  valid_out <= 1'b0;");
-  acc.body.push_back("end else if (valid_in) begin");
-  for (int lane = 0; lane < c.lanes; ++lane) {
-    std::ostringstream line;
-    line << "  acc_out[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
-         << "] <= acc_out[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
-         << "] + product[" << 2 * w * (lane + 1) - 1 << ":" << 2 * w * lane
-         << "];";
-    acc.body.push_back(line.str());
-  }
-  acc.body.push_back("  valid_out <= 1'b1;");
-  acc.body.push_back("end");
+  acc.body = {VIf(
+      NotRstN(), clear_state(),
+      {VIf(VId("clear"), clear_state(),
+           {VIf(VId("valid_in"), std::move(accumulate))})})};
   m.always_blocks.push_back(std::move(acc));
   return m;
 }
@@ -76,20 +81,19 @@ VModule EmitAccumulator(const BlockConfig& c) {
   m.ports.push_back({"sum", PortDir::kOutput, w, true});
   m.ports.push_back({"valid_out", PortDir::kOutput, 1, true});
 
-  std::ostringstream tree;
-  for (int lane = 0; lane < c.lanes; ++lane) {
-    if (lane > 0) tree << " + ";
-    tree << "$signed(partials[" << w * (lane + 1) - 1 << ":" << w * lane
-         << "])";
-  }
+  VExpr tree = VSigned(Lane("partials", w, 0));
+  for (int lane = 1; lane < c.lanes; ++lane)
+    tree = VBin(std::move(tree), "+", VSigned(Lane("partials", w, lane)));
   m.nets.push_back({"tree_sum", w, false, 0});
-  m.assigns.push_back({"tree_sum", tree.str()});
+  m.assigns.push_back({VId("tree_sum"), std::move(tree)});
 
   VAlways reg;
   reg.sensitivity = "posedge clk";
-  reg.body = {"if (!rst_n) begin", "  sum <= 0;", "  valid_out <= 1'b0;",
-              "end else begin", "  sum <= tree_sum;",
-              "  valid_out <= valid_in;", "end"};
+  reg.body = {VIf(NotRstN(),
+                  {VNonBlocking(VId("sum"), VLit(0)),
+                   VNonBlocking(VId("valid_out"), Bit1(0))},
+                  {VNonBlocking(VId("sum"), VId("tree_sum")),
+                   VNonBlocking(VId("valid_out"), VId("valid_in"))})};
   m.always_blocks.push_back(std::move(reg));
   return m;
 }
@@ -111,24 +115,23 @@ VModule EmitPoolingUnit(const BlockConfig& c) {
   m.ports.push_back({"dout", PortDir::kOutput, w * c.lanes, true});
 
   for (int lane = 0; lane < c.lanes; ++lane) {
+    const VExpr din_s = Lane("din", w, lane);
+    const VExpr dout_s = Lane("dout", w, lane);
+    VStmt reduce = VIf(
+        VId("mode_max"),
+        {VIf(VBin(VSigned(din_s), ">", VSigned(dout_s)),
+             {VNonBlocking(dout_s, din_s)}, {}, VBranchStyle::kInline)},
+        {VNonBlocking(dout_s,
+                      VBin(VParen(VBin(VSigned(dout_s), "+",
+                                       VSigned(din_s))),
+                           ">>>", VId("shift")))});
     VAlways a;
     a.sensitivity = "posedge clk";
-    std::ostringstream hi;
-    hi << w * (lane + 1) - 1 << ":" << w * lane;
-    const std::string slice = hi.str();
-    a.body.push_back("if (!rst_n) dout[" + slice + "] <= 0;");
-    a.body.push_back("else if (window_start) dout[" + slice +
-                     "] <= din[" + slice + "];");
-    a.body.push_back("else if (valid_in) begin");
-    a.body.push_back("  if (mode_max) begin");
-    a.body.push_back("    if ($signed(din[" + slice + "]) > $signed(dout[" +
-                     slice + "])) dout[" + slice + "] <= din[" + slice +
-                     "];");
-    a.body.push_back("  end else begin");
-    a.body.push_back("    dout[" + slice + "] <= ($signed(dout[" + slice +
-                     "]) + $signed(din[" + slice + "])) >>> shift;");
-    a.body.push_back("  end");
-    a.body.push_back("end");
+    a.body = {VIf(NotRstN(), {VNonBlocking(dout_s, VLit(0))},
+                  {VIf(VId("window_start"), {VNonBlocking(dout_s, din_s)},
+                       {VIf(VId("valid_in"), {std::move(reduce)})},
+                       VBranchStyle::kInline)},
+                  VBranchStyle::kInline)};
     m.always_blocks.push_back(std::move(a));
   }
   return m;
@@ -149,14 +152,22 @@ VModule EmitLrnUnit(const BlockConfig& c) {
   m.ports.push_back({"lut_key", PortDir::kOutput, w, false});
 
   m.nets.push_back({"sq", 2 * w, false, 0});
-  m.assigns.push_back({"sq", "$signed(din) * $signed(din)"});
-  m.assigns.push_back({"lut_key", StrFormat("sum_sq[%d:%d]", 2 * w - 1, w)});
+  m.assigns.push_back(
+      {VId("sq"), VBin(VSigned(VId("din")), "*", VSigned(VId("din")))});
+  m.assigns.push_back({VId("lut_key"), VSlice(VId("sum_sq"), 2 * w - 1, w)});
 
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {"if (!rst_n) sum_sq <= 0;",
-            "else if (window_start) sum_sq <= sq;",
-            "else if (valid_in) sum_sq <= sum_sq + sq;"};
+  a.body = {VIf(NotRstN(), {VNonBlocking(VId("sum_sq"), VLit(0))},
+                {VIf(VId("window_start"),
+                     {VNonBlocking(VId("sum_sq"), VId("sq"))},
+                     {VIf(VId("valid_in"),
+                          {VNonBlocking(VId("sum_sq"),
+                                        VBin(VId("sum_sq"), "+",
+                                             VId("sq")))},
+                          {}, VBranchStyle::kInline)},
+                     VBranchStyle::kInline)},
+                VBranchStyle::kInline)};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -174,13 +185,25 @@ VModule EmitDropoutUnit(const BlockConfig& c) {
   m.ports.push_back({"dout", PortDir::kOutput, w, false});
   m.nets.push_back({"lfsr", 16, true, 0});
   m.assigns.push_back(
-      {"dout", "(enable && (lfsr < threshold)) ? {" + std::to_string(w) +
-                   "{1'b0}} : din"});
+      {VId("dout"),
+       VTernary(VParen(VBin(VId("enable"), "&&",
+                            VParen(VBin(VId("lfsr"), "<",
+                                        VId("threshold"))))),
+                VRepeat(w, Bit1(0)), VId("din"))});
+  const auto lfsr_bit = [](int i) {
+    return VIndex(VId("lfsr"), VLit(i));
+  };
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {"if (!rst_n) lfsr <= 16'hACE1;",
-            "else lfsr <= {lfsr[14:0], lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ "
-            "lfsr[10]};"};
+  a.body = {VIf(
+      NotRstN(), {VNonBlocking(VId("lfsr"), VLit(16, 0xACE1, 'h'))},
+      {VNonBlocking(
+          VId("lfsr"),
+          VConcat({VSlice(VId("lfsr"), 14, 0),
+                   VBin(VBin(VBin(lfsr_bit(15), "^", lfsr_bit(13)), "^",
+                             lfsr_bit(12)),
+                        "^", lfsr_bit(10))}))},
+      VBranchStyle::kInline, VBranchStyle::kInline)};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -202,38 +225,40 @@ VModule EmitClassifier(const BlockConfig& c) {
   m.ports.push_back({"top_values", PortDir::kOutput, w * k, true});
   m.ports.push_back({"top_indices", PortDir::kOutput, iw * k, true});
 
+  std::vector<VStmt> reset;
+  for (int i = 0; i < k; ++i) {
+    reset.push_back(
+        VNonBlocking(Lane("top_values", w, i),
+                     VConcat({Bit1(1), VRepeat(w - 1, Bit1(0))})));
+    reset.push_back(VNonBlocking(Lane("top_indices", iw, i), VLit(0)));
+  }
+
+  // Insertion network: shift-down from the position where din wins.
+  std::vector<VStmt> insert;
+  for (int i = k - 1; i >= 0; --i) {
+    std::vector<VStmt> shift_down;
+    for (int j = k - 1; j > i; --j) {
+      shift_down.push_back(
+          VNonBlocking(Lane("top_values", w, j),
+                       VSlice(VId("top_values"), w * j - 1, w * (j - 1))));
+      shift_down.push_back(
+          VNonBlocking(Lane("top_indices", iw, j),
+                       VSlice(VId("top_indices"), iw * j - 1,
+                              iw * (j - 1))));
+    }
+    shift_down.push_back(VNonBlocking(Lane("top_values", w, i), VId("din")));
+    shift_down.push_back(
+        VNonBlocking(Lane("top_indices", iw, i), VId("din_index")));
+    insert.push_back(VIf(VBin(VSigned(VId("din")), ">",
+                              VSigned(Lane("top_values", w, i))),
+                         std::move(shift_down), {},
+                         VBranchStyle::kBlockOwnLine));
+  }
+
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body.push_back("if (!rst_n || flush) begin");
-  for (int i = 0; i < k; ++i) {
-    a.body.push_back(StrFormat("  top_values[%d:%d] <= {1'b1, {%d{1'b0}}};",
-                               w * (i + 1) - 1, w * i, w - 1));
-    a.body.push_back(StrFormat("  top_indices[%d:%d] <= 0;",
-                               iw * (i + 1) - 1, iw * i));
-  }
-  a.body.push_back("end else if (valid_in) begin");
-  // Insertion network: shift-down from the position where din wins.
-  for (int i = k - 1; i >= 0; --i) {
-    std::ostringstream cond;
-    cond << "  if ($signed(din) > $signed(top_values[" << w * (i + 1) - 1
-         << ":" << w * i << "]))";
-    a.body.push_back(cond.str());
-    a.body.push_back("  begin");
-    for (int j = k - 1; j > i; --j) {
-      a.body.push_back(StrFormat(
-          "    top_values[%d:%d] <= top_values[%d:%d];",
-          w * (j + 1) - 1, w * j, w * j - 1, w * (j - 1)));
-      a.body.push_back(StrFormat(
-          "    top_indices[%d:%d] <= top_indices[%d:%d];",
-          iw * (j + 1) - 1, iw * j, iw * j - 1, iw * (j - 1)));
-    }
-    a.body.push_back(StrFormat("    top_values[%d:%d] <= din;",
-                               w * (i + 1) - 1, w * i));
-    a.body.push_back(StrFormat("    top_indices[%d:%d] <= din_index;",
-                               iw * (i + 1) - 1, iw * i));
-    a.body.push_back("  end");
-  }
-  a.body.push_back("end");
+  a.body = {VIf(VBin(NotRstN(), "||", VId("flush")), std::move(reset),
+                {VIf(VId("valid_in"), std::move(insert))})};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -254,7 +279,7 @@ VModule EmitApproxLut(const BlockConfig& c) {
   m.nets.push_back({"table_mem", w, true, c.depth});
   m.nets.push_back({"index", idx_bits, false, 0});
   m.assigns.push_back(
-      {"index", StrFormat("key[%d:%d]", w - 1, w - idx_bits)});
+      {VId("index"), VSlice(VId("key"), w - 1, w - idx_bits)});
 
   VAlways a;
   a.sensitivity = "posedge clk";
@@ -265,17 +290,26 @@ VModule EmitApproxLut(const BlockConfig& c) {
     m.nets.push_back({"lo", w, false, 0});
     m.nets.push_back({"hi", w, false, 0});
     m.nets.push_back({"frac", w - idx_bits, false, 0});
-    m.assigns.push_back({"lo", "table_mem[index]"});
+    m.assigns.push_back({VId("lo"), VIndex(VId("table_mem"), VId("index"))});
     m.assigns.push_back(
-        {"hi", StrFormat("table_mem[index == %lld ? index : index + 1]",
-                         static_cast<long long>(c.depth - 1))});
-    m.assigns.push_back({"frac", StrFormat("key[%d:0]", w - idx_bits - 1)});
-    a.body = {StrFormat(
-        "value <= lo + ((($signed(hi) - $signed(lo)) * $signed({1'b0, "
-        "frac})) >>> %d);",
-        w - idx_bits)};
+        {VId("hi"),
+         VIndex(VId("table_mem"),
+                VTernary(VBin(VId("index"), "==", VLit(c.depth - 1)),
+                         VId("index"), VBin(VId("index"), "+", VLit(1))))});
+    m.assigns.push_back(
+        {VId("frac"), VSlice(VId("key"), w - idx_bits - 1, 0)});
+    a.body = {VNonBlocking(
+        VId("value"),
+        VBin(VId("lo"), "+",
+             VParen(VBin(
+                 VParen(VBin(VParen(VBin(VSigned(VId("hi")), "-",
+                                         VSigned(VId("lo")))),
+                             "*",
+                             VSigned(VConcat({Bit1(0), VId("frac")})))),
+                 ">>>", VLit(w - idx_bits)))))};
   } else {
-    a.body = {"value <= table_mem[index];"};
+    a.body = {VNonBlocking(VId("value"),
+                           VIndex(VId("table_mem"), VId("index")))};
   }
   m.always_blocks.push_back(std::move(a));
   return m;
@@ -294,15 +328,18 @@ VModule EmitActivationUnit(const BlockConfig& c) {
   m.ports.push_back({"lut_value", PortDir::kInput, w, false});
   m.ports.push_back({"lut_key", PortDir::kOutput, w, false});
   m.ports.push_back({"dout", PortDir::kOutput, w, true});
-  m.assigns.push_back({"lut_key", "din"});
+  m.assigns.push_back({VId("lut_key"), VId("din")});
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {
-      "if (!rst_n) dout <= 0;",
-      StrFormat("else if (select_relu) dout <= $signed(din) > 0 ? din : "
-                "{%d{1'b0}};",
-                w),
-      "else dout <= lut_value;"};
+  a.body = {VIf(NotRstN(), {VNonBlocking(VId("dout"), VLit(0))},
+                {VIf(VId("select_relu"),
+                     {VNonBlocking(
+                         VId("dout"),
+                         VTernary(VBin(VSigned(VId("din")), ">", VLit(0)),
+                                  VId("din"), VRepeat(w, Bit1(0))))},
+                     {VNonBlocking(VId("dout"), VId("lut_value"))},
+                     VBranchStyle::kInline, VBranchStyle::kInline)},
+                VBranchStyle::kInline)};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -323,18 +360,20 @@ VModule EmitConnectionBox(const BlockConfig& c) {
   m.ports.push_back({"shift", PortDir::kInput, 4, false});
   m.ports.push_back({"dout", PortDir::kOutput, w * p, true});
 
+  std::vector<VStmt> route;
+  for (int out = 0; out < p; ++out)
+    route.push_back(VNonBlocking(
+        Lane("dout", w, out),
+        VBin(VSigned(VPart(VId("din"),
+                           VBinCompact(Lane("select", sel_bits, out), "*",
+                                       VLit(w)),
+                           w)),
+             ">>>", VId("shift"))));
+
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body.push_back("if (!rst_n) dout <= 0;");
-  a.body.push_back("else begin");
-  for (int out = 0; out < p; ++out) {
-    std::ostringstream line;
-    line << "  dout[" << w * (out + 1) - 1 << ":" << w * out
-         << "] <= $signed(din[select[" << sel_bits * (out + 1) - 1 << ":"
-         << sel_bits * out << "]*" << w << " +: " << w << "]) >>> shift;";
-    a.body.push_back(line.str());
-  }
-  a.body.push_back("end");
+  a.body = {VIf(NotRstN(), {VNonBlocking(VId("dout"), VLit(0))},
+                std::move(route), VBranchStyle::kInline)};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -367,30 +406,43 @@ VModule EmitAgu(const BlockConfig& c) {
   m.nets.push_back({"row_base", aw, true, 0});
   m.nets.push_back({"running", 1, true, 0});
 
+  VStmt step = VIf(
+      VBin(VBin(VId("x_cnt"), "+", VLit(1)), "<", VId("cfg_x_len")),
+      {VNonBlocking(VId("x_cnt"), VBin(VId("x_cnt"), "+", VLit(1))),
+       VNonBlocking(VId("addr"), VBin(VId("addr"), "+", VId("cfg_stride")))},
+      {VIf(VBin(VBin(VId("y_cnt"), "+", VLit(1)), "<", VId("cfg_y_len")),
+           {VSeq({VNonBlocking(VId("x_cnt"), VLit(0)),
+                  VNonBlocking(VId("y_cnt"),
+                               VBin(VId("y_cnt"), "+", VLit(1)))}),
+            VNonBlocking(VId("row_base"),
+                         VBin(VId("row_base"), "+", VId("cfg_offset"))),
+            VNonBlocking(VId("addr"),
+                         VBin(VId("row_base"), "+", VId("cfg_offset")))},
+           {VSeq({VNonBlocking(VId("running"), Bit1(0)),
+                  VNonBlocking(VId("addr_valid"), Bit1(0)),
+                  VNonBlocking(VId("pattern_done"), Bit1(1))})})});
+
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {
-      "if (!rst_n) begin",
-      "  x_cnt <= 0; y_cnt <= 0; row_base <= 0; running <= 1'b0;",
-      "  addr <= 0; addr_valid <= 1'b0; pattern_done <= 1'b0;",
-      "end else if (start_event) begin",
-      "  x_cnt <= 0; y_cnt <= 0; row_base <= cfg_start;",
-      "  addr <= cfg_start; addr_valid <= 1'b1; running <= 1'b1;",
-      "  pattern_done <= 1'b0;",
-      "end else if (running) begin",
-      "  if (x_cnt + 1 < cfg_x_len) begin",
-      "    x_cnt <= x_cnt + 1;",
-      "    addr <= addr + cfg_stride;",
-      "  end else if (y_cnt + 1 < cfg_y_len) begin",
-      "    x_cnt <= 0; y_cnt <= y_cnt + 1;",
-      "    row_base <= row_base + cfg_offset;",
-      "    addr <= row_base + cfg_offset;",
-      "  end else begin",
-      "    running <= 1'b0; addr_valid <= 1'b0; pattern_done <= 1'b1;",
-      "  end",
-      "end else begin",
-      "  pattern_done <= 1'b0;",
-      "end"};
+  a.body = {VIf(
+      NotRstN(),
+      {VSeq({VNonBlocking(VId("x_cnt"), VLit(0)),
+             VNonBlocking(VId("y_cnt"), VLit(0)),
+             VNonBlocking(VId("row_base"), VLit(0)),
+             VNonBlocking(VId("running"), Bit1(0))}),
+       VSeq({VNonBlocking(VId("addr"), VLit(0)),
+             VNonBlocking(VId("addr_valid"), Bit1(0)),
+             VNonBlocking(VId("pattern_done"), Bit1(0))})},
+      {VIf(VId("start_event"),
+           {VSeq({VNonBlocking(VId("x_cnt"), VLit(0)),
+                  VNonBlocking(VId("y_cnt"), VLit(0)),
+                  VNonBlocking(VId("row_base"), VId("cfg_start"))}),
+            VSeq({VNonBlocking(VId("addr"), VId("cfg_start")),
+                  VNonBlocking(VId("addr_valid"), Bit1(1)),
+                  VNonBlocking(VId("running"), Bit1(1))}),
+            VNonBlocking(VId("pattern_done"), Bit1(0))},
+           {VIf(VId("running"), {std::move(step)},
+                {VNonBlocking(VId("pattern_done"), Bit1(0))})})})};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -415,21 +467,26 @@ VModule EmitCoordinator(const BlockConfig& c) {
 
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {
-      "if (!rst_n) begin",
-      "  state <= 0; trigger <= 0; all_done <= 1'b0;",
-      "end else if (go && state == 0) begin",
-      StrFormat("  state <= 1; trigger <= %d'b1; all_done <= 1'b0;", ev),
-      "end else if (step_done && state != 0) begin",
-      StrFormat("  if (state == %d) begin", ev),
-      "    state <= 0; trigger <= 0; all_done <= 1'b1;",
-      "  end else begin",
-      "    state <= state + 1;",
-      "    trigger <= trigger << 1;",
-      "  end",
-      "end else begin",
-      "  trigger <= 0;",
-      "end"};
+  a.body = {VIf(
+      NotRstN(),
+      {VSeq({VNonBlocking(VId("state"), VLit(0)),
+             VNonBlocking(VId("trigger"), VLit(0)),
+             VNonBlocking(VId("all_done"), Bit1(0))})},
+      {VIf(VBin(VId("go"), "&&", VBin(VId("state"), "==", VLit(0))),
+           {VSeq({VNonBlocking(VId("state"), VLit(1)),
+                  VNonBlocking(VId("trigger"), VLit(ev, 1, 'b')),
+                  VNonBlocking(VId("all_done"), Bit1(0))})},
+           {VIf(VBin(VId("step_done"), "&&",
+                     VBin(VId("state"), "!=", VLit(0))),
+                {VIf(VBin(VId("state"), "==", VLit(ev)),
+                     {VSeq({VNonBlocking(VId("state"), VLit(0)),
+                            VNonBlocking(VId("trigger"), VLit(0)),
+                            VNonBlocking(VId("all_done"), Bit1(1))})},
+                     {VNonBlocking(VId("state"),
+                                   VBin(VId("state"), "+", VLit(1))),
+                      VNonBlocking(VId("trigger"),
+                                   VBin(VId("trigger"), "<<", VLit(1)))})},
+                {VNonBlocking(VId("trigger"), VLit(0))})})})};
   m.always_blocks.push_back(std::move(a));
   return m;
 }
@@ -455,8 +512,12 @@ VModule EmitBufferBank(const BlockConfig& c) {
   m.nets.push_back({"mem", w, true, words});
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {"if (wr_en) mem[wr_addr] <= wr_data;",
-            "rd_data <= mem[rd_addr];"};
+  a.body = {VIf(VId("wr_en"),
+                {VNonBlocking(VIndex(VId("mem"), VId("wr_addr")),
+                              VId("wr_data"))},
+                {}, VBranchStyle::kInline),
+            VNonBlocking(VId("rd_data"),
+                         VIndex(VId("mem"), VId("rd_addr")))};
   m.always_blocks.push_back(std::move(a));
   return m;
 }

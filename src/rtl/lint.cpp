@@ -21,43 +21,62 @@ bool IsLegalIdentifier(const std::string& name) {
   return true;
 }
 
-/// Extract the base identifier of an lvalue like "foo[3:0]" -> "foo".
-std::string BaseName(const std::string& expr) {
-  const std::size_t bracket = expr.find('[');
-  std::string base =
-      bracket == std::string::npos ? expr : expr.substr(0, bracket);
-  while (!base.empty() && std::isspace(static_cast<unsigned char>(
-                              base.back())))
-    base.pop_back();
-  return base;
-}
-
 void Issue(std::vector<LintIssue>& issues, const std::string& module,
            const std::string& message) {
   issues.push_back({module, message});
 }
 
 /// Width of an instance-binding actual, when it is statically knowable:
-/// a whole named net/port of the parent module, or a sized literal like
-/// "8'd0".  Returns 0 for slices, expressions and unsized literals —
-/// callers skip the width check there (slice-width arithmetic is out of
-/// scope, as with the assign double-drive analysis above).
-int ActualWidth(const VModule& parent, const std::string& actual) {
-  if (IsLegalIdentifier(actual)) {
-    for (const VNet& n : parent.nets)
-      if (n.name == actual) return n.width;
-    if (const VPort* p = parent.FindPort(actual)) return p->width;
-    return 0;
+/// a whole named net/port of the parent module (parameter-defined port
+/// widths resolve through the parent's own parameter defaults), a sized
+/// literal like 8'd0, or a constant slice / single-bit select of a named
+/// net.  Returns 0 when the width is context-dependent (unsized
+/// literals, concats, arithmetic) — callers skip the check there.
+int ActualWidth(const VModule& parent, const VExpr& actual) {
+  switch (actual.kind) {
+    case VExprKind::kId: {
+      if (const VNet* n = parent.FindNet(actual.text)) return n->width;
+      if (const VPort* p = parent.FindPort(actual.text))
+        return ResolvedPortWidth(parent, *p);
+      return 0;
+    }
+    case VExprKind::kLit:
+      return actual.width;  // 0 for unsized
+    case VExprKind::kSlice:
+      return actual.msb - actual.lsb + 1;
+    case VExprKind::kIndex:
+      // A bit-select of a non-memory net is one bit wide; memory element
+      // selects never appear as binding actuals in generated designs.
+      return 1;
+    case VExprKind::kPart:
+      return actual.width;
+    default:
+      return 0;
   }
-  // Sized literal: <decimal width>'<base><digits>.
-  const std::size_t tick = actual.find('\'');
-  if (tick == std::string::npos || tick == 0) return 0;
-  int width = 0;
-  for (std::size_t i = 0; i < tick; ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(actual[i]))) return 0;
-    width = width * 10 + (actual[i] - '0');
+}
+
+/// Effective width of an instance's formal port: an instance parameter
+/// override of the port's width parameter wins over the target module's
+/// parameter default.
+int FormalWidth(const VModule& target, const VInstance& inst,
+                const VPort& formal) {
+  if (formal.width_param.empty()) return formal.width;
+  for (const VBinding& b : inst.params)
+    if (b.formal == formal.width_param &&
+        b.actual.kind == VExprKind::kLit)
+      return static_cast<int>(b.actual.value);
+  return ResolvedPortWidth(target, formal);
+}
+
+/// Collects the base names of every procedural assignment target in a
+/// statement tree (exact identifiers — no substring matching).
+void CollectWriteTargets(const VStmt& stmt, std::set<std::string>& out) {
+  if (stmt.kind == VStmtKind::kAssign) {
+    out.insert(LvalueBase(stmt.lhs));
+    return;
   }
-  return width;
+  for (const VStmt& s : stmt.then_stmts) CollectWriteTargets(s, out);
+  for (const VStmt& s : stmt.else_stmts) CollectWriteTargets(s, out);
 }
 
 }  // namespace
@@ -74,6 +93,9 @@ std::vector<LintIssue> LintModule(const VModule& m) {
                             "identifier");
     if (p.width < 1)
       Issue(issues, m.name, "port '" + p.name + "' has non-positive width");
+    if (!p.width_param.empty() && m.FindParam(p.width_param) == nullptr)
+      Issue(issues, m.name, "port '" + p.name + "' has undefined width "
+                            "parameter '" + p.width_param + "'");
     if (!names.insert(p.name).second)
       Issue(issues, m.name, "duplicate name '" + p.name + "'");
   }
@@ -100,7 +122,7 @@ std::vector<LintIssue> LintModule(const VModule& m) {
   // no wire may have two continuous drivers.
   std::set<std::string> assigned;
   for (const VAssign& a : m.assigns) {
-    const std::string base = BaseName(a.lhs);
+    const std::string base = LvalueBase(a.lhs);
     bool found_wire = false;
     bool is_reg = false;
     for (const VNet& n : m.nets)
@@ -121,28 +143,28 @@ std::vector<LintIssue> LintModule(const VModule& m) {
       Issue(issues, m.name,
             "assign drives reg '" + base + "' (must be a wire)");
     // Full-signal double drive: only flag when the exact same lvalue
-    // repeats (slice-level overlap analysis is out of scope).
-    if (!assigned.insert(a.lhs).second)
-      Issue(issues, m.name, "net '" + a.lhs + "' has multiple drivers");
-    if (a.rhs.empty())
-      Issue(issues, m.name, "assign to '" + a.lhs + "' has empty rhs");
+    // repeats (slice-level overlap analysis lives in the rtl.drive
+    // netlist rule).
+    const std::string lvalue = RenderExpr(a.lhs);
+    if (!assigned.insert(lvalue).second)
+      Issue(issues, m.name, "net '" + lvalue + "' has multiple drivers");
+    if (a.rhs.kind == VExprKind::kId && a.rhs.text.empty())
+      Issue(issues, m.name, "assign to '" + lvalue + "' has empty rhs");
   }
 
   // Output reg ports should be written by some always block; output wires
   // should be continuously assigned or driven by an instance connection.
+  std::set<std::string> always_targets;
+  for (const VAlways& a : m.always_blocks)
+    for (const VStmt& s : a.body) CollectWriteTargets(s, always_targets);
   for (const VPort& p : m.ports) {
     if (p.dir != PortDir::kOutput) continue;
-    bool driven = false;
+    bool driven = always_targets.count(p.name) > 0;
     for (const VAssign& a : m.assigns)
-      if (BaseName(a.lhs) == p.name) driven = true;
-    for (const VAlways& a : m.always_blocks)
-      for (const std::string& line : a.body)
-        if (line.find(p.name) != std::string::npos &&
-            line.find("<=") != std::string::npos)
-          driven = true;
+      if (LvalueBase(a.lhs) == p.name) driven = true;
     for (const VInstance& inst : m.instances)
       for (const VBinding& b : inst.ports)
-        if (BaseName(b.actual) == p.name) driven = true;
+        if (LvalueBase(b.actual) == p.name) driven = true;
     if (!driven)
       Issue(issues, m.name, "output '" + p.name + "' is never driven");
   }
@@ -192,12 +214,15 @@ std::vector<LintIssue> LintDesign(const VDesign& design) {
         // Verilog would silently truncate or zero-extend the mismatch.
         const int actual_width =
             formal == nullptr ? 0 : ActualWidth(m, b.actual);
-        if (actual_width > 0 && actual_width != formal->width)
+        const int formal_width =
+            formal == nullptr ? 0 : FormalWidth(*target, inst, *formal);
+        if (actual_width > 0 && actual_width != formal_width)
           Issue(issues, m.name,
                 "instance '" + inst.instance_name + "' binds port '" +
                     b.formal + "' (width " +
-                    std::to_string(formal->width) + ") to '" + b.actual +
-                    "' (width " + std::to_string(actual_width) + ")");
+                    std::to_string(formal_width) + ") to '" +
+                    RenderExpr(b.actual) + "' (width " +
+                    std::to_string(actual_width) + ")");
       }
       for (const VPort& p : target->ports)
         if (bound.find(p.name) == bound.end())

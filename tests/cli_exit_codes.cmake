@@ -68,6 +68,19 @@ foreach(rule
   expect_exit(2 verify --zoo Cifar --self-test-break ${rule})
 endforeach()
 
+# `deepburning verify --rtl`: the rtl.* netlist passes alone.  Every
+# error-severity mutation class exits 2; the dead-register class only
+# warns, so the design stays legal and the exit code stays 0.  The
+# hidden --self-test-break-rtl flag applies the shared BreakRtlRule
+# corruption, mirroring the rtl_analysis_test negatives.
+expect_exit(0 verify --zoo MNIST --rtl)
+expect_exit(2 verify --zoo MNIST --rtl --self-test-break-rtl bogus.class)
+foreach(class drive.unbound drive.double width.slice clock.blocking
+    comb.cycle)
+  expect_exit(2 verify --zoo MNIST --rtl --self-test-break-rtl ${class})
+endforeach()
+expect_exit(0 verify --zoo MNIST --rtl --self-test-break-rtl dead.reg)
+
 # `deepburning tune`: exit 0 on a successful exploration, exit 2 for a
 # malformed model name, --budget, --objective, --sweep or --jobs value
 # (all validated before any generator work runs).
@@ -158,5 +171,38 @@ foreach(fmt text json)
   if(NOT verify_a STREQUAL verify_b)
     message(FATAL_ERROR "verify report is not byte-stable (${fmt}):\n"
       "--- run a ---\n${verify_a}\n--- run b ---\n${verify_b}")
+  endif()
+endforeach()
+
+# The rtl.* report (stdout) and the generator's gate diagnostics
+# (stderr) are byte-stable too: two runs over the same RTL mutation emit
+# identical bytes in text and JSON form.
+foreach(fmt text json)
+  set(rtl_fmt_flag)
+  if(fmt STREQUAL json)
+    set(rtl_fmt_flag --json)
+  endif()
+  foreach(run a b)
+    execute_process(
+      COMMAND ${DEEPBURNING} verify --zoo MNIST --rtl
+              --self-test-break-rtl drive.unbound ${rtl_fmt_flag}
+      RESULT_VARIABLE rtl_result
+      OUTPUT_VARIABLE rtl_out_${run} ERROR_VARIABLE rtl_err_${run})
+    if(NOT rtl_result EQUAL 2)
+      message(FATAL_ERROR
+        "verify --rtl --self-test-break-rtl drive.unbound (${fmt}): "
+        "expected exit 2, got ${rtl_result}")
+    endif()
+  endforeach()
+  if(NOT rtl_out_a STREQUAL rtl_out_b)
+    message(FATAL_ERROR "rtl report is not byte-stable (${fmt}):\n"
+      "--- run a ---\n${rtl_out_a}\n--- run b ---\n${rtl_out_b}")
+  endif()
+  if(NOT rtl_err_a STREQUAL rtl_err_b)
+    message(FATAL_ERROR "rtl stderr is not byte-stable (${fmt}):\n"
+      "--- run a ---\n${rtl_err_a}\n--- run b ---\n${rtl_err_b}")
+  endif()
+  if(rtl_out_a STREQUAL "")
+    message(FATAL_ERROR "verify --rtl (${fmt}): expected a report")
   endif()
 endforeach()

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/hash.h"
+#include "core/generator.h"
+#include "models/zoo.h"
 #include "rtl/block_emitters.h"
 #include "rtl/lint.h"
 #include "rtl/verilog.h"
@@ -88,7 +91,7 @@ TEST(Verilog, EmitPortsAndParams) {
   m.assigns.clear();
   VAlways a;
   a.sensitivity = "posedge clk";
-  a.body = {"out <= out + 1;"};
+  a.body = {VNonBlocking(VId("out"), VBin(VId("out"), "+", VLit(1)))};
   m.always_blocks.push_back(a);
   const std::string text = EmitVerilog(m);
   EXPECT_NE(text.find("parameter WIDTH = 16"), std::string::npos);
@@ -129,7 +132,7 @@ TEST(Lint, CatchesUndrivenOutput) {
 TEST(Lint, CatchesAssignToUndeclared) {
   VModule m;
   m.name = "bad";
-  m.assigns.push_back({"ghost", "1'b1"});
+  m.assigns.push_back({VId("ghost"), VLit(1, 1, 'b')});
   const auto issues = LintModule(m);
   EXPECT_FALSE(issues.empty());
 }
@@ -138,7 +141,7 @@ TEST(Lint, CatchesAssignToReg) {
   VModule m;
   m.name = "bad2";
   m.nets.push_back({"r", 4, true, 0});
-  m.assigns.push_back({"r", "4'd1"});
+  m.assigns.push_back({VId("r"), VLit(4, 1)});
   bool found = false;
   for (const auto& i : LintModule(m))
     if (i.message.find("must be a wire") != std::string::npos) found = true;
@@ -149,8 +152,8 @@ TEST(Lint, CatchesDoubleDriver) {
   VModule m;
   m.name = "dd";
   m.nets.push_back({"w", 1, false, 0});
-  m.assigns.push_back({"w", "1'b0"});
-  m.assigns.push_back({"w", "1'b1"});
+  m.assigns.push_back({VId("w"), VLit(1, 0, 'b')});
+  m.assigns.push_back({VId("w"), VLit(1, 1, 'b')});
   bool found = false;
   for (const auto& i : LintModule(m))
     if (i.message.find("multiple drivers") != std::string::npos)
@@ -193,7 +196,7 @@ TEST(LintDesign, CatchesUnboundAndUnknownPorts) {
   VInstance inst;
   inst.module_name = "child";
   inst.instance_name = "u0";
-  inst.ports.push_back({"bogus", "1'b0"});  // unknown, and 'a' unbound
+  inst.ports.push_back({"bogus", VLit(1, 0, 'b')});  // unknown, 'a' unbound
   top.instances.push_back(inst);
   design.modules.push_back(top);
   design.top = "top";
@@ -223,9 +226,10 @@ TEST(LintDesign, CatchesPortWidthMismatch) {
   VInstance inst;
   inst.module_name = "child";
   inst.instance_name = "u0";
-  inst.ports.push_back({"data_in", "narrow"});    // width 4 != 8
-  inst.ports.push_back({"sel", "8'd1"});          // sized literal 8 != 2
-  inst.ports.push_back({"bit_in", "wide[3]"});    // slice: width unknown, ok
+  inst.ports.push_back({"data_in", VId("narrow")});  // width 4 != 8
+  inst.ports.push_back({"sel", VLit(8, 1)});         // sized literal 8 != 2
+  inst.ports.push_back(
+      {"bit_in", VIndex(VId("wide"), VLit(3))});     // bit-select: 1 == 1
   top.instances.push_back(inst);
   design.modules.push_back(top);
   design.top = "top";
@@ -249,7 +253,7 @@ TEST(LintDesign, AcceptsMatchingPortWidths) {
   VInstance inst;
   inst.module_name = "child";
   inst.instance_name = "u0";
-  inst.ports.push_back({"data_in", "bus"});
+  inst.ports.push_back({"data_in", VId("bus")});
   top.instances.push_back(inst);
   design.modules.push_back(top);
   design.top = "top";
@@ -284,6 +288,127 @@ TEST(Emitters, InvalidConfigRejected) {
   c.type = BlockType::kApproxLut;
   c.depth = 3;  // not a power of two
   EXPECT_THROW(EmitBlockModule(c), Error);
+}
+
+TEST(Verilog, RenderExprForms) {
+  EXPECT_EQ(RenderExpr(VBin(VId("a"), "+", VLit(1))), "a + 1");
+  EXPECT_EQ(RenderExpr(VLit(16, 0xACE1, 'h')), "16'hACE1");
+  EXPECT_EQ(RenderExpr(VLit(4, 5, 'b')), "4'b101");
+  EXPECT_EQ(RenderExpr(VSlice(VId("bus"), 7, 4)), "bus[7:4]");
+  EXPECT_EQ(RenderExpr(VIndex(VId("mem"), VId("addr"))), "mem[addr]");
+  EXPECT_EQ(RenderExpr(VConcat({VLit(1, 1, 'b'), VRepeat(3, VLit(1, 0, 'b'))})),
+            "{1'b1, {3{1'b0}}}");
+  EXPECT_EQ(RenderExpr(VTernary(VId("c"), VId("t"), VId("f"))),
+            "c ? t : f");
+  EXPECT_EQ(
+      RenderExpr(VPart(VId("sel"), VBinCompact(VId("i"), "*", VLit(16)), 16)),
+      "sel[i*16 +: 16]");
+  EXPECT_EQ(RenderExpr(VSigned(VParen(VBin(VId("x"), "-", VId("y"))))),
+            "$signed((x - y))");
+  EXPECT_EQ(RenderExpr(VUnary("!", VId("rst_n"))), "!rst_n");
+}
+
+TEST(Verilog, RenderStmtIfChain) {
+  // One chained if / else-if / else, block-style branches.
+  const std::vector<VStmt> stmts = {
+      VIf(VUnary("!", VId("rst_n")),
+          {VNonBlocking(VId("q"), VLit(1, 0, 'b'))},
+          {VIf(VId("en"), {VNonBlocking(VId("q"), VId("d"))},
+               {VNonBlocking(VId("q"), VId("q"))})})};
+  const std::vector<std::string> lines = RenderStmts(stmts);
+  const std::vector<std::string> expect = {
+      "if (!rst_n) begin",      "  q <= 1'b0;",
+      "end else if (en) begin", "  q <= d;",
+      "end else begin",         "  q <= q;",
+      "end"};
+  EXPECT_EQ(lines, expect);
+}
+
+// Regression (typed-AST lint): an output named with a prefix of another
+// written name must still be reported undriven.  The old string-based
+// lint searched the always text for the substring "out" and was fooled
+// by "out_valid <= ...".
+TEST(Lint, OutputNamePrefixDoesNotMaskUndriven) {
+  VModule m;
+  m.name = "sub";
+  m.ports.push_back({"clk", PortDir::kInput, 1, false});
+  m.ports.push_back({"out", PortDir::kOutput, 4, true});
+  m.ports.push_back({"out_valid", PortDir::kOutput, 1, true});
+  VAlways a;
+  a.sensitivity = "posedge clk";
+  a.body = {VNonBlocking(VId("out_valid"), VLit(1, 1, 'b'))};
+  m.always_blocks.push_back(a);
+  bool undriven_out = false;
+  for (const auto& i : LintModule(m))
+    if (i.message.find("'out'") != std::string::npos &&
+        i.message.find("never driven") != std::string::npos)
+      undriven_out = true;
+  EXPECT_TRUE(undriven_out);
+}
+
+// Regression (parameter-width bindings): a port whose range comes from a
+// parameter checks against the *instance's* override, not the default.
+TEST(LintDesign, ParamWidthPortResolvesThroughOverride) {
+  VDesign design;
+  VModule child;
+  child.name = "child";
+  child.params.push_back({"W", 8});
+  child.ports.push_back({"clk", PortDir::kInput, 1, false});
+  child.ports.push_back({"data", PortDir::kInput, 8, false, "W"});
+  design.modules.push_back(child);
+
+  VModule top;
+  top.name = "top";
+  top.ports.push_back({"clk", PortDir::kInput, 1, false});
+  VInstance wide;
+  wide.module_name = "child";
+  wide.instance_name = "u_wide";
+  wide.params.push_back({"W", VLit(16)});
+  wide.ports.push_back({"clk", VId("clk")});
+  wide.ports.push_back({"data", VLit(16, 5)});  // matches the override
+  top.instances.push_back(wide);
+  VInstance bad;
+  bad.module_name = "child";
+  bad.instance_name = "u_bad";
+  bad.params.push_back({"W", VLit(16)});
+  bad.ports.push_back({"clk", VId("clk")});
+  bad.ports.push_back({"data", VLit(8, 5)});  // default width, not override
+  top.instances.push_back(bad);
+  design.modules.push_back(top);
+  design.top = "top";
+
+  int width_issues = 0;
+  for (const auto& i : LintDesign(design))
+    if (i.message.find("width") != std::string::npos) {
+      ++width_issues;
+      EXPECT_NE(i.message.find("u_bad"), std::string::npos) << i.message;
+    }
+  EXPECT_EQ(width_issues, 1);
+}
+
+// Golden RTL digests: the emitted Verilog for every zoo model is pinned
+// byte-for-byte.  A digest change means the printer or an emitter
+// changed the hardware text — review the diff, then update the value.
+TEST(GoldenRtl, ZooDigestsArePinned) {
+  const struct {
+    ZooModel model;
+    std::uint64_t digest;
+  } goldens[] = {
+      {ZooModel::kAnn0Fft, 0x4b21a993ae7bb3b7ull},
+      {ZooModel::kAnn1Jpeg, 0x8e4867a29cc38dbdull},
+      {ZooModel::kAnn2Kmeans, 0xde24a06414a39498ull},
+      {ZooModel::kHopfield, 0x7f12005c087d3109ull},
+      {ZooModel::kCmac, 0x9caae9aef5bff1d7ull},
+      {ZooModel::kMnist, 0x0f721ba57b465f1eull},
+      {ZooModel::kAlexnet, 0x49715d47542171cdull},
+      {ZooModel::kNin, 0x9679931afbcc4966ull},
+      {ZooModel::kCifar, 0x7f13a482d90aa815ull},
+  };
+  for (const auto& g : goldens) {
+    const Network net = BuildZooModel(g.model);
+    const AcceleratorDesign design = GenerateAccelerator(net, DbConstraint());
+    EXPECT_EQ(Fnv1a64(EmitVerilog(design.rtl)), g.digest) << net.name();
+  }
 }
 
 }  // namespace

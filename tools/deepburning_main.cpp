@@ -64,6 +64,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/rtl_mutations.h"
+#include "analysis/rtl_verifier.h"
 #include "analysis/testing_mutations.h"
 #include "analysis/verifier.h"
 #include "cluster/design_cache.h"
@@ -308,12 +310,17 @@ void PrintVerifyUsage() {
   std::printf(
       "usage: deepburning verify (--zoo <name> | --model <model.prototxt>)\n"
       "                          [--constraint <constraint.prototxt>] "
-      "[--json]\n\n"
+      "[--rtl]\n"
+      "                          [--json]\n\n"
       "Generates the accelerator design for the model/constraint pair and\n"
       "runs the static design verifier (AGU bounds, memory-map layout,\n"
       "schedule hazards, fold coverage, buffer capacity, connection ports,\n"
-      "Approx-LUT domains, resource accounting) over the design IR.\n"
-      "Prints the diagnostics report, byte-stable across runs.\n\n"
+      "Approx-LUT domains, resource accounting) over the design IR, then\n"
+      "the rtl.* netlist passes (drive conflicts, width inference,\n"
+      "combinational loops, clock discipline, dead logic) over the "
+      "emitted\n"
+      "RTL.  Prints one merged diagnostics report, byte-stable across "
+      "runs.\n\n"
       "  --zoo         benchmark model name (ANN-0, ANN-1, ANN-2, "
       "Hopfield,\n"
       "                CMAC, MNIST, Alexnet, NiN, Cifar)\n"
@@ -321,6 +328,8 @@ void PrintVerifyUsage() {
       "  --constraint  designer resource constraint script (default: "
       "medium\n"
       "                Zynq-7045 budget)\n"
+      "  --rtl         run only the rtl.* passes over the elaborated "
+      "netlist\n"
       "  --json        print the report as canonical JSON instead of "
       "text\n\n"
       "exit codes: 0 = clean design, 2 = error-severity violations\n");
@@ -332,6 +341,8 @@ int RunVerify(int argc, char** argv) {
   std::string model_path;
   std::string constraint_path;
   std::string break_rule;
+  std::string break_rtl;
+  bool rtl_only = false;
   bool json = false;
   bool help = false;
   for (int i = 2; i < argc; ++i) {
@@ -346,10 +357,13 @@ int RunVerify(int argc, char** argv) {
       model_path = next();
     } else if (arg == "--constraint") {
       constraint_path = next();
-    } else if (FlagValue(arg, "--self-test-break", next, &break_rule)) {
+    } else if (FlagValue(arg, "--self-test-break", next, &break_rule) ||
+               FlagValue(arg, "--self-test-break-rtl", next, &break_rtl)) {
       // Undocumented: corrupt the generated design so the CLI test suite
       // can assert the violation exit code and report rendering against
       // each rule id without shipping broken fixture files.
+    } else if (arg == "--rtl") {
+      rtl_only = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -376,9 +390,11 @@ int RunVerify(int argc, char** argv) {
   // self-test corruption (or a future generator bug surfacing here).
   AcceleratorDesign design = GenerateAccelerator(net, constraint);
   if (!break_rule.empty()) analysis::BreakRule(design, break_rule);
+  if (!break_rtl.empty()) analysis::BreakRtlRule(design.rtl, break_rtl);
 
-  const analysis::AnalysisReport report =
-      analysis::VerifyDesign(net, design);
+  analysis::AnalysisReport report;
+  if (!rtl_only) report = analysis::VerifyDesign(net, design);
+  report.Merge(analysis::VerifyRtl(design.rtl));
   if (json)
     std::printf("%s\n", report.ToJson().c_str());
   else
